@@ -1,0 +1,63 @@
+//! Criterion bench for the Fig. 10 core: Algorithm 3's per-step work —
+//! δ-location-set construction, restricted-PLM build, and a full run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use priste_bench::{experiments, Scale};
+use priste_core::runner::run_one;
+use priste_core::{DeltaLocSource, PristeConfig};
+use priste_linalg::Vector;
+use priste_lppm::DeltaLocationSet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_fig10(c: &mut Criterion) {
+    let scale = Scale::smoke();
+    let (grid, chain) = experiments::synthetic_world(&scale, 1.0);
+    let events = vec![experiments::presence_event(&scale, 4, 8)];
+    let m = grid.num_cells();
+    let mut rng = StdRng::seed_from_u64(1);
+    let trajectory = chain
+        .sample_trajectory(priste_geo::CellId(0), 12, &mut rng)
+        .expect("sampling");
+
+    let mut group = c.benchmark_group("fig10_delta_location_set");
+    group.sample_size(10);
+
+    // The per-step mechanism construction alone.
+    let dls = DeltaLocationSet::new(grid.clone(), 0.2).expect("delta");
+    let prior = Vector::uniform(m);
+    group.bench_function("restricted_mechanism_build", |b| {
+        b.iter(|| dls.mechanism_for(&prior, 0.2).expect("mechanism"))
+    });
+
+    // Full Algorithm 3 runs per δ.
+    for delta in [0.1, 0.5] {
+        group.bench_with_input(BenchmarkId::new("algorithm3_run", delta), &delta, |b, &delta| {
+            b.iter(|| {
+                let source = DeltaLocSource::new(
+                    grid.clone(),
+                    delta,
+                    0.2,
+                    chain.clone(),
+                    Vector::uniform(m),
+                )
+                .expect("source");
+                let mut rng = StdRng::seed_from_u64(2);
+                run_one(
+                    &events,
+                    &chain,
+                    &grid,
+                    &PristeConfig::with_epsilon(0.5),
+                    source,
+                    &trajectory,
+                    &mut rng,
+                )
+                .expect("run")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

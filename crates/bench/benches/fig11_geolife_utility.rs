@@ -1,0 +1,55 @@
+//! Criterion bench for the Figs. 11/12 core: GeoLife-substitute world
+//! training and one framework run on the trained chain.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use priste_bench::{experiments, Scale};
+use priste_core::runner::run_one;
+use priste_core::{PlmSource, PristeConfig};
+use priste_data::geolife_sim::{self, CommuterConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_fig11(c: &mut Criterion) {
+    let scale = Scale::smoke();
+    let mut group = c.benchmark_group("fig11_geolife_utility");
+    group.sample_size(10);
+
+    // World training (simulate days + MLE fit).
+    let cfg = CommuterConfig {
+        rows: scale.geolife_side,
+        cols: scale.geolife_side,
+        cell_size_km: scale.geolife_cell_km,
+        days: 10,
+        steps_per_day: 24,
+        ..Default::default()
+    };
+    group.bench_function("commuter_world_training", |b| {
+        b.iter(|| geolife_sim::build(&cfg).expect("simulator"))
+    });
+
+    // One run over the trained world.
+    let world = experiments::geolife_world(&scale);
+    let gl_scale = Scale { grid_side: scale.geolife_side, ..scale.clone() };
+    let events = vec![experiments::presence_event(&gl_scale, 4, 8)];
+    let day = world.trajectories[0][..scale.geolife_horizon.min(world.trajectories[0].len())].to_vec();
+    group.bench_function("algorithm2_run_on_geolife", |b| {
+        b.iter(|| {
+            let source = PlmSource::new(world.grid.clone(), 1.0).expect("plm");
+            let mut rng = StdRng::seed_from_u64(3);
+            run_one(
+                &events,
+                &world.chain,
+                &world.grid,
+                &PristeConfig::with_epsilon(1.0),
+                source,
+                &day,
+                &mut rng,
+            )
+            .expect("run")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

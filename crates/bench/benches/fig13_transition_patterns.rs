@@ -1,0 +1,55 @@
+//! Criterion bench for the Fig. 13 core: Gaussian-kernel chain synthesis
+//! across σ and framework runs on weak vs strong mobility patterns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use priste_bench::{experiments, Scale};
+use priste_core::runner::run_one;
+use priste_core::{PlmSource, PristeConfig};
+use priste_markov::gaussian_kernel_chain;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_fig13(c: &mut Criterion) {
+    let scale = Scale::smoke();
+    let (grid, _) = experiments::synthetic_world(&scale, 1.0);
+    let events = vec![experiments::presence_event(&scale, 4, 8)];
+
+    let mut group = c.benchmark_group("fig13_transition_patterns");
+    group.sample_size(10);
+
+    group.bench_function("gaussian_kernel_synthesis", |b| {
+        b.iter(|| gaussian_kernel_chain(&grid, 1.0).expect("chain"))
+    });
+
+    for sigma in [0.01, 10.0] {
+        let chain = gaussian_kernel_chain(&grid, sigma).expect("chain");
+        let mut rng = StdRng::seed_from_u64(1);
+        let trajectory = chain
+            .sample_trajectory(priste_geo::CellId(0), 12, &mut rng)
+            .expect("sampling");
+        group.bench_with_input(
+            BenchmarkId::new("algorithm2_run_sigma", sigma),
+            &sigma,
+            |b, _| {
+                b.iter(|| {
+                    let source = PlmSource::new(grid.clone(), 1.0).expect("plm");
+                    let mut rng = StdRng::seed_from_u64(2);
+                    run_one(
+                        &events,
+                        &chain,
+                        &grid,
+                        &PristeConfig::with_epsilon(0.5),
+                        source,
+                        &trajectory,
+                        &mut rng,
+                    )
+                    .expect("run")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig13);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion bench for Fig. 14: the quantification runtime comparison —
+//! Algorithm 4's exponential enumeration vs the linear two-possible-world
+//! method, on identical PATTERN joints.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use priste_event::{Pattern, StEvent};
+use priste_geo::{CellId, GridMap, Region};
+use priste_linalg::Vector;
+use priste_lppm::{Lppm, PlanarLaplace};
+use priste_markov::{gaussian_kernel_chain, Homogeneous};
+use priste_quantify::{naive, TheoremBuilder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup(
+    length: usize,
+    width: usize,
+) -> (StEvent, Pattern, Homogeneous, Vec<Vector>, Vector) {
+    let grid = GridMap::new(15, 15, 1.0).expect("grid");
+    let m = grid.num_cells();
+    let chain = gaussian_kernel_chain(&grid, 1.0).expect("chain");
+    let plm = PlanarLaplace::new(grid, 1.0).expect("plm");
+    let region = Region::from_one_based_range(m, 1, width).expect("range");
+    let pattern = Pattern::new(vec![region; length], 2).expect("pattern");
+    let event: StEvent = pattern.clone().into();
+    let mut rng = StdRng::seed_from_u64(0);
+    let obs = chain
+        .sample_trajectory(CellId(0), event.end(), &mut rng)
+        .expect("sampling");
+    let cols: Vec<Vector> = obs.iter().map(|&o| plm.emission_column(o)).collect();
+    let pi = Vector::uniform(m);
+    (event, pattern, Homogeneous::new(chain), cols, pi)
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_runtime_scaling");
+    group.sample_size(10);
+
+    // Event-length axis at width 4 (baseline cost = 4^length).
+    for length in [5usize, 7, 9] {
+        let (event, pattern, provider, cols, pi) = setup(length, 4);
+        group.bench_with_input(
+            BenchmarkId::new("priste_two_world", length),
+            &length,
+            |b, _| {
+                b.iter(|| {
+                    let mut builder =
+                        TheoremBuilder::new(&event, &provider).expect("builder");
+                    let mut last = 0.0;
+                    for col in &cols {
+                        let inputs = builder.candidate(col).expect("candidate");
+                        last = pi.dot(&inputs.b).expect("dot");
+                        builder.commit(col.clone()).expect("commit");
+                    }
+                    last
+                })
+            },
+        );
+        let window = &cols[pattern.start() - 1..];
+        group.bench_with_input(
+            BenchmarkId::new("baseline_algorithm4", length),
+            &length,
+            |b, _| {
+                b.iter(|| {
+                    naive::pattern_joint_algorithm4(
+                        &pattern,
+                        &provider,
+                        &pi,
+                        window,
+                        u128::MAX,
+                    )
+                    .expect("enumeration")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig14);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench for the Fig. 7 core: one Algorithm 2 run (PRESENCE
+//! event, budget-halving calibration) at smoke scale, per ε.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use priste_bench::{experiments, Scale};
+use priste_core::runner::run_one;
+use priste_core::{PlmSource, PristeConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_fig7(c: &mut Criterion) {
+    let scale = Scale::smoke();
+    let (grid, chain) = experiments::synthetic_world(&scale, 1.0);
+    let events = vec![experiments::presence_event(&scale, 4, 8)];
+    let mut rng = StdRng::seed_from_u64(1);
+    let trajectory = chain
+        .sample_trajectory(priste_geo::CellId(0), scale.horizon, &mut rng)
+        .expect("sampling");
+
+    let mut group = c.benchmark_group("fig7_presence_budgets");
+    group.sample_size(10);
+    for eps in [0.1, 1.0] {
+        group.bench_with_input(BenchmarkId::new("algorithm2_run", eps), &eps, |b, &eps| {
+            b.iter(|| {
+                let source = PlmSource::new(grid.clone(), 0.2).expect("plm");
+                let mut rng = StdRng::seed_from_u64(2);
+                run_one(
+                    &events,
+                    &chain,
+                    &grid,
+                    &PristeConfig::with_epsilon(eps),
+                    source,
+                    &trajectory,
+                    &mut rng,
+                )
+                .expect("run")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench for Table III's knob: the Theorem IV.1 check cost at
+//! different work budgets (the deterministic analogue of the CPLEX
+//! threshold), on real inputs harvested from a framework run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use priste_bench::{experiments, Scale};
+use priste_lppm::{Lppm, PlanarLaplace};
+use priste_markov::Homogeneous;
+use priste_qp::{SolverConfig, TheoremChecker};
+use priste_quantify::{TheoremBuilder, TheoremInputs};
+
+/// Harvests Theorem inputs from a realistic release prefix.
+fn harvest_inputs() -> Vec<TheoremInputs> {
+    let scale = Scale::smoke();
+    let (grid, chain) = experiments::synthetic_world(&scale, 1.0);
+    let events = [experiments::presence_event(&scale, 4, 8)];
+    let plm = PlanarLaplace::new(grid, 0.2).expect("plm");
+    let provider = Homogeneous::new(chain);
+    let mut builder = TheoremBuilder::new(&events[0], provider).expect("builder");
+    let mut out = Vec::new();
+    for t in 0..10 {
+        let col = plm.emission_column(priste_geo::CellId(t % plm.num_cells()));
+        out.push(builder.candidate(&col).expect("candidate"));
+        builder.commit(col).expect("commit");
+    }
+    out
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let inputs = harvest_inputs();
+    let mut group = c.benchmark_group("table3_conservative_release");
+    group.sample_size(20);
+    for budget in [50u64, 500, 5_000, u64::MAX / 2] {
+        let checker = TheoremChecker::new(0.5, SolverConfig::with_budget(budget));
+        group.bench_with_input(
+            BenchmarkId::new("theorem_check_budget", budget),
+            &budget,
+            |b, _| {
+                b.iter(|| {
+                    let mut satisfied = 0usize;
+                    for i in &inputs {
+                        if checker.check(&i.a, &i.b, &i.c).satisfied() {
+                            satisfied += 1;
+                        }
+                    }
+                    satisfied
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Regenerates the paper's fig10 series. See DESIGN.md for the experiment
+//! index; run with `--paper` for full §V.A scale.
+
+use priste_bench::{experiments, output, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let dir = output::default_output_dir();
+    for exp in experiments::fig10(&scale) {
+        output::print_experiment(&exp);
+        match output::write_csv(&exp, &dir) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("csv write failed: {e}"),
+        }
+    }
+}

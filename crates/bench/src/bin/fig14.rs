@@ -1,0 +1,20 @@
+//! Regenerates Fig. 14: quantification runtime, exponential baseline
+//! (Algorithm 4) vs the linear two-possible-world method.
+
+use priste_bench::{experiments, output, Scale};
+
+/// Baseline points above this trajectory count are skipped (NaN) — the
+/// paper's log-axis extends to ~10^4 s; this cap keeps the binary minutes.
+const BASELINE_CAP: u128 = 200_000_000;
+
+fn main() {
+    let scale = Scale::from_args();
+    let dir = output::default_output_dir();
+    for exp in experiments::fig14(&scale, BASELINE_CAP) {
+        output::print_experiment(&exp);
+        match output::write_csv(&exp, &dir) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("csv write failed: {e}"),
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Regenerates Table III: runtime vs the QP threshold (conservative
+//! release trade-off).
+
+use priste_bench::{experiments, output, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let dir = output::default_output_dir();
+    let exp = experiments::table3(&scale);
+    output::print_experiment(&exp);
+    match output::write_csv(&exp, &dir) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

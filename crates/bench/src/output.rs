@@ -1,0 +1,123 @@
+//! Experiment output: aligned console tables and CSV files.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// One plotted line (or table column family).
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label, e.g. `"ε=0.5"` or `"baseline (Pattern)"`.
+    pub label: String,
+    /// Y values, aligned with the experiment's shared x axis.
+    pub y: Vec<f64>,
+}
+
+/// One regenerated figure panel or table.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Stable identifier, e.g. `"fig7a"`; used as the CSV file name.
+    pub id: String,
+    /// Human description, e.g. the paper caption.
+    pub description: String,
+    /// X-axis name (e.g. `"time"`, `"epsilon"`, `"event length"`).
+    pub x_name: String,
+    /// Shared x values.
+    pub x: Vec<f64>,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+impl Experiment {
+    /// Creates an empty experiment shell.
+    pub fn new(id: &str, description: &str, x_name: &str, x: Vec<f64>) -> Self {
+        Experiment {
+            id: id.to_string(),
+            description: description.to_string(),
+            x_name: x_name.to_string(),
+            x,
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series, validating alignment with the x axis.
+    ///
+    /// # Panics
+    /// Panics if `y.len() != x.len()` (experiment construction bug).
+    pub fn push_series(&mut self, label: impl Into<String>, y: Vec<f64>) {
+        assert_eq!(y.len(), self.x.len(), "series misaligned with x axis");
+        self.series.push(Series { label: label.into(), y });
+    }
+}
+
+/// Prints an aligned table of the experiment to stdout.
+pub fn print_experiment(exp: &Experiment) {
+    println!("\n== {} — {}", exp.id, exp.description);
+    print!("{:>14}", exp.x_name);
+    for s in &exp.series {
+        print!(" | {:>16}", s.label);
+    }
+    println!();
+    for (i, x) in exp.x.iter().enumerate() {
+        print!("{x:>14.4}");
+        for s in &exp.series {
+            print!(" | {:>16.6}", s.y[i]);
+        }
+        println!();
+    }
+}
+
+/// Writes the experiment as `<dir>/<id>.csv` and returns the path.
+///
+/// # Errors
+/// I/O failures creating the directory or writing the file.
+pub fn write_csv(exp: &Experiment, dir: &Path) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.csv", exp.id));
+    let mut out = std::io::BufWriter::new(std::fs::File::create(&path)?);
+    write!(out, "{}", exp.x_name)?;
+    for s in &exp.series {
+        write!(out, ",{}", s.label.replace(',', ";"))?;
+    }
+    writeln!(out)?;
+    for (i, x) in exp.x.iter().enumerate() {
+        write!(out, "{x}")?;
+        for s in &exp.series {
+            write!(out, ",{}", s.y[i])?;
+        }
+        writeln!(out)?;
+    }
+    out.flush()?;
+    Ok(path)
+}
+
+/// Default output directory (`target/experiments`).
+pub fn default_output_dir() -> PathBuf {
+    PathBuf::from("target").join("experiments")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_trip_structure() {
+        let mut exp = Experiment::new("test_fig", "unit test", "time", vec![1.0, 2.0]);
+        exp.push_series("a", vec![0.1, 0.2]);
+        exp.push_series("b,with,commas", vec![0.3, 0.4]);
+        let dir = std::env::temp_dir().join("priste_bench_test");
+        let path = write_csv(&exp, &dir).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        let mut lines = content.lines();
+        assert_eq!(lines.next().unwrap(), "time,a,b;with;commas");
+        assert_eq!(lines.next().unwrap(), "1,0.1,0.3");
+        assert_eq!(lines.next().unwrap(), "2,0.2,0.4");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn misaligned_series_panics() {
+        let mut exp = Experiment::new("x", "d", "t", vec![1.0]);
+        exp.push_series("bad", vec![0.1, 0.2]);
+    }
+}

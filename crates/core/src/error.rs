@@ -1,0 +1,104 @@
+use std::fmt;
+
+/// Errors surfaced by the PriSTE framework.
+#[derive(Debug)]
+pub enum CoreError {
+    /// A mechanism-layer failure.
+    Lppm(priste_lppm::LppmError),
+    /// A quantification-layer failure.
+    Quantify(priste_quantify::QuantifyError),
+    /// An event-layer failure.
+    Event(priste_event::EventError),
+    /// A Markov-layer failure.
+    Markov(priste_markov::MarkovError),
+    /// A geometry failure (distances, cells).
+    Geo(priste_geo::GeoError),
+    /// The configured event set was empty.
+    NoEvents,
+    /// The true location fed to a release was out of the state domain.
+    LocationOutOfRange {
+        /// Offending 0-based cell index.
+        cell: usize,
+        /// Domain size.
+        num_cells: usize,
+    },
+    /// Budget decay hit the configured floor and the uniform fallback was
+    /// disabled.
+    BudgetExhausted {
+        /// Timestamp at which calibration failed.
+        t: usize,
+        /// The floor that was reached.
+        floor: f64,
+    },
+    /// Configuration validation failure.
+    InvalidConfig {
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Lppm(e) => write!(f, "mechanism error: {e}"),
+            CoreError::Quantify(e) => write!(f, "quantification error: {e}"),
+            CoreError::Event(e) => write!(f, "event error: {e}"),
+            CoreError::Markov(e) => write!(f, "markov error: {e}"),
+            CoreError::Geo(e) => write!(f, "geometry error: {e}"),
+            CoreError::NoEvents => write!(f, "at least one spatiotemporal event is required"),
+            CoreError::LocationOutOfRange { cell, num_cells } => {
+                write!(f, "true location {cell} out of range for {num_cells} cells")
+            }
+            CoreError::BudgetExhausted { t, floor } => {
+                write!(f, "budget decayed to the floor {floor} at t={t} without certifying")
+            }
+            CoreError::InvalidConfig { message } => write!(f, "invalid configuration: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<priste_lppm::LppmError> for CoreError {
+    fn from(e: priste_lppm::LppmError) -> Self {
+        CoreError::Lppm(e)
+    }
+}
+
+impl From<priste_quantify::QuantifyError> for CoreError {
+    fn from(e: priste_quantify::QuantifyError) -> Self {
+        CoreError::Quantify(e)
+    }
+}
+
+impl From<priste_event::EventError> for CoreError {
+    fn from(e: priste_event::EventError) -> Self {
+        CoreError::Event(e)
+    }
+}
+
+impl From<priste_markov::MarkovError> for CoreError {
+    fn from(e: priste_markov::MarkovError) -> Self {
+        CoreError::Markov(e)
+    }
+}
+
+impl From<priste_geo::GeoError> for CoreError {
+    fn from(e: priste_geo::GeoError) -> Self {
+        CoreError::Geo(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = priste_lppm::LppmError::InvalidBudget { value: -1.0 }.into();
+        assert!(e.to_string().contains("mechanism"));
+        let e: CoreError = priste_event::EventError::EmptyRegion.into();
+        assert!(e.to_string().contains("event"));
+        assert!(CoreError::NoEvents.to_string().contains("event"));
+    }
+}

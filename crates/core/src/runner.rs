@@ -1,0 +1,325 @@
+//! Multi-run experiment driver and utility aggregation.
+//!
+//! The paper's utility plots aggregate 100 runs of Algorithm 2/3 over noisy
+//! trajectories (§V.A: "We run our algorithm 100 times and aggregate the
+//! results to calculate average privacy budget and Euclidean distance").
+//! This module owns that loop: trajectory sampling, per-run release
+//! sequences, and the two aggregate views the figures use — per-timestamp
+//! means (Figs. 7–10) and whole-horizon means (Figs. 11–13).
+
+use crate::source::MechanismSource;
+use crate::{Priste, PristeConfig, ReleaseRecord, Result};
+use priste_event::StEvent;
+use priste_geo::{CellId, GridMap};
+use priste_markov::{Homogeneous, MarkovModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One run's release sequence.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The true trajectory driving the run.
+    pub trajectory: Vec<CellId>,
+    /// Per-timestamp release records.
+    pub records: Vec<ReleaseRecord>,
+}
+
+impl RunResult {
+    /// Mean released budget over the horizon.
+    pub fn mean_budget(&self) -> f64 {
+        mean(self.records.iter().map(|r| r.final_budget))
+    }
+
+    /// Mean Euclidean distance (km) over the horizon.
+    pub fn mean_euclid_km(&self) -> f64 {
+        mean(self.records.iter().map(|r| r.euclid_km))
+    }
+
+    /// Total conservative-release hits over the horizon (Table III).
+    pub fn conservative_hits(&self) -> u32 {
+        self.records.iter().map(|r| r.conservative_hits).sum()
+    }
+}
+
+/// Aggregate over many runs.
+#[derive(Debug, Clone)]
+pub struct Aggregate {
+    /// Number of runs aggregated.
+    pub runs: usize,
+    /// Per-timestamp mean released budget (the y-axis of Figs. 7–10).
+    pub budget_by_t: Vec<f64>,
+    /// Per-timestamp standard deviation of the released budget.
+    pub budget_std_by_t: Vec<f64>,
+    /// Per-timestamp mean Euclidean distance (km).
+    pub euclid_by_t: Vec<f64>,
+    /// Mean over runs of the per-run mean budget (Figs. 11–13 left panels).
+    pub mean_budget: f64,
+    /// Mean over runs of the per-run mean distance (right panels).
+    pub mean_euclid_km: f64,
+    /// Mean conservative hits per run (Table III).
+    pub mean_conservative_hits: f64,
+}
+
+/// Factory invoked once per run to build a fresh mechanism source (sources
+/// are stateful — Algorithm 3's posterior must restart per run).
+pub type SourceFactory<S> = dyn Fn() -> Result<S>;
+
+/// Runs the framework over `runs` sampled trajectories of length `horizon`
+/// and aggregates utility. Run `k` is seeded with `base_seed + k`, so whole
+/// experiments are reproducible.
+///
+/// # Errors
+/// Propagates construction and release errors from any run.
+#[allow(clippy::too_many_arguments)]
+pub fn run_many<S: MechanismSource>(
+    events: &[StEvent],
+    chain: &MarkovModel,
+    grid: &GridMap,
+    config: &PristeConfig,
+    source_factory: &SourceFactory<S>,
+    horizon: usize,
+    runs: usize,
+    base_seed: u64,
+) -> Result<Aggregate> {
+    let mut all: Vec<RunResult> = Vec::with_capacity(runs);
+    for k in 0..runs {
+        let mut rng = StdRng::seed_from_u64(base_seed.wrapping_add(k as u64));
+        let start = sample_start(chain, &mut rng)?;
+        let trajectory = chain.sample_trajectory(start, horizon, &mut rng)?;
+        let result = run_one(events, chain, grid, config, source_factory()?, &trajectory, &mut rng)?;
+        all.push(result);
+    }
+    Ok(aggregate(&all, horizon))
+}
+
+/// Parallel variant of [`run_many`]: distributes runs over `threads` OS
+/// threads (run `k` keeps seed `base_seed + k`, so results are identical to
+/// the sequential version for any thread count — aggregation is
+/// order-insensitive).
+///
+/// # Errors
+/// Propagates the first failing run's error.
+///
+/// # Panics
+/// Panics if a worker thread panics (programming error in a lower layer).
+#[allow(clippy::too_many_arguments)]
+pub fn run_many_parallel<S: MechanismSource>(
+    events: &[StEvent],
+    chain: &MarkovModel,
+    grid: &GridMap,
+    config: &PristeConfig,
+    source_factory: &(dyn Fn() -> Result<S> + Sync),
+    horizon: usize,
+    runs: usize,
+    base_seed: u64,
+    threads: usize,
+) -> Result<Aggregate> {
+    let threads = threads.max(1).min(runs.max(1));
+    let worker_results: Vec<Result<Vec<RunResult>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                scope.spawn(move || -> Result<Vec<RunResult>> {
+                    let mut out = Vec::new();
+                    let mut k = w;
+                    while k < runs {
+                        let mut rng = StdRng::seed_from_u64(base_seed.wrapping_add(k as u64));
+                        let start = sample_start(chain, &mut rng)?;
+                        let trajectory = chain.sample_trajectory(start, horizon, &mut rng)?;
+                        out.push(run_one(
+                            events,
+                            chain,
+                            grid,
+                            config,
+                            source_factory()?,
+                            &trajectory,
+                            &mut rng,
+                        )?);
+                        k += threads;
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("runner worker panicked"))
+            .collect()
+    });
+    let mut all = Vec::with_capacity(runs);
+    for r in worker_results {
+        all.extend(r?);
+    }
+    Ok(aggregate(&all, horizon))
+}
+
+/// Runs one trajectory through the framework.
+///
+/// # Errors
+/// Propagates construction and release errors.
+pub fn run_one<S: MechanismSource>(
+    events: &[StEvent],
+    chain: &MarkovModel,
+    grid: &GridMap,
+    config: &PristeConfig,
+    source: S,
+    trajectory: &[CellId],
+    rng: &mut StdRng,
+) -> Result<RunResult> {
+    let provider = Homogeneous::new(chain.clone());
+    let mut priste = Priste::new(events, provider, source, grid.clone(), config.clone())?;
+    let mut records = Vec::with_capacity(trajectory.len());
+    for &loc in trajectory {
+        records.push(priste.release(loc, rng)?);
+    }
+    Ok(RunResult { trajectory: trajectory.to_vec(), records })
+}
+
+/// Aggregates run results into the figure-ready series.
+pub fn aggregate(results: &[RunResult], horizon: usize) -> Aggregate {
+    let runs = results.len();
+    let mut budget_by_t = vec![0.0; horizon];
+    let mut budget_sq_by_t = vec![0.0; horizon];
+    let mut euclid_by_t = vec![0.0; horizon];
+    for r in results {
+        for rec in &r.records {
+            let i = rec.t - 1;
+            budget_by_t[i] += rec.final_budget;
+            budget_sq_by_t[i] += rec.final_budget * rec.final_budget;
+            euclid_by_t[i] += rec.euclid_km;
+        }
+    }
+    let n = runs.max(1) as f64;
+    for i in 0..horizon {
+        budget_by_t[i] /= n;
+        euclid_by_t[i] /= n;
+        budget_sq_by_t[i] = (budget_sq_by_t[i] / n - budget_by_t[i] * budget_by_t[i]).max(0.0).sqrt();
+    }
+    Aggregate {
+        runs,
+        mean_budget: mean(results.iter().map(RunResult::mean_budget)),
+        mean_euclid_km: mean(results.iter().map(RunResult::mean_euclid_km)),
+        mean_conservative_hits: mean(results.iter().map(|r| r.conservative_hits() as f64)),
+        budget_by_t,
+        budget_std_by_t: budget_sq_by_t,
+        euclid_by_t,
+    }
+}
+
+/// Samples a starting state from the chain's uniform initial distribution
+/// (the experiments' `π`, §IV.D).
+fn sample_start(chain: &MarkovModel, rng: &mut StdRng) -> Result<CellId> {
+    let pi = priste_linalg::Vector::uniform(chain.num_states());
+    let traj = chain.sample_trajectory_from(&pi, 1, rng)?;
+    Ok(traj[0])
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for v in values {
+        sum += v;
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::PlmSource;
+    use priste_event::Presence;
+    use priste_geo::Region;
+    use priste_markov::gaussian_kernel_chain;
+
+    fn world() -> (GridMap, MarkovModel, Vec<StEvent>) {
+        let grid = GridMap::new(3, 3, 1.0).unwrap();
+        let chain = gaussian_kernel_chain(&grid, 1.0).unwrap();
+        let ev: StEvent = Presence::new(
+            Region::from_one_based_range(9, 1, 3).unwrap(),
+            2,
+            3,
+        )
+        .unwrap()
+        .into();
+        (grid, chain, vec![ev])
+    }
+
+    #[test]
+    fn run_many_aggregates_reproducibly() {
+        let (grid, chain, events) = world();
+        let config = PristeConfig::with_epsilon(1.0);
+        let factory = {
+            let grid = grid.clone();
+            move || PlmSource::new(grid.clone(), 0.5)
+        };
+        let a1 = run_many(&events, &chain, &grid, &config, &factory, 4, 3, 42).unwrap();
+        let a2 = run_many(&events, &chain, &grid, &config, &factory, 4, 3, 42).unwrap();
+        assert_eq!(a1.budget_by_t, a2.budget_by_t, "same seed must reproduce");
+        assert_eq!(a1.runs, 3);
+        assert_eq!(a1.budget_by_t.len(), 4);
+        assert!(a1.mean_budget > 0.0);
+        assert!(a1.mean_euclid_km >= 0.0);
+    }
+
+    #[test]
+    fn different_seeds_vary() {
+        let (grid, chain, events) = world();
+        let config = PristeConfig::with_epsilon(1.0);
+        let factory = {
+            let grid = grid.clone();
+            move || PlmSource::new(grid.clone(), 0.5)
+        };
+        let a1 = run_many(&events, &chain, &grid, &config, &factory, 4, 2, 1).unwrap();
+        let a2 = run_many(&events, &chain, &grid, &config, &factory, 4, 2, 2).unwrap();
+        assert_ne!(a1.euclid_by_t, a2.euclid_by_t);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bit_for_bit() {
+        let (grid, chain, events) = world();
+        let config = PristeConfig::with_epsilon(1.0);
+        let factory = {
+            let grid = grid.clone();
+            move || PlmSource::new(grid.clone(), 0.5)
+        };
+        let seq = run_many(&events, &chain, &grid, &config, &factory, 4, 6, 11).unwrap();
+        for threads in [1, 2, 4, 8] {
+            let par = run_many_parallel(
+                &events, &chain, &grid, &config, &factory, 4, 6, 11, threads,
+            )
+            .unwrap();
+            assert_eq!(seq.budget_by_t, par.budget_by_t, "threads={threads}");
+            assert_eq!(seq.euclid_by_t, par.euclid_by_t, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn aggregate_of_empty_is_zeroed() {
+        let a = aggregate(&[], 3);
+        assert_eq!(a.runs, 0);
+        assert_eq!(a.budget_by_t, vec![0.0; 3]);
+        assert_eq!(a.mean_budget, 0.0);
+    }
+
+    #[test]
+    fn budget_std_is_zero_when_budgets_identical() {
+        let (grid, chain, events) = world();
+        // Huge ε: the base budget always certifies, so std per t is 0.
+        let config = PristeConfig::with_epsilon(50.0);
+        let factory = {
+            let grid = grid.clone();
+            move || PlmSource::new(grid.clone(), 0.2)
+        };
+        let a = run_many(&events, &chain, &grid, &config, &factory, 3, 3, 7).unwrap();
+        for (t, std) in a.budget_std_by_t.iter().enumerate() {
+            assert!(std.abs() < 1e-9, "t={t}: std {std}");
+        }
+        for b in &a.budget_by_t {
+            assert!((b - 0.2).abs() < 1e-12);
+        }
+    }
+}

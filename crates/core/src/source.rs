@@ -1,0 +1,202 @@
+//! Mechanism sources: how the framework obtains the LPPM in force at each
+//! timestamp.
+//!
+//! Algorithm 2's mechanism (α-PLM) is time-invariant; Algorithm 3's is
+//! rebuilt every step from the adversary's posterior (δ-location set). The
+//! [`MechanismSource`] trait captures exactly that difference so one
+//! framework loop serves both case studies.
+
+use crate::Result;
+use priste_geo::{CellId, GridMap};
+use priste_linalg::Vector;
+use priste_lppm::{DeltaLocationSet, Lppm, PlanarLaplace, PosteriorTracker};
+use priste_markov::MarkovModel;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Supplier of the base mechanism at each timestamp, with a hook for
+/// observing what was actually released (Algorithm 3's posterior update).
+pub trait MechanismSource {
+    /// The base (full-budget) mechanism for timestamp `t`. Budget decay is
+    /// applied by the framework through [`Lppm::with_budget`].
+    ///
+    /// # Errors
+    /// Mechanism construction failures.
+    fn base_mechanism(&mut self, t: usize) -> Result<Rc<Box<dyn Lppm>>>;
+
+    /// Notification of the released observation and the emission column it
+    /// was released under.
+    ///
+    /// # Errors
+    /// Posterior-update failures (impossible observations).
+    fn on_release(&mut self, t: usize, observed: CellId, emission_column: &Vector) -> Result<()>;
+
+    /// The base privacy budget (for reporting).
+    fn base_budget(&self) -> f64;
+}
+
+/// Algorithm 2's source: a fixed α-Planar-Laplace mechanism with a cache of
+/// decayed variants (the α, α/2, α/4, … ladder repeats across timestamps
+/// and runs, and each rebuild costs an `O(m²)` discretization).
+pub struct PlmSource {
+    base: Rc<Box<dyn Lppm>>,
+    alpha: f64,
+    cache: HashMap<u64, Rc<Box<dyn Lppm>>>,
+}
+
+impl PlmSource {
+    /// Builds the α-PLM source over a grid.
+    ///
+    /// # Errors
+    /// PLM construction failures (bad α).
+    pub fn new(grid: GridMap, alpha: f64) -> Result<Self> {
+        let plm = PlanarLaplace::new(grid, alpha)?;
+        Ok(PlmSource {
+            base: Rc::new(Box::new(plm) as Box<dyn Lppm>),
+            alpha,
+            cache: HashMap::new(),
+        })
+    }
+
+    /// Returns the (cached) variant of the base mechanism at `budget`.
+    ///
+    /// # Errors
+    /// Mechanism rebuild failures.
+    pub fn at_budget(&mut self, budget: f64) -> Result<Rc<Box<dyn Lppm>>> {
+        if budget == self.alpha {
+            return Ok(Rc::clone(&self.base));
+        }
+        if let Some(hit) = self.cache.get(&budget.to_bits()) {
+            return Ok(Rc::clone(hit));
+        }
+        let built = Rc::new(self.base.with_budget(budget)?);
+        self.cache.insert(budget.to_bits(), Rc::clone(&built));
+        Ok(built)
+    }
+}
+
+impl MechanismSource for PlmSource {
+    fn base_mechanism(&mut self, _t: usize) -> Result<Rc<Box<dyn Lppm>>> {
+        Ok(Rc::clone(&self.base))
+    }
+
+    fn on_release(&mut self, _t: usize, _observed: CellId, _emission_column: &Vector) -> Result<()> {
+        Ok(())
+    }
+
+    fn base_budget(&self) -> f64 {
+        self.alpha
+    }
+}
+
+/// Algorithm 3's source: δ-location-set mechanisms rebuilt per step from
+/// the adversarial posterior (`p_t⁻ = p_{t−1}⁺·M`, Eq. (21) update after
+/// release).
+pub struct DeltaLocSource {
+    dls: DeltaLocationSet,
+    chain: MarkovModel,
+    tracker: PosteriorTracker,
+    alpha: f64,
+    /// The prior `p_t⁻` used to build the step's mechanism, retained for the
+    /// posterior update after the release.
+    pending_prior: Option<Vector>,
+}
+
+impl DeltaLocSource {
+    /// Builds the δ-location-set source. `initial` is the adversary's `π`
+    /// (the paper's experiments use the uniform distribution, §IV.D).
+    ///
+    /// # Errors
+    /// δ validation and posterior-tracker construction failures.
+    pub fn new(
+        grid: GridMap,
+        delta: f64,
+        alpha: f64,
+        chain: MarkovModel,
+        initial: Vector,
+    ) -> Result<Self> {
+        let dls = DeltaLocationSet::new(grid, delta)?;
+        let tracker = PosteriorTracker::new(initial)?;
+        Ok(DeltaLocSource { dls, chain, tracker, alpha, pending_prior: None })
+    }
+
+    /// Current adversarial posterior `p_t⁺`.
+    pub fn posterior(&self) -> &Vector {
+        self.tracker.posterior()
+    }
+}
+
+impl MechanismSource for DeltaLocSource {
+    fn base_mechanism(&mut self, _t: usize) -> Result<Rc<Box<dyn Lppm>>> {
+        // Line 2 of Algorithm 3: Markov construction step.
+        let prior = self.tracker.advance(self.chain.transition())?;
+        let mech = self.dls.mechanism_for(&prior, self.alpha)?;
+        self.pending_prior = Some(prior);
+        Ok(Rc::new(Box::new(mech) as Box<dyn Lppm>))
+    }
+
+    fn on_release(&mut self, _t: usize, _observed: CellId, emission_column: &Vector) -> Result<()> {
+        let prior = self
+            .pending_prior
+            .take()
+            .expect("on_release follows base_mechanism within one timestep");
+        self.tracker.update(&prior, emission_column)?;
+        Ok(())
+    }
+
+    fn base_budget(&self) -> f64 {
+        self.alpha
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> GridMap {
+        GridMap::new(2, 2, 1.0).unwrap()
+    }
+
+    #[test]
+    fn plm_source_caches_decayed_budgets() {
+        let mut src = PlmSource::new(grid(), 0.8).unwrap();
+        assert_eq!(src.base_budget(), 0.8);
+        let a = src.at_budget(0.4).unwrap();
+        let b = src.at_budget(0.4).unwrap();
+        assert!(Rc::ptr_eq(&a, &b), "cache must return the same mechanism");
+        assert_eq!(a.budget(), 0.4);
+        // The base budget bypasses the cache.
+        let base = src.at_budget(0.8).unwrap();
+        assert_eq!(base.budget(), 0.8);
+    }
+
+    #[test]
+    fn delta_source_shrinks_domain_and_updates_posterior() {
+        let chain = MarkovModel::new(
+            priste_linalg::Matrix::from_rows(&[
+                vec![0.7, 0.1, 0.1, 0.1],
+                vec![0.1, 0.7, 0.1, 0.1],
+                vec![0.1, 0.1, 0.7, 0.1],
+                vec![0.1, 0.1, 0.1, 0.7],
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        let mut src =
+            DeltaLocSource::new(grid(), 0.3, 1.0, chain, Vector::from(vec![0.85, 0.05, 0.05, 0.05]))
+                .unwrap();
+        let mech = src.base_mechanism(1).unwrap();
+        // The concentrated posterior should restrict the output domain.
+        let e = mech.emission_matrix();
+        let nonzero_cols: usize = (0..4)
+            .filter(|&c| (0..4).any(|r| e.get(r, c) > 0.0))
+            .count();
+        assert!(nonzero_cols < 4, "domain was not restricted");
+        // Posterior update flows through on_release.
+        let col = mech.emission_column(CellId(0));
+        let before = src.posterior().clone();
+        src.on_release(1, CellId(0), &col).unwrap();
+        assert_ne!(before.as_slice(), src.posterior().as_slice());
+        src.posterior().validate_distribution().unwrap();
+    }
+}

@@ -1,0 +1,72 @@
+use std::fmt;
+
+/// Errors produced by dataset construction and parsing.
+#[derive(Debug)]
+pub enum DataError {
+    /// Geometry-layer failure.
+    Geo(priste_geo::GeoError),
+    /// Markov-layer failure (training/sampling).
+    Markov(priste_markov::MarkovError),
+    /// A `.plt` record failed to parse.
+    PltParse {
+        /// 1-based line number within the file.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// An I/O failure while reading dataset files.
+    Io(std::io::Error),
+    /// Not enough usable data to build a world (e.g. all GPS fixes were
+    /// outside the bounding box).
+    InsufficientData {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Geo(e) => write!(f, "geometry error: {e}"),
+            DataError::Markov(e) => write!(f, "markov error: {e}"),
+            DataError::PltParse { line, message } => {
+                write!(f, "plt parse error at line {line}: {message}")
+            }
+            DataError::Io(e) => write!(f, "i/o error: {e}"),
+            DataError::InsufficientData { message } => write!(f, "insufficient data: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+impl From<priste_geo::GeoError> for DataError {
+    fn from(e: priste_geo::GeoError) -> Self {
+        DataError::Geo(e)
+    }
+}
+
+impl From<priste_markov::MarkovError> for DataError {
+    fn from(e: priste_markov::MarkovError) -> Self {
+        DataError::Markov(e)
+    }
+}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let e = DataError::PltParse { line: 7, message: "bad latitude".into() };
+        assert!(e.to_string().contains("line 7"));
+        let e = DataError::InsufficientData { message: "empty".into() };
+        assert!(e.to_string().contains("empty"));
+    }
+}

@@ -1,0 +1,178 @@
+//! Trajectory statistics — the descriptive measures mobility papers use to
+//! characterize datasets (and that this repository uses to show the
+//! simulator substitute behaves like commuter GPS data).
+
+use priste_geo::{CellId, GridMap, Region};
+use std::collections::HashMap;
+
+/// Summary statistics of one cell trajectory on a grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryStats {
+    /// Number of timestamps.
+    pub len: usize,
+    /// Number of distinct cells visited.
+    pub distinct_cells: usize,
+    /// Radius of gyration in km: RMS distance of visited points from the
+    /// trajectory's center of mass (the standard mobility-range measure).
+    pub radius_of_gyration_km: f64,
+    /// Shannon entropy (nats) of the visit distribution — low for
+    /// anchor-dominated movement, `ln(m)` for uniform wandering.
+    pub visit_entropy_nats: f64,
+    /// Mean consecutive-step jump length in km.
+    pub mean_jump_km: f64,
+    /// Fraction of steps that stay in the same cell.
+    pub dwell_fraction: f64,
+}
+
+/// Computes [`TrajectoryStats`].
+///
+/// # Panics
+/// Panics if the trajectory is empty or references cells outside the grid
+/// (analysis helpers assume validated inputs).
+pub fn trajectory_stats(grid: &GridMap, trajectory: &[CellId]) -> TrajectoryStats {
+    assert!(!trajectory.is_empty(), "empty trajectory");
+    let centers: Vec<(f64, f64)> = trajectory
+        .iter()
+        .map(|&c| grid.cell_center_km(c).expect("cell in grid"))
+        .collect();
+
+    let n = centers.len() as f64;
+    let (mx, my) = centers
+        .iter()
+        .fold((0.0, 0.0), |(ax, ay), &(x, y)| (ax + x / n, ay + y / n));
+    let rog = (centers
+        .iter()
+        .map(|&(x, y)| (x - mx).powi(2) + (y - my).powi(2))
+        .sum::<f64>()
+        / n)
+        .sqrt();
+
+    let mut counts: HashMap<CellId, usize> = HashMap::new();
+    for &c in trajectory {
+        *counts.entry(c).or_insert(0) += 1;
+    }
+    let entropy = -counts
+        .values()
+        .map(|&k| {
+            let p = k as f64 / n;
+            p * p.ln()
+        })
+        .sum::<f64>();
+
+    let mut jumps = 0.0;
+    let mut dwells = 0usize;
+    for w in trajectory.windows(2) {
+        let d = grid.distance_km(w[0], w[1]).expect("cells in grid");
+        jumps += d;
+        if w[0] == w[1] {
+            dwells += 1;
+        }
+    }
+    let steps = (trajectory.len() - 1).max(1) as f64;
+
+    TrajectoryStats {
+        len: trajectory.len(),
+        distinct_cells: counts.len(),
+        radius_of_gyration_km: rog,
+        visit_entropy_nats: entropy,
+        mean_jump_km: jumps / steps,
+        dwell_fraction: dwells as f64 / steps,
+    }
+}
+
+/// The `k` most-visited cells in descending visit order (ties by index).
+pub fn top_cells(trajectory: &[CellId], k: usize) -> Vec<(CellId, usize)> {
+    let mut counts: HashMap<CellId, usize> = HashMap::new();
+    for &c in trajectory {
+        *counts.entry(c).or_insert(0) += 1;
+    }
+    let mut out: Vec<(CellId, usize)> = counts.into_iter().collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    out.truncate(k);
+    out
+}
+
+/// Fraction of timestamps spent inside `region`.
+///
+/// # Panics
+/// Panics on an empty trajectory.
+pub fn occupancy(trajectory: &[CellId], region: &Region) -> f64 {
+    assert!(!trajectory.is_empty(), "empty trajectory");
+    let hits = trajectory.iter().filter(|&&c| region.contains(c)).count();
+    hits as f64 / trajectory.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> GridMap {
+        GridMap::new(4, 4, 1.0).unwrap()
+    }
+
+    #[test]
+    fn stationary_trajectory_has_zero_spread() {
+        let t = vec![CellId(5); 10];
+        let s = trajectory_stats(&grid(), &t);
+        assert_eq!(s.len, 10);
+        assert_eq!(s.distinct_cells, 1);
+        assert!(s.radius_of_gyration_km < 1e-12);
+        assert_eq!(s.visit_entropy_nats, 0.0);
+        assert_eq!(s.mean_jump_km, 0.0);
+        assert_eq!(s.dwell_fraction, 1.0);
+    }
+
+    #[test]
+    fn two_point_commute_statistics() {
+        // Alternating between cells 0 and 3 of a 1×4 grid row (3 km apart).
+        let g = GridMap::new(1, 4, 1.0).unwrap();
+        let t = vec![CellId(0), CellId(3), CellId(0), CellId(3)];
+        let s = trajectory_stats(&g, &t);
+        assert_eq!(s.distinct_cells, 2);
+        assert!((s.mean_jump_km - 3.0).abs() < 1e-12);
+        assert_eq!(s.dwell_fraction, 0.0);
+        // Entropy of a fair two-point distribution is ln 2.
+        assert!((s.visit_entropy_nats - (2.0_f64).ln()).abs() < 1e-12);
+        // RoG of points ±1.5 km around the center.
+        assert!((s.radius_of_gyration_km - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_cells_orders_by_count_then_index() {
+        let t = vec![CellId(2), CellId(2), CellId(1), CellId(3), CellId(1)];
+        let top = top_cells(&t, 2);
+        assert_eq!(top, vec![(CellId(1), 2), (CellId(2), 2)]);
+    }
+
+    #[test]
+    fn occupancy_counts_region_hits() {
+        let region = Region::from_cells(16, [CellId(0), CellId(1)]).unwrap();
+        let t = vec![CellId(0), CellId(5), CellId(1), CellId(1)];
+        assert!((occupancy(&t, &region) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn commuter_world_statistics_look_like_commuting() {
+        let world = crate::geolife_sim::build(&crate::geolife_sim::CommuterConfig {
+            rows: 10,
+            cols: 10,
+            days: 5,
+            steps_per_day: 40,
+            ..Default::default()
+        })
+        .unwrap();
+        for day in &world.trajectories {
+            let s = trajectory_stats(&world.grid, day);
+            // Anchored days: plenty of dwelling, bounded entropy, real range.
+            assert!(s.dwell_fraction > 0.1, "dwell {s:?}");
+            assert!(s.radius_of_gyration_km > 1.0, "rog {s:?}");
+            assert!(s.visit_entropy_nats < (world.grid.num_cells() as f64).ln());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trajectory")]
+    fn empty_trajectory_panics() {
+        let _ = trajectory_stats(&grid(), &[]);
+    }
+}

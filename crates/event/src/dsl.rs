@@ -1,0 +1,356 @@
+//! Parser for the paper's event notation.
+//!
+//! The experiments section writes events as `PRESENCE(S={1:10}, T={4:8})`:
+//! region `S` as 1-based inclusive state ranges, window `T` as a 1-based
+//! inclusive timestamp range. This module parses exactly that notation
+//! (plus the natural PATTERN extension with one region per timestamp) so
+//! experiment configurations and CLI arguments can state events verbatim
+//! from the paper:
+//!
+//! ```
+//! use priste_event::dsl::parse_event;
+//!
+//! let ev = parse_event("PRESENCE(S={1:10}, T={4:8})", 400).unwrap();
+//! assert_eq!(ev.start(), 4);
+//! assert_eq!(ev.width(), 10);
+//!
+//! let pat = parse_event("PATTERN(S=[{1:2},{2:3}], T={2:3})", 9).unwrap();
+//! assert_eq!(pat.end(), 3);
+//! ```
+//!
+//! Grammar (whitespace insensitive between tokens):
+//!
+//! ```text
+//! event    := "PRESENCE" "(" "S" "=" region "," "T" "=" window ")"
+//!           | "PATTERN"  "(" "S" "=" "[" region { "," region } "]" "," "T" "=" window ")"
+//! region   := "{" span { "," span } "}"
+//! span     := INT [ ":" INT ]          // 1-based inclusive state ids
+//! window   := "{" INT [ ":" INT ] "}"  // 1-based inclusive timestamps
+//! ```
+
+use crate::{EventError, Pattern, Presence, Result, StEvent};
+use priste_geo::{CellId, Region};
+
+/// Parses an event in paper notation over a domain of `num_cells` states.
+///
+/// # Errors
+/// [`EventError::Parse`] with a byte position for syntax errors; the
+/// constructors' validation errors (empty region, bad window, …) for
+/// semantically degenerate events.
+pub fn parse_event(input: &str, num_cells: usize) -> Result<StEvent> {
+    let mut p = Parser { input: input.as_bytes(), pos: 0, num_cells };
+    let ev = p.event()?;
+    p.skip_ws();
+    if p.pos != p.input.len() {
+        return Err(p.err("trailing input after event"));
+    }
+    Ok(ev)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    num_cells: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> EventError {
+        EventError::Parse { position: self.pos, message: message.into() }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, token: &str) -> Result<()> {
+        self.skip_ws();
+        let bytes = token.as_bytes();
+        if self.input.len() - self.pos < bytes.len()
+            || !self.input[self.pos..self.pos + bytes.len()].eq_ignore_ascii_case(bytes)
+        {
+            return Err(self.err(format!("expected '{token}'")));
+        }
+        self.pos += bytes.len();
+        Ok(())
+    }
+
+    fn try_keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        let bytes = kw.as_bytes();
+        if self.input.len() - self.pos >= bytes.len()
+            && self.input[self.pos..self.pos + bytes.len()].eq_ignore_ascii_case(bytes)
+        {
+            self.pos += bytes.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn integer(&mut self) -> Result<usize> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected integer"));
+        }
+        std::str::from_utf8(&self.input[start..self.pos])
+            .expect("digits are valid UTF-8")
+            .parse()
+            .map_err(|_| self.err("integer out of range"))
+    }
+
+    /// `span := INT [":" INT]` — 1-based inclusive.
+    fn span(&mut self) -> Result<(usize, usize)> {
+        let lo = self.integer()?;
+        self.skip_ws();
+        if self.peek() == Some(b':') {
+            self.pos += 1;
+            let hi = self.integer()?;
+            Ok((lo, hi))
+        } else {
+            Ok((lo, lo))
+        }
+    }
+
+    /// `region := "{" span {"," span} "}"`.
+    fn region(&mut self) -> Result<Region> {
+        self.expect("{")?;
+        let mut region = Region::empty(self.num_cells);
+        loop {
+            let (lo, hi) = self.span()?;
+            if lo == 0 || lo > hi {
+                return Err(self.err(format!("invalid state span {lo}:{hi}")));
+            }
+            if hi > self.num_cells {
+                return Err(self.err(format!(
+                    "state s{hi} exceeds domain of {} cells",
+                    self.num_cells
+                )));
+            }
+            for s in lo..=hi {
+                region
+                    .insert(CellId::from_one_based(s))
+                    .expect("span bounds checked above");
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(region);
+                }
+                _ => return Err(self.err("expected ',' or '}' in region")),
+            }
+        }
+    }
+
+    /// `window := "{" INT [":" INT] "}"`.
+    fn window(&mut self) -> Result<(usize, usize)> {
+        self.expect("{")?;
+        let (start, end) = self.span()?;
+        self.expect("}")?;
+        Ok((start, end))
+    }
+
+    fn event(&mut self) -> Result<StEvent> {
+        if self.try_keyword("PRESENCE") {
+            self.expect("(")?;
+            self.expect("S")?;
+            self.expect("=")?;
+            let region = self.region()?;
+            self.expect(",")?;
+            self.expect("T")?;
+            self.expect("=")?;
+            let (start, end) = self.window()?;
+            self.expect(")")?;
+            Ok(Presence::new(region, start, end)?.into())
+        } else if self.try_keyword("PATTERN") {
+            self.expect("(")?;
+            self.expect("S")?;
+            self.expect("=")?;
+            self.expect("[")?;
+            let mut regions = vec![self.region()?];
+            loop {
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => {
+                        self.pos += 1;
+                        regions.push(self.region()?);
+                    }
+                    Some(b']') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    _ => return Err(self.err("expected ',' or ']' in region list")),
+                }
+            }
+            self.expect(",")?;
+            self.expect("T")?;
+            self.expect("=")?;
+            let (start, end) = self.window()?;
+            self.expect(")")?;
+            if end + 1 != start + regions.len() {
+                return Err(self.err(format!(
+                    "PATTERN has {} regions but window {{{start}:{end}}} spans {} timestamps",
+                    regions.len(),
+                    end.saturating_sub(start) + 1
+                )));
+            }
+            Ok(Pattern::new(regions, start)?.into())
+        } else {
+            Err(self.err("expected 'PRESENCE' or 'PATTERN'"))
+        }
+    }
+}
+
+/// Renders an event back to the notation accepted by [`parse_event`].
+///
+/// [`StEvent`]'s `Display` is human-oriented (`{s1,s2}` cell names); this
+/// function emits the machine round-trippable span form.
+pub fn format_event(event: &StEvent) -> String {
+    match event {
+        StEvent::Presence(p) => format!(
+            "PRESENCE(S={}, T={{{}:{}}})",
+            format_region(p.region()),
+            p.start(),
+            p.end()
+        ),
+        StEvent::Pattern(p) => {
+            let regions: Vec<String> = p.regions().iter().map(format_region).collect();
+            format!("PATTERN(S=[{}], T={{{}:{}}})", regions.join(","), p.start(), p.end())
+        }
+    }
+}
+
+/// Renders a region as minimal 1-based spans, e.g. `{1:3,7}`.
+fn format_region(region: &Region) -> String {
+    let cells: Vec<usize> = region.iter().map(|c| c.one_based()).collect();
+    let mut spans: Vec<(usize, usize)> = Vec::new();
+    for c in cells {
+        match spans.last_mut() {
+            Some((_, hi)) if *hi + 1 == c => *hi = c,
+            _ => spans.push((c, c)),
+        }
+    }
+    let parts: Vec<String> = spans
+        .iter()
+        .map(|&(lo, hi)| if lo == hi { format!("{lo}") } else { format!("{lo}:{hi}") })
+        .collect();
+    format!("{{{}}}", parts.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_presence() {
+        let ev = parse_event("PRESENCE(S={1:10}, T={4:8})", 400).unwrap();
+        match &ev {
+            StEvent::Presence(p) => {
+                assert_eq!(p.region().len(), 10);
+                assert!(p.region().contains(CellId(0)));
+                assert!(p.region().contains(CellId(9)));
+                assert_eq!((p.start(), p.end()), (4, 8));
+            }
+            _ => panic!("expected PRESENCE"),
+        }
+    }
+
+    #[test]
+    fn parses_pattern_with_multiple_regions() {
+        let ev = parse_event("PATTERN(S=[{1:2},{2:3}], T={2:3})", 9).unwrap();
+        match &ev {
+            StEvent::Pattern(p) => {
+                assert_eq!(p.regions().len(), 2);
+                assert!(p.regions()[0].contains(CellId(0)));
+                assert!(p.regions()[1].contains(CellId(2)));
+                assert_eq!((p.start(), p.end()), (2, 3));
+            }
+            _ => panic!("expected PATTERN"),
+        }
+    }
+
+    #[test]
+    fn region_lists_and_singletons() {
+        let ev = parse_event("PRESENCE(S={1,3,5:6}, T={2})", 10).unwrap();
+        match &ev {
+            StEvent::Presence(p) => {
+                let cells: Vec<usize> = p.region().iter().map(|c| c.one_based()).collect();
+                assert_eq!(cells, vec![1, 3, 5, 6]);
+                assert_eq!((p.start(), p.end()), (2, 2));
+            }
+            _ => panic!("expected PRESENCE"),
+        }
+    }
+
+    #[test]
+    fn whitespace_and_case_are_tolerated() {
+        let ev = parse_event("  presence ( s = { 1 : 2 } , t = { 1 : 1 } )  ", 5).unwrap();
+        assert_eq!(ev.width(), 2);
+    }
+
+    #[test]
+    fn syntax_errors_carry_positions() {
+        let e = parse_event("PRESENCE(S=1:10, T={4:8})", 400).unwrap_err();
+        assert!(matches!(e, EventError::Parse { .. }));
+        let e = parse_event("NOPE(S={1}, T={1})", 4).unwrap_err();
+        assert!(matches!(e, EventError::Parse { position: 0, .. }));
+        let e = parse_event("PRESENCE(S={1}, T={1}) extra", 4).unwrap_err();
+        assert!(matches!(e, EventError::Parse { .. }));
+    }
+
+    #[test]
+    fn semantic_errors_propagate_from_constructors() {
+        // Window inverted → InvalidWindow from Presence::new.
+        let e = parse_event("PRESENCE(S={1}, T={8:4})", 4).unwrap_err();
+        assert!(matches!(e, EventError::InvalidWindow { .. }));
+        // Full region → FullRegion.
+        let e = parse_event("PRESENCE(S={1:4}, T={1:2})", 4).unwrap_err();
+        assert!(matches!(e, EventError::FullRegion));
+    }
+
+    #[test]
+    fn state_beyond_domain_is_a_parse_error() {
+        let e = parse_event("PRESENCE(S={1:10}, T={1:2})", 5).unwrap_err();
+        assert!(matches!(e, EventError::Parse { .. }));
+    }
+
+    #[test]
+    fn pattern_region_count_must_match_window() {
+        let e = parse_event("PATTERN(S=[{1},{2}], T={1:3})", 5).unwrap_err();
+        assert!(matches!(e, EventError::Parse { .. }));
+    }
+
+    #[test]
+    fn round_trip_through_format() {
+        let inputs = [
+            ("PRESENCE(S={1:10}, T={4:8})", 400),
+            ("PATTERN(S=[{1:2},{2:3},{5}], T={2:4})", 9),
+            ("PRESENCE(S={1,3,5:6}, T={2:2})", 10),
+        ];
+        for (s, m) in inputs {
+            let ev = parse_event(s, m).unwrap();
+            let rendered = format_event(&ev);
+            let re = parse_event(&rendered, m).unwrap();
+            assert_eq!(ev, re, "round trip failed for {s} → {rendered}");
+        }
+    }
+
+    #[test]
+    fn format_region_merges_spans() {
+        let r = Region::from_cells(10, [0, 1, 2, 6].map(CellId)).unwrap();
+        assert_eq!(format_region(&r), "{1:3,7}");
+    }
+}

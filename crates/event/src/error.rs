@@ -1,0 +1,81 @@
+use std::fmt;
+
+/// Errors produced by event construction, validation and parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventError {
+    /// A time window was empty or inverted (`start > end` or `start == 0`).
+    InvalidWindow {
+        /// 1-based start timestamp.
+        start: usize,
+        /// 1-based end timestamp.
+        end: usize,
+    },
+    /// An event referenced an empty region (its truth value would be
+    /// constant `false`, which breaks the ε-indistinguishability ratio).
+    EmptyRegion,
+    /// A region covered the whole map (truth value constant `true` for
+    /// PRESENCE — again degenerate for the privacy ratio).
+    FullRegion,
+    /// Regions inside one event disagree on the state-domain size.
+    DomainMismatch {
+        /// Domain size seen first.
+        expected: usize,
+        /// Conflicting domain size.
+        actual: usize,
+    },
+    /// A PATTERN was built with no regions.
+    NoRegions,
+    /// A trajectory was too short to evaluate the event's ground truth.
+    TrajectoryTooShort {
+        /// Timestamps required (the event's `end`).
+        required: usize,
+        /// Timestamps available.
+        available: usize,
+    },
+    /// The event DSL failed to parse.
+    Parse {
+        /// Byte offset of the failure in the input.
+        position: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for EventError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventError::InvalidWindow { start, end } => {
+                write!(f, "invalid time window T={{{start}:{end}}} (need 1 <= start <= end)")
+            }
+            EventError::EmptyRegion => write!(f, "event region is empty (ground truth constant false)"),
+            EventError::FullRegion => {
+                write!(f, "event region covers the whole map (ground truth constant true)")
+            }
+            EventError::DomainMismatch { expected, actual } => {
+                write!(f, "event regions disagree on domain size: {expected} vs {actual}")
+            }
+            EventError::NoRegions => write!(f, "PATTERN requires at least one region"),
+            EventError::TrajectoryTooShort { required, available } => {
+                write!(f, "trajectory has {available} timestamps but event needs {required}")
+            }
+            EventError::Parse { position, message } => {
+                write!(f, "event parse error at byte {position}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EventError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_actionable() {
+        let e = EventError::InvalidWindow { start: 5, end: 3 };
+        assert!(e.to_string().contains("5:3"));
+        let p = EventError::Parse { position: 7, message: "expected '{'".into() };
+        assert!(p.to_string().contains("byte 7"));
+    }
+}

@@ -1,0 +1,313 @@
+use crate::{EventError, Result};
+use priste_geo::CellId;
+
+/// A `(location, time)` predicate `u_t = s_i` — the atom of every
+/// spatiotemporal event (paper §II.B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Predicate {
+    /// 1-based timestamp `t`.
+    pub time: usize,
+    /// The state `s_i`.
+    pub cell: CellId,
+}
+
+impl Predicate {
+    /// Creates a predicate; `time` is 1-based as in the paper.
+    ///
+    /// # Panics
+    /// Panics if `time == 0` (timestamp 0 does not exist in the paper's
+    /// indexing and would silently corrupt window arithmetic).
+    pub fn new(time: usize, cell: CellId) -> Self {
+        assert!(time >= 1, "timestamps are 1-based; got 0");
+        Predicate { time, cell }
+    }
+
+    /// Ground-truth value against a trajectory (`traj[i]` = state at
+    /// timestamp `i + 1`).
+    ///
+    /// # Errors
+    /// [`EventError::TrajectoryTooShort`] if the trajectory does not reach
+    /// this predicate's timestamp.
+    pub fn eval(&self, traj: &[CellId]) -> Result<bool> {
+        if self.time > traj.len() {
+            return Err(EventError::TrajectoryTooShort {
+                required: self.time,
+                available: traj.len(),
+            });
+        }
+        Ok(traj[self.time - 1] == self.cell)
+    }
+}
+
+impl std::fmt::Display for Predicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(u{} = {})", self.time, self.cell)
+    }
+}
+
+/// Boolean expression over predicates — Definition II.1's `EVENT`.
+///
+/// The general AST is the *specification* language; the efficient
+/// two-possible-world quantification operates on the structured
+/// [`StEvent`](crate::StEvent) forms, while this AST drives ground-truth
+/// evaluation and the naive exponential oracle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventExpr {
+    /// Atomic predicate `u_t = s_i`.
+    Pred(Predicate),
+    /// Conjunction of sub-expressions (`∧`). Empty conjunction is `true`.
+    And(Vec<EventExpr>),
+    /// Disjunction of sub-expressions (`∨`). Empty disjunction is `false`.
+    Or(Vec<EventExpr>),
+    /// Negation (`¬`).
+    Not(Box<EventExpr>),
+}
+
+impl EventExpr {
+    /// Atomic predicate constructor.
+    pub fn pred(time: usize, cell: CellId) -> Self {
+        EventExpr::Pred(Predicate::new(time, cell))
+    }
+
+    /// Ground-truth evaluation against a trajectory.
+    ///
+    /// # Errors
+    /// [`EventError::TrajectoryTooShort`] if any referenced timestamp
+    /// exceeds the trajectory.
+    pub fn eval(&self, traj: &[CellId]) -> Result<bool> {
+        match self {
+            EventExpr::Pred(p) => p.eval(traj),
+            EventExpr::And(subs) => {
+                // No short-circuit: length errors must surface even when an
+                // earlier conjunct is already false.
+                let mut all = true;
+                for s in subs {
+                    all &= s.eval(traj)?;
+                }
+                Ok(all)
+            }
+            EventExpr::Or(subs) => {
+                let mut any = false;
+                for s in subs {
+                    any |= s.eval(traj)?;
+                }
+                Ok(any)
+            }
+            EventExpr::Not(inner) => Ok(!inner.eval(traj)?),
+        }
+    }
+
+    /// All predicates appearing in the expression, in syntactic order.
+    pub fn predicates(&self) -> Vec<Predicate> {
+        let mut out = Vec::new();
+        self.collect_predicates(&mut out);
+        out
+    }
+
+    fn collect_predicates(&self, out: &mut Vec<Predicate>) {
+        match self {
+            EventExpr::Pred(p) => out.push(*p),
+            EventExpr::And(subs) | EventExpr::Or(subs) => {
+                for s in subs {
+                    s.collect_predicates(out);
+                }
+            }
+            EventExpr::Not(inner) => inner.collect_predicates(out),
+        }
+    }
+
+    /// The time span `(min, max)` of referenced timestamps, or `None` for a
+    /// predicate-free (constant) expression.
+    pub fn time_span(&self) -> Option<(usize, usize)> {
+        let preds = self.predicates();
+        let min = preds.iter().map(|p| p.time).min()?;
+        let max = preds.iter().map(|p| p.time).max()?;
+        Some((min, max))
+    }
+
+    /// Fig. 1(a): `(u_1 = s_a) ∧ (u_1 = s_b)` — the degenerate always-false
+    /// event when `a ≠ b` (one cannot be in two places at once).
+    pub fn fig1a(t: usize, a: CellId, b: CellId) -> Self {
+        EventExpr::And(vec![Self::pred(t, a), Self::pred(t, b)])
+    }
+
+    /// Fig. 1(b): a sensitive *area* at one time, `(u_t = s_a) ∨ (u_t = s_b)`.
+    pub fn fig1b(t: usize, cells: &[CellId]) -> Self {
+        EventExpr::Or(cells.iter().map(|&c| Self::pred(t, c)).collect())
+    }
+
+    /// Fig. 1(c): a *trajectory* `(u_1 = c_1) ∧ (u_2 = c_2) ∧ …`.
+    pub fn fig1c(start: usize, cells: &[CellId]) -> Self {
+        EventExpr::And(
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| Self::pred(start + i, c))
+                .collect(),
+        )
+    }
+
+    /// Fig. 1(d): a visit to one cell at *any* of the given times.
+    pub fn fig1d(times: &[usize], cell: CellId) -> Self {
+        EventExpr::Or(times.iter().map(|&t| Self::pred(t, cell)).collect())
+    }
+
+    /// Fig. 1(e): trajectory *pattern* — AND over times of OR over cells.
+    pub fn fig1e(start: usize, regions: &[Vec<CellId>]) -> Self {
+        EventExpr::And(
+            regions
+                .iter()
+                .enumerate()
+                .map(|(i, cells)| Self::fig1b(start + i, cells))
+                .collect(),
+        )
+    }
+
+    /// Fig. 1(f): presence in an area at any of the times — OR over times of
+    /// OR over cells.
+    pub fn fig1f(times: &[usize], cells: &[CellId]) -> Self {
+        EventExpr::Or(times.iter().map(|&t| Self::fig1b(t, cells)).collect())
+    }
+}
+
+impl std::fmt::Display for EventExpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EventExpr::Pred(p) => write!(f, "{p}"),
+            EventExpr::And(subs) => write_joined(f, subs, " ∧ "),
+            EventExpr::Or(subs) => write_joined(f, subs, " ∨ "),
+            EventExpr::Not(inner) => write!(f, "¬{inner}"),
+        }
+    }
+}
+
+fn write_joined(
+    f: &mut std::fmt::Formatter<'_>,
+    subs: &[EventExpr],
+    sep: &str,
+) -> std::fmt::Result {
+    write!(f, "(")?;
+    for (i, s) in subs.iter().enumerate() {
+        if i > 0 {
+            write!(f, "{sep}")?;
+        }
+        write!(f, "{s}")?;
+    }
+    write!(f, ")")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj(ids: &[usize]) -> Vec<CellId> {
+        ids.iter().map(|&i| CellId(i)).collect()
+    }
+
+    #[test]
+    fn predicate_eval_is_one_based() {
+        let p = Predicate::new(2, CellId(5));
+        assert!(p.eval(&traj(&[0, 5, 1])).unwrap());
+        assert!(!p.eval(&traj(&[5, 0, 1])).unwrap());
+        assert!(matches!(
+            p.eval(&traj(&[0])),
+            Err(EventError::TrajectoryTooShort { required: 2, available: 1 })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn time_zero_predicate_panics() {
+        let _ = Predicate::new(0, CellId(0));
+    }
+
+    #[test]
+    fn fig1a_is_always_false_for_distinct_cells() {
+        let e = EventExpr::fig1a(1, CellId(0), CellId(1));
+        for t in [traj(&[0, 2]), traj(&[1, 2]), traj(&[2, 2])] {
+            assert!(!e.eval(&t).unwrap());
+        }
+    }
+
+    #[test]
+    fn fig1b_matches_region_membership() {
+        let e = EventExpr::fig1b(1, &[CellId(0), CellId(1)]);
+        assert!(e.eval(&traj(&[0])).unwrap());
+        assert!(e.eval(&traj(&[1])).unwrap());
+        assert!(!e.eval(&traj(&[2])).unwrap());
+    }
+
+    #[test]
+    fn fig1c_is_exact_trajectory_match() {
+        let e = EventExpr::fig1c(1, &[CellId(0), CellId(0)]);
+        assert!(e.eval(&traj(&[0, 0, 3])).unwrap());
+        assert!(!e.eval(&traj(&[0, 1, 3])).unwrap());
+    }
+
+    #[test]
+    fn fig1d_any_time_visit() {
+        let e = EventExpr::fig1d(&[1, 2], CellId(0));
+        assert!(e.eval(&traj(&[0, 9])).unwrap());
+        assert!(e.eval(&traj(&[9, 0])).unwrap());
+        assert!(!e.eval(&traj(&[9, 9])).unwrap());
+    }
+
+    #[test]
+    fn fig1e_matches_paper_example_ii2() {
+        // PATTERN of Example II.2: region {s1,s2} at t=2 and {s2,s3} at t=3.
+        let e = EventExpr::fig1e(2, &[vec![CellId(0), CellId(1)], vec![CellId(1), CellId(2)]]);
+        assert!(e.eval(&traj(&[9, 0, 1, 9])).unwrap());
+        assert!(e.eval(&traj(&[9, 1, 2, 9])).unwrap());
+        assert!(!e.eval(&traj(&[9, 2, 1, 9])).unwrap()); // misses region at t=2
+        assert!(!e.eval(&traj(&[9, 0, 0, 9])).unwrap()); // misses region at t=3
+    }
+
+    #[test]
+    fn fig1f_matches_paper_example_ii1() {
+        // PRESENCE of Example II.1: region {s1,s2} during t ∈ {3,4}.
+        let e = EventExpr::fig1f(&[3, 4], &[CellId(0), CellId(1)]);
+        assert!(e.eval(&traj(&[9, 9, 0, 9, 9])).unwrap());
+        assert!(e.eval(&traj(&[9, 9, 9, 1, 9])).unwrap());
+        assert!(!e.eval(&traj(&[0, 1, 9, 9, 9])).unwrap()); // outside window
+    }
+
+    #[test]
+    fn not_negates() {
+        let e = EventExpr::Not(Box::new(EventExpr::pred(1, CellId(0))));
+        assert!(!e.eval(&traj(&[0])).unwrap());
+        assert!(e.eval(&traj(&[1])).unwrap());
+    }
+
+    #[test]
+    fn empty_connectives_are_boolean_identities() {
+        assert!(EventExpr::And(vec![]).eval(&traj(&[0])).unwrap());
+        assert!(!EventExpr::Or(vec![]).eval(&traj(&[0])).unwrap());
+    }
+
+    #[test]
+    fn eval_reports_short_trajectory_even_after_false_conjunct() {
+        // First conjunct false at t=1; second references t=5 beyond traj.
+        let e = EventExpr::And(vec![EventExpr::pred(1, CellId(1)), EventExpr::pred(5, CellId(0))]);
+        assert!(matches!(
+            e.eval(&traj(&[0, 0])),
+            Err(EventError::TrajectoryTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn predicates_and_time_span() {
+        let e = EventExpr::fig1e(2, &[vec![CellId(0)], vec![CellId(1), CellId(2)]]);
+        let preds = e.predicates();
+        assert_eq!(preds.len(), 3);
+        assert_eq!(e.time_span(), Some((2, 3)));
+        assert_eq!(EventExpr::And(vec![]).time_span(), None);
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        let e = EventExpr::fig1b(3, &[CellId(0), CellId(1)]);
+        assert_eq!(e.to_string(), "((u3 = s1) ∨ (u3 = s2))");
+        let n = EventExpr::Not(Box::new(EventExpr::pred(1, CellId(0))));
+        assert_eq!(n.to_string(), "¬(u1 = s1)");
+    }
+}

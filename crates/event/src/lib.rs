@@ -1,0 +1,40 @@
+//! Spatiotemporal events — the paper's privacy goal (Definition II.1).
+//!
+//! A *spatiotemporal event* is a Boolean expression over `(location, time)`
+//! predicates `u_t = s_i` combined with AND/OR/NOT. This crate provides:
+//!
+//! * [`EventExpr`] — the general Boolean AST, with ground-truth evaluation
+//!   against a trajectory (used by the naive oracle and by tests) and the
+//!   six canonical shapes of the paper's Fig. 1 as constructors.
+//! * [`Presence`] — `PRESENCE(S, T)` (Definition II.2): the user appears in
+//!   region `S` at some timestamp in window `T`. Generalizes single
+//!   locations and sensitive areas.
+//! * [`Pattern`] — `PATTERN(S, T)` (Definition II.3): the user appears in
+//!   region `s_t` at *every* timestamp `t` of the window. Generalizes
+//!   trajectories.
+//! * [`StEvent`] — the closed union of the two structured events understood
+//!   by the two-possible-world quantification engine.
+//! * [`dsl`] — a parser/printer for the paper's experiment notation, e.g.
+//!   `PRESENCE(S={1:10}, T={4:8})`.
+//!
+//! Timestamps are 1-based throughout, matching the paper (`t ∈ {1, …, T}`);
+//! a trajectory slice `traj[i]` holds the state at timestamp `i + 1`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dsl;
+mod error;
+mod expr;
+mod pattern;
+mod presence;
+mod st_event;
+
+pub use error::EventError;
+pub use expr::{EventExpr, Predicate};
+pub use pattern::Pattern;
+pub use presence::Presence;
+pub use st_event::StEvent;
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, EventError>;

@@ -1,0 +1,216 @@
+use crate::{EventError, EventExpr, Result};
+use priste_geo::{CellId, Region};
+
+/// `PATTERN(S, T)` — Definition II.3: the user appears in region `s_t` at
+/// *every* timestamp `t` of the window, i.e. the trajectory threads the
+/// sequence of regions `s_start, …, s_end`.
+///
+/// A PATTERN with singleton regions is exactly a trajectory secret
+/// (Table II); wider regions express commuting patterns like the paper's
+/// "love hotel then home" example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pattern {
+    regions: Vec<Region>,
+    start: usize,
+}
+
+impl Pattern {
+    /// Creates a validated PATTERN starting at `start` (1-based); region `k`
+    /// applies at timestamp `start + k`.
+    ///
+    /// # Errors
+    /// * [`EventError::InvalidWindow`] if `start == 0`.
+    /// * [`EventError::NoRegions`] for an empty region list.
+    /// * [`EventError::EmptyRegion`] if any region is empty (the pattern
+    ///   could never hold).
+    /// * [`EventError::DomainMismatch`] if regions disagree on domain size.
+    /// * [`EventError::FullRegion`] if *every* region covers the whole map
+    ///   (the pattern would be constant true). Individual full regions are
+    ///   allowed — they act as wildcards within a longer pattern.
+    pub fn new(regions: Vec<Region>, start: usize) -> Result<Self> {
+        if start == 0 {
+            return Err(EventError::InvalidWindow { start, end: start + regions.len() });
+        }
+        let first = regions.first().ok_or(EventError::NoRegions)?;
+        let m = first.num_cells();
+        for r in &regions {
+            if r.num_cells() != m {
+                return Err(EventError::DomainMismatch { expected: m, actual: r.num_cells() });
+            }
+            if r.is_empty() {
+                return Err(EventError::EmptyRegion);
+            }
+        }
+        if regions.iter().all(|r| r.len() == m) {
+            return Err(EventError::FullRegion);
+        }
+        Ok(Pattern { regions, start })
+    }
+
+    /// The region sequence `s_start, …, s_end`.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// The region in force at 1-based timestamp `t`, or `None` outside the
+    /// window.
+    pub fn region_at(&self, t: usize) -> Option<&Region> {
+        if t < self.start {
+            return None;
+        }
+        self.regions.get(t - self.start)
+    }
+
+    /// First timestamp of the window (1-based, inclusive).
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Last timestamp of the window (1-based, inclusive).
+    pub fn end(&self) -> usize {
+        self.start + self.regions.len() - 1
+    }
+
+    /// Number of timestamps in the window (the paper's "event length").
+    pub fn window_len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// State-domain size `m`.
+    pub fn num_cells(&self) -> usize {
+        self.regions[0].num_cells()
+    }
+
+    /// Ground truth: `true` iff the trajectory lies inside every region of
+    /// the window.
+    ///
+    /// # Errors
+    /// [`EventError::TrajectoryTooShort`] if the trajectory ends before
+    /// `end`.
+    pub fn eval(&self, traj: &[CellId]) -> Result<bool> {
+        if traj.len() < self.end() {
+            return Err(EventError::TrajectoryTooShort {
+                required: self.end(),
+                available: traj.len(),
+            });
+        }
+        Ok(self
+            .regions
+            .iter()
+            .enumerate()
+            .all(|(k, r)| r.contains(traj[self.start + k - 1])))
+    }
+
+    /// Expands to the canonical Boolean expression of Table II:
+    /// `∧_{t ∈ T} ∨_{s ∈ s_t} (u_t = s)`.
+    pub fn to_expr(&self) -> EventExpr {
+        let regions: Vec<Vec<CellId>> = self.regions.iter().map(|r| r.iter().collect()).collect();
+        EventExpr::fig1e(self.start, &regions)
+    }
+}
+
+impl std::fmt::Display for Pattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PATTERN(S=[")?;
+        for (i, r) in self.regions.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, "], T={{{}:{}}})", self.start, self.end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj(ids: &[usize]) -> Vec<CellId> {
+        ids.iter().map(|&i| CellId(i)).collect()
+    }
+
+    fn region(num_cells: usize, ids: &[usize]) -> Region {
+        Region::from_cells(num_cells, ids.iter().map(|&i| CellId(i))).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(matches!(Pattern::new(vec![], 1), Err(EventError::NoRegions)));
+        assert!(matches!(
+            Pattern::new(vec![region(3, &[0])], 0),
+            Err(EventError::InvalidWindow { .. })
+        ));
+        assert!(matches!(
+            Pattern::new(vec![region(3, &[0]), Region::empty(3)], 1),
+            Err(EventError::EmptyRegion)
+        ));
+        assert!(matches!(
+            Pattern::new(vec![region(3, &[0]), region(4, &[0])], 1),
+            Err(EventError::DomainMismatch { .. })
+        ));
+        assert!(matches!(
+            Pattern::new(vec![Region::full(3), Region::full(3)], 1),
+            Err(EventError::FullRegion)
+        ));
+        // A single full region among narrower ones is a wildcard — allowed.
+        assert!(Pattern::new(vec![region(3, &[0]), Region::full(3)], 1).is_ok());
+    }
+
+    #[test]
+    fn example_ii2_ground_truth() {
+        // Example II.2: {s1,s2} at t=2 and {s2,s3} at t=3 over a 3-state map.
+        let p = Pattern::new(vec![region(3, &[0, 1]), region(3, &[1, 2])], 2).unwrap();
+        assert_eq!(p.end(), 3);
+        assert!(p.eval(&traj(&[2, 0, 1, 0])).unwrap());
+        assert!(p.eval(&traj(&[2, 1, 2, 0])).unwrap());
+        assert!(!p.eval(&traj(&[2, 2, 1, 0])).unwrap()); // misses first region
+        assert!(!p.eval(&traj(&[2, 0, 0, 0])).unwrap()); // misses second region
+    }
+
+    #[test]
+    fn region_at_window_arithmetic() {
+        let p = Pattern::new(vec![region(3, &[0]), region(3, &[1])], 4).unwrap();
+        assert!(p.region_at(3).is_none());
+        assert_eq!(p.region_at(4).unwrap(), &region(3, &[0]));
+        assert_eq!(p.region_at(5).unwrap(), &region(3, &[1]));
+        assert!(p.region_at(6).is_none());
+        assert_eq!(p.window_len(), 2);
+    }
+
+    #[test]
+    fn singleton_pattern_is_exact_trajectory() {
+        // Fig. 1(c): trajectory s1 → s1 as a PATTERN with singleton regions.
+        let p = Pattern::new(vec![region(2, &[0]), region(2, &[0])], 1).unwrap();
+        assert!(p.eval(&traj(&[0, 0])).unwrap());
+        assert!(!p.eval(&traj(&[0, 1])).unwrap());
+        assert!(!p.eval(&traj(&[1, 0])).unwrap());
+    }
+
+    #[test]
+    fn expr_expansion_agrees_with_direct_eval() {
+        let p = Pattern::new(vec![region(3, &[0, 2]), region(3, &[1])], 1).unwrap();
+        let e = p.to_expr();
+        for a in 0..3 {
+            for b in 0..3 {
+                let t = traj(&[a, b]);
+                assert_eq!(p.eval(&t).unwrap(), e.eval(&t).unwrap(), "traj {t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn eval_requires_full_window() {
+        let p = Pattern::new(vec![region(3, &[0]), region(3, &[1])], 2).unwrap();
+        assert!(matches!(
+            p.eval(&traj(&[0, 0])),
+            Err(EventError::TrajectoryTooShort { required: 3, available: 2 })
+        ));
+    }
+
+    #[test]
+    fn display_notation() {
+        let p = Pattern::new(vec![region(3, &[0, 1]), region(3, &[1, 2])], 2).unwrap();
+        assert_eq!(p.to_string(), "PATTERN(S=[{s1,s2},{s2,s3}], T={2:3})");
+    }
+}

@@ -1,0 +1,206 @@
+use crate::{EventError, EventExpr, Result};
+use priste_geo::{CellId, Region};
+
+/// `PRESENCE(S, T)` — Definition II.2: the user appears in region `S` at
+/// *some* timestamp of the window `T = {start, …, end}`.
+///
+/// The paper's experiments write this `PRESENCE(S={1:10}, T={4:8})`. Time
+/// windows are consecutive, matching the paper's simplification ("we assume
+/// that the events are defined in consecutive time and use start and end");
+/// the generalization to sparse `T` is an OR of consecutive PRESENCE events
+/// and is expressible through [`EventExpr`] directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Presence {
+    region: Region,
+    start: usize,
+    end: usize,
+}
+
+impl Presence {
+    /// Creates a validated PRESENCE event.
+    ///
+    /// # Errors
+    /// * [`EventError::InvalidWindow`] unless `1 ≤ start ≤ end`.
+    /// * [`EventError::EmptyRegion`] / [`EventError::FullRegion`] for
+    ///   degenerate regions whose ground truth is constant — the
+    ///   ε-indistinguishability ratio between `EVENT` and `¬EVENT` is
+    ///   undefined when one side has probability zero for every prior.
+    pub fn new(region: Region, start: usize, end: usize) -> Result<Self> {
+        if start == 0 || start > end {
+            return Err(EventError::InvalidWindow { start, end });
+        }
+        if region.is_empty() {
+            return Err(EventError::EmptyRegion);
+        }
+        if region.len() == region.num_cells() {
+            return Err(EventError::FullRegion);
+        }
+        Ok(Presence { region, start, end })
+    }
+
+    /// Paper shorthand: `PRESENCE(S={lo:hi}, T={start:end})` with 1-based
+    /// inclusive state range over a domain of `num_cells` states.
+    ///
+    /// # Errors
+    /// Region-range errors are mapped onto [`EventError::Parse`]-free
+    /// construction errors; window errors as in [`Presence::new`].
+    pub fn from_ranges(
+        num_cells: usize,
+        state_lo: usize,
+        state_hi: usize,
+        start: usize,
+        end: usize,
+    ) -> Result<Self> {
+        let region = Region::from_one_based_range(num_cells, state_lo, state_hi)
+            .map_err(|_| EventError::InvalidWindow { start: state_lo, end: state_hi })?;
+        Presence::new(region, start, end)
+    }
+
+    /// The protected region `S`.
+    pub fn region(&self) -> &Region {
+        &self.region
+    }
+
+    /// First timestamp of the window (1-based, inclusive).
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Last timestamp of the window (1-based, inclusive).
+    pub fn end(&self) -> usize {
+        self.end
+    }
+
+    /// Number of timestamps in the window (the paper's "event length").
+    pub fn window_len(&self) -> usize {
+        self.end - self.start + 1
+    }
+
+    /// State-domain size `m`.
+    pub fn num_cells(&self) -> usize {
+        self.region.num_cells()
+    }
+
+    /// Ground truth against a trajectory: `true` iff the trajectory enters
+    /// `S` during `[start, end]`.
+    ///
+    /// # Errors
+    /// [`EventError::TrajectoryTooShort`] if the trajectory ends before
+    /// `end`.
+    pub fn eval(&self, traj: &[CellId]) -> Result<bool> {
+        if traj.len() < self.end {
+            return Err(EventError::TrajectoryTooShort {
+                required: self.end,
+                available: traj.len(),
+            });
+        }
+        Ok((self.start..=self.end).any(|t| self.region.contains(traj[t - 1])))
+    }
+
+    /// Expands to the canonical Boolean expression of Table II:
+    /// `∨_{t ∈ T} ∨_{s ∈ S} (u_t = s)`.
+    pub fn to_expr(&self) -> EventExpr {
+        let times: Vec<usize> = (self.start..=self.end).collect();
+        let cells: Vec<CellId> = self.region.iter().collect();
+        EventExpr::fig1f(&times, &cells)
+    }
+}
+
+impl std::fmt::Display for Presence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PRESENCE(S={}, T={{{}:{}}})", self.region, self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj(ids: &[usize]) -> Vec<CellId> {
+        ids.iter().map(|&i| CellId(i)).collect()
+    }
+
+    fn region(num_cells: usize, ids: &[usize]) -> Region {
+        Region::from_cells(num_cells, ids.iter().map(|&i| CellId(i))).unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_inputs() {
+        assert!(matches!(
+            Presence::new(region(3, &[0]), 0, 2),
+            Err(EventError::InvalidWindow { .. })
+        ));
+        assert!(matches!(
+            Presence::new(region(3, &[0]), 3, 2),
+            Err(EventError::InvalidWindow { .. })
+        ));
+        assert!(matches!(
+            Presence::new(Region::empty(3), 1, 2),
+            Err(EventError::EmptyRegion)
+        ));
+        assert!(matches!(
+            Presence::new(Region::full(3), 1, 2),
+            Err(EventError::FullRegion)
+        ));
+    }
+
+    #[test]
+    fn example_ii1_ground_truth() {
+        // Example II.1: S = {s1, s2}, T = {3, 4} over S = {s1,s2,s3}.
+        let p = Presence::new(region(3, &[0, 1]), 3, 4).unwrap();
+        assert!(p.eval(&traj(&[2, 2, 0, 2, 2, 2])).unwrap());
+        assert!(p.eval(&traj(&[2, 2, 2, 1, 2, 2])).unwrap());
+        assert!(!p.eval(&traj(&[0, 1, 2, 2, 0, 1])).unwrap());
+    }
+
+    #[test]
+    fn eval_requires_full_window() {
+        let p = Presence::new(region(3, &[0]), 3, 4).unwrap();
+        assert!(matches!(
+            p.eval(&traj(&[0, 0, 0])),
+            Err(EventError::TrajectoryTooShort { required: 4, available: 3 })
+        ));
+    }
+
+    #[test]
+    fn expr_expansion_agrees_with_direct_eval() {
+        let p = Presence::new(region(4, &[1, 2]), 2, 3).unwrap();
+        let e = p.to_expr();
+        // Exhaustively compare over all 4^3 trajectories of length 3.
+        for a in 0..4 {
+            for b in 0..4 {
+                for c in 0..4 {
+                    let t = traj(&[a, b, c]);
+                    assert_eq!(p.eval(&t).unwrap(), e.eval(&t).unwrap(), "traj {t:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_ranges_matches_paper_notation() {
+        let p = Presence::from_ranges(400, 1, 10, 4, 8).unwrap();
+        assert_eq!(p.region().len(), 10);
+        assert_eq!(p.start(), 4);
+        assert_eq!(p.end(), 8);
+        assert_eq!(p.window_len(), 5);
+        assert!(p.region().contains(CellId(9)));
+        assert!(!p.region().contains(CellId(10)));
+    }
+
+    #[test]
+    fn single_timestamp_single_cell_degenerates_to_one_predicate() {
+        // Table II row "single location": PRESENCE with |S| = |T| = 1.
+        let p = Presence::new(region(3, &[1]), 2, 2).unwrap();
+        let e = p.to_expr();
+        assert_eq!(e.predicates().len(), 1);
+        assert!(p.eval(&traj(&[0, 1, 0])).unwrap());
+        assert!(!p.eval(&traj(&[1, 0, 1])).unwrap());
+    }
+
+    #[test]
+    fn display_round_trips_notation() {
+        let p = Presence::new(region(3, &[0, 1]), 3, 4).unwrap();
+        assert_eq!(p.to_string(), "PRESENCE(S={s1,s2}, T={3:4})");
+    }
+}

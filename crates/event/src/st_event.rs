@@ -1,0 +1,150 @@
+use crate::{EventExpr, Pattern, Presence, Result};
+use priste_geo::CellId;
+
+/// The closed union of structured spatiotemporal events understood by the
+/// two-possible-world quantification engine (paper §II.B: "we focus on the
+/// two representative events … PRESENCE and PATTERN, which are the two most
+/// complicated events in examples of Fig. 1").
+///
+/// Arbitrary Boolean combinations remain expressible through
+/// [`EventExpr`]; they are evaluated by the naive oracle but have no
+/// linear-time lifted-matrix encoding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StEvent {
+    /// A `PRESENCE(S, T)` event.
+    Presence(Presence),
+    /// A `PATTERN(S, T)` event.
+    Pattern(Pattern),
+}
+
+impl StEvent {
+    /// First timestamp of the event window (1-based).
+    pub fn start(&self) -> usize {
+        match self {
+            StEvent::Presence(p) => p.start(),
+            StEvent::Pattern(p) => p.start(),
+        }
+    }
+
+    /// Last timestamp of the event window (1-based).
+    pub fn end(&self) -> usize {
+        match self {
+            StEvent::Presence(p) => p.end(),
+            StEvent::Pattern(p) => p.end(),
+        }
+    }
+
+    /// Window length `|T|` (the paper's "event length").
+    pub fn window_len(&self) -> usize {
+        self.end() - self.start() + 1
+    }
+
+    /// State-domain size `m`.
+    pub fn num_cells(&self) -> usize {
+        match self {
+            StEvent::Presence(p) => p.num_cells(),
+            StEvent::Pattern(p) => p.num_cells(),
+        }
+    }
+
+    /// Largest region width `|S|` across the window (the paper's "event
+    /// width" axis in Fig. 14).
+    pub fn width(&self) -> usize {
+        match self {
+            StEvent::Presence(p) => p.region().len(),
+            StEvent::Pattern(p) => p.regions().iter().map(|r| r.len()).max().unwrap_or(0),
+        }
+    }
+
+    /// Ground-truth value against a trajectory.
+    ///
+    /// # Errors
+    /// [`crate::EventError::TrajectoryTooShort`] if the trajectory ends
+    /// before the event window.
+    pub fn eval(&self, traj: &[CellId]) -> Result<bool> {
+        match self {
+            StEvent::Presence(p) => p.eval(traj),
+            StEvent::Pattern(p) => p.eval(traj),
+        }
+    }
+
+    /// Expands to the canonical Boolean expression (Table II).
+    pub fn to_expr(&self) -> EventExpr {
+        match self {
+            StEvent::Presence(p) => p.to_expr(),
+            StEvent::Pattern(p) => p.to_expr(),
+        }
+    }
+}
+
+impl From<Presence> for StEvent {
+    fn from(p: Presence) -> Self {
+        StEvent::Presence(p)
+    }
+}
+
+impl From<Pattern> for StEvent {
+    fn from(p: Pattern) -> Self {
+        StEvent::Pattern(p)
+    }
+}
+
+impl std::fmt::Display for StEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StEvent::Presence(p) => write!(f, "{p}"),
+            StEvent::Pattern(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use priste_geo::Region;
+
+    fn region(num_cells: usize, ids: &[usize]) -> Region {
+        Region::from_cells(num_cells, ids.iter().map(|&i| CellId(i))).unwrap()
+    }
+
+    #[test]
+    fn accessors_delegate() {
+        let presence: StEvent = Presence::new(region(5, &[0, 1, 2]), 3, 7).unwrap().into();
+        assert_eq!(presence.start(), 3);
+        assert_eq!(presence.end(), 7);
+        assert_eq!(presence.window_len(), 5);
+        assert_eq!(presence.width(), 3);
+        assert_eq!(presence.num_cells(), 5);
+
+        let pattern: StEvent =
+            Pattern::new(vec![region(5, &[0]), region(5, &[0, 1])], 2).unwrap().into();
+        assert_eq!(pattern.start(), 2);
+        assert_eq!(pattern.end(), 3);
+        assert_eq!(pattern.width(), 2);
+    }
+
+    #[test]
+    fn eval_and_expr_agree_across_variants() {
+        let events: Vec<StEvent> = vec![
+            Presence::new(region(3, &[0, 1]), 2, 3).unwrap().into(),
+            Pattern::new(vec![region(3, &[0, 1]), region(3, &[1, 2])], 2).unwrap().into(),
+        ];
+        for ev in &events {
+            let expr = ev.to_expr();
+            for a in 0..3 {
+                for b in 0..3 {
+                    for c in 0..3 {
+                        let t = vec![CellId(a), CellId(b), CellId(c)];
+                        assert_eq!(ev.eval(&t).unwrap(), expr.eval(&t).unwrap());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_delegates() {
+        let e: StEvent = Presence::new(region(3, &[0]), 1, 2).unwrap().into();
+        assert!(e.to_string().starts_with("PRESENCE"));
+    }
+}

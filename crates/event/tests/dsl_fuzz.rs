@@ -1,0 +1,67 @@
+//! Robustness tests for the event DSL parser: arbitrary input must never
+//! panic, and structured mutations of valid specs must fail cleanly.
+
+use priste_event::dsl::parse_event;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup: the parser returns Ok or Err, never panics.
+    #[test]
+    fn arbitrary_strings_never_panic(input in "\\PC{0,64}", m in 1usize..64) {
+        let _ = parse_event(&input, m);
+    }
+
+    /// Strings over the DSL's own alphabet — much likelier to reach deep
+    /// parser states than fully random bytes.
+    #[test]
+    fn dsl_alphabet_strings_never_panic(
+        input in "[PRESNCEATR(){}:,=0-9 ]{0,48}",
+        m in 1usize..32,
+    ) {
+        let _ = parse_event(&input, m);
+    }
+
+    /// Random well-formed PRESENCE specs parse and agree with their fields.
+    #[test]
+    fn well_formed_presence_round_trip(
+        lo in 1usize..6,
+        extra in 0usize..4,
+        start in 1usize..5,
+        len in 0usize..4,
+    ) {
+        let hi = lo + extra;
+        let end = start + len;
+        let m = 16;
+        let spec = format!("PRESENCE(S={{{lo}:{hi}}}, T={{{start}:{end}}})");
+        let ev = parse_event(&spec, m).unwrap();
+        prop_assert_eq!(ev.start(), start);
+        prop_assert_eq!(ev.end(), end);
+        prop_assert_eq!(ev.width(), hi - lo + 1);
+    }
+
+    /// Truncating a valid spec anywhere yields an error, not a panic (and
+    /// never a silently-parsed prefix).
+    #[test]
+    fn truncations_fail_cleanly(cut in 1usize..30) {
+        let spec = "PRESENCE(S={1:4}, T={2:5})";
+        if cut < spec.len() {
+            let truncated = &spec[..cut];
+            prop_assert!(parse_event(truncated, 16).is_err(), "accepted {truncated:?}");
+        }
+    }
+
+    /// Single-byte corruption of a valid spec either still parses to *some*
+    /// valid event or fails cleanly — never panics.
+    #[test]
+    fn single_byte_corruption_never_panics(pos in 0usize..26, byte in 0u8..128) {
+        let mut spec = b"PRESENCE(S={1:4}, T={2:5})".to_vec();
+        if pos < spec.len() {
+            spec[pos] = byte;
+            if let Ok(s) = std::str::from_utf8(&spec) {
+                let _ = parse_event(s, 16);
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+use std::fmt;
+
+/// Errors produced by spatial constructions and lookups.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeoError {
+    /// A cell index exceeded the state-domain size.
+    CellOutOfRange {
+        /// Offending 0-based cell index.
+        cell: usize,
+        /// Number of cells in the domain.
+        num_cells: usize,
+    },
+    /// A grid was requested with zero rows or columns.
+    EmptyGrid,
+    /// A cell size or physical dimension was non-positive or non-finite.
+    InvalidDimension {
+        /// Name of the offending parameter.
+        what: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// A latitude/longitude pair was outside valid Earth coordinates.
+    InvalidCoordinate {
+        /// Latitude in degrees.
+        lat: f64,
+        /// Longitude in degrees.
+        lon: f64,
+    },
+    /// Two objects defined over different state domains were combined.
+    DomainMismatch {
+        /// Domain size of the left operand.
+        left: usize,
+        /// Domain size of the right operand.
+        right: usize,
+    },
+    /// A region construction referenced an empty or inverted range.
+    InvalidRange {
+        /// 1-based inclusive start.
+        start: usize,
+        /// 1-based inclusive end.
+        end: usize,
+    },
+}
+
+impl fmt::Display for GeoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeoError::CellOutOfRange { cell, num_cells } => {
+                write!(f, "cell index {cell} out of range for domain of {num_cells} cells")
+            }
+            GeoError::EmptyGrid => write!(f, "grid must have at least one row and one column"),
+            GeoError::InvalidDimension { what, value } => {
+                write!(f, "invalid {what}: {value} (must be positive and finite)")
+            }
+            GeoError::InvalidCoordinate { lat, lon } => {
+                write!(f, "invalid GPS coordinate ({lat}, {lon})")
+            }
+            GeoError::DomainMismatch { left, right } => {
+                write!(f, "state-domain mismatch: {left} vs {right} cells")
+            }
+            GeoError::InvalidRange { start, end } => {
+                write!(f, "invalid 1-based cell range {start}:{end}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_fields() {
+        let e = GeoError::CellOutOfRange { cell: 10, num_cells: 9 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains('9'));
+    }
+}

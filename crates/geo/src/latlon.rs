@@ -1,0 +1,207 @@
+//! GPS coordinates and the projection used to discretize raw trajectories
+//! (e.g. Geolife `.plt` records) onto a [`GridMap`](crate::GridMap).
+
+use crate::{CellId, GeoError, GridMap, Result};
+
+/// Mean Earth radius in kilometres (IUGG).
+pub const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+/// A timestamped GPS fix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpsPoint {
+    /// Latitude in degrees, `[-90, 90]`.
+    pub lat: f64,
+    /// Longitude in degrees, `[-180, 180]`.
+    pub lon: f64,
+    /// Seconds since an arbitrary epoch (dataset-relative).
+    pub timestamp_s: f64,
+}
+
+impl GpsPoint {
+    /// Creates a validated GPS point.
+    ///
+    /// # Errors
+    /// [`GeoError::InvalidCoordinate`] for out-of-range or non-finite
+    /// coordinates.
+    pub fn new(lat: f64, lon: f64, timestamp_s: f64) -> Result<Self> {
+        if !(lat.is_finite() && lon.is_finite() && (-90.0..=90.0).contains(&lat) && (-180.0..=180.0).contains(&lon)) {
+            return Err(GeoError::InvalidCoordinate { lat, lon });
+        }
+        Ok(GpsPoint { lat, lon, timestamp_s })
+    }
+}
+
+/// Great-circle (haversine) distance between two GPS fixes in kilometres.
+pub fn haversine_km(a: &GpsPoint, b: &GpsPoint) -> f64 {
+    let (la1, lo1) = (a.lat.to_radians(), a.lon.to_radians());
+    let (la2, lo2) = (b.lat.to_radians(), b.lon.to_radians());
+    let dlat = la2 - la1;
+    let dlon = lo2 - lo1;
+    let h = (dlat / 2.0).sin().powi(2) + la1.cos() * la2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * h.sqrt().asin()
+}
+
+/// A geographic bounding box paired with a grid, providing the
+/// equirectangular projection `(lat, lon) → (x_km, y_km) → cell`.
+///
+/// The projection treats the box as locally flat — accurate to well under a
+/// cell width for metro-scale areas like the Geolife Beijing extent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeoBounds {
+    /// Northernmost latitude (top edge, y = 0).
+    pub north: f64,
+    /// Southernmost latitude.
+    pub south: f64,
+    /// Westernmost longitude (left edge, x = 0).
+    pub west: f64,
+    /// Easternmost longitude.
+    pub east: f64,
+}
+
+impl GeoBounds {
+    /// Creates a validated bounding box.
+    ///
+    /// # Errors
+    /// [`GeoError::InvalidCoordinate`] if the box is degenerate or inverted.
+    pub fn new(north: f64, south: f64, west: f64, east: f64) -> Result<Self> {
+        let ok = north.is_finite()
+            && south.is_finite()
+            && west.is_finite()
+            && east.is_finite()
+            && north > south
+            && east > west
+            && (-90.0..=90.0).contains(&north)
+            && (-90.0..=90.0).contains(&south)
+            && (-180.0..=180.0).contains(&west)
+            && (-180.0..=180.0).contains(&east);
+        if !ok {
+            return Err(GeoError::InvalidCoordinate { lat: north, lon: west });
+        }
+        Ok(GeoBounds { north, south, west, east })
+    }
+
+    /// A bounding box covering urban Beijing — the region where the bulk of
+    /// Geolife activity concentrates (Zheng et al., IEEE Data Eng. Bull. '10).
+    pub fn beijing() -> Self {
+        GeoBounds::new(40.1, 39.7, 116.1, 116.7).expect("static bounds are valid")
+    }
+
+    /// Physical extent of the box as `(width_km, height_km)` under the
+    /// equirectangular approximation at the box's mid-latitude.
+    pub fn extent_km(&self) -> (f64, f64) {
+        let mid_lat = 0.5 * (self.north + self.south);
+        let height = (self.north - self.south).to_radians() * EARTH_RADIUS_KM;
+        let width = (self.east - self.west).to_radians() * EARTH_RADIUS_KM * mid_lat.to_radians().cos();
+        (width, height)
+    }
+
+    /// Projects a GPS point into local km coordinates with the north-west
+    /// corner at the origin (x east, y south) — the same frame as
+    /// [`GridMap::cell_center_km`].
+    pub fn project_km(&self, p: &GpsPoint) -> (f64, f64) {
+        let (width, height) = self.extent_km();
+        let fx = (p.lon - self.west) / (self.east - self.west);
+        let fy = (self.north - p.lat) / (self.north - self.south);
+        (fx * width, fy * height)
+    }
+
+    /// Maps a GPS point to the grid cell containing it, or `None` for points
+    /// outside the box (the Geolife pipeline drops out-of-box fixes, which
+    /// are sparse travel segments far from Beijing).
+    pub fn to_cell(&self, p: &GpsPoint, grid: &GridMap) -> Option<CellId> {
+        if p.lat > self.north || p.lat < self.south || p.lon < self.west || p.lon > self.east {
+            return None;
+        }
+        let (x, y) = self.project_km(p);
+        // Rescale from physical extent to the grid's own extent so any grid
+        // granularity can tile the box.
+        let (width, height) = self.extent_km();
+        let gx = x / width * (grid.cols() as f64) * grid.cell_size_km();
+        let gy = y / height * (grid.rows() as f64) * grid.cell_size_km();
+        Some(grid.nearest_cell(gx, gy))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gps_point_validation() {
+        assert!(GpsPoint::new(39.9, 116.4, 0.0).is_ok());
+        assert!(GpsPoint::new(91.0, 0.0, 0.0).is_err());
+        assert!(GpsPoint::new(0.0, 181.0, 0.0).is_err());
+        assert!(GpsPoint::new(f64::NAN, 0.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn haversine_known_distance() {
+        // Beijing to Shanghai ≈ 1067 km.
+        let beijing = GpsPoint::new(39.9042, 116.4074, 0.0).unwrap();
+        let shanghai = GpsPoint::new(31.2304, 121.4737, 0.0).unwrap();
+        let d = haversine_km(&beijing, &shanghai);
+        assert!((d - 1067.0).abs() < 10.0, "got {d}");
+    }
+
+    #[test]
+    fn haversine_zero_for_same_point() {
+        let p = GpsPoint::new(40.0, 116.0, 0.0).unwrap();
+        assert_eq!(haversine_km(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn bounds_validation() {
+        assert!(GeoBounds::new(40.0, 41.0, 116.0, 117.0).is_err()); // inverted lat
+        assert!(GeoBounds::new(41.0, 40.0, 117.0, 116.0).is_err()); // inverted lon
+        assert!(GeoBounds::new(41.0, 40.0, 116.0, 117.0).is_ok());
+    }
+
+    #[test]
+    fn beijing_extent_is_metro_scale() {
+        let b = GeoBounds::beijing();
+        let (w, h) = b.extent_km();
+        assert!((30.0..70.0).contains(&w), "width {w}");
+        assert!((30.0..60.0).contains(&h), "height {h}");
+    }
+
+    #[test]
+    fn projection_corners() {
+        let b = GeoBounds::beijing();
+        let nw = GpsPoint::new(b.north, b.west, 0.0).unwrap();
+        let (x, y) = b.project_km(&nw);
+        assert!(x.abs() < 1e-9 && y.abs() < 1e-9);
+        let se = GpsPoint::new(b.south, b.east, 0.0).unwrap();
+        let (x, y) = b.project_km(&se);
+        let (w, h) = b.extent_km();
+        assert!((x - w).abs() < 1e-9 && (y - h).abs() < 1e-9);
+    }
+
+    #[test]
+    fn to_cell_covers_grid_and_drops_outside() {
+        let b = GeoBounds::beijing();
+        let grid = GridMap::new(20, 20, 1.0).unwrap();
+        let nw = GpsPoint::new(b.north - 1e-6, b.west + 1e-6, 0.0).unwrap();
+        assert_eq!(b.to_cell(&nw, &grid), Some(CellId(0)));
+        let se = GpsPoint::new(b.south + 1e-6, b.east - 1e-6, 0.0).unwrap();
+        assert_eq!(b.to_cell(&se, &grid), Some(CellId(399)));
+        let outside = GpsPoint::new(50.0, 116.4, 0.0).unwrap();
+        assert_eq!(b.to_cell(&outside, &grid), None);
+    }
+
+    #[test]
+    fn to_cell_is_monotone_in_lon() {
+        let b = GeoBounds::beijing();
+        let grid = GridMap::new(10, 10, 1.0).unwrap();
+        let mid_lat = 0.5 * (b.north + b.south);
+        let mut last_col = 0usize;
+        for k in 0..10 {
+            let lon = b.west + (b.east - b.west) * (k as f64 + 0.5) / 10.0;
+            let p = GpsPoint::new(mid_lat, lon, 0.0).unwrap();
+            let cell = b.to_cell(&p, &grid).unwrap();
+            let col = cell.index() % 10;
+            assert!(col >= last_col);
+            last_col = col;
+        }
+        assert_eq!(last_col, 9);
+    }
+}

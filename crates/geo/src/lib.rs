@@ -1,0 +1,31 @@
+//! Spatial substrate for PriSTE.
+//!
+//! The paper models space as a finite domain `S = {s_1, …, s_m}` of *states*
+//! (grid cells over a map). This crate provides:
+//!
+//! * [`CellId`] — a typed index into the state domain (0-based internally,
+//!   with explicit 1-based conversions matching the paper's `s_1 …` naming).
+//! * [`GridMap`] — a rectangular grid with physical cell size, cell-center
+//!   geometry and Euclidean distances in kilometres (the utility metric of
+//!   §V.A).
+//! * [`Region`] — a set of cells backed by a bitset, convertible to the
+//!   paper's indicator vector `s ∈ {0,1}^m` (Definition II.2).
+//! * [`GpsPoint`] / geodesy helpers — haversine distances and the
+//!   equirectangular projection used to discretize raw GPS trajectories
+//!   (Geolife) onto a grid.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+mod grid;
+mod latlon;
+mod region;
+
+pub use error::GeoError;
+pub use grid::{CellId, GridMap};
+pub use latlon::{haversine_km, GeoBounds, GpsPoint};
+pub use region::Region;
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, GeoError>;

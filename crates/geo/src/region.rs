@@ -1,0 +1,287 @@
+use crate::{CellId, GeoError, Result};
+use priste_linalg::Vector;
+
+/// A set of cells over a state domain of `m` cells — the paper's region
+/// `s ∈ {0,1}^{m×1}` (Definition II.2).
+///
+/// Backed by a `u64` bitset so membership tests in the hot quantification
+/// loops are branch-free word operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    num_cells: usize,
+    words: Vec<u64>,
+}
+
+impl Region {
+    /// Creates an empty region over a domain of `num_cells` states.
+    pub fn empty(num_cells: usize) -> Self {
+        Region { num_cells, words: vec![0; num_cells.div_ceil(64)] }
+    }
+
+    /// Creates the full region containing every cell.
+    pub fn full(num_cells: usize) -> Self {
+        let mut r = Self::empty(num_cells);
+        for i in 0..num_cells {
+            r.insert(CellId(i)).expect("index in range");
+        }
+        r
+    }
+
+    /// Creates a region from an iterator of cells.
+    ///
+    /// # Errors
+    /// [`GeoError::CellOutOfRange`] if any cell exceeds the domain.
+    pub fn from_cells<I: IntoIterator<Item = CellId>>(num_cells: usize, cells: I) -> Result<Self> {
+        let mut r = Self::empty(num_cells);
+        for c in cells {
+            r.insert(c)?;
+        }
+        Ok(r)
+    }
+
+    /// Creates a region from the paper's 1-based inclusive range notation,
+    /// e.g. `S = {1:10}` → `from_one_based_range(m, 1, 10)` covers states
+    /// `s_1 … s_10`.
+    ///
+    /// # Errors
+    /// [`GeoError::InvalidRange`] for `start == 0` or `start > end`;
+    /// [`GeoError::CellOutOfRange`] if `end` exceeds the domain.
+    pub fn from_one_based_range(num_cells: usize, start: usize, end: usize) -> Result<Self> {
+        if start == 0 || start > end {
+            return Err(GeoError::InvalidRange { start, end });
+        }
+        if end > num_cells {
+            return Err(GeoError::CellOutOfRange { cell: end - 1, num_cells });
+        }
+        Self::from_cells(num_cells, (start - 1..end).map(CellId))
+    }
+
+    /// Number of cells in the underlying domain (the paper's `m`).
+    pub fn num_cells(&self) -> usize {
+        self.num_cells
+    }
+
+    /// Adds a cell to the region.
+    ///
+    /// # Errors
+    /// [`GeoError::CellOutOfRange`] if the cell exceeds the domain.
+    pub fn insert(&mut self, cell: CellId) -> Result<()> {
+        if cell.0 >= self.num_cells {
+            return Err(GeoError::CellOutOfRange { cell: cell.0, num_cells: self.num_cells });
+        }
+        self.words[cell.0 / 64] |= 1u64 << (cell.0 % 64);
+        Ok(())
+    }
+
+    /// Removes a cell from the region.
+    ///
+    /// # Errors
+    /// [`GeoError::CellOutOfRange`] if the cell exceeds the domain.
+    pub fn remove(&mut self, cell: CellId) -> Result<()> {
+        if cell.0 >= self.num_cells {
+            return Err(GeoError::CellOutOfRange { cell: cell.0, num_cells: self.num_cells });
+        }
+        self.words[cell.0 / 64] &= !(1u64 << (cell.0 % 64));
+        Ok(())
+    }
+
+    /// Membership test. Cells outside the domain are reported absent.
+    pub fn contains(&self, cell: CellId) -> bool {
+        if cell.0 >= self.num_cells {
+            return false;
+        }
+        self.words[cell.0 / 64] & (1u64 << (cell.0 % 64)) != 0
+    }
+
+    /// Number of cells in the region.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the region contains no cells.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterator over member cells in ascending index order.
+    pub fn iter(&self) -> impl Iterator<Item = CellId> + '_ {
+        (0..self.num_cells).map(CellId).filter(|&c| self.contains(c))
+    }
+
+    /// The paper's indicator vector `s ∈ {0,1}^m`: entry `i` is 1 iff cell
+    /// `i` belongs to the region.
+    pub fn indicator(&self) -> Vector {
+        (0..self.num_cells)
+            .map(|i| if self.contains(CellId(i)) { 1.0 } else { 0.0 })
+            .collect()
+    }
+
+    /// The complementary indicator `1 − s`.
+    pub fn complement_indicator(&self) -> Vector {
+        (0..self.num_cells)
+            .map(|i| if self.contains(CellId(i)) { 0.0 } else { 1.0 })
+            .collect()
+    }
+
+    /// Set union.
+    ///
+    /// # Errors
+    /// [`GeoError::DomainMismatch`] if the domains differ.
+    pub fn union(&self, other: &Region) -> Result<Region> {
+        self.check_domain(other)?;
+        Ok(Region {
+            num_cells: self.num_cells,
+            words: self.words.iter().zip(&other.words).map(|(a, b)| a | b).collect(),
+        })
+    }
+
+    /// Set intersection.
+    ///
+    /// # Errors
+    /// [`GeoError::DomainMismatch`] if the domains differ.
+    pub fn intersection(&self, other: &Region) -> Result<Region> {
+        self.check_domain(other)?;
+        Ok(Region {
+            num_cells: self.num_cells,
+            words: self.words.iter().zip(&other.words).map(|(a, b)| a & b).collect(),
+        })
+    }
+
+    /// Set complement within the domain.
+    pub fn complement(&self) -> Region {
+        let mut out = Region {
+            num_cells: self.num_cells,
+            words: self.words.iter().map(|w| !w).collect(),
+        };
+        // Clear phantom bits above num_cells.
+        let excess = out.words.len() * 64 - self.num_cells;
+        if excess > 0 {
+            let last = out.words.len() - 1;
+            out.words[last] &= u64::MAX >> excess;
+        }
+        out
+    }
+
+    fn check_domain(&self, other: &Region) -> Result<()> {
+        if self.num_cells != other.num_cells {
+            return Err(GeoError::DomainMismatch { left: self.num_cells, right: other.num_cells });
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, c) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        let e = Region::empty(100);
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        let fl = Region::full(100);
+        assert_eq!(fl.len(), 100);
+        assert!(fl.contains(CellId(99)));
+        assert!(!fl.contains(CellId(100)));
+    }
+
+    #[test]
+    fn one_based_range_matches_paper_notation() {
+        // S = {1:10} on a 400-cell grid covers s_1..s_10 = indices 0..=9.
+        let r = Region::from_one_based_range(400, 1, 10).unwrap();
+        assert_eq!(r.len(), 10);
+        assert!(r.contains(CellId(0)));
+        assert!(r.contains(CellId(9)));
+        assert!(!r.contains(CellId(10)));
+    }
+
+    #[test]
+    fn range_validation() {
+        assert!(matches!(
+            Region::from_one_based_range(10, 0, 5),
+            Err(GeoError::InvalidRange { .. })
+        ));
+        assert!(matches!(
+            Region::from_one_based_range(10, 5, 3),
+            Err(GeoError::InvalidRange { .. })
+        ));
+        assert!(matches!(
+            Region::from_one_based_range(10, 1, 11),
+            Err(GeoError::CellOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut r = Region::empty(70); // spans two words
+        r.insert(CellId(0)).unwrap();
+        r.insert(CellId(65)).unwrap();
+        assert!(r.contains(CellId(65)));
+        r.remove(CellId(65)).unwrap();
+        assert!(!r.contains(CellId(65)));
+        assert!(r.insert(CellId(70)).is_err());
+        assert!(r.remove(CellId(70)).is_err());
+    }
+
+    #[test]
+    fn indicator_matches_membership() {
+        let r = Region::from_cells(5, [CellId(1), CellId(3)]).unwrap();
+        assert_eq!(r.indicator().as_slice(), &[0.0, 1.0, 0.0, 1.0, 0.0]);
+        assert_eq!(r.complement_indicator().as_slice(), &[1.0, 0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = Region::from_cells(8, [CellId(0), CellId(1)]).unwrap();
+        let b = Region::from_cells(8, [CellId(1), CellId(2)]).unwrap();
+        let u = a.union(&b).unwrap();
+        assert_eq!(u.len(), 3);
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![CellId(1)]);
+        let c = a.complement();
+        assert_eq!(c.len(), 6);
+        assert!(!c.contains(CellId(0)));
+        assert!(c.contains(CellId(7)));
+    }
+
+    #[test]
+    fn complement_clears_phantom_bits() {
+        let r = Region::empty(65).complement(); // full region, 2 words
+        assert_eq!(r.len(), 65);
+        assert_eq!(r.complement().len(), 0);
+    }
+
+    #[test]
+    fn domain_mismatch_detected() {
+        let a = Region::empty(4);
+        let b = Region::empty(5);
+        assert!(matches!(a.union(&b), Err(GeoError::DomainMismatch { .. })));
+        assert!(matches!(a.intersection(&b), Err(GeoError::DomainMismatch { .. })));
+    }
+
+    #[test]
+    fn display_uses_paper_names() {
+        let r = Region::from_cells(5, [CellId(0), CellId(2)]).unwrap();
+        assert_eq!(r.to_string(), "{s1,s3}");
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let r = Region::from_cells(130, [CellId(128), CellId(3), CellId(64)]).unwrap();
+        let cells: Vec<usize> = r.iter().map(|c| c.index()).collect();
+        assert_eq!(cells, vec![3, 64, 128]);
+    }
+}

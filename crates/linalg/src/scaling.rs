@@ -1,0 +1,252 @@
+//! HMM-style rescaled probability vectors.
+//!
+//! The joint probabilities in Lemmas III.2/III.3 are products of `T`
+//! sub-stochastic factors (`M_{i−1} · p̃^D_{o_i}`); with `m = 400` states and
+//! `T = 50+` timestamps the raw values underflow toward `1e-130` and below.
+//! PriSTE only ever consumes these quantities through *ratios* and through
+//! the Theorem IV.1 inequalities, which are jointly homogeneous of degree 1
+//! in `(b, c)` — so multiplying all forward/backward products by a common
+//! positive constant changes no decision. [`ScaledVector`] tracks a vector
+//! `v` together with `log_scale` such that the represented value is
+//! `v · exp(log_scale)`, renormalizing whenever the carried vector drifts out
+//! of a comfortable floating-point window.
+
+use crate::{Matrix, Vector};
+
+/// Renormalize when the carried vector's largest entry leaves
+/// `[RENORM_LO, RENORM_HI]`. The window is generous: renormalization costs a
+/// pass over the vector, so we only pay it when drift is real.
+const RENORM_HI: f64 = 1e100;
+/// See [`RENORM_HI`].
+const RENORM_LO: f64 = 1e-100;
+
+/// A non-negative vector `v` with an exponent offset: represents
+/// `v · exp(log_scale)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaledVector {
+    /// Carried (mantissa) vector.
+    pub vector: Vector,
+    /// Natural-log scale factor applied to every entry.
+    pub log_scale: f64,
+}
+
+impl ScaledVector {
+    /// Wraps a raw vector with zero offset.
+    pub fn new(vector: Vector) -> Self {
+        ScaledVector { vector, log_scale: 0.0 }
+    }
+
+    /// Length of the carried vector.
+    pub fn len(&self) -> usize {
+        self.vector.len()
+    }
+
+    /// Whether the carried vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vector.is_empty()
+    }
+
+    /// The represented sum `Σᵢ vᵢ · exp(log_scale)` as a raw `f64`.
+    ///
+    /// May underflow to 0 or overflow to ∞ for extreme scales; prefer
+    /// [`ScaledVector::log_sum`] when only magnitudes matter.
+    pub fn sum(&self) -> f64 {
+        self.vector.sum() * self.log_scale.exp()
+    }
+
+    /// Natural log of the represented sum, `ln(Σᵢ vᵢ) + log_scale`.
+    /// Returns `-∞` when the carried sum is zero.
+    pub fn log_sum(&self) -> f64 {
+        let s = self.vector.sum();
+        if s <= 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            s.ln() + self.log_scale
+        }
+    }
+
+    /// Advances by one forward factor: `self ← (self · M) ∘ e`, where `e` is
+    /// an emission column. This is exactly one step of the paper's forward
+    /// product `… (M_{i−1} · p̃^D_{o_i})`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch between `self`, `m` and `e`.
+    pub fn forward_step(&mut self, m: &Matrix, e: &Vector) {
+        let moved = m.vecmat(&self.vector);
+        self.vector = moved.hadamard(e).expect("emission dimension mismatch");
+        self.renormalize();
+    }
+
+    /// Advances by one *plain* transition without an emission factor:
+    /// `self ← self · M`. Used for the prior products of Lemma III.1.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn transition_step(&mut self, m: &Matrix) {
+        self.vector = m.vecmat(&self.vector);
+        self.renormalize();
+    }
+
+    /// Advances by one backward factor: `self ← (self ∘ e) · Mᵀ`, i.e. one
+    /// step of the paper's backward product `(p̃^D_{o_{i+1}} · Mᵀ_i)` applied
+    /// to a row vector from the left.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn backward_step(&mut self, m: &Matrix, e: &Vector) {
+        let weighted = self.vector.hadamard(e).expect("emission dimension mismatch");
+        // (w · Mᵀ) as a row vector equals M · wᵀ read as a row.
+        self.vector = m.matvec(&weighted);
+        self.renormalize();
+    }
+
+    /// Dot product of two scaled vectors as `(value, log_scale)` — i.e. the
+    /// represented result is `value · exp(log_scale)`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn scaled_dot(&self, other: &ScaledVector) -> (f64, f64) {
+        let raw = self.vector.dot(&other.vector).expect("scaled_dot dimension mismatch");
+        (raw, self.log_scale + other.log_scale)
+    }
+
+    /// Pulls the carried vector back into floating-point range, folding the
+    /// extracted factor into `log_scale`.
+    pub fn renormalize(&mut self) {
+        let peak = self.vector.max_abs();
+        if peak == 0.0 || !peak.is_finite() {
+            return; // zero vector stays zero; non-finite is surfaced to callers
+        }
+        if !(RENORM_LO..=RENORM_HI).contains(&peak) {
+            let shift = peak.ln();
+            self.vector.scale_mut((-shift).exp());
+            self.log_scale += shift;
+        }
+    }
+
+    /// Returns a copy of both halves' represented values with the *shared*
+    /// log scale — convenient for lifted two-world vectors.
+    ///
+    /// # Panics
+    /// Panics if the carried vector has odd length.
+    pub fn split_halves(&self) -> (ScaledVector, ScaledVector) {
+        let (a, b) = self.vector.split_halves();
+        (
+            ScaledVector { vector: a, log_scale: self.log_scale },
+            ScaledVector { vector: b, log_scale: self.log_scale },
+        )
+    }
+
+    /// Rescales `self` and `other` to a common `log_scale` (the larger of the
+    /// two) and returns the raw carried vectors under that shared scale,
+    /// together with the scale itself.
+    ///
+    /// This is how Theorem IV.1's `(b, c)` pair is extracted: both vectors
+    /// must be expressed relative to the *same* positive constant for the
+    /// homogeneous inequalities to be evaluated on raw floats.
+    pub fn align_with(&self, other: &ScaledVector) -> (Vector, Vector, f64) {
+        let shared = self.log_scale.max(other.log_scale);
+        let a = self.vector.scale((self.log_scale - shared).exp());
+        let b = other.vector.scale((other.log_scale - shared).exp());
+        (a, b, shared)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m3() -> Matrix {
+        Matrix::from_rows(&[
+            vec![0.1, 0.2, 0.7],
+            vec![0.4, 0.1, 0.5],
+            vec![0.0, 0.1, 0.9],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn forward_step_matches_raw_computation() {
+        let m = m3();
+        let e = Vector::from(vec![0.5, 0.2, 0.3]);
+        let mut s = ScaledVector::new(Vector::from(vec![0.3, 0.3, 0.4]));
+        s.forward_step(&m, &e);
+        let raw = m
+            .vecmat(&Vector::from(vec![0.3, 0.3, 0.4]))
+            .hadamard(&e)
+            .unwrap();
+        let unscaled = s.vector.scale(s.log_scale.exp());
+        assert!(unscaled.max_abs_diff(&raw) < 1e-12);
+    }
+
+    #[test]
+    fn long_product_does_not_underflow() {
+        let m = m3();
+        let e = Vector::from(vec![1e-3, 1e-3, 1e-3]); // brutal emission
+        let mut s = ScaledVector::new(Vector::uniform(3));
+        for _ in 0..200 {
+            s.forward_step(&m, &e);
+        }
+        // Raw value would be ~1e-600 (underflow); log_sum must stay finite.
+        let ls = s.log_sum();
+        assert!(ls.is_finite());
+        assert!(ls < -1000.0);
+        assert!(s.vector.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn log_sum_of_zero_vector_is_neg_infinity() {
+        let s = ScaledVector::new(Vector::zeros(3));
+        assert_eq!(s.log_sum(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn backward_step_matches_raw_computation() {
+        let m = m3();
+        let e = Vector::from(vec![0.2, 0.5, 0.3]);
+        let beta = Vector::from(vec![1.0, 1.0, 1.0]);
+        let mut s = ScaledVector::new(beta.clone());
+        s.backward_step(&m, &e);
+        let raw = m.matvec(&beta.hadamard(&e).unwrap());
+        let unscaled = s.vector.scale(s.log_scale.exp());
+        assert!(unscaled.max_abs_diff(&raw) < 1e-12);
+    }
+
+    #[test]
+    fn align_with_restores_common_scale() {
+        let a = ScaledVector { vector: Vector::from(vec![1.0, 2.0]), log_scale: -5.0 };
+        let b = ScaledVector { vector: Vector::from(vec![3.0, 4.0]), log_scale: -3.0 };
+        let (av, bv, shared) = a.align_with(&b);
+        assert_eq!(shared, -3.0);
+        // a represented = [e^-5, 2e^-5]; under scale e^-3 carried = [e^-2, 2e^-2]
+        assert!((av[0] - (-2.0_f64).exp()).abs() < 1e-12);
+        assert_eq!(bv.as_slice(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn transition_step_preserves_total_mass_in_log() {
+        let m = m3();
+        let mut s = ScaledVector::new(Vector::uniform(3));
+        let before = s.log_sum();
+        s.transition_step(&m);
+        // Stochastic transition preserves total probability mass.
+        assert!((s.log_sum() - before).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_dot_combines_scales() {
+        let a = ScaledVector { vector: Vector::from(vec![1.0, 1.0]), log_scale: -10.0 };
+        let b = ScaledVector { vector: Vector::from(vec![2.0, 3.0]), log_scale: -20.0 };
+        let (raw, ls) = a.scaled_dot(&b);
+        assert_eq!(raw, 5.0);
+        assert_eq!(ls, -30.0);
+    }
+
+    #[test]
+    fn split_halves_shares_scale() {
+        let s = ScaledVector { vector: Vector::from(vec![1.0, 2.0, 3.0, 4.0]), log_scale: 7.0 };
+        let (x, y) = s.split_halves();
+        assert_eq!(x.log_scale, 7.0);
+        assert_eq!(y.vector.as_slice(), &[3.0, 4.0]);
+    }
+}

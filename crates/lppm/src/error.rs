@@ -1,0 +1,58 @@
+use std::fmt;
+
+/// Errors produced by mechanism construction and use.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LppmError {
+    /// A privacy budget was non-positive or non-finite.
+    InvalidBudget {
+        /// The offending value.
+        value: f64,
+    },
+    /// A δ parameter was outside `(0, 1)`.
+    InvalidDelta {
+        /// The offending value.
+        value: f64,
+    },
+    /// A cell index exceeded the mechanism's domain.
+    CellOutOfRange {
+        /// Offending 0-based cell index.
+        cell: usize,
+        /// Domain size.
+        num_cells: usize,
+    },
+    /// A prior distribution failed validation.
+    InvalidPrior(priste_linalg::LinalgError),
+    /// The restricted output domain became empty (δ-location set of size 0).
+    EmptyOutputDomain,
+}
+
+impl fmt::Display for LppmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LppmError::InvalidBudget { value } => {
+                write!(f, "privacy budget must be positive and finite, got {value}")
+            }
+            LppmError::InvalidDelta { value } => {
+                write!(f, "delta must lie in (0, 1), got {value}")
+            }
+            LppmError::CellOutOfRange { cell, num_cells } => {
+                write!(f, "cell {cell} out of range for {num_cells}-cell mechanism")
+            }
+            LppmError::InvalidPrior(e) => write!(f, "invalid prior distribution: {e}"),
+            LppmError::EmptyOutputDomain => write!(f, "restricted output domain is empty"),
+        }
+    }
+}
+
+impl std::error::Error for LppmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_values() {
+        assert!(LppmError::InvalidBudget { value: -1.0 }.to_string().contains("-1"));
+        assert!(LppmError::InvalidDelta { value: 2.0 }.to_string().contains('2'));
+    }
+}

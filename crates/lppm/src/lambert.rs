@@ -1,0 +1,194 @@
+//! Real branches of the Lambert W function.
+//!
+//! The Planar Laplace mechanism's radial inverse CDF is
+//! `r = −(1/α)·(W₋₁((p−1)/e) + 1)` (Andrés et al., CCS'13 §4.1), so drawing
+//! continuous geo-indistinguishable noise needs the secondary real branch
+//! `W₋₁` on `[−1/e, 0)`. Both real branches are implemented from scratch:
+//! an initial asymptotic/series guess polished by Halley iteration, accurate
+//! to ~1e-14 across the domain.
+
+/// `1/e`, the branch point of the real Lambert W function.
+pub const INV_E: f64 = 1.0 / std::f64::consts::E;
+
+/// Principal branch `W₀(x)` for `x ≥ −1/e`.
+///
+/// Satisfies `W₀(x)·e^{W₀(x)} = x` with `W₀(x) ≥ −1`.
+/// Returns `NaN` outside the domain.
+pub fn lambert_w0(x: f64) -> f64 {
+    if x.is_nan() || x < -INV_E {
+        return f64::NAN;
+    }
+    if x == 0.0 {
+        return 0.0;
+    }
+    if (x + INV_E).abs() < 1e-300 {
+        return -1.0;
+    }
+    // Initial guesses per region (Corless et al. 1996).
+    let mut w = if x < -0.25 {
+        // Series around the branch point: W ≈ −1 + p − p²/3, p = √(2(ex+1)).
+        let p = (2.0 * (std::f64::consts::E * x + 1.0)).sqrt();
+        -1.0 + p - p * p / 3.0
+    } else if x < 1.0 {
+        // Pade-like start near 0: W ≈ x(1 − x + 1.5x²)/(1 + 0.5x).
+        x * (1.0 - x + 1.5 * x * x) / (1.0 + 0.5 * x)
+    } else {
+        // Asymptotic: W ≈ ln x − ln ln x.
+        let l = x.ln();
+        l - l.ln().max(0.0)
+    };
+    halley(x, &mut w);
+    w
+}
+
+/// Secondary real branch `W₋₁(x)` for `x ∈ [−1/e, 0)`.
+///
+/// Satisfies `W₋₁(x)·e^{W₋₁(x)} = x` with `W₋₁(x) ≤ −1`.
+/// Returns `NaN` outside the domain.
+pub fn lambert_wm1(x: f64) -> f64 {
+    if x.is_nan() || !(-INV_E..0.0).contains(&x) {
+        return f64::NAN;
+    }
+    if (x + INV_E).abs() < 1e-300 {
+        return -1.0;
+    }
+    // Initial guess: near the branch point use the √ series (negative root);
+    // near zero use the asymptotic W₋₁ ≈ ln(−x) − ln(−ln(−x)).
+    let mut w = if x < -0.25 {
+        let p = (2.0 * (std::f64::consts::E * x + 1.0)).sqrt();
+        -1.0 - p - p * p / 3.0
+    } else {
+        let l = (-x).ln();
+        l - (-l).ln()
+    };
+    halley(x, &mut w);
+    w
+}
+
+/// Halley's iteration for `w·e^w = x`; cubic convergence, ≤ 50 steps.
+fn halley(x: f64, w: &mut f64) {
+    for _ in 0..50 {
+        let ew = w.exp();
+        let f = *w * ew - x;
+        if f == 0.0 {
+            return;
+        }
+        let denom = ew * (*w + 1.0) - (*w + 2.0) * f / (2.0 * *w + 2.0);
+        if denom == 0.0 || !denom.is_finite() {
+            return;
+        }
+        let step = f / denom;
+        *w -= step;
+        if step.abs() <= 1e-16 * (1.0 + w.abs()) {
+            return;
+        }
+    }
+}
+
+/// Inverse CDF of the radial component of planar Laplace noise with budget
+/// `alpha`: given `p ∈ [0, 1)`, the radius `r` with
+/// `P(R ≤ r) = 1 − (1 + αr)·e^{−αr} = p`, solved in closed form through
+/// `W₋₁` (Andrés et al., CCS'13, Eq. for C_ε⁻¹).
+///
+/// # Panics
+/// Panics if `alpha ≤ 0` or `p ∉ [0, 1)` (programmer errors — the sampler
+/// always feeds uniform variates and a validated budget).
+pub fn planar_laplace_radius_icdf(alpha: f64, p: f64) -> f64 {
+    assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive, got {alpha}");
+    assert!((0.0..1.0).contains(&p), "p must lie in [0,1), got {p}");
+    if p == 0.0 {
+        return 0.0;
+    }
+    let w = lambert_wm1((p - 1.0) * INV_E);
+    -(w + 1.0) / alpha
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_inverse(w: f64, x: f64) {
+        let back = w * w.exp();
+        assert!(
+            (back - x).abs() <= 1e-12 * (1.0 + x.abs()),
+            "w={w} gives w·e^w={back}, wanted {x}"
+        );
+    }
+
+    #[test]
+    fn w0_known_values() {
+        assert!((lambert_w0(0.0)).abs() < 1e-15);
+        // W0(e) = 1.
+        assert!((lambert_w0(std::f64::consts::E) - 1.0).abs() < 1e-14);
+        // W0(1) = Ω ≈ 0.5671432904097838.
+        assert!((lambert_w0(1.0) - 0.567_143_290_409_783_8).abs() < 1e-14);
+    }
+
+    #[test]
+    fn w0_is_functional_inverse_across_domain() {
+        for &x in &[-INV_E + 1e-9, -0.3, -0.1, 0.1, 0.5, 1.0, 5.0, 100.0, 1e6] {
+            check_inverse(lambert_w0(x), x);
+        }
+    }
+
+    #[test]
+    fn wm1_known_values() {
+        // W₋₁(−1/e) = −1.
+        assert!((lambert_wm1(-INV_E) + 1.0).abs() < 1e-7);
+        // W₋₁(−0.1) ≈ −3.577152063957297.
+        assert!((lambert_wm1(-0.1) + 3.577_152_063_957_297).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wm1_is_functional_inverse_across_domain() {
+        for &x in &[-INV_E + 1e-12, -0.35, -0.2, -0.1, -0.01, -1e-6, -1e-12] {
+            check_inverse(lambert_wm1(x), x);
+        }
+    }
+
+    #[test]
+    fn wm1_is_below_w0_on_shared_domain() {
+        for &x in &[-0.3, -0.2, -0.05, -0.001] {
+            assert!(lambert_wm1(x) < lambert_w0(x));
+            assert!(lambert_wm1(x) <= -1.0);
+            assert!(lambert_w0(x) >= -1.0);
+        }
+    }
+
+    #[test]
+    fn out_of_domain_is_nan() {
+        assert!(lambert_w0(-1.0).is_nan());
+        assert!(lambert_wm1(0.1).is_nan());
+        assert!(lambert_wm1(-1.0).is_nan());
+        assert!(lambert_w0(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn radius_icdf_inverts_radial_cdf() {
+        let alpha = 0.7;
+        for &p in &[0.0, 0.1, 0.5, 0.9, 0.999] {
+            let r = planar_laplace_radius_icdf(alpha, p);
+            assert!(r >= 0.0);
+            let cdf = 1.0 - (1.0 + alpha * r) * (-alpha * r).exp();
+            assert!((cdf - p).abs() < 1e-10, "p={p}: r={r}, cdf={cdf}");
+        }
+    }
+
+    #[test]
+    fn radius_icdf_is_monotone_and_scales_with_alpha() {
+        let r1 = planar_laplace_radius_icdf(1.0, 0.5);
+        let r2 = planar_laplace_radius_icdf(1.0, 0.9);
+        assert!(r2 > r1);
+        // Larger budget ⇒ tighter noise ⇒ smaller radius at the same p.
+        let tight = planar_laplace_radius_icdf(2.0, 0.5);
+        assert!(tight < r1);
+        // Exact scaling: r(α, p) = r(1, p)/α.
+        assert!((tight - r1 / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn radius_icdf_rejects_bad_alpha() {
+        let _ = planar_laplace_radius_icdf(0.0, 0.5);
+    }
+}

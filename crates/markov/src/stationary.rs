@@ -1,0 +1,116 @@
+//! Stationary-distribution analysis via power iteration.
+//!
+//! Used by experiments to seed realistic initial distributions `π` and by
+//! diagnostics that report how "significant" a mobility pattern is (the
+//! Fig. 13 axis): chains with strong patterns mix slowly and have
+//! concentrated stationary mass.
+
+use crate::{MarkovError, MarkovModel, Result};
+use priste_linalg::{LinalgError, Vector};
+
+/// Total-variation distance `½ · Σ|pᵢ − qᵢ|` between two distributions.
+///
+/// # Panics
+/// Panics on length mismatch (diagnostic helper).
+pub fn total_variation(p: &Vector, q: &Vector) -> f64 {
+    assert_eq!(p.len(), q.len(), "total_variation length mismatch");
+    0.5 * p
+        .as_slice()
+        .iter()
+        .zip(q.as_slice())
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f64>()
+}
+
+/// Computes the stationary distribution of `model` by power iteration from
+/// the uniform distribution, stopping when successive iterates are within
+/// `tol` in total variation.
+///
+/// For periodic chains raw power iteration oscillates; we iterate the lazy
+/// chain `(M + I)/2`, which has the same stationary distribution and is
+/// aperiodic by construction.
+///
+/// # Errors
+/// [`MarkovError::InvalidTransition`] wrapping
+/// [`LinalgError::NoConvergence`] if `max_iters` is exhausted (reducible
+/// chains may genuinely lack a unique stationary distribution).
+pub fn stationary_distribution(
+    model: &MarkovModel,
+    tol: f64,
+    max_iters: usize,
+) -> Result<Vector> {
+    let mut p = Vector::uniform(model.num_states());
+    for _ in 0..max_iters {
+        let stepped = model.step(&p)?;
+        // Lazy-chain update: ½p + ½pM.
+        let next = p.add(&stepped).map_err(MarkovError::InvalidTransition)?.scale(0.5);
+        let delta = total_variation(&next, &p);
+        p = next;
+        if delta < tol {
+            // One final normalization guards against drift over many iters.
+            let mut out = p;
+            out.normalize_mut().map_err(MarkovError::InvalidInitial)?;
+            return Ok(out);
+        }
+    }
+    Err(MarkovError::InvalidTransition(LinalgError::NoConvergence {
+        op: "stationary_distribution",
+        iterations: max_iters,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use priste_linalg::Matrix;
+
+    #[test]
+    fn uniform_chain_has_uniform_stationary() {
+        let m = Matrix::from_rows(&[vec![0.5, 0.5], vec![0.5, 0.5]]).unwrap();
+        let model = MarkovModel::new(m).unwrap();
+        let pi = stationary_distribution(&model, 1e-12, 10_000).unwrap();
+        assert!((pi[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stationary_is_fixed_point() {
+        let model = MarkovModel::paper_example();
+        let pi = stationary_distribution(&model, 1e-13, 100_000).unwrap();
+        let stepped = model.step(&pi).unwrap();
+        assert!(total_variation(&pi, &stepped) < 1e-9);
+        assert!(pi.validate_distribution().is_ok());
+    }
+
+    #[test]
+    fn paper_example_concentrates_on_s3() {
+        // Row 3 of the Example III.1 matrix is [0, 0.1, 0.9]: s3 is sticky.
+        let model = MarkovModel::paper_example();
+        let pi = stationary_distribution(&model, 1e-13, 100_000).unwrap();
+        assert!(pi[2] > 0.7, "stationary {:?}", pi.as_slice());
+    }
+
+    #[test]
+    fn periodic_chain_converges_via_lazy_iteration() {
+        // Pure 2-cycle: raw power iteration oscillates forever.
+        let m = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let model = MarkovModel::new(m).unwrap();
+        let pi = stationary_distribution(&model, 1e-12, 10_000).unwrap();
+        assert!((pi[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_variation_basics() {
+        let p = Vector::from(vec![1.0, 0.0]);
+        let q = Vector::from(vec![0.0, 1.0]);
+        assert_eq!(total_variation(&p, &q), 1.0);
+        assert_eq!(total_variation(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn iteration_budget_is_respected() {
+        let model = MarkovModel::paper_example();
+        // Absurdly tight tolerance with a tiny budget must error, not hang.
+        let r = stationary_distribution(&model, 0.0, 3);
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! Synthetic Gaussian-kernel mobility models (paper §V.A).
+//!
+//! "First, a map with 20∗20 cells is generated. Then, the transition
+//! probability from one cell to another is proportional to the
+//! two-dimensional Gaussian distribution with scale parameter σ. Here, a
+//! smaller σ indicates that the user moves to the adjacent cells in a higher
+//! probability, i.e., the transition matrix has a more significant pattern."
+
+use crate::{MarkovModel, Result};
+use priste_geo::GridMap;
+use priste_linalg::Matrix;
+
+/// Builds the §V.A synthetic chain over `grid`: transition probability from
+/// cell `i` to cell `j` proportional to `exp(−d(i,j)² / (2σ²))` with `d` the
+/// cell-center Euclidean distance in km.
+///
+/// Small `σ` concentrates mass on the current and adjacent cells (a strong
+/// mobility pattern — Fig. 13 shows these need stricter LPPMs); large `σ`
+/// approaches a uniform random walk.
+///
+/// # Panics
+/// Panics if `sigma` is non-positive or non-finite (programmer error in
+/// experiment configs).
+pub fn gaussian_kernel_chain(grid: &GridMap, sigma: f64) -> Result<MarkovModel> {
+    assert!(
+        sigma.is_finite() && sigma > 0.0,
+        "Gaussian kernel scale must be positive and finite, got {sigma}"
+    );
+    let m = grid.num_cells();
+    let dist = grid.distance_table();
+    let inv_two_sigma_sq = 1.0 / (2.0 * sigma * sigma);
+    let mut t = Matrix::zeros(m, m);
+    for (i, dist_row) in dist.iter().enumerate() {
+        let row = t.row_mut(i);
+        for (j, v) in row.iter_mut().enumerate() {
+            let d = dist_row[j];
+            // exp underflows to 0 for d ≫ σ, which is exactly the intended
+            // "never jumps across the map" behaviour for small σ.
+            *v = (-d * d * inv_two_sigma_sq).exp();
+        }
+    }
+    t.normalize_rows_mut();
+    MarkovModel::new(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use priste_geo::CellId;
+
+    #[test]
+    fn produces_stochastic_matrix() {
+        let grid = GridMap::new(5, 5, 1.0).unwrap();
+        for sigma in [0.01, 0.1, 1.0, 10.0] {
+            let chain = gaussian_kernel_chain(&grid, sigma).unwrap();
+            chain.transition().validate_stochastic().unwrap();
+        }
+    }
+
+    #[test]
+    fn small_sigma_concentrates_on_self() {
+        let grid = GridMap::new(5, 5, 1.0).unwrap();
+        let chain = gaussian_kernel_chain(&grid, 0.01).unwrap();
+        // With σ = 0.01 km and 1 km cells, staying put dominates utterly.
+        for i in 0..grid.num_cells() {
+            assert!(chain.transition().get(i, i) > 0.999, "cell {i}");
+        }
+    }
+
+    #[test]
+    fn large_sigma_approaches_uniform() {
+        let grid = GridMap::new(4, 4, 1.0).unwrap();
+        let chain = gaussian_kernel_chain(&grid, 1000.0).unwrap();
+        let uniform = 1.0 / 16.0;
+        for i in 0..16 {
+            for j in 0..16 {
+                assert!((chain.transition().get(i, j) - uniform).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn closer_cells_get_more_mass() {
+        let grid = GridMap::new(3, 3, 1.0).unwrap();
+        let chain = gaussian_kernel_chain(&grid, 1.0).unwrap();
+        let center = grid.from_row_col(1, 1).unwrap().index();
+        let adjacent = grid.from_row_col(1, 2).unwrap().index();
+        let corner = grid.from_row_col(0, 0).unwrap().index();
+        let p_adj = chain.transition().get(center, adjacent);
+        let p_cor = chain.transition().get(center, corner);
+        assert!(p_adj > p_cor, "adjacent {p_adj} vs corner {p_cor}");
+    }
+
+    #[test]
+    fn kernel_is_symmetric_in_distance() {
+        // d(i,j) = d(j,i) and all rows share the same kernel, so before
+        // normalization the matrix is symmetric; after normalization rows of
+        // symmetric-position cells match by reflection.
+        let grid = GridMap::new(3, 3, 1.0).unwrap();
+        let chain = gaussian_kernel_chain(&grid, 0.7).unwrap();
+        let t = chain.transition();
+        // Corners 0 and 8 are mirror images: p(0→1) must equal p(8→7).
+        assert!((t.get(0, 1) - t.get(8, 7)).abs() < 1e-12);
+        assert!((t.get(0, 4) - t.get(8, 4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_decay_along_a_row_of_cells() {
+        let grid = GridMap::new(1, 6, 1.0).unwrap();
+        let chain = gaussian_kernel_chain(&grid, 1.5).unwrap();
+        let row = chain.transition().row(0);
+        for w in row.windows(2) {
+            assert!(w[0] >= w[1], "row not monotone: {row:?}");
+        }
+        let _ = CellId(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_sigma_panics() {
+        let grid = GridMap::new(2, 2, 1.0).unwrap();
+        let _ = gaussian_kernel_chain(&grid, 0.0);
+    }
+}

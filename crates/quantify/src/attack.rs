@@ -1,0 +1,227 @@
+//! Bayesian adversary simulation — what ε-spatiotemporal event privacy
+//! *means* operationally.
+//!
+//! Definition II.4 bounds the likelihood ratio
+//! `Pr(o_1..o_t | EVENT) / Pr(o_1..o_t | ¬EVENT)` by `e^ε` in both
+//! directions. By Bayes, that is exactly a bound on how much any adversary
+//! can *move their odds*: for every prior belief `Pr(EVENT)`,
+//!
+//! ```text
+//! posterior odds / prior odds  ∈  [e^{−ε}, e^{+ε}].
+//! ```
+//!
+//! [`BayesianAdversary`] implements the strongest inference consistent
+//! with the threat model — exact posterior computation under the true
+//! mobility model — and reports the realized odds lift at every step.
+//! Integration tests release streams through the PriSTE framework and
+//! assert the lift bound holds for batteries of priors; the examples use it
+//! to show un-calibrated mechanisms breaking the same bound.
+
+use crate::{QuantifyError, Result, TheoremBuilder};
+use priste_event::StEvent;
+use priste_linalg::Vector;
+use priste_markov::TransitionProvider;
+
+/// The adversary's belief state after each observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Inference {
+    /// Timestep of the latest observation (1-based).
+    pub t: usize,
+    /// The adversary's prior `Pr(EVENT)` (fixed by their initial belief).
+    pub prior: f64,
+    /// Posterior `Pr(EVENT | o_1..o_t)`.
+    pub posterior: f64,
+    /// Odds lift `(posterior odds) / (prior odds)`; ε-ST-event privacy
+    /// guarantees `e^{−ε} ≤ lift ≤ e^{ε}` for releases certified at ε.
+    pub odds_lift: f64,
+}
+
+/// An exact Bayesian adversary with a fixed prior belief `π` over the
+/// user's initial location, full knowledge of the mobility model `M`, and
+/// full knowledge of each release's emission column (the mechanism is
+/// public; only the true location is secret).
+#[derive(Debug)]
+pub struct BayesianAdversary<'e, P> {
+    builder: TheoremBuilder<'e, P>,
+    pi: Vector,
+    prior: f64,
+}
+
+impl<'e, P: TransitionProvider> BayesianAdversary<'e, P> {
+    /// Creates the adversary.
+    ///
+    /// # Errors
+    /// Domain/validation errors; [`QuantifyError::DegeneratePrior`] when the
+    /// event has probability 0 or 1 under `π` (no inference to do).
+    pub fn new(event: &'e StEvent, provider: P, pi: Vector) -> Result<Self> {
+        pi.validate_distribution().map_err(QuantifyError::InvalidInitial)?;
+        let builder = TheoremBuilder::new(event, provider)?;
+        let prior = pi.dot(builder.a()).expect("validated length");
+        if !(prior > 0.0 && prior < 1.0) {
+            return Err(QuantifyError::DegeneratePrior { prior });
+        }
+        Ok(BayesianAdversary { builder, pi, prior })
+    }
+
+    /// The adversary's prior event probability.
+    pub fn prior(&self) -> f64 {
+        self.prior
+    }
+
+    /// Consumes one released observation (as its emission column `p̃_o`)
+    /// and returns the updated belief.
+    ///
+    /// # Errors
+    /// Emission validation; [`QuantifyError::DegeneratePrior`] if the
+    /// observation stream has zero likelihood under the model (the
+    /// adversary's model is wrong — not a privacy condition).
+    pub fn observe(&mut self, emission_column: &Vector) -> Result<Inference> {
+        let inputs = self.builder.candidate(emission_column)?;
+        let jb = self.pi.dot(&inputs.b).expect("validated length");
+        let jc = self.pi.dot(&inputs.c).expect("validated length");
+        if jc <= 0.0 {
+            return Err(QuantifyError::DegeneratePrior { prior: self.prior });
+        }
+        let posterior = (jb / jc).clamp(0.0, 1.0);
+        let prior_odds = self.prior / (1.0 - self.prior);
+        let posterior_odds = if posterior >= 1.0 {
+            f64::INFINITY
+        } else {
+            posterior / (1.0 - posterior)
+        };
+        self.builder.commit(emission_column.clone())?;
+        Ok(Inference {
+            t: self.builder.committed(),
+            prior: self.prior,
+            posterior,
+            odds_lift: posterior_odds / prior_odds,
+        })
+    }
+}
+
+/// Convenience: replays a whole released stream and returns the largest
+/// absolute log-odds lift `max_t |ln lift_t|` — the *empirical* privacy
+/// loss an exact Bayesian adversary with prior `π` achieves.
+///
+/// # Errors
+/// See [`BayesianAdversary`].
+pub fn worst_case_odds_lift<P: TransitionProvider>(
+    event: &StEvent,
+    provider: P,
+    pi: Vector,
+    emission_columns: &[Vector],
+) -> Result<f64> {
+    let mut adversary = BayesianAdversary::new(event, provider, pi)?;
+    let mut worst: f64 = 0.0;
+    for col in emission_columns {
+        let inference = adversary.observe(col)?;
+        worst = worst.max(inference.odds_lift.ln().abs());
+    }
+    Ok(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use priste_event::Presence;
+    use priste_geo::{CellId, Region};
+    use priste_markov::{Homogeneous, MarkovModel};
+
+    fn region(ids: &[usize]) -> Region {
+        Region::from_cells(3, ids.iter().map(|&i| CellId(i))).unwrap()
+    }
+
+    fn chain() -> Homogeneous {
+        Homogeneous::new(MarkovModel::paper_example())
+    }
+
+    #[test]
+    fn uninformative_observations_leave_beliefs_unchanged() {
+        let ev: StEvent = Presence::new(region(&[0, 1]), 2, 3).unwrap().into();
+        let mut adv = BayesianAdversary::new(&ev, chain(), Vector::uniform(3)).unwrap();
+        let flat = Vector::from(vec![1.0 / 3.0; 3]);
+        for _ in 0..4 {
+            let inf = adv.observe(&flat).unwrap();
+            assert!((inf.posterior - inf.prior).abs() < 1e-10);
+            assert!((inf.odds_lift - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn posterior_moves_toward_evidence() {
+        // Event: in {s1} at t=2. An observation at t=2 overwhelmingly more
+        // likely from s1 must raise the posterior; one unlikely from s1
+        // must lower it.
+        let ev: StEvent = Presence::new(region(&[0]), 2, 2).unwrap().into();
+        let pi = Vector::uniform(3);
+        let flat = Vector::from(vec![1.0 / 3.0; 3]);
+
+        let mut adv = BayesianAdversary::new(&ev, chain(), pi.clone()).unwrap();
+        adv.observe(&flat).unwrap();
+        let up = adv.observe(&Vector::from(vec![0.9, 0.05, 0.05])).unwrap();
+        assert!(up.posterior > up.prior, "{up:?}");
+        assert!(up.odds_lift > 1.0);
+
+        let mut adv = BayesianAdversary::new(&ev, chain(), pi).unwrap();
+        adv.observe(&flat).unwrap();
+        let down = adv.observe(&Vector::from(vec![0.02, 0.49, 0.49])).unwrap();
+        assert!(down.posterior < down.prior, "{down:?}");
+        assert!(down.odds_lift < 1.0);
+    }
+
+    #[test]
+    fn odds_lift_equals_likelihood_ratio() {
+        // Bayes: posterior odds / prior odds = Pr(o|E)/Pr(o|¬E); the
+        // adversary's lift must match the fixed-π quantifier's ratio.
+        let ev: StEvent = Presence::new(region(&[0, 1]), 2, 3).unwrap().into();
+        let pi = Vector::from(vec![0.5, 0.3, 0.2]);
+        let cols = vec![
+            Vector::from(vec![0.6, 0.3, 0.1]),
+            Vector::from(vec![0.1, 0.3, 0.6]),
+            Vector::from(vec![0.4, 0.4, 0.2]),
+        ];
+        let mut adv = BayesianAdversary::new(&ev, chain(), pi.clone()).unwrap();
+        let mut quant =
+            crate::fixed_pi::FixedPiQuantifier::new(&ev, chain(), pi).unwrap();
+        for col in &cols {
+            let inf = adv.observe(col).unwrap();
+            let step = quant.observe(col).unwrap();
+            let expected_lift =
+                (step.log_likelihood_event - step.log_likelihood_not_event).exp();
+            assert!(
+                (inf.odds_lift - expected_lift).abs() < 1e-9 * expected_lift,
+                "lift {} vs likelihood ratio {expected_lift}",
+                inf.odds_lift
+            );
+        }
+    }
+
+    #[test]
+    fn worst_case_helper_matches_manual_scan() {
+        let ev: StEvent = Presence::new(region(&[0]), 2, 2).unwrap().into();
+        let pi = Vector::uniform(3);
+        let cols = vec![
+            Vector::from(vec![1.0 / 3.0; 3]),
+            Vector::from(vec![0.8, 0.1, 0.1]),
+        ];
+        let worst = worst_case_odds_lift(&ev, chain(), pi.clone(), &cols).unwrap();
+        let mut adv = BayesianAdversary::new(&ev, chain(), pi).unwrap();
+        let mut manual: f64 = 0.0;
+        for c in &cols {
+            manual = manual.max(adv.observe(c).unwrap().odds_lift.ln().abs());
+        }
+        assert!((worst - manual).abs() < 1e-12);
+        assert!(worst > 0.1, "the peaked column should move beliefs");
+    }
+
+    #[test]
+    fn degenerate_priors_are_rejected() {
+        let ev: StEvent = Presence::new(region(&[0]), 2, 2).unwrap().into();
+        // Point mass on s3: the chain cannot reach s1 in one step.
+        let pi = Vector::from(vec![0.0, 0.0, 1.0]);
+        assert!(matches!(
+            BayesianAdversary::new(&ev, chain(), pi),
+            Err(QuantifyError::DegeneratePrior { .. })
+        ));
+    }
+}

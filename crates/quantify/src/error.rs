@@ -1,0 +1,78 @@
+use std::fmt;
+
+/// Errors produced by the quantification engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuantifyError {
+    /// The event's state domain disagrees with the transition provider's.
+    DomainMismatch {
+        /// Domain size of the event.
+        event: usize,
+        /// Domain size of the transition provider.
+        provider: usize,
+    },
+    /// An initial distribution failed validation.
+    InvalidInitial(priste_linalg::LinalgError),
+    /// An emission column had the wrong length or negative entries.
+    InvalidEmission {
+        /// Expected length `m`.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// The event prior is degenerate (0 or 1) under the given model, so the
+    /// conditional ratio `Pr(o|EVENT)/Pr(o|¬EVENT)` is undefined.
+    DegeneratePrior {
+        /// The offending prior probability.
+        prior: f64,
+    },
+    /// Observations were supplied out of order or beyond the engine state.
+    TimestepOutOfOrder {
+        /// Timestep expected next.
+        expected: usize,
+        /// Timestep requested.
+        requested: usize,
+    },
+    /// A naive enumeration would exceed the configured work limit.
+    EnumerationTooLarge {
+        /// Number of trajectories the enumeration would visit.
+        trajectories: u128,
+        /// The configured cap.
+        limit: u128,
+    },
+}
+
+impl fmt::Display for QuantifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantifyError::DomainMismatch { event, provider } => {
+                write!(f, "event domain has {event} cells but transition model has {provider}")
+            }
+            QuantifyError::InvalidInitial(e) => write!(f, "invalid initial distribution: {e}"),
+            QuantifyError::InvalidEmission { expected, actual } => {
+                write!(f, "emission column has length {actual}, expected {expected}")
+            }
+            QuantifyError::DegeneratePrior { prior } => {
+                write!(f, "event prior {prior} is degenerate; privacy ratio undefined")
+            }
+            QuantifyError::TimestepOutOfOrder { expected, requested } => {
+                write!(f, "timestep {requested} out of order; engine expects {expected}")
+            }
+            QuantifyError::EnumerationTooLarge { trajectories, limit } => {
+                write!(f, "naive enumeration of {trajectories} trajectories exceeds limit {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuantifyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = QuantifyError::DegeneratePrior { prior: 0.0 };
+        assert!(e.to_string().contains('0'));
+    }
+}

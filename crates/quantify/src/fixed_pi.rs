@@ -1,0 +1,188 @@
+//! §III quantification for a *known* initial distribution.
+//!
+//! Section III computes the conditional likelihoods
+//! `Pr(o_1..o_t | EVENT)` and `Pr(o_1..o_t | ¬EVENT)` for a specified `π`;
+//! §IV then generalizes to arbitrary `π` via Theorem IV.1. This module is
+//! the fixed-`π` face: a tracker that follows a release sequence and reports
+//! the realized privacy loss `|ln ratio|` at every step, used by examples,
+//! post-hoc verification in integration tests, and the experiment harness's
+//! sanity checks.
+
+use crate::{QuantifyError, Result, TheoremBuilder};
+use priste_event::StEvent;
+use priste_linalg::Vector;
+use priste_markov::TransitionProvider;
+
+/// Step-by-step privacy-loss quantifier for a fixed initial distribution.
+#[derive(Debug)]
+pub struct FixedPiQuantifier<'e, P> {
+    builder: TheoremBuilder<'e, P>,
+    pi: Vector,
+}
+
+/// One step's quantification output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepQuantification {
+    /// Timestep `t` (1-based).
+    pub t: usize,
+    /// `Pr(EVENT)` — constant over time for a fixed model and `π`.
+    pub prior: f64,
+    /// `ln Pr(o_1..o_t | EVENT)`.
+    pub log_likelihood_event: f64,
+    /// `ln Pr(o_1..o_t | ¬EVENT)`.
+    pub log_likelihood_not_event: f64,
+    /// Realized two-sided privacy loss `|ln ratio|` — the smallest ε for
+    /// which Definition II.4's inequality holds at this step under this `π`.
+    pub privacy_loss: f64,
+}
+
+impl<'e, P: TransitionProvider> FixedPiQuantifier<'e, P> {
+    /// Couples an event, a transition source and a fixed `π`.
+    ///
+    /// # Errors
+    /// Domain checks from [`TheoremBuilder::new`];
+    /// [`QuantifyError::InvalidInitial`] for a bad `π`;
+    /// [`QuantifyError::DegeneratePrior`] when `Pr(EVENT) ∈ {0, 1}` under
+    /// `π` (no ratio to bound).
+    pub fn new(event: &'e StEvent, provider: P, pi: Vector) -> Result<Self> {
+        pi.validate_distribution().map_err(QuantifyError::InvalidInitial)?;
+        let builder = TheoremBuilder::new(event, provider)?;
+        let prior = pi.dot(builder.a()).expect("validated length");
+        if !(prior > 0.0 && prior < 1.0) {
+            return Err(QuantifyError::DegeneratePrior { prior });
+        }
+        Ok(FixedPiQuantifier { builder, pi })
+    }
+
+    /// The fixed initial distribution.
+    pub fn pi(&self) -> &Vector {
+        &self.pi
+    }
+
+    /// `Pr(EVENT)` under the fixed `π`.
+    pub fn prior(&self) -> f64 {
+        self.pi.dot(self.builder.a()).expect("validated length")
+    }
+
+    /// Quantifies the privacy loss of releasing an observation with emission
+    /// column `p̃_o` at the next timestep, *without* advancing the tracker.
+    ///
+    /// # Errors
+    /// Emission validation from [`TheoremBuilder::candidate`]; degenerate
+    /// likelihoods as [`QuantifyError::DegeneratePrior`].
+    pub fn peek(&self, emission_column: &Vector) -> Result<StepQuantification> {
+        let inputs = self.builder.candidate(emission_column)?;
+        let prior = inputs.prior(&self.pi);
+        let log_joint_e = inputs.log_joint_event(&self.pi);
+        let log_joint_all = inputs.log_joint_total(&self.pi);
+        let joint_not = self.pi.dot(&inputs.c).expect("validated length")
+            - self.pi.dot(&inputs.b).expect("validated length");
+        if !log_joint_e.is_finite() || joint_not <= 0.0 {
+            return Err(QuantifyError::DegeneratePrior { prior });
+        }
+        let log_like_e = log_joint_e - prior.ln();
+        let log_like_not = joint_not.ln() + inputs.bc_log_scale - (1.0 - prior).ln();
+        let _ = log_joint_all;
+        Ok(StepQuantification {
+            t: inputs.t,
+            prior,
+            log_likelihood_event: log_like_e,
+            log_likelihood_not_event: log_like_not,
+            privacy_loss: (log_like_e - log_like_not).abs(),
+        })
+    }
+
+    /// Quantifies and advances past the released observation.
+    ///
+    /// # Errors
+    /// See [`FixedPiQuantifier::peek`].
+    pub fn observe(&mut self, emission_column: &Vector) -> Result<StepQuantification> {
+        let q = self.peek(emission_column)?;
+        self.builder.commit(emission_column.clone())?;
+        Ok(q)
+    }
+
+    /// Number of observations consumed so far.
+    pub fn observed(&self) -> usize {
+        self.builder.committed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use priste_event::Presence;
+    use priste_geo::{CellId, Region};
+    use priste_markov::{Homogeneous, MarkovModel};
+
+    fn region(num_cells: usize, ids: &[usize]) -> Region {
+        Region::from_cells(num_cells, ids.iter().map(|&i| CellId(i))).unwrap()
+    }
+
+    fn chain() -> Homogeneous {
+        Homogeneous::new(MarkovModel::paper_example())
+    }
+
+    #[test]
+    fn likelihoods_match_naive_enumeration() {
+        let ev: StEvent = Presence::new(region(3, &[0, 1]), 2, 3).unwrap().into();
+        let pi = Vector::from(vec![0.5, 0.3, 0.2]);
+        let mut q = FixedPiQuantifier::new(&ev, chain(), pi.clone()).unwrap();
+        let e1 = Vector::from(vec![0.7, 0.2, 0.1]);
+        let e2 = Vector::from(vec![0.1, 0.8, 0.1]);
+        let e3 = Vector::from(vec![0.3, 0.3, 0.4]);
+        let emissions = [e1, e2, e3];
+        let prior = naive::prior(&ev, &chain(), &pi, 1 << 20).unwrap();
+        for t in 1..=3 {
+            let step = q.observe(&emissions[t - 1]).unwrap();
+            let joint_e =
+                naive::joint(&ev, &chain(), &pi, &emissions[..t], 1 << 20).unwrap();
+            // ln Pr(o|E) = ln Pr(o,E) − ln Pr(E).
+            let expect_like_e = joint_e.ln() - prior.ln();
+            assert!(
+                (step.log_likelihood_event - expect_like_e).abs() < 1e-9,
+                "t={t}: {} vs {}",
+                step.log_likelihood_event,
+                expect_like_e
+            );
+            assert!((step.prior - prior).abs() < 1e-12);
+            assert!(step.privacy_loss.is_finite());
+        }
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let ev: StEvent = Presence::new(region(3, &[0]), 2, 2).unwrap().into();
+        let mut q = FixedPiQuantifier::new(&ev, chain(), Vector::uniform(3)).unwrap();
+        let e = Vector::from(vec![0.5, 0.25, 0.25]);
+        let p1 = q.peek(&e).unwrap();
+        let p2 = q.peek(&e).unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(q.observed(), 0);
+        q.observe(&e).unwrap();
+        assert_eq!(q.observed(), 1);
+    }
+
+    #[test]
+    fn degenerate_prior_is_rejected_at_construction() {
+        let ev: StEvent = Presence::new(region(3, &[0]), 2, 2).unwrap().into();
+        // From s3 the chain cannot reach s1 in one step: prior = 0.
+        let pi = Vector::from(vec![0.0, 0.0, 1.0]);
+        assert!(matches!(
+            FixedPiQuantifier::new(&ev, chain(), pi),
+            Err(QuantifyError::DegeneratePrior { .. })
+        ));
+    }
+
+    #[test]
+    fn uninformative_stream_has_zero_loss() {
+        let ev: StEvent = Presence::new(region(3, &[0, 1]), 3, 4).unwrap().into();
+        let mut q = FixedPiQuantifier::new(&ev, chain(), Vector::uniform(3)).unwrap();
+        let flat = Vector::from(vec![1.0 / 3.0; 3]);
+        for _ in 0..6 {
+            let step = q.observe(&flat).unwrap();
+            assert!(step.privacy_loss < 1e-10);
+        }
+    }
+}

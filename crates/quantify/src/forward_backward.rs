@@ -1,0 +1,182 @@
+//! The classic HMM forward–backward smoother (paper Eqs. (10)–(12)).
+//!
+//! PriSTE's joint-probability lemmas embed forward–backward inside the
+//! two-possible-world space; this module is the *plain* version over the
+//! base state space, used for posterior state estimation (e.g. adversary
+//! simulations in the examples) and as a reference point for tests.
+
+use crate::{QuantifyError, Result};
+use priste_linalg::scaling::ScaledVector;
+use priste_linalg::Vector;
+use priste_markov::TransitionProvider;
+
+/// Posterior state estimates `Pr(u_t = s_k | o_1, …, o_T)` for every
+/// timestep (Eq. (12)), given per-timestep emission columns
+/// (`emissions[i]` = `p̃_{o_{i+1}}`).
+///
+/// # Errors
+/// * [`QuantifyError::InvalidInitial`] for a bad `π`.
+/// * [`QuantifyError::InvalidEmission`] for wrong-length columns or an
+///   observation sequence that is impossible under the model (zero
+///   likelihood — there is no posterior to report).
+pub fn posterior_states<P: TransitionProvider>(
+    provider: &P,
+    pi: &Vector,
+    emissions: &[Vector],
+) -> Result<Vec<Vector>> {
+    let m = provider.num_states();
+    if pi.len() != m {
+        return Err(QuantifyError::InvalidInitial(
+            priste_linalg::LinalgError::DimensionMismatch {
+                op: "forward-backward initial",
+                expected: m,
+                actual: pi.len(),
+            },
+        ));
+    }
+    pi.validate_distribution().map_err(QuantifyError::InvalidInitial)?;
+    for e in emissions {
+        if e.len() != m {
+            return Err(QuantifyError::InvalidEmission { expected: m, actual: e.len() });
+        }
+    }
+    let big_t = emissions.len();
+    if big_t == 0 {
+        return Ok(Vec::new());
+    }
+
+    // Forward pass (Eq. (10)): α_1 = π ∘ p̃_{o_1}; α_t = (α_{t−1}·M)∘p̃_{o_t}.
+    let mut alphas: Vec<ScaledVector> = Vec::with_capacity(big_t);
+    let mut alpha = ScaledVector::new(pi.hadamard(&emissions[0]).expect("validated length"));
+    alpha.renormalize();
+    alphas.push(alpha.clone());
+    for t in 2..=big_t {
+        alpha.forward_step(provider.transition_at(t - 1), &emissions[t - 1]);
+        alphas.push(alpha.clone());
+    }
+
+    // Backward pass (Eq. (11)): β_T = 1; β_t = M·(p̃_{o_{t+1}} ∘ β_{t+1}).
+    let mut betas: Vec<ScaledVector> = vec![ScaledVector::new(Vector::ones(m)); big_t];
+    for t in (1..big_t).rev() {
+        let mut b = betas[t].clone();
+        b.backward_step(provider.transition_at(t), &emissions[t]);
+        betas[t - 1] = b;
+    }
+
+    // Combine (Eq. (12)): normalize α_t ∘ β_t per timestep.
+    let mut out = Vec::with_capacity(big_t);
+    for (a, b) in alphas.iter().zip(&betas) {
+        let mut post = a.vector.hadamard(&b.vector).expect("validated length");
+        post.normalize_mut().map_err(|_| QuantifyError::InvalidEmission {
+            expected: m,
+            actual: m,
+        })?;
+        out.push(post);
+    }
+    Ok(out)
+}
+
+/// Log-likelihood `ln Pr(o_1, …, o_T)` of an observation sequence.
+///
+/// # Errors
+/// As [`posterior_states`]. An empty sequence has likelihood 1 (log 0).
+pub fn log_likelihood<P: TransitionProvider>(
+    provider: &P,
+    pi: &Vector,
+    emissions: &[Vector],
+) -> Result<f64> {
+    let m = provider.num_states();
+    pi.validate_distribution().map_err(QuantifyError::InvalidInitial)?;
+    if emissions.is_empty() {
+        return Ok(0.0);
+    }
+    for e in emissions {
+        if e.len() != m {
+            return Err(QuantifyError::InvalidEmission { expected: m, actual: e.len() });
+        }
+    }
+    let mut alpha = ScaledVector::new(pi.hadamard(&emissions[0]).expect("validated length"));
+    alpha.renormalize();
+    for t in 2..=emissions.len() {
+        alpha.forward_step(provider.transition_at(t - 1), &emissions[t - 1]);
+    }
+    Ok(alpha.log_sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use priste_markov::{Homogeneous, MarkovModel};
+
+    fn chain() -> Homogeneous {
+        Homogeneous::new(MarkovModel::paper_example())
+    }
+
+    #[test]
+    fn posteriors_are_distributions() {
+        let e = vec![
+            Vector::from(vec![0.7, 0.2, 0.1]),
+            Vector::from(vec![0.1, 0.8, 0.1]),
+            Vector::from(vec![0.3, 0.3, 0.4]),
+        ];
+        let posts = posterior_states(&chain(), &Vector::uniform(3), &e).unwrap();
+        assert_eq!(posts.len(), 3);
+        for p in &posts {
+            p.validate_distribution().unwrap();
+        }
+    }
+
+    #[test]
+    fn single_observation_posterior_is_bayes_rule() {
+        let e = vec![Vector::from(vec![0.9, 0.05, 0.05])];
+        let pi = Vector::from(vec![0.5, 0.25, 0.25]);
+        let posts = posterior_states(&chain(), &pi, &e).unwrap();
+        let z = 0.5 * 0.9 + 0.25 * 0.05 + 0.25 * 0.05;
+        assert!((posts[0][0] - 0.45 / z).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smoothing_uses_future_evidence() {
+        // An observation at t=2 that only state s3 can emit pins u_2 = s3;
+        // since only s1/s2 reach s3 with prob 0.7/0.5 and s3 self-loops 0.9,
+        // smoothing shifts the t=1 posterior toward s3.
+        let e = vec![
+            Vector::from(vec![1.0 / 3.0; 3]),
+            Vector::from(vec![0.0, 0.0, 1.0]),
+        ];
+        let posts = posterior_states(&chain(), &Vector::uniform(3), &e).unwrap();
+        assert!((posts[1][2] - 1.0).abs() < 1e-12);
+        // Filtered-only t=1 posterior would be uniform; smoothed must favor s3.
+        assert!(posts[0][2] > posts[0][0]);
+        assert!(posts[0][2] > posts[0][1]);
+    }
+
+    #[test]
+    fn impossible_sequence_is_an_error() {
+        // Emission column of zeros: likelihood 0, no posterior.
+        let e = vec![Vector::zeros(3)];
+        assert!(posterior_states(&chain(), &Vector::uniform(3), &e).is_err());
+    }
+
+    #[test]
+    fn log_likelihood_matches_manual_chain_rule() {
+        let e1 = Vector::from(vec![0.7, 0.2, 0.1]);
+        let e2 = Vector::from(vec![0.1, 0.8, 0.1]);
+        let pi = Vector::uniform(3);
+        let m = MarkovModel::paper_example();
+        let mut manual = 0.0;
+        for i in 0..3 {
+            for j in 0..3 {
+                manual += pi[i] * e1[i] * m.transition().get(i, j) * e2[j];
+            }
+        }
+        let got = log_likelihood(&chain(), &pi, &[e1, e2]).unwrap();
+        assert!((got - manual.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sequence() {
+        assert_eq!(log_likelihood(&chain(), &Vector::uniform(3), &[]).unwrap(), 0.0);
+        assert!(posterior_states(&chain(), &Vector::uniform(3), &[]).unwrap().is_empty());
+    }
+}

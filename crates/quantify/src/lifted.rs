@@ -1,0 +1,297 @@
+//! Structured two-possible-world transition steps (paper Eqs. (3)–(8)).
+//!
+//! The lifted state space doubles the map: indices `0..m` are the
+//! EVENT-*false* world, `m..2m` the EVENT-*true* world (the paper's "top"
+//! and "bottom" worlds of Figs. 4–5; `[π, 0]` starts all mass in the false
+//! world, `[0, 1]ᵀ` sums the true world). Every lifted matrix is built from
+//! `M` and a region diagonal, so applications decompose into a handful of
+//! `m`-dimensional products — [`LiftedStep::apply_row`] and
+//! [`LiftedStep::apply_col`] exploit that instead of materializing dense
+//! `2m×2m` matrices. [`LiftedStep::to_dense`] materializes them anyway for
+//! oracle tests.
+
+use priste_geo::Region;
+use priste_linalg::{Matrix, Vector};
+
+/// One lifted transition step `M_t`, by shape.
+#[derive(Debug, Clone)]
+pub enum LiftedStep<'a> {
+    /// Eq. (5)/(8): `[[M, 0], [0, M]]` — outside the event window both
+    /// worlds evolve independently.
+    BlockDiagonal {
+        /// The base transition matrix.
+        m: &'a Matrix,
+    },
+    /// Eq. (4)/(6): `[[M − M·s^D, M·s^D], [0, M]]` — transitions entering
+    /// the region are re-directed from the false world into the true world
+    /// (PRESENCE capture, and PATTERN's first step).
+    Capture {
+        /// The base transition matrix.
+        m: &'a Matrix,
+        /// The region whose entry flips the event true.
+        region: &'a Region,
+    },
+    /// Eq. (7): `[[M, 0], [M − M·s^D, M·s^D]]` — inside a PATTERN window
+    /// only transitions *staying* in the region sequence remain in the true
+    /// world; all others fall back to the false world.
+    Hold {
+        /// The base transition matrix.
+        m: &'a Matrix,
+        /// The region required at the destination timestamp.
+        region: &'a Region,
+    },
+}
+
+impl LiftedStep<'_> {
+    /// State-domain size `m` of the underlying map.
+    pub fn base_states(&self) -> usize {
+        match self {
+            LiftedStep::BlockDiagonal { m }
+            | LiftedStep::Capture { m, .. }
+            | LiftedStep::Hold { m, .. } => m.rows(),
+        }
+    }
+
+    /// Row-vector application `x · M_t` for a lifted row vector
+    /// `x = [x_false, x_true]` of length `2m` — the forward orientation of
+    /// Lemma III.1/III.2 products.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != 2m`.
+    pub fn apply_row(&self, x: &Vector) -> Vector {
+        let n = self.base_states();
+        assert_eq!(x.len(), 2 * n, "lifted row vector length mismatch");
+        let (xf, xt) = x.split_halves();
+        match self {
+            LiftedStep::BlockDiagonal { m } => m.vecmat(&xf).concat(&m.vecmat(&xt)),
+            LiftedStep::Capture { m, region } => {
+                // y_f = x_f·(M − M·s^D) = (x_f·M) ∘ (1 − s)
+                // y_t = x_f·M·s^D + x_t·M = (x_f·M) ∘ s + x_t·M
+                let uf = m.vecmat(&xf);
+                let ut = m.vecmat(&xt);
+                let s = region.indicator();
+                let not_s = region.complement_indicator();
+                let yf = uf.hadamard(&not_s).expect("lengths match");
+                let yt = uf.hadamard(&s).expect("lengths match").add(&ut).expect("lengths match");
+                yf.concat(&yt)
+            }
+            LiftedStep::Hold { m, region } => {
+                // y_f = x_f·M + (x_t·M) ∘ (1 − s)
+                // y_t = (x_t·M) ∘ s
+                let uf = m.vecmat(&xf);
+                let ut = m.vecmat(&xt);
+                let s = region.indicator();
+                let not_s = region.complement_indicator();
+                let yf = uf.add(&ut.hadamard(&not_s).expect("lengths match")).expect("lengths match");
+                let yt = ut.hadamard(&s).expect("lengths match");
+                yf.concat(&yt)
+            }
+        }
+    }
+
+    /// Column-vector application `M_t · v` for a lifted column vector of
+    /// length `2m` — the suffix-product orientation of Lemma III.1's
+    /// `∏ M_i [0,1]ᵀ` and the right-to-left chains of Theorem IV.1.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != 2m`.
+    pub fn apply_col(&self, v: &Vector) -> Vector {
+        let n = self.base_states();
+        assert_eq!(v.len(), 2 * n, "lifted column vector length mismatch");
+        let (vf, vt) = v.split_halves();
+        match self {
+            LiftedStep::BlockDiagonal { m } => m.matvec(&vf).concat(&m.matvec(&vt)),
+            LiftedStep::Capture { m, region } => {
+                // row_f = (M − Ms^D)v_f + Ms^D v_t = M·(v_f∘(1−s) + v_t∘s)
+                // row_t = M·v_t
+                let s = region.indicator();
+                let not_s = region.complement_indicator();
+                let mixed = vf
+                    .hadamard(&not_s)
+                    .expect("lengths match")
+                    .add(&vt.hadamard(&s).expect("lengths match"))
+                    .expect("lengths match");
+                m.matvec(&mixed).concat(&m.matvec(&vt))
+            }
+            LiftedStep::Hold { m, region } => {
+                // row_f = M·v_f
+                // row_t = (M − Ms^D)v_f + Ms^D v_t = M·(v_f∘(1−s) + v_t∘s)
+                let s = region.indicator();
+                let not_s = region.complement_indicator();
+                let mixed = vf
+                    .hadamard(&not_s)
+                    .expect("lengths match")
+                    .add(&vt.hadamard(&s).expect("lengths match"))
+                    .expect("lengths match");
+                m.matvec(&vf).concat(&m.matvec(&mixed))
+            }
+        }
+    }
+
+    /// Materializes the dense `2m×2m` matrix (paper Eqs. (4)–(8) verbatim).
+    /// Test/diagnostic path — production code uses the structured
+    /// applications.
+    pub fn to_dense(&self) -> Matrix {
+        let n = self.base_states();
+        let zero = Matrix::zeros(n, n);
+        match self {
+            LiftedStep::BlockDiagonal { m } => {
+                Matrix::from_blocks(m, &zero, &zero, m).expect("blocks are square")
+            }
+            LiftedStep::Capture { m, region } => {
+                let msd = m.scale_cols(&region.indicator()).expect("diag length matches");
+                let tl = m.sub(&msd).expect("shapes match");
+                Matrix::from_blocks(&tl, &msd, &zero, m).expect("blocks are square")
+            }
+            LiftedStep::Hold { m, region } => {
+                let msd = m.scale_cols(&region.indicator()).expect("diag length matches");
+                let bl = m.sub(&msd).expect("shapes match");
+                Matrix::from_blocks(m, &zero, &bl, &msd).expect("blocks are square")
+            }
+        }
+    }
+}
+
+/// Lifts an emission column to the doubled space: observations are emitted
+/// identically in both worlds (§III.C: "the emission probability … is
+/// independent from any EVENTS"), so the lifted diagonal is `[e, e]`.
+pub fn lift_emission(e: &Vector) -> Vector {
+    e.concat(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use priste_geo::CellId;
+
+    fn m3() -> Matrix {
+        // Paper Example III.1 Eq. (2).
+        Matrix::from_rows(&[
+            vec![0.1, 0.2, 0.7],
+            vec![0.4, 0.1, 0.5],
+            vec![0.0, 0.1, 0.9],
+        ])
+        .unwrap()
+    }
+
+    fn region12() -> Region {
+        Region::from_cells(3, [CellId(0), CellId(1)]).unwrap()
+    }
+
+    #[test]
+    fn capture_dense_matches_paper_example_c1() {
+        // Example C.1 prints M2/M3 (capture, left) and M1/M4/M5 (diagonal).
+        let m = m3();
+        let r = region12();
+        let capture = LiftedStep::Capture { m: &m, region: &r }.to_dense();
+        let expected = Matrix::from_rows(&[
+            vec![0.0, 0.0, 0.7, 0.1, 0.2, 0.0],
+            vec![0.0, 0.0, 0.5, 0.4, 0.1, 0.0],
+            vec![0.0, 0.0, 0.9, 0.0, 0.1, 0.0],
+            vec![0.0, 0.0, 0.0, 0.1, 0.2, 0.7],
+            vec![0.0, 0.0, 0.0, 0.4, 0.1, 0.5],
+            vec![0.0, 0.0, 0.0, 0.0, 0.1, 0.9],
+        ])
+        .unwrap();
+        assert!(capture.max_abs_diff(&expected) < 1e-15);
+
+        let diag = LiftedStep::BlockDiagonal { m: &m }.to_dense();
+        let expected_diag = Matrix::from_rows(&[
+            vec![0.1, 0.2, 0.7, 0.0, 0.0, 0.0],
+            vec![0.4, 0.1, 0.5, 0.0, 0.0, 0.0],
+            vec![0.0, 0.1, 0.9, 0.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0, 0.1, 0.2, 0.7],
+            vec![0.0, 0.0, 0.0, 0.4, 0.1, 0.5],
+            vec![0.0, 0.0, 0.0, 0.0, 0.1, 0.9],
+        ])
+        .unwrap();
+        assert!(diag.max_abs_diff(&expected_diag) < 1e-15);
+    }
+
+    #[test]
+    fn all_shapes_stay_row_stochastic() {
+        let m = m3();
+        let r = region12();
+        for step in [
+            LiftedStep::BlockDiagonal { m: &m },
+            LiftedStep::Capture { m: &m, region: &r },
+            LiftedStep::Hold { m: &m, region: &r },
+        ] {
+            step.to_dense().validate_stochastic().unwrap();
+        }
+    }
+
+    #[test]
+    fn structured_row_application_matches_dense() {
+        let m = m3();
+        let r = region12();
+        let x = Vector::from(vec![0.1, 0.2, 0.3, 0.05, 0.15, 0.2]);
+        for step in [
+            LiftedStep::BlockDiagonal { m: &m },
+            LiftedStep::Capture { m: &m, region: &r },
+            LiftedStep::Hold { m: &m, region: &r },
+        ] {
+            let fast = step.apply_row(&x);
+            let dense = step.to_dense().vecmat(&x);
+            assert!(fast.max_abs_diff(&dense) < 1e-14, "shape {step:?}");
+        }
+    }
+
+    #[test]
+    fn structured_col_application_matches_dense() {
+        let m = m3();
+        let r = region12();
+        let v = Vector::from(vec![0.3, 0.1, 0.9, 1.0, 0.0, 0.5]);
+        for step in [
+            LiftedStep::BlockDiagonal { m: &m },
+            LiftedStep::Capture { m: &m, region: &r },
+            LiftedStep::Hold { m: &m, region: &r },
+        ] {
+            let fast = step.apply_col(&v);
+            let dense = step.to_dense().matvec(&v);
+            assert!(fast.max_abs_diff(&dense) < 1e-14, "shape {step:?}");
+        }
+    }
+
+    #[test]
+    fn capture_redirects_mass_into_true_world() {
+        let m = m3();
+        let r = region12();
+        let step = LiftedStep::Capture { m: &m, region: &r };
+        // All mass on s3, false world. After one step, transitions into
+        // {s1, s2} (prob 0 + 0.1) land in the true world.
+        let x = Vector::from(vec![0.0, 0.0, 1.0, 0.0, 0.0, 0.0]);
+        let y = step.apply_row(&x);
+        let (yf, yt) = y.split_halves();
+        assert!((yt.sum() - 0.1).abs() < 1e-12);
+        assert!((yf.sum() - 0.9).abs() < 1e-12);
+        // True-world mass never returns to false world under capture.
+        let x_true = Vector::from(vec![0.0, 0.0, 0.0, 0.0, 0.0, 1.0]);
+        let (yf2, yt2) = step.apply_row(&x_true).split_halves();
+        assert_eq!(yf2.sum(), 0.0);
+        assert!((yt2.sum() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hold_drops_mass_leaving_the_region() {
+        let m = m3();
+        let r = region12();
+        let step = LiftedStep::Hold { m: &m, region: &r };
+        // True-world mass on s2: transitions to s3 (0.5) fall back to the
+        // false world, transitions to {s1,s2} (0.4 + 0.1) stay true.
+        let x = Vector::from(vec![0.0, 0.0, 0.0, 0.0, 1.0, 0.0]);
+        let (yf, yt) = step.apply_row(&x).split_halves();
+        assert!((yt.sum() - 0.5).abs() < 1e-12);
+        assert!((yf.sum() - 0.5).abs() < 1e-12);
+        // False-world mass can never (re-)enter the true world under hold.
+        let xf = Vector::from(vec![0.3, 0.3, 0.4, 0.0, 0.0, 0.0]);
+        let (_, yt2) = step.apply_row(&xf).split_halves();
+        assert_eq!(yt2.sum(), 0.0);
+    }
+
+    #[test]
+    fn lift_emission_duplicates() {
+        let e = Vector::from(vec![0.5, 0.2, 0.3]);
+        assert_eq!(lift_emission(&e).as_slice(), &[0.5, 0.2, 0.3, 0.5, 0.2, 0.3]);
+    }
+}

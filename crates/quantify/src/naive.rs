@@ -1,0 +1,337 @@
+//! Naive exponential baselines (paper Appendix B).
+//!
+//! "A naive approach would be to enumerate all possible cases for the event
+//! and sum (correspond to OR) the product (correspond to AND) of the
+//! probabilities of each location predicate and such an approach would
+//! require exponential computation time."
+//!
+//! These implementations serve two purposes: the *correctness oracle* for
+//! the two-possible-world engine on small worlds, and the baseline whose
+//! runtime Fig. 14 compares against (exponential in event length/width,
+//! versus PriSTE's linear/polynomial behaviour).
+
+use crate::{QuantifyError, Result};
+use priste_event::{EventExpr, Pattern, StEvent};
+use priste_linalg::Vector;
+use priste_markov::TransitionProvider;
+
+/// Hard cap on enumerated trajectories; computations that would exceed it
+/// fail fast with [`QuantifyError::EnumerationTooLarge`] instead of hanging.
+pub const DEFAULT_ENUMERATION_LIMIT: u128 = 50_000_000;
+
+/// Prior probability of an arbitrary Boolean event by full enumeration over
+/// `m^horizon` trajectories, where `horizon` is the largest timestamp the
+/// expression references.
+///
+/// # Errors
+/// * [`QuantifyError::EnumerationTooLarge`] if `m^horizon > limit`.
+/// * [`QuantifyError::InvalidInitial`] for a bad `π`.
+pub fn prior_expr<P: TransitionProvider>(
+    expr: &EventExpr,
+    provider: &P,
+    pi: &Vector,
+    limit: u128,
+) -> Result<f64> {
+    let horizon = expr.time_span().map(|(_, max)| max).unwrap_or(1);
+    joint_enumerate(provider, pi, &[], horizon, limit, |traj| {
+        expr.eval(traj).expect("trajectory spans the expression horizon")
+    })
+}
+
+/// Prior probability of a structured event by full enumeration.
+///
+/// # Errors
+/// See [`prior_expr`].
+pub fn prior<P: TransitionProvider>(
+    event: &StEvent,
+    provider: &P,
+    pi: &Vector,
+    limit: u128,
+) -> Result<f64> {
+    joint_enumerate(provider, pi, &[], event.end(), limit, |traj| {
+        event.eval(traj).expect("trajectory spans the event window")
+    })
+}
+
+/// Joint probability `Pr(EVENT, o_1, …, o_t)` by full enumeration, where
+/// `emissions[i]` is the emission column `p̃_{o_{i+1}}`.
+///
+/// # Errors
+/// See [`prior_expr`]; additionally [`QuantifyError::InvalidEmission`] for
+/// wrong-length columns.
+pub fn joint<P: TransitionProvider>(
+    event: &StEvent,
+    provider: &P,
+    pi: &Vector,
+    emissions: &[Vector],
+    limit: u128,
+) -> Result<f64> {
+    let m = provider.num_states();
+    for e in emissions {
+        if e.len() != m {
+            return Err(QuantifyError::InvalidEmission { expected: m, actual: e.len() });
+        }
+    }
+    let horizon = event.end().max(emissions.len());
+    joint_enumerate(provider, pi, emissions, horizon, limit, |traj| {
+        event.eval(traj).expect("trajectory spans the event window")
+    })
+}
+
+/// Core enumeration: sums `π(u_1)·∏ M(u_i, u_{i+1})·∏ p̃(u_i)` over all
+/// trajectories of length `horizon` satisfying `keep`.
+fn joint_enumerate<P: TransitionProvider>(
+    provider: &P,
+    pi: &Vector,
+    emissions: &[Vector],
+    horizon: usize,
+    limit: u128,
+    keep: impl Fn(&[priste_geo::CellId]) -> bool,
+) -> Result<f64> {
+    let m = provider.num_states();
+    if pi.len() != m {
+        return Err(QuantifyError::InvalidInitial(
+            priste_linalg::LinalgError::DimensionMismatch {
+                op: "naive enumeration initial",
+                expected: m,
+                actual: pi.len(),
+            },
+        ));
+    }
+    pi.validate_distribution().map_err(QuantifyError::InvalidInitial)?;
+    let count = (m as u128).checked_pow(horizon as u32).unwrap_or(u128::MAX);
+    if count > limit {
+        return Err(QuantifyError::EnumerationTooLarge { trajectories: count, limit });
+    }
+
+    let mut traj = vec![priste_geo::CellId(0); horizon];
+    let mut total = 0.0;
+    let mut odometer = vec![0usize; horizon];
+    loop {
+        for (slot, &s) in traj.iter_mut().zip(&odometer) {
+            *slot = priste_geo::CellId(s);
+        }
+        if keep(&traj) {
+            let mut p = pi[odometer[0]];
+            if let Some(e) = emissions.first() {
+                p *= e[odometer[0]];
+            }
+            for i in 1..horizon {
+                if p == 0.0 {
+                    break;
+                }
+                p *= provider.transition_at(i).get(odometer[i - 1], odometer[i]);
+                if let Some(e) = emissions.get(i) {
+                    p *= e[odometer[i]];
+                }
+            }
+            total += p;
+        }
+        // Increment the odometer.
+        let mut k = horizon;
+        loop {
+            if k == 0 {
+                return Ok(total);
+            }
+            k -= 1;
+            odometer[k] += 1;
+            if odometer[k] < m {
+                break;
+            }
+            odometer[k] = 0;
+        }
+    }
+}
+
+/// Paper Algorithm 4: the PATTERN-specific baseline that enumerates only
+/// region-constrained trajectories (`∏_t |s_t|` of them) and computes
+/// `Pr(PATTERN, o_start, …, o_end)` — the joint of the pattern with the
+/// observations *inside its window*. `window_emissions[k]` is the emission
+/// column at timestamp `start + k`; it must cover the whole window.
+///
+/// # Errors
+/// * [`QuantifyError::EnumerationTooLarge`] if `∏|s_t| > limit`.
+/// * [`QuantifyError::InvalidEmission`] if the emission list does not match
+///   the window.
+pub fn pattern_joint_algorithm4<P: TransitionProvider>(
+    pattern: &Pattern,
+    provider: &P,
+    pi: &Vector,
+    window_emissions: &[Vector],
+    limit: u128,
+) -> Result<f64> {
+    let m = provider.num_states();
+    if window_emissions.len() != pattern.window_len() {
+        return Err(QuantifyError::InvalidEmission {
+            expected: pattern.window_len(),
+            actual: window_emissions.len(),
+        });
+    }
+    for e in window_emissions {
+        if e.len() != m {
+            return Err(QuantifyError::InvalidEmission { expected: m, actual: e.len() });
+        }
+    }
+    pi.validate_distribution().map_err(QuantifyError::InvalidInitial)?;
+
+    let cells_per_step: Vec<Vec<usize>> = pattern
+        .regions()
+        .iter()
+        .map(|r| r.iter().map(|c| c.index()).collect())
+        .collect();
+    let count = cells_per_step
+        .iter()
+        .fold(1u128, |acc, c| acc.saturating_mul(c.len() as u128));
+    if count > limit {
+        return Err(QuantifyError::EnumerationTooLarge { trajectories: count, limit });
+    }
+
+    // p_{start−1}·M marginal at the window opening (Algorithm 4's setup).
+    let mut p_open = pi.clone();
+    for t in 1..pattern.start() {
+        p_open = provider.transition_at(t).vecmat(&p_open);
+    }
+
+    let window = pattern.window_len();
+    let mut idx = vec![0usize; window];
+    let mut total = 0.0;
+    loop {
+        // ptraj ← p_open[u_start] · p̃_{o_start}[u_start] · ∏ m·p̃.
+        let u0 = cells_per_step[0][idx[0]];
+        let mut p = p_open[u0] * window_emissions[0][u0];
+        for k in 1..window {
+            if p == 0.0 {
+                break;
+            }
+            let prev = cells_per_step[k - 1][idx[k - 1]];
+            let cur = cells_per_step[k][idx[k]];
+            let t = pattern.start() + k - 1; // transition t → t+1
+            p *= provider.transition_at(t).get(prev, cur) * window_emissions[k][cur];
+        }
+        total += p;
+
+        let mut k = window;
+        loop {
+            if k == 0 {
+                return Ok(total);
+            }
+            k -= 1;
+            idx[k] += 1;
+            if idx[k] < cells_per_step[k].len() {
+                break;
+            }
+            idx[k] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use priste_event::Presence;
+    use priste_geo::{CellId, Region};
+    use priste_markov::{Homogeneous, MarkovModel};
+
+    fn region(num_cells: usize, ids: &[usize]) -> Region {
+        Region::from_cells(num_cells, ids.iter().map(|&i| CellId(i))).unwrap()
+    }
+
+    fn chain() -> Homogeneous {
+        Homogeneous::new(MarkovModel::paper_example())
+    }
+
+    #[test]
+    fn naive_prior_matches_example_c1() {
+        let ev: StEvent = Presence::new(region(3, &[0, 1]), 3, 4).unwrap().into();
+        let pi = Vector::from(vec![0.2, 0.3, 0.5]);
+        let expected = pi.dot(&Vector::from(vec![0.28, 0.298, 0.226])).unwrap();
+        let got = prior(&ev, &chain(), &pi, DEFAULT_ENUMERATION_LIMIT).unwrap();
+        assert!((got - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prior_expr_agrees_with_structured_prior() {
+        let ev: StEvent = Presence::new(region(3, &[0, 1]), 2, 3).unwrap().into();
+        let pi = Vector::uniform(3);
+        let a = prior(&ev, &chain(), &pi, DEFAULT_ENUMERATION_LIMIT).unwrap();
+        let b = prior_expr(&ev.to_expr(), &chain(), &pi, DEFAULT_ENUMERATION_LIMIT).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn enumeration_limit_fires() {
+        let ev: StEvent = Presence::new(region(3, &[0]), 1, 10).unwrap().into();
+        let pi = Vector::uniform(3);
+        // 3^10 = 59049 > 1000.
+        assert!(matches!(
+            prior(&ev, &chain(), &pi, 1000),
+            Err(QuantifyError::EnumerationTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn joint_with_empty_observations_is_prior() {
+        let ev: StEvent = Presence::new(region(3, &[1]), 2, 3).unwrap().into();
+        let pi = Vector::from(vec![0.5, 0.25, 0.25]);
+        let p = prior(&ev, &chain(), &pi, DEFAULT_ENUMERATION_LIMIT).unwrap();
+        let j = joint(&ev, &chain(), &pi, &[], DEFAULT_ENUMERATION_LIMIT).unwrap();
+        assert!((p - j).abs() < 1e-12);
+    }
+
+    #[test]
+    fn joint_decreases_with_more_observations() {
+        let ev: StEvent = Presence::new(region(3, &[1]), 2, 3).unwrap().into();
+        let pi = Vector::uniform(3);
+        let e = Vector::from(vec![0.5, 0.3, 0.2]);
+        let j1 = joint(&ev, &chain(), &pi, std::slice::from_ref(&e), DEFAULT_ENUMERATION_LIMIT).unwrap();
+        let j2 =
+            joint(&ev, &chain(), &pi, &[e.clone(), e.clone()], DEFAULT_ENUMERATION_LIMIT).unwrap();
+        assert!(j2 < j1);
+        assert!(j1 > 0.0);
+    }
+
+    #[test]
+    fn algorithm4_matches_general_enumeration() {
+        // PATTERN window 2..3; general joint with all-ones emissions before
+        // the window equals Algorithm 4's window-restricted sum.
+        let pattern = Pattern::new(vec![region(3, &[0, 1]), region(3, &[1, 2])], 2).unwrap();
+        let ev: StEvent = pattern.clone().into();
+        let pi = Vector::from(vec![0.3, 0.3, 0.4]);
+        let e2 = Vector::from(vec![0.6, 0.3, 0.1]);
+        let e3 = Vector::from(vec![0.2, 0.2, 0.6]);
+        let ones = Vector::ones(3);
+        let general = joint(
+            &ev,
+            &chain(),
+            &pi,
+            &[ones, e2.clone(), e3.clone()],
+            DEFAULT_ENUMERATION_LIMIT,
+        )
+        .unwrap();
+        let fast = pattern_joint_algorithm4(
+            &pattern,
+            &chain(),
+            &pi,
+            &[e2, e3],
+            DEFAULT_ENUMERATION_LIMIT,
+        )
+        .unwrap();
+        assert!((general - fast).abs() < 1e-12, "{general} vs {fast}");
+    }
+
+    #[test]
+    fn algorithm4_validates_window() {
+        let pattern = Pattern::new(vec![region(3, &[0])], 2).unwrap();
+        let pi = Vector::uniform(3);
+        assert!(matches!(
+            pattern_joint_algorithm4(&pattern, &chain(), &pi, &[], 1000),
+            Err(QuantifyError::InvalidEmission { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_pi_is_rejected() {
+        let ev: StEvent = Presence::new(region(3, &[0]), 1, 2).unwrap().into();
+        assert!(prior(&ev, &chain(), &Vector::from(vec![0.9, 0.3, 0.1]), 1000).is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! ε-capacity analysis: the *smallest* ε a release sequence can certify.
+//!
+//! The framework answers "does this release satisfy a given ε?"; users
+//! tuning a deployment usually ask the inverse — "what is the strongest
+//! guarantee this mechanism can give for my event?". Both Theorem IV.1
+//! inequalities are monotone in ε (larger ε is never harder — the
+//! `larger_epsilon_never_harder` test in `priste-qp` pins this), so the
+//! answer is a bisection over ε with the exact checker as the oracle.
+
+use crate::{Result, TheoremInputs};
+use priste_qp::{SolverConfig, TheoremChecker};
+
+/// Result of an ε-capacity query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpsilonCapacity {
+    /// The smallest ε (within `tolerance`) for which the check certifies,
+    /// or `None` if even `eps_max` fails.
+    pub min_epsilon: Option<f64>,
+    /// Bisection iterations used.
+    pub iterations: usize,
+}
+
+/// Finds the smallest certifiable ε for one timestep's Theorem inputs by
+/// bisection on `[eps_min, eps_max]`.
+///
+/// # Panics
+/// Panics on a non-positive or inverted bracket (caller bug).
+pub fn min_certifiable_epsilon(
+    inputs: &TheoremInputs,
+    eps_min: f64,
+    eps_max: f64,
+    tolerance: f64,
+    solver: &SolverConfig,
+) -> EpsilonCapacity {
+    assert!(eps_min > 0.0 && eps_min < eps_max, "invalid bracket [{eps_min}, {eps_max}]");
+    assert!(tolerance > 0.0, "tolerance must be positive");
+
+    let certifies = |eps: f64| {
+        TheoremChecker::new(eps, solver.clone())
+            .check(&inputs.a, &inputs.b, &inputs.c)
+            .satisfied()
+    };
+
+    let mut iterations = 0;
+    if !certifies(eps_max) {
+        return EpsilonCapacity { min_epsilon: None, iterations: 1 };
+    }
+    if certifies(eps_min) {
+        return EpsilonCapacity { min_epsilon: Some(eps_min), iterations: 2 };
+    }
+    let (mut lo, mut hi) = (eps_min, eps_max);
+    while hi - lo > tolerance {
+        iterations += 1;
+        let mid = 0.5 * (lo + hi);
+        if certifies(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+        if iterations > 200 {
+            break; // numerical safety net; tolerance of any practical size converges long before
+        }
+    }
+    EpsilonCapacity { min_epsilon: Some(hi), iterations }
+}
+
+/// Sweeps a whole release sequence: the per-timestep minimal certifiable ε
+/// for a fixed (uncalibrated) mechanism — the curve that tells a user where
+/// in time their event is most exposed.
+///
+/// `emission_columns[i]` is the column released at timestep `i+1`; the
+/// builder is advanced with the same columns.
+///
+/// # Errors
+/// Propagates quantification errors from the builder.
+pub fn epsilon_capacity_curve<P: priste_markov::TransitionProvider>(
+    builder: &mut crate::TheoremBuilder<'_, P>,
+    emission_columns: &[priste_linalg::Vector],
+    eps_max: f64,
+    solver: &SolverConfig,
+) -> Result<Vec<EpsilonCapacity>> {
+    let mut out = Vec::with_capacity(emission_columns.len());
+    for col in emission_columns {
+        let inputs = builder.candidate(col)?;
+        out.push(min_certifiable_epsilon(&inputs, 1e-4, eps_max, 1e-3, solver));
+        builder.commit(col.clone())?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TheoremBuilder;
+    use priste_event::{Presence, StEvent};
+    use priste_geo::{CellId, Region};
+    use priste_linalg::Vector;
+    use priste_markov::{Homogeneous, MarkovModel};
+
+    fn setup() -> (StEvent, Homogeneous) {
+        let ev: StEvent = Presence::new(
+            Region::from_cells(3, [CellId(0), CellId(1)]).unwrap(),
+            2,
+            3,
+        )
+        .unwrap()
+        .into();
+        (ev, Homogeneous::new(MarkovModel::paper_example()))
+    }
+
+    #[test]
+    fn uninformative_columns_certify_tiny_epsilon() {
+        let (ev, chain) = setup();
+        let builder = TheoremBuilder::new(&ev, chain).unwrap();
+        let flat = Vector::from(vec![1.0 / 3.0; 3]);
+        let inputs = builder.candidate(&flat).unwrap();
+        let cap = min_certifiable_epsilon(&inputs, 1e-4, 4.0, 1e-4, &SolverConfig::default());
+        assert_eq!(cap.min_epsilon, Some(1e-4), "flat column should certify at the floor");
+    }
+
+    #[test]
+    fn informative_columns_need_more_epsilon() {
+        let (ev, chain) = setup();
+        let builder = TheoremBuilder::new(&ev, chain).unwrap();
+        let mild = Vector::from(vec![0.4, 0.35, 0.25]);
+        let sharp = Vector::from(vec![0.9, 0.05, 0.05]);
+        let cfg = SolverConfig::default();
+        let mild_eps = min_certifiable_epsilon(
+            &builder.candidate(&mild).unwrap(),
+            1e-4,
+            8.0,
+            1e-4,
+            &cfg,
+        )
+        .min_epsilon
+        .unwrap();
+        let sharp_eps = min_certifiable_epsilon(
+            &builder.candidate(&sharp).unwrap(),
+            1e-4,
+            8.0,
+            1e-4,
+            &cfg,
+        )
+        .min_epsilon
+        .unwrap();
+        assert!(
+            sharp_eps > mild_eps + 0.05,
+            "sharper evidence must need more ε: {sharp_eps} vs {mild_eps}"
+        );
+    }
+
+    #[test]
+    fn bisection_result_is_a_boundary() {
+        // Just below the returned ε the check fails; at it, it certifies.
+        let (ev, chain) = setup();
+        let builder = TheoremBuilder::new(&ev, chain).unwrap();
+        let col = Vector::from(vec![0.7, 0.2, 0.1]);
+        let inputs = builder.candidate(&col).unwrap();
+        let cfg = SolverConfig::default();
+        let eps = min_certifiable_epsilon(&inputs, 1e-4, 8.0, 1e-5, &cfg)
+            .min_epsilon
+            .unwrap();
+        let at = TheoremChecker::new(eps, cfg.clone()).check(&inputs.a, &inputs.b, &inputs.c);
+        assert!(at.satisfied());
+        let below =
+            TheoremChecker::new((eps - 1e-3).max(1e-6), cfg).check(&inputs.a, &inputs.b, &inputs.c);
+        assert!(!below.satisfied(), "ε − 0.001 should fail at the boundary");
+    }
+
+    #[test]
+    fn capacity_curve_tracks_the_event_window() {
+        let (ev, chain) = setup();
+        let mut builder = TheoremBuilder::new(&ev, chain).unwrap();
+        // Moderately informative columns at every step.
+        let col = Vector::from(vec![0.5, 0.3, 0.2]);
+        let cols = vec![col.clone(), col.clone(), col.clone(), col];
+        let curve =
+            epsilon_capacity_curve(&mut builder, &cols, 8.0, &SolverConfig::default()).unwrap();
+        assert_eq!(curve.len(), 4);
+        for c in &curve {
+            assert!(c.min_epsilon.is_some());
+        }
+    }
+
+    #[test]
+    fn unreachable_bracket_reports_none() {
+        let (ev, chain) = setup();
+        let builder = TheoremBuilder::new(&ev, chain).unwrap();
+        let sharp = Vector::from(vec![0.98, 0.01, 0.01]);
+        let inputs = builder.candidate(&sharp).unwrap();
+        // ε ≤ 1e-3 cannot absorb this column's evidence.
+        let cap = min_certifiable_epsilon(&inputs, 1e-4, 1e-3, 1e-5, &SolverConfig::default());
+        assert_eq!(cap.min_epsilon, None);
+    }
+}

@@ -1,0 +1,134 @@
+//! The paper's motivating scenario #2: *"regularly commuting between
+//! Address 1 and Address 2"* — a PATTERN secret, protected with the
+//! δ-location-set instantiation (Algorithm 3).
+//!
+//! ```sh
+//! cargo run --release --example commuting_pattern
+//! ```
+//!
+//! The secret is a trajectory *pattern* (Fig. 1(e)): the user moves from
+//! the home district through the arterial corridor to the office district
+//! across consecutive timestamps. A PATTERN event is exactly the "love
+//! hotel → home" shape of §II.B, and §II.C's Fig. 3(c) explains why
+//! trajectory-indistinguishability mechanisms don't automatically protect
+//! it. This example also contrasts Algorithm 2 (Geo-indistinguishability)
+//! with Algorithm 3 (δ-location-set) on the same secret.
+
+use priste::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 8×8 commuter town, 1 km cells.
+    let grid = GridMap::new(8, 8, 1.0)?;
+    let m = grid.num_cells();
+
+    // Home block (bottom-left), corridor, office block (top-right).
+    let block = |cells: &[(usize, usize)]| -> Result<Region, Box<dyn std::error::Error>> {
+        let mut r = Region::empty(m);
+        for &(row, col) in cells {
+            r.insert(grid.from_row_col(row, col)?)?;
+        }
+        Ok(r)
+    };
+    let home = block(&[(6, 1), (6, 2), (7, 1), (7, 2)])?;
+    let corridor = block(&[(4, 3), (4, 4), (5, 3), (3, 4)])?;
+    let office = block(&[(1, 5), (1, 6), (2, 5), (2, 6)])?;
+
+    // The morning commute pattern: home at t=2, corridor at t=3, office at
+    // t=4 — the AND-of-ORs of Fig. 1(e).
+    let pattern: StEvent =
+        Pattern::new(vec![home.clone(), corridor.clone(), office.clone()], 2)?.into();
+    println!("secret: {pattern}\n");
+
+    // Mobility trained toward commuting: strong pattern (small σ).
+    let chain = gaussian_kernel_chain(&grid, 0.9)?;
+    let epsilon = 0.5;
+    let horizon = 8;
+
+    // A commuter's true morning.
+    let trajectory = vec![
+        grid.from_row_col(7, 1)?,
+        grid.from_row_col(6, 2)?,
+        grid.from_row_col(4, 3)?,
+        grid.from_row_col(2, 5)?,
+        grid.from_row_col(1, 6)?,
+        grid.from_row_col(1, 6)?,
+        grid.from_row_col(1, 5)?,
+        grid.from_row_col(1, 6)?,
+    ];
+    assert_eq!(trajectory.len(), horizon);
+
+    let events = vec![pattern];
+
+    // --- Algorithm 2: PriSTE with Geo-indistinguishability. ---
+    let mut rng = StdRng::seed_from_u64(8);
+    let source = PlmSource::new(grid.clone(), 1.0)?;
+    let mut alg2 = Priste::new(
+        &events,
+        Homogeneous::new(chain.clone()),
+        source,
+        grid.clone(),
+        PristeConfig::with_epsilon(epsilon),
+    )?;
+    let mut budgets2 = Vec::new();
+    let mut dists2 = Vec::new();
+    for &loc in &trajectory {
+        let rec = alg2.release(loc, &mut rng)?;
+        budgets2.push(rec.final_budget);
+        dists2.push(rec.euclid_km);
+    }
+
+    // --- Algorithm 3: PriSTE with δ-location-set privacy. ---
+    let mut rng = StdRng::seed_from_u64(8);
+    let source = DeltaLocSource::new(
+        grid.clone(),
+        0.2,
+        1.0,
+        chain.clone(),
+        Vector::uniform(m),
+    )?;
+    let mut alg3 = Priste::new(
+        &events,
+        Homogeneous::new(chain.clone()),
+        source,
+        grid.clone(),
+        PristeConfig::with_epsilon(epsilon),
+    )?;
+    let mut budgets3 = Vec::new();
+    let mut dists3 = Vec::new();
+    for &loc in &trajectory {
+        let rec = alg3.release(loc, &mut rng)?;
+        budgets3.push(rec.final_budget);
+        dists3.push(rec.euclid_km);
+    }
+
+    println!("  t | Alg2 budget | Alg2 km | Alg3 (δ=0.2) budget | Alg3 km");
+    println!("  --+-------------+---------+---------------------+--------");
+    for t in 0..horizon {
+        println!(
+            "  {:>2} | {:>11.4} | {:>7.2} | {:>19.4} | {:>6.2}",
+            t + 1,
+            budgets2[t],
+            dists2[t],
+            budgets3[t],
+            dists3[t]
+        );
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!("\nmeans:");
+    println!(
+        "  Algorithm 2 (geo-ind):        budget {:.4}, distance {:.2} km",
+        mean(&budgets2),
+        mean(&dists2)
+    );
+    println!(
+        "  Algorithm 3 (δ-location-set): budget {:.4}, distance {:.2} km",
+        mean(&budgets3),
+        mean(&dists3)
+    );
+    println!("\nBoth enforce ε = {epsilon} for the commuting PATTERN against any prior;");
+    println!("δ-location-set trades a stricter effective budget for outputs that stay");
+    println!("inside the plausible region (paper §V.B, Fig. 10 discussion).");
+    Ok(())
+}

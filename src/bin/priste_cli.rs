@@ -1,0 +1,366 @@
+//! `priste-cli` — command-line front end for the PriSTE library.
+//!
+//! ```text
+//! priste-cli world    [--kind synthetic|commuter] [--side N] [--sigma F] [--seed N]
+//! priste-cli protect  --event SPEC [--epsilon F] [--alpha F] [--delta F]
+//!                     [--side N] [--sigma F] [--steps N] [--seed N]
+//! priste-cli quantify --event SPEC [--alpha F] [--side N] [--sigma F]
+//!                     [--steps N] [--seed N]
+//! priste-cli check    --event SPEC [--epsilon F] [--alpha F] [--side N]
+//!                     [--sigma F] [--steps N] [--seed N]
+//! ```
+//!
+//! * `world` — build a mobility world and print its summary statistics.
+//! * `protect` — run the PriSTE framework (Algorithm 2, or Algorithm 3 when
+//!   `--delta` is given) over a sampled trajectory; emits a release CSV.
+//! * `quantify` — release the same trajectory through a *plain* α-PLM (no
+//!   calibration) and print the realized event-privacy loss per step — the
+//!   diagnostic that shows what an uncalibrated mechanism leaks.
+//! * `check` — per-step Theorem IV.1 verdicts for a plain α-PLM stream:
+//!   which releases would PriSTE have refused?
+//!
+//! Events use the paper's notation, e.g. `"PRESENCE(S={1:10}, T={4:8})"`.
+
+use priste::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  priste-cli world    [--kind synthetic|commuter] [--side N] [--sigma F] [--seed N]
+  priste-cli protect  --event SPEC [--epsilon F] [--alpha F] [--delta F]
+                      [--side N] [--sigma F] [--steps N] [--seed N]
+  priste-cli quantify --event SPEC [--alpha F] [--side N] [--sigma F] [--steps N] [--seed N]
+  priste-cli check    --event SPEC [--epsilon F] [--alpha F] [--side N] [--sigma F] [--steps N] [--seed N]";
+
+/// Parsed `--key value` flags.
+struct Flags(BTreeMap<String, String>);
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut map = BTreeMap::new();
+        let mut i = 0;
+        while i < args.len() {
+            let key = args[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {:?}", args[i]))?;
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("--{key} requires a value"))?;
+            map.insert(key.to_string(), value.clone());
+            i += 2;
+        }
+        Ok(Flags(map))
+    }
+
+    fn str_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.0.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    fn required(&self, key: &str) -> Result<&str, String> {
+        self.0
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("--{key} is required"))
+    }
+
+    fn f64_or(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.0.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: not a number: {v:?}")),
+        }
+    }
+
+    fn usize_or(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.0.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: not an integer: {v:?}")),
+        }
+    }
+
+    fn u64_or(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.0.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: not an integer: {v:?}")),
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let (command, rest) = args.split_first().ok_or("missing command")?;
+    let flags = Flags::parse(rest)?;
+    match command.as_str() {
+        "world" => cmd_world(&flags),
+        "protect" => cmd_protect(&flags),
+        "quantify" => cmd_quantify(&flags),
+        "check" => cmd_check(&flags),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+/// Shared world setup from flags.
+fn world_from_flags(flags: &Flags) -> Result<(GridMap, MarkovModel), String> {
+    let side = flags.usize_or("side", 10)?;
+    let sigma = flags.f64_or("sigma", 1.0)?;
+    let grid = GridMap::new(side, side, 1.0).map_err(|e| e.to_string())?;
+    let chain = gaussian_kernel_chain(&grid, sigma).map_err(|e| e.to_string())?;
+    Ok((grid, chain))
+}
+
+fn trajectory_from_flags(
+    flags: &Flags,
+    chain: &MarkovModel,
+) -> Result<(Vec<CellId>, StdRng), String> {
+    let steps = flags.usize_or("steps", 20)?;
+    let seed = flags.u64_or("seed", 1)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pi = Vector::uniform(chain.num_states());
+    let traj = chain
+        .sample_trajectory_from(&pi, steps, &mut rng)
+        .map_err(|e| e.to_string())?;
+    Ok((traj, rng))
+}
+
+fn cmd_world(flags: &Flags) -> Result<(), String> {
+    let kind = flags.str_or("kind", "synthetic");
+    let seed = flags.u64_or("seed", 1)?;
+    let (grid, chain, trajectories) = match kind {
+        "synthetic" => {
+            let (grid, chain) = world_from_flags(flags)?;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let traj = chain
+                .sample_trajectory_from(
+                    &Vector::uniform(grid.num_cells()),
+                    flags.usize_or("steps", 50)?,
+                    &mut rng,
+                )
+                .map_err(|e| e.to_string())?;
+            (grid, chain, vec![traj])
+        }
+        "commuter" => {
+            let side = flags.usize_or("side", 12)?;
+            let world = geolife_sim::build(&geolife_sim::CommuterConfig {
+                rows: side,
+                cols: side,
+                seed,
+                ..Default::default()
+            })
+            .map_err(|e| e.to_string())?;
+            (world.grid, world.chain, world.trajectories)
+        }
+        other => return Err(format!("--kind must be synthetic or commuter, got {other:?}")),
+    };
+
+    println!("world: {kind}, {} cells ({} km each)", grid.num_cells(), grid.cell_size_km());
+    println!("trajectories: {}", trajectories.len());
+    let stationary =
+        stationary_distribution(&chain, 1e-9, 200_000).map_err(|e| e.to_string())?;
+    let mut top: Vec<(usize, f64)> =
+        stationary.as_slice().iter().copied().enumerate().collect();
+    top.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    println!("top stationary cells:");
+    for &(cell, p) in top.iter().take(5) {
+        println!("  {}: {:.4}", CellId(cell), p);
+    }
+    let mut max_self = (0usize, 0.0f64);
+    for i in 0..grid.num_cells() {
+        let p = chain.transition().get(i, i);
+        if p > max_self.1 {
+            max_self = (i, p);
+        }
+    }
+    println!("stickiest cell: {} (self-transition {:.3})", CellId(max_self.0), max_self.1);
+    Ok(())
+}
+
+fn cmd_protect(flags: &Flags) -> Result<(), String> {
+    let (grid, chain) = world_from_flags(flags)?;
+    let event = parse_event(flags.required("event")?, grid.num_cells())
+        .map_err(|e| e.to_string())?;
+    let epsilon = flags.f64_or("epsilon", 1.0)?;
+    let alpha = flags.f64_or("alpha", 0.5)?;
+    let (traj, mut rng) = trajectory_from_flags(flags, &chain)?;
+    let events = vec![event];
+    let config = PristeConfig::with_epsilon(epsilon);
+
+    println!("t,true_cell,released_cell,budget,attempts,distance_km");
+    if let Some(delta) = flags.0.get("delta") {
+        let delta: f64 = delta.parse().map_err(|_| "--delta: not a number")?;
+        let source = DeltaLocSource::new(
+            grid.clone(),
+            delta,
+            alpha,
+            chain.clone(),
+            Vector::uniform(grid.num_cells()),
+        )
+        .map_err(|e| e.to_string())?;
+        let mut priste =
+            Priste::new(&events, Homogeneous::new(chain), source, grid, config)
+                .map_err(|e| e.to_string())?;
+        for &loc in &traj {
+            let r = priste.release(loc, &mut rng).map_err(|e| e.to_string())?;
+            println!(
+                "{},{},{},{:.6},{},{:.3}",
+                r.t, loc.one_based(), r.observed.one_based(), r.final_budget, r.attempts, r.euclid_km
+            );
+        }
+    } else {
+        let source = PlmSource::new(grid.clone(), alpha).map_err(|e| e.to_string())?;
+        let mut priste =
+            Priste::new(&events, Homogeneous::new(chain), source, grid, config)
+                .map_err(|e| e.to_string())?;
+        for &loc in &traj {
+            let r = priste.release(loc, &mut rng).map_err(|e| e.to_string())?;
+            println!(
+                "{},{},{},{:.6},{},{:.3}",
+                r.t, loc.one_based(), r.observed.one_based(), r.final_budget, r.attempts, r.euclid_km
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_quantify(flags: &Flags) -> Result<(), String> {
+    let (grid, chain) = world_from_flags(flags)?;
+    let event = parse_event(flags.required("event")?, grid.num_cells())
+        .map_err(|e| e.to_string())?;
+    let alpha = flags.f64_or("alpha", 0.5)?;
+    let (traj, mut rng) = trajectory_from_flags(flags, &chain)?;
+    let plm = PlanarLaplace::new(grid.clone(), alpha).map_err(|e| e.to_string())?;
+    let mut quantifier = FixedPiQuantifier::new(
+        &event,
+        Homogeneous::new(chain),
+        Vector::uniform(grid.num_cells()),
+    )
+    .map_err(|e| e.to_string())?;
+
+    println!("t,true_cell,released_cell,privacy_loss");
+    let mut worst: f64 = 0.0;
+    for &loc in &traj {
+        let obs = plm.perturb(loc, &mut rng);
+        let step = quantifier
+            .observe(&plm.emission_column(obs))
+            .map_err(|e| e.to_string())?;
+        worst = worst.max(step.privacy_loss);
+        println!("{},{},{},{:.6}", step.t, loc.one_based(), obs.one_based(), step.privacy_loss);
+    }
+    eprintln!("worst realized loss under uniform prior: {worst:.4} (plain {alpha}-PLM, no calibration)");
+    Ok(())
+}
+
+fn cmd_check(flags: &Flags) -> Result<(), String> {
+    let (grid, chain) = world_from_flags(flags)?;
+    let event = parse_event(flags.required("event")?, grid.num_cells())
+        .map_err(|e| e.to_string())?;
+    let epsilon = flags.f64_or("epsilon", 1.0)?;
+    let alpha = flags.f64_or("alpha", 0.5)?;
+    let (traj, mut rng) = trajectory_from_flags(flags, &chain)?;
+    let plm = PlanarLaplace::new(grid.clone(), alpha).map_err(|e| e.to_string())?;
+    let provider = Homogeneous::new(chain);
+    let mut builder = TheoremBuilder::new(&event, provider).map_err(|e| e.to_string())?;
+    let checker = TheoremChecker::new(epsilon, SolverConfig::default());
+
+    println!("t,true_cell,released_cell,verdict");
+    let mut refused = 0usize;
+    for (i, &loc) in traj.iter().enumerate() {
+        let obs = plm.perturb(loc, &mut rng);
+        let col = plm.emission_column(obs);
+        let inputs = builder.candidate(&col).map_err(|e| e.to_string())?;
+        let verdict = checker.check(&inputs.a, &inputs.b, &inputs.c);
+        let label = match &verdict {
+            TheoremVerdict::Satisfied => "satisfied",
+            TheoremVerdict::Violated { .. } => {
+                refused += 1;
+                "VIOLATED"
+            }
+            TheoremVerdict::Unknown { .. } => {
+                refused += 1;
+                "unknown"
+            }
+        };
+        println!("{},{},{},{label}", i + 1, loc.one_based(), obs.one_based());
+        builder.commit(col).map_err(|e| e.to_string())?;
+    }
+    eprintln!(
+        "{refused}/{} releases of the plain {alpha}-PLM would be refused at ε={epsilon}",
+        traj.len()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_parse_key_values() {
+        let f = Flags::parse(&args(&["--side", "6", "--sigma", "0.5"])).unwrap();
+        assert_eq!(f.usize_or("side", 10).unwrap(), 6);
+        assert_eq!(f.f64_or("sigma", 1.0).unwrap(), 0.5);
+        assert_eq!(f.f64_or("missing", 2.0).unwrap(), 2.0);
+        assert!(f.required("event").is_err());
+    }
+
+    #[test]
+    fn flags_reject_malformed_input() {
+        assert!(Flags::parse(&args(&["side", "6"])).is_err());
+        assert!(Flags::parse(&args(&["--side"])).is_err());
+        let f = Flags::parse(&args(&["--side", "abc"])).unwrap();
+        assert!(f.usize_or("side", 1).is_err());
+    }
+
+    #[test]
+    fn world_command_runs() {
+        let f = Flags::parse(&args(&["--side", "5", "--seed", "3"])).unwrap();
+        cmd_world(&f).unwrap();
+    }
+
+    #[test]
+    fn protect_command_runs_both_algorithms() {
+        let base = ["--event", "PRESENCE(S={1:5}, T={2:4})", "--side", "5", "--steps", "6"];
+        let f = Flags::parse(&args(&base)).unwrap();
+        cmd_protect(&f).unwrap();
+        let mut with_delta = base.to_vec();
+        with_delta.extend(["--delta", "0.3"]);
+        let f = Flags::parse(&args(&with_delta)).unwrap();
+        cmd_protect(&f).unwrap();
+    }
+
+    #[test]
+    fn quantify_and_check_commands_run() {
+        let base = ["--event", "PRESENCE(S={1:5}, T={2:4})", "--side", "5", "--steps", "6"];
+        let f = Flags::parse(&args(&base)).unwrap();
+        cmd_quantify(&f).unwrap();
+        cmd_check(&f).unwrap();
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(run(&args(&["frobnicate"])).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn bad_event_spec_is_reported() {
+        let f = Flags::parse(&args(&["--event", "NOPE()", "--side", "5"])).unwrap();
+        assert!(cmd_protect(&f).is_err());
+    }
+}

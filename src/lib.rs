@@ -1,0 +1,98 @@
+//! # PriSTE — Spatiotemporal Event Privacy
+//!
+//! A production-quality Rust implementation of **"PriSTE: From Location
+//! Privacy to Spatiotemporal Event Privacy"** (Cao, Xiao, Xiong, Bai —
+//! ICDE 2019, arXiv:1810.09152).
+//!
+//! Location privacy mechanisms protect *where you are*; they do not protect
+//! *facts about your movements* such as "visited a hospital last week" or
+//! "commutes between address A and address B every morning". PriSTE
+//! formalizes such facts as **spatiotemporal events** — Boolean expressions
+//! over `(location, time)` predicates — defines **ε-spatiotemporal event
+//! privacy** (a differential-privacy-style indistinguishability between an
+//! event and its negation), and converts any emission-matrix LPPM into one
+//! that guarantees it.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use priste::prelude::*;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! // A 5×5 world with a Gaussian-kernel mobility model.
+//! let grid = GridMap::new(5, 5, 1.0)?;
+//! let chain = gaussian_kernel_chain(&grid, 1.0)?;
+//!
+//! // The secret: presence in cells s1..s5 during timestamps 2..4.
+//! let event = parse_event("PRESENCE(S={1:5}, T={2:4})", grid.num_cells())?;
+//! let events = vec![event];
+//!
+//! // Protect a short trajectory with 0.5-Planar-Laplace under ε = 1.
+//! let source = PlmSource::new(grid.clone(), 0.5)?;
+//! let mut priste = Priste::new(
+//!     &events,
+//!     Homogeneous::new(chain.clone()),
+//!     source,
+//!     grid.clone(),
+//!     PristeConfig::with_epsilon(1.0),
+//! )?;
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let trajectory = chain.sample_trajectory(CellId(12), 6, &mut rng)?;
+//! for &loc in &trajectory {
+//!     let release = priste.release(loc, &mut rng)?;
+//!     assert!(release.final_budget <= 0.5);
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`linalg`] | dense matrices/vectors, Jacobi eigensolver, HMM scaling |
+//! | [`geo`] | grids, cells, regions, GPS geodesy |
+//! | [`markov`] | mobility models: training, sampling, synthesis |
+//! | [`event`] | event ASTs, `PRESENCE`/`PATTERN`, the event DSL |
+//! | [`lppm`] | Planar Laplace, δ-location-set, baselines, Lambert W |
+//! | [`quantify`] | two-possible-world engine (Lemmas III.1–III.3) |
+//! | [`qp`] | Theorem IV.1 constraint checking (CPLEX substitute) |
+//! | [`core`] | the PriSTE framework (Algorithms 1–3) + experiment runner |
+//! | [`data`] | synthetic worlds, GeoLife parsing, commuter simulator |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use priste_core as core;
+pub use priste_data as data;
+pub use priste_event as event;
+pub use priste_geo as geo;
+pub use priste_linalg as linalg;
+pub use priste_lppm as lppm;
+pub use priste_markov as markov;
+pub use priste_qp as qp;
+pub use priste_quantify as quantify;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use priste_core::{
+        runner, DeltaLocSource, MechanismSource, PlmSource, Priste, PristeConfig, ReleaseRecord,
+    };
+    pub use priste_data::{geolife, geolife_sim, stats, synthetic, World};
+    pub use priste_event::{dsl::parse_event, EventExpr, Pattern, Predicate, Presence, StEvent};
+    pub use priste_geo::{CellId, GeoBounds, GpsPoint, GridMap, Region};
+    pub use priste_linalg::{Matrix, Vector};
+    pub use priste_lppm::{
+        DeltaLocationSet, ExponentialMechanism, Lppm, PlanarLaplace, RandomizedResponse,
+        UniformMechanism,
+    };
+    pub use priste_markov::{
+        gaussian_kernel_chain, stationary_distribution, train_mle, Homogeneous, MarkovModel,
+        TimeVarying, TransitionProvider,
+    };
+    pub use priste_qp::{ConstraintSet, SolverConfig, TheoremChecker, TheoremVerdict};
+    pub use priste_quantify::{
+        attack::BayesianAdversary, fixed_pi::FixedPiQuantifier, forward_backward, naive,
+        TheoremBuilder, TwoWorldEngine,
+    };
+}

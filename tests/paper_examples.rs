@@ -1,0 +1,138 @@
+//! The paper's worked examples, end to end — every number the paper prints
+//! is reproduced here.
+
+use priste::prelude::*;
+
+/// Paper Eq. (2): the Example III.1 transition matrix.
+fn example_chain() -> MarkovModel {
+    MarkovModel::new(
+        Matrix::from_rows(&[
+            vec![0.1, 0.2, 0.7],
+            vec![0.4, 0.1, 0.5],
+            vec![0.0, 0.1, 0.9],
+        ])
+        .unwrap(),
+    )
+    .unwrap()
+}
+
+fn region(cells: &[usize]) -> Region {
+    Region::from_cells(3, cells.iter().map(|&i| CellId(i))).unwrap()
+}
+
+#[test]
+fn example_c1_prior_vector_is_reproduced() {
+    // Appendix C: "Pr(PRESENCE) = π[0.28, 0.298, 0.226]ᵀ" for the presence
+    // event at {s1, s2} during t ∈ {3, 4}.
+    let event: StEvent = Presence::new(region(&[0, 1]), 3, 4).unwrap().into();
+    let engine = TwoWorldEngine::new(&event, Homogeneous::new(example_chain())).unwrap();
+    for (pi, expected) in [
+        (Vector::from(vec![1.0, 0.0, 0.0]), 0.28),
+        (Vector::from(vec![0.0, 1.0, 0.0]), 0.298),
+        (Vector::from(vec![0.0, 0.0, 1.0]), 0.226),
+    ] {
+        let got = engine.prior(&pi).unwrap();
+        assert!((got - expected).abs() < 1e-12, "π {:?}: {got}", pi.as_slice());
+    }
+}
+
+#[test]
+fn example_ii1_presence_boolean_expansion() {
+    // Example II.1: the PRESENCE event is (u3=s1)∨(u3=s2)∨(u4=s1)∨(u4=s2).
+    let event = Presence::new(region(&[0, 1]), 3, 4).unwrap();
+    let expr = event.to_expr();
+    assert_eq!(expr.predicates().len(), 4);
+    assert_eq!(expr.time_span(), Some((3, 4)));
+    // The region vector s = [1, 1, 0]ᵀ.
+    assert_eq!(event.region().indicator().as_slice(), &[1.0, 1.0, 0.0]);
+}
+
+#[test]
+fn example_ii2_pattern_boolean_expansion() {
+    // Example II.2: ((u2=s1)∨(u2=s2)) ∧ ((u3=s2)∨(u3=s3)) with region
+    // vectors s2 = [1,1,0]ᵀ and s3 = [0,1,1]ᵀ.
+    let pattern = Pattern::new(vec![region(&[0, 1]), region(&[1, 2])], 2).unwrap();
+    assert_eq!(pattern.regions()[0].indicator().as_slice(), &[1.0, 1.0, 0.0]);
+    assert_eq!(pattern.regions()[1].indicator().as_slice(), &[0.0, 1.0, 1.0]);
+    let expr = pattern.to_expr();
+    assert_eq!(expr.predicates().len(), 4);
+    // Trajectory s1 → s2 through the regions: true.
+    assert!(pattern.eval(&[CellId(2), CellId(0), CellId(1)]).unwrap());
+    // Trajectory s3 → s3: misses the first region.
+    assert!(!pattern.eval(&[CellId(2), CellId(2), CellId(2)]).unwrap());
+}
+
+#[test]
+fn example_b1_naive_pattern_enumeration_counts() {
+    // Appendix B Example B.1's shape: a PATTERN over regions of width 2
+    // for 4 timestamps has 2⁴ = 16 region-constrained trajectories (the
+    // paper's Fig. 15 narrative counts 24 for its widths; the principle is
+    // ∏|s_t|). Verify Algorithm 4 equals general enumeration.
+    let regions = vec![region(&[0, 1]), region(&[1, 2]), region(&[0, 1]), region(&[1, 2])];
+    let pattern = Pattern::new(regions, 2).unwrap();
+    let event: StEvent = pattern.clone().into();
+    let chain = Homogeneous::new(example_chain());
+    let pi = Vector::uniform(3);
+    let flat = Vector::from(vec![1.0; 3]);
+    let e2 = Vector::from(vec![0.5, 0.3, 0.2]);
+    let cols = vec![flat, e2.clone(), e2.clone(), e2.clone(), e2.clone()];
+    let general = naive::joint(&event, &&chain, &pi, &cols, 1 << 20).unwrap();
+    let fast = naive::pattern_joint_algorithm4(&pattern, &&chain, &pi, &cols[1..], 1 << 20).unwrap();
+    assert!((general - fast).abs() < 1e-12);
+}
+
+#[test]
+fn table_ii_single_location_and_trajectory_are_special_cases() {
+    // Table II: a single location is PRESENCE with |S| = |T| = 1; a single
+    // trajectory is PATTERN with singleton regions.
+    let single: StEvent = Presence::new(region(&[1]), 2, 2).unwrap().into();
+    assert!(single.eval(&[CellId(0), CellId(1)]).unwrap());
+    assert!(!single.eval(&[CellId(1), CellId(0)]).unwrap());
+
+    let traj: StEvent =
+        Pattern::new(vec![region(&[0]), region(&[2])], 1).unwrap().into();
+    assert!(traj.eval(&[CellId(0), CellId(2)]).unwrap());
+    assert!(!traj.eval(&[CellId(0), CellId(1)]).unwrap());
+}
+
+#[test]
+fn fig1a_event_is_unsatisfiable() {
+    // Fig. 1(a): (u1 = s1) ∧ (u1 = s2) is always false.
+    let e = EventExpr::fig1a(1, CellId(0), CellId(1));
+    for s in 0..3 {
+        assert!(!e.eval(&[CellId(s)]).unwrap());
+    }
+}
+
+#[test]
+fn lemma_iii_1_products_match_paper_equation_22() {
+    // Example C.1 prints the two lifted matrices; multiply them the way
+    // Lemma III.1 does and confirm against the engine.
+    let event: StEvent = Presence::new(region(&[0, 1]), 3, 4).unwrap().into();
+    let provider = Homogeneous::new(example_chain());
+    let engine = TwoWorldEngine::new(&event, provider).unwrap();
+
+    // M1 (block diagonal) then M2, M3 (capture) per Example C.1.
+    let pi = Vector::from(vec![0.2, 0.3, 0.5]);
+    let lifted_pi = pi.concat(&Vector::zeros(3));
+    let mut state = lifted_pi;
+    for t in 1..=3 {
+        state = engine.step_at(t).apply_row(&state);
+    }
+    let (_, true_world) = state.split_halves();
+    let expected = pi.dot(&Vector::from(vec![0.28, 0.298, 0.226])).unwrap();
+    assert!((true_world.sum() - expected).abs() < 1e-12);
+}
+
+#[test]
+fn dsl_round_trips_the_papers_experiment_events() {
+    for spec in [
+        "PRESENCE(S={1:10}, T={4:8})",
+        "PRESENCE(S={1:10}, T={16:20})",
+    ] {
+        let ev = parse_event(spec, 400).unwrap();
+        assert_eq!(ev.width(), 10);
+        let rendered = priste::event::dsl::format_event(&ev);
+        assert_eq!(parse_event(&rendered, 400).unwrap(), ev);
+    }
+}
