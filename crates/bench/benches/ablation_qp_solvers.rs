@@ -39,13 +39,17 @@ fn bench_ablation(c: &mut Criterion) {
     for m in [36usize, 100, 400] {
         let mut rng = StdRng::seed_from_u64(m as u64);
         let program = theorem_program(&mut rng, m);
-        group.bench_with_input(BenchmarkId::new("structured_simplex_exact", m), &m, |b, _| {
-            b.iter(|| maximize_simplex(&program, u64::MAX, f64::INFINITY).best_value)
-        });
+        group.bench_with_input(
+            BenchmarkId::new("structured_simplex_exact", m),
+            &m,
+            |b, _| b.iter(|| maximize_simplex(&program, u64::MAX, f64::INFINITY).best_value),
+        );
         let dense = BoxQp::new(Matrix::outer(&program.a, &program.g), program.h.clone());
-        group.bench_with_input(BenchmarkId::new("generic_projected_gradient", m), &m, |b, _| {
-            b.iter(|| projected_gradient_max(&dense, &SolverConfig::with_budget(2_000)).1)
-        });
+        group.bench_with_input(
+            BenchmarkId::new("generic_projected_gradient", m),
+            &m,
+            |b, _| b.iter(|| projected_gradient_max(&dense, &SolverConfig::with_budget(2_000)).1),
+        );
         let box_cfg = SolverConfig {
             constraint: ConstraintSet::Box,
             ..SolverConfig::with_budget(5_000)

@@ -32,29 +32,33 @@ fn bench_fig10(c: &mut Criterion) {
 
     // Full Algorithm 3 runs per δ.
     for delta in [0.1, 0.5] {
-        group.bench_with_input(BenchmarkId::new("algorithm3_run", delta), &delta, |b, &delta| {
-            b.iter(|| {
-                let source = DeltaLocSource::new(
-                    grid.clone(),
-                    delta,
-                    0.2,
-                    chain.clone(),
-                    Vector::uniform(m),
-                )
-                .expect("source");
-                let mut rng = StdRng::seed_from_u64(2);
-                run_one(
-                    &events,
-                    &chain,
-                    &grid,
-                    &PristeConfig::with_epsilon(0.5),
-                    source,
-                    &trajectory,
-                    &mut rng,
-                )
-                .expect("run")
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("algorithm3_run", delta),
+            &delta,
+            |b, &delta| {
+                b.iter(|| {
+                    let source = DeltaLocSource::new(
+                        grid.clone(),
+                        delta,
+                        0.2,
+                        chain.clone(),
+                        Vector::uniform(m),
+                    )
+                    .expect("source");
+                    let mut rng = StdRng::seed_from_u64(2);
+                    run_one(
+                        &events,
+                        &chain,
+                        &grid,
+                        &PristeConfig::with_epsilon(0.5),
+                        source,
+                        &trajectory,
+                        &mut rng,
+                    )
+                    .expect("run")
+                })
+            },
+        );
     }
     group.finish();
 }

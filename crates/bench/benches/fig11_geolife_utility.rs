@@ -29,9 +29,13 @@ fn bench_fig11(c: &mut Criterion) {
 
     // One run over the trained world.
     let world = experiments::geolife_world(&scale);
-    let gl_scale = Scale { grid_side: scale.geolife_side, ..scale.clone() };
+    let gl_scale = Scale {
+        grid_side: scale.geolife_side,
+        ..scale.clone()
+    };
     let events = vec![experiments::presence_event(&gl_scale, 4, 8)];
-    let day = world.trajectories[0][..scale.geolife_horizon.min(world.trajectories[0].len())].to_vec();
+    let day =
+        world.trajectories[0][..scale.geolife_horizon.min(world.trajectories[0].len())].to_vec();
     group.bench_function("algorithm2_run_on_geolife", |b| {
         b.iter(|| {
             let source = PlmSource::new(world.grid.clone(), 1.0).expect("plm");

@@ -12,10 +12,7 @@ use priste_quantify::{naive, TheoremBuilder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn setup(
-    length: usize,
-    width: usize,
-) -> (StEvent, Pattern, Homogeneous, Vec<Vector>, Vector) {
+fn setup(length: usize, width: usize) -> (StEvent, Pattern, Homogeneous, Vec<Vector>, Vector) {
     let grid = GridMap::new(15, 15, 1.0).expect("grid");
     let m = grid.num_cells();
     let chain = gaussian_kernel_chain(&grid, 1.0).expect("chain");
@@ -44,8 +41,7 @@ fn bench_fig14(c: &mut Criterion) {
             &length,
             |b, _| {
                 b.iter(|| {
-                    let mut builder =
-                        TheoremBuilder::new(&event, &provider).expect("builder");
+                    let mut builder = TheoremBuilder::new(&event, &provider).expect("builder");
                     let mut last = 0.0;
                     for col in &cols {
                         let inputs = builder.candidate(col).expect("candidate");
@@ -62,14 +58,8 @@ fn bench_fig14(c: &mut Criterion) {
             &length,
             |b, _| {
                 b.iter(|| {
-                    naive::pattern_joint_algorithm4(
-                        &pattern,
-                        &provider,
-                        &pi,
-                        window,
-                        u128::MAX,
-                    )
-                    .expect("enumeration")
+                    naive::pattern_joint_algorithm4(&pattern, &provider, &pi, window, u128::MAX)
+                        .expect("enumeration")
                 })
             },
         );

@@ -72,7 +72,11 @@ fn main() {
     match first_underflow {
         Some(i) => {
             let finite_after = min_eps[i..].iter().filter(|v| v.is_finite()).count();
-            println!("\nraw f64 underflows at t = {} (log joint {:.1});", i + 1, log_joint[i]);
+            println!(
+                "\nraw f64 underflows at t = {} (log joint {:.1});",
+                i + 1,
+                log_joint[i]
+            );
             println!(
                 "the scaled pipeline still computes a finite minimal ε at {finite_after} of the remaining {} steps.",
                 raw_joint.len() - i

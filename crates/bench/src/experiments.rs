@@ -11,8 +11,8 @@ use priste_core::{DeltaLocSource, PlmSource, PristeConfig};
 use priste_data::{geolife_sim, World};
 use priste_event::{dsl::parse_event, Pattern, StEvent};
 use priste_geo::{GridMap, Region};
-use priste_lppm::{Lppm, PlanarLaplace};
 use priste_linalg::Vector;
+use priste_lppm::{Lppm, PlanarLaplace};
 use priste_markov::{gaussian_kernel_chain, Homogeneous, MarkovModel};
 use priste_quantify::{naive, TheoremBuilder};
 use rand::rngs::StdRng;
@@ -53,7 +53,11 @@ pub fn geolife_world(scale: &Scale) -> World {
 /// # Panics
 /// Panics on parse failure (the spec is generated).
 pub fn presence_event(scale: &Scale, start: usize, end: usize) -> StEvent {
-    let width = if scale.grid_side >= 20 { 10 } else { scale.grid_side };
+    let width = if scale.grid_side >= 20 {
+        10
+    } else {
+        scale.grid_side
+    };
     parse_event(
         &format!("PRESENCE(S={{1:{width}}}, T={{{start}:{end}}})"),
         scale.num_cells(),
@@ -67,9 +71,15 @@ pub fn presence_event(scale: &Scale, start: usize, end: usize) -> StEvent {
 /// # Panics
 /// Panics on construction failure.
 pub fn pattern_event(scale: &Scale, start: usize, end: usize) -> StEvent {
-    let width = if scale.grid_side >= 20 { 10 } else { scale.grid_side };
+    let width = if scale.grid_side >= 20 {
+        10
+    } else {
+        scale.grid_side
+    };
     let region = Region::from_one_based_range(scale.num_cells(), 1, width).expect("static range");
-    Pattern::new(vec![region; end - start + 1], start).expect("static pattern").into()
+    Pattern::new(vec![region; end - start + 1], start)
+        .expect("static pattern")
+        .into()
 }
 
 fn epsilon_label(eps: f64) -> String {
@@ -95,8 +105,11 @@ pub fn run_plm_point(
 ) -> Aggregate {
     let factory = {
         let grid = grid.clone();
-        move || PlmSource::new(grid.clone(), alpha)};
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        move || PlmSource::new(grid.clone(), alpha)
+    };
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     runner::run_many_parallel(
         events, chain, grid, config, &factory, horizon, scale.runs, scale.seed, threads,
     )
@@ -123,9 +136,18 @@ pub fn run_delta_point(
         let chain = chain.clone();
         let m = grid.num_cells();
         move || {
-            DeltaLocSource::new(grid.clone(), delta, alpha, chain.clone(), Vector::uniform(m))}
+            DeltaLocSource::new(
+                grid.clone(),
+                delta,
+                alpha,
+                chain.clone(),
+                Vector::uniform(m),
+            )
+        }
     };
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     runner::run_many_parallel(
         events, chain, grid, config, &factory, horizon, scale.runs, scale.seed, threads,
     )
@@ -135,12 +157,24 @@ pub fn run_delta_point(
 /// Fig. 7: per-timestamp mean budget, event `T={4:8}`.
 /// Panel (a): fixed 0.2-PLM across ε; panel (b): fixed ε=0.5 across α-PLMs.
 pub fn fig7(scale: &Scale) -> Vec<Experiment> {
-    presence_panels(scale, 4, 8, "fig7", "PRESENCE(S={1:10}, T={4:8}) on synthetic data")
+    presence_panels(
+        scale,
+        4,
+        8,
+        "fig7",
+        "PRESENCE(S={1:10}, T={4:8}) on synthetic data",
+    )
 }
 
 /// Fig. 8: same panels with the event window moved to `T={16:20}`.
 pub fn fig8(scale: &Scale) -> Vec<Experiment> {
-    presence_panels(scale, 16, 20, "fig8", "PRESENCE(S={1:10}, T={16:20}) on synthetic data")
+    presence_panels(
+        scale,
+        16,
+        20,
+        "fig8",
+        "PRESENCE(S={1:10}, T={16:20}) on synthetic data",
+    )
 }
 
 fn presence_panels(
@@ -320,7 +354,10 @@ pub fn fig10(scale: &Scale) -> Vec<Experiment> {
 /// mean budget, right panel mean Euclidean distance (km).
 pub fn fig11(scale: &Scale) -> Vec<Experiment> {
     let world = geolife_world(scale);
-    let gl_scale = Scale { grid_side: scale.geolife_side, ..scale.clone() };
+    let gl_scale = Scale {
+        grid_side: scale.geolife_side,
+        ..scale.clone()
+    };
     let events = vec![presence_event(&gl_scale, 4, 8)];
     let eps_grid = [0.1, 0.5, 1.0, 2.0];
     let alphas = [0.5, 1.0, 3.0, 5.0];
@@ -364,7 +401,10 @@ pub fn fig11(scale: &Scale) -> Vec<Experiment> {
 /// δ sweep × ε sweep.
 pub fn fig12(scale: &Scale) -> Vec<Experiment> {
     let world = geolife_world(scale);
-    let gl_scale = Scale { grid_side: scale.geolife_side, ..scale.clone() };
+    let gl_scale = Scale {
+        grid_side: scale.geolife_side,
+        ..scale.clone()
+    };
     let events = vec![presence_event(&gl_scale, 4, 8)];
     let eps_grid = [0.1, 1.0, 2.0, 3.0];
     let deltas = [0.1, 0.3, 0.5, 0.7];
@@ -546,14 +586,9 @@ fn time_pattern_point(
     } else {
         let window_cols = &cols[start - 1..end];
         let t0 = Instant::now();
-        let slow_joint = naive::pattern_joint_algorithm4(
-            &pattern,
-            &provider,
-            &pi,
-            window_cols,
-            cap,
-        )
-        .expect("within cap");
+        let slow_joint =
+            naive::pattern_joint_algorithm4(&pattern, &provider, &pi, window_cols, cap)
+                .expect("within cap");
         let elapsed = t0.elapsed().as_secs_f64();
         // Cross-check the two methods on the same quantity: the baseline
         // ignores observations before `start`, so compare conditionals via
@@ -605,7 +640,13 @@ pub fn table3(scale: &Scale) -> Experiment {
     exp.push_series("# conservative release", conservative);
     exp.push_series("ave privacy budget", budgets);
     exp.push_series("ave Euclidean dist (km)", euclids);
-    println!("threshold labels: {:?}", thresholds.iter().map(|(l, _)| l.clone()).collect::<Vec<_>>());
+    println!(
+        "threshold labels: {:?}",
+        thresholds
+            .iter()
+            .map(|(l, _)| l.clone())
+            .collect::<Vec<_>>()
+    );
     exp
 }
 
@@ -620,7 +661,10 @@ mod tests {
         assert_eq!(grid.num_cells(), scale.num_cells());
         chain.transition().validate_stochastic().unwrap();
         let world = geolife_world(&scale);
-        assert_eq!(world.grid.num_cells(), scale.geolife_side * scale.geolife_side);
+        assert_eq!(
+            world.grid.num_cells(),
+            scale.geolife_side * scale.geolife_side
+        );
     }
 
     #[test]
@@ -652,8 +696,7 @@ mod tests {
             }
         }
         // Larger ε keeps more budget on average.
-        let mean =
-            |v: &Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
+        let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
         assert!(mean(&panels[0].series[0].y) <= mean(&panels[0].series[2].y) + 1e-9);
     }
 

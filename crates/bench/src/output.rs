@@ -45,7 +45,10 @@ impl Experiment {
     /// Panics if `y.len() != x.len()` (experiment construction bug).
     pub fn push_series(&mut self, label: impl Into<String>, y: Vec<f64>) {
         assert_eq!(y.len(), self.x.len(), "series misaligned with x axis");
-        self.series.push(Series { label: label.into(), y });
+        self.series.push(Series {
+            label: label.into(),
+            y,
+        });
     }
 }
 

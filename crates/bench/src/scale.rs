@@ -85,7 +85,9 @@ impl Scale {
                         .and_then(|s| s.parse().ok())
                         .unwrap_or_else(|| panic!("--seed requires a number"));
                 }
-                other => panic!("unknown argument {other}; usage: [--paper|--smoke] [--runs N] [--seed N]"),
+                other => panic!(
+                    "unknown argument {other}; usage: [--paper|--smoke] [--runs N] [--seed N]"
+                ),
             }
             i += 1;
         }

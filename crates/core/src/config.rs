@@ -45,7 +45,10 @@ impl Default for PristeConfig {
 impl PristeConfig {
     /// A default configuration at the given ε.
     pub fn with_epsilon(epsilon: f64) -> Self {
-        PristeConfig { epsilon, ..Default::default() }
+        PristeConfig {
+            epsilon,
+            ..Default::default()
+        }
     }
 
     /// Validates parameter ranges.
@@ -65,7 +68,10 @@ impl PristeConfig {
         }
         if !(self.budget_floor.is_finite() && self.budget_floor >= 0.0) {
             return Err(CoreError::InvalidConfig {
-                message: format!("budget floor must be non-negative, got {}", self.budget_floor),
+                message: format!(
+                    "budget floor must be non-negative, got {}",
+                    self.budget_floor
+                ),
             });
         }
         if self.max_attempts == 0 {
@@ -98,19 +104,34 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_fields() {
-        let c = PristeConfig { epsilon: 0.0, ..Default::default() };
+        let c = PristeConfig {
+            epsilon: 0.0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let c = PristeConfig { decay: 1.0, ..Default::default() };
+        let c = PristeConfig {
+            decay: 1.0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let c = PristeConfig { budget_floor: f64::NAN, ..Default::default() };
+        let c = PristeConfig {
+            budget_floor: f64::NAN,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let c = PristeConfig { max_attempts: 0, ..Default::default() };
+        let c = PristeConfig {
+            max_attempts: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn solver_config_inherits_fields() {
-        let c = PristeConfig { qp_work_budget: 123, ..Default::default() };
+        let c = PristeConfig {
+            qp_work_budget: 123,
+            ..Default::default()
+        };
         assert_eq!(c.solver_config().work_budget, 123);
     }
 }

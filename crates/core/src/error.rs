@@ -50,7 +50,10 @@ impl fmt::Display for CoreError {
                 write!(f, "true location {cell} out of range for {num_cells} cells")
             }
             CoreError::BudgetExhausted { t, floor } => {
-                write!(f, "budget decayed to the floor {floor} at t={t} without certifying")
+                write!(
+                    f,
+                    "budget decayed to the floor {floor} at t={t} without certifying"
+                )
             }
             CoreError::InvalidConfig { message } => write!(f, "invalid configuration: {message}"),
         }

@@ -67,7 +67,14 @@ where
             builders.push(TheoremBuilder::new(ev, provider.clone())?);
         }
         let checker = TheoremChecker::new(config.epsilon, config.solver_config());
-        Ok(Priste { builders, checker, source, config, grid, t: 0 })
+        Ok(Priste {
+            builders,
+            checker,
+            source,
+            config,
+            grid,
+            t: 0,
+        })
     }
 
     /// Timestamps released so far.
@@ -89,7 +96,10 @@ where
     pub fn release(&mut self, true_loc: CellId, rng: &mut dyn RngCore) -> Result<ReleaseRecord> {
         let m = self.grid.num_cells();
         if true_loc.index() >= m {
-            return Err(CoreError::LocationOutOfRange { cell: true_loc.index(), num_cells: m });
+            return Err(CoreError::LocationOutOfRange {
+                cell: true_loc.index(),
+                num_cells: m,
+            });
         }
         let t = self.t + 1;
         let base = self.source.base_mechanism(t)?;
@@ -247,7 +257,10 @@ mod tests {
         let pi = Vector::uniform(9);
         let mut quantifier = FixedPiQuantifier::new(&events[0], chain.clone(), pi).unwrap();
 
-        let traj = chain.model().sample_trajectory(CellId(0), 8, &mut rng).unwrap();
+        let traj = chain
+            .model()
+            .sample_trajectory(CellId(0), 8, &mut rng)
+            .unwrap();
         let mut source_for_columns = PlmSource::new(grid.clone(), 0.5).unwrap();
         for &loc in &traj {
             let rec = priste.release(loc, &mut rng).unwrap();
@@ -284,7 +297,10 @@ mod tests {
             )
             .unwrap();
             let mut rng = StdRng::seed_from_u64(3);
-            let traj = chain.model().sample_trajectory(CellId(4), 5, &mut rng).unwrap();
+            let traj = chain
+                .model()
+                .sample_trajectory(CellId(4), 5, &mut rng)
+                .unwrap();
             let mut total = 0.0;
             for &loc in &traj {
                 total += priste.release(loc, &mut rng).unwrap().final_budget;
@@ -303,13 +319,9 @@ mod tests {
     fn multiple_events_are_all_protected() {
         let (grid, chain) = small_world();
         let ev1 = presence_event(&grid);
-        let ev2: StEvent = Presence::new(
-            Region::from_one_based_range(9, 4, 6).unwrap(),
-            4,
-            5,
-        )
-        .unwrap()
-        .into();
+        let ev2: StEvent = Presence::new(Region::from_one_based_range(9, 4, 6).unwrap(), 4, 5)
+            .unwrap()
+            .into();
         let events = vec![ev1, ev2];
         let source = PlmSource::new(grid.clone(), 0.5).unwrap();
         let mut priste = Priste::new(
@@ -321,7 +333,10 @@ mod tests {
         )
         .unwrap();
         let mut rng = StdRng::seed_from_u64(9);
-        let traj = chain.model().sample_trajectory(CellId(4), 6, &mut rng).unwrap();
+        let traj = chain
+            .model()
+            .sample_trajectory(CellId(4), 6, &mut rng)
+            .unwrap();
         for &loc in &traj {
             priste.release(loc, &mut rng).unwrap();
         }
@@ -362,7 +377,10 @@ mod tests {
         config.max_attempts = 3;
         let mut priste = Priste::new(&events, chain.clone(), source, grid, config).unwrap();
         let mut rng = StdRng::seed_from_u64(11);
-        let traj = chain.model().sample_trajectory(CellId(0), 4, &mut rng).unwrap();
+        let traj = chain
+            .model()
+            .sample_trajectory(CellId(0), 4, &mut rng)
+            .unwrap();
         let mut saw_fallback = false;
         for &loc in &traj {
             let rec = priste.release(loc, &mut rng).unwrap();
@@ -370,6 +388,9 @@ mod tests {
                 saw_fallback = true;
             }
         }
-        assert!(saw_fallback, "expected at least one uniform fallback at ε=1e-4");
+        assert!(
+            saw_fallback,
+            "expected at least one uniform fallback at ε=1e-4"
+        );
     }
 }

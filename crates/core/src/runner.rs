@@ -86,7 +86,15 @@ pub fn run_many<S: MechanismSource>(
         let mut rng = StdRng::seed_from_u64(base_seed.wrapping_add(k as u64));
         let start = sample_start(chain, &mut rng)?;
         let trajectory = chain.sample_trajectory(start, horizon, &mut rng)?;
-        let result = run_one(events, chain, grid, config, source_factory()?, &trajectory, &mut rng)?;
+        let result = run_one(
+            events,
+            chain,
+            grid,
+            config,
+            source_factory()?,
+            &trajectory,
+            &mut rng,
+        )?;
         all.push(result);
     }
     Ok(aggregate(&all, horizon))
@@ -171,7 +179,10 @@ pub fn run_one<S: MechanismSource>(
     for &loc in trajectory {
         records.push(priste.release(loc, rng)?);
     }
-    Ok(RunResult { trajectory: trajectory.to_vec(), records })
+    Ok(RunResult {
+        trajectory: trajectory.to_vec(),
+        records,
+    })
 }
 
 /// Aggregates run results into the figure-ready series.
@@ -192,7 +203,9 @@ pub fn aggregate(results: &[RunResult], horizon: usize) -> Aggregate {
     for i in 0..horizon {
         budget_by_t[i] /= n;
         euclid_by_t[i] /= n;
-        budget_sq_by_t[i] = (budget_sq_by_t[i] / n - budget_by_t[i] * budget_by_t[i]).max(0.0).sqrt();
+        budget_sq_by_t[i] = (budget_sq_by_t[i] / n - budget_by_t[i] * budget_by_t[i])
+            .max(0.0)
+            .sqrt();
     }
     Aggregate {
         runs,
@@ -238,13 +251,9 @@ mod tests {
     fn world() -> (GridMap, MarkovModel, Vec<StEvent>) {
         let grid = GridMap::new(3, 3, 1.0).unwrap();
         let chain = gaussian_kernel_chain(&grid, 1.0).unwrap();
-        let ev: StEvent = Presence::new(
-            Region::from_one_based_range(9, 1, 3).unwrap(),
-            2,
-            3,
-        )
-        .unwrap()
-        .into();
+        let ev: StEvent = Presence::new(Region::from_one_based_range(9, 1, 3).unwrap(), 2, 3)
+            .unwrap()
+            .into();
         (grid, chain, vec![ev])
     }
 
@@ -288,10 +297,9 @@ mod tests {
         };
         let seq = run_many(&events, &chain, &grid, &config, &factory, 4, 6, 11).unwrap();
         for threads in [1, 2, 4, 8] {
-            let par = run_many_parallel(
-                &events, &chain, &grid, &config, &factory, 4, 6, 11, threads,
-            )
-            .unwrap();
+            let par =
+                run_many_parallel(&events, &chain, &grid, &config, &factory, 4, 6, 11, threads)
+                    .unwrap();
             assert_eq!(seq.budget_by_t, par.budget_by_t, "threads={threads}");
             assert_eq!(seq.euclid_by_t, par.euclid_by_t, "threads={threads}");
         }

@@ -80,7 +80,12 @@ impl MechanismSource for PlmSource {
         Ok(Rc::clone(&self.base))
     }
 
-    fn on_release(&mut self, _t: usize, _observed: CellId, _emission_column: &Vector) -> Result<()> {
+    fn on_release(
+        &mut self,
+        _t: usize,
+        _observed: CellId,
+        _emission_column: &Vector,
+    ) -> Result<()> {
         Ok(())
     }
 
@@ -117,7 +122,13 @@ impl DeltaLocSource {
     ) -> Result<Self> {
         let dls = DeltaLocationSet::new(grid, delta)?;
         let tracker = PosteriorTracker::new(initial)?;
-        Ok(DeltaLocSource { dls, chain, tracker, alpha, pending_prior: None })
+        Ok(DeltaLocSource {
+            dls,
+            chain,
+            tracker,
+            alpha,
+            pending_prior: None,
+        })
     }
 
     /// Current adversarial posterior `p_t⁺`.
@@ -182,9 +193,14 @@ mod tests {
             .unwrap(),
         )
         .unwrap();
-        let mut src =
-            DeltaLocSource::new(grid(), 0.3, 1.0, chain, Vector::from(vec![0.85, 0.05, 0.05, 0.05]))
-                .unwrap();
+        let mut src = DeltaLocSource::new(
+            grid(),
+            0.3,
+            1.0,
+            chain,
+            Vector::from(vec![0.85, 0.05, 0.05, 0.05]),
+        )
+        .unwrap();
         let mech = src.base_mechanism(1).unwrap();
         // The concentrated posterior should restrict the output domain.
         let e = mech.emission_matrix();

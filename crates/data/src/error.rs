@@ -64,9 +64,14 @@ mod tests {
 
     #[test]
     fn display_covers_variants() {
-        let e = DataError::PltParse { line: 7, message: "bad latitude".into() };
+        let e = DataError::PltParse {
+            line: 7,
+            message: "bad latitude".into(),
+        };
         assert!(e.to_string().contains("line 7"));
-        let e = DataError::InsufficientData { message: "empty".into() };
+        let e = DataError::InsufficientData {
+            message: "empty".into(),
+        };
         assert!(e.to_string().contains("empty"));
     }
 }

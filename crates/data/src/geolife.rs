@@ -170,7 +170,11 @@ pub fn build_world(
         });
     }
     let chain = train_mle(grid.num_cells(), &segments, smoothing_alpha)?;
-    Ok(World { grid, chain, trajectories: segments })
+    Ok(World {
+        grid,
+        chain,
+        trajectories: segments,
+    })
 }
 
 #[cfg(test)]
@@ -199,7 +203,10 @@ mod tests {
         assert!((points[0].lon - 116.318417).abs() < 1e-9);
         // Timestamps convert from fractional days to seconds.
         let dt = points[1].timestamp_s - points[0].timestamp_s;
-        assert!((dt - 6.0).abs() < 0.5, "expected ~6s between fixes, got {dt}");
+        assert!(
+            (dt - 6.0).abs() < 0.5,
+            "expected ~6s between fixes, got {dt}"
+        );
     }
 
     #[test]
@@ -216,7 +223,10 @@ mod tests {
     #[test]
     fn coordinate_validation_is_enforced() {
         let content = "h\nh\nh\nh\nh\nh\n95.0,116.0,0,0,39744.0,2008-10-23,00:00:00\n";
-        assert!(matches!(parse_plt(content), Err(DataError::PltParse { line: 7, .. })));
+        assert!(matches!(
+            parse_plt(content),
+            Err(DataError::PltParse { line: 7, .. })
+        ));
     }
 
     #[test]

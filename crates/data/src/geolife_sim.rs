@@ -84,8 +84,7 @@ pub fn build(config: &CommuterConfig) -> Result<World> {
     // The day-to-day wobble of the home row only applies on grids big
     // enough to have one (rows/8 ≥ 1).
     let wobble_range = (config.rows / 8).max(1);
-    let home_row =
-        (config.rows * 3 / 4 + rng.gen_range(0..wobble_range)).min(config.rows - 1);
+    let home_row = (config.rows * 3 / 4 + rng.gen_range(0..wobble_range)).min(config.rows - 1);
     let home = grid.from_row_col(home_row, config.cols / 8)?;
     let work = grid.from_row_col(config.rows / 8, config.cols * 3 / 4)?;
 
@@ -94,7 +93,11 @@ pub fn build(config: &CommuterConfig) -> Result<World> {
         days.push(simulate_day(&grid, home, work, config, &mut rng)?);
     }
     let chain = train_mle(grid.num_cells(), &days, config.smoothing_alpha)?;
-    Ok(World { grid, chain, trajectories: days })
+    Ok(World {
+        grid,
+        chain,
+        trajectories: days,
+    })
 }
 
 /// One simulated day: dwell at home, commute, dwell at work (with an
@@ -120,8 +123,14 @@ fn simulate_day(
     if rng.gen_bool(config.exploration) {
         // Detour: walk to a nearby random cell and back before settling in.
         let (wr, wc) = grid.to_row_col(work)?;
-        let er = wr.saturating_sub(2) + rng.gen_range(0..5).min(grid.rows() - 1 - wr.saturating_sub(2));
-        let ec = wc.saturating_sub(2) + rng.gen_range(0..5).min(grid.cols() - 1 - wc.saturating_sub(2));
+        let er = wr.saturating_sub(2)
+            + rng
+                .gen_range(0usize..5)
+                .min(grid.rows() - 1 - wr.saturating_sub(2));
+        let ec = wc.saturating_sub(2)
+            + rng
+                .gen_range(0usize..5)
+                .min(grid.cols() - 1 - wc.saturating_sub(2));
         let target = grid.from_row_col(er.min(grid.rows() - 1), ec.min(grid.cols() - 1))?;
         append_path(&mut day, &grid_path(grid, work, target)?);
         day.extend(dwell_steps(grid, target, 2, config.jitter, rng)?);
@@ -198,7 +207,11 @@ mod tests {
 
     #[test]
     fn builds_a_valid_world() {
-        let world = build(&CommuterConfig { days: 10, ..Default::default() }).unwrap();
+        let world = build(&CommuterConfig {
+            days: 10,
+            ..Default::default()
+        })
+        .unwrap();
         assert_eq!(world.grid.num_cells(), 400);
         assert_eq!(world.trajectories.len(), 10);
         assert_eq!(world.trajectories[0].len(), 48);
@@ -207,7 +220,10 @@ mod tests {
 
     #[test]
     fn reproducible_by_seed() {
-        let cfg = CommuterConfig { days: 5, ..Default::default() };
+        let cfg = CommuterConfig {
+            days: 5,
+            ..Default::default()
+        };
         let a = build(&cfg).unwrap();
         let b = build(&cfg).unwrap();
         assert_eq!(a.trajectories, b.trajectories);
@@ -215,7 +231,11 @@ mod tests {
 
     #[test]
     fn commuting_pattern_dominates_the_chain() {
-        let world = build(&CommuterConfig { days: 40, ..Default::default() }).unwrap();
+        let world = build(&CommuterConfig {
+            days: 40,
+            ..Default::default()
+        })
+        .unwrap();
         // Self-transitions at anchors should be strong (dwelling), i.e. the
         // chain has a significant mobility pattern in Fig. 13's sense.
         let t = world.chain.transition();
@@ -223,12 +243,19 @@ mod tests {
         for i in 0..world.grid.num_cells() {
             max_self = max_self.max(t.get(i, i));
         }
-        assert!(max_self > 0.5, "expected sticky anchors, max self-prob {max_self}");
+        assert!(
+            max_self > 0.5,
+            "expected sticky anchors, max self-prob {max_self}"
+        );
     }
 
     #[test]
     fn trajectories_move_between_distant_cells() {
-        let world = build(&CommuterConfig { days: 3, ..Default::default() }).unwrap();
+        let world = build(&CommuterConfig {
+            days: 3,
+            ..Default::default()
+        })
+        .unwrap();
         for day in &world.trajectories {
             let first = day[0];
             let max_d = day
@@ -241,7 +268,11 @@ mod tests {
 
     #[test]
     fn transitions_are_local_no_teleports() {
-        let world = build(&CommuterConfig { days: 5, ..Default::default() }).unwrap();
+        let world = build(&CommuterConfig {
+            days: 5,
+            ..Default::default()
+        })
+        .unwrap();
         for day in &world.trajectories {
             for w in day.windows(2) {
                 let d = world.grid.distance_km(w[0], w[1]).unwrap();
@@ -255,8 +286,16 @@ mod tests {
 
     #[test]
     fn degenerate_config_is_rejected() {
-        assert!(build(&CommuterConfig { days: 0, ..Default::default() }).is_err());
-        assert!(build(&CommuterConfig { steps_per_day: 2, ..Default::default() }).is_err());
+        assert!(build(&CommuterConfig {
+            days: 0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(build(&CommuterConfig {
+            steps_per_day: 2,
+            ..Default::default()
+        })
+        .is_err());
     }
 
     #[test]

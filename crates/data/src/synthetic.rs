@@ -64,7 +64,11 @@ pub fn build(config: &SyntheticConfig) -> Result<World> {
     for _ in 0..config.num_trajectories {
         trajectories.push(chain.sample_trajectory_from(&pi, config.horizon, &mut rng)?);
     }
-    Ok(World { grid, chain, trajectories })
+    Ok(World {
+        grid,
+        chain,
+        trajectories,
+    })
 }
 
 #[cfg(test)]
@@ -94,7 +98,10 @@ mod tests {
         let world = build(&c).unwrap();
         let traj = &world.trajectories[0];
         let distinct: std::collections::HashSet<_> = traj.iter().collect();
-        assert!(distinct.len() <= 2, "σ=0.01 should pin the user, saw {distinct:?}");
+        assert!(
+            distinct.len() <= 2,
+            "σ=0.01 should pin the user, saw {distinct:?}"
+        );
     }
 
     #[test]
@@ -108,18 +115,29 @@ mod tests {
             ..Default::default()
         };
         let world = build(&c).unwrap();
-        let distinct: std::collections::HashSet<_> =
-            world.trajectories[0].iter().collect();
-        assert!(distinct.len() > 10, "σ=50 should roam, saw {} cells", distinct.len());
+        let distinct: std::collections::HashSet<_> = world.trajectories[0].iter().collect();
+        assert!(
+            distinct.len() > 10,
+            "σ=50 should roam, saw {} cells",
+            distinct.len()
+        );
     }
 
     #[test]
     fn seeding_is_reproducible() {
-        let c = SyntheticConfig { seed: 9, num_trajectories: 3, ..Default::default() };
+        let c = SyntheticConfig {
+            seed: 9,
+            num_trajectories: 3,
+            ..Default::default()
+        };
         let a = build(&c).unwrap();
         let b = build(&c).unwrap();
         assert_eq!(a.trajectories, b.trajectories);
-        let c2 = SyntheticConfig { seed: 10, num_trajectories: 3, ..Default::default() };
+        let c2 = SyntheticConfig {
+            seed: 10,
+            num_trajectories: 3,
+            ..Default::default()
+        };
         let d = build(&c2).unwrap();
         assert_ne!(a.trajectories, d.trajectories);
     }

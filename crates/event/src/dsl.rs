@@ -38,7 +38,11 @@ use priste_geo::{CellId, Region};
 /// constructors' validation errors (empty region, bad window, …) for
 /// semantically degenerate events.
 pub fn parse_event(input: &str, num_cells: usize) -> Result<StEvent> {
-    let mut p = Parser { input: input.as_bytes(), pos: 0, num_cells };
+    let mut p = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+        num_cells,
+    };
     let ev = p.event()?;
     p.skip_ws();
     if p.pos != p.input.len() {
@@ -55,7 +59,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, message: impl Into<String>) -> EventError {
-        EventError::Parse { position: self.pos, message: message.into() }
+        EventError::Parse {
+            position: self.pos,
+            message: message.into(),
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -228,7 +235,12 @@ pub fn format_event(event: &StEvent) -> String {
         ),
         StEvent::Pattern(p) => {
             let regions: Vec<String> = p.regions().iter().map(format_region).collect();
-            format!("PATTERN(S=[{}], T={{{}:{}}})", regions.join(","), p.start(), p.end())
+            format!(
+                "PATTERN(S=[{}], T={{{}:{}}})",
+                regions.join(","),
+                p.start(),
+                p.end()
+            )
         }
     }
 }
@@ -245,7 +257,13 @@ fn format_region(region: &Region) -> String {
     }
     let parts: Vec<String> = spans
         .iter()
-        .map(|&(lo, hi)| if lo == hi { format!("{lo}") } else { format!("{lo}:{hi}") })
+        .map(|&(lo, hi)| {
+            if lo == hi {
+                format!("{lo}")
+            } else {
+                format!("{lo}:{hi}")
+            }
+        })
         .collect();
     format!("{{{}}}", parts.join(","))
 }

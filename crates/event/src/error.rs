@@ -45,18 +45,35 @@ impl fmt::Display for EventError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EventError::InvalidWindow { start, end } => {
-                write!(f, "invalid time window T={{{start}:{end}}} (need 1 <= start <= end)")
+                write!(
+                    f,
+                    "invalid time window T={{{start}:{end}}} (need 1 <= start <= end)"
+                )
             }
-            EventError::EmptyRegion => write!(f, "event region is empty (ground truth constant false)"),
+            EventError::EmptyRegion => {
+                write!(f, "event region is empty (ground truth constant false)")
+            }
             EventError::FullRegion => {
-                write!(f, "event region covers the whole map (ground truth constant true)")
+                write!(
+                    f,
+                    "event region covers the whole map (ground truth constant true)"
+                )
             }
             EventError::DomainMismatch { expected, actual } => {
-                write!(f, "event regions disagree on domain size: {expected} vs {actual}")
+                write!(
+                    f,
+                    "event regions disagree on domain size: {expected} vs {actual}"
+                )
             }
             EventError::NoRegions => write!(f, "PATTERN requires at least one region"),
-            EventError::TrajectoryTooShort { required, available } => {
-                write!(f, "trajectory has {available} timestamps but event needs {required}")
+            EventError::TrajectoryTooShort {
+                required,
+                available,
+            } => {
+                write!(
+                    f,
+                    "trajectory has {available} timestamps but event needs {required}"
+                )
             }
             EventError::Parse { position, message } => {
                 write!(f, "event parse error at byte {position}: {message}")
@@ -75,7 +92,10 @@ mod tests {
     fn display_is_actionable() {
         let e = EventError::InvalidWindow { start: 5, end: 3 };
         assert!(e.to_string().contains("5:3"));
-        let p = EventError::Parse { position: 7, message: "expected '{'".into() };
+        let p = EventError::Parse {
+            position: 7,
+            message: "expected '{'".into(),
+        };
         assert!(p.to_string().contains("byte 7"));
     }
 }

@@ -211,7 +211,10 @@ mod tests {
         assert!(!p.eval(&traj(&[5, 0, 1])).unwrap());
         assert!(matches!(
             p.eval(&traj(&[0])),
-            Err(EventError::TrajectoryTooShort { required: 2, available: 1 })
+            Err(EventError::TrajectoryTooShort {
+                required: 2,
+                available: 1
+            })
         ));
     }
 
@@ -287,7 +290,10 @@ mod tests {
     #[test]
     fn eval_reports_short_trajectory_even_after_false_conjunct() {
         // First conjunct false at t=1; second references t=5 beyond traj.
-        let e = EventExpr::And(vec![EventExpr::pred(1, CellId(1)), EventExpr::pred(5, CellId(0))]);
+        let e = EventExpr::And(vec![
+            EventExpr::pred(1, CellId(1)),
+            EventExpr::pred(5, CellId(0)),
+        ]);
         assert!(matches!(
             e.eval(&traj(&[0, 0])),
             Err(EventError::TrajectoryTooShort { .. })

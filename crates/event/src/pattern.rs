@@ -29,13 +29,19 @@ impl Pattern {
     ///   allowed — they act as wildcards within a longer pattern.
     pub fn new(regions: Vec<Region>, start: usize) -> Result<Self> {
         if start == 0 {
-            return Err(EventError::InvalidWindow { start, end: start + regions.len() });
+            return Err(EventError::InvalidWindow {
+                start,
+                end: start + regions.len(),
+            });
         }
         let first = regions.first().ok_or(EventError::NoRegions)?;
         let m = first.num_cells();
         for r in &regions {
             if r.num_cells() != m {
-                return Err(EventError::DomainMismatch { expected: m, actual: r.num_cells() });
+                return Err(EventError::DomainMismatch {
+                    expected: m,
+                    actual: r.num_cells(),
+                });
             }
             if r.is_empty() {
                 return Err(EventError::EmptyRegion);
@@ -136,7 +142,10 @@ mod tests {
 
     #[test]
     fn validation() {
-        assert!(matches!(Pattern::new(vec![], 1), Err(EventError::NoRegions)));
+        assert!(matches!(
+            Pattern::new(vec![], 1),
+            Err(EventError::NoRegions)
+        ));
         assert!(matches!(
             Pattern::new(vec![region(3, &[0])], 0),
             Err(EventError::InvalidWindow { .. })
@@ -204,7 +213,10 @@ mod tests {
         let p = Pattern::new(vec![region(3, &[0]), region(3, &[1])], 2).unwrap();
         assert!(matches!(
             p.eval(&traj(&[0, 0])),
-            Err(EventError::TrajectoryTooShort { required: 3, available: 2 })
+            Err(EventError::TrajectoryTooShort {
+                required: 3,
+                available: 2
+            })
         ));
     }
 

@@ -51,8 +51,12 @@ impl Presence {
         start: usize,
         end: usize,
     ) -> Result<Self> {
-        let region = Region::from_one_based_range(num_cells, state_lo, state_hi)
-            .map_err(|_| EventError::InvalidWindow { start: state_lo, end: state_hi })?;
+        let region = Region::from_one_based_range(num_cells, state_lo, state_hi).map_err(|_| {
+            EventError::InvalidWindow {
+                start: state_lo,
+                end: state_hi,
+            }
+        })?;
         Presence::new(region, start, end)
     }
 
@@ -108,7 +112,11 @@ impl Presence {
 
 impl std::fmt::Display for Presence {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "PRESENCE(S={}, T={{{}:{}}})", self.region, self.start, self.end)
+        write!(
+            f,
+            "PRESENCE(S={}, T={{{}:{}}})",
+            self.region, self.start, self.end
+        )
     }
 }
 
@@ -158,7 +166,10 @@ mod tests {
         let p = Presence::new(region(3, &[0]), 3, 4).unwrap();
         assert!(matches!(
             p.eval(&traj(&[0, 0, 0])),
-            Err(EventError::TrajectoryTooShort { required: 4, available: 3 })
+            Err(EventError::TrajectoryTooShort {
+                required: 4,
+                available: 3
+            })
         ));
     }
 

@@ -116,8 +116,9 @@ mod tests {
         assert_eq!(presence.width(), 3);
         assert_eq!(presence.num_cells(), 5);
 
-        let pattern: StEvent =
-            Pattern::new(vec![region(5, &[0]), region(5, &[0, 1])], 2).unwrap().into();
+        let pattern: StEvent = Pattern::new(vec![region(5, &[0]), region(5, &[0, 1])], 2)
+            .unwrap()
+            .into();
         assert_eq!(pattern.start(), 2);
         assert_eq!(pattern.end(), 3);
         assert_eq!(pattern.width(), 2);
@@ -127,7 +128,9 @@ mod tests {
     fn eval_and_expr_agree_across_variants() {
         let events: Vec<StEvent> = vec![
             Presence::new(region(3, &[0, 1]), 2, 3).unwrap().into(),
-            Pattern::new(vec![region(3, &[0, 1]), region(3, &[1, 2])], 2).unwrap().into(),
+            Pattern::new(vec![region(3, &[0, 1]), region(3, &[1, 2])], 2)
+                .unwrap()
+                .into(),
         ];
         for ev in &events {
             let expr = ev.to_expr();

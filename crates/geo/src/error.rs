@@ -46,7 +46,10 @@ impl fmt::Display for GeoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GeoError::CellOutOfRange { cell, num_cells } => {
-                write!(f, "cell index {cell} out of range for domain of {num_cells} cells")
+                write!(
+                    f,
+                    "cell index {cell} out of range for domain of {num_cells} cells"
+                )
             }
             GeoError::EmptyGrid => write!(f, "grid must have at least one row and one column"),
             GeoError::InvalidDimension { what, value } => {
@@ -73,7 +76,10 @@ mod tests {
 
     #[test]
     fn display_mentions_fields() {
-        let e = GeoError::CellOutOfRange { cell: 10, num_cells: 9 };
+        let e = GeoError::CellOutOfRange {
+            cell: 10,
+            num_cells: 9,
+        };
         assert!(e.to_string().contains("10"));
         assert!(e.to_string().contains('9'));
     }

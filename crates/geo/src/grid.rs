@@ -67,9 +67,16 @@ impl GridMap {
             return Err(GeoError::EmptyGrid);
         }
         if !(cell_size_km.is_finite() && cell_size_km > 0.0) {
-            return Err(GeoError::InvalidDimension { what: "cell size (km)", value: cell_size_km });
+            return Err(GeoError::InvalidDimension {
+                what: "cell size (km)",
+                value: cell_size_km,
+            });
         }
-        Ok(GridMap { rows, cols, cell_size_km })
+        Ok(GridMap {
+            rows,
+            cols,
+            cell_size_km,
+        })
     }
 
     /// The paper's default synthetic world: a 20×20 grid (§V.A) with 1 km
@@ -104,7 +111,10 @@ impl GridMap {
     /// [`GeoError::CellOutOfRange`] if the id exceeds the domain.
     pub fn to_row_col(&self, cell: CellId) -> Result<(usize, usize)> {
         if cell.0 >= self.num_cells() {
-            return Err(GeoError::CellOutOfRange { cell: cell.0, num_cells: self.num_cells() });
+            return Err(GeoError::CellOutOfRange {
+                cell: cell.0,
+                num_cells: self.num_cells(),
+            });
         }
         Ok((cell.0 / self.cols, cell.0 % self.cols))
     }

@@ -24,10 +24,18 @@ impl GpsPoint {
     /// [`GeoError::InvalidCoordinate`] for out-of-range or non-finite
     /// coordinates.
     pub fn new(lat: f64, lon: f64, timestamp_s: f64) -> Result<Self> {
-        if !(lat.is_finite() && lon.is_finite() && (-90.0..=90.0).contains(&lat) && (-180.0..=180.0).contains(&lon)) {
+        if !(lat.is_finite()
+            && lon.is_finite()
+            && (-90.0..=90.0).contains(&lat)
+            && (-180.0..=180.0).contains(&lon))
+        {
             return Err(GeoError::InvalidCoordinate { lat, lon });
         }
-        Ok(GpsPoint { lat, lon, timestamp_s })
+        Ok(GpsPoint {
+            lat,
+            lon,
+            timestamp_s,
+        })
     }
 }
 
@@ -75,9 +83,17 @@ impl GeoBounds {
             && (-180.0..=180.0).contains(&west)
             && (-180.0..=180.0).contains(&east);
         if !ok {
-            return Err(GeoError::InvalidCoordinate { lat: north, lon: west });
+            return Err(GeoError::InvalidCoordinate {
+                lat: north,
+                lon: west,
+            });
         }
-        Ok(GeoBounds { north, south, west, east })
+        Ok(GeoBounds {
+            north,
+            south,
+            west,
+            east,
+        })
     }
 
     /// A bounding box covering urban Beijing — the region where the bulk of
@@ -91,7 +107,8 @@ impl GeoBounds {
     pub fn extent_km(&self) -> (f64, f64) {
         let mid_lat = 0.5 * (self.north + self.south);
         let height = (self.north - self.south).to_radians() * EARTH_RADIUS_KM;
-        let width = (self.east - self.west).to_radians() * EARTH_RADIUS_KM * mid_lat.to_radians().cos();
+        let width =
+            (self.east - self.west).to_radians() * EARTH_RADIUS_KM * mid_lat.to_radians().cos();
         (width, height)
     }
 

@@ -15,7 +15,10 @@ pub struct Region {
 impl Region {
     /// Creates an empty region over a domain of `num_cells` states.
     pub fn empty(num_cells: usize) -> Self {
-        Region { num_cells, words: vec![0; num_cells.div_ceil(64)] }
+        Region {
+            num_cells,
+            words: vec![0; num_cells.div_ceil(64)],
+        }
     }
 
     /// Creates the full region containing every cell.
@@ -51,7 +54,10 @@ impl Region {
             return Err(GeoError::InvalidRange { start, end });
         }
         if end > num_cells {
-            return Err(GeoError::CellOutOfRange { cell: end - 1, num_cells });
+            return Err(GeoError::CellOutOfRange {
+                cell: end - 1,
+                num_cells,
+            });
         }
         Self::from_cells(num_cells, (start - 1..end).map(CellId))
     }
@@ -67,7 +73,10 @@ impl Region {
     /// [`GeoError::CellOutOfRange`] if the cell exceeds the domain.
     pub fn insert(&mut self, cell: CellId) -> Result<()> {
         if cell.0 >= self.num_cells {
-            return Err(GeoError::CellOutOfRange { cell: cell.0, num_cells: self.num_cells });
+            return Err(GeoError::CellOutOfRange {
+                cell: cell.0,
+                num_cells: self.num_cells,
+            });
         }
         self.words[cell.0 / 64] |= 1u64 << (cell.0 % 64);
         Ok(())
@@ -79,7 +88,10 @@ impl Region {
     /// [`GeoError::CellOutOfRange`] if the cell exceeds the domain.
     pub fn remove(&mut self, cell: CellId) -> Result<()> {
         if cell.0 >= self.num_cells {
-            return Err(GeoError::CellOutOfRange { cell: cell.0, num_cells: self.num_cells });
+            return Err(GeoError::CellOutOfRange {
+                cell: cell.0,
+                num_cells: self.num_cells,
+            });
         }
         self.words[cell.0 / 64] &= !(1u64 << (cell.0 % 64));
         Ok(())
@@ -105,7 +117,9 @@ impl Region {
 
     /// Iterator over member cells in ascending index order.
     pub fn iter(&self) -> impl Iterator<Item = CellId> + '_ {
-        (0..self.num_cells).map(CellId).filter(|&c| self.contains(c))
+        (0..self.num_cells)
+            .map(CellId)
+            .filter(|&c| self.contains(c))
     }
 
     /// The paper's indicator vector `s ∈ {0,1}^m`: entry `i` is 1 iff cell
@@ -131,7 +145,12 @@ impl Region {
         self.check_domain(other)?;
         Ok(Region {
             num_cells: self.num_cells,
-            words: self.words.iter().zip(&other.words).map(|(a, b)| a | b).collect(),
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a | b)
+                .collect(),
         })
     }
 
@@ -143,7 +162,12 @@ impl Region {
         self.check_domain(other)?;
         Ok(Region {
             num_cells: self.num_cells,
-            words: self.words.iter().zip(&other.words).map(|(a, b)| a & b).collect(),
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
         })
     }
 
@@ -164,7 +188,10 @@ impl Region {
 
     fn check_domain(&self, other: &Region) -> Result<()> {
         if self.num_cells != other.num_cells {
-            return Err(GeoError::DomainMismatch { left: self.num_cells, right: other.num_cells });
+            return Err(GeoError::DomainMismatch {
+                left: self.num_cells,
+                right: other.num_cells,
+            });
         }
         Ok(())
     }
@@ -240,7 +267,10 @@ mod tests {
     fn indicator_matches_membership() {
         let r = Region::from_cells(5, [CellId(1), CellId(3)]).unwrap();
         assert_eq!(r.indicator().as_slice(), &[0.0, 1.0, 0.0, 1.0, 0.0]);
-        assert_eq!(r.complement_indicator().as_slice(), &[1.0, 0.0, 1.0, 0.0, 1.0]);
+        assert_eq!(
+            r.complement_indicator().as_slice(),
+            &[1.0, 0.0, 1.0, 0.0, 1.0]
+        );
     }
 
     #[test]
@@ -269,7 +299,10 @@ mod tests {
         let a = Region::empty(4);
         let b = Region::empty(5);
         assert!(matches!(a.union(&b), Err(GeoError::DomainMismatch { .. })));
-        assert!(matches!(a.intersection(&b), Err(GeoError::DomainMismatch { .. })));
+        assert!(matches!(
+            a.intersection(&b),
+            Err(GeoError::DomainMismatch { .. })
+        ));
     }
 
     #[test]

@@ -55,7 +55,9 @@ const MAX_SWEEPS: usize = 64;
 pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen> {
     let n = a.rows();
     if n == 0 {
-        return Err(LinalgError::Empty { op: "symmetric_eigen" });
+        return Err(LinalgError::Empty {
+            op: "symmetric_eigen",
+        });
     }
     if !a.is_square() {
         return Err(LinalgError::DimensionMismatch {
@@ -72,7 +74,9 @@ pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen> {
         }
     }
     if max_asym > 1e-8 * scale {
-        return Err(LinalgError::NotSymmetric { max_asymmetry: max_asym });
+        return Err(LinalgError::NotSymmetric {
+            max_asymmetry: max_asym,
+        });
     }
 
     // Work on a copy; accumulate rotations in `v` (row k = eigenvector k
@@ -133,14 +137,21 @@ pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen> {
             }
         }
     }
-    Err(LinalgError::NoConvergence { op: "symmetric_eigen", iterations: MAX_SWEEPS })
+    Err(LinalgError::NoConvergence {
+        op: "symmetric_eigen",
+        iterations: MAX_SWEEPS,
+    })
 }
 
 fn finish(m: Matrix, v: Matrix, n: usize) -> SymmetricEigen {
     // Diagonal of `m` holds eigenvalues; column k of `v` the eigenvector.
     let mut order: Vec<usize> = (0..n).collect();
     let diag: Vec<f64> = (0..n).map(|i| m.get(i, i)).collect();
-    order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&i, &j| {
+        diag[j]
+            .partial_cmp(&diag[i])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
     let mut vectors = Matrix::zeros(n, n);
     for (row, &k) in order.iter().enumerate() {
@@ -235,13 +246,19 @@ mod tests {
     #[test]
     fn rejects_asymmetric_input() {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![0.0, 1.0]]).unwrap();
-        assert!(matches!(symmetric_eigen(&a), Err(LinalgError::NotSymmetric { .. })));
+        assert!(matches!(
+            symmetric_eigen(&a),
+            Err(LinalgError::NotSymmetric { .. })
+        ));
     }
 
     #[test]
     fn rejects_empty_input() {
         let a = Matrix::zeros(0, 0);
-        assert!(matches!(symmetric_eigen(&a), Err(LinalgError::Empty { .. })));
+        assert!(matches!(
+            symmetric_eigen(&a),
+            Err(LinalgError::Empty { .. })
+        ));
     }
 
     #[test]

@@ -53,8 +53,15 @@ pub enum LinalgError {
 impl fmt::Display for LinalgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LinalgError::DimensionMismatch { op, expected, actual } => {
-                write!(f, "{op}: dimension mismatch (expected {expected}, got {actual})")
+            LinalgError::DimensionMismatch {
+                op,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "{op}: dimension mismatch (expected {expected}, got {actual})"
+                )
             }
             LinalgError::NotStochastic { row, sum } => {
                 write!(f, "matrix is not row-stochastic: row {row} sums to {sum}")
@@ -69,7 +76,10 @@ impl fmt::Display for LinalgError {
                 write!(f, "{op}: no convergence after {iterations} iterations")
             }
             LinalgError::NotSymmetric { max_asymmetry } => {
-                write!(f, "matrix is not symmetric (max |a_ij - a_ji| = {max_asymmetry})")
+                write!(
+                    f,
+                    "matrix is not symmetric (max |a_ij - a_ji| = {max_asymmetry})"
+                )
             }
             LinalgError::Empty { op } => write!(f, "{op}: empty operand"),
         }
@@ -84,7 +94,11 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = LinalgError::DimensionMismatch { op: "matvec", expected: 3, actual: 4 };
+        let e = LinalgError::DimensionMismatch {
+            op: "matvec",
+            expected: 3,
+            actual: 4,
+        };
         let s = e.to_string();
         assert!(s.contains("matvec") && s.contains('3') && s.contains('4'));
     }

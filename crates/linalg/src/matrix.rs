@@ -15,7 +15,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows × cols` zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -63,7 +67,11 @@ impl Matrix {
             }
             data.extend_from_slice(r);
         }
-        Ok(Matrix { rows: rows.len(), cols, data })
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
     }
 
     /// Creates a diagonal matrix with `diag` on the diagonal (the paper's
@@ -98,7 +106,10 @@ impl Matrix {
     /// Panics on out-of-range indices.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -108,7 +119,10 @@ impl Matrix {
     /// Panics on out-of-range indices.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, value: f64) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         self.data[r * self.cols + c] = value;
     }
 
@@ -138,7 +152,9 @@ impl Matrix {
     /// Panics if `c` is out of range.
     pub fn col(&self, c: usize) -> Vector {
         assert!(c < self.cols, "column {c} out of range");
-        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + c])
+            .collect()
     }
 
     /// Immutable view of the flat row-major storage.
@@ -275,7 +291,12 @@ impl Matrix {
         self.zip_with(other, "matrix hadamard", |a, b| a * b)
     }
 
-    fn zip_with(&self, other: &Matrix, op: &'static str, f: impl Fn(f64, f64) -> f64) -> Result<Matrix> {
+    fn zip_with(
+        &self,
+        other: &Matrix,
+        op: &'static str,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Result<Matrix> {
         if self.rows != other.rows || self.cols != other.cols {
             return Err(LinalgError::DimensionMismatch {
                 op,
@@ -283,8 +304,17 @@ impl Matrix {
                 actual: other.rows * other.cols,
             });
         }
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
-        Ok(Matrix { rows: self.rows, cols: self.cols, data })
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// Returns `self` scaled by `factor`.
@@ -433,7 +463,10 @@ impl Matrix {
             let mut sum = 0.0;
             for (c, &x) in self.row(r).iter().enumerate() {
                 if x < -STOCHASTIC_TOL {
-                    return Err(LinalgError::NegativeEntry { index: r * self.cols + c, value: x });
+                    return Err(LinalgError::NegativeEntry {
+                        index: r * self.cols + c,
+                        value: x,
+                    });
                 }
                 sum += x;
             }
@@ -470,7 +503,11 @@ impl Matrix {
     /// # Panics
     /// Panics on shape mismatch (diagnostic helper).
     pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
         self.data
             .iter()
             .zip(&other.data)
@@ -507,7 +544,10 @@ mod tests {
     fn from_rows_rejects_ragged() {
         let e = Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
         assert!(matches!(e, Err(LinalgError::DimensionMismatch { .. })));
-        assert!(matches!(Matrix::from_rows(&[]), Err(LinalgError::Empty { .. })));
+        assert!(matches!(
+            Matrix::from_rows(&[]),
+            Err(LinalgError::Empty { .. })
+        ));
     }
 
     #[test]
@@ -621,10 +661,16 @@ mod tests {
         example_m().validate_stochastic().unwrap();
         let mut bad = example_m();
         bad.set(0, 0, 0.5);
-        assert!(matches!(bad.validate_stochastic(), Err(LinalgError::NotStochastic { .. })));
+        assert!(matches!(
+            bad.validate_stochastic(),
+            Err(LinalgError::NotStochastic { .. })
+        ));
         let mut neg = example_m();
         neg.set(0, 0, -0.1);
-        assert!(matches!(neg.validate_stochastic(), Err(LinalgError::NegativeEntry { .. })));
+        assert!(matches!(
+            neg.validate_stochastic(),
+            Err(LinalgError::NegativeEntry { .. })
+        ));
     }
 
     #[test]

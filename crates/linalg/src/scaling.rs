@@ -33,7 +33,10 @@ pub struct ScaledVector {
 impl ScaledVector {
     /// Wraps a raw vector with zero offset.
     pub fn new(vector: Vector) -> Self {
-        ScaledVector { vector, log_scale: 0.0 }
+        ScaledVector {
+            vector,
+            log_scale: 0.0,
+        }
     }
 
     /// Length of the carried vector.
@@ -94,7 +97,10 @@ impl ScaledVector {
     /// # Panics
     /// Panics on dimension mismatch.
     pub fn backward_step(&mut self, m: &Matrix, e: &Vector) {
-        let weighted = self.vector.hadamard(e).expect("emission dimension mismatch");
+        let weighted = self
+            .vector
+            .hadamard(e)
+            .expect("emission dimension mismatch");
         // (w · Mᵀ) as a row vector equals M · wᵀ read as a row.
         self.vector = m.matvec(&weighted);
         self.renormalize();
@@ -106,7 +112,10 @@ impl ScaledVector {
     /// # Panics
     /// Panics on dimension mismatch.
     pub fn scaled_dot(&self, other: &ScaledVector) -> (f64, f64) {
-        let raw = self.vector.dot(&other.vector).expect("scaled_dot dimension mismatch");
+        let raw = self
+            .vector
+            .dot(&other.vector)
+            .expect("scaled_dot dimension mismatch");
         (raw, self.log_scale + other.log_scale)
     }
 
@@ -132,8 +141,14 @@ impl ScaledVector {
     pub fn split_halves(&self) -> (ScaledVector, ScaledVector) {
         let (a, b) = self.vector.split_halves();
         (
-            ScaledVector { vector: a, log_scale: self.log_scale },
-            ScaledVector { vector: b, log_scale: self.log_scale },
+            ScaledVector {
+                vector: a,
+                log_scale: self.log_scale,
+            },
+            ScaledVector {
+                vector: b,
+                log_scale: self.log_scale,
+            },
         )
     }
 
@@ -214,8 +229,14 @@ mod tests {
 
     #[test]
     fn align_with_restores_common_scale() {
-        let a = ScaledVector { vector: Vector::from(vec![1.0, 2.0]), log_scale: -5.0 };
-        let b = ScaledVector { vector: Vector::from(vec![3.0, 4.0]), log_scale: -3.0 };
+        let a = ScaledVector {
+            vector: Vector::from(vec![1.0, 2.0]),
+            log_scale: -5.0,
+        };
+        let b = ScaledVector {
+            vector: Vector::from(vec![3.0, 4.0]),
+            log_scale: -3.0,
+        };
         let (av, bv, shared) = a.align_with(&b);
         assert_eq!(shared, -3.0);
         // a represented = [e^-5, 2e^-5]; under scale e^-3 carried = [e^-2, 2e^-2]
@@ -235,8 +256,14 @@ mod tests {
 
     #[test]
     fn scaled_dot_combines_scales() {
-        let a = ScaledVector { vector: Vector::from(vec![1.0, 1.0]), log_scale: -10.0 };
-        let b = ScaledVector { vector: Vector::from(vec![2.0, 3.0]), log_scale: -20.0 };
+        let a = ScaledVector {
+            vector: Vector::from(vec![1.0, 1.0]),
+            log_scale: -10.0,
+        };
+        let b = ScaledVector {
+            vector: Vector::from(vec![2.0, 3.0]),
+            log_scale: -20.0,
+        };
         let (raw, ls) = a.scaled_dot(&b);
         assert_eq!(raw, 5.0);
         assert_eq!(ls, -30.0);
@@ -244,7 +271,10 @@ mod tests {
 
     #[test]
     fn split_halves_shares_scale() {
-        let s = ScaledVector { vector: Vector::from(vec![1.0, 2.0, 3.0, 4.0]), log_scale: 7.0 };
+        let s = ScaledVector {
+            vector: Vector::from(vec![1.0, 2.0, 3.0, 4.0]),
+            log_scale: 7.0,
+        };
         let (x, y) = s.split_halves();
         assert_eq!(x.log_scale, 7.0);
         assert_eq!(y.vector.as_slice(), &[3.0, 4.0]);

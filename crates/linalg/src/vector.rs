@@ -25,7 +25,9 @@ impl Vector {
 
     /// Creates a vector filled with `value`.
     pub fn filled(n: usize, value: f64) -> Self {
-        Vector { data: vec![value; n] }
+        Vector {
+            data: vec![value; n],
+        }
     }
 
     /// Creates the `i`-th standard basis vector of length `n`.
@@ -45,7 +47,9 @@ impl Vector {
     /// Panics if `n == 0`.
     pub fn uniform(n: usize) -> Self {
         assert!(n > 0, "uniform distribution over zero states");
-        Vector { data: vec![1.0 / n as f64; n] }
+        Vector {
+            data: vec![1.0 / n as f64; n],
+        }
     }
 
     /// Length of the vector.
@@ -106,7 +110,12 @@ impl Vector {
             });
         }
         Ok(Vector {
-            data: self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a * b)
+                .collect(),
         })
     }
 
@@ -123,7 +132,12 @@ impl Vector {
             });
         }
         Ok(Vector {
-            data: self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a + b)
+                .collect(),
         })
     }
 
@@ -140,13 +154,20 @@ impl Vector {
             });
         }
         Ok(Vector {
-            data: self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a - b)
+                .collect(),
         })
     }
 
     /// Returns `self` scaled by `factor`.
     pub fn scale(&self, factor: f64) -> Vector {
-        Vector { data: self.data.iter().map(|a| a * factor).collect() }
+        Vector {
+            data: self.data.iter().map(|a| a * factor).collect(),
+        }
     }
 
     /// Scales the vector in place.
@@ -265,11 +286,18 @@ impl Vector {
     /// # Panics
     /// Panics if the length is odd.
     pub fn split_halves(&self) -> (Vector, Vector) {
-        assert!(self.len().is_multiple_of(2), "split_halves on odd-length vector");
+        assert!(
+            self.len().is_multiple_of(2),
+            "split_halves on odd-length vector"
+        );
         let h = self.len() / 2;
         (
-            Vector { data: self.data[..h].to_vec() },
-            Vector { data: self.data[h..].to_vec() },
+            Vector {
+                data: self.data[..h].to_vec(),
+            },
+            Vector {
+                data: self.data[h..].to_vec(),
+            },
         )
     }
 
@@ -294,7 +322,9 @@ impl From<Vec<f64>> for Vector {
 
 impl From<&[f64]> for Vector {
     fn from(data: &[f64]) -> Self {
-        Vector { data: data.to_vec() }
+        Vector {
+            data: data.to_vec(),
+        }
     }
 }
 
@@ -313,7 +343,9 @@ impl std::ops::IndexMut<usize> for Vector {
 
 impl FromIterator<f64> for Vector {
     fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
-        Vector { data: iter.into_iter().collect() }
+        Vector {
+            data: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -348,10 +380,22 @@ mod tests {
     fn dimension_mismatch_is_reported() {
         let a = Vector::zeros(2);
         let b = Vector::zeros(3);
-        assert!(matches!(a.dot(&b), Err(LinalgError::DimensionMismatch { .. })));
-        assert!(matches!(a.hadamard(&b), Err(LinalgError::DimensionMismatch { .. })));
-        assert!(matches!(a.add(&b), Err(LinalgError::DimensionMismatch { .. })));
-        assert!(matches!(a.sub(&b), Err(LinalgError::DimensionMismatch { .. })));
+        assert!(matches!(
+            a.dot(&b),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            a.hadamard(&b),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            a.add(&b),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            a.sub(&b),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]
@@ -377,9 +421,15 @@ mod tests {
     #[test]
     fn validate_distribution_catches_negatives_and_bad_sums() {
         let neg = Vector::from(vec![-0.1, 1.1]);
-        assert!(matches!(neg.validate_distribution(), Err(LinalgError::NegativeEntry { .. })));
+        assert!(matches!(
+            neg.validate_distribution(),
+            Err(LinalgError::NegativeEntry { .. })
+        ));
         let bad = Vector::from(vec![0.4, 0.4]);
-        assert!(matches!(bad.validate_distribution(), Err(LinalgError::NotDistribution { .. })));
+        assert!(matches!(
+            bad.validate_distribution(),
+            Err(LinalgError::NotDistribution { .. })
+        ));
         let good = Vector::from(vec![0.25; 4]);
         assert!(good.validate_distribution().is_ok());
     }

@@ -63,15 +63,23 @@ impl DeltaLocationSet {
     /// grid's cells.
     pub fn location_set(&self, prior: &Vector) -> Result<Region> {
         if prior.len() != self.grid.num_cells() {
-            return Err(LppmError::InvalidPrior(priste_linalg::LinalgError::DimensionMismatch {
-                op: "delta-location-set prior",
-                expected: self.grid.num_cells(),
-                actual: prior.len(),
-            }));
+            return Err(LppmError::InvalidPrior(
+                priste_linalg::LinalgError::DimensionMismatch {
+                    op: "delta-location-set prior",
+                    expected: self.grid.num_cells(),
+                    actual: prior.len(),
+                },
+            ));
         }
-        prior.validate_distribution().map_err(LppmError::InvalidPrior)?;
+        prior
+            .validate_distribution()
+            .map_err(LppmError::InvalidPrior)?;
         let mut order: Vec<usize> = (0..prior.len()).collect();
-        order.sort_by(|&i, &j| prior[j].partial_cmp(&prior[i]).unwrap_or(std::cmp::Ordering::Equal));
+        order.sort_by(|&i, &j| {
+            prior[j]
+                .partial_cmp(&prior[i])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let mut set = Region::empty(prior.len());
         let mut mass = 0.0;
         for &i in &order {
@@ -149,7 +157,12 @@ impl RestrictedPlm {
             }
         }
         emission.normalize_rows_mut();
-        Ok(RestrictedPlm { grid, set, alpha, emission })
+        Ok(RestrictedPlm {
+            grid,
+            set,
+            alpha,
+            emission,
+        })
     }
 
     /// The admissible output set `ΔX_t`.
@@ -176,7 +189,11 @@ impl Lppm for RestrictedPlm {
     }
 
     fn with_budget(&self, budget: f64) -> Result<Box<dyn Lppm>> {
-        Ok(Box::new(RestrictedPlm::new(self.grid.clone(), self.set.clone(), budget)?))
+        Ok(Box::new(RestrictedPlm::new(
+            self.grid.clone(),
+            self.set.clone(),
+            budget,
+        )?))
     }
 }
 
@@ -193,7 +210,9 @@ impl PosteriorTracker {
     /// # Errors
     /// [`LppmError::InvalidPrior`] if `initial` is not a distribution.
     pub fn new(initial: Vector) -> Result<Self> {
-        initial.validate_distribution().map_err(LppmError::InvalidPrior)?;
+        initial
+            .validate_distribution()
+            .map_err(LppmError::InvalidPrior)?;
         Ok(PosteriorTracker { posterior: initial })
     }
 
@@ -207,7 +226,9 @@ impl PosteriorTracker {
     /// # Errors
     /// [`LppmError::InvalidPrior`] on dimension mismatch.
     pub fn advance(&self, transition: &Matrix) -> Result<Vector> {
-        transition.try_vecmat(&self.posterior).map_err(LppmError::InvalidPrior)
+        transition
+            .try_vecmat(&self.posterior)
+            .map_err(LppmError::InvalidPrior)
     }
 
     /// Bayes update (Eq. (21)): given the prior `p_t⁻` used for this step,
@@ -219,7 +240,9 @@ impl PosteriorTracker {
     /// [`LppmError::InvalidPrior`] if the update normalizer is zero (the
     /// observation was impossible under the prior — a mechanism bug).
     pub fn update(&mut self, prior: &Vector, emission_column: &Vector) -> Result<()> {
-        let unnorm = prior.hadamard(emission_column).map_err(LppmError::InvalidPrior)?;
+        let unnorm = prior
+            .hadamard(emission_column)
+            .map_err(LppmError::InvalidPrior)?;
         let mut post = unnorm;
         post.normalize_mut().map_err(LppmError::InvalidPrior)?;
         self.posterior = post;
@@ -267,7 +290,9 @@ mod tests {
     fn location_set_rejects_bad_priors() {
         let dls = DeltaLocationSet::new(grid4(), 0.2).unwrap();
         assert!(dls.location_set(&Vector::uniform(5)).is_err());
-        assert!(dls.location_set(&Vector::from(vec![0.5, 0.5, 0.5, 0.5])).is_err());
+        assert!(dls
+            .location_set(&Vector::from(vec![0.5, 0.5, 0.5, 0.5]))
+            .is_err());
     }
 
     #[test]
@@ -275,7 +300,9 @@ mod tests {
         let prior = Vector::from(vec![0.4, 0.3, 0.2, 0.1]);
         let tight = DeltaLocationSet::new(grid4(), 0.05).unwrap();
         let loose = DeltaLocationSet::new(grid4(), 0.5).unwrap();
-        assert!(tight.location_set(&prior).unwrap().len() >= loose.location_set(&prior).unwrap().len());
+        assert!(
+            tight.location_set(&prior).unwrap().len() >= loose.location_set(&prior).unwrap().len()
+        );
     }
 
     #[test]

@@ -52,7 +52,11 @@ mod tests {
 
     #[test]
     fn display_mentions_values() {
-        assert!(LppmError::InvalidBudget { value: -1.0 }.to_string().contains("-1"));
-        assert!(LppmError::InvalidDelta { value: 2.0 }.to_string().contains('2'));
+        assert!(LppmError::InvalidBudget { value: -1.0 }
+            .to_string()
+            .contains("-1"));
+        assert!(LppmError::InvalidDelta { value: 2.0 }
+            .to_string()
+            .contains('2'));
     }
 }

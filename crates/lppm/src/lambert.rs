@@ -94,7 +94,10 @@ fn halley(x: f64, w: &mut f64) {
 /// Panics if `alpha ≤ 0` or `p ∉ [0, 1)` (programmer errors — the sampler
 /// always feeds uniform variates and a validated budget).
 pub fn planar_laplace_radius_icdf(alpha: f64, p: f64) -> f64 {
-    assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive, got {alpha}");
+    assert!(
+        alpha > 0.0 && alpha.is_finite(),
+        "alpha must be positive, got {alpha}"
+    );
     assert!((0.0..1.0).contains(&p), "p must lie in [0,1), got {p}");
     if p == 0.0 {
         return 0.0;

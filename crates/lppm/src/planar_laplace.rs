@@ -54,7 +54,13 @@ impl PlanarLaplace {
         }
         let supersample = supersample.max(1);
         let (emission, inside_mass) = build_emission(&grid, alpha, supersample);
-        Ok(PlanarLaplace { grid, alpha, supersample, emission, inside_mass })
+        Ok(PlanarLaplace {
+            grid,
+            alpha,
+            supersample,
+            emission,
+            inside_mass,
+        })
     }
 
     /// The underlying grid.
@@ -88,13 +94,13 @@ impl PlanarLaplace {
         true_loc: CellId,
         rng: &mut R,
     ) -> Result<(f64, f64)> {
-        let (cx, cy) = self
-            .grid
-            .cell_center_km(true_loc)
-            .map_err(|_| LppmError::CellOutOfRange {
-                cell: true_loc.index(),
-                num_cells: self.grid.num_cells(),
-            })?;
+        let (cx, cy) =
+            self.grid
+                .cell_center_km(true_loc)
+                .map_err(|_| LppmError::CellOutOfRange {
+                    cell: true_loc.index(),
+                    num_cells: self.grid.num_cells(),
+                })?;
         let theta = rng.gen::<f64>() * std::f64::consts::TAU;
         let r = planar_laplace_radius_icdf(self.alpha, rng.gen::<f64>());
         Ok((cx + r * theta.cos(), cy + r * theta.sin()))
@@ -260,7 +266,11 @@ mod tests {
         let e = plm.emission_matrix();
         // Interior cells capture nearly all mass at this budget (the ~2%
         // deficit is midpoint-rule error at the density cusp, not leakage).
-        assert!(plm.inside_mass()[12] > 0.95, "inside mass {}", plm.inside_mass()[12]);
+        assert!(
+            plm.inside_mass()[12] > 0.95,
+            "inside mass {}",
+            plm.inside_mass()[12]
+        );
         for x1 in 0..25 {
             for x2 in 0..25 {
                 let d = grid.distance_km(CellId(x1), CellId(x2)).unwrap();

@@ -92,7 +92,10 @@ impl RandomizedResponse {
                 *v = if c == r { p_true } else { p_other };
             }
         }
-        Ok(RandomizedResponse { epsilon, emission: e })
+        Ok(RandomizedResponse {
+            epsilon,
+            emission: e,
+        })
     }
 }
 
@@ -153,7 +156,11 @@ impl ExponentialMechanism {
             }
         }
         e.normalize_rows_mut();
-        Ok(ExponentialMechanism { grid, alpha, emission: e })
+        Ok(ExponentialMechanism {
+            grid,
+            alpha,
+            emission: e,
+        })
     }
 
     /// The underlying grid.
@@ -180,7 +187,10 @@ impl Lppm for ExponentialMechanism {
     }
 
     fn with_budget(&self, budget: f64) -> Result<Box<dyn Lppm>> {
-        Ok(Box::new(ExponentialMechanism::new(self.grid.clone(), budget)?))
+        Ok(Box::new(ExponentialMechanism::new(
+            self.grid.clone(),
+            budget,
+        )?))
     }
 }
 

@@ -57,11 +57,13 @@ impl MarkovModel {
     /// row-stochastic.
     pub fn new(transition: Matrix) -> crate::Result<Self> {
         if !transition.is_square() {
-            return Err(MarkovError::InvalidTransition(LinalgError::DimensionMismatch {
-                op: "markov transition",
-                expected: transition.rows(),
-                actual: transition.cols(),
-            }));
+            return Err(MarkovError::InvalidTransition(
+                LinalgError::DimensionMismatch {
+                    op: "markov transition",
+                    expected: transition.rows(),
+                    actual: transition.cols(),
+                },
+            ));
         }
         transition
             .validate_stochastic()
@@ -99,7 +101,10 @@ impl MarkovModel {
         let m = self.num_states();
         for s in [from.index(), to.index()] {
             if s >= m {
-                return Err(MarkovError::StateOutOfRange { state: s, num_states: m });
+                return Err(MarkovError::StateOutOfRange {
+                    state: s,
+                    num_states: m,
+                });
             }
         }
         Ok(self.transition.get(from.index(), to.index()))
@@ -132,10 +137,17 @@ impl MarkovModel {
     ///
     /// # Errors
     /// [`MarkovError::StateOutOfRange`] for an out-of-domain current state.
-    pub fn sample_next<R: Rng + ?Sized>(&self, current: CellId, rng: &mut R) -> crate::Result<CellId> {
+    pub fn sample_next<R: Rng + ?Sized>(
+        &self,
+        current: CellId,
+        rng: &mut R,
+    ) -> crate::Result<CellId> {
         let m = self.num_states();
         if current.index() >= m {
-            return Err(MarkovError::StateOutOfRange { state: current.index(), num_states: m });
+            return Err(MarkovError::StateOutOfRange {
+                state: current.index(),
+                num_states: m,
+            });
         }
         let row = self.transition.row(current.index());
         Ok(CellId(sample_categorical(row, rng)))
@@ -184,11 +196,13 @@ impl MarkovModel {
         rng: &mut R,
     ) -> crate::Result<Vec<CellId>> {
         if initial.len() != self.num_states() {
-            return Err(MarkovError::InvalidInitial(LinalgError::DimensionMismatch {
-                op: "initial distribution",
-                expected: self.num_states(),
-                actual: initial.len(),
-            }));
+            return Err(MarkovError::InvalidInitial(
+                LinalgError::DimensionMismatch {
+                    op: "initial distribution",
+                    expected: self.num_states(),
+                    actual: initial.len(),
+                },
+            ));
         }
         initial
             .validate_distribution()
@@ -225,7 +239,10 @@ mod tests {
     #[test]
     fn rejects_non_stochastic() {
         let bad = Matrix::from_rows(&[vec![0.5, 0.4], vec![0.5, 0.5]]).unwrap();
-        assert!(matches!(MarkovModel::new(bad), Err(MarkovError::InvalidTransition(_))));
+        assert!(matches!(
+            MarkovModel::new(bad),
+            Err(MarkovError::InvalidTransition(_))
+        ));
         let rect = Matrix::zeros(2, 3);
         assert!(MarkovModel::new(rect).is_err());
     }

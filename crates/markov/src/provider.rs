@@ -81,7 +81,10 @@ impl TimeVarying {
                 });
             }
         }
-        Ok(TimeVarying { num_states: n, schedule })
+        Ok(TimeVarying {
+            num_states: n,
+            schedule,
+        })
     }
 
     /// Length of the explicit schedule.
@@ -118,11 +121,7 @@ mod tests {
 
     fn two_state(p_stay: f64) -> MarkovModel {
         MarkovModel::new(
-            Matrix::from_rows(&[
-                vec![p_stay, 1.0 - p_stay],
-                vec![1.0 - p_stay, p_stay],
-            ])
-            .unwrap(),
+            Matrix::from_rows(&[vec![p_stay, 1.0 - p_stay], vec![1.0 - p_stay, p_stay]]).unwrap(),
         )
         .unwrap()
     }
@@ -146,7 +145,10 @@ mod tests {
 
     #[test]
     fn time_varying_validates_input() {
-        assert!(matches!(TimeVarying::new(vec![]), Err(MarkovError::NoTrainingData)));
+        assert!(matches!(
+            TimeVarying::new(vec![]),
+            Err(MarkovError::NoTrainingData)
+        ));
         let mismatch = TimeVarying::new(vec![two_state(0.5), MarkovModel::paper_example()]);
         assert!(mismatch.is_err());
     }

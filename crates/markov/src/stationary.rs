@@ -34,16 +34,15 @@ pub fn total_variation(p: &Vector, q: &Vector) -> f64 {
 /// [`MarkovError::InvalidTransition`] wrapping
 /// [`LinalgError::NoConvergence`] if `max_iters` is exhausted (reducible
 /// chains may genuinely lack a unique stationary distribution).
-pub fn stationary_distribution(
-    model: &MarkovModel,
-    tol: f64,
-    max_iters: usize,
-) -> Result<Vector> {
+pub fn stationary_distribution(model: &MarkovModel, tol: f64, max_iters: usize) -> Result<Vector> {
     let mut p = Vector::uniform(model.num_states());
     for _ in 0..max_iters {
         let stepped = model.step(&p)?;
         // Lazy-chain update: ½p + ½pM.
-        let next = p.add(&stepped).map_err(MarkovError::InvalidTransition)?.scale(0.5);
+        let next = p
+            .add(&stepped)
+            .map_err(MarkovError::InvalidTransition)?
+            .scale(0.5);
         let delta = total_variation(&next, &p);
         p = next;
         if delta < tol {

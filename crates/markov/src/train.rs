@@ -159,7 +159,10 @@ mod tests {
 
     #[test]
     fn empty_training_without_smoothing_errors() {
-        assert!(matches!(train_mle(3, &[], 0.0), Err(MarkovError::NoTrainingData)));
+        assert!(matches!(
+            train_mle(3, &[], 0.0),
+            Err(MarkovError::NoTrainingData)
+        ));
         // With smoothing the fit degrades gracefully to uniform.
         let m = train_mle(3, &[], 0.5).unwrap();
         assert_eq!(m.transition().row(0), &[1.0 / 3.0; 3]);
@@ -177,7 +180,9 @@ mod tests {
         // Sample a long trajectory from a known chain and re-estimate it.
         let truth = MarkovModel::paper_example();
         let mut rng = StdRng::seed_from_u64(2024);
-        let traj = truth.sample_trajectory(CellId(0), 60_000, &mut rng).unwrap();
+        let traj = truth
+            .sample_trajectory(CellId(0), 60_000, &mut rng)
+            .unwrap();
         let fitted = train_mle(3, &[traj], 0.0).unwrap();
         let err = fitted.transition().max_abs_diff(truth.transition());
         assert!(err < 0.02, "estimation error {err}");

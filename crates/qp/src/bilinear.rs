@@ -132,14 +132,27 @@ pub fn maximize(p: &BilinearProgram, cfg: &SolverConfig) -> MaximizeOutcome {
 /// `stop_when_positive` short-circuits as soon as any feasible point beats
 /// the tolerance — the right policy when the caller only needs a
 /// non-positivity verdict, wasteful when it wants tight bounds.
-fn maximize_inner(p: &BilinearProgram, cfg: &SolverConfig, stop_when_positive: bool) -> MaximizeOutcome {
+fn maximize_inner(
+    p: &BilinearProgram,
+    cfg: &SolverConfig,
+    stop_when_positive: bool,
+) -> MaximizeOutcome {
     if cfg.constraint == ConstraintSet::Simplex {
-        let early = if stop_when_positive { cfg.tolerance } else { f64::INFINITY };
-        let out = crate::simplex::maximize_simplex_deadline(p, cfg.work_budget, early, cfg.deadline);
+        let early = if stop_when_positive {
+            cfg.tolerance
+        } else {
+            f64::INFINITY
+        };
+        let out =
+            crate::simplex::maximize_simplex_deadline(p, cfg.work_budget, early, cfg.deadline);
         return MaximizeOutcome {
             best_point: out.best_point,
             lower_bound: out.best_value,
-            upper_bound: if out.complete { out.best_value } else { f64::INFINITY },
+            upper_bound: if out.complete {
+                out.best_value
+            } else {
+                f64::INFINITY
+            },
             work_used: out.work_used,
         };
     }
@@ -242,19 +255,32 @@ fn maximize_inner(p: &BilinearProgram, cfg: &SolverConfig, stop_when_positive: b
         bands *= BAND_GROWTH;
     }
 
-    MaximizeOutcome { best_point, lower_bound: best_val, upper_bound: upper, work_used: work }
+    MaximizeOutcome {
+        best_point,
+        lower_bound: best_val,
+        upper_bound: upper,
+        work_used: work,
+    }
 }
 
 /// Budgeted non-positivity check: `max f ≤ 0`?
 pub fn check_nonpositive(p: &BilinearProgram, cfg: &SolverConfig) -> Verdict {
     let outcome = maximize_inner(p, cfg, true);
     if outcome.lower_bound > cfg.tolerance {
-        return Verdict::Violated { witness: outcome.best_point, value: outcome.lower_bound };
+        return Verdict::Violated {
+            witness: outcome.best_point,
+            value: outcome.lower_bound,
+        };
     }
     if outcome.upper_bound <= cfg.tolerance {
-        return Verdict::Holds { upper_bound: outcome.upper_bound };
+        return Verdict::Holds {
+            upper_bound: outcome.upper_bound,
+        };
     }
-    Verdict::Unknown { lower_bound: outcome.lower_bound, upper_bound: outcome.upper_bound }
+    Verdict::Unknown {
+        lower_bound: outcome.lower_bound,
+        upper_bound: outcome.upper_bound,
+    }
 }
 
 #[cfg(test)]
@@ -271,7 +297,9 @@ mod tests {
         let mut best = f64::NEG_INFINITY;
         loop {
             let pi = Vector::from(
-                idx.iter().map(|&k| k as f64 / steps as f64).collect::<Vec<_>>(),
+                idx.iter()
+                    .map(|&k| k as f64 / steps as f64)
+                    .collect::<Vec<_>>(),
             );
             best = best.max(p.eval(&pi));
             let mut k = n;
@@ -405,7 +433,10 @@ mod tests {
         let generous = maximize(&p, &box_cfg(500_000));
         let tight = check_nonpositive(&p, &box_cfg(4));
         if generous.lower_bound > 1e-9 {
-            assert!(!tight.holds(), "tiny budget claimed Holds on a violated program");
+            assert!(
+                !tight.holds(),
+                "tiny budget claimed Holds on a violated program"
+            );
         }
     }
 
@@ -418,12 +449,20 @@ mod tests {
         );
         let out = maximize(&p, &SolverConfig::default());
         // On the simplex, πa = πg = 1 always ⇒ f = 1 (vs 4 on the box).
-        assert!((out.lower_bound - 1.0).abs() < 1e-6, "got {}", out.lower_bound);
+        assert!(
+            (out.lower_bound - 1.0).abs() < 1e-6,
+            "got {}",
+            out.lower_bound
+        );
         let s = out.best_point.sum();
         assert!((s - 1.0).abs() < 1e-9);
         // Box mode sees the larger maximum.
         let box_out = maximize(&p, &box_cfg(200_000));
-        assert!(box_out.lower_bound > 3.9, "box max should be 4, got {}", box_out.lower_bound);
+        assert!(
+            box_out.lower_bound > 3.9,
+            "box max should be 4, got {}",
+            box_out.lower_bound
+        );
     }
 
     #[test]

@@ -29,7 +29,10 @@ impl BoxQp {
     pub fn new(q: Matrix, h: Vector) -> Self {
         assert!(q.is_square(), "Q must be square");
         assert_eq!(q.rows(), h.len(), "Q/h dimension mismatch");
-        BoxQp { q: q.symmetrize(), h }
+        BoxQp {
+            q: q.symmetrize(),
+            h,
+        }
     }
 
     /// Dimension.
@@ -42,7 +45,8 @@ impl BoxQp {
     /// # Panics
     /// Panics on length mismatch.
     pub fn eval(&self, pi: &Vector) -> f64 {
-        self.q.quadratic_form(pi).expect("dimension checked") + pi.dot(&self.h).expect("dimension checked")
+        self.q.quadratic_form(pi).expect("dimension checked")
+            + pi.dot(&self.h).expect("dimension checked")
     }
 
     /// Gradient `2Qπ + h`.
@@ -80,16 +84,15 @@ impl BoxQp {
 pub fn projected_gradient_max(p: &BoxQp, cfg: &SolverConfig) -> (Vector, f64) {
     let n = p.dim();
     let starts: Vec<Vector> = {
-        let mut s = vec![
-            Vector::filled(n, 0.5),
-            Vector::zeros(n),
-            Vector::ones(n),
-        ];
+        let mut s = vec![Vector::filled(n, 0.5), Vector::zeros(n), Vector::ones(n)];
         // Deterministic quasi-random corners derived from the gradient signs
         // at the center — cheap diversification without an RNG dependency.
         let g = p.gradient(&Vector::filled(n, 0.5));
         s.push(Vector::from(
-            g.as_slice().iter().map(|&x| if x > 0.0 { 1.0 } else { 0.0 }).collect::<Vec<_>>(),
+            g.as_slice()
+                .iter()
+                .map(|&x| if x > 0.0 { 1.0 } else { 0.0 })
+                .collect::<Vec<_>>(),
         ));
         s
     };
@@ -147,7 +150,10 @@ pub fn check_nonpositive(p: &BoxQp, cfg: &SolverConfig) -> Verdict {
     if value > cfg.tolerance {
         return Verdict::Violated { witness, value };
     }
-    Verdict::Unknown { lower_bound: value, upper_bound: ub }
+    Verdict::Unknown {
+        lower_bound: value,
+        upper_bound: ub,
+    }
 }
 
 #[cfg(test)]

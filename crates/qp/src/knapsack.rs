@@ -227,12 +227,9 @@ mod tests {
 
     #[test]
     fn equality_rejects_unreachable_mass() {
-        assert!(max_with_equality(
-            &Vector::from(vec![1.0]),
-            &Vector::from(vec![1.0]),
-            1.5
-        )
-        .is_none());
+        assert!(
+            max_with_equality(&Vector::from(vec![1.0]), &Vector::from(vec![1.0]), 1.5).is_none()
+        );
     }
 
     #[test]
@@ -296,20 +293,12 @@ mod tests {
 
     #[test]
     fn band_validates_feasibility() {
-        assert!(max_with_band(
-            &Vector::from(vec![1.0]),
-            &Vector::from(vec![1.0]),
-            2.0,
-            3.0
-        )
-        .is_none());
-        assert!(max_with_band(
-            &Vector::from(vec![1.0]),
-            &Vector::from(vec![1.0]),
-            0.8,
-            0.2
-        )
-        .is_none());
+        assert!(
+            max_with_band(&Vector::from(vec![1.0]), &Vector::from(vec![1.0]), 2.0, 3.0).is_none()
+        );
+        assert!(
+            max_with_band(&Vector::from(vec![1.0]), &Vector::from(vec![1.0]), 0.8, 0.2).is_none()
+        );
     }
 
     #[test]
@@ -327,7 +316,11 @@ mod tests {
             for k in 0..=10 {
                 let u = lo + (hi - lo) * k as f64 / 10.0;
                 if let Some(slice) = max_with_equality(&w, &a, u) {
-                    assert!(band >= slice.value - 1e-9, "band {band} < slice {}", slice.value);
+                    assert!(
+                        band >= slice.value - 1e-9,
+                        "band {band} < slice {}",
+                        slice.value
+                    );
                 }
             }
         }

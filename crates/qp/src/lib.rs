@@ -123,7 +123,10 @@ impl Default for SolverConfig {
 impl SolverConfig {
     /// A configuration with the given work budget and defaults otherwise.
     pub fn with_budget(work_budget: u64) -> Self {
-        SolverConfig { work_budget, ..Self::default() }
+        SolverConfig {
+            work_budget,
+            ..Self::default()
+        }
     }
 }
 
@@ -141,6 +144,10 @@ mod tests {
     #[test]
     fn verdict_holds_predicate() {
         assert!(Verdict::Holds { upper_bound: -0.5 }.holds());
-        assert!(!Verdict::Unknown { lower_bound: -1.0, upper_bound: 1.0 }.holds());
+        assert!(!Verdict::Unknown {
+            lower_bound: -1.0,
+            upper_bound: 1.0
+        }
+        .holds());
     }
 }

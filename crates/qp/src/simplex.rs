@@ -79,11 +79,7 @@ pub struct SimplexOutcome {
 /// Scans all coordinate pairs (each one work unit). Stops early when the
 /// budget or wall-clock deadline runs out; `early_exit_above` (if finite)
 /// stops as soon as any pair exceeds it — the violation fast-path.
-pub fn maximize_simplex(
-    p: &BilinearProgram,
-    budget: u64,
-    early_exit_above: f64,
-) -> SimplexOutcome {
+pub fn maximize_simplex(p: &BilinearProgram, budget: u64, early_exit_above: f64) -> SimplexOutcome {
     maximize_simplex_deadline(p, budget, early_exit_above, None)
 }
 
@@ -131,7 +127,12 @@ pub fn maximize_simplex_deadline(
         point[i] += l;
         point[j] += 1.0 - l;
     }
-    SimplexOutcome { best_point: point, best_value: best_v, complete, work_used: work }
+    SimplexOutcome {
+        best_point: point,
+        best_value: best_v,
+        complete,
+        work_used: work,
+    }
 }
 
 /// Budgeted non-positivity check over the simplex.
@@ -142,12 +143,20 @@ pub fn maximize_simplex_deadline(
 pub fn check_nonpositive_simplex(p: &BilinearProgram, cfg: &SolverConfig) -> Verdict {
     let out = maximize_simplex_deadline(p, cfg.work_budget, cfg.tolerance, cfg.deadline);
     if out.best_value > cfg.tolerance {
-        return Verdict::Violated { witness: out.best_point, value: out.best_value };
+        return Verdict::Violated {
+            witness: out.best_point,
+            value: out.best_value,
+        };
     }
     if out.complete {
-        return Verdict::Holds { upper_bound: out.best_value };
+        return Verdict::Holds {
+            upper_bound: out.best_value,
+        };
     }
-    Verdict::Unknown { lower_bound: out.best_value, upper_bound: f64::INFINITY }
+    Verdict::Unknown {
+        lower_bound: out.best_value,
+        upper_bound: f64::INFINITY,
+    }
 }
 
 #[cfg(test)]

@@ -88,7 +88,12 @@ impl TheoremChecker {
     ///
     /// # Panics
     /// Panics on length mismatches (the vectors come from one builder).
-    pub fn programs(&self, a: &Vector, b: &Vector, c: &Vector) -> [(Constraint, BilinearProgram); 2] {
+    pub fn programs(
+        &self,
+        a: &Vector,
+        b: &Vector,
+        c: &Vector,
+    ) -> [(Constraint, BilinearProgram); 2] {
         assert_eq!(a.len(), b.len(), "a/b length mismatch");
         assert_eq!(a.len(), c.len(), "a/c length mismatch");
         // Joint rescale of (b, c): homogeneous, so verdicts are unchanged.
@@ -127,7 +132,11 @@ impl TheoremChecker {
             match check_nonpositive(&program, &cfg) {
                 Verdict::Holds { .. } => {}
                 Verdict::Violated { witness, value } => {
-                    return TheoremVerdict::Violated { constraint, witness, value };
+                    return TheoremVerdict::Violated {
+                        constraint,
+                        witness,
+                        value,
+                    };
                 }
                 Verdict::Unknown { .. } => return TheoremVerdict::Unknown { constraint },
             }
@@ -184,7 +193,11 @@ mod tests {
         let c = Vector::from(vec![0.6, 0.5]);
         let checker = TheoremChecker::new(0.05, SolverConfig::default());
         match checker.check(&a, &b, &c) {
-            TheoremVerdict::Violated { constraint, witness, value } => {
+            TheoremVerdict::Violated {
+                constraint,
+                witness,
+                value,
+            } => {
                 // Re-evaluate the violated program at the witness.
                 let programs = checker.programs(&a, &b, &c);
                 let p = programs

@@ -19,7 +19,10 @@ fn program(n: usize) -> impl Strategy<Value = BilinearProgram> {
 }
 
 fn box_cfg() -> SolverConfig {
-    SolverConfig { constraint: ConstraintSet::Box, ..SolverConfig::with_budget(300_000) }
+    SolverConfig {
+        constraint: ConstraintSet::Box,
+        ..SolverConfig::with_budget(300_000)
+    }
 }
 
 proptest! {

@@ -54,7 +54,8 @@ impl<'e, P: TransitionProvider> BayesianAdversary<'e, P> {
     /// Domain/validation errors; [`QuantifyError::DegeneratePrior`] when the
     /// event has probability 0 or 1 under `π` (no inference to do).
     pub fn new(event: &'e StEvent, provider: P, pi: Vector) -> Result<Self> {
-        pi.validate_distribution().map_err(QuantifyError::InvalidInitial)?;
+        pi.validate_distribution()
+            .map_err(QuantifyError::InvalidInitial)?;
         let builder = TheoremBuilder::new(event, provider)?;
         let prior = pi.dot(builder.a()).expect("validated length");
         if !(prior > 0.0 && prior < 1.0) {
@@ -181,13 +182,11 @@ mod tests {
             Vector::from(vec![0.4, 0.4, 0.2]),
         ];
         let mut adv = BayesianAdversary::new(&ev, chain(), pi.clone()).unwrap();
-        let mut quant =
-            crate::fixed_pi::FixedPiQuantifier::new(&ev, chain(), pi).unwrap();
+        let mut quant = crate::fixed_pi::FixedPiQuantifier::new(&ev, chain(), pi).unwrap();
         for col in &cols {
             let inf = adv.observe(col).unwrap();
             let step = quant.observe(col).unwrap();
-            let expected_lift =
-                (step.log_likelihood_event - step.log_likelihood_not_event).exp();
+            let expected_lift = (step.log_likelihood_event - step.log_likelihood_not_event).exp();
             assert!(
                 (inf.odds_lift - expected_lift).abs() < 1e-9 * expected_lift,
                 "lift {} vs likelihood ratio {expected_lift}",

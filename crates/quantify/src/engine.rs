@@ -60,7 +60,10 @@ impl<'e, P: TransitionProvider> TwoWorldEngine<'e, P> {
             StEvent::Presence(p) => {
                 // Eq. (4) while entering/inside the window, Eq. (5) outside.
                 if t + 1 >= start && t < end {
-                    LiftedStep::Capture { m, region: p.region() }
+                    LiftedStep::Capture {
+                        m,
+                        region: p.region(),
+                    }
                 } else {
                     LiftedStep::BlockDiagonal { m }
                 }
@@ -168,7 +171,8 @@ impl<'e, P: TransitionProvider> TwoWorldEngine<'e, P> {
     /// [`QuantifyError::InvalidInitial`] if `π` is not a distribution over
     /// the state domain.
     pub fn prior(&self, pi: &Vector) -> Result<f64> {
-        pi.validate_distribution().map_err(QuantifyError::InvalidInitial)?;
+        pi.validate_distribution()
+            .map_err(QuantifyError::InvalidInitial)?;
         let lifted = self.initial_lift(pi)?;
         // Forward orientation: cheaper than building suffix vectors when
         // only the prior is needed, and numerically identical.
@@ -219,7 +223,11 @@ mod tests {
         ] {
             let expected = pi.dot(&Vector::from(vec![0.28, 0.298, 0.226])).unwrap();
             let got = engine.prior(&pi).unwrap();
-            assert!((got - expected).abs() < 1e-12, "pi {:?}: {got} vs {expected}", pi.as_slice());
+            assert!(
+                (got - expected).abs() < 1e-12,
+                "pi {:?}: {got} vs {expected}",
+                pi.as_slice()
+            );
         }
     }
 
@@ -238,11 +246,20 @@ mod tests {
         // Event at T={3,4}: captures at t=2,3; diagonal at t=1 and t≥4.
         let ev: StEvent = Presence::new(region(3, &[0, 1]), 3, 4).unwrap().into();
         let engine = TwoWorldEngine::new(&ev, paper_chain()).unwrap();
-        assert!(matches!(engine.step_at(1), LiftedStep::BlockDiagonal { .. }));
+        assert!(matches!(
+            engine.step_at(1),
+            LiftedStep::BlockDiagonal { .. }
+        ));
         assert!(matches!(engine.step_at(2), LiftedStep::Capture { .. }));
         assert!(matches!(engine.step_at(3), LiftedStep::Capture { .. }));
-        assert!(matches!(engine.step_at(4), LiftedStep::BlockDiagonal { .. }));
-        assert!(matches!(engine.step_at(5), LiftedStep::BlockDiagonal { .. }));
+        assert!(matches!(
+            engine.step_at(4),
+            LiftedStep::BlockDiagonal { .. }
+        ));
+        assert!(matches!(
+            engine.step_at(5),
+            LiftedStep::BlockDiagonal { .. }
+        ));
     }
 
     #[test]
@@ -258,7 +275,10 @@ mod tests {
         assert!(matches!(engine.step_at(1), LiftedStep::Capture { .. }));
         assert!(matches!(engine.step_at(2), LiftedStep::Hold { .. }));
         assert!(matches!(engine.step_at(3), LiftedStep::Hold { .. }));
-        assert!(matches!(engine.step_at(4), LiftedStep::BlockDiagonal { .. }));
+        assert!(matches!(
+            engine.step_at(4),
+            LiftedStep::BlockDiagonal { .. }
+        ));
         // Hold at t=2 must require the region of the destination time t=3.
         if let LiftedStep::Hold { region: r, .. } = engine.step_at(2) {
             assert!(r.contains(CellId(1)) && r.contains(CellId(2)) && !r.contains(CellId(0)));
@@ -270,8 +290,9 @@ mod tests {
     #[test]
     fn prior_matches_hand_enumeration_for_pattern() {
         // PATTERN {s1,s2}@2 then {s2,s3}@3 on the Eq. (2) chain, π uniform.
-        let ev: StEvent =
-            Pattern::new(vec![region(3, &[0, 1]), region(3, &[1, 2])], 2).unwrap().into();
+        let ev: StEvent = Pattern::new(vec![region(3, &[0, 1]), region(3, &[1, 2])], 2)
+            .unwrap()
+            .into();
         let engine = TwoWorldEngine::new(&ev, paper_chain()).unwrap();
         let pi = Vector::uniform(3);
         let m = MarkovModel::paper_example();
@@ -282,9 +303,8 @@ mod tests {
                 for u3 in 0..3 {
                     let in_pattern = (u2 == 0 || u2 == 1) && (u3 == 1 || u3 == 2);
                     if in_pattern {
-                        expected += pi[u1]
-                            * m.transition().get(u1, u2)
-                            * m.transition().get(u2, u3);
+                        expected +=
+                            pi[u1] * m.transition().get(u1, u2) * m.transition().get(u2, u3);
                     }
                 }
             }
@@ -305,7 +325,9 @@ mod tests {
     #[test]
     fn start_one_pattern_requires_both_steps() {
         // PATTERN {s1}@1 then {s3}@2: Pr = π₁ · M[0][2].
-        let ev: StEvent = Pattern::new(vec![region(3, &[0]), region(3, &[2])], 1).unwrap().into();
+        let ev: StEvent = Pattern::new(vec![region(3, &[0]), region(3, &[2])], 1)
+            .unwrap()
+            .into();
         let engine = TwoWorldEngine::new(&ev, paper_chain()).unwrap();
         let pi = Vector::from(vec![0.5, 0.25, 0.25]);
         assert!((engine.prior(&pi).unwrap() - 0.5 * 0.7).abs() < 1e-12);

@@ -45,20 +45,41 @@ impl fmt::Display for QuantifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QuantifyError::DomainMismatch { event, provider } => {
-                write!(f, "event domain has {event} cells but transition model has {provider}")
+                write!(
+                    f,
+                    "event domain has {event} cells but transition model has {provider}"
+                )
             }
             QuantifyError::InvalidInitial(e) => write!(f, "invalid initial distribution: {e}"),
             QuantifyError::InvalidEmission { expected, actual } => {
-                write!(f, "emission column has length {actual}, expected {expected}")
+                write!(
+                    f,
+                    "emission column has length {actual}, expected {expected}"
+                )
             }
             QuantifyError::DegeneratePrior { prior } => {
-                write!(f, "event prior {prior} is degenerate; privacy ratio undefined")
+                write!(
+                    f,
+                    "event prior {prior} is degenerate; privacy ratio undefined"
+                )
             }
-            QuantifyError::TimestepOutOfOrder { expected, requested } => {
-                write!(f, "timestep {requested} out of order; engine expects {expected}")
+            QuantifyError::TimestepOutOfOrder {
+                expected,
+                requested,
+            } => {
+                write!(
+                    f,
+                    "timestep {requested} out of order; engine expects {expected}"
+                )
             }
-            QuantifyError::EnumerationTooLarge { trajectories, limit } => {
-                write!(f, "naive enumeration of {trajectories} trajectories exceeds limit {limit}")
+            QuantifyError::EnumerationTooLarge {
+                trajectories,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "naive enumeration of {trajectories} trajectories exceeds limit {limit}"
+                )
             }
         }
     }

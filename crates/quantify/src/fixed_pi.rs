@@ -45,7 +45,8 @@ impl<'e, P: TransitionProvider> FixedPiQuantifier<'e, P> {
     /// [`QuantifyError::DegeneratePrior`] when `Pr(EVENT) ∈ {0, 1}` under
     /// `π` (no ratio to bound).
     pub fn new(event: &'e StEvent, provider: P, pi: Vector) -> Result<Self> {
-        pi.validate_distribution().map_err(QuantifyError::InvalidInitial)?;
+        pi.validate_distribution()
+            .map_err(QuantifyError::InvalidInitial)?;
         let builder = TheoremBuilder::new(event, provider)?;
         let prior = pi.dot(builder.a()).expect("validated length");
         if !(prior > 0.0 && prior < 1.0) {
@@ -136,8 +137,7 @@ mod tests {
         let prior = naive::prior(&ev, &chain(), &pi, 1 << 20).unwrap();
         for t in 1..=3 {
             let step = q.observe(&emissions[t - 1]).unwrap();
-            let joint_e =
-                naive::joint(&ev, &chain(), &pi, &emissions[..t], 1 << 20).unwrap();
+            let joint_e = naive::joint(&ev, &chain(), &pi, &emissions[..t], 1 << 20).unwrap();
             // ln Pr(o|E) = ln Pr(o,E) − ln Pr(E).
             let expect_like_e = joint_e.ln() - prior.ln();
             assert!(

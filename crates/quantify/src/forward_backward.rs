@@ -34,10 +34,14 @@ pub fn posterior_states<P: TransitionProvider>(
             },
         ));
     }
-    pi.validate_distribution().map_err(QuantifyError::InvalidInitial)?;
+    pi.validate_distribution()
+        .map_err(QuantifyError::InvalidInitial)?;
     for e in emissions {
         if e.len() != m {
-            return Err(QuantifyError::InvalidEmission { expected: m, actual: e.len() });
+            return Err(QuantifyError::InvalidEmission {
+                expected: m,
+                actual: e.len(),
+            });
         }
     }
     let big_t = emissions.len();
@@ -67,10 +71,11 @@ pub fn posterior_states<P: TransitionProvider>(
     let mut out = Vec::with_capacity(big_t);
     for (a, b) in alphas.iter().zip(&betas) {
         let mut post = a.vector.hadamard(&b.vector).expect("validated length");
-        post.normalize_mut().map_err(|_| QuantifyError::InvalidEmission {
-            expected: m,
-            actual: m,
-        })?;
+        post.normalize_mut()
+            .map_err(|_| QuantifyError::InvalidEmission {
+                expected: m,
+                actual: m,
+            })?;
         out.push(post);
     }
     Ok(out)
@@ -86,13 +91,17 @@ pub fn log_likelihood<P: TransitionProvider>(
     emissions: &[Vector],
 ) -> Result<f64> {
     let m = provider.num_states();
-    pi.validate_distribution().map_err(QuantifyError::InvalidInitial)?;
+    pi.validate_distribution()
+        .map_err(QuantifyError::InvalidInitial)?;
     if emissions.is_empty() {
         return Ok(0.0);
     }
     for e in emissions {
         if e.len() != m {
-            return Err(QuantifyError::InvalidEmission { expected: m, actual: e.len() });
+            return Err(QuantifyError::InvalidEmission {
+                expected: m,
+                actual: e.len(),
+            });
         }
     }
     let mut alpha = ScaledVector::new(pi.hadamard(&emissions[0]).expect("validated length"));
@@ -176,7 +185,12 @@ mod tests {
 
     #[test]
     fn empty_sequence() {
-        assert_eq!(log_likelihood(&chain(), &Vector::uniform(3), &[]).unwrap(), 0.0);
-        assert!(posterior_states(&chain(), &Vector::uniform(3), &[]).unwrap().is_empty());
+        assert_eq!(
+            log_likelihood(&chain(), &Vector::uniform(3), &[]).unwrap(),
+            0.0
+        );
+        assert!(posterior_states(&chain(), &Vector::uniform(3), &[])
+            .unwrap()
+            .is_empty());
     }
 }

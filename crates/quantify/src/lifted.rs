@@ -72,7 +72,11 @@ impl LiftedStep<'_> {
                 let s = region.indicator();
                 let not_s = region.complement_indicator();
                 let yf = uf.hadamard(&not_s).expect("lengths match");
-                let yt = uf.hadamard(&s).expect("lengths match").add(&ut).expect("lengths match");
+                let yt = uf
+                    .hadamard(&s)
+                    .expect("lengths match")
+                    .add(&ut)
+                    .expect("lengths match");
                 yf.concat(&yt)
             }
             LiftedStep::Hold { m, region } => {
@@ -82,7 +86,9 @@ impl LiftedStep<'_> {
                 let ut = m.vecmat(&xt);
                 let s = region.indicator();
                 let not_s = region.complement_indicator();
-                let yf = uf.add(&ut.hadamard(&not_s).expect("lengths match")).expect("lengths match");
+                let yf = uf
+                    .add(&ut.hadamard(&not_s).expect("lengths match"))
+                    .expect("lengths match");
                 let yt = ut.hadamard(&s).expect("lengths match");
                 yf.concat(&yt)
             }
@@ -139,12 +145,16 @@ impl LiftedStep<'_> {
                 Matrix::from_blocks(m, &zero, &zero, m).expect("blocks are square")
             }
             LiftedStep::Capture { m, region } => {
-                let msd = m.scale_cols(&region.indicator()).expect("diag length matches");
+                let msd = m
+                    .scale_cols(&region.indicator())
+                    .expect("diag length matches");
                 let tl = m.sub(&msd).expect("shapes match");
                 Matrix::from_blocks(&tl, &msd, &zero, m).expect("blocks are square")
             }
             LiftedStep::Hold { m, region } => {
-                let msd = m.scale_cols(&region.indicator()).expect("diag length matches");
+                let msd = m
+                    .scale_cols(&region.indicator())
+                    .expect("diag length matches");
                 let bl = m.sub(&msd).expect("shapes match");
                 Matrix::from_blocks(m, &zero, &bl, &msd).expect("blocks are square")
             }
@@ -292,6 +302,9 @@ mod tests {
     #[test]
     fn lift_emission_duplicates() {
         let e = Vector::from(vec![0.5, 0.2, 0.3]);
-        assert_eq!(lift_emission(&e).as_slice(), &[0.5, 0.2, 0.3, 0.5, 0.2, 0.3]);
+        assert_eq!(
+            lift_emission(&e).as_slice(),
+            &[0.5, 0.2, 0.3, 0.5, 0.2, 0.3]
+        );
     }
 }

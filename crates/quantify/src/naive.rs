@@ -34,7 +34,8 @@ pub fn prior_expr<P: TransitionProvider>(
 ) -> Result<f64> {
     let horizon = expr.time_span().map(|(_, max)| max).unwrap_or(1);
     joint_enumerate(provider, pi, &[], horizon, limit, |traj| {
-        expr.eval(traj).expect("trajectory spans the expression horizon")
+        expr.eval(traj)
+            .expect("trajectory spans the expression horizon")
     })
 }
 
@@ -69,7 +70,10 @@ pub fn joint<P: TransitionProvider>(
     let m = provider.num_states();
     for e in emissions {
         if e.len() != m {
-            return Err(QuantifyError::InvalidEmission { expected: m, actual: e.len() });
+            return Err(QuantifyError::InvalidEmission {
+                expected: m,
+                actual: e.len(),
+            });
         }
     }
     let horizon = event.end().max(emissions.len());
@@ -98,10 +102,14 @@ fn joint_enumerate<P: TransitionProvider>(
             },
         ));
     }
-    pi.validate_distribution().map_err(QuantifyError::InvalidInitial)?;
+    pi.validate_distribution()
+        .map_err(QuantifyError::InvalidInitial)?;
     let count = (m as u128).checked_pow(horizon as u32).unwrap_or(u128::MAX);
     if count > limit {
-        return Err(QuantifyError::EnumerationTooLarge { trajectories: count, limit });
+        return Err(QuantifyError::EnumerationTooLarge {
+            trajectories: count,
+            limit,
+        });
     }
 
     let mut traj = vec![priste_geo::CellId(0); horizon];
@@ -169,10 +177,14 @@ pub fn pattern_joint_algorithm4<P: TransitionProvider>(
     }
     for e in window_emissions {
         if e.len() != m {
-            return Err(QuantifyError::InvalidEmission { expected: m, actual: e.len() });
+            return Err(QuantifyError::InvalidEmission {
+                expected: m,
+                actual: e.len(),
+            });
         }
     }
-    pi.validate_distribution().map_err(QuantifyError::InvalidInitial)?;
+    pi.validate_distribution()
+        .map_err(QuantifyError::InvalidInitial)?;
 
     let cells_per_step: Vec<Vec<usize>> = pattern
         .regions()
@@ -183,7 +195,10 @@ pub fn pattern_joint_algorithm4<P: TransitionProvider>(
         .iter()
         .fold(1u128, |acc, c| acc.saturating_mul(c.len() as u128));
     if count > limit {
-        return Err(QuantifyError::EnumerationTooLarge { trajectories: count, limit });
+        return Err(QuantifyError::EnumerationTooLarge {
+            trajectories: count,
+            limit,
+        });
     }
 
     // p_{start−1}·M marginal at the window opening (Algorithm 4's setup).
@@ -283,9 +298,22 @@ mod tests {
         let ev: StEvent = Presence::new(region(3, &[1]), 2, 3).unwrap().into();
         let pi = Vector::uniform(3);
         let e = Vector::from(vec![0.5, 0.3, 0.2]);
-        let j1 = joint(&ev, &chain(), &pi, std::slice::from_ref(&e), DEFAULT_ENUMERATION_LIMIT).unwrap();
-        let j2 =
-            joint(&ev, &chain(), &pi, &[e.clone(), e.clone()], DEFAULT_ENUMERATION_LIMIT).unwrap();
+        let j1 = joint(
+            &ev,
+            &chain(),
+            &pi,
+            std::slice::from_ref(&e),
+            DEFAULT_ENUMERATION_LIMIT,
+        )
+        .unwrap();
+        let j2 = joint(
+            &ev,
+            &chain(),
+            &pi,
+            &[e.clone(), e.clone()],
+            DEFAULT_ENUMERATION_LIMIT,
+        )
+        .unwrap();
         assert!(j2 < j1);
         assert!(j1 > 0.0);
     }

@@ -32,7 +32,10 @@ pub fn min_certifiable_epsilon(
     tolerance: f64,
     solver: &SolverConfig,
 ) -> EpsilonCapacity {
-    assert!(eps_min > 0.0 && eps_min < eps_max, "invalid bracket [{eps_min}, {eps_max}]");
+    assert!(
+        eps_min > 0.0 && eps_min < eps_max,
+        "invalid bracket [{eps_min}, {eps_max}]"
+    );
     assert!(tolerance > 0.0, "tolerance must be positive");
 
     let certifies = |eps: f64| {
@@ -43,10 +46,16 @@ pub fn min_certifiable_epsilon(
 
     let mut iterations = 0;
     if !certifies(eps_max) {
-        return EpsilonCapacity { min_epsilon: None, iterations: 1 };
+        return EpsilonCapacity {
+            min_epsilon: None,
+            iterations: 1,
+        };
     }
     if certifies(eps_min) {
-        return EpsilonCapacity { min_epsilon: Some(eps_min), iterations: 2 };
+        return EpsilonCapacity {
+            min_epsilon: Some(eps_min),
+            iterations: 2,
+        };
     }
     let (mut lo, mut hi) = (eps_min, eps_max);
     while hi - lo > tolerance {
@@ -61,7 +70,10 @@ pub fn min_certifiable_epsilon(
             break; // numerical safety net; tolerance of any practical size converges long before
         }
     }
-    EpsilonCapacity { min_epsilon: Some(hi), iterations }
+    EpsilonCapacity {
+        min_epsilon: Some(hi),
+        iterations,
+    }
 }
 
 /// Sweeps a whole release sequence: the per-timestep minimal certifiable ε
@@ -82,7 +94,9 @@ pub fn epsilon_capacity_curve<P: priste_markov::TransitionProvider>(
     let mut out = Vec::with_capacity(emission_columns.len());
     for col in emission_columns {
         let inputs = builder.candidate(col)?;
-        out.push(min_certifiable_epsilon(&inputs, 1e-4, eps_max, 1e-3, solver));
+        out.push(min_certifiable_epsilon(
+            &inputs, 1e-4, eps_max, 1e-3, solver,
+        ));
         builder.commit(col.clone())?;
     }
     Ok(out)
@@ -98,13 +112,10 @@ mod tests {
     use priste_markov::{Homogeneous, MarkovModel};
 
     fn setup() -> (StEvent, Homogeneous) {
-        let ev: StEvent = Presence::new(
-            Region::from_cells(3, [CellId(0), CellId(1)]).unwrap(),
-            2,
-            3,
-        )
-        .unwrap()
-        .into();
+        let ev: StEvent =
+            Presence::new(Region::from_cells(3, [CellId(0), CellId(1)]).unwrap(), 2, 3)
+                .unwrap()
+                .into();
         (ev, Homogeneous::new(MarkovModel::paper_example()))
     }
 
@@ -115,7 +126,11 @@ mod tests {
         let flat = Vector::from(vec![1.0 / 3.0; 3]);
         let inputs = builder.candidate(&flat).unwrap();
         let cap = min_certifiable_epsilon(&inputs, 1e-4, 4.0, 1e-4, &SolverConfig::default());
-        assert_eq!(cap.min_epsilon, Some(1e-4), "flat column should certify at the floor");
+        assert_eq!(
+            cap.min_epsilon,
+            Some(1e-4),
+            "flat column should certify at the floor"
+        );
     }
 
     #[test]
@@ -125,24 +140,14 @@ mod tests {
         let mild = Vector::from(vec![0.4, 0.35, 0.25]);
         let sharp = Vector::from(vec![0.9, 0.05, 0.05]);
         let cfg = SolverConfig::default();
-        let mild_eps = min_certifiable_epsilon(
-            &builder.candidate(&mild).unwrap(),
-            1e-4,
-            8.0,
-            1e-4,
-            &cfg,
-        )
-        .min_epsilon
-        .unwrap();
-        let sharp_eps = min_certifiable_epsilon(
-            &builder.candidate(&sharp).unwrap(),
-            1e-4,
-            8.0,
-            1e-4,
-            &cfg,
-        )
-        .min_epsilon
-        .unwrap();
+        let mild_eps =
+            min_certifiable_epsilon(&builder.candidate(&mild).unwrap(), 1e-4, 8.0, 1e-4, &cfg)
+                .min_epsilon
+                .unwrap();
+        let sharp_eps =
+            min_certifiable_epsilon(&builder.candidate(&sharp).unwrap(), 1e-4, 8.0, 1e-4, &cfg)
+                .min_epsilon
+                .unwrap();
         assert!(
             sharp_eps > mild_eps + 0.05,
             "sharper evidence must need more ε: {sharp_eps} vs {mild_eps}"

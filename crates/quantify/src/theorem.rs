@@ -117,7 +117,14 @@ impl<'e, P: TransitionProvider> TheoremBuilder<'e, P> {
         let engine = TwoWorldEngine::new(event, provider)?;
         let suffix = engine.suffix_true_vectors();
         let a = engine.reduce(&suffix[0]);
-        Ok(TheoremBuilder { engine, suffix, a, fwd_emissions: Vec::new(), bwd_emissions: Vec::new(), t: 0 })
+        Ok(TheoremBuilder {
+            engine,
+            suffix,
+            a,
+            fwd_emissions: Vec::new(),
+            bwd_emissions: Vec::new(),
+            t: 0,
+        })
     }
 
     /// The underlying engine.
@@ -147,10 +154,20 @@ impl<'e, P: TransitionProvider> TheoremBuilder<'e, P> {
     pub fn candidate(&self, emission_column: &Vector) -> Result<TheoremInputs> {
         let m = self.engine.num_states();
         if emission_column.len() != m {
-            return Err(QuantifyError::InvalidEmission { expected: m, actual: emission_column.len() });
+            return Err(QuantifyError::InvalidEmission {
+                expected: m,
+                actual: emission_column.len(),
+            });
         }
-        if emission_column.as_slice().iter().any(|&x| x < 0.0 || !x.is_finite()) {
-            return Err(QuantifyError::InvalidEmission { expected: m, actual: emission_column.len() });
+        if emission_column
+            .as_slice()
+            .iter()
+            .any(|&x| x < 0.0 || !x.is_finite())
+        {
+            return Err(QuantifyError::InvalidEmission {
+                expected: m,
+                actual: emission_column.len(),
+            });
         }
         let tc = self.t + 1;
         let end = self.engine.event().end();
@@ -196,7 +213,10 @@ impl<'e, P: TransitionProvider> TheoremBuilder<'e, P> {
     pub fn commit(&mut self, emission_column: Vector) -> Result<()> {
         let m = self.engine.num_states();
         if emission_column.len() != m {
-            return Err(QuantifyError::InvalidEmission { expected: m, actual: emission_column.len() });
+            return Err(QuantifyError::InvalidEmission {
+                expected: m,
+                actual: emission_column.len(),
+            });
         }
         let tc = self.t + 1;
         if tc <= self.engine.event().end() {
@@ -291,7 +311,12 @@ mod tests {
     fn a_matches_example_c1() {
         let ev: StEvent = Presence::new(region(3, &[0, 1]), 3, 4).unwrap().into();
         let builder = TheoremBuilder::new(&ev, chain()).unwrap();
-        assert!(builder.a().max_abs_diff(&Vector::from(vec![0.28, 0.298, 0.226])) < 1e-12);
+        assert!(
+            builder
+                .a()
+                .max_abs_diff(&Vector::from(vec![0.28, 0.298, 0.226]))
+                < 1e-12
+        );
     }
 
     #[test]
@@ -391,8 +416,9 @@ mod tests {
 
     #[test]
     fn pattern_events_flow_through_builder() {
-        let ev: StEvent =
-            Pattern::new(vec![region(3, &[0, 1]), region(3, &[1, 2])], 2).unwrap().into();
+        let ev: StEvent = Pattern::new(vec![region(3, &[0, 1]), region(3, &[1, 2])], 2)
+            .unwrap()
+            .into();
         let mut builder = TheoremBuilder::new(&ev, chain()).unwrap();
         let pi = Vector::uniform(3);
         let e = Vector::from(vec![0.6, 0.3, 0.1]);

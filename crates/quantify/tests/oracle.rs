@@ -21,7 +21,13 @@ fn random_stochastic(rng: &mut StdRng, m: usize) -> Matrix {
     for r in 0..m {
         // Occasional hard zeros exercise unreachable-state handling.
         let row: Vec<f64> = (0..m)
-            .map(|_| if rng.gen_bool(0.2) { 0.0 } else { rng.gen::<f64>() })
+            .map(|_| {
+                if rng.gen_bool(0.2) {
+                    0.0
+                } else {
+                    rng.gen::<f64>()
+                }
+            })
             .collect();
         let s: f64 = row.iter().sum();
         for (c, v) in row.iter().enumerate() {
@@ -39,8 +45,7 @@ fn random_pi(rng: &mut StdRng, m: usize) -> Vector {
 
 fn random_region(rng: &mut StdRng, m: usize) -> Region {
     loop {
-        let cells: Vec<CellId> =
-            (0..m).filter(|_| rng.gen_bool(0.4)).map(CellId).collect();
+        let cells: Vec<CellId> = (0..m).filter(|_| rng.gen_bool(0.4)).map(CellId).collect();
         if !cells.is_empty() && cells.len() < m {
             return Region::from_cells(m, cells).unwrap();
         }
@@ -48,17 +53,22 @@ fn random_region(rng: &mut StdRng, m: usize) -> Region {
 }
 
 fn random_emission(rng: &mut StdRng, m: usize) -> Vector {
-    Vector::from((0..m).map(|_| rng.gen::<f64>() * 0.9 + 0.1).collect::<Vec<_>>())
+    Vector::from(
+        (0..m)
+            .map(|_| rng.gen::<f64>() * 0.9 + 0.1)
+            .collect::<Vec<_>>(),
+    )
 }
 
 fn random_event(rng: &mut StdRng, m: usize, max_end: usize) -> StEvent {
     let start = rng.gen_range(1..=max_end);
     let end = rng.gen_range(start..=max_end);
     if rng.gen_bool(0.5) {
-        Presence::new(random_region(rng, m), start, end).unwrap().into()
+        Presence::new(random_region(rng, m), start, end)
+            .unwrap()
+            .into()
     } else {
-        let regions: Vec<Region> =
-            (start..=end).map(|_| random_region(rng, m)).collect();
+        let regions: Vec<Region> = (start..=end).map(|_| random_region(rng, m)).collect();
         Pattern::new(regions, start).unwrap().into()
     }
 }
@@ -78,7 +88,10 @@ fn prior_matches_enumeration_over_many_random_cases() {
             (fast - slow).abs() < 1e-10,
             "case {case} event {event}: two-world {fast} vs naive {slow}"
         );
-        assert!((0.0..=1.0 + 1e-12).contains(&fast), "prior out of range: {fast}");
+        assert!(
+            (0.0..=1.0 + 1e-12).contains(&fast),
+            "prior out of range: {fast}"
+        );
     }
 }
 
@@ -92,18 +105,14 @@ fn joint_matches_enumeration_before_during_and_after_the_event() {
         let pi = random_pi(&mut rng, m);
         // Observe two steps past the event end to exercise Lemma III.3.
         let horizon = event.end() + 2;
-        let emissions: Vec<Vector> =
-            (0..horizon).map(|_| random_emission(&mut rng, m)).collect();
+        let emissions: Vec<Vector> = (0..horizon).map(|_| random_emission(&mut rng, m)).collect();
 
         let mut builder = TheoremBuilder::new(&event, &chain).unwrap();
         for t in 1..=horizon {
             let inputs = builder.candidate(&emissions[t - 1]).unwrap();
-            let fast_joint_e =
-                pi.dot(&inputs.b).unwrap() * inputs.bc_log_scale.exp();
-            let fast_joint_all =
-                pi.dot(&inputs.c).unwrap() * inputs.bc_log_scale.exp();
-            let slow_joint_e =
-                naive::joint(&event, &&chain, &pi, &emissions[..t], LIMIT).unwrap();
+            let fast_joint_e = pi.dot(&inputs.b).unwrap() * inputs.bc_log_scale.exp();
+            let fast_joint_all = pi.dot(&inputs.c).unwrap() * inputs.bc_log_scale.exp();
+            let slow_joint_e = naive::joint(&event, &&chain, &pi, &emissions[..t], LIMIT).unwrap();
             assert!(
                 (fast_joint_e - slow_joint_e).abs() < 1e-10 * slow_joint_e.max(1e-30),
                 "case {case} t={t} event {event}: joint(E) {fast_joint_e} vs {slow_joint_e}"
@@ -134,19 +143,18 @@ fn joint_total_matches_forward_likelihood() {
         let event = random_event(&mut rng, m, 4);
         let pi = random_pi(&mut rng, m);
         let horizon = event.end() + 2;
-        let emissions: Vec<Vector> =
-            (0..horizon).map(|_| random_emission(&mut rng, m)).collect();
+        let emissions: Vec<Vector> = (0..horizon).map(|_| random_emission(&mut rng, m)).collect();
         let mut builder = TheoremBuilder::new(&event, &chain).unwrap();
         for t in 1..=horizon {
             let inputs = builder.candidate(&emissions[t - 1]).unwrap();
             let fast = inputs.log_joint_total(&pi);
-            let slow = priste_quantify::forward_backward::log_likelihood(
-                &&chain,
-                &pi,
-                &emissions[..t],
-            )
-            .unwrap();
-            assert!((fast - slow).abs() < 1e-9, "t={t}: {fast} vs {slow} ({event})");
+            let slow =
+                priste_quantify::forward_backward::log_likelihood(&&chain, &pi, &emissions[..t])
+                    .unwrap();
+            assert!(
+                (fast - slow).abs() < 1e-9,
+                "t={t}: {fast} vs {slow} ({event})"
+            );
             builder.commit(emissions[t - 1].clone()).unwrap();
         }
     }
@@ -167,7 +175,10 @@ fn time_varying_chains_are_supported() {
         let engine = TwoWorldEngine::new(&event, &chain).unwrap();
         let fast = engine.prior(&pi).unwrap();
         let slow = naive::prior(&event, &&chain, &pi, LIMIT).unwrap();
-        assert!((fast - slow).abs() < 1e-10, "event {event}: {fast} vs {slow}");
+        assert!(
+            (fast - slow).abs() < 1e-10,
+            "event {event}: {fast} vs {slow}"
+        );
     }
 }
 
@@ -181,7 +192,9 @@ fn start_one_events_agree_with_enumeration() {
         let chain = Homogeneous::new(MarkovModel::new(random_stochastic(&mut rng, m)).unwrap());
         let end = rng.gen_range(1..=3);
         let event: StEvent = if rng.gen_bool(0.5) {
-            Presence::new(random_region(&mut rng, m), 1, end).unwrap().into()
+            Presence::new(random_region(&mut rng, m), 1, end)
+                .unwrap()
+                .into()
         } else {
             let regions: Vec<Region> = (1..=end).map(|_| random_region(&mut rng, m)).collect();
             Pattern::new(regions, 1).unwrap().into()
@@ -190,17 +203,18 @@ fn start_one_events_agree_with_enumeration() {
         let engine = TwoWorldEngine::new(&event, &chain).unwrap();
         let fast = engine.prior(&pi).unwrap();
         let slow = naive::prior(&event, &&chain, &pi, LIMIT).unwrap();
-        assert!((fast - slow).abs() < 1e-10, "event {event}: {fast} vs {slow}");
+        assert!(
+            (fast - slow).abs() < 1e-10,
+            "event {event}: {fast} vs {slow}"
+        );
 
         // Joint agreement too, observing through end + 1.
-        let emissions: Vec<Vector> =
-            (0..end + 1).map(|_| random_emission(&mut rng, m)).collect();
+        let emissions: Vec<Vector> = (0..end + 1).map(|_| random_emission(&mut rng, m)).collect();
         let mut builder = TheoremBuilder::new(&event, &chain).unwrap();
         for t in 1..=end + 1 {
             let inputs = builder.candidate(&emissions[t - 1]).unwrap();
             let fast_joint = pi.dot(&inputs.b).unwrap() * inputs.bc_log_scale.exp();
-            let slow_joint =
-                naive::joint(&event, &&chain, &pi, &emissions[..t], LIMIT).unwrap();
+            let slow_joint = naive::joint(&event, &&chain, &pi, &emissions[..t], LIMIT).unwrap();
             assert!(
                 (fast_joint - slow_joint).abs() < 1e-10 * slow_joint.max(1e-30),
                 "event {event} t={t}: {fast_joint} vs {slow_joint}"
@@ -246,13 +260,10 @@ fn empirical_frequencies_match_computed_prior() {
     // empirical frequency with Lemma III.1.
     let mut rng = StdRng::seed_from_u64(0x3333);
     let chain = Homogeneous::new(MarkovModel::paper_example());
-    let event: StEvent = Presence::new(
-        Region::from_cells(3, [CellId(0), CellId(1)]).unwrap(),
-        3,
-        4,
-    )
-    .unwrap()
-    .into();
+    let event: StEvent =
+        Presence::new(Region::from_cells(3, [CellId(0), CellId(1)]).unwrap(), 3, 4)
+            .unwrap()
+            .into();
     let pi = Vector::from(vec![0.2, 0.3, 0.5]);
     let engine = TwoWorldEngine::new(&event, &chain).unwrap();
     let expected = engine.prior(&pi).unwrap();

@@ -20,12 +20,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let grid = GridMap::new(6, 6, 1.0)?;
     let chain = gaussian_kernel_chain(&grid, 1.0)?;
     let event = parse_event("PRESENCE(S={1:6}, T={3:6})", grid.num_cells())?;
-    let epsilon = 0.5;
+    let epsilon: f64 = 0.5;
     let alpha = 1.0;
     let horizon = 8;
     let runs = 60;
     let pi = Vector::uniform(grid.num_cells());
-    println!("secret: {event}   guarantee: ε = {epsilon}   odds band: [{:.3}, {:.3}]", (-epsilon).exp(), epsilon.exp());
+    println!(
+        "secret: {event}   guarantee: ε = {epsilon}   odds band: [{:.3}, {:.3}]",
+        (-epsilon).exp(),
+        epsilon.exp()
+    );
 
     let mut protected_worst: f64 = 0.0;
     let mut plain_worst: f64 = 0.0;
@@ -74,7 +78,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\n{runs} trajectories ({happened} where the event actually happened):");
-    println!("  PriSTE-protected: worst |ln odds-lift| = {protected_worst:.4}  (bound ε = {epsilon})");
+    println!(
+        "  PriSTE-protected: worst |ln odds-lift| = {protected_worst:.4}  (bound ε = {epsilon})"
+    );
     println!("  plain {alpha}-PLM:      worst |ln odds-lift| = {plain_worst:.4}");
     assert!(protected_worst <= epsilon + 1e-6, "guarantee violated!");
     println!(

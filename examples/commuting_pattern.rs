@@ -81,13 +81,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Algorithm 3: PriSTE with δ-location-set privacy. ---
     let mut rng = StdRng::seed_from_u64(8);
-    let source = DeltaLocSource::new(
-        grid.clone(),
-        0.2,
-        1.0,
-        chain.clone(),
-        Vector::uniform(m),
-    )?;
+    let source = DeltaLocSource::new(grid.clone(), 0.2, 1.0, chain.clone(), Vector::uniform(m))?;
     let mut alg3 = Priste::new(
         &events,
         Homogeneous::new(chain.clone()),

@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let world = if args.is_empty() {
         println!("no .plt files supplied — using the commuter simulator");
-        let cfg = geolife_sim::CommuterConfig { days: 30, ..Default::default() };
+        let cfg = geolife_sim::CommuterConfig {
+            days: 30,
+            ..Default::default()
+        };
         geolife_sim::build(&cfg)?
     } else {
         println!("parsing {} .plt file(s)", args.len());
@@ -38,12 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- 2. Inspect the learned mobility pattern.
     let stationary = stationary_distribution(&world.chain, 1e-10, 200_000)?;
-    let mut top: Vec<(usize, f64)> = stationary
-        .as_slice()
-        .iter()
-        .copied()
-        .enumerate()
-        .collect();
+    let mut top: Vec<(usize, f64)> = stationary.as_slice().iter().copied().enumerate().collect();
     top.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
     println!("\ntop-5 stationary cells (the user's anchor places):");
     for &(cell, p) in top.iter().take(5) {

@@ -61,7 +61,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("plain {alpha}-PLM (location privacy only):");
     println!("  worst event-privacy loss over the week: {worst_plain:.3}");
-    println!("  target ε = {epsilon} → {}", if worst_plain > epsilon { "LEAKED" } else { "held (lucky draw)" });
+    println!(
+        "  target ε = {epsilon} → {}",
+        if worst_plain > epsilon {
+            "LEAKED"
+        } else {
+            "held (lucky draw)"
+        }
+    );
 
     // --- Part 2: the same mechanism inside PriSTE (Algorithm 2). ---
     let events = vec![event.clone()];
@@ -87,7 +94,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         let step = quantifier.observe(&mech.emission_column(rec.observed))?;
         worst_priste = worst_priste.max(step.privacy_loss);
-        println!("  {:>2} | {:>6.3} | {:.4}", rec.t, rec.final_budget, step.privacy_loss);
+        println!(
+            "  {:>2} | {:>6.3} | {:.4}",
+            rec.t, rec.final_budget, step.privacy_loss
+        );
     }
     assert!(worst_priste <= epsilon + 1e-9);
     println!("\nOK: PriSTE kept the hospital-visit loss at {worst_priste:.4} ≤ ε = {epsilon}");

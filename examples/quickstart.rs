@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A 6×6 km grid world with a moderately patterned mobility model.
     let grid = GridMap::new(6, 6, 1.0)?;
     let chain = gaussian_kernel_chain(&grid, 1.0)?;
-    println!("world: {} cells, Gaussian-kernel mobility (σ = 1 km)", grid.num_cells());
+    println!(
+        "world: {} cells, Gaussian-kernel mobility (σ = 1 km)",
+        grid.num_cells()
+    );
 
     // 2. The secret, straight from the paper's notation: "was the user in
     //    cells s1..s6 at any time during timestamps 3..5?"
@@ -75,7 +78,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         worst = worst.max(step.privacy_loss);
         println!("  t={:>2}: loss = {:.4}", step.t, step.privacy_loss);
     }
-    assert!(worst <= epsilon + 1e-9, "privacy violated: {worst} > {epsilon}");
+    assert!(
+        worst <= epsilon + 1e-9,
+        "privacy violated: {worst} > {epsilon}"
+    );
     println!("\nOK: worst realized loss {worst:.4} ≤ ε = {epsilon}");
     Ok(())
 }

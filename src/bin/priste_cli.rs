@@ -81,21 +81,27 @@ impl Flags {
     fn f64_or(&self, key: &str, default: f64) -> Result<f64, String> {
         match self.0.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key}: not a number: {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: not a number: {v:?}")),
         }
     }
 
     fn usize_or(&self, key: &str, default: usize) -> Result<usize, String> {
         match self.0.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key}: not an integer: {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: not an integer: {v:?}")),
         }
     }
 
     fn u64_or(&self, key: &str, default: u64) -> Result<u64, String> {
         match self.0.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key}: not an integer: {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: not an integer: {v:?}")),
         }
     }
 }
@@ -162,15 +168,21 @@ fn cmd_world(flags: &Flags) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
             (world.grid, world.chain, world.trajectories)
         }
-        other => return Err(format!("--kind must be synthetic or commuter, got {other:?}")),
+        other => {
+            return Err(format!(
+                "--kind must be synthetic or commuter, got {other:?}"
+            ))
+        }
     };
 
-    println!("world: {kind}, {} cells ({} km each)", grid.num_cells(), grid.cell_size_km());
+    println!(
+        "world: {kind}, {} cells ({} km each)",
+        grid.num_cells(),
+        grid.cell_size_km()
+    );
     println!("trajectories: {}", trajectories.len());
-    let stationary =
-        stationary_distribution(&chain, 1e-9, 200_000).map_err(|e| e.to_string())?;
-    let mut top: Vec<(usize, f64)> =
-        stationary.as_slice().iter().copied().enumerate().collect();
+    let stationary = stationary_distribution(&chain, 1e-9, 200_000).map_err(|e| e.to_string())?;
+    let mut top: Vec<(usize, f64)> = stationary.as_slice().iter().copied().enumerate().collect();
     top.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
     println!("top stationary cells:");
     for &(cell, p) in top.iter().take(5) {
@@ -183,14 +195,18 @@ fn cmd_world(flags: &Flags) -> Result<(), String> {
             max_self = (i, p);
         }
     }
-    println!("stickiest cell: {} (self-transition {:.3})", CellId(max_self.0), max_self.1);
+    println!(
+        "stickiest cell: {} (self-transition {:.3})",
+        CellId(max_self.0),
+        max_self.1
+    );
     Ok(())
 }
 
 fn cmd_protect(flags: &Flags) -> Result<(), String> {
     let (grid, chain) = world_from_flags(flags)?;
-    let event = parse_event(flags.required("event")?, grid.num_cells())
-        .map_err(|e| e.to_string())?;
+    let event =
+        parse_event(flags.required("event")?, grid.num_cells()).map_err(|e| e.to_string())?;
     let epsilon = flags.f64_or("epsilon", 1.0)?;
     let alpha = flags.f64_or("alpha", 0.5)?;
     let (traj, mut rng) = trajectory_from_flags(flags, &chain)?;
@@ -208,26 +224,34 @@ fn cmd_protect(flags: &Flags) -> Result<(), String> {
             Vector::uniform(grid.num_cells()),
         )
         .map_err(|e| e.to_string())?;
-        let mut priste =
-            Priste::new(&events, Homogeneous::new(chain), source, grid, config)
-                .map_err(|e| e.to_string())?;
+        let mut priste = Priste::new(&events, Homogeneous::new(chain), source, grid, config)
+            .map_err(|e| e.to_string())?;
         for &loc in &traj {
             let r = priste.release(loc, &mut rng).map_err(|e| e.to_string())?;
             println!(
                 "{},{},{},{:.6},{},{:.3}",
-                r.t, loc.one_based(), r.observed.one_based(), r.final_budget, r.attempts, r.euclid_km
+                r.t,
+                loc.one_based(),
+                r.observed.one_based(),
+                r.final_budget,
+                r.attempts,
+                r.euclid_km
             );
         }
     } else {
         let source = PlmSource::new(grid.clone(), alpha).map_err(|e| e.to_string())?;
-        let mut priste =
-            Priste::new(&events, Homogeneous::new(chain), source, grid, config)
-                .map_err(|e| e.to_string())?;
+        let mut priste = Priste::new(&events, Homogeneous::new(chain), source, grid, config)
+            .map_err(|e| e.to_string())?;
         for &loc in &traj {
             let r = priste.release(loc, &mut rng).map_err(|e| e.to_string())?;
             println!(
                 "{},{},{},{:.6},{},{:.3}",
-                r.t, loc.one_based(), r.observed.one_based(), r.final_budget, r.attempts, r.euclid_km
+                r.t,
+                loc.one_based(),
+                r.observed.one_based(),
+                r.final_budget,
+                r.attempts,
+                r.euclid_km
             );
         }
     }
@@ -236,8 +260,8 @@ fn cmd_protect(flags: &Flags) -> Result<(), String> {
 
 fn cmd_quantify(flags: &Flags) -> Result<(), String> {
     let (grid, chain) = world_from_flags(flags)?;
-    let event = parse_event(flags.required("event")?, grid.num_cells())
-        .map_err(|e| e.to_string())?;
+    let event =
+        parse_event(flags.required("event")?, grid.num_cells()).map_err(|e| e.to_string())?;
     let alpha = flags.f64_or("alpha", 0.5)?;
     let (traj, mut rng) = trajectory_from_flags(flags, &chain)?;
     let plm = PlanarLaplace::new(grid.clone(), alpha).map_err(|e| e.to_string())?;
@@ -256,16 +280,24 @@ fn cmd_quantify(flags: &Flags) -> Result<(), String> {
             .observe(&plm.emission_column(obs))
             .map_err(|e| e.to_string())?;
         worst = worst.max(step.privacy_loss);
-        println!("{},{},{},{:.6}", step.t, loc.one_based(), obs.one_based(), step.privacy_loss);
+        println!(
+            "{},{},{},{:.6}",
+            step.t,
+            loc.one_based(),
+            obs.one_based(),
+            step.privacy_loss
+        );
     }
-    eprintln!("worst realized loss under uniform prior: {worst:.4} (plain {alpha}-PLM, no calibration)");
+    eprintln!(
+        "worst realized loss under uniform prior: {worst:.4} (plain {alpha}-PLM, no calibration)"
+    );
     Ok(())
 }
 
 fn cmd_check(flags: &Flags) -> Result<(), String> {
     let (grid, chain) = world_from_flags(flags)?;
-    let event = parse_event(flags.required("event")?, grid.num_cells())
-        .map_err(|e| e.to_string())?;
+    let event =
+        parse_event(flags.required("event")?, grid.num_cells()).map_err(|e| e.to_string())?;
     let epsilon = flags.f64_or("epsilon", 1.0)?;
     let alpha = flags.f64_or("alpha", 0.5)?;
     let (traj, mut rng) = trajectory_from_flags(flags, &chain)?;
@@ -335,7 +367,14 @@ mod tests {
 
     #[test]
     fn protect_command_runs_both_algorithms() {
-        let base = ["--event", "PRESENCE(S={1:5}, T={2:4})", "--side", "5", "--steps", "6"];
+        let base = [
+            "--event",
+            "PRESENCE(S={1:5}, T={2:4})",
+            "--side",
+            "5",
+            "--steps",
+            "6",
+        ];
         let f = Flags::parse(&args(&base)).unwrap();
         cmd_protect(&f).unwrap();
         let mut with_delta = base.to_vec();
@@ -346,7 +385,14 @@ mod tests {
 
     #[test]
     fn quantify_and_check_commands_run() {
-        let base = ["--event", "PRESENCE(S={1:5}, T={2:4})", "--side", "5", "--steps", "6"];
+        let base = [
+            "--event",
+            "PRESENCE(S={1:5}, T={2:4})",
+            "--side",
+            "5",
+            "--steps",
+            "6",
+        ];
         let f = Flags::parse(&args(&base)).unwrap();
         cmd_quantify(&f).unwrap();
         cmd_check(&f).unwrap();

@@ -13,10 +13,7 @@ fn world() -> (GridMap, MarkovModel) {
 }
 
 /// Re-derives the emission column a release was produced under.
-fn released_column(
-    grid: &GridMap,
-    rec: &ReleaseRecord,
-) -> Vector {
+fn released_column(grid: &GridMap, rec: &ReleaseRecord) -> Vector {
     let mech: Box<dyn Lppm> = if rec.final_budget == 0.0 {
         Box::new(UniformMechanism::new(grid.num_cells()))
     } else {
@@ -55,7 +52,9 @@ fn algorithm2_guarantees_hold_for_many_adversarial_priors() {
     let mut priors = vec![Vector::uniform(16)];
     let mut prior_rng = StdRng::seed_from_u64(321);
     for _ in 0..8 {
-        let raw: Vec<f64> = (0..16).map(|_| rand::Rng::gen::<f64>(&mut prior_rng) + 1e-3).collect();
+        let raw: Vec<f64> = (0..16)
+            .map(|_| rand::Rng::gen::<f64>(&mut prior_rng) + 1e-3)
+            .collect();
         let mut v = Vector::from(raw);
         v.normalize_mut().unwrap();
         priors.push(v);
@@ -91,14 +90,8 @@ fn algorithm3_releases_stay_within_the_location_set_and_hold_epsilon() {
     let events = vec![event.clone()];
     let epsilon = 0.8;
     let delta = 0.3;
-    let source = DeltaLocSource::new(
-        grid.clone(),
-        delta,
-        0.8,
-        chain.clone(),
-        Vector::uniform(16),
-    )
-    .unwrap();
+    let source =
+        DeltaLocSource::new(grid.clone(), delta, 0.8, chain.clone(), Vector::uniform(16)).unwrap();
     let mut priste = Priste::new(
         &events,
         Homogeneous::new(chain.clone()),

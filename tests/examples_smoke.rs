@@ -1,0 +1,96 @@
+//! Smoke tests for the runnable targets: the `priste_cli` binary and the
+//! `examples/`.
+//!
+//! Compilation of all five examples is already gated by `cargo test` itself
+//! (cargo builds example targets as part of the test profile, and each is
+//! declared in `Cargo.toml`); these tests additionally prove the seeded entry
+//! points *run to completion*.
+
+use std::process::Command;
+
+/// Runs the CLI binary (built for us by cargo, path injected via
+/// `CARGO_BIN_EXE_*`) and returns (status-ok, stdout, stderr).
+fn run_cli(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_priste_cli"))
+        .args(args)
+        .output()
+        .expect("spawn priste_cli");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn cli_world_summary_runs() {
+    let (ok, stdout, stderr) = run_cli(&["world", "--side", "4", "--seed", "1"]);
+    assert!(ok, "world failed: {stderr}");
+    assert!(!stdout.trim().is_empty(), "world printed nothing");
+}
+
+#[test]
+fn cli_protect_runs_end_to_end() {
+    let (ok, stdout, stderr) = run_cli(&[
+        "protect",
+        "--event",
+        "PRESENCE(S={1:4}, T={2:4})",
+        "--side",
+        "4",
+        "--steps",
+        "6",
+        "--seed",
+        "7",
+    ]);
+    assert!(ok, "protect failed: {stderr}");
+    assert!(!stdout.trim().is_empty(), "protect printed nothing");
+}
+
+#[test]
+fn cli_rejects_garbage_with_usage() {
+    let (ok, _stdout, stderr) = run_cli(&["frobnicate"]);
+    assert!(!ok, "garbage subcommand should fail");
+    assert!(stderr.contains("usage:"), "no usage in: {stderr}");
+}
+
+#[test]
+fn cli_is_deterministic_under_a_fixed_seed() {
+    let args = [
+        "quantify",
+        "--event",
+        "PRESENCE(S={1:4}, T={2:4})",
+        "--side",
+        "4",
+        "--steps",
+        "5",
+        "--seed",
+        "3",
+    ];
+    let (ok1, out1, err1) = run_cli(&args);
+    let (ok2, out2, _) = run_cli(&args);
+    assert!(ok1 && ok2, "quantify failed: {err1}");
+    assert_eq!(out1, out2, "same seed must reproduce the same releases");
+}
+
+/// `examples/quickstart.rs` (seeded with `StdRng::seed_from_u64(42)`) must
+/// run to completion. Spawned through the same cargo that is running the
+/// tests; the dev-profile example artifact is already built, so this is a
+/// cache hit, not a second build.
+#[test]
+fn quickstart_example_runs_to_completion() {
+    let out = Command::new(env!("CARGO"))
+        .args(["run", "--quiet", "--example", "quickstart"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("spawn cargo run --example quickstart");
+    assert!(
+        out.status.success(),
+        "quickstart failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("OK"),
+        "quickstart did not reach its final OK line: {stdout}"
+    );
+}

@@ -21,10 +21,7 @@ struct FailingSource {
 }
 
 impl MechanismSource for FailingSource {
-    fn base_mechanism(
-        &mut self,
-        t: usize,
-    ) -> priste::core::Result<Rc<Box<dyn Lppm>>> {
+    fn base_mechanism(&mut self, t: usize) -> priste::core::Result<Rc<Box<dyn Lppm>>> {
         self.calls += 1;
         if self.calls > self.fail_after {
             return Err(priste::core::CoreError::InvalidConfig {
@@ -34,12 +31,7 @@ impl MechanismSource for FailingSource {
         self.inner.base_mechanism(t)
     }
 
-    fn on_release(
-        &mut self,
-        t: usize,
-        observed: CellId,
-        col: &Vector,
-    ) -> priste::core::Result<()> {
+    fn on_release(&mut self, t: usize, observed: CellId, col: &Vector) -> priste::core::Result<()> {
         self.inner.on_release(t, observed, col)
     }
 
@@ -79,16 +71,32 @@ fn invalid_configurations_are_rejected_up_front() {
     let (grid, chain) = world();
     let events = vec![parse_event("PRESENCE(S={1:3}, T={2:3})", 9).unwrap()];
     for config in [
-        PristeConfig { epsilon: -1.0, ..Default::default() },
-        PristeConfig { decay: 0.0, ..Default::default() },
-        PristeConfig { decay: 1.5, ..Default::default() },
-        PristeConfig { max_attempts: 0, ..Default::default() },
+        PristeConfig {
+            epsilon: -1.0,
+            ..Default::default()
+        },
+        PristeConfig {
+            decay: 0.0,
+            ..Default::default()
+        },
+        PristeConfig {
+            decay: 1.5,
+            ..Default::default()
+        },
+        PristeConfig {
+            max_attempts: 0,
+            ..Default::default()
+        },
     ] {
         let source = PlmSource::new(grid.clone(), 0.5).unwrap();
-        assert!(
-            Priste::new(&events, Homogeneous::new(chain.clone()), source, grid.clone(), config)
-                .is_err()
-        );
+        assert!(Priste::new(
+            &events,
+            Homogeneous::new(chain.clone()),
+            source,
+            grid.clone(),
+            config
+        )
+        .is_err());
     }
 }
 
@@ -119,20 +127,33 @@ fn deadline_zero_forces_conservative_fallbacks_but_never_unsoundness() {
     config.qp_deadline = Some(std::time::Duration::from_nanos(1));
     config.max_attempts = 3;
     let source = PlmSource::new(grid.clone(), 0.5).unwrap();
-    let mut priste =
-        Priste::new(&events, Homogeneous::new(chain.clone()), source, grid.clone(), config)
-            .unwrap();
+    let mut priste = Priste::new(
+        &events,
+        Homogeneous::new(chain.clone()),
+        source,
+        grid.clone(),
+        config,
+    )
+    .unwrap();
     let mut rng = StdRng::seed_from_u64(3);
     let traj = chain.sample_trajectory(CellId(4), 5, &mut rng).unwrap();
     let mut adversary =
         BayesianAdversary::new(&event, Homogeneous::new(chain), Vector::uniform(9)).unwrap();
     for &loc in &traj {
         let rec = priste.release(loc, &mut rng).unwrap();
-        assert_eq!(rec.final_budget, 0.0, "nothing should certify under a 1ns deadline");
+        assert_eq!(
+            rec.final_budget, 0.0,
+            "nothing should certify under a 1ns deadline"
+        );
         assert!(rec.conservative_hits > 0);
         let uniform = UniformMechanism::new(9);
-        let inf = adversary.observe(&uniform.emission_column(rec.observed)).unwrap();
-        assert!((inf.odds_lift - 1.0).abs() < 1e-9, "uniform releases leak nothing");
+        let inf = adversary
+            .observe(&uniform.emission_column(rec.observed))
+            .unwrap();
+        assert!(
+            (inf.odds_lift - 1.0).abs() < 1e-9,
+            "uniform releases leak nothing"
+        );
     }
 }
 

@@ -32,7 +32,11 @@ fn example_c1_prior_vector_is_reproduced() {
         (Vector::from(vec![0.0, 0.0, 1.0]), 0.226),
     ] {
         let got = engine.prior(&pi).unwrap();
-        assert!((got - expected).abs() < 1e-12, "π {:?}: {got}", pi.as_slice());
+        assert!(
+            (got - expected).abs() < 1e-12,
+            "π {:?}: {got}",
+            pi.as_slice()
+        );
     }
 }
 
@@ -52,8 +56,14 @@ fn example_ii2_pattern_boolean_expansion() {
     // Example II.2: ((u2=s1)∨(u2=s2)) ∧ ((u3=s2)∨(u3=s3)) with region
     // vectors s2 = [1,1,0]ᵀ and s3 = [0,1,1]ᵀ.
     let pattern = Pattern::new(vec![region(&[0, 1]), region(&[1, 2])], 2).unwrap();
-    assert_eq!(pattern.regions()[0].indicator().as_slice(), &[1.0, 1.0, 0.0]);
-    assert_eq!(pattern.regions()[1].indicator().as_slice(), &[0.0, 1.0, 1.0]);
+    assert_eq!(
+        pattern.regions()[0].indicator().as_slice(),
+        &[1.0, 1.0, 0.0]
+    );
+    assert_eq!(
+        pattern.regions()[1].indicator().as_slice(),
+        &[0.0, 1.0, 1.0]
+    );
     let expr = pattern.to_expr();
     assert_eq!(expr.predicates().len(), 4);
     // Trajectory s1 → s2 through the regions: true.
@@ -68,7 +78,12 @@ fn example_b1_naive_pattern_enumeration_counts() {
     // for 4 timestamps has 2⁴ = 16 region-constrained trajectories (the
     // paper's Fig. 15 narrative counts 24 for its widths; the principle is
     // ∏|s_t|). Verify Algorithm 4 equals general enumeration.
-    let regions = vec![region(&[0, 1]), region(&[1, 2]), region(&[0, 1]), region(&[1, 2])];
+    let regions = vec![
+        region(&[0, 1]),
+        region(&[1, 2]),
+        region(&[0, 1]),
+        region(&[1, 2]),
+    ];
     let pattern = Pattern::new(regions, 2).unwrap();
     let event: StEvent = pattern.clone().into();
     let chain = Homogeneous::new(example_chain());
@@ -77,7 +92,8 @@ fn example_b1_naive_pattern_enumeration_counts() {
     let e2 = Vector::from(vec![0.5, 0.3, 0.2]);
     let cols = vec![flat, e2.clone(), e2.clone(), e2.clone(), e2.clone()];
     let general = naive::joint(&event, &&chain, &pi, &cols, 1 << 20).unwrap();
-    let fast = naive::pattern_joint_algorithm4(&pattern, &&chain, &pi, &cols[1..], 1 << 20).unwrap();
+    let fast =
+        naive::pattern_joint_algorithm4(&pattern, &&chain, &pi, &cols[1..], 1 << 20).unwrap();
     assert!((general - fast).abs() < 1e-12);
 }
 
@@ -89,8 +105,9 @@ fn table_ii_single_location_and_trajectory_are_special_cases() {
     assert!(single.eval(&[CellId(0), CellId(1)]).unwrap());
     assert!(!single.eval(&[CellId(1), CellId(0)]).unwrap());
 
-    let traj: StEvent =
-        Pattern::new(vec![region(&[0]), region(&[2])], 1).unwrap().into();
+    let traj: StEvent = Pattern::new(vec![region(&[0]), region(&[2])], 1)
+        .unwrap()
+        .into();
     assert!(traj.eval(&[CellId(0), CellId(2)]).unwrap());
     assert!(!traj.eval(&[CellId(0), CellId(1)]).unwrap());
 }

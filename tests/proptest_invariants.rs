@@ -5,13 +5,11 @@ use proptest::prelude::*;
 
 /// Strategy: a random row-stochastic matrix of size m.
 fn stochastic_matrix(m: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(proptest::collection::vec(0.01f64..1.0, m), m).prop_map(
-        move |rows| {
-            let mut mat = Matrix::from_rows(&rows).unwrap();
-            mat.normalize_rows_mut();
-            mat
-        },
-    )
+    proptest::collection::vec(proptest::collection::vec(0.01f64..1.0, m), m).prop_map(move |rows| {
+        let mut mat = Matrix::from_rows(&rows).unwrap();
+        mat.normalize_rows_mut();
+        mat
+    })
 }
 
 /// Strategy: a random probability distribution of length m.
@@ -33,7 +31,10 @@ fn region(m: usize) -> impl Strategy<Value = Region> {
         .prop_map(move |bits| {
             Region::from_cells(
                 m,
-                bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| CellId(i)),
+                bits.iter()
+                    .enumerate()
+                    .filter(|(_, &b)| b)
+                    .map(|(i, _)| CellId(i)),
             )
             .unwrap()
         })

@@ -1,0 +1,237 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmarking crate.
+//!
+//! Implements the API surface the `priste_bench` benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros — with
+//! a simple median-of-samples wall-clock timer instead of criterion's full
+//! statistical machinery. Results print as one line per benchmark:
+//!
+//! ```text
+//! group/name/param        time: [median 1.234 ms over 10 samples]
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion's optimization barrier.
+pub use std::hint::black_box;
+
+/// Default number of timed samples per benchmark.
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+/// Entry point handed to benchmark functions by `criterion_group!`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, DEFAULT_SAMPLE_SIZE, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples (criterion requires ≥ 10; we accept
+    /// anything ≥ 1).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Lets later samples run shorter; accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&label, self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        let mut bencher = Bencher::with_target(self.sample_size);
+        f(&mut bencher, input);
+        bencher.report(&label);
+        self
+    }
+
+    /// Ends the group (prints nothing extra; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifies one parameterized benchmark (`name/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a display label; lets `bench_function` accept either a
+/// `&str` or a [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// The display label for the benchmark.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target: usize,
+}
+
+impl Bencher {
+    fn with_target(target: usize) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            target,
+        }
+    }
+
+    /// Times `routine`: one warm-up call, then timed samples until either
+    /// the configured sample count (`sample_size`, default 10) is collected
+    /// or a ~3 s budget is spent, whichever comes first. The closure's
+    /// return value is passed through [`black_box`] so it is not optimized
+    /// away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let budget = Duration::from_secs(3);
+        black_box(routine());
+        let began = Instant::now();
+        loop {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if self.samples.len() >= self.target || began.elapsed() > budget {
+                break;
+            }
+        }
+    }
+
+    fn report(&mut self, label: &str) {
+        let mut samples = std::mem::take(&mut self.samples);
+        samples.sort();
+        if samples.is_empty() {
+            println!("{label:<40} time: [no samples]");
+            return;
+        }
+        let median = samples[samples.len() / 2];
+        let truncated = if samples.len() < self.target {
+            " (time-budget capped)"
+        } else {
+            ""
+        };
+        println!(
+            "{label:<40} time: [median {:?} over {} sample(s){truncated}]",
+            median,
+            samples.len(),
+        );
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
+    let mut bencher = Bencher::with_target(sample_size);
+    f(&mut bencher);
+    bencher.report(label);
+}
+
+/// Defines a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let _ = $cfg;
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Defines `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,87 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, providing the subset the PriSTE test suites use:
+//!
+//! - the [`strategy::Strategy`] trait with `prop_map` / `prop_filter` /
+//!   `prop_flat_map` / `boxed`,
+//! - range, tuple, [`strategy::Just`], [`collection::vec`] and [`bool`]
+//!   strategies,
+//! - the [`proptest!`] macro with `#![proptest_config(..)]` support,
+//! - [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Differences from upstream, deliberately accepted for an offline build:
+//! no shrinking (a failing case panics with the sampled inputs available via
+//! the deterministic per-test RNG), no persisted failure files, and no
+//! `any::<T>()` reflection. Each `#[test]` inside [`proptest!`] derives its
+//! RNG seed from the fully-qualified test name plus the case index, so
+//! failures reproduce exactly across runs.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bool;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+mod string;
+pub mod test_runner;
+
+/// Declares property tests.
+///
+/// Accepts an optional leading `#![proptest_config(expr)]`, then any number
+/// of functions of the form `#[test] fn name(pat in strategy, ...) { body }`.
+/// Each function is rewritten to a zero-argument `#[test]` that samples its
+/// strategies `config.cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+    )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let __name = concat!(module_path!(), "::", stringify!($name));
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::test_runner::case_rng(__name, __case);
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test (panics on failure; this shim
+/// does no shrinking, so it is equivalent to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test (equivalent to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test (equivalent to `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

@@ -1,0 +1,220 @@
+//! Regex-shaped string strategies.
+//!
+//! Upstream proptest treats any `&str` as a regex and generates matching
+//! strings. This shim supports the pattern subset the workspace's fuzz tests
+//! use — a single unit with an optional `{min,max}` repetition, where the
+//! unit is:
+//!
+//! - `\PC` — any non-control Unicode scalar,
+//! - `.` — any non-newline scalar,
+//! - `[...]` — a character class of literals and `a-z` ranges,
+//! - otherwise the pattern is taken as a literal string.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Generates one string matching `pattern`.
+pub(crate) fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let (unit, min, max) = parse(pattern);
+    match unit {
+        Unit::Literal(s) => s,
+        unit => {
+            let len = if min == max {
+                min
+            } else {
+                rng.gen_range(min..=max)
+            };
+            (0..len).map(|_| unit.sample(rng)).collect()
+        }
+    }
+}
+
+enum Unit {
+    /// `\PC`: any non-control scalar.
+    NonControl,
+    /// `.`: any scalar except `\n`.
+    AnyNonNewline,
+    /// `[...]`: explicit alternatives.
+    Class(Vec<char>),
+    /// No repetition operator found: the pattern itself.
+    Literal(String),
+}
+
+impl Unit {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            Unit::Class(chars) => chars[rng.gen_range(0..chars.len())],
+            Unit::NonControl | Unit::AnyNonNewline => loop {
+                // Bias toward ASCII so parser-reachable prefixes are common,
+                // but keep genuine multi-byte scalars in the mix.
+                let c = if rng.gen_bool(0.8) {
+                    char::from(rng.gen_range(0x20u8..0x7F))
+                } else {
+                    match char::from_u32(rng.gen_range(0u32..0x11_0000)) {
+                        Some(c) => c,
+                        None => continue, // surrogate gap
+                    }
+                };
+                let excluded = match self {
+                    Unit::NonControl => c.is_control(),
+                    _ => c == '\n',
+                };
+                if !excluded {
+                    return c;
+                }
+            },
+            Unit::Literal(_) => unreachable!("literals are returned whole"),
+        }
+    }
+}
+
+fn parse(pattern: &str) -> (Unit, usize, usize) {
+    // Recognize the unit by its prefix first, *then* look at what trails it:
+    // `{` and `}` are ordinary characters inside `[...]` (the workspace's own
+    // dsl_fuzz pattern contains them), so splitting on the first `{` in the
+    // whole pattern would mis-parse a class.
+    let (unit, rest) = if let Some(body_len) = class_body_len(pattern) {
+        (
+            Unit::Class(parse_class(&pattern[1..1 + body_len])),
+            &pattern[body_len + 2..],
+        )
+    } else if let Some(rest) = pattern
+        .strip_prefix(r"\PC")
+        .or(pattern.strip_prefix(r"\p{C}"))
+    {
+        (Unit::NonControl, rest)
+    } else if let Some(rest) = pattern.strip_prefix('.') {
+        (Unit::AnyNonNewline, rest)
+    } else {
+        return (Unit::Literal(pattern.to_string()), 1, 1);
+    };
+    let (min, max) = match parse_repetition(rest) {
+        Some(bounds) => bounds,
+        None => panic!(
+            "unsupported string-strategy pattern {pattern:?}; this offline proptest shim \
+             understands `\\PC`, `.`, or `[class]`, optionally followed by `{{n}}` or \
+             `{{min,max}}`, or a plain literal"
+        ),
+    };
+    assert!(min <= max, "bad repetition in pattern {pattern:?}");
+    (unit, min, max)
+}
+
+/// If `pattern` starts with a character class, returns the byte length of the
+/// class body (between `[` and its closing unescaped `]`).
+fn class_body_len(pattern: &str) -> Option<usize> {
+    let body = pattern.strip_prefix('[')?;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' => escaped = true,
+            ']' => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Parses the text after a unit: empty (one occurrence), `{n}`, or `{min,max}`.
+fn parse_repetition(rest: &str) -> Option<(usize, usize)> {
+    if rest.is_empty() {
+        return Some((1, 1));
+    }
+    let reps = rest.strip_prefix('{')?.strip_suffix('}')?;
+    match reps.split_once(',') {
+        Some((lo, hi)) => Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?)),
+        None => {
+            let n = reps.trim().parse().ok()?;
+            Some((n, n))
+        }
+    }
+}
+
+fn parse_class(body: &str) -> Vec<char> {
+    let chars: Vec<char> = body.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] == '\\' && i + 1 < chars.len() {
+            out.push(chars[i + 1]);
+            i += 2;
+        } else if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            assert!(lo <= hi, "bad range {lo}-{hi} in character class");
+            out.extend((lo..=hi).filter_map(|c| char::from_u32(c as u32)));
+            i += 3;
+        } else {
+            out.push(chars[i]);
+            i += 1;
+        }
+    }
+    assert!(!out.is_empty(), "empty character class");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::strategy::Strategy;
+    use crate::test_runner::case_rng;
+
+    #[test]
+    fn class_with_range_and_literals() {
+        let mut rng = case_rng("string::class", 0);
+        for _ in 0..200 {
+            let s = "[ab0-3x]{1,5}".generate(&mut rng);
+            assert!((1..=5).contains(&s.chars().count()));
+            assert!(
+                s.chars().all(|c| "ab0123x".contains(c)),
+                "bad char in {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_control_never_emits_control_chars() {
+        let mut rng = case_rng("string::pc", 0);
+        for _ in 0..200 {
+            let s = r"\PC{0,64}".generate(&mut rng);
+            assert!(s.chars().count() <= 64);
+            assert!(s.chars().all(|c| !c.is_control()), "control char in {s:?}");
+        }
+    }
+
+    /// Regression: the dsl_fuzz pattern has `{` and `}` *inside* the class;
+    /// it must fuzz over the class alphabet, not collapse to a literal.
+    #[test]
+    fn class_containing_braces_still_fuzzes() {
+        let mut rng = case_rng("string::braces", 0);
+        let pattern = "[PRESNCEATR(){}:,=0-9 ]{0,48}";
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let s = pattern.generate(&mut rng);
+            assert!(s.chars().count() <= 48);
+            assert!(
+                s.chars().all(|c| "PRESNCATR(){}:,=0123456789 ".contains(c)),
+                "bad char in {s:?}"
+            );
+            distinct.insert(s);
+        }
+        assert!(
+            distinct.len() > 50,
+            "not fuzzing: {} distinct",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn unicode_category_alias_with_repetition() {
+        let mut rng = case_rng("string::pc_alias", 0);
+        let s = r"\p{C}{5,5}".generate(&mut rng);
+        assert_eq!(s.chars().count(), 5);
+        assert!(s.chars().all(|c| !c.is_control()));
+    }
+
+    #[test]
+    fn plain_literal_passes_through() {
+        let mut rng = case_rng("string::lit", 0);
+        assert_eq!("PRESENCE".generate(&mut rng), "PRESENCE");
+    }
+}

@@ -1,0 +1,56 @@
+//! Test configuration and deterministic per-case RNG derivation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies. An alias so strategies and user code can use
+/// plain `rand` APIs on it.
+pub type TestRng = StdRng;
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+///
+/// Only `cases` is honored by this shim. `PROPTEST_CASES` in the environment
+/// overrides it downward, which keeps the full suite fast in CI without
+/// editing the tests.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }.capped()
+    }
+
+    fn capped(mut self) -> Self {
+        if let Some(cap) = env_cases() {
+            self.cases = self.cases.min(cap);
+        }
+        self
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }.capped()
+    }
+}
+
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES").ok()?.parse().ok()
+}
+
+/// Derives a deterministic RNG for one case of one property test, from the
+/// fully-qualified test name and the case index. Stable across runs and
+/// platforms, so failures reproduce.
+pub fn case_rng(test_name: &str, case: u32) -> TestRng {
+    // FNV-1a over the name, then mix in the case index.
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64))
+}
