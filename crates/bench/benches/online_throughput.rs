@@ -1,0 +1,134 @@
+//! Throughput bench for the streaming subsystem: incremental per-timestep
+//! checking ([`IncrementalTwoWorld`], `O(m²)` per observation → `O(T·m²)`
+//! per horizon) versus full-horizon replay (the offline
+//! [`FixedPiQuantifier`]/`TheoremBuilder` path, `O(t·m²)` per candidate →
+//! `O(T²·m²)` per horizon), plus users×horizon scaling of the sharded
+//! [`SessionManager`].
+//!
+//! Expected shape: at `T = 10` the two are comparable (constant factors
+//! dominate); from `T ≥ 50` the incremental path wins by roughly `T/2` and
+//! the gap widens linearly — the acceptance evidence for `priste-online`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use priste_event::{Presence, StEvent};
+use priste_geo::{GridMap, Region};
+use priste_linalg::Vector;
+use priste_lppm::{Lppm, PlanarLaplace};
+use priste_markov::{gaussian_kernel_chain, Homogeneous};
+use priste_online::{OnlineConfig, SessionManager, UserId};
+use priste_quantify::{fixed_pi::FixedPiQuantifier, IncrementalTwoWorld};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::rc::Rc;
+
+/// One world: an 8×8 grid (m = 64), a presence event over timestamps 3–6,
+/// and a seeded stream of `horizon` PLM emission columns.
+fn setup(horizon: usize) -> (StEvent, Homogeneous, Vec<Vector>, Vector) {
+    let grid = GridMap::new(8, 8, 1.0).expect("grid");
+    let m = grid.num_cells();
+    let chain = gaussian_kernel_chain(&grid, 1.0).expect("chain");
+    let plm = PlanarLaplace::new(grid, 0.8).expect("plm");
+    let event: StEvent = Presence::new(
+        Region::from_one_based_range(m, 1, m / 4).expect("range"),
+        3,
+        6,
+    )
+    .expect("presence")
+    .into();
+    let mut rng = StdRng::seed_from_u64(7);
+    let provider = Homogeneous::new(chain);
+    let obs = provider
+        .model()
+        .sample_trajectory_from(&Vector::uniform(m), horizon, &mut rng)
+        .expect("sampling");
+    let cols: Vec<Vector> = obs.iter().map(|&o| plm.emission_column(o)).collect();
+    let pi = Vector::uniform(m);
+    (event, provider, cols, pi)
+}
+
+fn bench_incremental_vs_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online_incremental_vs_replay");
+    group.sample_size(10);
+
+    for horizon in [10usize, 50, 100] {
+        let (event, provider, cols, pi) = setup(horizon);
+
+        // Streaming path: carry the lifted forward vector, O(T·m²) total.
+        group.bench_with_input(
+            BenchmarkId::new("incremental_stream", horizon),
+            &horizon,
+            |b, _| {
+                b.iter(|| {
+                    let mut inc = IncrementalTwoWorld::new(event.clone(), &provider, pi.clone())
+                        .expect("incremental");
+                    let mut last = 0.0;
+                    for col in &cols {
+                        last = inc.observe(col).expect("observe").posterior;
+                    }
+                    last
+                })
+            },
+        );
+
+        // Offline path: every step replays the committed chain, O(T²·m²).
+        group.bench_with_input(
+            BenchmarkId::new("full_horizon_replay", horizon),
+            &horizon,
+            |b, _| {
+                b.iter(|| {
+                    let mut quant =
+                        FixedPiQuantifier::new(&event, &provider, pi.clone()).expect("quantifier");
+                    let mut last = 0.0;
+                    for col in &cols {
+                        last = quant.observe(col).expect("observe").privacy_loss;
+                    }
+                    last
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_users_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online_users_scaling");
+    group.sample_size(10);
+
+    let horizon = 20usize;
+    let (event, provider, cols, pi) = setup(horizon);
+    let provider = Rc::new(provider);
+    for users in [8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::new("ingest_batch", users), &users, |b, _| {
+            b.iter(|| {
+                let mut svc = SessionManager::new(
+                    Rc::clone(&provider),
+                    OnlineConfig {
+                        epsilon: 1.0,
+                        num_shards: 8,
+                        linger: 2,
+                        budget: 1e9,
+                    },
+                )
+                .expect("service");
+                let tpl = svc.register_template(event.clone()).expect("template");
+                for u in 0..users as u64 {
+                    svc.add_user(UserId(u), pi.clone()).expect("user");
+                    svc.attach_event(UserId(u), tpl).expect("attach");
+                }
+                for col in &cols {
+                    // Same-timestep batch: every user releases an
+                    // observation drawn from the shared column stream.
+                    let batch: Vec<(UserId, Vector)> = (0..users as u64)
+                        .map(|u| (UserId(u), col.clone()))
+                        .collect();
+                    svc.ingest_batch(&batch).expect("ingest");
+                }
+                svc.stats().observations
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental_vs_replay, bench_users_scaling);
+criterion_main!(benches);

@@ -114,6 +114,19 @@ impl<T: TransitionProvider + ?Sized> TransitionProvider for &T {
     }
 }
 
+/// Shared-ownership provider: lets many long-lived consumers (e.g. the
+/// per-user event windows of a streaming service) reference one mobility
+/// model without cloning its matrices.
+impl<T: TransitionProvider + ?Sized> TransitionProvider for std::rc::Rc<T> {
+    fn num_states(&self) -> usize {
+        (**self).num_states()
+    }
+
+    fn transition_at(&self, t: usize) -> &Matrix {
+        (**self).transition_at(t)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,5 +173,16 @@ mod tests {
             p.num_states()
         }
         assert_eq!(takes_provider(&h), 3);
+    }
+
+    #[test]
+    fn rc_provider_delegates_and_shares() {
+        let h = std::rc::Rc::new(Homogeneous::new(MarkovModel::paper_example()));
+        fn takes_provider<P: TransitionProvider>(p: P) -> usize {
+            p.num_states()
+        }
+        assert_eq!(takes_provider(std::rc::Rc::clone(&h)), 3);
+        let clone = std::rc::Rc::clone(&h);
+        assert_eq!(h.transition_at(1), clone.transition_at(7));
     }
 }

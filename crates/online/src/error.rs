@@ -1,0 +1,101 @@
+use priste_quantify::QuantifyError;
+use std::fmt;
+
+/// Errors produced by the streaming service layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OnlineError {
+    /// A quantification-layer error (domain mismatches, bad distributions,
+    /// malformed emission columns, degenerate priors, zero likelihoods).
+    Quantify(QuantifyError),
+    /// The service configuration failed validation.
+    InvalidConfig {
+        /// What was wrong.
+        message: String,
+    },
+    /// An operation referenced a user id that is not registered.
+    UnknownUser {
+        /// The offending user id.
+        user: u64,
+    },
+    /// A user id was registered twice.
+    DuplicateUser {
+        /// The offending user id.
+        user: u64,
+    },
+    /// An operation referenced an event template that was never registered.
+    UnknownTemplate {
+        /// The offending template index.
+        template: usize,
+    },
+    /// One ingest batch carried two observations for the same user; batches
+    /// are one-observation-per-user-per-timestep by construction.
+    DuplicateObservation {
+        /// The offending user id.
+        user: u64,
+    },
+}
+
+impl fmt::Display for OnlineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OnlineError::Quantify(e) => write!(f, "quantification error: {e}"),
+            OnlineError::InvalidConfig { message } => {
+                write!(f, "invalid service configuration: {message}")
+            }
+            OnlineError::UnknownUser { user } => write!(f, "unknown user {user}"),
+            OnlineError::DuplicateUser { user } => write!(f, "user {user} already registered"),
+            OnlineError::UnknownTemplate { template } => {
+                write!(f, "unknown event template {template}")
+            }
+            OnlineError::DuplicateObservation { user } => {
+                write!(f, "user {user} appears twice in one ingest batch")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OnlineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OnlineError::Quantify(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QuantifyError> for OnlineError {
+    fn from(e: QuantifyError) -> Self {
+        OnlineError::Quantify(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_every_variant() {
+        for e in [
+            OnlineError::Quantify(QuantifyError::DegeneratePrior { prior: 0.0 }),
+            OnlineError::InvalidConfig {
+                message: "x".into(),
+            },
+            OnlineError::UnknownUser { user: 3 },
+            OnlineError::DuplicateUser { user: 4 },
+            OnlineError::UnknownTemplate { template: 5 },
+            OnlineError::DuplicateObservation { user: 6 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn quantify_errors_convert_and_chain() {
+        let e: OnlineError = QuantifyError::ZeroLikelihood { t: 2 }.into();
+        assert!(matches!(
+            e,
+            OnlineError::Quantify(QuantifyError::ZeroLikelihood { t: 2 })
+        ));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,418 @@
+//! The multi-user service front: sharded sessions, template catalog, and
+//! the batched same-timestep ingest path.
+
+use crate::session::{report_from_step, EventWindow, Session, UserId, UserReport, Verdict};
+use crate::{OnlineError, Result};
+use priste_event::StEvent;
+use priste_linalg::{Matrix, Vector};
+use priste_markov::TransitionProvider;
+use priste_quantify::{QuantifyError, TwoWorldEngine};
+use std::collections::BTreeMap;
+
+/// Service configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineConfig {
+    /// Per-observation realized-loss threshold a window must stay under to
+    /// be verdicted [`Verdict::Certified`].
+    pub epsilon: f64,
+    /// Number of session shards (sessions hash to `id % num_shards`; each
+    /// shard batches its posterior propagation and window steps).
+    pub num_shards: usize,
+    /// Steps a window is kept past its event end before eviction (post-end
+    /// observations still sharpen the posterior via Lemma III.3).
+    pub linger: usize,
+    /// Per-user total loss budget for the [`BudgetLedger`]
+    /// (sequential-composition accounting).
+    ///
+    /// [`BudgetLedger`]: crate::session::BudgetLedger
+    pub budget: f64,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig {
+            epsilon: 1.0,
+            num_shards: 8,
+            linger: 2,
+            budget: 20.0,
+        }
+    }
+}
+
+impl OnlineConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// [`OnlineError::InvalidConfig`] with a message naming the bad field.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.epsilon > 0.0 && self.epsilon.is_finite()) {
+            return Err(OnlineError::InvalidConfig {
+                message: format!("epsilon must be positive and finite, got {}", self.epsilon),
+            });
+        }
+        if self.num_shards == 0 {
+            return Err(OnlineError::InvalidConfig {
+                message: "num_shards must be at least 1".into(),
+            });
+        }
+        if !(self.budget > 0.0 && self.budget.is_finite()) {
+            return Err(OnlineError::InvalidConfig {
+                message: format!("budget must be positive and finite, got {}", self.budget),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Aggregate service counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Observations ingested across all users.
+    pub observations: usize,
+    /// Windows evicted (expired or model-mismatched).
+    pub evicted_windows: usize,
+    /// Per-window verdicts that certified.
+    pub certified: usize,
+    /// Per-window verdicts that violated ε.
+    pub violated: usize,
+    /// Windows dropped on zero-likelihood observations.
+    pub mismatched: usize,
+}
+
+/// The streaming service: shards many users' [`Session`]s over one shared
+/// mobility model, batches same-timestep work, and evicts expired windows.
+///
+/// Batching: within one [`SessionManager::ingest_batch`] call every
+/// session's posterior propagation `p · M` is stacked into one matrix
+/// product per (shard, user-age) group, and every event window sharing a
+/// (template, window-age) pair is advanced through **one shared
+/// [`LiftedStep`]** via its batched `apply_rows` path — the step is built
+/// once and applied to the whole group instead of once per user.
+///
+/// Windows run on their own local clock (timestep 1 = first observation
+/// after attach), so event templates are written in attach-relative time.
+/// With a time-varying provider the window schedule is also attach-relative;
+/// absolute-time schedules would need an offsetting provider (future work).
+///
+/// Share the model across the many per-window states with a cheap-to-clone
+/// provider — `Rc<Homogeneous>` is the intended instantiation
+/// (`TransitionProvider` is implemented for `Rc<T>`).
+///
+/// [`LiftedStep`]: priste_quantify::lifted::LiftedStep
+#[derive(Debug)]
+pub struct SessionManager<P> {
+    provider: P,
+    templates: Vec<StEvent>,
+    shards: Vec<BTreeMap<u64, Session<P>>>,
+    config: OnlineConfig,
+    stats: ServiceStats,
+}
+
+impl<P: TransitionProvider + Clone> SessionManager<P> {
+    /// Creates an empty service over one shared mobility model.
+    ///
+    /// # Errors
+    /// [`OnlineError::InvalidConfig`] from [`OnlineConfig::validate`].
+    pub fn new(provider: P, config: OnlineConfig) -> Result<Self> {
+        config.validate()?;
+        let shards = (0..config.num_shards).map(|_| BTreeMap::new()).collect();
+        Ok(SessionManager {
+            provider,
+            templates: Vec::new(),
+            shards,
+            config,
+            stats: ServiceStats::default(),
+        })
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &OnlineConfig {
+        &self.config
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.stats
+    }
+
+    /// Registered users.
+    pub fn num_users(&self) -> usize {
+        self.shards.iter().map(BTreeMap::len).sum()
+    }
+
+    /// Active event windows across all users.
+    pub fn active_windows(&self) -> usize {
+        self.shards
+            .iter()
+            .flat_map(|s| s.values())
+            .map(Session::active_windows)
+            .sum()
+    }
+
+    /// Registers an event template (attach-relative timestamps) and returns
+    /// its index for [`SessionManager::attach_event`].
+    ///
+    /// # Errors
+    /// [`QuantifyError::DomainMismatch`] (wrapped) if the event's state
+    /// domain differs from the provider's.
+    pub fn register_template(&mut self, event: StEvent) -> Result<usize> {
+        if event.num_cells() != self.provider.num_states() {
+            return Err(OnlineError::Quantify(QuantifyError::DomainMismatch {
+                event: event.num_cells(),
+                provider: self.provider.num_states(),
+            }));
+        }
+        self.templates.push(event);
+        Ok(self.templates.len() - 1)
+    }
+
+    /// Registered templates.
+    pub fn templates(&self) -> &[StEvent] {
+        &self.templates
+    }
+
+    /// Adds a user with an initial location distribution.
+    ///
+    /// # Errors
+    /// [`OnlineError::DuplicateUser`]; validation errors for a bad `π`.
+    pub fn add_user(&mut self, id: UserId, pi: Vector) -> Result<()> {
+        if pi.len() != self.provider.num_states() {
+            return Err(OnlineError::Quantify(QuantifyError::InvalidInitial(
+                priste_linalg::LinalgError::DimensionMismatch {
+                    op: "session initial distribution",
+                    expected: self.provider.num_states(),
+                    actual: pi.len(),
+                },
+            )));
+        }
+        pi.validate_distribution()
+            .map_err(|e| OnlineError::Quantify(QuantifyError::InvalidInitial(e)))?;
+        let shard = self.shard_of(id);
+        if self.shards[shard].contains_key(&id.0) {
+            return Err(OnlineError::DuplicateUser { user: id.0 });
+        }
+        self.shards[shard].insert(id.0, Session::new(id, pi, self.config.budget));
+        Ok(())
+    }
+
+    /// Read access to one session.
+    pub fn session(&self, id: UserId) -> Option<&Session<P>> {
+        self.shards[self.shard_of(id)].get(&id.0)
+    }
+
+    /// Attaches a registered template to a user as a new event window,
+    /// seeded with the user's current filtered posterior.
+    ///
+    /// # Errors
+    /// [`OnlineError::UnknownUser`]/[`OnlineError::UnknownTemplate`];
+    /// [`QuantifyError::DegeneratePrior`] (wrapped) when the event is
+    /// already certain or impossible under the user's posterior.
+    pub fn attach_event(&mut self, id: UserId, template: usize) -> Result<()> {
+        let event = self
+            .templates
+            .get(template)
+            .ok_or(OnlineError::UnknownTemplate { template })?
+            .clone();
+        let provider = self.provider.clone();
+        let shard = self.shard_of(id);
+        let session = self.shards[shard]
+            .get_mut(&id.0)
+            .ok_or(OnlineError::UnknownUser { user: id.0 })?;
+        session.attach(template, event, provider)?;
+        Ok(())
+    }
+
+    /// Removes a user, returning whether it existed.
+    pub fn remove_user(&mut self, id: UserId) -> bool {
+        let shard = self.shard_of(id);
+        self.shards[shard].remove(&id.0).is_some()
+    }
+
+    /// Ingests one observation for one user. Equivalent to a singleton
+    /// [`SessionManager::ingest_batch`].
+    ///
+    /// # Errors
+    /// See [`SessionManager::ingest_batch`].
+    pub fn ingest(&mut self, id: UserId, emission_column: Vector) -> Result<UserReport> {
+        let mut reports = self.ingest_batch(&[(id, emission_column)])?;
+        Ok(reports.pop().expect("one observation in, one report out"))
+    }
+
+    /// Ingests one same-timestep batch: at most one observation (as the
+    /// released emission column) per user. Returns one [`UserReport`] per
+    /// entry, sorted by user id.
+    ///
+    /// # Errors
+    /// [`OnlineError::UnknownUser`], [`OnlineError::DuplicateObservation`],
+    /// and emission validation errors — all detected *before* any state is
+    /// mutated, so a failed batch leaves the service unchanged.
+    pub fn ingest_batch(&mut self, batch: &[(UserId, Vector)]) -> Result<Vec<UserReport>> {
+        // ---- Validation pass (no mutation). -----------------------------
+        let m = self.provider.num_states();
+        let mut by_shard: Vec<BTreeMap<u64, &Vector>> =
+            (0..self.shards.len()).map(|_| BTreeMap::new()).collect();
+        for (id, col) in batch {
+            if col.len() != m || col.as_slice().iter().any(|&x| x < 0.0 || !x.is_finite()) {
+                return Err(OnlineError::Quantify(QuantifyError::InvalidEmission {
+                    expected: m,
+                    actual: col.len(),
+                }));
+            }
+            let shard = self.shard_of(*id);
+            if !self.shards[shard].contains_key(&id.0) {
+                return Err(OnlineError::UnknownUser { user: id.0 });
+            }
+            if by_shard[shard].insert(id.0, col).is_some() {
+                return Err(OnlineError::DuplicateObservation { user: id.0 });
+            }
+        }
+
+        // ---- Batched update, shard by shard. ----------------------------
+        let mut reports = Vec::with_capacity(batch.len());
+        for (shard_idx, wanted) in by_shard.iter().enumerate() {
+            if wanted.is_empty() {
+                continue;
+            }
+            let shard = &mut self.shards[shard_idx];
+            let mut selected: Vec<(&mut Session<P>, &Vector)> = shard
+                .values_mut()
+                .filter_map(|s| wanted.get(&s.id().0).map(|col| (s, *col)))
+                .collect();
+
+            Self::propagate_posteriors(&self.provider, &mut selected);
+            let window_reports = Self::advance_windows(
+                &self.provider,
+                &self.templates,
+                &mut selected,
+                self.config.epsilon,
+            );
+
+            for ((session, _), wreps) in selected.iter_mut().zip(window_reports) {
+                for r in &wreps {
+                    match r.verdict {
+                        Verdict::Certified => self.stats.certified += 1,
+                        Verdict::Violated => self.stats.violated += 1,
+                        Verdict::ModelMismatch => self.stats.mismatched += 1,
+                    }
+                }
+                let report = session.finish_observation(wreps, self.config.linger);
+                self.stats.observations += 1;
+                self.stats.evicted_windows += report.evicted;
+                reports.push(report);
+            }
+        }
+        reports.sort_by_key(|r| r.user);
+        Ok(reports)
+    }
+
+    /// Batched posterior filtering: stacks `p · M` across the shard's
+    /// selected sessions (grouped by user age, so time-varying providers
+    /// fetch the right matrix) into one matmul per group, then applies each
+    /// session's emission weighting.
+    fn propagate_posteriors(provider: &P, selected: &mut [(&mut Session<P>, &Vector)]) {
+        let mut by_age: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, (session, _)) in selected.iter().enumerate() {
+            by_age.entry(session.observed()).or_default().push(i);
+        }
+        for (age, idxs) in by_age {
+            if age == 0 {
+                // First observation: no propagation, just weigh the prior.
+                for &i in &idxs {
+                    let (session, col) = &mut selected[i];
+                    let p = session.posterior().clone();
+                    session.weigh_posterior(p, col);
+                }
+                continue;
+            }
+            let matrix = provider.transition_at(age);
+            let stacked = Matrix::from_rows(
+                &idxs
+                    .iter()
+                    .map(|&i| selected[i].0.posterior().as_slice().to_vec())
+                    .collect::<Vec<_>>(),
+            )
+            .expect("posteriors share the state domain");
+            let moved = stacked.matmul(matrix).expect("k×m by m×m");
+            for (row, &i) in idxs.iter().enumerate() {
+                let (session, col) = &mut selected[i];
+                session.weigh_posterior(Vector::from(moved.row(row).to_vec()), col);
+            }
+        }
+    }
+
+    /// Batched window advancement: every window sharing a (template,
+    /// window-age) pair is moved through one shared lifted step built once
+    /// from the template schedule. Returns per-session window reports in
+    /// attach order.
+    fn advance_windows(
+        provider: &P,
+        templates: &[StEvent],
+        selected: &mut [(&mut Session<P>, &Vector)],
+        epsilon: f64,
+    ) -> Vec<Vec<crate::session::WindowReport>> {
+        let mut results: Vec<Vec<crate::session::WindowReport>> = selected
+            .iter()
+            .map(|(s, _)| Vec::with_capacity(s.active_windows()))
+            .collect();
+
+        // Flatten (session, window) pairs and group by shared step shape.
+        let mut flat: Vec<(usize, &mut EventWindow<P>, &Vector)> = Vec::new();
+        for (si, (session, col)) in selected.iter_mut().enumerate() {
+            let col: &Vector = col;
+            for w in session.windows.iter_mut() {
+                flat.push((si, w, col));
+            }
+        }
+        let mut groups: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
+        for (fi, (_, w, _)) in flat.iter().enumerate() {
+            groups
+                .entry((w.template, w.state.observed()))
+                .or_default()
+                .push(fi);
+        }
+
+        let mut staged: Vec<Option<crate::session::WindowReport>> = vec![None; flat.len()];
+        for ((template, age), idxs) in groups {
+            // One step for the whole group (the first observation has no
+            // transition step: it is emission-weighting only).
+            let stepped: Vec<Vector> = if age == 0 {
+                idxs.iter()
+                    .map(|&fi| flat[fi].1.state.lifted_state().clone())
+                    .collect()
+            } else {
+                let engine = TwoWorldEngine::new(&templates[template], provider)
+                    .expect("validated at registration");
+                let step = engine.step_at(age);
+                let rows: Vec<Vector> = idxs
+                    .iter()
+                    .map(|&fi| flat[fi].1.state.lifted_state().clone())
+                    .collect();
+                step.apply_rows(&rows)
+            };
+            for (moved, &fi) in stepped.into_iter().zip(&idxs) {
+                let (_, window, col) = &mut flat[fi];
+                let report = match window.state.observe_pre_stepped(moved, col) {
+                    Ok(step) => report_from_step(window.template, &step, epsilon),
+                    Err(QuantifyError::ZeroLikelihood { t }) => crate::session::WindowReport {
+                        template: window.template,
+                        window_t: t,
+                        loss: f64::INFINITY,
+                        posterior: 0.0,
+                        verdict: Verdict::ModelMismatch,
+                    },
+                    Err(e) => unreachable!("emission validated up front: {e}"),
+                };
+                staged[fi] = Some(report);
+            }
+        }
+        // Re-assemble per session in attach order (flat preserves it).
+        for (fi, (si, _, _)) in flat.iter().enumerate() {
+            results[*si].push(staged[fi].take().expect("every window was advanced"));
+        }
+        results
+    }
+
+    fn shard_of(&self, id: UserId) -> usize {
+        (id.0 % self.shards.len() as u64) as usize
+    }
+}

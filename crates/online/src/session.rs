@@ -1,0 +1,327 @@
+//! Per-user streaming state: the filtered location posterior, the active
+//! event windows with their incremental two-world quantifiers, and the
+//! budget ledger.
+
+use priste_linalg::Vector;
+use priste_markov::TransitionProvider;
+use priste_quantify::{IncrementalTwoWorld, QuantifyError, StreamStep};
+use std::fmt;
+
+/// Opaque user identifier (sharded by value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UserId(pub u64);
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+/// Conservative per-user privacy accounting. ε-ST-event privacy is not
+/// additive across timestamps in general, so the ledger charges the
+/// *sequential-composition upper bound*: each observation's worst realized
+/// loss across the user's windows is added to `spent`. Once `spent`
+/// exceeds `budget` the session is flagged exhausted (the service keeps
+/// quantifying — the flag is advice for the release mechanism upstream).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetLedger {
+    budget: f64,
+    spent: f64,
+    observations: usize,
+    violations: usize,
+}
+
+impl BudgetLedger {
+    /// Fresh ledger with the given total budget.
+    pub fn new(budget: f64) -> Self {
+        BudgetLedger {
+            budget,
+            spent: 0.0,
+            observations: 0,
+            violations: 0,
+        }
+    }
+
+    /// Total budget configured for the user.
+    pub fn budget(&self) -> f64 {
+        self.budget
+    }
+
+    /// Loss charged so far (sequential-composition bound).
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// Budget remaining (never below zero).
+    pub fn remaining(&self) -> f64 {
+        (self.budget - self.spent).max(0.0)
+    }
+
+    /// Observations accounted.
+    pub fn observations(&self) -> usize {
+        self.observations
+    }
+
+    /// Observations whose per-step loss exceeded the service ε.
+    pub fn violations(&self) -> usize {
+        self.violations
+    }
+
+    /// Whether the budget is used up.
+    pub fn exhausted(&self) -> bool {
+        self.spent > self.budget
+    }
+
+    /// Records one observation's worst loss; `violation` marks a per-step
+    /// ε breach. Infinite losses exhaust the ledger immediately.
+    pub(crate) fn charge(&mut self, loss: f64, violation: bool) {
+        self.observations += 1;
+        if violation {
+            self.violations += 1;
+        }
+        if loss.is_finite() {
+            self.spent += loss;
+        } else {
+            self.spent = f64::INFINITY;
+        }
+    }
+}
+
+/// Per-window verdict for one observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Verdict {
+    /// Realized loss stayed within the service ε.
+    Certified,
+    /// Realized loss exceeded the service ε (including the infinite-loss
+    /// case where the stream proves the event true or false outright).
+    Violated,
+    /// The observation had zero likelihood under the window's model — a
+    /// model mismatch, not a privacy condition; the window is evicted.
+    ModelMismatch,
+}
+
+/// One window's quantification of one observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowReport {
+    /// Registered template index the window was spawned from.
+    pub template: usize,
+    /// Window-local timestep of this observation (1-based; windows run on
+    /// their own clock starting at attach time).
+    pub window_t: usize,
+    /// Realized two-sided privacy loss (`+∞` on degenerate evidence).
+    pub loss: f64,
+    /// Adversary posterior `Pr(EVENT | observations since attach)`.
+    pub posterior: f64,
+    /// The ε verdict.
+    pub verdict: Verdict,
+}
+
+/// Per-user outcome of one ingested observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserReport {
+    /// The user.
+    pub user: UserId,
+    /// User-local timestep after this observation (1-based).
+    pub t: usize,
+    /// Worst loss across this user's *quantified* windows at this step (0
+    /// with none). Model-mismatched windows are excluded: their eviction is
+    /// a modelling failure, not a realized privacy loss, so they must not
+    /// poison the ledger or the reported loss.
+    pub worst_loss: f64,
+    /// One report per active window, in attach order.
+    pub windows: Vec<WindowReport>,
+    /// Windows evicted after this observation (expired or mismatched).
+    pub evicted: usize,
+    /// Ledger budget remaining after charging this observation.
+    pub budget_remaining: f64,
+    /// Whether the ledger is exhausted.
+    pub exhausted: bool,
+}
+
+/// An active protected-event window: one incremental quantifier running on
+/// the window's local clock.
+#[derive(Debug, Clone)]
+pub(crate) struct EventWindow<P> {
+    pub(crate) template: usize,
+    pub(crate) state: IncrementalTwoWorld<P>,
+}
+
+impl<P: TransitionProvider> EventWindow<P> {
+    /// A window expires `linger` steps past its event end: after the end
+    /// the lifted steps are block-diagonal and the posterior only sharpens
+    /// on residual correlation, so the service keeps it briefly (Lemma
+    /// III.3 coverage) and then retires it.
+    pub(crate) fn expired(&self, linger: usize) -> bool {
+        self.state.observed() >= self.state.event().end() + linger
+    }
+}
+
+/// Per-user session state. Owned by the
+/// [`SessionManager`](crate::SessionManager); read access is public for
+/// reporting and tests.
+#[derive(Debug, Clone)]
+pub struct Session<P> {
+    id: UserId,
+    /// Filtered location posterior `Pr(u_t | o_1..o_t)` under the service's
+    /// mobility model; the π handed to windows attached at time `t`.
+    posterior: Vector,
+    pub(crate) windows: Vec<EventWindow<P>>,
+    ledger: BudgetLedger,
+    t: usize,
+}
+
+impl<P: TransitionProvider> Session<P> {
+    pub(crate) fn new(id: UserId, pi: Vector, budget: f64) -> Self {
+        Session {
+            id,
+            posterior: pi,
+            windows: Vec::new(),
+            ledger: BudgetLedger::new(budget),
+            t: 0,
+        }
+    }
+
+    /// The user id.
+    pub fn id(&self) -> UserId {
+        self.id
+    }
+
+    /// Observations consumed so far (user-local clock).
+    pub fn observed(&self) -> usize {
+        self.t
+    }
+
+    /// The current filtered location posterior.
+    pub fn posterior(&self) -> &Vector {
+        &self.posterior
+    }
+
+    /// The privacy-budget ledger.
+    pub fn ledger(&self) -> &BudgetLedger {
+        &self.ledger
+    }
+
+    /// Number of active event windows.
+    pub fn active_windows(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Attaches a new event window seeded with the *current* posterior (the
+    /// sliding-window flavor of the journal extension: protection starts
+    /// from the service's present belief about the user).
+    pub(crate) fn attach(
+        &mut self,
+        template: usize,
+        event: priste_event::StEvent,
+        provider: P,
+    ) -> Result<(), QuantifyError> {
+        let state = IncrementalTwoWorld::new(event, provider, self.posterior.clone())?;
+        self.windows.push(EventWindow { template, state });
+        Ok(())
+    }
+
+    /// Folds one observation into the filtered posterior. The transition
+    /// propagation (`posterior · M`) is done by the caller so it can be
+    /// batched across sessions; this applies the emission weighting. A
+    /// vanished posterior (observation impossible under the model) resets
+    /// to uniform and reports `false`.
+    pub(crate) fn weigh_posterior(&mut self, propagated: Vector, emission: &Vector) -> bool {
+        let mut p = propagated
+            .hadamard(emission)
+            .expect("validated emission length");
+        if p.normalize_mut().is_err() {
+            self.posterior = Vector::uniform(self.posterior.len());
+            return false;
+        }
+        self.posterior = p;
+        true
+    }
+
+    /// Finishes one observation: charges the ledger with the step's worst
+    /// window loss, advances the local clock, and evicts expired windows.
+    pub(crate) fn finish_observation(
+        &mut self,
+        mut reports: Vec<WindowReport>,
+        linger: usize,
+    ) -> UserReport {
+        // Mismatched windows carry loss = ∞ as a sentinel; only quantified
+        // verdicts represent realized loss and may touch the ledger.
+        let quantified = reports
+            .iter()
+            .filter(|r| r.verdict != Verdict::ModelMismatch);
+        let worst_loss = quantified.clone().map(|r| r.loss).fold(0.0f64, f64::max);
+        let violation = reports.iter().any(|r| r.verdict == Verdict::Violated);
+        if quantified.count() > 0 {
+            self.ledger.charge(worst_loss, violation);
+        }
+        self.t += 1;
+
+        // Evict expired and mismatched windows. `reports` is in attach
+        // order, mirroring `windows`.
+        let mut evicted = 0;
+        let mut keep = Vec::with_capacity(self.windows.len());
+        for (i, w) in self.windows.drain(..).enumerate() {
+            let mismatched = reports
+                .get(i)
+                .is_some_and(|r| r.verdict == Verdict::ModelMismatch);
+            if mismatched || w.expired(linger) {
+                evicted += 1;
+            } else {
+                keep.push(w);
+            }
+        }
+        self.windows = keep;
+        reports.shrink_to_fit();
+        UserReport {
+            user: self.id,
+            t: self.t,
+            worst_loss,
+            windows: reports,
+            evicted,
+            budget_remaining: self.ledger.remaining(),
+            exhausted: self.ledger.exhausted(),
+        }
+    }
+}
+
+/// Builds a [`WindowReport`] from one window's [`StreamStep`] against the
+/// service ε.
+pub(crate) fn report_from_step(template: usize, step: &StreamStep, epsilon: f64) -> WindowReport {
+    WindowReport {
+        template,
+        window_t: step.t,
+        loss: step.privacy_loss,
+        posterior: step.posterior,
+        verdict: if step.certifies(epsilon) {
+            Verdict::Certified
+        } else {
+            Verdict::Violated
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_accumulates_and_exhausts() {
+        let mut l = BudgetLedger::new(1.0);
+        assert!(!l.exhausted());
+        l.charge(0.4, false);
+        l.charge(0.4, true);
+        assert_eq!(l.observations(), 2);
+        assert_eq!(l.violations(), 1);
+        assert!((l.spent() - 0.8).abs() < 1e-12);
+        assert!((l.remaining() - 0.2).abs() < 1e-12);
+        assert!(!l.exhausted());
+        l.charge(f64::INFINITY, true);
+        assert!(l.exhausted());
+        assert_eq!(l.remaining(), 0.0);
+    }
+
+    #[test]
+    fn user_id_displays_compactly() {
+        assert_eq!(UserId(42).to_string(), "u42");
+    }
+}

@@ -1,0 +1,395 @@
+//! Service-level tests: the batched multi-user ingest path must be
+//! observationally identical to driving each user's incremental quantifier
+//! by hand, across shard counts, and the lifecycle (attach → quantify →
+//! evict, budget accounting) must behave.
+
+use priste_event::{Pattern, Presence, StEvent};
+use priste_geo::{CellId, Region};
+use priste_linalg::Vector;
+use priste_lppm::{Lppm, PlanarLaplace};
+use priste_markov::{gaussian_kernel_chain, Homogeneous, MarkovModel};
+use priste_online::{OnlineConfig, OnlineError, SessionManager, UserId, Verdict};
+use priste_quantify::{IncrementalTwoWorld, QuantifyError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::rc::Rc;
+
+fn region(num_cells: usize, ids: &[usize]) -> Region {
+    Region::from_cells(num_cells, ids.iter().map(|&i| CellId(i))).unwrap()
+}
+
+fn paper_chain() -> Rc<Homogeneous> {
+    Rc::new(Homogeneous::new(MarkovModel::paper_example()))
+}
+
+fn presence_template() -> StEvent {
+    Presence::new(region(3, &[0, 1]), 2, 3).unwrap().into()
+}
+
+fn pattern_template() -> StEvent {
+    Pattern::new(vec![region(3, &[0, 1]), region(3, &[1, 2])], 2)
+        .unwrap()
+        .into()
+}
+
+/// Deterministic per-user emission column.
+fn column_for(user: u64, t: usize) -> Vector {
+    let a = 0.2 + 0.6 * ((user as f64 * 0.37 + t as f64 * 0.71).sin() * 0.5 + 0.5);
+    let b = (1.0 - a) * 0.6;
+    Vector::from(vec![a, b, 1.0 - a - b])
+}
+
+#[test]
+fn batched_service_equals_hand_driven_incremental_state() {
+    let chain = paper_chain();
+    let config = OnlineConfig {
+        epsilon: 0.8,
+        num_shards: 3,
+        linger: 50, // keep windows alive for the whole test
+        budget: 1e6,
+    };
+    let mut svc = SessionManager::new(Rc::clone(&chain), config).unwrap();
+    let tpl_presence = svc.register_template(presence_template()).unwrap();
+    let tpl_pattern = svc.register_template(pattern_template()).unwrap();
+
+    let users: Vec<UserId> = (0..12).map(UserId).collect();
+    for &u in &users {
+        svc.add_user(u, Vector::uniform(3)).unwrap();
+        svc.attach_event(u, tpl_presence).unwrap();
+        if u.0 % 2 == 0 {
+            svc.attach_event(u, tpl_pattern).unwrap();
+        }
+    }
+
+    // Hand-driven references: one IncrementalTwoWorld per (user, window).
+    let mut refs: Vec<(u64, Vec<IncrementalTwoWorld<Rc<Homogeneous>>>)> = users
+        .iter()
+        .map(|&u| {
+            let mut v = vec![IncrementalTwoWorld::new(
+                presence_template(),
+                Rc::clone(&chain),
+                Vector::uniform(3),
+            )
+            .unwrap()];
+            if u.0 % 2 == 0 {
+                v.push(
+                    IncrementalTwoWorld::new(
+                        pattern_template(),
+                        Rc::clone(&chain),
+                        Vector::uniform(3),
+                    )
+                    .unwrap(),
+                );
+            }
+            (u.0, v)
+        })
+        .collect();
+
+    for t in 1..=5 {
+        let batch: Vec<(UserId, Vector)> = users.iter().map(|&u| (u, column_for(u.0, t))).collect();
+        let reports = svc.ingest_batch(&batch).unwrap();
+        assert_eq!(reports.len(), users.len());
+        for report in &reports {
+            let (_, windows) = refs.iter_mut().find(|(u, _)| *u == report.user.0).unwrap();
+            assert_eq!(report.t, t);
+            assert_eq!(report.windows.len(), windows.len());
+            for (wr, reference) in report.windows.iter().zip(windows.iter_mut()) {
+                let expect = reference.observe(&column_for(report.user.0, t)).unwrap();
+                assert_eq!(wr.window_t, expect.t);
+                assert!(
+                    (wr.loss - expect.privacy_loss).abs() < 1e-10,
+                    "u{} t={t}: {} vs {}",
+                    report.user.0,
+                    wr.loss,
+                    expect.privacy_loss
+                );
+                assert!((wr.posterior - expect.posterior).abs() < 1e-10);
+                assert_eq!(wr.verdict == Verdict::Certified, expect.certifies(0.8));
+            }
+        }
+    }
+}
+
+#[test]
+fn shard_count_does_not_change_results() {
+    let chain = paper_chain();
+    let run = |num_shards: usize| {
+        let config = OnlineConfig {
+            epsilon: 1.0,
+            num_shards,
+            linger: 10,
+            budget: 1e6,
+        };
+        let mut svc = SessionManager::new(Rc::clone(&chain), config).unwrap();
+        let tpl = svc.register_template(presence_template()).unwrap();
+        for u in 0..9 {
+            svc.add_user(UserId(u), Vector::uniform(3)).unwrap();
+            svc.attach_event(UserId(u), tpl).unwrap();
+        }
+        let mut all = Vec::new();
+        for t in 1..=4 {
+            let batch: Vec<(UserId, Vector)> =
+                (0..9).map(|u| (UserId(u), column_for(u, t))).collect();
+            all.extend(svc.ingest_batch(&batch).unwrap());
+        }
+        all
+    };
+    let one = run(1);
+    let five = run(5);
+    assert_eq!(one, five);
+}
+
+#[test]
+fn windows_expire_and_are_evicted() {
+    let chain = paper_chain();
+    let config = OnlineConfig {
+        epsilon: 5.0,
+        num_shards: 2,
+        linger: 1,
+        budget: 1e6,
+    };
+    let mut svc = SessionManager::new(Rc::clone(&chain), config).unwrap();
+    // Event ends at t=3; with linger 1 the window dies after observation 4.
+    let tpl = svc.register_template(presence_template()).unwrap();
+    svc.add_user(UserId(7), Vector::uniform(3)).unwrap();
+    svc.attach_event(UserId(7), tpl).unwrap();
+    assert_eq!(svc.active_windows(), 1);
+
+    let flat = Vector::from(vec![1.0 / 3.0; 3]);
+    for t in 1..=3 {
+        let r = svc.ingest(UserId(7), flat.clone()).unwrap();
+        assert_eq!(r.evicted, 0, "t={t}");
+        assert_eq!(r.windows.len(), 1);
+    }
+    let r = svc.ingest(UserId(7), flat.clone()).unwrap();
+    assert_eq!(r.evicted, 1, "end (3) + linger (1) = evict after obs 4");
+    assert_eq!(svc.active_windows(), 0);
+    assert_eq!(svc.stats().evicted_windows, 1);
+    // Later observations still track the posterior, with no windows.
+    let r = svc.ingest(UserId(7), flat).unwrap();
+    assert!(r.windows.is_empty());
+    assert_eq!(r.worst_loss, 0.0);
+}
+
+#[test]
+fn zero_likelihood_observation_drops_the_window_not_the_user() {
+    let chain = paper_chain();
+    let mut svc = SessionManager::new(
+        Rc::clone(&chain),
+        OnlineConfig {
+            epsilon: 1.0,
+            num_shards: 1,
+            linger: 10,
+            budget: 1e6,
+        },
+    )
+    .unwrap();
+    let tpl = svc.register_template(presence_template()).unwrap();
+    svc.add_user(UserId(1), Vector::uniform(3)).unwrap();
+    svc.attach_event(UserId(1), tpl).unwrap();
+
+    // Pin the user to s3, then claim an emission only reachable from s1:
+    // impossible under the chain (row s3 = [0, 0.1, 0.9]).
+    svc.ingest(UserId(1), Vector::from(vec![0.0, 0.0, 1.0]))
+        .unwrap();
+    let r = svc
+        .ingest(UserId(1), Vector::from(vec![1.0, 0.0, 0.0]))
+        .unwrap();
+    assert_eq!(r.windows.len(), 1);
+    assert_eq!(r.windows[0].verdict, Verdict::ModelMismatch);
+    assert_eq!(r.evicted, 1);
+    assert_eq!(svc.stats().mismatched, 1);
+    assert_eq!(svc.num_users(), 1, "the session itself survives");
+    // A model mismatch is not a realized privacy loss: it must not poison
+    // the reported worst loss or exhaust the budget ledger.
+    assert_eq!(r.worst_loss, 0.0);
+    assert!(!r.exhausted);
+    assert!(svc.session(UserId(1)).unwrap().ledger().spent().is_finite());
+    // The filtered posterior was reset to uniform rather than dying.
+    let s = svc.session(UserId(1)).unwrap();
+    assert!((s.posterior().sum() - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn budget_ledger_accumulates_and_flags_exhaustion() {
+    let chain = paper_chain();
+    let mut svc = SessionManager::new(
+        Rc::clone(&chain),
+        OnlineConfig {
+            epsilon: 1e-6, // everything informative violates
+            num_shards: 1,
+            linger: 10,
+            budget: 0.5,
+        },
+    )
+    .unwrap();
+    let tpl = svc.register_template(presence_template()).unwrap();
+    svc.add_user(UserId(3), Vector::uniform(3)).unwrap();
+    svc.attach_event(UserId(3), tpl).unwrap();
+
+    let sharp = Vector::from(vec![0.8, 0.1, 0.1]);
+    let mut exhausted_at = None;
+    for t in 1..=6 {
+        let r = svc.ingest(UserId(3), sharp.clone()).unwrap();
+        if r.exhausted && exhausted_at.is_none() {
+            exhausted_at = Some(t);
+        }
+    }
+    let ledger = svc.session(UserId(3)).unwrap().ledger();
+    assert!(ledger.spent() > 0.0);
+    assert!(ledger.violations() > 0);
+    assert!(
+        exhausted_at.is_some(),
+        "informative stream must exhaust a 0.5 budget: spent {}",
+        ledger.spent()
+    );
+}
+
+#[test]
+fn service_rejects_bad_inputs_without_mutating_state() {
+    let chain = paper_chain();
+    let mut svc = SessionManager::new(Rc::clone(&chain), OnlineConfig::default()).unwrap();
+    let tpl = svc.register_template(presence_template()).unwrap();
+    svc.add_user(UserId(1), Vector::uniform(3)).unwrap();
+    svc.attach_event(UserId(1), tpl).unwrap();
+
+    // Config validation.
+    assert!(matches!(
+        SessionManager::new(
+            Rc::clone(&chain),
+            OnlineConfig {
+                epsilon: 0.0,
+                ..OnlineConfig::default()
+            }
+        ),
+        Err(OnlineError::InvalidConfig { .. })
+    ));
+    // Unknown + duplicate users, unknown templates.
+    assert!(matches!(
+        svc.ingest(UserId(9), Vector::uniform(3)),
+        Err(OnlineError::UnknownUser { user: 9 })
+    ));
+    assert!(matches!(
+        svc.add_user(UserId(1), Vector::uniform(3)),
+        Err(OnlineError::DuplicateUser { user: 1 })
+    ));
+    assert!(matches!(
+        svc.attach_event(UserId(1), 99),
+        Err(OnlineError::UnknownTemplate { template: 99 })
+    ));
+    // Domain mismatches.
+    assert!(matches!(
+        svc.register_template(StEvent::from(Presence::new(region(4, &[0]), 1, 1).unwrap())),
+        Err(OnlineError::Quantify(QuantifyError::DomainMismatch { .. }))
+    ));
+    assert!(svc.add_user(UserId(2), Vector::uniform(4)).is_err());
+    // A batch with a duplicate user fails atomically: state unchanged.
+    svc.add_user(UserId(2), Vector::uniform(3)).unwrap();
+    let before = svc.stats();
+    let dup = vec![
+        (UserId(1), Vector::uniform(3)),
+        (UserId(2), Vector::uniform(3)),
+        (UserId(1), Vector::uniform(3)),
+    ];
+    assert!(matches!(
+        svc.ingest_batch(&dup),
+        Err(OnlineError::DuplicateObservation { user: 1 })
+    ));
+    assert_eq!(svc.stats(), before);
+    assert_eq!(svc.session(UserId(1)).unwrap().observed(), 0);
+    // Malformed emission columns.
+    assert!(svc.ingest(UserId(1), Vector::uniform(4)).is_err());
+    assert!(svc
+        .ingest(UserId(1), Vector::from(vec![0.5, -0.1, 0.6]))
+        .is_err());
+}
+
+#[test]
+fn attach_uses_the_current_posterior_and_can_reject_degenerate_events() {
+    let chain = paper_chain();
+    let mut svc = SessionManager::new(
+        Rc::clone(&chain),
+        OnlineConfig {
+            epsilon: 1.0,
+            num_shards: 1,
+            linger: 10,
+            budget: 1e6,
+        },
+    )
+    .unwrap();
+    // Event: in {s1} at local t=2 of the window.
+    let tpl = svc
+        .register_template(StEvent::from(Presence::new(region(3, &[0]), 2, 2).unwrap()))
+        .unwrap();
+    svc.add_user(UserId(1), Vector::uniform(3)).unwrap();
+    // Pin the posterior to s3 (the chain cannot reach s1 from s3 in one
+    // step), then attach: the event has prior 0 under the current belief.
+    svc.ingest(UserId(1), Vector::from(vec![0.0, 0.0, 1.0]))
+        .unwrap();
+    assert!(matches!(
+        svc.attach_event(UserId(1), tpl),
+        Err(OnlineError::Quantify(QuantifyError::DegeneratePrior { .. }))
+    ));
+    // From a fresh uniform belief the same template attaches fine.
+    svc.add_user(UserId(2), Vector::uniform(3)).unwrap();
+    svc.attach_event(UserId(2), tpl).unwrap();
+    assert_eq!(svc.active_windows(), 1);
+}
+
+#[test]
+fn plm_driven_feed_runs_end_to_end_on_a_grid_world() {
+    // Smoke the intended deployment shape: a grid world, a Planar-Laplace
+    // mechanism, many users, multi-step feed.
+    let grid = priste_geo::GridMap::new(4, 4, 1.0).unwrap();
+    let chain = Rc::new(Homogeneous::new(gaussian_kernel_chain(&grid, 1.0).unwrap()));
+    let plm = PlanarLaplace::new(grid.clone(), 0.8).unwrap();
+    let mut svc = SessionManager::new(
+        Rc::clone(&chain),
+        OnlineConfig {
+            epsilon: 2.0,
+            num_shards: 4,
+            linger: 2,
+            budget: 100.0,
+        },
+    )
+    .unwrap();
+    let tpl = svc
+        .register_template(StEvent::from(
+            Presence::new(Region::from_one_based_range(16, 1, 4).unwrap(), 2, 4).unwrap(),
+        ))
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(42);
+    let users = 20u64;
+    let mut trajs = Vec::new();
+    for u in 0..users {
+        svc.add_user(UserId(u), Vector::uniform(16)).unwrap();
+        svc.attach_event(UserId(u), tpl).unwrap();
+        trajs.push(
+            chain
+                .model()
+                .sample_trajectory_from(&Vector::uniform(16), 8, &mut rng)
+                .unwrap(),
+        );
+    }
+    #[allow(clippy::needless_range_loop)] // column-wise access across per-user rows
+    for t in 0..8 {
+        let batch: Vec<(UserId, Vector)> = (0..users)
+            .map(|u| {
+                let obs = plm.perturb(trajs[u as usize][t], &mut rng);
+                (UserId(u), plm.emission_column(obs))
+            })
+            .collect();
+        let reports = svc.ingest_batch(&batch).unwrap();
+        assert_eq!(reports.len(), users as usize);
+        for r in &reports {
+            assert!(r.worst_loss >= 0.0);
+            for w in &r.windows {
+                assert!((0.0..=1.0).contains(&w.posterior));
+            }
+        }
+    }
+    let stats = svc.stats();
+    assert_eq!(stats.observations, 8 * users as usize);
+    assert!(stats.certified + stats.violated + stats.mismatched > 0);
+    assert_eq!(svc.active_windows(), 0, "all windows evicted by t=8");
+}

@@ -40,7 +40,12 @@ pub struct Inference {
 /// user's initial location, full knowledge of the mobility model `M`, and
 /// full knowledge of each release's emission column (the mechanism is
 /// public; only the true location is secret).
-#[derive(Debug)]
+///
+/// Built for reuse across streaming sessions: [`BayesianAdversary::reset`]
+/// rewinds to the pre-observation state without rebuilding the engine, and
+/// [`BayesianAdversary::fork`] (plain `Clone`) snapshots mid-stream so
+/// several continuations can be explored from one shared prefix.
+#[derive(Debug, Clone)]
 pub struct BayesianAdversary<'e, P> {
     builder: TheoremBuilder<'e, P>,
     pi: Vector,
@@ -69,19 +74,44 @@ impl<'e, P: TransitionProvider> BayesianAdversary<'e, P> {
         self.prior
     }
 
+    /// Observations consumed so far.
+    pub fn observed(&self) -> usize {
+        self.builder.committed()
+    }
+
+    /// Rewinds to the pre-observation state (`t = 0`), keeping the engine's
+    /// per-event precomputation. A streaming session can thus re-arm one
+    /// adversary per epoch instead of paying [`BayesianAdversary::new`]
+    /// for every user window.
+    pub fn reset(&mut self) {
+        self.builder.reset();
+    }
+
+    /// Snapshots the adversary mid-stream so a session can fork belief
+    /// state (e.g. to score several candidate releases against the same
+    /// observation prefix) without rebuilding the engine. Equivalent to
+    /// `clone()`; named for intent at call sites.
+    pub fn fork(&self) -> Self
+    where
+        P: Clone,
+    {
+        self.clone()
+    }
+
     /// Consumes one released observation (as its emission column `p̃_o`)
     /// and returns the updated belief.
     ///
     /// # Errors
-    /// Emission validation; [`QuantifyError::DegeneratePrior`] if the
+    /// Emission validation; [`QuantifyError::ZeroLikelihood`] if the
     /// observation stream has zero likelihood under the model (the
-    /// adversary's model is wrong — not a privacy condition).
+    /// adversary's model is wrong — not a privacy condition); the error
+    /// carries the offending timestep and leaves the adversary unchanged.
     pub fn observe(&mut self, emission_column: &Vector) -> Result<Inference> {
         let inputs = self.builder.candidate(emission_column)?;
         let jb = self.pi.dot(&inputs.b).expect("validated length");
         let jc = self.pi.dot(&inputs.c).expect("validated length");
         if jc <= 0.0 {
-            return Err(QuantifyError::DegeneratePrior { prior: self.prior });
+            return Err(QuantifyError::ZeroLikelihood { t: inputs.t });
         }
         let posterior = (jb / jc).clamp(0.0, 1.0);
         let prior_odds = self.prior / (1.0 - self.prior);
@@ -211,6 +241,50 @@ mod tests {
         }
         assert!((worst - manual).abs() < 1e-12);
         assert!(worst > 0.1, "the peaked column should move beliefs");
+    }
+
+    #[test]
+    fn reset_replays_the_same_inference_stream() {
+        let ev: StEvent = Presence::new(region(&[0, 1]), 2, 3).unwrap().into();
+        let mut adv = BayesianAdversary::new(&ev, chain(), Vector::uniform(3)).unwrap();
+        let cols = [
+            Vector::from(vec![0.6, 0.3, 0.1]),
+            Vector::from(vec![0.2, 0.2, 0.6]),
+        ];
+        let first: Vec<Inference> = cols.iter().map(|c| adv.observe(c).unwrap()).collect();
+        assert_eq!(adv.observed(), 2);
+        adv.reset();
+        assert_eq!(adv.observed(), 0);
+        let second: Vec<Inference> = cols.iter().map(|c| adv.observe(c).unwrap()).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn fork_diverges_independently_from_the_shared_prefix() {
+        let ev: StEvent = Presence::new(region(&[0]), 2, 2).unwrap().into();
+        let mut adv = BayesianAdversary::new(&ev, chain(), Vector::uniform(3)).unwrap();
+        adv.observe(&Vector::from(vec![1.0 / 3.0; 3])).unwrap();
+        let mut branch = adv.fork();
+        let up = adv.observe(&Vector::from(vec![0.9, 0.05, 0.05])).unwrap();
+        let down = branch
+            .observe(&Vector::from(vec![0.02, 0.49, 0.49]))
+            .unwrap();
+        assert!(up.posterior > up.prior);
+        assert!(down.posterior < down.prior);
+        assert_eq!(adv.observed(), 2);
+        assert_eq!(branch.observed(), 2);
+    }
+
+    #[test]
+    fn impossible_stream_reports_zero_likelihood_with_the_timestep() {
+        let ev: StEvent = Presence::new(region(&[0, 1]), 2, 3).unwrap().into();
+        let mut adv = BayesianAdversary::new(&ev, chain(), Vector::uniform(3)).unwrap();
+        // Pin the user to s3, then claim an emission only s1 can produce:
+        // impossible (row s3 = [0, 0.1, 0.9]).
+        adv.observe(&Vector::from(vec![0.0, 0.0, 1.0])).unwrap();
+        let err = adv.observe(&Vector::from(vec![1.0, 0.0, 0.0])).unwrap_err();
+        assert_eq!(err, QuantifyError::ZeroLikelihood { t: 2 });
+        assert_eq!(adv.observed(), 1, "failed observe must not advance");
     }
 
     #[test]

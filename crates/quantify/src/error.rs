@@ -25,6 +25,15 @@ pub enum QuantifyError {
         /// The offending prior probability.
         prior: f64,
     },
+    /// An observation stream has zero likelihood under the model: the
+    /// forward mass vanished at the recorded timestep, so no posterior
+    /// exists. Distinct from [`QuantifyError::InvalidEmission`] (a
+    /// malformed column) — the column was well-formed but impossible given
+    /// everything observed before it.
+    ZeroLikelihood {
+        /// 1-based timestep of the observation that killed the likelihood.
+        t: usize,
+    },
     /// Observations were supplied out of order or beyond the engine state.
     TimestepOutOfOrder {
         /// Timestep expected next.
@@ -63,6 +72,12 @@ impl fmt::Display for QuantifyError {
                     "event prior {prior} is degenerate; privacy ratio undefined"
                 )
             }
+            QuantifyError::ZeroLikelihood { t } => {
+                write!(
+                    f,
+                    "observation stream has zero likelihood under the model at timestep {t}"
+                )
+            }
             QuantifyError::TimestepOutOfOrder {
                 expected,
                 requested,
@@ -95,5 +110,12 @@ mod tests {
     fn display_is_informative() {
         let e = QuantifyError::DegeneratePrior { prior: 0.0 };
         assert!(e.to_string().contains('0'));
+    }
+
+    #[test]
+    fn zero_likelihood_reports_the_timestep() {
+        let e = QuantifyError::ZeroLikelihood { t: 7 };
+        assert!(e.to_string().contains('7'));
+        assert_eq!(e, QuantifyError::ZeroLikelihood { t: 7 });
     }
 }

@@ -16,9 +16,11 @@ use priste_markov::TransitionProvider;
 ///
 /// # Errors
 /// * [`QuantifyError::InvalidInitial`] for a bad `π`.
-/// * [`QuantifyError::InvalidEmission`] for wrong-length columns or an
-///   observation sequence that is impossible under the model (zero
-///   likelihood — there is no posterior to report).
+/// * [`QuantifyError::InvalidEmission`] for wrong-length columns.
+/// * [`QuantifyError::ZeroLikelihood`] when the observation sequence is
+///   impossible under the model — the error carries the 1-based timestep at
+///   which the forward mass first vanished, so streaming callers can point
+///   at the offending observation.
 pub fn posterior_states<P: TransitionProvider>(
     provider: &P,
     pi: &Vector,
@@ -50,12 +52,19 @@ pub fn posterior_states<P: TransitionProvider>(
     }
 
     // Forward pass (Eq. (10)): α_1 = π ∘ p̃_{o_1}; α_t = (α_{t−1}·M)∘p̃_{o_t}.
+    // A vanished α pinpoints the first impossible observation.
     let mut alphas: Vec<ScaledVector> = Vec::with_capacity(big_t);
     let mut alpha = ScaledVector::new(pi.hadamard(&emissions[0]).expect("validated length"));
+    if alpha.vector.sum() <= 0.0 {
+        return Err(QuantifyError::ZeroLikelihood { t: 1 });
+    }
     alpha.renormalize();
     alphas.push(alpha.clone());
     for t in 2..=big_t {
         alpha.forward_step(provider.transition_at(t - 1), &emissions[t - 1]);
+        if alpha.vector.sum() <= 0.0 {
+            return Err(QuantifyError::ZeroLikelihood { t });
+        }
         alphas.push(alpha.clone());
     }
 
@@ -67,15 +76,14 @@ pub fn posterior_states<P: TransitionProvider>(
         betas[t - 1] = b;
     }
 
-    // Combine (Eq. (12)): normalize α_t ∘ β_t per timestep.
+    // Combine (Eq. (12)): normalize α_t ∘ β_t per timestep. A vanished
+    // product means the suffix is impossible given the prefix; report the
+    // timestep after the prefix as the point of death.
     let mut out = Vec::with_capacity(big_t);
-    for (a, b) in alphas.iter().zip(&betas) {
+    for (t0, (a, b)) in alphas.iter().zip(&betas).enumerate() {
         let mut post = a.vector.hadamard(&b.vector).expect("validated length");
         post.normalize_mut()
-            .map_err(|_| QuantifyError::InvalidEmission {
-                expected: m,
-                actual: m,
-            })?;
+            .map_err(|_| QuantifyError::ZeroLikelihood { t: t0 + 1 })?;
         out.push(post);
     }
     Ok(out)
@@ -164,7 +172,33 @@ mod tests {
     fn impossible_sequence_is_an_error() {
         // Emission column of zeros: likelihood 0, no posterior.
         let e = vec![Vector::zeros(3)];
-        assert!(posterior_states(&chain(), &Vector::uniform(3), &e).is_err());
+        assert_eq!(
+            posterior_states(&chain(), &Vector::uniform(3), &e),
+            Err(QuantifyError::ZeroLikelihood { t: 1 })
+        );
+    }
+
+    #[test]
+    fn zero_likelihood_error_carries_the_offending_timestep() {
+        // t=1 and t=2 are fine; the t=3 column kills the forward mass
+        // because s3 is the only state reachable with positive probability
+        // after pinning u_2 = s3 (row [0, 0.1, 0.9]) — and the column
+        // assigns mass only to s1.
+        let e = vec![
+            Vector::from(vec![1.0 / 3.0; 3]),
+            Vector::from(vec![0.0, 0.0, 1.0]),
+            Vector::from(vec![1.0, 0.0, 0.0]),
+        ];
+        assert_eq!(
+            posterior_states(&chain(), &Vector::uniform(3), &e),
+            Err(QuantifyError::ZeroLikelihood { t: 3 })
+        );
+        // A malformed column is still the *other* error.
+        let bad = vec![Vector::uniform(4)];
+        assert!(matches!(
+            posterior_states(&chain(), &Vector::uniform(3), &bad),
+            Err(QuantifyError::InvalidEmission { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,515 @@
+//! Incremental two-possible-world quantification for streaming releases.
+//!
+//! [`TheoremBuilder`](crate::TheoremBuilder) answers the *any-π* Theorem
+//! IV.1 question, and pays for that generality by replaying the committed
+//! factor chain on every candidate — `O(t·m²)` at timestep `t`, `O(T²·m²)`
+//! over a horizon. The journal extension of the paper (*Protecting
+//! Spatiotemporal Event Privacy in Continuous Location-Based Services*,
+//! arXiv:1907.10814) observes that for a **known** initial distribution the
+//! same recursion can be maintained forward: carry the lifted row vector
+//!
+//! ```text
+//! α_t = lift(π) · E_1 M_1 E_2 M_2 ⋯ M_{t−1} E_t
+//! ```
+//!
+//! across timestamps and every quantity of Lemmas III.1–III.3 falls out of
+//! two inner products:
+//!
+//! * `Pr(EVENT, o_1..o_t) = α_t · u_{min(t, end)}` (the precomputed suffix
+//!   vectors of [`TwoWorldEngine::suffix_true_vectors`]; past the event end
+//!   the suffix is the constant true-world selector `[0, 1]ᵀ`),
+//! * `Pr(o_1..o_t) = α_t · 1`.
+//!
+//! One observation therefore costs a single structured lifted step plus an
+//! emission Hadamard — `O(m²)` — which is what makes per-timestamp checking
+//! viable for a service tracking many users ([`priste-online`'s sessions
+//! hold one `IncrementalTwoWorld` per active event window).
+//!
+//! Unlike the borrowing [`TwoWorldEngine`], this type **owns** its event and
+//! provider so sessions can live in long-running collections without
+//! self-referential lifetimes; share one model across windows via
+//! `Rc<Homogeneous>` (every `TransitionProvider` is also implemented for
+//! `Rc<T>`).
+
+use crate::lifted::lift_emission;
+use crate::{QuantifyError, Result, TwoWorldEngine};
+use priste_event::StEvent;
+use priste_linalg::scaling::ScaledVector;
+use priste_linalg::Vector;
+use priste_markov::TransitionProvider;
+
+/// Per-observation output of the incremental quantifier — the streaming
+/// analogue of [`crate::fixed_pi::StepQuantification`] plus the adversary's
+/// posterior view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamStep {
+    /// Timestep `t` of the observation just consumed (1-based).
+    pub t: usize,
+    /// `Pr(EVENT)` under the session's `π` (constant over time).
+    pub prior: f64,
+    /// `ln Pr(EVENT, o_1..o_t)`; `-∞` if the joint is zero.
+    pub log_joint_event: f64,
+    /// `ln Pr(o_1..o_t)`.
+    pub log_joint_total: f64,
+    /// Posterior `Pr(EVENT | o_1..o_t)` (exact Bayes under the model).
+    pub posterior: f64,
+    /// Odds lift `(posterior odds) / (prior odds)`; ε-ST-event privacy at ε
+    /// bounds it inside `[e^{−ε}, e^{ε}]`. `0` or `+∞` at degenerate
+    /// posteriors.
+    pub odds_lift: f64,
+    /// Realized two-sided privacy loss `|ln [Pr(o|E) / Pr(o|¬E)]|`.
+    /// Reported as `+∞` (rather than an error) when the observations prove
+    /// the event true or false outright — a streaming service must record
+    /// that as a verdict, not crash on it.
+    pub privacy_loss: f64,
+}
+
+impl StreamStep {
+    /// Whether the realized loss stays within a given ε budget.
+    pub fn certifies(&self, epsilon: f64) -> bool {
+        self.privacy_loss <= epsilon
+    }
+}
+
+/// Streaming fixed-`π` event-privacy quantifier: carries the lifted forward
+/// vector across timestamps and updates in `O(m²)` per observation instead
+/// of replaying the horizon. Cross-validated against
+/// [`TheoremBuilder`](crate::TheoremBuilder) /
+/// [`TwoWorldEngine`](crate::TwoWorldEngine) by the
+/// `incremental_stream` integration suite.
+#[derive(Debug, Clone)]
+pub struct IncrementalTwoWorld<P> {
+    event: StEvent,
+    provider: P,
+    pi: Vector,
+    /// Lifted suffix vectors `u_t` (index `t−1`) for `t = 1..=end`.
+    suffix: Vec<Vector>,
+    prior: f64,
+    /// Lifted forward vector after `t` observations.
+    alpha: ScaledVector,
+    t: usize,
+}
+
+impl<P: TransitionProvider> IncrementalTwoWorld<P> {
+    /// Builds the streaming state: suffix products, the Lemma III.1 prior,
+    /// and the lifted initial vector. Owns `event` and `provider` so the
+    /// value is `'static` when they are (sessions outlive call frames).
+    ///
+    /// # Errors
+    /// Domain checks from [`TwoWorldEngine::new`];
+    /// [`QuantifyError::InvalidInitial`] for a bad `π`;
+    /// [`QuantifyError::DegeneratePrior`] when `Pr(EVENT) ∈ {0, 1}` under
+    /// `π` (there is no ratio to track).
+    pub fn new(event: StEvent, provider: P, pi: Vector) -> Result<Self> {
+        pi.validate_distribution()
+            .map_err(QuantifyError::InvalidInitial)?;
+        let engine = TwoWorldEngine::new(&event, &provider)?;
+        let suffix = engine.suffix_true_vectors();
+        let lifted = engine.initial_lift(&pi)?;
+        let prior = pi
+            .dot(&engine.reduce(&suffix[0]))
+            .expect("validated length");
+        if !(prior > 0.0 && prior < 1.0) {
+            return Err(QuantifyError::DegeneratePrior { prior });
+        }
+        Ok(IncrementalTwoWorld {
+            event,
+            provider,
+            pi,
+            suffix,
+            prior,
+            alpha: ScaledVector::new(lifted),
+            t: 0,
+        })
+    }
+
+    /// The protected event.
+    pub fn event(&self) -> &StEvent {
+        &self.event
+    }
+
+    /// The session's fixed initial distribution.
+    pub fn pi(&self) -> &Vector {
+        &self.pi
+    }
+
+    /// `Pr(EVENT)` under `π`.
+    pub fn prior(&self) -> f64 {
+        self.prior
+    }
+
+    /// Observations consumed so far.
+    pub fn observed(&self) -> usize {
+        self.t
+    }
+
+    /// State-domain size `m`.
+    pub fn num_states(&self) -> usize {
+        self.provider.num_states()
+    }
+
+    /// The carried lifted forward mantissa (length `2m`; the represented
+    /// vector is this times `e^{log_scale}`, but every consumer below is
+    /// scale-invariant). Exposed so a batch driver can apply one shared
+    /// [`LiftedStep`](crate::lifted::LiftedStep) to many sessions at once.
+    pub fn lifted_state(&self) -> &Vector {
+        &self.alpha.vector
+    }
+
+    /// Index of the lifted step that must be applied before the *next*
+    /// observation (`step_at(t)` of the engine schedule), or `None` for the
+    /// very first observation, which is emission-weighting only.
+    pub fn next_step_index(&self) -> Option<usize> {
+        (self.t >= 1).then_some(self.t)
+    }
+
+    /// Quantifies the next observation without committing it.
+    ///
+    /// # Errors
+    /// Emission validation; [`QuantifyError::ZeroLikelihood`] when the
+    /// observation stream would have zero probability under the model.
+    pub fn peek(&self, emission_column: &Vector) -> Result<StreamStep> {
+        self.validate_emission(emission_column)?;
+        let advanced = self.advanced_alpha(emission_column);
+        self.report(self.t + 1, &advanced)
+    }
+
+    /// Consumes one observation: one structured lifted step plus an emission
+    /// weighting (`O(m²)`), then the two inner products of the module docs.
+    ///
+    /// # Errors
+    /// See [`IncrementalTwoWorld::peek`]. On error the state is unchanged,
+    /// so a session can skip an impossible observation and continue.
+    pub fn observe(&mut self, emission_column: &Vector) -> Result<StreamStep> {
+        self.validate_emission(emission_column)?;
+        let advanced = self.advanced_alpha(emission_column);
+        let step = self.report(self.t + 1, &advanced)?;
+        self.alpha = advanced;
+        self.t += 1;
+        Ok(step)
+    }
+
+    /// Batched-path variant of [`IncrementalTwoWorld::observe`]: the caller
+    /// has already applied this timestep's lifted transition to
+    /// [`IncrementalTwoWorld::lifted_state`] (typically via
+    /// [`LiftedStep::apply_rows`](crate::lifted::LiftedStep::apply_rows)
+    /// with one step shared across many sessions) and hands back the moved
+    /// mantissa; only the emission weighting and the report remain here.
+    ///
+    /// For the first observation (`next_step_index() == None`) pass the
+    /// current mantissa unchanged.
+    ///
+    /// # Errors
+    /// See [`IncrementalTwoWorld::peek`].
+    ///
+    /// # Panics
+    /// Panics if `stepped.len() != 2m`.
+    pub fn observe_pre_stepped(
+        &mut self,
+        stepped: Vector,
+        emission_column: &Vector,
+    ) -> Result<StreamStep> {
+        self.validate_emission(emission_column)?;
+        assert_eq!(
+            stepped.len(),
+            2 * self.num_states(),
+            "pre-stepped vector must be lifted"
+        );
+        let mut advanced = ScaledVector {
+            vector: stepped
+                .hadamard(&lift_emission(emission_column))
+                .expect("lifted emission length"),
+            log_scale: self.alpha.log_scale,
+        };
+        advanced.renormalize();
+        let step = self.report(self.t + 1, &advanced)?;
+        self.alpha = advanced;
+        self.t += 1;
+        Ok(step)
+    }
+
+    /// Rewinds to `t = 0`, keeping the per-event precomputation (suffix
+    /// vectors, prior) so a session can be replayed or re-armed without
+    /// rebuilding.
+    pub fn reset(&mut self) {
+        let lifted = self
+            .engine()
+            .initial_lift(&self.pi)
+            .expect("validated at construction");
+        self.alpha = ScaledVector::new(lifted);
+        self.t = 0;
+    }
+
+    /// Temporary borrowing engine over the owned event/provider (checks
+    /// were done at construction; re-running them is O(1)).
+    fn engine(&self) -> TwoWorldEngine<'_, &P> {
+        TwoWorldEngine::new(&self.event, &self.provider).expect("validated at construction")
+    }
+
+    fn validate_emission(&self, emission_column: &Vector) -> Result<()> {
+        let m = self.num_states();
+        if emission_column.len() != m
+            || emission_column
+                .as_slice()
+                .iter()
+                .any(|&x| x < 0.0 || !x.is_finite())
+        {
+            return Err(QuantifyError::InvalidEmission {
+                expected: m,
+                actual: emission_column.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// `α_{t+1}` from `α_t`: apply the scheduled lifted step (none before
+    /// the first observation), weight by the lifted emission, renormalize.
+    fn advanced_alpha(&self, emission_column: &Vector) -> ScaledVector {
+        let next_t = self.t + 1;
+        let mut a = self.alpha.clone();
+        if next_t >= 2 {
+            a.vector = self.engine().step_at(next_t - 1).apply_row(&a.vector);
+        }
+        a.vector = a
+            .vector
+            .hadamard(&lift_emission(emission_column))
+            .expect("lifted emission length");
+        a.renormalize();
+        a
+    }
+
+    /// The Lemma III.2/III.3 readout at timestep `t` for a forward vector.
+    fn report(&self, t: usize, alpha: &ScaledVector) -> Result<StreamStep> {
+        let u = &self.suffix[t.min(self.event.end()) - 1];
+        let jb = alpha.vector.dot(u).expect("lifted lengths match");
+        let jc = alpha.vector.sum();
+        if jc <= 0.0 {
+            return Err(QuantifyError::ZeroLikelihood { t });
+        }
+        let log_joint_event = if jb > 0.0 {
+            jb.ln() + alpha.log_scale
+        } else {
+            f64::NEG_INFINITY
+        };
+        let log_joint_total = jc.ln() + alpha.log_scale;
+        let posterior = (jb / jc).clamp(0.0, 1.0);
+        let prior_odds = self.prior / (1.0 - self.prior);
+        let posterior_odds = if posterior >= 1.0 {
+            f64::INFINITY
+        } else {
+            posterior / (1.0 - posterior)
+        };
+        let j_not = jc - jb;
+        let privacy_loss = if jb <= 0.0 || j_not <= 0.0 {
+            f64::INFINITY
+        } else {
+            // ln [ (jb/prior) / (j_not/(1−prior)) ] — scales cancel.
+            ((jb / self.prior).ln() - (j_not / (1.0 - self.prior)).ln()).abs()
+        };
+        Ok(StreamStep {
+            t,
+            prior: self.prior,
+            log_joint_event,
+            log_joint_total,
+            posterior,
+            odds_lift: posterior_odds / prior_odds,
+            privacy_loss,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TheoremBuilder;
+    use priste_event::Presence;
+    use priste_geo::{CellId, Region};
+    use priste_markov::{Homogeneous, MarkovModel};
+
+    fn region(ids: &[usize]) -> Region {
+        Region::from_cells(3, ids.iter().map(|&i| CellId(i))).unwrap()
+    }
+
+    fn chain() -> Homogeneous {
+        Homogeneous::new(MarkovModel::paper_example())
+    }
+
+    fn presence_event() -> StEvent {
+        Presence::new(region(&[0, 1]), 2, 3).unwrap().into()
+    }
+
+    #[test]
+    fn matches_offline_builder_step_by_step() {
+        let ev = presence_event();
+        let pi = Vector::from(vec![0.5, 0.3, 0.2]);
+        let mut inc = IncrementalTwoWorld::new(ev.clone(), chain(), pi.clone()).unwrap();
+        let mut builder = TheoremBuilder::new(&ev, chain()).unwrap();
+        let cols = [
+            Vector::from(vec![0.7, 0.2, 0.1]),
+            Vector::from(vec![0.1, 0.8, 0.1]),
+            Vector::from(vec![0.3, 0.3, 0.4]),
+            Vector::from(vec![0.25, 0.5, 0.25]),
+            Vector::from(vec![0.6, 0.2, 0.2]),
+        ];
+        for col in &cols {
+            let stream = inc.observe(col).unwrap();
+            let inputs = builder.candidate(col).unwrap();
+            assert!((stream.prior - inputs.prior(&pi)).abs() < 1e-12);
+            assert!(
+                (stream.log_joint_event - inputs.log_joint_event(&pi)).abs() < 1e-9,
+                "t={}: {} vs {}",
+                stream.t,
+                stream.log_joint_event,
+                inputs.log_joint_event(&pi)
+            );
+            assert!((stream.log_joint_total - inputs.log_joint_total(&pi)).abs() < 1e-9);
+            builder.commit(col.clone()).unwrap();
+        }
+        assert_eq!(inc.observed(), 5);
+    }
+
+    #[test]
+    fn uninformative_stream_stays_at_zero_loss() {
+        let mut inc =
+            IncrementalTwoWorld::new(presence_event(), chain(), Vector::uniform(3)).unwrap();
+        let flat = Vector::from(vec![1.0 / 3.0; 3]);
+        for _ in 0..6 {
+            let s = inc.observe(&flat).unwrap();
+            assert!(s.privacy_loss < 1e-10, "loss {}", s.privacy_loss);
+            assert!((s.posterior - s.prior).abs() < 1e-10);
+            assert!((s.odds_lift - 1.0).abs() < 1e-9);
+            assert!(s.certifies(1e-6));
+        }
+    }
+
+    #[test]
+    fn peek_does_not_advance_and_observe_matches_peek() {
+        let mut inc =
+            IncrementalTwoWorld::new(presence_event(), chain(), Vector::uniform(3)).unwrap();
+        let col = Vector::from(vec![0.6, 0.3, 0.1]);
+        let p1 = inc.peek(&col).unwrap();
+        let p2 = inc.peek(&col).unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(inc.observed(), 0);
+        let o = inc.observe(&col).unwrap();
+        assert_eq!(o, p1);
+        assert_eq!(inc.observed(), 1);
+    }
+
+    #[test]
+    fn pre_stepped_path_equals_self_stepped_path() {
+        let pi = Vector::from(vec![0.2, 0.4, 0.4]);
+        let mut plain = IncrementalTwoWorld::new(presence_event(), chain(), pi.clone()).unwrap();
+        let mut batched = plain.clone();
+        let cols = [
+            Vector::from(vec![0.5, 0.3, 0.2]),
+            Vector::from(vec![0.2, 0.2, 0.6]),
+            Vector::from(vec![0.9, 0.05, 0.05]),
+        ];
+        let provider = chain();
+        for col in &cols {
+            let a = plain.observe(col).unwrap();
+            let stepped = match batched.next_step_index() {
+                None => batched.lifted_state().clone(),
+                Some(idx) => {
+                    let engine = TwoWorldEngine::new(batched.event(), &provider).unwrap();
+                    let step = engine.step_at(idx);
+                    step.apply_rows(std::slice::from_ref(batched.lifted_state()))
+                        .pop()
+                        .unwrap()
+                }
+            };
+            let b = batched.observe_pre_stepped(stepped, col).unwrap();
+            assert!((a.log_joint_event - b.log_joint_event).abs() < 1e-12);
+            assert!((a.log_joint_total - b.log_joint_total).abs() < 1e-12);
+            assert!((a.posterior - b.posterior).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reset_replays_identically() {
+        let mut inc =
+            IncrementalTwoWorld::new(presence_event(), chain(), Vector::uniform(3)).unwrap();
+        let cols = [
+            Vector::from(vec![0.7, 0.2, 0.1]),
+            Vector::from(vec![0.2, 0.6, 0.2]),
+        ];
+        let first: Vec<StreamStep> = cols.iter().map(|c| inc.observe(c).unwrap()).collect();
+        inc.reset();
+        assert_eq!(inc.observed(), 0);
+        let second: Vec<StreamStep> = cols.iter().map(|c| inc.observe(c).unwrap()).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn proving_the_event_false_reports_infinite_loss_not_an_error() {
+        // Event: in {s1} at t=2. An observation only s3 can emit at t=2
+        // proves ¬EVENT; the stream must keep flowing with loss = ∞.
+        let ev: StEvent = Presence::new(region(&[0]), 2, 2).unwrap().into();
+        let mut inc = IncrementalTwoWorld::new(ev, chain(), Vector::uniform(3)).unwrap();
+        inc.observe(&Vector::from(vec![1.0 / 3.0; 3])).unwrap();
+        let s = inc.observe(&Vector::from(vec![0.0, 0.0, 1.0])).unwrap();
+        assert_eq!(s.posterior, 0.0);
+        assert_eq!(s.privacy_loss, f64::INFINITY);
+        assert!(!s.certifies(1e9));
+        assert_eq!(inc.observed(), 2);
+    }
+
+    #[test]
+    fn impossible_observation_is_zero_likelihood_and_leaves_state_intact() {
+        let mut inc =
+            IncrementalTwoWorld::new(presence_event(), chain(), Vector::uniform(3)).unwrap();
+        inc.observe(&Vector::from(vec![0.0, 0.0, 1.0])).unwrap();
+        // From s3 only {s2, s3} are reachable; a column emitting solely
+        // from s1 is impossible.
+        let err = inc.observe(&Vector::from(vec![1.0, 0.0, 0.0])).unwrap_err();
+        assert_eq!(err, QuantifyError::ZeroLikelihood { t: 2 });
+        assert_eq!(inc.observed(), 1, "failed observe must not advance");
+    }
+
+    #[test]
+    fn construction_rejects_bad_inputs() {
+        assert!(matches!(
+            IncrementalTwoWorld::new(presence_event(), chain(), Vector::uniform(4)),
+            Err(QuantifyError::InvalidInitial(_))
+        ));
+        let ev: StEvent = Presence::new(region(&[0]), 2, 2).unwrap().into();
+        // Point mass on s3: the chain cannot reach s1 in one step.
+        assert!(matches!(
+            IncrementalTwoWorld::new(ev, chain(), Vector::from(vec![0.0, 0.0, 1.0])),
+            Err(QuantifyError::DegeneratePrior { .. })
+        ));
+        let inc = IncrementalTwoWorld::new(presence_event(), chain(), Vector::uniform(3)).unwrap();
+        assert!(matches!(
+            inc.peek(&Vector::from(vec![0.5, 0.5])),
+            Err(QuantifyError::InvalidEmission { .. })
+        ));
+        assert!(matches!(
+            inc.peek(&Vector::from(vec![0.5, -0.1, 0.6])),
+            Err(QuantifyError::InvalidEmission { .. })
+        ));
+    }
+
+    #[test]
+    fn posterior_agrees_with_bayesian_adversary() {
+        let ev = presence_event();
+        let pi = Vector::from(vec![0.3, 0.3, 0.4]);
+        let mut inc = IncrementalTwoWorld::new(ev.clone(), chain(), pi.clone()).unwrap();
+        let mut adv = crate::attack::BayesianAdversary::new(&ev, chain(), pi).unwrap();
+        for col in [
+            Vector::from(vec![0.6, 0.3, 0.1]),
+            Vector::from(vec![0.1, 0.3, 0.6]),
+            Vector::from(vec![0.4, 0.4, 0.2]),
+        ] {
+            let s = inc.observe(&col).unwrap();
+            let inf = adv.observe(&col).unwrap();
+            assert!(
+                (s.posterior - inf.posterior).abs() < 1e-10,
+                "posterior {} vs {}",
+                s.posterior,
+                inf.posterior
+            );
+            assert!((s.odds_lift - inf.odds_lift).abs() < 1e-9 * inf.odds_lift.max(1.0));
+        }
+    }
+}

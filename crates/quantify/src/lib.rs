@@ -20,6 +20,10 @@
 //! * [`TheoremBuilder`] — the incremental `A`/`B` recurrences of
 //!   Algorithm 2 (lines 3–15) with candidate/commit semantics matching the
 //!   release-retry loop, emitting [`TheoremInputs`] for the QP check.
+//! * [`IncrementalTwoWorld`] — the streaming face: carries the lifted
+//!   forward vector across timestamps so each observation costs `O(m²)`
+//!   instead of replaying the horizon (the journal extension's per-timestamp
+//!   recursion, arXiv:1907.10814); what `priste-online` sessions hold.
 //! * [`fixed_pi`] — §III's quantification for a *known* initial probability:
 //!   conditional likelihoods and realized privacy loss.
 //! * [`forward_backward`] — the classic HMM smoother (Eqs. (10)–(12)).
@@ -39,6 +43,7 @@ mod engine;
 mod error;
 pub mod fixed_pi;
 pub mod forward_backward;
+mod incremental;
 pub mod lifted;
 pub mod naive;
 pub mod sweep;
@@ -46,6 +51,7 @@ mod theorem;
 
 pub use engine::TwoWorldEngine;
 pub use error::QuantifyError;
+pub use incremental::{IncrementalTwoWorld, StreamStep};
 pub use theorem::{TheoremBuilder, TheoremInputs};
 
 /// Convenience result alias.

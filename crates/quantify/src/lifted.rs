@@ -52,23 +52,26 @@ impl LiftedStep<'_> {
         }
     }
 
-    /// Row-vector application `x · M_t` for a lifted row vector
-    /// `x = [x_false, x_true]` of length `2m` — the forward orientation of
-    /// Lemma III.1/III.2 products.
-    ///
-    /// # Panics
-    /// Panics if `x.len() != 2m`.
-    pub fn apply_row(&self, x: &Vector) -> Vector {
-        let n = self.base_states();
-        assert_eq!(x.len(), 2 * n, "lifted row vector length mismatch");
-        let (xf, xt) = x.split_halves();
+    /// The base transition matrix `M`.
+    fn base(&self) -> &Matrix {
         match self {
-            LiftedStep::BlockDiagonal { m } => m.vecmat(&xf).concat(&m.vecmat(&xt)),
-            LiftedStep::Capture { m, region } => {
-                // y_f = x_f·(M − M·s^D) = (x_f·M) ∘ (1 − s)
-                // y_t = x_f·M·s^D + x_t·M = (x_f·M) ∘ s + x_t·M
-                let uf = m.vecmat(&xf);
-                let ut = m.vecmat(&xt);
+            LiftedStep::BlockDiagonal { m }
+            | LiftedStep::Capture { m, .. }
+            | LiftedStep::Hold { m, .. } => m,
+        }
+    }
+
+    /// Combines the moved halves `(u_f, u_t) = (x_f·M, x_t·M)` into the
+    /// lifted output row for this step's shape — the shared tail of the
+    /// single and batched row applications:
+    ///
+    /// * BlockDiagonal: `y = [u_f, u_t]`,
+    /// * Capture: `y_f = u_f ∘ (1−s)`, `y_t = u_f ∘ s + u_t`,
+    /// * Hold: `y_f = u_f + u_t ∘ (1−s)`, `y_t = u_t ∘ s`.
+    fn combine_moved(&self, uf: Vector, ut: Vector) -> Vector {
+        match self {
+            LiftedStep::BlockDiagonal { .. } => uf.concat(&ut),
+            LiftedStep::Capture { region, .. } => {
                 let s = region.indicator();
                 let not_s = region.complement_indicator();
                 let yf = uf.hadamard(&not_s).expect("lengths match");
@@ -79,11 +82,7 @@ impl LiftedStep<'_> {
                     .expect("lengths match");
                 yf.concat(&yt)
             }
-            LiftedStep::Hold { m, region } => {
-                // y_f = x_f·M + (x_t·M) ∘ (1 − s)
-                // y_t = (x_t·M) ∘ s
-                let uf = m.vecmat(&xf);
-                let ut = m.vecmat(&xt);
+            LiftedStep::Hold { region, .. } => {
                 let s = region.indicator();
                 let not_s = region.complement_indicator();
                 let yf = uf
@@ -93,6 +92,64 @@ impl LiftedStep<'_> {
                 yf.concat(&yt)
             }
         }
+    }
+
+    /// Row-vector application `x · M_t` for a lifted row vector
+    /// `x = [x_false, x_true]` of length `2m` — the forward orientation of
+    /// Lemma III.1/III.2 products. (Capture: `y_f = x_f·(M − M·s^D)`,
+    /// `y_t = x_f·M·s^D + x_t·M`; Hold mirrored — see
+    /// [`LiftedStep::combine_moved`].)
+    ///
+    /// # Panics
+    /// Panics if `x.len() != 2m`.
+    pub fn apply_row(&self, x: &Vector) -> Vector {
+        let n = self.base_states();
+        assert_eq!(x.len(), 2 * n, "lifted row vector length mismatch");
+        let (xf, xt) = x.split_halves();
+        let m = self.base();
+        self.combine_moved(m.vecmat(&xf), m.vecmat(&xt))
+    }
+
+    /// Batched row application: `xs[i] · M_t` for many lifted row vectors at
+    /// once — the streaming service's "one shared step per timestep" path.
+    /// The false/true halves of every vector are stacked into `k×m`
+    /// matrices and pushed through `M` with two `matmul`s (instead of `2k`
+    /// separate `vecmat`s), then the per-shape region masks are applied
+    /// row-wise. Equivalent to mapping [`LiftedStep::apply_row`].
+    ///
+    /// # Panics
+    /// Panics if any input has length `!= 2m`.
+    pub fn apply_rows(&self, xs: &[Vector]) -> Vec<Vector> {
+        let n = self.base_states();
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        let k = xs.len();
+        let mut xf_rows = Vec::with_capacity(k);
+        let mut xt_rows = Vec::with_capacity(k);
+        for x in xs {
+            assert_eq!(x.len(), 2 * n, "lifted row vector length mismatch");
+            let (f, t) = x.split_halves();
+            xf_rows.push(f.into_vec());
+            xt_rows.push(t.into_vec());
+        }
+        let base = self.base();
+        let uf = Matrix::from_rows(&xf_rows)
+            .expect("rectangular stack")
+            .matmul(base)
+            .expect("k×m by m×m");
+        let ut = Matrix::from_rows(&xt_rows)
+            .expect("rectangular stack")
+            .matmul(base)
+            .expect("k×m by m×m");
+        (0..k)
+            .map(|i| {
+                self.combine_moved(
+                    Vector::from(uf.row(i).to_vec()),
+                    Vector::from(ut.row(i).to_vec()),
+                )
+            })
+            .collect()
     }
 
     /// Column-vector application `M_t · v` for a lifted column vector of
@@ -244,6 +301,30 @@ mod tests {
             let fast = step.apply_row(&x);
             let dense = step.to_dense().vecmat(&x);
             assert!(fast.max_abs_diff(&dense) < 1e-14, "shape {step:?}");
+        }
+    }
+
+    #[test]
+    fn batched_row_application_matches_singles() {
+        let m = m3();
+        let r = region12();
+        let xs = vec![
+            Vector::from(vec![0.1, 0.2, 0.3, 0.05, 0.15, 0.2]),
+            Vector::from(vec![0.0, 0.0, 1.0, 0.0, 0.0, 0.0]),
+            Vector::from(vec![0.3, 0.1, 0.0, 0.2, 0.2, 0.2]),
+        ];
+        for step in [
+            LiftedStep::BlockDiagonal { m: &m },
+            LiftedStep::Capture { m: &m, region: &r },
+            LiftedStep::Hold { m: &m, region: &r },
+        ] {
+            let batched = step.apply_rows(&xs);
+            assert_eq!(batched.len(), xs.len());
+            for (x, y) in xs.iter().zip(&batched) {
+                let single = step.apply_row(x);
+                assert!(y.max_abs_diff(&single) < 1e-14, "shape {step:?}");
+            }
+            assert!(step.apply_rows(&[]).is_empty());
         }
     }
 

@@ -93,7 +93,11 @@ impl TheoremInputs {
 /// framework *tests* a perturbed location (possibly several, halving the
 /// budget between tries) and only the location actually released updates
 /// the internal state (Algorithm 2 lines 21–25).
-#[derive(Debug)]
+///
+/// Cloning snapshots the full release history (streaming sessions fork
+/// adversary state this way); [`TheoremBuilder::reset`] rewinds to `t = 0`
+/// while keeping the per-event precomputation.
+#[derive(Debug, Clone)]
 pub struct TheoremBuilder<'e, P> {
     engine: TwoWorldEngine<'e, P>,
     /// Suffix vectors `u_t`, index `t−1`, for `t = 1..=end` (lifted, `2m`).
@@ -140,6 +144,16 @@ impl<'e, P: TransitionProvider> TheoremBuilder<'e, P> {
     /// Reduced Theorem IV.1 `a` vector (constant across timesteps).
     pub fn a(&self) -> &Vector {
         &self.a
+    }
+
+    /// Rewinds to `t = 0`, discarding all committed emissions but keeping
+    /// the per-event precomputation (suffix products and `a`). Lets a
+    /// streaming session re-arm the same event/provider pairing without
+    /// paying [`TheoremBuilder::new`] again.
+    pub fn reset(&mut self) {
+        self.fwd_emissions.clear();
+        self.bwd_emissions.clear();
+        self.t = 0;
     }
 
     /// Computes the Theorem IV.1 inputs for releasing `emission_column` at
@@ -428,6 +442,43 @@ mod tests {
             assert!(loss.is_finite());
             builder.commit(e.clone()).unwrap();
         }
+    }
+
+    #[test]
+    fn reset_and_clone_replay_identically() {
+        let ev: StEvent = Presence::new(region(3, &[0, 1]), 2, 3).unwrap().into();
+        let mut builder = TheoremBuilder::new(&ev, chain()).unwrap();
+        let cols = [
+            Vector::from(vec![0.7, 0.2, 0.1]),
+            Vector::from(vec![0.2, 0.6, 0.2]),
+            Vector::from(vec![0.3, 0.3, 0.4]),
+        ];
+        let mut first = Vec::new();
+        for col in &cols {
+            first.push(builder.candidate(col).unwrap());
+            builder.commit(col.clone()).unwrap();
+        }
+        // A clone taken mid-stream carries the committed history.
+        builder.reset();
+        let snapshot = {
+            let mut b = builder.clone();
+            b.commit(cols[0].clone()).unwrap();
+            b
+        };
+        assert_eq!(builder.committed(), 0, "reset must rewind the original");
+        assert_eq!(snapshot.committed(), 1, "clone advances independently");
+        // Replaying after reset reproduces the exact inputs.
+        for (col, old) in cols.iter().zip(&first) {
+            let redo = builder.candidate(col).unwrap();
+            assert_eq!(redo.t, old.t);
+            assert!(redo.b.max_abs_diff(&old.b) < 1e-15);
+            assert!(redo.c.max_abs_diff(&old.c) < 1e-15);
+            assert_eq!(redo.bc_log_scale, old.bc_log_scale);
+            builder.commit(col.clone()).unwrap();
+        }
+        // The mid-stream snapshot matches the t=2 candidate of the replay.
+        let snap_inputs = snapshot.candidate(&cols[1]).unwrap();
+        assert!(snap_inputs.b.max_abs_diff(&first[1].b) < 1e-15);
     }
 
     #[test]

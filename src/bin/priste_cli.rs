@@ -8,6 +8,10 @@
 //!                     [--steps N] [--seed N]
 //! priste-cli check    --event SPEC [--epsilon F] [--alpha F] [--side N]
 //!                     [--sigma F] [--steps N] [--seed N]
+//! priste-cli stream   [--users N] [--steps N] [--kind synthetic|commuter]
+//!                     [--event SPEC] [--epsilon F] [--alpha F] [--side N]
+//!                     [--sigma F] [--shards N] [--linger N] [--budget F]
+//!                     [--seed N]
 //! ```
 //!
 //! * `world` — build a mobility world and print its summary statistics.
@@ -18,8 +22,15 @@
 //!   diagnostic that shows what an uncalibrated mechanism leaks.
 //! * `check` — per-step Theorem IV.1 verdicts for a plain α-PLM stream:
 //!   which releases would PriSTE have refused?
+//! * `stream` — the `priste-online` streaming service: simulate N users
+//!   over a synthetic or commuter (GeoLife-sim) feed, ingest every release
+//!   through the sharded session manager, and report per-user privacy
+//!   verdicts plus throughput (throughput goes to stderr so stdout stays
+//!   deterministic under `--seed`).
 //!
 //! Events use the paper's notation, e.g. `"PRESENCE(S={1:10}, T={4:8})"`.
+//! `stream` events are *attach-relative*: `T={2:4}` means timestamps 2–4 of
+//! each user's session.
 
 use priste::prelude::*;
 use rand::rngs::StdRng;
@@ -45,7 +56,10 @@ const USAGE: &str = "usage:
   priste-cli protect  --event SPEC [--epsilon F] [--alpha F] [--delta F]
                       [--side N] [--sigma F] [--steps N] [--seed N]
   priste-cli quantify --event SPEC [--alpha F] [--side N] [--sigma F] [--steps N] [--seed N]
-  priste-cli check    --event SPEC [--epsilon F] [--alpha F] [--side N] [--sigma F] [--steps N] [--seed N]";
+  priste-cli check    --event SPEC [--epsilon F] [--alpha F] [--side N] [--sigma F] [--steps N] [--seed N]
+  priste-cli stream   [--users N] [--steps N] [--kind synthetic|commuter] [--event SPEC]
+                      [--epsilon F] [--alpha F] [--side N] [--sigma F]
+                      [--shards N] [--linger N] [--budget F] [--seed N]";
 
 /// Parsed `--key value` flags.
 struct Flags(BTreeMap<String, String>);
@@ -114,6 +128,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "protect" => cmd_protect(&flags),
         "quantify" => cmd_quantify(&flags),
         "check" => cmd_check(&flags),
+        "stream" => cmd_stream(&flags),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -334,6 +349,135 @@ fn cmd_check(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// The `priste-online` streaming service over a simulated N-user feed.
+fn cmd_stream(flags: &Flags) -> Result<(), String> {
+    let users = flags.usize_or("users", 100)?;
+    let steps = flags.usize_or("steps", 24)?;
+    if users == 0 || steps == 0 {
+        return Err("--users and --steps must be at least 1".into());
+    }
+    let kind = flags.str_or("kind", "synthetic");
+    let seed = flags.u64_or("seed", 1)?;
+    let alpha = flags.f64_or("alpha", 0.5)?;
+
+    // World: a synthetic Gaussian-kernel grid or the commuter simulator.
+    let (grid, chain) = match kind {
+        "synthetic" => world_from_flags(flags)?,
+        "commuter" => {
+            let side = flags.usize_or("side", 10)?;
+            let world = geolife_sim::build(&geolife_sim::CommuterConfig {
+                rows: side,
+                cols: side,
+                seed,
+                ..Default::default()
+            })
+            .map_err(|e| e.to_string())?;
+            (world.grid, world.chain)
+        }
+        other => {
+            return Err(format!(
+                "--kind must be synthetic or commuter, got {other:?}"
+            ))
+        }
+    };
+    let m = grid.num_cells();
+    let default_event = format!("PRESENCE(S={{1:{}}}, T={{2:4}})", (m / 4).max(1));
+    let event = parse_event(flags.str_or("event", &default_event), m).map_err(|e| e.to_string())?;
+
+    let config = OnlineConfig {
+        epsilon: flags.f64_or("epsilon", 1.0)?,
+        num_shards: flags.usize_or("shards", 8)?,
+        linger: flags.usize_or("linger", 2)?,
+        budget: flags.f64_or("budget", 20.0)?,
+    };
+    let provider = std::rc::Rc::new(Homogeneous::new(chain.clone()));
+    let mut service =
+        SessionManager::new(std::rc::Rc::clone(&provider), config).map_err(|e| e.to_string())?;
+    let template = service
+        .register_template(event)
+        .map_err(|e| e.to_string())?;
+
+    // Users: seeded trajectories from the world's own mobility model; one
+    // protected event window each, released through a shared α-PLM.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let plm = PlanarLaplace::new(grid, alpha).map_err(|e| e.to_string())?;
+    let mut trajectories = Vec::with_capacity(users);
+    for u in 0..users as u64 {
+        service
+            .add_user(UserId(u), Vector::uniform(m))
+            .map_err(|e| e.to_string())?;
+        service
+            .attach_event(UserId(u), template)
+            .map_err(|e| e.to_string())?;
+        trajectories.push(
+            chain
+                .sample_trajectory_from(&Vector::uniform(m), steps, &mut rng)
+                .map_err(|e| e.to_string())?,
+        );
+    }
+
+    // Feed: one batch per timestamp, every user releasing one observation.
+    let mut worst_loss = vec![0.0f64; users];
+    let mut violations = vec![0usize; users];
+    let started = std::time::Instant::now();
+    #[allow(clippy::needless_range_loop)] // column-wise access across per-user rows
+    for t in 0..steps {
+        let batch: Vec<(UserId, Vector)> = (0..users)
+            .map(|u| {
+                let observed = plm.perturb(trajectories[u][t], &mut rng);
+                (UserId(u as u64), plm.emission_column(observed))
+            })
+            .collect();
+        for report in service.ingest_batch(&batch).map_err(|e| e.to_string())? {
+            let u = report.user.0 as usize;
+            if report.worst_loss.is_finite() {
+                worst_loss[u] = worst_loss[u].max(report.worst_loss);
+            } else {
+                worst_loss[u] = f64::INFINITY;
+            }
+            violations[u] += report
+                .windows
+                .iter()
+                .filter(|w| w.verdict == Verdict::Violated)
+                .count();
+        }
+    }
+    let elapsed = started.elapsed();
+
+    println!("user,observations,worst_loss,violations,budget_remaining,exhausted");
+    for u in 0..users as u64 {
+        let session = service.session(UserId(u)).expect("registered above");
+        println!(
+            "{},{},{:.6},{},{:.4},{}",
+            u,
+            session.observed(),
+            worst_loss[u as usize],
+            violations[u as usize],
+            session.ledger().remaining(),
+            session.ledger().exhausted()
+        );
+    }
+    let stats = service.stats();
+    println!(
+        "total,{} users,{} observations,{} certified,{} violated,{} mismatched,{} evicted",
+        users,
+        stats.observations,
+        stats.certified,
+        stats.violated,
+        stats.mismatched,
+        stats.evicted_windows
+    );
+    // Timing is non-deterministic: keep it off stdout.
+    eprintln!(
+        "throughput: {} observations in {:.3}s ({:.0} obs/s, {} shards)",
+        stats.observations,
+        elapsed.as_secs_f64(),
+        stats.observations as f64 / elapsed.as_secs_f64().max(1e-9),
+        service.config().num_shards
+    );
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -396,6 +540,32 @@ mod tests {
         let f = Flags::parse(&args(&base)).unwrap();
         cmd_quantify(&f).unwrap();
         cmd_check(&f).unwrap();
+    }
+
+    #[test]
+    fn stream_command_runs_both_feeds() {
+        let f = Flags::parse(&args(&[
+            "--users", "6", "--steps", "5", "--side", "4", "--seed", "9",
+        ]))
+        .unwrap();
+        cmd_stream(&f).unwrap();
+        let f = Flags::parse(&args(&[
+            "--users", "4", "--steps", "5", "--side", "6", "--kind", "commuter", "--seed", "9",
+        ]))
+        .unwrap();
+        cmd_stream(&f).unwrap();
+    }
+
+    #[test]
+    fn stream_command_validates_input() {
+        let f = Flags::parse(&args(&["--users", "0"])).unwrap();
+        assert!(cmd_stream(&f).is_err());
+        let f = Flags::parse(&args(&["--kind", "martian"])).unwrap();
+        assert!(cmd_stream(&f).is_err());
+        let f = Flags::parse(&args(&["--event", "NOPE()", "--side", "4"])).unwrap();
+        assert!(cmd_stream(&f).is_err());
+        let f = Flags::parse(&args(&["--epsilon", "0", "--side", "4"])).unwrap();
+        assert!(cmd_stream(&f).is_err());
     }
 
     #[test]

@@ -58,6 +58,7 @@
 //! | [`quantify`] | two-possible-world engine (Lemmas III.1–III.3) |
 //! | [`qp`] | Theorem IV.1 constraint checking (CPLEX substitute) |
 //! | [`core`] | the PriSTE framework (Algorithms 1–3) + experiment runner |
+//! | [`online`] | streaming multi-user service: sessions, sharding, incremental checks |
 //! | [`data`] | synthetic worlds, GeoLife parsing, commuter simulator |
 
 #![warn(missing_docs)]
@@ -70,6 +71,7 @@ pub use priste_geo as geo;
 pub use priste_linalg as linalg;
 pub use priste_lppm as lppm;
 pub use priste_markov as markov;
+pub use priste_online as online;
 pub use priste_qp as qp;
 pub use priste_quantify as quantify;
 
@@ -90,9 +92,13 @@ pub mod prelude {
         gaussian_kernel_chain, stationary_distribution, train_mle, Homogeneous, MarkovModel,
         TimeVarying, TransitionProvider,
     };
+    pub use priste_online::{
+        OnlineConfig, OnlineError, ServiceStats, SessionManager, UserId, UserReport, Verdict,
+        WindowReport,
+    };
     pub use priste_qp::{ConstraintSet, SolverConfig, TheoremChecker, TheoremVerdict};
     pub use priste_quantify::{
         attack::BayesianAdversary, fixed_pi::FixedPiQuantifier, forward_backward, naive,
-        TheoremBuilder, TwoWorldEngine,
+        IncrementalTwoWorld, StreamStep, TheoremBuilder, TwoWorldEngine,
     };
 }

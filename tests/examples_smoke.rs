@@ -72,6 +72,54 @@ fn cli_is_deterministic_under_a_fixed_seed() {
     assert_eq!(out1, out2, "same seed must reproduce the same releases");
 }
 
+#[test]
+fn cli_stream_runs_and_reports_all_users() {
+    let (ok, stdout, stderr) = run_cli(&[
+        "stream", "--users", "10", "--steps", "6", "--side", "4", "--seed", "5",
+    ]);
+    assert!(ok, "stream failed: {stderr}");
+    // Header + one line per user + totals.
+    assert_eq!(stdout.lines().count(), 12, "unexpected output: {stdout}");
+    assert!(stdout.starts_with("user,observations,worst_loss"));
+    assert!(stdout.contains("total,10 users,60 observations"));
+    assert!(
+        stderr.contains("throughput:"),
+        "throughput goes to stderr: {stderr}"
+    );
+}
+
+#[test]
+fn cli_stream_is_deterministic_under_a_fixed_seed() {
+    let args = [
+        "stream", "--users", "8", "--steps", "5", "--side", "4", "--seed", "11",
+    ];
+    let (ok1, out1, err1) = run_cli(&args);
+    let (ok2, out2, _) = run_cli(&args);
+    assert!(ok1 && ok2, "stream failed: {err1}");
+    assert_eq!(out1, out2, "same seed must reproduce the same verdicts");
+    // A different seed must actually change the feed.
+    let mut reseeded = args;
+    reseeded[reseeded.len() - 1] = "12";
+    let (ok3, out3, _) = run_cli(&reseeded);
+    assert!(ok3);
+    assert_ne!(out1, out3, "different seeds should differ");
+}
+
+#[test]
+fn cli_stream_exits_nonzero_on_bad_input() {
+    for bad in [
+        vec!["stream", "--users", "0"],
+        vec!["stream", "--kind", "martian"],
+        vec!["stream", "--event", "NOPE()", "--side", "4"],
+        vec!["stream", "--epsilon", "-1", "--side", "4"],
+        vec!["stream", "--users", "not-a-number"],
+    ] {
+        let (ok, _stdout, stderr) = run_cli(&bad);
+        assert!(!ok, "{bad:?} should fail");
+        assert!(stderr.contains("usage:"), "no usage in: {stderr}");
+    }
+}
+
 /// `examples/quickstart.rs` (seeded with `StdRng::seed_from_u64(42)`) must
 /// run to completion. Spawned through the same cargo that is running the
 /// tests; the dev-profile example artifact is already built, so this is a
