@@ -1,0 +1,78 @@
+use priste_lppm::LppmError;
+use priste_quantify::QuantifyError;
+use std::fmt;
+
+/// Errors produced by the calibration layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CalibrateError {
+    /// A mechanism-layer error (rebuilding an LPPM at a decayed budget).
+    Lppm(LppmError),
+    /// A quantification-layer error (domain mismatches, bad distributions,
+    /// degenerate priors, zero-likelihood observations).
+    Quantify(QuantifyError),
+    /// A planner or guard configuration failed validation.
+    InvalidConfig {
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for CalibrateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CalibrateError::Lppm(e) => write!(f, "mechanism error: {e}"),
+            CalibrateError::Quantify(e) => write!(f, "quantification error: {e}"),
+            CalibrateError::InvalidConfig { message } => {
+                write!(f, "invalid calibration configuration: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CalibrateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CalibrateError::Lppm(e) => Some(e),
+            CalibrateError::Quantify(e) => Some(e),
+            CalibrateError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<LppmError> for CalibrateError {
+    fn from(e: LppmError) -> Self {
+        CalibrateError::Lppm(e)
+    }
+}
+
+impl From<QuantifyError> for CalibrateError {
+    fn from(e: QuantifyError) -> Self {
+        CalibrateError::Quantify(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_every_variant() {
+        for e in [
+            CalibrateError::Lppm(LppmError::InvalidBudget { value: -1.0 }),
+            CalibrateError::Quantify(QuantifyError::DegeneratePrior { prior: 0.0 }),
+            CalibrateError::InvalidConfig {
+                message: "x".into(),
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn conversions_chain_sources() {
+        let e: CalibrateError = LppmError::InvalidBudget { value: 0.0 }.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: CalibrateError = QuantifyError::ZeroLikelihood { t: 3 }.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,568 @@
+//! The offline budget planner: given a mobility model, a protected event,
+//! a horizon, and a target event budget ε*, search per-timestep location
+//! budgets ε_t such that *every observation the mechanism can emit*
+//! certifies Theorem IV.1 at ε* — for every adversarial initial
+//! distribution, the strongest guarantee the framework defines.
+//!
+//! Two planners share one evaluation oracle:
+//!
+//! * [`plan_greedy`] — greedy-forward: each timestep starts from the
+//!   previous step's budget, descends the geometric ladder until all `m`
+//!   emission columns certify at ε*, and climbs back toward the base
+//!   budget when slack allows (utility recovers after the event window).
+//! * [`plan_uniform_split`] — the sequential-composition baseline from
+//!   the per-timestep budget semantics of arXiv:1410.5919: the target is
+//!   split evenly, `ε_t = ε*/T`. Provably conservative; the planner
+//!   evaluates it with the same oracle so the two plans are directly
+//!   comparable (greedy should certify at a much larger mean budget).
+//!
+//! ### The canonical history
+//! Theorem IV.1 at timestep `t` conditions on the committed prefix
+//! `o_1..o_{t−1}`. A plan cannot enumerate all `m^{t−1}` prefixes, so the
+//! planner advances its [`TheoremBuilder`] along the **worst-column
+//! path**: after each step it commits the most revealing emission column
+//! the planned mechanism could have produced, selected by its exact
+//! uniform-prior realized loss (a closed form, so the choice is invariant
+//! under the `threads` knob). Per-step verdicts are exact for that
+//! canonical history and a deliberate stress test for the others; the
+//! online [`guard`](crate::guard) is what certifies the *realized* prefix
+//! at run time.
+
+use crate::guard::MechanismCache;
+use crate::{CalibrateError, Result};
+use priste_event::StEvent;
+use priste_geo::CellId;
+use priste_linalg::Vector;
+use priste_lppm::Lppm;
+use priste_markov::TransitionProvider;
+use priste_qp::{SolverConfig, TheoremChecker};
+use priste_quantify::sweep::min_certifiable_epsilons;
+use priste_quantify::{TheoremBuilder, TheoremInputs};
+
+/// Tunables of the offline planners.
+#[derive(Debug, Clone)]
+pub struct PlannerConfig {
+    /// Geometric ladder factor in `(0, 1)` for the budget search.
+    pub backoff: f64,
+    /// Smallest per-step location budget before a step is declared
+    /// infeasible.
+    pub floor: f64,
+    /// Lower end of the ε-capacity bisection bracket.
+    pub eps_floor: f64,
+    /// Upper end of the ε-capacity bisection bracket (raised to the target
+    /// automatically); capacities beyond it are reported as `None`.
+    pub eps_ceiling: f64,
+    /// ε-capacity bisection tolerance.
+    pub tolerance: f64,
+    /// Worker threads for the per-column oracle fan-out (`std::thread`
+    /// scoped; 1 = sequential).
+    pub threads: usize,
+    /// Budget and tolerances of the underlying Theorem IV.1 checks.
+    pub solver: SolverConfig,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            backoff: 0.5,
+            floor: 1e-3,
+            eps_floor: 1e-4,
+            eps_ceiling: 16.0,
+            tolerance: 1e-3,
+            threads: 1,
+            solver: SolverConfig::default(),
+        }
+    }
+}
+
+impl PlannerConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// [`CalibrateError::InvalidConfig`] naming the bad field.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.backoff > 0.0 && self.backoff < 1.0) {
+            return Err(CalibrateError::InvalidConfig {
+                message: format!("backoff must be in (0, 1), got {}", self.backoff),
+            });
+        }
+        if !(self.floor > 0.0 && self.floor.is_finite()) {
+            return Err(CalibrateError::InvalidConfig {
+                message: format!("floor must be positive and finite, got {}", self.floor),
+            });
+        }
+        if !(self.eps_floor > 0.0 && self.eps_floor < self.eps_ceiling) {
+            return Err(CalibrateError::InvalidConfig {
+                message: format!(
+                    "need 0 < eps_floor < eps_ceiling, got [{}, {}]",
+                    self.eps_floor, self.eps_ceiling
+                ),
+            });
+        }
+        if !(self.tolerance > 0.0 && self.tolerance.is_finite()) {
+            return Err(CalibrateError::InvalidConfig {
+                message: format!("tolerance must be positive, got {}", self.tolerance),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One timestep of a [`BudgetPlan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedStep {
+    /// Timestep (1-based).
+    pub t: usize,
+    /// The planned per-step location budget ε_t.
+    pub budget: f64,
+    /// Worst-case ε-capacity at that budget: the smallest event ε any of
+    /// the mechanism's `m` emission columns can certify, maximized over
+    /// columns. `None` when it exceeds the report ceiling.
+    pub capacity: Option<f64>,
+    /// `ε* − capacity` (`-∞` when the capacity is off the scale).
+    pub slack: f64,
+    /// Whether every emission column certifies ε* at this budget.
+    pub certified: bool,
+    /// Ladder rungs evaluated while searching this step's budget.
+    pub rungs: usize,
+}
+
+/// A per-timestep budget assignment with its verdicts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetPlan {
+    /// The target event budget ε* the plan was built for.
+    pub target: f64,
+    /// Per-timestep budgets and verdicts.
+    pub steps: Vec<PlannedStep>,
+}
+
+impl BudgetPlan {
+    /// Whether every step certifies the target.
+    pub fn all_certified(&self) -> bool {
+        self.steps.iter().all(|s| s.certified)
+    }
+
+    /// Number of certified steps.
+    pub fn certified_steps(&self) -> usize {
+        self.steps.iter().filter(|s| s.certified).count()
+    }
+
+    /// The event budget the plan actually certifies — the worst per-step
+    /// capacity — when every step is certified; `None` otherwise.
+    pub fn certified_epsilon(&self) -> Option<f64> {
+        if !self.all_certified() {
+            return None;
+        }
+        self.steps
+            .iter()
+            .map(|s| s.capacity.unwrap_or(f64::INFINITY))
+            .fold(None, |acc: Option<f64>, c| {
+                Some(acc.map_or(c, |a| a.max(c)))
+            })
+    }
+
+    /// Mean per-step location budget — the plan's utility proxy (larger
+    /// budgets mean less noise).
+    pub fn mean_budget(&self) -> f64 {
+        if self.steps.is_empty() {
+            return 0.0;
+        }
+        self.steps.iter().map(|s| s.budget).sum::<f64>() / self.steps.len() as f64
+    }
+}
+
+/// Greedy-forward planner: per-step geometric budget search against the
+/// all-columns Theorem IV.1 oracle, warm-started from the previous step.
+/// See the module docs for the guarantee and the canonical-history caveat.
+///
+/// # Errors
+/// Configuration validation; domain mismatches; mechanism rebuilds;
+/// quantification failures.
+pub fn plan_greedy<P: TransitionProvider>(
+    lppm: Box<dyn Lppm>,
+    event: &StEvent,
+    provider: P,
+    horizon: usize,
+    target: f64,
+    config: &PlannerConfig,
+) -> Result<BudgetPlan> {
+    let mut planner = Planner::new(lppm, event, provider, horizon, target, config)?;
+    let mut previous = planner.cache.base_budget();
+    for _ in 0..horizon {
+        previous = planner.plan_step_greedy(previous)?;
+    }
+    Ok(planner.finish())
+}
+
+/// Uniform-split baseline: every timestep gets `ε*/T`, evaluated by the
+/// same oracle (no search). The sequential-composition bound makes the
+/// split provably safe when the per-step budget is read as a location-DP
+/// level; here it is evaluated exactly, so over-conservatism shows up as
+/// large per-step slack.
+///
+/// # Errors
+/// See [`plan_greedy`].
+pub fn plan_uniform_split<P: TransitionProvider>(
+    lppm: Box<dyn Lppm>,
+    event: &StEvent,
+    provider: P,
+    horizon: usize,
+    target: f64,
+    config: &PlannerConfig,
+) -> Result<BudgetPlan> {
+    let mut planner = Planner::new(lppm, event, provider, horizon, target, config)?;
+    let split = target / horizon as f64;
+    for _ in 0..horizon {
+        planner.plan_step_fixed(split)?;
+    }
+    Ok(planner.finish())
+}
+
+/// Shared planner state: the mechanism ladder cache, the Theorem builder
+/// advanced along the canonical worst-column history, and the accumulated
+/// steps.
+struct Planner<'e, P> {
+    cache: MechanismCache,
+    builder: TheoremBuilder<'e, P>,
+    target: f64,
+    eps_hi: f64,
+    config: PlannerConfig,
+    warm_capacity: Option<f64>,
+    steps: Vec<PlannedStep>,
+}
+
+impl<'e, P: TransitionProvider> Planner<'e, P> {
+    fn new(
+        lppm: Box<dyn Lppm>,
+        event: &'e StEvent,
+        provider: P,
+        horizon: usize,
+        target: f64,
+        config: &PlannerConfig,
+    ) -> Result<Self> {
+        config.validate()?;
+        if horizon == 0 {
+            return Err(CalibrateError::InvalidConfig {
+                message: "horizon must be at least 1".into(),
+            });
+        }
+        if !(target > 0.0 && target.is_finite()) {
+            return Err(CalibrateError::InvalidConfig {
+                message: format!("target must be positive and finite, got {target}"),
+            });
+        }
+        crate::guard::validate_mechanism(lppm.as_ref(), provider.num_states(), config.floor)?;
+        let builder = TheoremBuilder::new(event, provider)?;
+        Ok(Planner {
+            cache: MechanismCache::new(lppm),
+            builder,
+            target,
+            eps_hi: config.eps_ceiling.max(target),
+            config: config.clone(),
+            warm_capacity: None,
+            steps: Vec::with_capacity(horizon),
+        })
+    }
+
+    /// All `m` candidate emission columns and their Theorem inputs at one
+    /// budget, against the current committed history.
+    fn step_inputs(&mut self, budget: f64) -> Result<(Vec<Vector>, Vec<TheoremInputs>)> {
+        let mechanism = self.cache.at(budget)?;
+        let m = mechanism.num_cells();
+        let mut columns = Vec::with_capacity(m);
+        let mut inputs = Vec::with_capacity(m);
+        for o in 0..m {
+            let col = mechanism.emission_column(CellId(o));
+            inputs.push(self.builder.candidate(&col)?);
+            columns.push(col);
+        }
+        Ok((columns, inputs))
+    }
+
+    /// Whether every candidate column certifies the target, fanned out over
+    /// the configured worker threads.
+    fn all_certify(&self, inputs: &[TheoremInputs]) -> bool {
+        let epsilon = self.target;
+        let solver = &self.config.solver;
+        let check = |chunk: &[TheoremInputs]| {
+            chunk.iter().all(|inp| {
+                TheoremChecker::new(epsilon, solver.clone())
+                    .check(&inp.a, &inp.b, &inp.c)
+                    .satisfied()
+            })
+        };
+        let threads = self.config.threads.clamp(1, inputs.len().max(1));
+        if threads == 1 {
+            return check(inputs);
+        }
+        let chunk_len = inputs.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = inputs
+                .chunks(chunk_len)
+                .map(|chunk| scope.spawn(move || check(chunk)))
+                .collect();
+            handles
+                .into_iter()
+                .all(|h| h.join().expect("planner worker panicked"))
+        })
+    }
+
+    /// Greedy search for one timestep starting from `start` (the previous
+    /// step's budget); returns the chosen budget for warm-starting the
+    /// next step.
+    fn plan_step_greedy(&mut self, start: f64) -> Result<f64> {
+        let base = self.cache.base_budget();
+        let cfg = self.config.clone();
+        let mut budget = start.clamp(cfg.floor, base);
+        let mut rungs = 0usize;
+
+        // Descend until feasible; the floor is always the last rung
+        // actually evaluated before a step is declared infeasible.
+        let (mut columns, mut inputs, feasible) = loop {
+            rungs += 1;
+            let (cols, inp) = self.step_inputs(budget)?;
+            if self.all_certify(&inp) {
+                break (cols, inp, true);
+            }
+            if budget <= cfg.floor {
+                break (cols, inp, false);
+            }
+            budget = (budget * cfg.backoff).max(cfg.floor);
+        };
+
+        // Climb back toward the base budget while slack allows.
+        if feasible {
+            while budget < base {
+                let up = (budget / cfg.backoff).min(base);
+                rungs += 1;
+                let (cols, inp) = self.step_inputs(up)?;
+                if self.all_certify(&inp) {
+                    budget = up;
+                    columns = cols;
+                    inputs = inp;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        self.record_step(budget, feasible, rungs, &columns, &inputs)?;
+        Ok(budget)
+    }
+
+    /// Evaluates one timestep at a fixed budget (no search).
+    fn plan_step_fixed(&mut self, budget: f64) -> Result<()> {
+        let budget = budget.max(self.config.floor);
+        let (columns, inputs) = self.step_inputs(budget)?;
+        let feasible = self.all_certify(&inputs);
+        self.record_step(budget, feasible, 1, &columns, &inputs)
+    }
+
+    /// Bisects per-column capacities for reporting, records the step, and
+    /// commits the most-revealing column as the canonical history.
+    fn record_step(
+        &mut self,
+        budget: f64,
+        certified: bool,
+        rungs: usize,
+        columns: &[Vector],
+        inputs: &[TheoremInputs],
+    ) -> Result<()> {
+        let cfg = &self.config;
+        let capacities = min_certifiable_epsilons(
+            inputs,
+            cfg.eps_floor,
+            self.eps_hi,
+            cfg.tolerance,
+            &cfg.solver,
+            cfg.threads,
+            self.warm_capacity,
+        );
+        // Step capacity: the worst per-column capacity; off-scale columns
+        // (`None`) make the whole step off-scale.
+        let capacity = capacities
+            .iter()
+            .map(|c| c.min_epsilon)
+            .try_fold(f64::NEG_INFINITY, |acc, c| c.map(|v| acc.max(v)));
+        // Canonical history: commit the most-revealing column, selected by
+        // its *exact* closed-form realized loss under the uniform prior —
+        // NOT by the bisected capacities, whose trailing bits shift with
+        // warm-start chunk boundaries and would make the plan depend on
+        // the `threads` knob whenever symmetric columns tie.
+        let uniform = Vector::uniform(columns[0].len());
+        let (worst_idx, _) = inputs
+            .iter()
+            .map(|inp| inp.privacy_loss(&uniform).unwrap_or(f64::INFINITY))
+            .enumerate()
+            .fold((0, f64::NEG_INFINITY), |(bi, bv), (i, v)| {
+                if v > bv {
+                    (i, v)
+                } else {
+                    (bi, bv)
+                }
+            });
+        self.warm_capacity = capacity;
+        self.steps.push(PlannedStep {
+            t: self.steps.len() + 1,
+            budget,
+            capacity,
+            slack: capacity.map_or(f64::NEG_INFINITY, |c| self.target - c),
+            certified,
+            rungs,
+        });
+        self.builder.commit(columns[worst_idx].clone())?;
+        Ok(())
+    }
+
+    fn finish(self) -> BudgetPlan {
+        BudgetPlan {
+            target: self.target,
+            steps: self.steps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use priste_event::Presence;
+    use priste_geo::{GridMap, Region};
+    use priste_lppm::PlanarLaplace;
+    use priste_markov::{gaussian_kernel_chain, Homogeneous};
+
+    fn world() -> (GridMap, Homogeneous) {
+        let grid = GridMap::new(3, 3, 1.0).unwrap();
+        let chain = gaussian_kernel_chain(&grid, 1.0).unwrap();
+        (grid, Homogeneous::new(chain))
+    }
+
+    fn presence(m: usize) -> StEvent {
+        Presence::new(Region::from_one_based_range(m, 1, 3).unwrap(), 2, 3)
+            .unwrap()
+            .into()
+    }
+
+    fn plm(grid: &GridMap, alpha: f64) -> Box<dyn Lppm> {
+        Box::new(PlanarLaplace::new(grid.clone(), alpha).unwrap())
+    }
+
+    #[test]
+    fn greedy_certifies_and_beats_uniform_split_on_utility() {
+        let (grid, provider) = world();
+        let event = presence(grid.num_cells());
+        let cfg = PlannerConfig::default();
+        let greedy = plan_greedy(plm(&grid, 2.0), &event, provider.clone(), 4, 1.0, &cfg).unwrap();
+        assert!(greedy.all_certified(), "greedy plan: {greedy:?}");
+        let certified = greedy.certified_epsilon().unwrap();
+        assert!(
+            certified <= 1.0 + cfg.tolerance,
+            "certified ε {certified} must not exceed the target"
+        );
+        let uniform = plan_uniform_split(plm(&grid, 2.0), &event, provider, 4, 1.0, &cfg).unwrap();
+        assert!(
+            greedy.mean_budget() >= uniform.mean_budget(),
+            "greedy {} must not waste more budget than the uniform split {}",
+            greedy.mean_budget(),
+            uniform.mean_budget()
+        );
+    }
+
+    #[test]
+    fn per_step_slack_is_consistent() {
+        let (grid, provider) = world();
+        let event = presence(grid.num_cells());
+        let plan = plan_greedy(
+            plm(&grid, 1.0),
+            &event,
+            provider,
+            3,
+            1.5,
+            &PlannerConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(plan.steps.len(), 3);
+        for (i, s) in plan.steps.iter().enumerate() {
+            assert_eq!(s.t, i + 1);
+            assert!(s.rungs >= 1);
+            if let Some(c) = s.capacity {
+                assert!((s.slack - (1.5 - c)).abs() < 1e-12);
+                if s.certified {
+                    assert!(c <= 1.5 + 1e-3, "certified step with capacity {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_planning_matches_sequential() {
+        let (grid, provider) = world();
+        let event = presence(grid.num_cells());
+        let seq_cfg = PlannerConfig::default();
+        let par_cfg = PlannerConfig {
+            threads: 3,
+            ..PlannerConfig::default()
+        };
+        let seq = plan_greedy(plm(&grid, 2.0), &event, provider.clone(), 3, 0.8, &seq_cfg).unwrap();
+        let par = plan_greedy(plm(&grid, 2.0), &event, provider, 3, 0.8, &par_cfg).unwrap();
+        assert_eq!(seq.steps.len(), par.steps.len());
+        for (s, p) in seq.steps.iter().zip(&par.steps) {
+            assert_eq!(s.budget, p.budget, "budget choice must be thread-invariant");
+            assert_eq!(s.certified, p.certified);
+        }
+    }
+
+    #[test]
+    fn infeasible_targets_are_reported_not_hidden() {
+        let (grid, provider) = world();
+        let event = presence(grid.num_cells());
+        // A floor of 0.5 with a sharp mechanism cannot certify ε* = 1e-4.
+        let cfg = PlannerConfig {
+            floor: 0.5,
+            ..PlannerConfig::default()
+        };
+        let plan = plan_greedy(plm(&grid, 2.0), &event, provider, 3, 1e-4, &cfg).unwrap();
+        assert!(!plan.all_certified());
+        assert_eq!(plan.certified_epsilon(), None);
+        assert!(plan.steps.iter().any(|s| !s.certified && s.slack < 0.0));
+    }
+
+    #[test]
+    fn planner_rejects_bad_inputs() {
+        let (grid, provider) = world();
+        let event = presence(grid.num_cells());
+        let cfg = PlannerConfig::default();
+        assert!(matches!(
+            plan_greedy(plm(&grid, 1.0), &event, provider.clone(), 0, 1.0, &cfg),
+            Err(CalibrateError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            plan_greedy(plm(&grid, 1.0), &event, provider.clone(), 3, -1.0, &cfg),
+            Err(CalibrateError::InvalidConfig { .. })
+        ));
+        let other = GridMap::new(2, 2, 1.0).unwrap();
+        assert!(matches!(
+            plan_greedy(plm(&other, 1.0), &event, provider, 3, 1.0, &cfg),
+            Err(CalibrateError::InvalidConfig { .. })
+        ));
+        let bad = PlannerConfig {
+            backoff: 0.0,
+            ..PlannerConfig::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn planner_rejects_a_floor_above_the_base_budget() {
+        let (grid, provider) = world();
+        let event = presence(grid.num_cells());
+        let cfg = PlannerConfig {
+            floor: 3.0,
+            ..PlannerConfig::default()
+        };
+        // α = 2 < floor = 3: must be a config error, not a clamp panic.
+        assert!(matches!(
+            plan_greedy(plm(&grid, 2.0), &event, provider, 2, 1.0, &cfg),
+            Err(CalibrateError::InvalidConfig { .. })
+        ));
+    }
+}

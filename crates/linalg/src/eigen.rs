@@ -50,7 +50,7 @@ const MAX_SWEEPS: usize = 64;
 /// * [`LinalgError::NotSymmetric`] if `a` deviates from symmetry by more than
 ///   `1e-8 × max|a|`.
 /// * [`LinalgError::NoConvergence`] if the off-diagonal mass does not vanish
-///   within [`MAX_SWEEPS`] sweeps (practically unreachable for finite input).
+///   within the 64-sweep internal cap (practically unreachable for finite input).
 /// * [`LinalgError::Empty`] for a 0×0 input.
 pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen> {
     let n = a.rows();

@@ -1,3 +1,4 @@
+use priste_calibrate::CalibrateError;
 use priste_quantify::QuantifyError;
 use std::fmt;
 
@@ -7,6 +8,20 @@ pub enum OnlineError {
     /// A quantification-layer error (domain mismatches, bad distributions,
     /// malformed emission columns, degenerate priors, zero likelihoods).
     Quantify(QuantifyError),
+    /// A calibration-layer error from the enforcing-mode guard (mechanism
+    /// rebuilds, guard configuration).
+    Calibrate(CalibrateError),
+    /// [`SessionManager::release`](crate::SessionManager::release) was
+    /// called on a service that never enabled enforcement.
+    NotEnforcing,
+    /// A true location handed to the enforcing path was outside the
+    /// mechanism's domain.
+    InvalidLocation {
+        /// Offending 0-based cell index.
+        cell: usize,
+        /// Domain size.
+        num_cells: usize,
+    },
     /// The service configuration failed validation.
     InvalidConfig {
         /// What was wrong.
@@ -39,6 +54,16 @@ impl fmt::Display for OnlineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             OnlineError::Quantify(e) => write!(f, "quantification error: {e}"),
+            OnlineError::Calibrate(e) => write!(f, "calibration error: {e}"),
+            OnlineError::NotEnforcing => {
+                write!(f, "enforcing mode is not enabled on this service")
+            }
+            OnlineError::InvalidLocation { cell, num_cells } => {
+                write!(
+                    f,
+                    "true location {cell} outside the {num_cells}-cell domain"
+                )
+            }
             OnlineError::InvalidConfig { message } => {
                 write!(f, "invalid service configuration: {message}")
             }
@@ -58,6 +83,7 @@ impl std::error::Error for OnlineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             OnlineError::Quantify(e) => Some(e),
+            OnlineError::Calibrate(e) => Some(e),
             _ => None,
         }
     }
@@ -66,6 +92,12 @@ impl std::error::Error for OnlineError {
 impl From<QuantifyError> for OnlineError {
     fn from(e: QuantifyError) -> Self {
         OnlineError::Quantify(e)
+    }
+}
+
+impl From<CalibrateError> for OnlineError {
+    fn from(e: CalibrateError) -> Self {
+        OnlineError::Calibrate(e)
     }
 }
 
@@ -84,6 +116,14 @@ mod tests {
             OnlineError::DuplicateUser { user: 4 },
             OnlineError::UnknownTemplate { template: 5 },
             OnlineError::DuplicateObservation { user: 6 },
+            OnlineError::Calibrate(CalibrateError::InvalidConfig {
+                message: "y".into(),
+            }),
+            OnlineError::NotEnforcing,
+            OnlineError::InvalidLocation {
+                cell: 9,
+                num_cells: 4,
+            },
         ] {
             assert!(!e.to_string().is_empty());
         }

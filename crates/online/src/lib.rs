@@ -19,6 +19,15 @@
 //!   windows.
 //! * [`OnlineConfig`] — ε threshold, shard count, window linger, budget.
 //!
+//! Beyond the audit path, the service runs in **enforcing mode**:
+//! [`SessionManager::enable_enforcement`] hands it an
+//! [`Lppm`](priste_lppm::Lppm) plus a
+//! [`GuardConfig`](priste_calibrate::GuardConfig), and
+//! [`SessionManager::release`] then calibrates each user's release against
+//! their event windows (geometric budget backoff, suppression on
+//! exhaustion) *before* the observation leaves the mechanism — the windows
+//! consult the `priste-calibrate` guard instead of merely auditing.
+//!
 //! Share the mobility model across the fleet with `Rc`:
 //!
 //! ```
@@ -52,7 +61,7 @@ mod manager;
 pub mod session;
 
 pub use error::OnlineError;
-pub use manager::{OnlineConfig, ServiceStats, SessionManager};
+pub use manager::{EnforcedRelease, OnlineConfig, ServiceStats, SessionManager};
 pub use session::{BudgetLedger, Session, UserId, UserReport, Verdict, WindowReport};
 
 /// Convenience result alias.

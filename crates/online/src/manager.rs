@@ -3,10 +3,14 @@
 
 use crate::session::{report_from_step, EventWindow, Session, UserId, UserReport, Verdict};
 use crate::{OnlineError, Result};
+use priste_calibrate::{peek_worst_loss, run_guard, Decision, GuardConfig, MechanismCache};
 use priste_event::StEvent;
+use priste_geo::CellId;
 use priste_linalg::{Matrix, Vector};
+use priste_lppm::Lppm;
 use priste_markov::TransitionProvider;
 use priste_quantify::{QuantifyError, TwoWorldEngine};
+use rand::RngCore;
 use std::collections::BTreeMap;
 
 /// Service configuration.
@@ -77,6 +81,31 @@ pub struct ServiceStats {
     pub violated: usize,
     /// Windows dropped on zero-likelihood observations.
     pub mismatched: usize,
+    /// Enforcing-mode releases withheld by the guard.
+    pub suppressed: usize,
+}
+
+/// The enforcing-mode machinery: one shared mechanism ladder plus the
+/// guard configuration. Sessions in an enforcing service release through
+/// [`SessionManager::release`], which consults the user's event windows
+/// *before* anything leaves the mechanism.
+#[derive(Debug)]
+struct Enforcer {
+    cache: MechanismCache,
+    guard: GuardConfig,
+}
+
+/// Outcome of one enforcing-mode release.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnforcedRelease {
+    /// What the guard decided (released observation + budget, or
+    /// suppression).
+    pub decision: Decision,
+    /// Backoff attempts spent.
+    pub attempts: usize,
+    /// The standard per-user audit report for the committed column (the
+    /// released candidate's, or the flat column on suppression).
+    pub report: UserReport,
 }
 
 /// The streaming service: shards many users' [`Session`]s over one shared
@@ -106,6 +135,7 @@ pub struct SessionManager<P> {
     shards: Vec<BTreeMap<u64, Session<P>>>,
     config: OnlineConfig,
     stats: ServiceStats,
+    enforcer: Option<Enforcer>,
 }
 
 impl<P: TransitionProvider + Clone> SessionManager<P> {
@@ -122,6 +152,100 @@ impl<P: TransitionProvider + Clone> SessionManager<P> {
             shards,
             config,
             stats: ServiceStats::default(),
+            enforcer: None,
+        })
+    }
+
+    /// Switches the service into **enforcing mode**: instead of merely
+    /// auditing caller-supplied emission columns, the service itself holds
+    /// the mechanism and every [`SessionManager::release`] consults the
+    /// user's event windows through the calibration guard — shrinking the
+    /// location budget (geometric backoff) until the release certifies
+    /// `guard.target_epsilon`, and applying the guard's
+    /// [`OnExhaustion`](priste_calibrate::OnExhaustion) policy when nothing
+    /// feasible remains. The audit path ([`SessionManager::ingest_batch`])
+    /// stays available for observations produced elsewhere.
+    ///
+    /// # Errors
+    /// [`OnlineError::InvalidConfig`] when the mechanism's domain does not
+    /// match the mobility model; guard-configuration validation errors.
+    pub fn enable_enforcement(&mut self, lppm: Box<dyn Lppm>, guard: GuardConfig) -> Result<()> {
+        guard.validate()?;
+        priste_calibrate::validate_mechanism(
+            lppm.as_ref(),
+            self.provider.num_states(),
+            guard.floor,
+        )
+        .map_err(|e| OnlineError::InvalidConfig {
+            message: e.to_string(),
+        })?;
+        self.enforcer = Some(Enforcer {
+            cache: MechanismCache::new(lppm),
+            guard,
+        });
+        Ok(())
+    }
+
+    /// Whether enforcing mode is enabled.
+    pub fn enforcing(&self) -> bool {
+        self.enforcer.is_some()
+    }
+
+    /// Enforcing-mode release: calibrates one observation for the user's
+    /// *true* location, certifying it against every active event window
+    /// before it leaves the mechanism, then commits it through the normal
+    /// audit path (posterior filtering, ledger, eviction, stats).
+    ///
+    /// A window whose model assigns the candidate zero likelihood counts
+    /// as uncertifiable (loss `+∞`) rather than being evicted here — the
+    /// guard backs off, and only the *committed* column can evict.
+    ///
+    /// # Errors
+    /// [`OnlineError::NotEnforcing`] without
+    /// [`SessionManager::enable_enforcement`];
+    /// [`OnlineError::UnknownUser`]/[`OnlineError::InvalidLocation`] for a
+    /// bad request; calibration and quantification failures.
+    pub fn release(
+        &mut self,
+        id: UserId,
+        true_loc: CellId,
+        rng: &mut dyn RngCore,
+    ) -> Result<EnforcedRelease> {
+        let mut enforcer = self.enforcer.take().ok_or(OnlineError::NotEnforcing)?;
+        let outcome = {
+            let m = self.provider.num_states();
+            if true_loc.index() >= m {
+                self.enforcer = Some(enforcer);
+                return Err(OnlineError::InvalidLocation {
+                    cell: true_loc.index(),
+                    num_cells: m,
+                });
+            }
+            let shard = self.shard_of(id);
+            let Some(session) = self.shards[shard].get(&id.0) else {
+                self.enforcer = Some(enforcer);
+                return Err(OnlineError::UnknownUser { user: id.0 });
+            };
+            let result = run_guard(
+                &mut enforcer.cache,
+                &enforcer.guard,
+                true_loc,
+                rng,
+                |column| peek_worst_loss(session.windows.iter().map(|w| &w.state), column),
+            );
+            self.enforcer = Some(enforcer);
+            result?
+        };
+        let report = self.ingest(id, outcome.column)?;
+        // Count the suppression only once the flat column actually
+        // committed — a failed ingest must not skew the stats.
+        if outcome.decision == Decision::Suppressed {
+            self.stats.suppressed += 1;
+        }
+        Ok(EnforcedRelease {
+            decision: outcome.decision,
+            attempts: outcome.attempts.len(),
+            report,
         })
     }
 

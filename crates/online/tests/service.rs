@@ -393,3 +393,152 @@ fn plm_driven_feed_runs_end_to_end_on_a_grid_world() {
     assert!(stats.certified + stats.violated + stats.mismatched > 0);
     assert_eq!(svc.active_windows(), 0, "all windows evicted by t=8");
 }
+
+// --------------------------------------------------------------------------
+// Enforcing mode: the guard consults the session's windows before release.
+// --------------------------------------------------------------------------
+
+fn enforcing_service(
+    target: f64,
+) -> (
+    SessionManager<Rc<Homogeneous>>,
+    priste_geo::GridMap,
+    Homogeneous,
+) {
+    let grid = priste_geo::GridMap::new(3, 3, 1.0).unwrap();
+    let m = grid.num_cells();
+    let chain = gaussian_kernel_chain(&grid, 1.0).unwrap();
+    let provider = Rc::new(Homogeneous::new(chain.clone()));
+    let mut service = SessionManager::new(
+        Rc::clone(&provider),
+        OnlineConfig {
+            epsilon: target,
+            num_shards: 2,
+            linger: 2,
+            budget: 1e6,
+        },
+    )
+    .unwrap();
+    let tpl = service
+        .register_template(
+            Presence::new(Region::from_one_based_range(m, 1, 3).unwrap(), 2, 4)
+                .unwrap()
+                .into(),
+        )
+        .unwrap();
+    service.add_user(UserId(1), Vector::uniform(m)).unwrap();
+    service.attach_event(UserId(1), tpl).unwrap();
+    let plm: Box<dyn Lppm> = Box::new(PlanarLaplace::new(grid.clone(), 3.0).unwrap());
+    service
+        .enable_enforcement(
+            plm,
+            priste_calibrate::GuardConfig {
+                target_epsilon: target,
+                ..priste_calibrate::GuardConfig::default()
+            },
+        )
+        .unwrap();
+    (service, grid, Homogeneous::new(chain))
+}
+
+#[test]
+fn enforcing_release_certifies_every_step() {
+    let (mut service, _grid, _) = enforcing_service(0.6);
+    assert!(service.enforcing());
+    let mut rng = StdRng::seed_from_u64(11);
+    for &loc in &[0usize, 1, 4, 0, 8, 2] {
+        let rel = service.release(UserId(1), CellId(loc), &mut rng).unwrap();
+        assert!(
+            rel.report.worst_loss <= 0.6 + 1e-9,
+            "t={}: committed loss {} exceeds target",
+            rel.report.t,
+            rel.report.worst_loss
+        );
+        assert!(rel.attempts >= 1);
+        assert!(rel
+            .report
+            .windows
+            .iter()
+            .all(|w| w.verdict != Verdict::Violated));
+    }
+    assert_eq!(service.session(UserId(1)).unwrap().observed(), 6);
+}
+
+#[test]
+fn enforcing_release_suppresses_when_nothing_feasible() {
+    let grid = priste_geo::GridMap::new(3, 3, 1.0).unwrap();
+    let m = grid.num_cells();
+    let provider = Rc::new(Homogeneous::new(gaussian_kernel_chain(&grid, 1.0).unwrap()));
+    let mut service = SessionManager::new(Rc::clone(&provider), OnlineConfig::default()).unwrap();
+    let tpl = service
+        .register_template(
+            Presence::new(Region::from_one_based_range(m, 1, 3).unwrap(), 1, 3)
+                .unwrap()
+                .into(),
+        )
+        .unwrap();
+    service.add_user(UserId(7), Vector::uniform(m)).unwrap();
+    service.attach_event(UserId(7), tpl).unwrap();
+    let plm: Box<dyn Lppm> = Box::new(PlanarLaplace::new(grid, 4.0).unwrap());
+    // Floor 1.0 keeps every rung informative: a 1e-4 target must suppress.
+    service
+        .enable_enforcement(
+            plm,
+            priste_calibrate::GuardConfig {
+                target_epsilon: 1e-4,
+                floor: 1.0,
+                ..priste_calibrate::GuardConfig::default()
+            },
+        )
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let rel = service.release(UserId(7), CellId(0), &mut rng).unwrap();
+    assert_eq!(rel.decision, priste_calibrate::Decision::Suppressed);
+    assert!(rel.report.worst_loss < 1e-9, "flat commit is uninformative");
+    assert_eq!(service.stats().suppressed, 1);
+}
+
+#[test]
+fn enforcing_mode_validates_requests() {
+    let (mut service, _grid, _) = enforcing_service(1.0);
+    let mut rng = StdRng::seed_from_u64(1);
+    assert!(matches!(
+        service.release(UserId(99), CellId(0), &mut rng),
+        Err(OnlineError::UnknownUser { user: 99 })
+    ));
+    assert!(matches!(
+        service.release(UserId(1), CellId(40), &mut rng),
+        Err(OnlineError::InvalidLocation { cell: 40, .. })
+    ));
+    // The failed calls must not have consumed a timestep.
+    assert_eq!(service.session(UserId(1)).unwrap().observed(), 0);
+
+    let mut plain = SessionManager::new(paper_chain(), OnlineConfig::default()).unwrap();
+    plain.add_user(UserId(1), Vector::uniform(3)).unwrap();
+    assert!(matches!(
+        plain.release(UserId(1), CellId(0), &mut rng),
+        Err(OnlineError::NotEnforcing)
+    ));
+    let bad: Box<dyn Lppm> =
+        Box::new(PlanarLaplace::new(priste_geo::GridMap::new(2, 2, 1.0).unwrap(), 1.0).unwrap());
+    assert!(matches!(
+        plain.enable_enforcement(bad, priste_calibrate::GuardConfig::default()),
+        Err(OnlineError::InvalidConfig { .. })
+    ));
+}
+
+#[test]
+fn enforcing_and_audit_paths_share_the_session_state() {
+    let (mut service, grid, chain) = enforcing_service(1.2);
+    let mut rng = StdRng::seed_from_u64(21);
+    let rel = service.release(UserId(1), CellId(4), &mut rng).unwrap();
+    assert_eq!(rel.report.t, 1);
+    // An audited observation continues the same window clock.
+    let plm = PlanarLaplace::new(grid, 0.5).unwrap();
+    let report = service
+        .ingest(UserId(1), plm.emission_column(CellId(3)))
+        .unwrap();
+    assert_eq!(report.t, 2);
+    assert_eq!(report.windows[0].window_t, 2);
+    let _ = chain;
+}

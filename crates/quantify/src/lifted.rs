@@ -97,8 +97,8 @@ impl LiftedStep<'_> {
     /// Row-vector application `x · M_t` for a lifted row vector
     /// `x = [x_false, x_true]` of length `2m` — the forward orientation of
     /// Lemma III.1/III.2 products. (Capture: `y_f = x_f·(M − M·s^D)`,
-    /// `y_t = x_f·M·s^D + x_t·M`; Hold mirrored — see
-    /// [`LiftedStep::combine_moved`].)
+    /// `y_t = x_f·M·s^D + x_t·M`; Hold mirrored — the two event modes
+    /// share one private recombination helper.)
     ///
     /// # Panics
     /// Panics if `x.len() != 2m`.

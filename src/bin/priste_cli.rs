@@ -1,17 +1,20 @@
 //! `priste-cli` — command-line front end for the PriSTE library.
 //!
 //! ```text
-//! priste-cli world    [--kind synthetic|commuter] [--side N] [--sigma F] [--seed N]
-//! priste-cli protect  --event SPEC [--epsilon F] [--alpha F] [--delta F]
-//!                     [--side N] [--sigma F] [--steps N] [--seed N]
-//! priste-cli quantify --event SPEC [--alpha F] [--side N] [--sigma F]
-//!                     [--steps N] [--seed N]
-//! priste-cli check    --event SPEC [--epsilon F] [--alpha F] [--side N]
-//!                     [--sigma F] [--steps N] [--seed N]
-//! priste-cli stream   [--users N] [--steps N] [--kind synthetic|commuter]
-//!                     [--event SPEC] [--epsilon F] [--alpha F] [--side N]
-//!                     [--sigma F] [--shards N] [--linger N] [--budget F]
-//!                     [--seed N]
+//! priste-cli world     [--kind synthetic|commuter] [--side N] [--sigma F] [--seed N]
+//! priste-cli protect   --event SPEC [--epsilon F] [--alpha F] [--delta F]
+//!                      [--side N] [--sigma F] [--steps N] [--seed N]
+//! priste-cli quantify  --event SPEC [--alpha F] [--side N] [--sigma F]
+//!                      [--steps N] [--seed N]
+//! priste-cli check     --event SPEC [--epsilon F] [--alpha F] [--side N]
+//!                      [--sigma F] [--steps N] [--seed N]
+//! priste-cli stream    [--users N] [--steps N] [--kind synthetic|commuter]
+//!                      [--event SPEC] [--epsilon F] [--alpha F] [--side N]
+//!                      [--sigma F] [--shards N] [--linger N] [--budget F]
+//!                      [--mode audit|enforce] [--floor F] [--backoff F] [--seed N]
+//! priste-cli calibrate [--kind synthetic|commuter] [--event SPEC] [--target F]
+//!                      [--alpha F] [--side N] [--sigma F] [--horizon N]
+//!                      [--steps N] [--floor F] [--backoff F] [--threads N] [--seed N]
 //! ```
 //!
 //! * `world` — build a mobility world and print its summary statistics.
@@ -23,15 +26,27 @@
 //! * `check` — per-step Theorem IV.1 verdicts for a plain α-PLM stream:
 //!   which releases would PriSTE have refused?
 //! * `stream` — the `priste-online` streaming service: simulate N users
-//!   over a synthetic or commuter (GeoLife-sim) feed, ingest every release
-//!   through the sharded session manager, and report per-user privacy
-//!   verdicts plus throughput (throughput goes to stderr so stdout stays
-//!   deterministic under `--seed`).
+//!   over a synthetic or commuter (GeoLife-sim) feed. In `audit` mode
+//!   (default) every plain α-PLM release is ingested and verdicted; in
+//!   `enforce` mode the service holds the mechanism and the calibration
+//!   guard certifies (or suppresses) each release *before* it ships.
+//! * `calibrate` — the `priste-calibrate` planners and guard: print the
+//!   greedy-forward per-timestep budget plan against the uniform-split
+//!   baseline, then a seeded release demo in which the uncalibrated α-PLM
+//!   fails the target ε* while the calibrated mechanism certifies it.
 //!
 //! Events use the paper's notation, e.g. `"PRESENCE(S={1:10}, T={4:8})"`.
-//! `stream` events are *attach-relative*: `T={2:4}` means timestamps 2–4 of
-//! each user's session.
+//! `stream`/`calibrate` events are *attach-relative*: `T={2:4}` means
+//! timestamps 2–4 of each user's session.
+//!
+//! Exit codes: `0` success, `1` runtime failure, `2` usage error (unknown
+//! command or flag, malformed value) — usage errors also print the usage
+//! text below.
 
+use priste::calibrate::{
+    plan_greedy, plan_uniform_split, BudgetPlan, CalibratedMechanism, Decision, GuardConfig,
+    PlannerConfig,
+};
 use priste::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -42,39 +57,89 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Err(CliError::Usage(msg)) => {
             eprintln!("error: {msg}");
             eprintln!();
             eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("error: {msg}");
             ExitCode::FAILURE
         }
     }
 }
 
 const USAGE: &str = "usage:
-  priste-cli world    [--kind synthetic|commuter] [--side N] [--sigma F] [--seed N]
-  priste-cli protect  --event SPEC [--epsilon F] [--alpha F] [--delta F]
-                      [--side N] [--sigma F] [--steps N] [--seed N]
-  priste-cli quantify --event SPEC [--alpha F] [--side N] [--sigma F] [--steps N] [--seed N]
-  priste-cli check    --event SPEC [--epsilon F] [--alpha F] [--side N] [--sigma F] [--steps N] [--seed N]
-  priste-cli stream   [--users N] [--steps N] [--kind synthetic|commuter] [--event SPEC]
-                      [--epsilon F] [--alpha F] [--side N] [--sigma F]
-                      [--shards N] [--linger N] [--budget F] [--seed N]";
+  priste-cli world     [--kind synthetic|commuter] [--side N] [--sigma F] [--seed N]
+  priste-cli protect   --event SPEC [--epsilon F] [--alpha F] [--delta F]
+                       [--side N] [--sigma F] [--steps N] [--seed N]
+  priste-cli quantify  --event SPEC [--alpha F] [--side N] [--sigma F] [--steps N] [--seed N]
+  priste-cli check     --event SPEC [--epsilon F] [--alpha F] [--side N] [--sigma F]
+                       [--steps N] [--seed N]
+  priste-cli stream    [--users N] [--steps N] [--kind synthetic|commuter] [--event SPEC]
+                       [--epsilon F] [--alpha F] [--side N] [--sigma F]
+                       [--shards N] [--linger N] [--budget F]
+                       [--mode audit|enforce] [--floor F] [--backoff F] [--seed N]
+  priste-cli calibrate [--kind synthetic|commuter] [--event SPEC] [--target F]
+                       [--alpha F] [--side N] [--sigma F] [--horizon N]
+                       [--steps N] [--floor F] [--backoff F] [--threads N] [--seed N]
+  priste-cli help      print this text";
 
-/// Parsed `--key value` flags.
+/// CLI error with the exit-code split: usage errors (exit 2, usage text
+/// appended) versus runtime failures (exit 1).
+#[derive(Debug)]
+enum CliError {
+    Usage(String),
+    Runtime(String),
+}
+
+/// Maps a library error into a runtime CLI failure.
+fn runtime<E: ToString>(e: E) -> CliError {
+    CliError::Runtime(e.to_string())
+}
+
+/// Maps a bad argument into a usage CLI failure.
+fn usage<E: ToString>(e: E) -> CliError {
+    CliError::Usage(e.to_string())
+}
+
+const WORLD_FLAGS: &[&str] = &["kind", "side", "sigma", "seed", "steps"];
+const PROTECT_FLAGS: &[&str] = &[
+    "event", "epsilon", "alpha", "delta", "side", "sigma", "steps", "seed",
+];
+const QUANTIFY_FLAGS: &[&str] = &["event", "alpha", "side", "sigma", "steps", "seed"];
+const CHECK_FLAGS: &[&str] = &[
+    "event", "epsilon", "alpha", "side", "sigma", "steps", "seed",
+];
+const STREAM_FLAGS: &[&str] = &[
+    "users", "steps", "kind", "event", "epsilon", "alpha", "side", "sigma", "shards", "linger",
+    "budget", "mode", "floor", "backoff", "seed",
+];
+const CALIBRATE_FLAGS: &[&str] = &[
+    "kind", "event", "target", "alpha", "side", "sigma", "horizon", "steps", "floor", "backoff",
+    "threads", "seed",
+];
+
+/// Parsed `--key value` flags, validated against a subcommand's allowlist.
 struct Flags(BTreeMap<String, String>);
 
 impl Flags {
-    fn parse(args: &[String]) -> Result<Flags, String> {
+    fn parse(args: &[String], allowed: &[&str], command: &str) -> Result<Flags, CliError> {
         let mut map = BTreeMap::new();
         let mut i = 0;
         while i < args.len() {
             let key = args[i]
                 .strip_prefix("--")
-                .ok_or_else(|| format!("expected --flag, got {:?}", args[i]))?;
+                .ok_or_else(|| CliError::Usage(format!("expected --flag, got {:?}", args[i])))?;
+            if !allowed.contains(&key) {
+                return Err(CliError::Usage(format!(
+                    "unknown flag --{key} for `{command}`"
+                )));
+            }
             let value = args
                 .get(i + 1)
-                .ok_or_else(|| format!("--{key} requires a value"))?;
+                .ok_or_else(|| CliError::Usage(format!("--{key} requires a value")))?;
             map.insert(key.to_string(), value.clone());
             i += 2;
         }
@@ -85,78 +150,105 @@ impl Flags {
         self.0.get(key).map(String::as_str).unwrap_or(default)
     }
 
-    fn required(&self, key: &str) -> Result<&str, String> {
+    fn required(&self, key: &str) -> Result<&str, CliError> {
         self.0
             .get(key)
             .map(String::as_str)
-            .ok_or_else(|| format!("--{key} is required"))
+            .ok_or_else(|| CliError::Usage(format!("--{key} is required")))
     }
 
-    fn f64_or(&self, key: &str, default: f64) -> Result<f64, String> {
+    fn f64_or(&self, key: &str, default: f64) -> Result<f64, CliError> {
         match self.0.get(key) {
             None => Ok(default),
             Some(v) => v
                 .parse()
-                .map_err(|_| format!("--{key}: not a number: {v:?}")),
+                .map_err(|_| CliError::Usage(format!("--{key}: not a number: {v:?}"))),
         }
     }
 
-    fn usize_or(&self, key: &str, default: usize) -> Result<usize, String> {
+    fn usize_or(&self, key: &str, default: usize) -> Result<usize, CliError> {
         match self.0.get(key) {
             None => Ok(default),
             Some(v) => v
                 .parse()
-                .map_err(|_| format!("--{key}: not an integer: {v:?}")),
+                .map_err(|_| CliError::Usage(format!("--{key}: not an integer: {v:?}"))),
         }
     }
 
-    fn u64_or(&self, key: &str, default: u64) -> Result<u64, String> {
+    fn u64_or(&self, key: &str, default: u64) -> Result<u64, CliError> {
         match self.0.get(key) {
             None => Ok(default),
             Some(v) => v
                 .parse()
-                .map_err(|_| format!("--{key}: not an integer: {v:?}")),
+                .map_err(|_| CliError::Usage(format!("--{key}: not an integer: {v:?}"))),
         }
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
-    let (command, rest) = args.split_first().ok_or("missing command")?;
-    let flags = Flags::parse(rest)?;
+fn run(args: &[String]) -> Result<(), CliError> {
+    let (command, rest) = args
+        .split_first()
+        .ok_or_else(|| CliError::Usage("missing command".into()))?;
     match command.as_str() {
-        "world" => cmd_world(&flags),
-        "protect" => cmd_protect(&flags),
-        "quantify" => cmd_quantify(&flags),
-        "check" => cmd_check(&flags),
-        "stream" => cmd_stream(&flags),
-        other => Err(format!("unknown command {other:?}")),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        "world" => cmd_world(&Flags::parse(rest, WORLD_FLAGS, "world")?),
+        "protect" => cmd_protect(&Flags::parse(rest, PROTECT_FLAGS, "protect")?),
+        "quantify" => cmd_quantify(&Flags::parse(rest, QUANTIFY_FLAGS, "quantify")?),
+        "check" => cmd_check(&Flags::parse(rest, CHECK_FLAGS, "check")?),
+        "stream" => cmd_stream(&Flags::parse(rest, STREAM_FLAGS, "stream")?),
+        "calibrate" => cmd_calibrate(&Flags::parse(rest, CALIBRATE_FLAGS, "calibrate")?),
+        other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
 }
 
 /// Shared world setup from flags.
-fn world_from_flags(flags: &Flags) -> Result<(GridMap, MarkovModel), String> {
+fn world_from_flags(flags: &Flags) -> Result<(GridMap, MarkovModel), CliError> {
     let side = flags.usize_or("side", 10)?;
     let sigma = flags.f64_or("sigma", 1.0)?;
-    let grid = GridMap::new(side, side, 1.0).map_err(|e| e.to_string())?;
-    let chain = gaussian_kernel_chain(&grid, sigma).map_err(|e| e.to_string())?;
+    let grid = GridMap::new(side, side, 1.0).map_err(usage)?;
+    let chain = gaussian_kernel_chain(&grid, sigma).map_err(usage)?;
     Ok((grid, chain))
+}
+
+/// Synthetic-or-commuter world selection shared by `stream`/`calibrate`.
+fn kind_world(flags: &Flags, default_side: usize) -> Result<(GridMap, MarkovModel), CliError> {
+    match flags.str_or("kind", "synthetic") {
+        "synthetic" => world_from_flags(flags),
+        "commuter" => {
+            let side = flags.usize_or("side", default_side)?;
+            let world = geolife_sim::build(&geolife_sim::CommuterConfig {
+                rows: side,
+                cols: side,
+                seed: flags.u64_or("seed", 1)?,
+                ..Default::default()
+            })
+            .map_err(runtime)?;
+            Ok((world.grid, world.chain))
+        }
+        other => Err(CliError::Usage(format!(
+            "--kind must be synthetic or commuter, got {other:?}"
+        ))),
+    }
 }
 
 fn trajectory_from_flags(
     flags: &Flags,
     chain: &MarkovModel,
-) -> Result<(Vec<CellId>, StdRng), String> {
+) -> Result<(Vec<CellId>, StdRng), CliError> {
     let steps = flags.usize_or("steps", 20)?;
     let seed = flags.u64_or("seed", 1)?;
     let mut rng = StdRng::seed_from_u64(seed);
     let pi = Vector::uniform(chain.num_states());
     let traj = chain
         .sample_trajectory_from(&pi, steps, &mut rng)
-        .map_err(|e| e.to_string())?;
+        .map_err(runtime)?;
     Ok((traj, rng))
 }
 
-fn cmd_world(flags: &Flags) -> Result<(), String> {
+fn cmd_world(flags: &Flags) -> Result<(), CliError> {
     let kind = flags.str_or("kind", "synthetic");
     let seed = flags.u64_or("seed", 1)?;
     let (grid, chain, trajectories) = match kind {
@@ -169,7 +261,7 @@ fn cmd_world(flags: &Flags) -> Result<(), String> {
                     flags.usize_or("steps", 50)?,
                     &mut rng,
                 )
-                .map_err(|e| e.to_string())?;
+                .map_err(runtime)?;
             (grid, chain, vec![traj])
         }
         "commuter" => {
@@ -180,13 +272,13 @@ fn cmd_world(flags: &Flags) -> Result<(), String> {
                 seed,
                 ..Default::default()
             })
-            .map_err(|e| e.to_string())?;
+            .map_err(runtime)?;
             (world.grid, world.chain, world.trajectories)
         }
         other => {
-            return Err(format!(
+            return Err(CliError::Usage(format!(
                 "--kind must be synthetic or commuter, got {other:?}"
-            ))
+            )))
         }
     };
 
@@ -196,7 +288,7 @@ fn cmd_world(flags: &Flags) -> Result<(), String> {
         grid.cell_size_km()
     );
     println!("trajectories: {}", trajectories.len());
-    let stationary = stationary_distribution(&chain, 1e-9, 200_000).map_err(|e| e.to_string())?;
+    let stationary = stationary_distribution(&chain, 1e-9, 200_000).map_err(runtime)?;
     let mut top: Vec<(usize, f64)> = stationary.as_slice().iter().copied().enumerate().collect();
     top.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
     println!("top stationary cells:");
@@ -218,10 +310,9 @@ fn cmd_world(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_protect(flags: &Flags) -> Result<(), String> {
+fn cmd_protect(flags: &Flags) -> Result<(), CliError> {
     let (grid, chain) = world_from_flags(flags)?;
-    let event =
-        parse_event(flags.required("event")?, grid.num_cells()).map_err(|e| e.to_string())?;
+    let event = parse_event(flags.required("event")?, grid.num_cells()).map_err(usage)?;
     let epsilon = flags.f64_or("epsilon", 1.0)?;
     let alpha = flags.f64_or("alpha", 0.5)?;
     let (traj, mut rng) = trajectory_from_flags(flags, &chain)?;
@@ -230,7 +321,9 @@ fn cmd_protect(flags: &Flags) -> Result<(), String> {
 
     println!("t,true_cell,released_cell,budget,attempts,distance_km");
     if let Some(delta) = flags.0.get("delta") {
-        let delta: f64 = delta.parse().map_err(|_| "--delta: not a number")?;
+        let delta: f64 = delta
+            .parse()
+            .map_err(|_| CliError::Usage("--delta: not a number".into()))?;
         let source = DeltaLocSource::new(
             grid.clone(),
             delta,
@@ -238,11 +331,11 @@ fn cmd_protect(flags: &Flags) -> Result<(), String> {
             chain.clone(),
             Vector::uniform(grid.num_cells()),
         )
-        .map_err(|e| e.to_string())?;
-        let mut priste = Priste::new(&events, Homogeneous::new(chain), source, grid, config)
-            .map_err(|e| e.to_string())?;
+        .map_err(runtime)?;
+        let mut priste =
+            Priste::new(&events, Homogeneous::new(chain), source, grid, config).map_err(runtime)?;
         for &loc in &traj {
-            let r = priste.release(loc, &mut rng).map_err(|e| e.to_string())?;
+            let r = priste.release(loc, &mut rng).map_err(runtime)?;
             println!(
                 "{},{},{},{:.6},{},{:.3}",
                 r.t,
@@ -254,11 +347,11 @@ fn cmd_protect(flags: &Flags) -> Result<(), String> {
             );
         }
     } else {
-        let source = PlmSource::new(grid.clone(), alpha).map_err(|e| e.to_string())?;
-        let mut priste = Priste::new(&events, Homogeneous::new(chain), source, grid, config)
-            .map_err(|e| e.to_string())?;
+        let source = PlmSource::new(grid.clone(), alpha).map_err(runtime)?;
+        let mut priste =
+            Priste::new(&events, Homogeneous::new(chain), source, grid, config).map_err(runtime)?;
         for &loc in &traj {
-            let r = priste.release(loc, &mut rng).map_err(|e| e.to_string())?;
+            let r = priste.release(loc, &mut rng).map_err(runtime)?;
             println!(
                 "{},{},{},{:.6},{},{:.3}",
                 r.t,
@@ -273,19 +366,18 @@ fn cmd_protect(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_quantify(flags: &Flags) -> Result<(), String> {
+fn cmd_quantify(flags: &Flags) -> Result<(), CliError> {
     let (grid, chain) = world_from_flags(flags)?;
-    let event =
-        parse_event(flags.required("event")?, grid.num_cells()).map_err(|e| e.to_string())?;
+    let event = parse_event(flags.required("event")?, grid.num_cells()).map_err(usage)?;
     let alpha = flags.f64_or("alpha", 0.5)?;
     let (traj, mut rng) = trajectory_from_flags(flags, &chain)?;
-    let plm = PlanarLaplace::new(grid.clone(), alpha).map_err(|e| e.to_string())?;
+    let plm = PlanarLaplace::new(grid.clone(), alpha).map_err(runtime)?;
     let mut quantifier = FixedPiQuantifier::new(
         &event,
         Homogeneous::new(chain),
         Vector::uniform(grid.num_cells()),
     )
-    .map_err(|e| e.to_string())?;
+    .map_err(runtime)?;
 
     println!("t,true_cell,released_cell,privacy_loss");
     let mut worst: f64 = 0.0;
@@ -293,7 +385,7 @@ fn cmd_quantify(flags: &Flags) -> Result<(), String> {
         let obs = plm.perturb(loc, &mut rng);
         let step = quantifier
             .observe(&plm.emission_column(obs))
-            .map_err(|e| e.to_string())?;
+            .map_err(runtime)?;
         worst = worst.max(step.privacy_loss);
         println!(
             "{},{},{},{:.6}",
@@ -309,16 +401,15 @@ fn cmd_quantify(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_check(flags: &Flags) -> Result<(), String> {
+fn cmd_check(flags: &Flags) -> Result<(), CliError> {
     let (grid, chain) = world_from_flags(flags)?;
-    let event =
-        parse_event(flags.required("event")?, grid.num_cells()).map_err(|e| e.to_string())?;
+    let event = parse_event(flags.required("event")?, grid.num_cells()).map_err(usage)?;
     let epsilon = flags.f64_or("epsilon", 1.0)?;
     let alpha = flags.f64_or("alpha", 0.5)?;
     let (traj, mut rng) = trajectory_from_flags(flags, &chain)?;
-    let plm = PlanarLaplace::new(grid.clone(), alpha).map_err(|e| e.to_string())?;
+    let plm = PlanarLaplace::new(grid.clone(), alpha).map_err(runtime)?;
     let provider = Homogeneous::new(chain);
-    let mut builder = TheoremBuilder::new(&event, provider).map_err(|e| e.to_string())?;
+    let mut builder = TheoremBuilder::new(&event, provider).map_err(runtime)?;
     let checker = TheoremChecker::new(epsilon, SolverConfig::default());
 
     println!("t,true_cell,released_cell,verdict");
@@ -326,7 +417,7 @@ fn cmd_check(flags: &Flags) -> Result<(), String> {
     for (i, &loc) in traj.iter().enumerate() {
         let obs = plm.perturb(loc, &mut rng);
         let col = plm.emission_column(obs);
-        let inputs = builder.candidate(&col).map_err(|e| e.to_string())?;
+        let inputs = builder.candidate(&col).map_err(runtime)?;
         let verdict = checker.check(&inputs.a, &inputs.b, &inputs.c);
         let label = match &verdict {
             TheoremVerdict::Satisfied => "satisfied",
@@ -340,7 +431,7 @@ fn cmd_check(flags: &Flags) -> Result<(), String> {
             }
         };
         println!("{},{},{},{label}", i + 1, loc.one_based(), obs.one_based());
-        builder.commit(col).map_err(|e| e.to_string())?;
+        builder.commit(col).map_err(runtime)?;
     }
     eprintln!(
         "{refused}/{} releases of the plain {alpha}-PLM would be refused at ε={epsilon}",
@@ -350,39 +441,28 @@ fn cmd_check(flags: &Flags) -> Result<(), String> {
 }
 
 /// The `priste-online` streaming service over a simulated N-user feed.
-fn cmd_stream(flags: &Flags) -> Result<(), String> {
+fn cmd_stream(flags: &Flags) -> Result<(), CliError> {
     let users = flags.usize_or("users", 100)?;
     let steps = flags.usize_or("steps", 24)?;
     if users == 0 || steps == 0 {
-        return Err("--users and --steps must be at least 1".into());
+        return Err(CliError::Usage(
+            "--users and --steps must be at least 1".into(),
+        ));
     }
-    let kind = flags.str_or("kind", "synthetic");
     let seed = flags.u64_or("seed", 1)?;
     let alpha = flags.f64_or("alpha", 0.5)?;
+    let mode = flags.str_or("mode", "audit");
+    if !matches!(mode, "audit" | "enforce") {
+        return Err(CliError::Usage(format!(
+            "--mode must be audit or enforce, got {mode:?}"
+        )));
+    }
 
     // World: a synthetic Gaussian-kernel grid or the commuter simulator.
-    let (grid, chain) = match kind {
-        "synthetic" => world_from_flags(flags)?,
-        "commuter" => {
-            let side = flags.usize_or("side", 10)?;
-            let world = geolife_sim::build(&geolife_sim::CommuterConfig {
-                rows: side,
-                cols: side,
-                seed,
-                ..Default::default()
-            })
-            .map_err(|e| e.to_string())?;
-            (world.grid, world.chain)
-        }
-        other => {
-            return Err(format!(
-                "--kind must be synthetic or commuter, got {other:?}"
-            ))
-        }
-    };
+    let (grid, chain) = kind_world(flags, 10)?;
     let m = grid.num_cells();
     let default_event = format!("PRESENCE(S={{1:{}}}, T={{2:4}})", (m / 4).max(1));
-    let event = parse_event(flags.str_or("event", &default_event), m).map_err(|e| e.to_string())?;
+    let event = parse_event(flags.str_or("event", &default_event), m).map_err(usage)?;
 
     let config = OnlineConfig {
         epsilon: flags.f64_or("epsilon", 1.0)?,
@@ -390,30 +470,41 @@ fn cmd_stream(flags: &Flags) -> Result<(), String> {
         linger: flags.usize_or("linger", 2)?,
         budget: flags.f64_or("budget", 20.0)?,
     };
+    config.validate().map_err(usage)?;
     let provider = std::rc::Rc::new(Homogeneous::new(chain.clone()));
     let mut service =
-        SessionManager::new(std::rc::Rc::clone(&provider), config).map_err(|e| e.to_string())?;
-    let template = service
-        .register_template(event)
-        .map_err(|e| e.to_string())?;
+        SessionManager::new(std::rc::Rc::clone(&provider), config).map_err(runtime)?;
+    let template = service.register_template(event).map_err(runtime)?;
 
     // Users: seeded trajectories from the world's own mobility model; one
     // protected event window each, released through a shared α-PLM.
     let mut rng = StdRng::seed_from_u64(seed);
-    let plm = PlanarLaplace::new(grid, alpha).map_err(|e| e.to_string())?;
+    let plm = PlanarLaplace::new(grid, alpha).map_err(usage)?;
     let mut trajectories = Vec::with_capacity(users);
     for u in 0..users as u64 {
         service
             .add_user(UserId(u), Vector::uniform(m))
-            .map_err(|e| e.to_string())?;
-        service
-            .attach_event(UserId(u), template)
-            .map_err(|e| e.to_string())?;
+            .map_err(runtime)?;
+        service.attach_event(UserId(u), template).map_err(runtime)?;
         trajectories.push(
             chain
                 .sample_trajectory_from(&Vector::uniform(m), steps, &mut rng)
-                .map_err(|e| e.to_string())?,
+                .map_err(runtime)?,
         );
+    }
+
+    if mode == "enforce" {
+        let guard = GuardConfig {
+            target_epsilon: service.config().epsilon,
+            backoff: flags.f64_or("backoff", 0.5)?,
+            floor: flags.f64_or("floor", 1e-3)?,
+            ..GuardConfig::default()
+        };
+        guard.validate().map_err(usage)?;
+        service
+            .enable_enforcement(Box::new(plm), guard)
+            .map_err(usage)?;
+        return run_stream_enforcing(service, &trajectories, users, steps, &mut rng);
     }
 
     // Feed: one batch per timestamp, every user releasing one observation.
@@ -428,7 +519,7 @@ fn cmd_stream(flags: &Flags) -> Result<(), String> {
                 (UserId(u as u64), plm.emission_column(observed))
             })
             .collect();
-        for report in service.ingest_batch(&batch).map_err(|e| e.to_string())? {
+        for report in service.ingest_batch(&batch).map_err(runtime)? {
             let u = report.user.0 as usize;
             if report.worst_loss.is_finite() {
                 worst_loss[u] = worst_loss[u].max(report.worst_loss);
@@ -478,6 +569,225 @@ fn cmd_stream(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// Enforcing-mode feed: the service holds the mechanism; the guard
+/// certifies or suppresses every release.
+fn run_stream_enforcing(
+    mut service: SessionManager<std::rc::Rc<Homogeneous>>,
+    trajectories: &[Vec<CellId>],
+    users: usize,
+    steps: usize,
+    rng: &mut StdRng,
+) -> Result<(), CliError> {
+    let mut worst_loss = vec![0.0f64; users];
+    let mut suppressed = vec![0usize; users];
+    let started = std::time::Instant::now();
+    #[allow(clippy::needless_range_loop)] // column-wise access across per-user rows
+    for t in 0..steps {
+        for u in 0..users {
+            let rel = service
+                .release(UserId(u as u64), trajectories[u][t], rng)
+                .map_err(runtime)?;
+            if rel.decision == Decision::Suppressed {
+                suppressed[u] += 1;
+            }
+            if rel.report.worst_loss.is_finite() {
+                worst_loss[u] = worst_loss[u].max(rel.report.worst_loss);
+            } else {
+                worst_loss[u] = f64::INFINITY;
+            }
+        }
+    }
+    let elapsed = started.elapsed();
+
+    println!("user,observations,worst_loss,suppressed,budget_remaining,exhausted");
+    for u in 0..users as u64 {
+        let session = service.session(UserId(u)).expect("registered above");
+        println!(
+            "{},{},{:.6},{},{:.4},{}",
+            u,
+            session.observed(),
+            worst_loss[u as usize],
+            suppressed[u as usize],
+            session.ledger().remaining(),
+            session.ledger().exhausted()
+        );
+    }
+    let stats = service.stats();
+    println!(
+        "total,{} users,{} observations,{} certified,{} violated,{} suppressed,{} evicted",
+        users,
+        stats.observations,
+        stats.certified,
+        stats.violated,
+        stats.suppressed,
+        stats.evicted_windows
+    );
+    eprintln!(
+        "throughput: {} enforced releases in {:.3}s ({:.0} obs/s)",
+        stats.observations,
+        elapsed.as_secs_f64(),
+        stats.observations as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
+    Ok(())
+}
+
+/// The `priste-calibrate` planners and release demo.
+fn cmd_calibrate(flags: &Flags) -> Result<(), CliError> {
+    let target = flags.f64_or("target", 0.8)?;
+    let alpha = flags.f64_or("alpha", 2.0)?;
+    let horizon = flags.usize_or("horizon", 4)?;
+    let steps = flags.usize_or("steps", 8)?;
+    let seed = flags.u64_or("seed", 1)?;
+    if horizon == 0 || steps == 0 {
+        return Err(CliError::Usage(
+            "--horizon and --steps must be at least 1".into(),
+        ));
+    }
+    if !(target > 0.0 && target.is_finite()) {
+        return Err(CliError::Usage(format!(
+            "--target must be positive and finite, got {target}"
+        )));
+    }
+
+    let (grid, chain) = kind_world(flags, 6)?;
+    let m = grid.num_cells();
+    let default_event = format!("PRESENCE(S={{1:{}}}, T={{2:3}})", (m / 4).max(1));
+    let event = parse_event(flags.str_or("event", &default_event), m).map_err(usage)?;
+    let planner_cfg = PlannerConfig {
+        backoff: flags.f64_or("backoff", 0.5)?,
+        floor: flags.f64_or("floor", 1e-3)?,
+        threads: flags.usize_or("threads", 1)?,
+        ..PlannerConfig::default()
+    };
+    planner_cfg.validate().map_err(usage)?;
+    if planner_cfg.floor > alpha {
+        return Err(CliError::Usage(format!(
+            "--floor {} exceeds --alpha {alpha} (nothing to back off to)",
+            planner_cfg.floor
+        )));
+    }
+
+    // ---- Offline plans. --------------------------------------------------
+    let provider = Homogeneous::new(chain.clone());
+    let greedy = plan_greedy(
+        Box::new(PlanarLaplace::new(grid.clone(), alpha).map_err(usage)?),
+        &event,
+        provider.clone(),
+        horizon,
+        target,
+        &planner_cfg,
+    )
+    .map_err(runtime)?;
+    let uniform = plan_uniform_split(
+        Box::new(PlanarLaplace::new(grid.clone(), alpha).map_err(usage)?),
+        &event,
+        provider.clone(),
+        horizon,
+        target,
+        &planner_cfg,
+    )
+    .map_err(runtime)?;
+
+    println!("plan: greedy-forward budgets for ε* = {target} over {horizon} steps ({m} cells)");
+    println!("t,budget,capacity,slack,verdict");
+    for step in &greedy.steps {
+        let (capacity, slack) = match step.capacity {
+            Some(c) => (format!("{c:.4}"), format!("{:.4}", step.slack)),
+            None => ("off-scale".into(), "-inf".into()),
+        };
+        println!(
+            "{},{:.6},{},{},{}",
+            step.t,
+            step.budget,
+            capacity,
+            slack,
+            if step.certified {
+                "certified"
+            } else {
+                "INFEASIBLE"
+            }
+        );
+    }
+    println!("{}", plan_summary("greedy", &greedy, horizon));
+    println!("{}", plan_summary("uniform-split", &uniform, horizon));
+
+    // ---- Release demo: uncalibrated vs calibrated on one trajectory. ----
+    let mut rng = StdRng::seed_from_u64(seed);
+    let traj = chain
+        .sample_trajectory_from(&Vector::uniform(m), steps, &mut rng)
+        .map_err(runtime)?;
+
+    let plm = PlanarLaplace::new(grid.clone(), alpha).map_err(usage)?;
+    let mut plain = IncrementalTwoWorld::new(event.clone(), provider.clone(), Vector::uniform(m))
+        .map_err(runtime)?;
+    let mut plain_rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+    let mut uncal_worst = 0.0f64;
+    for &loc in &traj {
+        let obs = plm.perturb(loc, &mut plain_rng);
+        let step = plain.observe(&plm.emission_column(obs)).map_err(runtime)?;
+        uncal_worst = uncal_worst.max(step.privacy_loss);
+    }
+    println!(
+        "demo: uncalibrated {alpha}-PLM worst realized loss {uncal_worst:.4} → {}",
+        if uncal_worst > target {
+            format!("FAILS ε* = {target}")
+        } else {
+            format!("within ε* = {target}")
+        }
+    );
+
+    let guard = GuardConfig {
+        target_epsilon: target,
+        backoff: flags.f64_or("backoff", 0.5)?,
+        floor: flags.f64_or("floor", 1e-3)?,
+        ..GuardConfig::default()
+    };
+    let mut calibrated = CalibratedMechanism::new(
+        Box::new(PlanarLaplace::new(grid, alpha).map_err(usage)?),
+        std::slice::from_ref(&event),
+        provider,
+        Vector::uniform(m),
+        guard,
+    )
+    .map_err(runtime)?;
+    let mut cal_rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+    let mut cal_worst = 0.0f64;
+    let mut cal_suppressed = 0usize;
+    let mut cal_attempts = 0usize;
+    for &loc in &traj {
+        let rel = calibrated.release(loc, &mut cal_rng).map_err(runtime)?;
+        cal_worst = cal_worst.max(rel.loss);
+        cal_attempts += rel.attempts.len();
+        if rel.decision == Decision::Suppressed {
+            cal_suppressed += 1;
+        }
+    }
+    println!(
+        "demo: calibrated release worst realized loss {cal_worst:.4} {} ε* = {target} → {} \
+         ({cal_suppressed}/{steps} suppressed, {cal_attempts} attempts)",
+        if cal_worst <= target { "≤" } else { ">" },
+        if cal_worst <= target {
+            "certified"
+        } else {
+            "FAILS"
+        }
+    );
+    Ok(())
+}
+
+/// One deterministic summary line per plan.
+fn plan_summary(name: &str, plan: &BudgetPlan, horizon: usize) -> String {
+    let certified = match plan.certified_epsilon() {
+        Some(eps) => format!("certified ε* = {eps:.4}"),
+        None => "not certified".into(),
+    };
+    format!(
+        "{name}: {}/{horizon} steps certified, {certified}, mean budget {:.4}",
+        plan.certified_steps(),
+        plan.mean_budget()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -486,26 +796,56 @@ mod tests {
         v.iter().map(|s| s.to_string()).collect()
     }
 
+    fn flags(command: &str, v: &[&str]) -> Result<Flags, CliError> {
+        let allowed = match command {
+            "world" => WORLD_FLAGS,
+            "protect" => PROTECT_FLAGS,
+            "quantify" => QUANTIFY_FLAGS,
+            "check" => CHECK_FLAGS,
+            "stream" => STREAM_FLAGS,
+            "calibrate" => CALIBRATE_FLAGS,
+            other => panic!("unknown command {other}"),
+        };
+        Flags::parse(&args(v), allowed, command)
+    }
+
     #[test]
     fn flags_parse_key_values() {
-        let f = Flags::parse(&args(&["--side", "6", "--sigma", "0.5"])).unwrap();
+        let f = flags("world", &["--side", "6", "--sigma", "0.5"]).unwrap();
         assert_eq!(f.usize_or("side", 10).unwrap(), 6);
         assert_eq!(f.f64_or("sigma", 1.0).unwrap(), 0.5);
         assert_eq!(f.f64_or("missing", 2.0).unwrap(), 2.0);
-        assert!(f.required("event").is_err());
+        assert!(flags("protect", &[]).unwrap().required("event").is_err());
     }
 
     #[test]
     fn flags_reject_malformed_input() {
-        assert!(Flags::parse(&args(&["side", "6"])).is_err());
-        assert!(Flags::parse(&args(&["--side"])).is_err());
-        let f = Flags::parse(&args(&["--side", "abc"])).unwrap();
-        assert!(f.usize_or("side", 1).is_err());
+        assert!(matches!(
+            flags("world", &["side", "6"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            flags("world", &["--side"]),
+            Err(CliError::Usage(_))
+        ));
+        let f = flags("world", &["--side", "abc"]).unwrap();
+        assert!(matches!(f.usize_or("side", 1), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn unknown_flags_are_usage_errors() {
+        match flags("stream", &["--frobnicate", "1"]) {
+            Err(CliError::Usage(msg)) => {
+                assert!(msg.contains("--frobnicate"), "{msg}");
+                assert!(msg.contains("stream"), "{msg}");
+            }
+            _ => panic!("unknown flag must be a usage error"),
+        }
     }
 
     #[test]
     fn world_command_runs() {
-        let f = Flags::parse(&args(&["--side", "5", "--seed", "3"])).unwrap();
+        let f = flags("world", &["--side", "5", "--seed", "3"]).unwrap();
         cmd_world(&f).unwrap();
     }
 
@@ -519,11 +859,11 @@ mod tests {
             "--steps",
             "6",
         ];
-        let f = Flags::parse(&args(&base)).unwrap();
+        let f = flags("protect", &base).unwrap();
         cmd_protect(&f).unwrap();
         let mut with_delta = base.to_vec();
         with_delta.extend(["--delta", "0.3"]);
-        let f = Flags::parse(&args(&with_delta)).unwrap();
+        let f = flags("protect", &with_delta).unwrap();
         cmd_protect(&f).unwrap();
     }
 
@@ -537,46 +877,108 @@ mod tests {
             "--steps",
             "6",
         ];
-        let f = Flags::parse(&args(&base)).unwrap();
+        let f = flags("quantify", &base).unwrap();
         cmd_quantify(&f).unwrap();
+        let f = flags("check", &base).unwrap();
         cmd_check(&f).unwrap();
     }
 
     #[test]
-    fn stream_command_runs_both_feeds() {
-        let f = Flags::parse(&args(&[
-            "--users", "6", "--steps", "5", "--side", "4", "--seed", "9",
-        ]))
+    fn stream_command_runs_both_feeds_and_modes() {
+        let f = flags(
+            "stream",
+            &["--users", "6", "--steps", "5", "--side", "4", "--seed", "9"],
+        )
         .unwrap();
         cmd_stream(&f).unwrap();
-        let f = Flags::parse(&args(&[
-            "--users", "4", "--steps", "5", "--side", "6", "--kind", "commuter", "--seed", "9",
-        ]))
+        let f = flags(
+            "stream",
+            &[
+                "--users", "4", "--steps", "5", "--side", "6", "--kind", "commuter", "--seed", "9",
+            ],
+        )
+        .unwrap();
+        cmd_stream(&f).unwrap();
+        let f = flags(
+            "stream",
+            &[
+                "--users",
+                "3",
+                "--steps",
+                "4",
+                "--side",
+                "4",
+                "--mode",
+                "enforce",
+                "--epsilon",
+                "0.8",
+                "--alpha",
+                "2",
+                "--seed",
+                "9",
+            ],
+        )
         .unwrap();
         cmd_stream(&f).unwrap();
     }
 
     #[test]
     fn stream_command_validates_input() {
-        let f = Flags::parse(&args(&["--users", "0"])).unwrap();
-        assert!(cmd_stream(&f).is_err());
-        let f = Flags::parse(&args(&["--kind", "martian"])).unwrap();
-        assert!(cmd_stream(&f).is_err());
-        let f = Flags::parse(&args(&["--event", "NOPE()", "--side", "4"])).unwrap();
-        assert!(cmd_stream(&f).is_err());
-        let f = Flags::parse(&args(&["--epsilon", "0", "--side", "4"])).unwrap();
-        assert!(cmd_stream(&f).is_err());
+        for bad in [
+            vec!["--users", "0"],
+            vec!["--kind", "martian"],
+            vec!["--event", "NOPE()", "--side", "4"],
+            vec!["--epsilon", "0", "--side", "4"],
+            vec!["--mode", "maybe", "--side", "4"],
+        ] {
+            let f = flags("stream", &bad).unwrap();
+            assert!(
+                matches!(cmd_stream(&f), Err(CliError::Usage(_))),
+                "{bad:?} must be a usage error"
+            );
+        }
+    }
+
+    #[test]
+    fn calibrate_command_runs_and_validates() {
+        let f = flags(
+            "calibrate",
+            &[
+                "--side",
+                "3",
+                "--horizon",
+                "2",
+                "--steps",
+                "3",
+                "--target",
+                "0.8",
+                "--alpha",
+                "1.5",
+                "--event",
+                "PRESENCE(S={1:3}, T={2:3})",
+            ],
+        )
+        .unwrap();
+        cmd_calibrate(&f).unwrap();
+        let f = flags("calibrate", &["--horizon", "0"]).unwrap();
+        assert!(matches!(cmd_calibrate(&f), Err(CliError::Usage(_))));
+        let f = flags("calibrate", &["--backoff", "2", "--side", "3"]).unwrap();
+        assert!(matches!(cmd_calibrate(&f), Err(CliError::Usage(_))));
     }
 
     #[test]
     fn unknown_command_is_an_error() {
-        assert!(run(&args(&["frobnicate"])).is_err());
-        assert!(run(&[]).is_err());
+        assert!(matches!(
+            run(&args(&["frobnicate"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(run(&[]), Err(CliError::Usage(_))));
+        assert!(run(&args(&["help"])).is_ok());
     }
 
     #[test]
     fn bad_event_spec_is_reported() {
-        let f = Flags::parse(&args(&["--event", "NOPE()", "--side", "5"])).unwrap();
-        assert!(cmd_protect(&f).is_err());
+        let f = flags("protect", &["--event", "NOPE()", "--side", "5"]).unwrap();
+        assert!(matches!(cmd_protect(&f), Err(CliError::Usage(_))));
     }
 }

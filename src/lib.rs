@@ -57,13 +57,15 @@
 //! | [`lppm`] | Planar Laplace, δ-location-set, baselines, Lambert W |
 //! | [`quantify`] | two-possible-world engine (Lemmas III.1–III.3) |
 //! | [`qp`] | Theorem IV.1 constraint checking (CPLEX substitute) |
+//! | [`calibrate`] | budget planners + the calibration guard (ε-event-privacy enforcement) |
 //! | [`core`] | the PriSTE framework (Algorithms 1–3) + experiment runner |
-//! | [`online`] | streaming multi-user service: sessions, sharding, incremental checks |
+//! | [`online`] | streaming multi-user service: sessions, sharding, incremental checks, enforcing mode |
 //! | [`data`] | synthetic worlds, GeoLife parsing, commuter simulator |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use priste_calibrate as calibrate;
 pub use priste_core as core;
 pub use priste_data as data;
 pub use priste_event as event;
@@ -77,6 +79,10 @@ pub use priste_quantify as quantify;
 
 /// One-stop imports for applications.
 pub mod prelude {
+    pub use priste_calibrate::{
+        plan_greedy, plan_uniform_split, BudgetPlan, CalibratedMechanism, CalibratedRelease,
+        Decision, GuardConfig, MechanismCache, OnExhaustion, PlannedStep, PlannerConfig,
+    };
     pub use priste_core::{
         runner, DeltaLocSource, MechanismSource, PlmSource, Priste, PristeConfig, ReleaseRecord,
     };
@@ -93,8 +99,8 @@ pub mod prelude {
         TimeVarying, TransitionProvider,
     };
     pub use priste_online::{
-        OnlineConfig, OnlineError, ServiceStats, SessionManager, UserId, UserReport, Verdict,
-        WindowReport,
+        EnforcedRelease, OnlineConfig, OnlineError, ServiceStats, SessionManager, UserId,
+        UserReport, Verdict, WindowReport,
     };
     pub use priste_qp::{ConstraintSet, SolverConfig, TheoremChecker, TheoremVerdict};
     pub use priste_quantify::{

@@ -1,0 +1,199 @@
+//! End-to-end acceptance for `priste-calibrate` on the commuter scenario:
+//! the uncalibrated planar-Laplace release **fails** the target ε* while
+//! the calibrated mechanism **certifies** it — plus the offline planner's
+//! guarantees and the enforcing-mode service wiring, all library-level and
+//! seed-deterministic (the CLI-level twin lives in `examples_smoke.rs`).
+
+use priste::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEED: u64 = 3;
+const TARGET: f64 = 0.8;
+const ALPHA: f64 = 2.0;
+
+/// A small commuter world (GeoLife-sim): 5×5 grid, trained mobility chain.
+fn commuter_world() -> (GridMap, MarkovModel) {
+    let world = geolife_sim::build(&geolife_sim::CommuterConfig {
+        rows: 5,
+        cols: 5,
+        seed: SEED,
+        ..Default::default()
+    })
+    .unwrap();
+    (world.grid, world.chain)
+}
+
+fn protected_event(m: usize) -> StEvent {
+    parse_event(&format!("PRESENCE(S={{1:{}}}, T={{2:3}})", m / 4), m).unwrap()
+}
+
+#[test]
+fn uncalibrated_fails_while_calibrated_certifies_on_the_commuter_scenario() {
+    let (grid, chain) = commuter_world();
+    let m = grid.num_cells();
+    let event = protected_event(m);
+    let provider = Homogeneous::new(chain.clone());
+    let pi = Vector::uniform(m);
+    let steps = 6usize;
+
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let trajectory = chain.sample_trajectory_from(&pi, steps, &mut rng).unwrap();
+
+    // Uncalibrated: the plain α-PLM stream violates the target.
+    let plm = PlanarLaplace::new(grid.clone(), ALPHA).unwrap();
+    let mut world = IncrementalTwoWorld::new(event.clone(), provider.clone(), pi.clone()).unwrap();
+    let mut release_rng = StdRng::seed_from_u64(SEED + 1);
+    let mut uncalibrated_worst = 0.0f64;
+    for &loc in &trajectory {
+        let obs = plm.perturb(loc, &mut release_rng);
+        let step = world.observe(&plm.emission_column(obs)).unwrap();
+        uncalibrated_worst = uncalibrated_worst.max(step.privacy_loss);
+    }
+    assert!(
+        uncalibrated_worst > TARGET,
+        "the demo needs a genuine violation: uncalibrated worst loss \
+         {uncalibrated_worst} vs target {TARGET}"
+    );
+
+    // Calibrated: the guard certifies every committed prefix.
+    let mut calibrated = CalibratedMechanism::new(
+        Box::new(PlanarLaplace::new(grid, ALPHA).unwrap()),
+        std::slice::from_ref(&event),
+        provider.clone(),
+        pi.clone(),
+        GuardConfig {
+            target_epsilon: TARGET,
+            ..GuardConfig::default()
+        },
+    )
+    .unwrap();
+    let mut release_rng = StdRng::seed_from_u64(SEED + 1);
+    let mut calibrated_worst = 0.0f64;
+    let mut committed = Vec::new();
+    for &loc in &trajectory {
+        let rel = calibrated.release(loc, &mut release_rng).unwrap();
+        assert!(rel.decision.certified());
+        calibrated_worst = calibrated_worst.max(rel.loss);
+        committed.push(rel);
+    }
+    assert!(
+        calibrated_worst <= TARGET + 1e-9,
+        "calibrated worst loss {calibrated_worst} must certify the target"
+    );
+
+    // Offline re-certification of the realized stream at ε*.
+    let reference = PlanarLaplace::new(commuter_world().0, ALPHA).unwrap();
+    let mut builder = TheoremBuilder::new(&event, provider).unwrap();
+    for rel in &committed {
+        let column = match &rel.decision {
+            Decision::Released {
+                observed, budget, ..
+            } => {
+                if *budget == ALPHA {
+                    reference.emission_column(*observed)
+                } else {
+                    reference
+                        .with_budget(*budget)
+                        .unwrap()
+                        .emission_column(*observed)
+                }
+            }
+            Decision::Suppressed => Vector::filled(reference.num_cells(), {
+                1.0 / reference.num_cells() as f64
+            }),
+        };
+        let inputs = builder.candidate(&column).unwrap();
+        let loss = inputs.privacy_loss(&pi).unwrap();
+        assert!(
+            loss <= TARGET + 1e-6,
+            "t={}: offline replay loss {loss} exceeds the target",
+            rel.t
+        );
+        builder.commit(column).unwrap();
+    }
+}
+
+#[test]
+fn greedy_plan_certifies_the_target_where_uniform_split_wastes_it() {
+    let (grid, chain) = commuter_world();
+    let m = grid.num_cells();
+    let event = protected_event(m);
+    let cfg = PlannerConfig::default();
+    let horizon = 3usize;
+
+    let greedy = plan_greedy(
+        Box::new(PlanarLaplace::new(grid.clone(), ALPHA).unwrap()),
+        &event,
+        Homogeneous::new(chain.clone()),
+        horizon,
+        TARGET,
+        &cfg,
+    )
+    .unwrap();
+    assert!(greedy.all_certified(), "greedy plan: {greedy:?}");
+    let certified = greedy.certified_epsilon().unwrap();
+    assert!(
+        certified <= TARGET + cfg.tolerance,
+        "plan certifies ε = {certified} > target {TARGET}"
+    );
+    assert_eq!(greedy.steps.len(), horizon);
+
+    let uniform = plan_uniform_split(
+        Box::new(PlanarLaplace::new(grid, ALPHA).unwrap()),
+        &event,
+        Homogeneous::new(chain),
+        horizon,
+        TARGET,
+        &cfg,
+    )
+    .unwrap();
+    // On the strongly-correlated commuter chain the naive ε*/T split is
+    // either uncertified or pays with far smaller slack headroom — the
+    // planner must at minimum never do worse on certification.
+    assert!(
+        greedy.certified_steps() >= uniform.certified_steps(),
+        "greedy {greedy:?} vs uniform {uniform:?}"
+    );
+}
+
+#[test]
+fn enforcing_service_matches_the_guard_guarantee() {
+    let (grid, chain) = commuter_world();
+    let m = grid.num_cells();
+    let provider = std::rc::Rc::new(Homogeneous::new(chain.clone()));
+    let mut service = SessionManager::new(
+        std::rc::Rc::clone(&provider),
+        OnlineConfig {
+            epsilon: TARGET,
+            ..OnlineConfig::default()
+        },
+    )
+    .unwrap();
+    let tpl = service.register_template(protected_event(m)).unwrap();
+    service.add_user(UserId(1), Vector::uniform(m)).unwrap();
+    service.attach_event(UserId(1), tpl).unwrap();
+    service
+        .enable_enforcement(
+            Box::new(PlanarLaplace::new(grid, ALPHA).unwrap()),
+            GuardConfig {
+                target_epsilon: TARGET,
+                ..GuardConfig::default()
+            },
+        )
+        .unwrap();
+
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let trajectory = chain
+        .sample_trajectory_from(&Vector::uniform(m), 6, &mut rng)
+        .unwrap();
+    for &loc in &trajectory {
+        let rel = service.release(UserId(1), loc, &mut rng).unwrap();
+        assert!(
+            rel.report.worst_loss <= TARGET + 1e-9,
+            "enforced release leaked {} > {TARGET}",
+            rel.report.worst_loss
+        );
+    }
+    assert_eq!(service.session(UserId(1)).unwrap().observed(), 6);
+}

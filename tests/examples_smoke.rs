@@ -11,12 +11,19 @@ use std::process::Command;
 /// Runs the CLI binary (built for us by cargo, path injected via
 /// `CARGO_BIN_EXE_*`) and returns (status-ok, stdout, stderr).
 fn run_cli(args: &[&str]) -> (bool, String, String) {
+    let (code, stdout, stderr) = run_cli_code(args);
+    (code == Some(0), stdout, stderr)
+}
+
+/// Like [`run_cli`] but exposes the raw exit code (the CLI distinguishes
+/// usage errors, exit 2, from runtime failures, exit 1).
+fn run_cli_code(args: &[&str]) -> (Option<i32>, String, String) {
     let out = Command::new(env!("CARGO_BIN_EXE_priste_cli"))
         .args(args)
         .output()
         .expect("spawn priste_cli");
     (
-        out.status.success(),
+        out.status.code(),
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
     )
@@ -48,9 +55,47 @@ fn cli_protect_runs_end_to_end() {
 
 #[test]
 fn cli_rejects_garbage_with_usage() {
-    let (ok, _stdout, stderr) = run_cli(&["frobnicate"]);
-    assert!(!ok, "garbage subcommand should fail");
+    let (code, _stdout, stderr) = run_cli_code(&["frobnicate"]);
+    assert_eq!(code, Some(2), "unknown command is a usage error");
     assert!(stderr.contains("usage:"), "no usage in: {stderr}");
+}
+
+#[test]
+fn cli_missing_command_prints_usage_for_all_six_subcommands() {
+    let (code, _stdout, stderr) = run_cli_code(&[]);
+    assert_eq!(code, Some(2), "missing command is a usage error");
+    for sub in [
+        "world",
+        "protect",
+        "quantify",
+        "check",
+        "stream",
+        "calibrate",
+    ] {
+        assert!(
+            stderr.contains(&format!("priste-cli {sub}")),
+            "usage must mention `{sub}`: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn cli_unknown_flag_exits_2_not_a_bare_error() {
+    let (code, _stdout, stderr) = run_cli_code(&["stream", "--frobnicate", "1"]);
+    assert_eq!(code, Some(2), "unknown flag must exit 2: {stderr}");
+    assert!(
+        stderr.contains("unknown flag --frobnicate for `stream`"),
+        "stderr must name the flag and subcommand: {stderr}"
+    );
+    assert!(stderr.contains("usage:"), "no usage in: {stderr}");
+}
+
+#[test]
+fn cli_help_prints_usage_on_stdout_and_succeeds() {
+    let (code, stdout, _stderr) = run_cli_code(&["help"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("usage:"), "help must print usage: {stdout}");
+    assert!(stdout.contains("priste-cli calibrate"));
 }
 
 #[test]
@@ -106,18 +151,89 @@ fn cli_stream_is_deterministic_under_a_fixed_seed() {
 }
 
 #[test]
-fn cli_stream_exits_nonzero_on_bad_input() {
+fn cli_stream_exits_2_on_bad_input() {
     for bad in [
         vec!["stream", "--users", "0"],
         vec!["stream", "--kind", "martian"],
         vec!["stream", "--event", "NOPE()", "--side", "4"],
         vec!["stream", "--epsilon", "-1", "--side", "4"],
         vec!["stream", "--users", "not-a-number"],
+        vec!["stream", "--mode", "maybe", "--side", "4"],
     ] {
-        let (ok, _stdout, stderr) = run_cli(&bad);
-        assert!(!ok, "{bad:?} should fail");
+        let (code, _stdout, stderr) = run_cli_code(&bad);
+        assert_eq!(code, Some(2), "{bad:?} should be a usage error");
         assert!(stderr.contains("usage:"), "no usage in: {stderr}");
     }
+}
+
+#[test]
+fn cli_stream_enforce_mode_reports_suppressions_column() {
+    let (ok, stdout, stderr) = run_cli(&[
+        "stream",
+        "--users",
+        "4",
+        "--steps",
+        "4",
+        "--side",
+        "4",
+        "--mode",
+        "enforce",
+        "--epsilon",
+        "0.8",
+        "--alpha",
+        "2",
+        "--seed",
+        "9",
+    ]);
+    assert!(ok, "enforce stream failed: {stderr}");
+    assert!(stdout.starts_with("user,observations,worst_loss,suppressed"));
+    assert!(stdout.contains("total,4 users,16 observations"));
+    assert!(stdout.contains("suppressed"), "totals: {stdout}");
+}
+
+/// The acceptance demo: on the commuter scenario the uncalibrated
+/// planar-Laplace release FAILS the target ε* while the calibrated one
+/// certifies it — deterministically.
+#[test]
+fn cli_calibrate_demo_uncalibrated_fails_and_calibrated_certifies() {
+    let args = [
+        "calibrate",
+        "--kind",
+        "commuter",
+        "--side",
+        "5",
+        "--horizon",
+        "3",
+        "--steps",
+        "6",
+        "--target",
+        "0.8",
+        "--alpha",
+        "2",
+        "--seed",
+        "3",
+    ];
+    let (ok, stdout, stderr) = run_cli(&args);
+    assert!(ok, "calibrate failed: {stderr}");
+    assert!(
+        stdout.contains("FAILS ε* = 0.8"),
+        "uncalibrated demo must fail the target: {stdout}"
+    );
+    assert!(
+        stdout.contains("→ certified"),
+        "calibrated demo must certify: {stdout}"
+    );
+    assert!(
+        stdout.contains("t,budget,capacity,slack,verdict"),
+        "plan table missing: {stdout}"
+    );
+    assert!(
+        stdout.contains("uniform-split:"),
+        "baseline missing: {stdout}"
+    );
+    let (ok2, stdout2, _) = run_cli(&args);
+    assert!(ok2);
+    assert_eq!(stdout, stdout2, "calibrate must be seed-deterministic");
 }
 
 /// `examples/quickstart.rs` (seeded with `StdRng::seed_from_u64(42)`) must

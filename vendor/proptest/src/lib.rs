@@ -3,7 +3,7 @@
 //!
 //! - the [`strategy::Strategy`] trait with `prop_map` / `prop_filter` /
 //!   `prop_flat_map` / `boxed`,
-//! - range, tuple, [`strategy::Just`], [`collection::vec`] and [`bool`]
+//! - range, tuple, [`strategy::Just`], `collection::vec` and [`mod@bool`]
 //!   strategies,
 //! - the [`proptest!`] macro with `#![proptest_config(..)]` support,
 //! - [`prop_assert!`] / [`prop_assert_eq!`].

@@ -74,7 +74,7 @@ impl<S: Strategy + ?Sized> Strategy for Box<S> {
 }
 
 /// `&str` is a regex-shaped strategy producing matching `String`s, mirroring
-/// upstream proptest (see [`crate::string`] for the supported subset).
+/// upstream proptest (see the private `string` module for the supported subset).
 impl Strategy for &str {
     type Value = String;
     fn generate(&self, rng: &mut TestRng) -> String {
