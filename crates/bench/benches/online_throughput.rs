@@ -19,7 +19,7 @@ use priste_online::{OnlineConfig, SessionManager, UserId};
 use priste_quantify::{fixed_pi::FixedPiQuantifier, IncrementalTwoWorld};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// One world: an 8×8 grid (m = 64), a presence event over timestamps 3–6,
 /// and a seeded stream of `horizon` PLM emission columns.
@@ -96,12 +96,12 @@ fn bench_users_scaling(c: &mut Criterion) {
 
     let horizon = 20usize;
     let (event, provider, cols, pi) = setup(horizon);
-    let provider = Rc::new(provider);
+    let provider = Arc::new(provider);
     for users in [8usize, 32, 128] {
         group.bench_with_input(BenchmarkId::new("ingest_batch", users), &users, |b, _| {
             b.iter(|| {
                 let mut svc = SessionManager::new(
-                    Rc::clone(&provider),
+                    Arc::clone(&provider),
                     OnlineConfig {
                         epsilon: 1.0,
                         num_shards: 8,

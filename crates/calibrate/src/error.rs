@@ -4,6 +4,7 @@ use std::fmt;
 
 /// Errors produced by the calibration layer.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum CalibrateError {
     /// A mechanism-layer error (rebuilding an LPPM at a decayed budget).
     Lppm(LppmError),

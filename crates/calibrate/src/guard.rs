@@ -195,6 +195,88 @@ impl MechanismCache {
         }
         Ok(self.variants[&budget.to_bits()].as_ref())
     }
+
+    /// Pre-builds every rung of `config`'s backoff ladder (the exact budget
+    /// sequence [`run_guard`] walks), so subsequent lookups need no
+    /// mutation and the cache can be shared read-only across the worker
+    /// threads of a parallel release path ([`run_guard_prewarmed`]).
+    ///
+    /// # Errors
+    /// Mechanism rebuild failures.
+    pub fn prewarm(&mut self, config: &GuardConfig) -> Result<()> {
+        let mut budget = self.base_budget.max(config.floor);
+        let mut rungs = 0usize;
+        loop {
+            self.at(budget)?;
+            rungs += 1;
+            if budget <= config.floor || rungs >= MAX_ATTEMPTS {
+                return Ok(());
+            }
+            budget = if rungs >= MAX_ATTEMPTS - 1 {
+                config.floor
+            } else {
+                (budget * config.backoff).max(config.floor)
+            };
+        }
+    }
+
+    /// Read-only rung lookup; the rung must already exist (base budget or
+    /// [`MechanismCache::prewarm`]ed / previously-built variant).
+    ///
+    /// # Errors
+    /// [`CalibrateError::InvalidConfig`] naming the missing budget.
+    pub fn get(&self, budget: f64) -> Result<&dyn Lppm> {
+        if budget == self.base_budget {
+            return Ok(self.base.as_ref());
+        }
+        self.variants
+            .get(&budget.to_bits())
+            .map(Box::as_ref)
+            .ok_or_else(|| CalibrateError::InvalidConfig {
+                message: format!("budget {budget} is not prewarmed in the mechanism cache"),
+            })
+    }
+}
+
+/// Where [`run_guard`]'s loop obtains the mechanism for each rung: a
+/// mutable cache that builds variants on demand, or a prewarmed cache
+/// shared read-only across threads.
+trait RungSource {
+    fn rung(&mut self, budget: f64) -> Result<&dyn Lppm>;
+    fn num_cells(&self) -> usize;
+    fn base_budget(&self) -> f64;
+}
+
+struct BuildOnDemand<'a>(&'a mut MechanismCache);
+
+impl RungSource for BuildOnDemand<'_> {
+    fn rung(&mut self, budget: f64) -> Result<&dyn Lppm> {
+        self.0.at(budget)
+    }
+
+    fn num_cells(&self) -> usize {
+        self.0.num_cells()
+    }
+
+    fn base_budget(&self) -> f64 {
+        self.0.base_budget()
+    }
+}
+
+struct Prewarmed<'a>(&'a MechanismCache);
+
+impl RungSource for Prewarmed<'_> {
+    fn rung(&mut self, budget: f64) -> Result<&dyn Lppm> {
+        self.0.get(budget)
+    }
+
+    fn num_cells(&self) -> usize {
+        self.0.num_cells()
+    }
+
+    fn base_budget(&self) -> f64 {
+        self.0.base_budget()
+    }
 }
 
 /// One rung of the backoff ladder: what was sampled and how it fared.
@@ -267,15 +349,49 @@ pub fn run_guard<F>(
     config: &GuardConfig,
     true_loc: CellId,
     rng: &mut dyn RngCore,
-    mut worst_loss: F,
+    worst_loss: F,
 ) -> Result<GuardOutcome>
 where
     F: FnMut(&Vector) -> Result<f64>,
 {
+    run_guard_with(BuildOnDemand(cache), config, true_loc, rng, worst_loss)
+}
+
+/// [`run_guard`] against a **shared, read-only** cache: every rung of the
+/// ladder must already exist ([`MechanismCache::prewarm`] with the same
+/// `config`). This is the loop the parallel batched release path runs on —
+/// many worker threads, one cache, no locks.
+///
+/// # Errors
+/// As [`run_guard`], plus a missing (un-prewarmed) rung.
+pub fn run_guard_prewarmed<F>(
+    cache: &MechanismCache,
+    config: &GuardConfig,
+    true_loc: CellId,
+    rng: &mut dyn RngCore,
+    worst_loss: F,
+) -> Result<GuardOutcome>
+where
+    F: FnMut(&Vector) -> Result<f64>,
+{
+    run_guard_with(Prewarmed(cache), config, true_loc, rng, worst_loss)
+}
+
+fn run_guard_with<S, F>(
+    mut source: S,
+    config: &GuardConfig,
+    true_loc: CellId,
+    rng: &mut dyn RngCore,
+    mut worst_loss: F,
+) -> Result<GuardOutcome>
+where
+    S: RungSource,
+    F: FnMut(&Vector) -> Result<f64>,
+{
     let mut attempts = Vec::new();
-    let mut budget = cache.base_budget().max(config.floor);
+    let mut budget = source.base_budget().max(config.floor);
     loop {
-        let mechanism = cache.at(budget)?;
+        let mechanism = source.rung(budget)?;
         let observed = mechanism.perturb(true_loc, rng);
         let column = mechanism.emission_column(observed);
         let loss = worst_loss(&column)?;
@@ -303,7 +419,7 @@ where
         if budget <= config.floor || attempts.len() >= MAX_ATTEMPTS {
             return Ok(match config.on_exhaustion {
                 OnExhaustion::Suppress => {
-                    let m = cache.num_cells();
+                    let m = source.num_cells();
                     GuardOutcome {
                         decision: Decision::Suppressed,
                         attempts,

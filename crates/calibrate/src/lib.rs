@@ -59,8 +59,9 @@ pub mod plan;
 
 pub use error::CalibrateError;
 pub use guard::{
-    peek_worst_loss, run_guard, validate_mechanism, Attempt, CalibratedMechanism,
-    CalibratedRelease, Decision, GuardConfig, GuardOutcome, MechanismCache, OnExhaustion,
+    peek_worst_loss, run_guard, run_guard_prewarmed, validate_mechanism, Attempt,
+    CalibratedMechanism, CalibratedRelease, Decision, GuardConfig, GuardOutcome, MechanismCache,
+    OnExhaustion,
 };
 pub use plan::{plan_greedy, plan_uniform_split, BudgetPlan, PlannedStep, PlannerConfig};
 

@@ -221,9 +221,9 @@ pub fn plan_uniform_split<P: TransitionProvider>(
 /// Shared planner state: the mechanism ladder cache, the Theorem builder
 /// advanced along the canonical worst-column history, and the accumulated
 /// steps.
-struct Planner<'e, P> {
+struct Planner<P> {
     cache: MechanismCache,
-    builder: TheoremBuilder<'e, P>,
+    builder: TheoremBuilder<P>,
     target: f64,
     eps_hi: f64,
     config: PlannerConfig,
@@ -231,10 +231,10 @@ struct Planner<'e, P> {
     steps: Vec<PlannedStep>,
 }
 
-impl<'e, P: TransitionProvider> Planner<'e, P> {
+impl<P: TransitionProvider> Planner<P> {
     fn new(
         lppm: Box<dyn Lppm>,
-        event: &'e StEvent,
+        event: &StEvent,
         provider: P,
         horizon: usize,
         target: f64,

@@ -2,6 +2,7 @@ use std::fmt;
 
 /// Errors surfaced by the PriSTE framework.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum CoreError {
     /// A mechanism-layer failure.
     Lppm(priste_lppm::LppmError),
@@ -60,7 +61,18 @@ impl fmt::Display for CoreError {
     }
 }
 
-impl std::error::Error for CoreError {}
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Lppm(e) => Some(e),
+            CoreError::Quantify(e) => Some(e),
+            CoreError::Event(e) => Some(e),
+            CoreError::Markov(e) => Some(e),
+            CoreError::Geo(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<priste_lppm::LppmError> for CoreError {
     fn from(e: priste_lppm::LppmError) -> Self {

@@ -7,7 +7,7 @@ use priste_markov::TransitionProvider;
 use priste_qp::{TheoremChecker, TheoremVerdict};
 use priste_quantify::TheoremBuilder;
 use rand::RngCore;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Outcome of one released timestamp.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,8 +32,12 @@ pub struct ReleaseRecord {
 
 /// The PriSTE engine: one [`TheoremBuilder`] per protected event, a QP
 /// checker, and the budget-decay release loop of Algorithms 2/3.
-pub struct Priste<'e, P, S> {
-    builders: Vec<TheoremBuilder<'e, P>>,
+///
+/// Owns its per-event builders (which own their events), so a `Priste`
+/// value has no borrowed event slice and can be returned from builder APIs
+/// such as `priste::Pipeline::audit`.
+pub struct Priste<P, S> {
+    builders: Vec<TheoremBuilder<P>>,
     checker: TheoremChecker,
     source: S,
     config: PristeConfig,
@@ -41,7 +45,17 @@ pub struct Priste<'e, P, S> {
     t: usize,
 }
 
-impl<'e, P, S> Priste<'e, P, S>
+impl<P, S> std::fmt::Debug for Priste<P, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Priste")
+            .field("events", &self.builders.len())
+            .field("epsilon", &self.config.epsilon)
+            .field("released", &self.t)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P, S> Priste<P, S>
 where
     P: TransitionProvider + Clone,
     S: MechanismSource,
@@ -52,7 +66,7 @@ where
     /// [`CoreError::NoEvents`] for an empty event list; domain mismatches
     /// and configuration errors from the layers below.
     pub fn new(
-        events: &'e [StEvent],
+        events: &[StEvent],
         provider: P,
         source: S,
         grid: GridMap,
@@ -104,7 +118,7 @@ where
         let t = self.t + 1;
         let base = self.source.base_mechanism(t)?;
         let mut budget = self.source.base_budget();
-        let mut mechanism = Rc::clone(&base);
+        let mut mechanism = Arc::clone(&base);
         let mut attempts = 0u32;
         let mut conservative_hits = 0u32;
 
@@ -174,7 +188,7 @@ where
                 });
             }
             budget = next_budget;
-            mechanism = Rc::new(mechanism.with_budget(budget)?);
+            mechanism = Arc::new(mechanism.with_budget(budget)?);
         }
     }
 }
@@ -265,8 +279,8 @@ mod tests {
         for &loc in &traj {
             let rec = priste.release(loc, &mut rng).unwrap();
             // Reconstruct the emission column the framework released under.
-            let mech: Rc<Box<dyn priste_lppm::Lppm>> = if rec.final_budget == 0.0 {
-                Rc::new(Box::new(UniformMechanism::new(9)))
+            let mech: Arc<Box<dyn priste_lppm::Lppm>> = if rec.final_budget == 0.0 {
+                Arc::new(Box::new(UniformMechanism::new(9)))
             } else {
                 source_for_columns.at_budget(rec.final_budget).unwrap()
             };

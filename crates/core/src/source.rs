@@ -12,7 +12,7 @@ use priste_linalg::Vector;
 use priste_lppm::{DeltaLocationSet, Lppm, PlanarLaplace, PosteriorTracker};
 use priste_markov::MarkovModel;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Supplier of the base mechanism at each timestamp, with a hook for
 /// observing what was actually released (Algorithm 3's posterior update).
@@ -22,7 +22,7 @@ pub trait MechanismSource {
     ///
     /// # Errors
     /// Mechanism construction failures.
-    fn base_mechanism(&mut self, t: usize) -> Result<Rc<Box<dyn Lppm>>>;
+    fn base_mechanism(&mut self, t: usize) -> Result<Arc<Box<dyn Lppm>>>;
 
     /// Notification of the released observation and the emission column it
     /// was released under.
@@ -35,13 +35,30 @@ pub trait MechanismSource {
     fn base_budget(&self) -> f64;
 }
 
+/// Boxed sources delegate, so heterogeneous pipelines (`PlmSource` vs
+/// [`DeltaLocSource`]) can share one `Priste<_, Box<dyn MechanismSource>>`
+/// type.
+impl<T: MechanismSource + ?Sized> MechanismSource for Box<T> {
+    fn base_mechanism(&mut self, t: usize) -> Result<Arc<Box<dyn Lppm>>> {
+        (**self).base_mechanism(t)
+    }
+
+    fn on_release(&mut self, t: usize, observed: CellId, emission_column: &Vector) -> Result<()> {
+        (**self).on_release(t, observed, emission_column)
+    }
+
+    fn base_budget(&self) -> f64 {
+        (**self).base_budget()
+    }
+}
+
 /// Algorithm 2's source: a fixed α-Planar-Laplace mechanism with a cache of
 /// decayed variants (the α, α/2, α/4, … ladder repeats across timestamps
 /// and runs, and each rebuild costs an `O(m²)` discretization).
 pub struct PlmSource {
-    base: Rc<Box<dyn Lppm>>,
+    base: Arc<Box<dyn Lppm>>,
     alpha: f64,
-    cache: HashMap<u64, Rc<Box<dyn Lppm>>>,
+    cache: HashMap<u64, Arc<Box<dyn Lppm>>>,
 }
 
 impl PlmSource {
@@ -51,33 +68,41 @@ impl PlmSource {
     /// PLM construction failures (bad α).
     pub fn new(grid: GridMap, alpha: f64) -> Result<Self> {
         let plm = PlanarLaplace::new(grid, alpha)?;
-        Ok(PlmSource {
-            base: Rc::new(Box::new(plm) as Box<dyn Lppm>),
+        Ok(Self::from_mechanism(Box::new(plm)))
+    }
+
+    /// Wraps an arbitrary prototype mechanism as an Algorithm 2-style
+    /// source; the prototype's construction-time budget is the base of the
+    /// decay ladder.
+    pub fn from_mechanism(lppm: Box<dyn Lppm>) -> Self {
+        let alpha = lppm.budget();
+        PlmSource {
+            base: Arc::new(lppm),
             alpha,
             cache: HashMap::new(),
-        })
+        }
     }
 
     /// Returns the (cached) variant of the base mechanism at `budget`.
     ///
     /// # Errors
     /// Mechanism rebuild failures.
-    pub fn at_budget(&mut self, budget: f64) -> Result<Rc<Box<dyn Lppm>>> {
+    pub fn at_budget(&mut self, budget: f64) -> Result<Arc<Box<dyn Lppm>>> {
         if budget == self.alpha {
-            return Ok(Rc::clone(&self.base));
+            return Ok(Arc::clone(&self.base));
         }
         if let Some(hit) = self.cache.get(&budget.to_bits()) {
-            return Ok(Rc::clone(hit));
+            return Ok(Arc::clone(hit));
         }
-        let built = Rc::new(self.base.with_budget(budget)?);
-        self.cache.insert(budget.to_bits(), Rc::clone(&built));
+        let built = Arc::new(self.base.with_budget(budget)?);
+        self.cache.insert(budget.to_bits(), Arc::clone(&built));
         Ok(built)
     }
 }
 
 impl MechanismSource for PlmSource {
-    fn base_mechanism(&mut self, _t: usize) -> Result<Rc<Box<dyn Lppm>>> {
-        Ok(Rc::clone(&self.base))
+    fn base_mechanism(&mut self, _t: usize) -> Result<Arc<Box<dyn Lppm>>> {
+        Ok(Arc::clone(&self.base))
     }
 
     fn on_release(
@@ -138,12 +163,12 @@ impl DeltaLocSource {
 }
 
 impl MechanismSource for DeltaLocSource {
-    fn base_mechanism(&mut self, _t: usize) -> Result<Rc<Box<dyn Lppm>>> {
+    fn base_mechanism(&mut self, _t: usize) -> Result<Arc<Box<dyn Lppm>>> {
         // Line 2 of Algorithm 3: Markov construction step.
         let prior = self.tracker.advance(self.chain.transition())?;
         let mech = self.dls.mechanism_for(&prior, self.alpha)?;
         self.pending_prior = Some(prior);
-        Ok(Rc::new(Box::new(mech) as Box<dyn Lppm>))
+        Ok(Arc::new(Box::new(mech) as Box<dyn Lppm>))
     }
 
     fn on_release(&mut self, _t: usize, _observed: CellId, emission_column: &Vector) -> Result<()> {
@@ -174,7 +199,7 @@ mod tests {
         assert_eq!(src.base_budget(), 0.8);
         let a = src.at_budget(0.4).unwrap();
         let b = src.at_budget(0.4).unwrap();
-        assert!(Rc::ptr_eq(&a, &b), "cache must return the same mechanism");
+        assert!(Arc::ptr_eq(&a, &b), "cache must return the same mechanism");
         assert_eq!(a.budget(), 0.4);
         // The base budget bypasses the cache.
         let base = src.at_budget(0.8).unwrap();

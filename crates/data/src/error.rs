@@ -2,6 +2,7 @@ use std::fmt;
 
 /// Errors produced by dataset construction and parsing.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum DataError {
     /// Geometry-layer failure.
     Geo(priste_geo::GeoError),
@@ -38,7 +39,16 @@ impl fmt::Display for DataError {
     }
 }
 
-impl std::error::Error for DataError {}
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Geo(e) => Some(e),
+            DataError::Markov(e) => Some(e),
+            DataError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<priste_geo::GeoError> for DataError {
     fn from(e: priste_geo::GeoError) -> Self {

@@ -2,6 +2,7 @@ use std::fmt;
 
 /// Errors produced by event construction, validation and parsing.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum EventError {
     /// A time window was empty or inverted (`start > end` or `start == 0`).
     InvalidWindow {

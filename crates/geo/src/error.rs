@@ -2,6 +2,7 @@ use std::fmt;
 
 /// Errors produced by spatial constructions and lookups.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum GeoError {
     /// A cell index exceeded the state-domain size.
     CellOutOfRange {

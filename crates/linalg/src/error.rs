@@ -2,6 +2,7 @@ use std::fmt;
 
 /// Errors produced by shape checks and numerical validations.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum LinalgError {
     /// Two operands had incompatible dimensions.
     DimensionMismatch {

@@ -2,6 +2,7 @@ use std::fmt;
 
 /// Errors produced by mechanism construction and use.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum LppmError {
     /// A privacy budget was non-positive or non-finite.
     InvalidBudget {
@@ -44,7 +45,14 @@ impl fmt::Display for LppmError {
     }
 }
 
-impl std::error::Error for LppmError {}
+impl std::error::Error for LppmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LppmError::InvalidPrior(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -11,7 +11,11 @@ use rand::RngCore;
 /// row of [`Lppm::emission_matrix`] for the true cell — the quantification
 /// engine's privacy accounting is only sound if the matrix *is* the
 /// mechanism, not an approximation of it.
-pub trait Lppm {
+///
+/// `Send + Sync` are supertraits: a mechanism is immutable matrix data, and
+/// requiring thread-safety here is what lets `Box<dyn Lppm>` live inside
+/// the `Send + Sync` streaming service and its parallel release path.
+pub trait Lppm: Send + Sync {
     /// State-domain size `m`.
     fn num_cells(&self) -> usize;
 

@@ -5,6 +5,7 @@ use std::fmt;
 
 /// Errors produced by Markov-model construction and use.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum MarkovError {
     /// The transition matrix failed stochasticity or shape validation.
     InvalidTransition(LinalgError),
@@ -37,7 +38,14 @@ impl fmt::Display for MarkovError {
     }
 }
 
-impl std::error::Error for MarkovError {}
+impl std::error::Error for MarkovError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MarkovError::InvalidTransition(e) | MarkovError::InvalidInitial(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// A first-order Markov chain over the state domain `S = {s_1, …, s_m}`.
 ///

@@ -116,8 +116,10 @@ impl<T: TransitionProvider + ?Sized> TransitionProvider for &T {
 
 /// Shared-ownership provider: lets many long-lived consumers (e.g. the
 /// per-user event windows of a streaming service) reference one mobility
-/// model without cloning its matrices.
-impl<T: TransitionProvider + ?Sized> TransitionProvider for std::rc::Rc<T> {
+/// model without cloning its matrices. `Arc` rather than `Rc` so the
+/// sharing consumers — sessions, managers, pipelines — stay `Send + Sync`
+/// and can fan work out across threads.
+impl<T: TransitionProvider + ?Sized> TransitionProvider for std::sync::Arc<T> {
     fn num_states(&self) -> usize {
         (**self).num_states()
     }
@@ -176,13 +178,13 @@ mod tests {
     }
 
     #[test]
-    fn rc_provider_delegates_and_shares() {
-        let h = std::rc::Rc::new(Homogeneous::new(MarkovModel::paper_example()));
-        fn takes_provider<P: TransitionProvider>(p: P) -> usize {
+    fn arc_provider_delegates_and_shares() {
+        let h = std::sync::Arc::new(Homogeneous::new(MarkovModel::paper_example()));
+        fn takes_provider<P: TransitionProvider + Send + Sync>(p: P) -> usize {
             p.num_states()
         }
-        assert_eq!(takes_provider(std::rc::Rc::clone(&h)), 3);
-        let clone = std::rc::Rc::clone(&h);
+        assert_eq!(takes_provider(std::sync::Arc::clone(&h)), 3);
+        let clone = std::sync::Arc::clone(&h);
         assert_eq!(h.transition_at(1), clone.transition_at(7));
     }
 }

@@ -4,6 +4,7 @@ use std::fmt;
 
 /// Errors produced by the streaming service layer.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum OnlineError {
     /// A quantification-layer error (domain mismatches, bad distributions,
     /// malformed emission columns, degenerate priors, zero likelihoods).

@@ -28,7 +28,7 @@
 //! exhaustion) *before* the observation leaves the mechanism — the windows
 //! consult the `priste-calibrate` guard instead of merely auditing.
 //!
-//! Share the mobility model across the fleet with `Rc`:
+//! Share the mobility model across the fleet with `Arc`:
 //!
 //! ```
 //! use priste_event::{Presence, StEvent};
@@ -36,10 +36,10 @@
 //! use priste_linalg::Vector;
 //! use priste_markov::{Homogeneous, MarkovModel};
 //! use priste_online::{OnlineConfig, SessionManager, UserId};
-//! use std::rc::Rc;
+//! use std::sync::Arc;
 //!
-//! let chain = Rc::new(Homogeneous::new(MarkovModel::paper_example()));
-//! let mut svc = SessionManager::new(Rc::clone(&chain), OnlineConfig::default())?;
+//! let chain = Arc::new(Homogeneous::new(MarkovModel::paper_example()));
+//! let mut svc = SessionManager::new(Arc::clone(&chain), OnlineConfig::default())?;
 //! let region = Region::from_one_based_range(3, 1, 2)?;
 //! let tpl = svc.register_template(StEvent::from(Presence::new(region, 2, 3)?))?;
 //! svc.add_user(UserId(1), Vector::uniform(3))?;

@@ -3,15 +3,94 @@
 
 use crate::session::{report_from_step, EventWindow, Session, UserId, UserReport, Verdict};
 use crate::{OnlineError, Result};
-use priste_calibrate::{peek_worst_loss, run_guard, Decision, GuardConfig, MechanismCache};
+use priste_calibrate::{
+    peek_worst_loss, run_guard, run_guard_prewarmed, Decision, GuardConfig, GuardOutcome,
+    MechanismCache,
+};
 use priste_event::StEvent;
 use priste_geo::CellId;
 use priste_linalg::{Matrix, Vector};
 use priste_lppm::Lppm;
 use priste_markov::TransitionProvider;
 use priste_quantify::{QuantifyError, TwoWorldEngine};
-use rand::RngCore;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
 use std::collections::BTreeMap;
+
+/// Resolves a caller-facing thread knob: `0` means "one worker per
+/// available core".
+fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// One deterministic RNG stream per shard, split from a batch seed: the
+/// parallel release path draws identical candidates for a shard no matter
+/// how shards are assigned to worker threads.
+fn shard_rng(seed: u64, shard: usize) -> StdRng {
+    StdRng::seed_from_u64(seed.wrapping_add((shard as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+/// Shared fan-out scaffolding for the parallel batched paths: round-robins
+/// the per-shard jobs over up to `threads` scoped workers, joins, and
+/// merges results. Shards hold disjoint sessions, so workers need no
+/// locks. Returns the collected items, the merged stats delta — including
+/// deltas from shards that committed before another shard failed, so the
+/// caller can keep [`ServiceStats`] consistent with mutated session state
+/// — and the first error, if any.
+fn fan_out_shards<J, T>(
+    jobs: Vec<J>,
+    threads: usize,
+    work: impl Fn(J, &mut Vec<T>, &mut ServiceStats) -> Result<()> + Sync,
+) -> (Vec<T>, ServiceStats, Option<OnlineError>)
+where
+    J: Send,
+    T: Send,
+{
+    let threads = resolve_threads(threads);
+    let mut buckets: Vec<Vec<J>> = (0..threads).map(|_| Vec::new()).collect();
+    for (k, job) in jobs.into_iter().enumerate() {
+        buckets[k % threads].push(job);
+    }
+    let mut items = Vec::new();
+    let mut merged = ServiceStats::default();
+    let mut failure: Option<OnlineError> = None;
+    let work = &work;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .filter(|bucket| !bucket.is_empty())
+            .map(|bucket| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut delta = ServiceStats::default();
+                    let mut err = None;
+                    for job in bucket {
+                        if let Err(e) = work(job, &mut out, &mut delta) {
+                            err = Some(e);
+                            break;
+                        }
+                    }
+                    (out, delta, err)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (mut out, delta, err) = handle.join().expect("shard worker panicked");
+            items.append(&mut out);
+            merged.absorb(&delta);
+            if failure.is_none() {
+                failure = err;
+            }
+        }
+    });
+    (items, merged, failure)
+}
 
 /// Service configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -85,6 +164,19 @@ pub struct ServiceStats {
     pub suppressed: usize,
 }
 
+impl ServiceStats {
+    /// Adds another counter set onto this one — the batched paths compute
+    /// per-shard deltas (possibly on worker threads) and merge them here.
+    pub fn absorb(&mut self, other: &ServiceStats) {
+        self.observations += other.observations;
+        self.evicted_windows += other.evicted_windows;
+        self.certified += other.certified;
+        self.violated += other.violated;
+        self.mismatched += other.mismatched;
+        self.suppressed += other.suppressed;
+    }
+}
+
 /// The enforcing-mode machinery: one shared mechanism ladder plus the
 /// guard configuration. Sessions in an enforcing service release through
 /// [`SessionManager::release`], which consults the user's event windows
@@ -124,8 +216,8 @@ pub struct EnforcedRelease {
 /// absolute-time schedules would need an offsetting provider (future work).
 ///
 /// Share the model across the many per-window states with a cheap-to-clone
-/// provider — `Rc<Homogeneous>` is the intended instantiation
-/// (`TransitionProvider` is implemented for `Rc<T>`).
+/// provider — `Arc<Homogeneous>` is the intended instantiation
+/// (`TransitionProvider` is implemented for `Arc<T>`).
 ///
 /// [`LiftedStep`]: priste_quantify::lifted::LiftedStep
 #[derive(Debug)]
@@ -371,7 +463,33 @@ impl<P: TransitionProvider + Clone> SessionManager<P> {
     /// and emission validation errors — all detected *before* any state is
     /// mutated, so a failed batch leaves the service unchanged.
     pub fn ingest_batch(&mut self, batch: &[(UserId, Vector)]) -> Result<Vec<UserReport>> {
-        // ---- Validation pass (no mutation). -----------------------------
+        let by_shard = self.validate_batch(batch)?;
+        let mut reports = Vec::with_capacity(batch.len());
+        for (shard_idx, wanted) in by_shard.iter().enumerate() {
+            if wanted.is_empty() {
+                continue;
+            }
+            let (mut shard_reports, delta) = Self::process_shard(
+                &self.provider,
+                &self.templates,
+                &mut self.shards[shard_idx],
+                wanted,
+                &self.config,
+            );
+            self.stats.absorb(&delta);
+            reports.append(&mut shard_reports);
+        }
+        reports.sort_by_key(|r| r.user);
+        Ok(reports)
+    }
+
+    /// Validation pass for one same-timestep batch (no mutation): emission
+    /// shape, user existence, one-observation-per-user. Returns the
+    /// per-shard observation maps.
+    fn validate_batch<'b>(
+        &self,
+        batch: &'b [(UserId, Vector)],
+    ) -> Result<Vec<BTreeMap<u64, &'b Vector>>> {
         let m = self.provider.num_states();
         let mut by_shard: Vec<BTreeMap<u64, &Vector>> =
             (0..self.shards.len()).map(|_| BTreeMap::new()).collect();
@@ -390,43 +508,45 @@ impl<P: TransitionProvider + Clone> SessionManager<P> {
                 return Err(OnlineError::DuplicateObservation { user: id.0 });
             }
         }
+        Ok(by_shard)
+    }
 
-        // ---- Batched update, shard by shard. ----------------------------
-        let mut reports = Vec::with_capacity(batch.len());
-        for (shard_idx, wanted) in by_shard.iter().enumerate() {
-            if wanted.is_empty() {
-                continue;
-            }
-            let shard = &mut self.shards[shard_idx];
-            let mut selected: Vec<(&mut Session<P>, &Vector)> = shard
-                .values_mut()
-                .filter_map(|s| wanted.get(&s.id().0).map(|col| (s, *col)))
-                .collect();
+    /// One shard's slice of a batched ingest: posterior propagation, window
+    /// advancement, ledger/eviction — returning the reports (session-id
+    /// order) plus the stats delta to merge. Free of `&mut self` so the
+    /// parallel path can run disjoint shards on worker threads.
+    fn process_shard(
+        provider: &P,
+        templates: &[StEvent],
+        shard: &mut BTreeMap<u64, Session<P>>,
+        wanted: &BTreeMap<u64, &Vector>,
+        config: &OnlineConfig,
+    ) -> (Vec<UserReport>, ServiceStats) {
+        let mut stats = ServiceStats::default();
+        let mut reports = Vec::with_capacity(wanted.len());
+        let mut selected: Vec<(&mut Session<P>, &Vector)> = shard
+            .values_mut()
+            .filter_map(|s| wanted.get(&s.id().0).map(|col| (s, *col)))
+            .collect();
 
-            Self::propagate_posteriors(&self.provider, &mut selected);
-            let window_reports = Self::advance_windows(
-                &self.provider,
-                &self.templates,
-                &mut selected,
-                self.config.epsilon,
-            );
+        Self::propagate_posteriors(provider, &mut selected);
+        let window_reports =
+            Self::advance_windows(provider, templates, &mut selected, config.epsilon);
 
-            for ((session, _), wreps) in selected.iter_mut().zip(window_reports) {
-                for r in &wreps {
-                    match r.verdict {
-                        Verdict::Certified => self.stats.certified += 1,
-                        Verdict::Violated => self.stats.violated += 1,
-                        Verdict::ModelMismatch => self.stats.mismatched += 1,
-                    }
+        for ((session, _), wreps) in selected.iter_mut().zip(window_reports) {
+            for r in &wreps {
+                match r.verdict {
+                    Verdict::Certified => stats.certified += 1,
+                    Verdict::Violated => stats.violated += 1,
+                    Verdict::ModelMismatch => stats.mismatched += 1,
                 }
-                let report = session.finish_observation(wreps, self.config.linger);
-                self.stats.observations += 1;
-                self.stats.evicted_windows += report.evicted;
-                reports.push(report);
             }
+            let report = session.finish_observation(wreps, config.linger);
+            stats.observations += 1;
+            stats.evicted_windows += report.evicted;
+            reports.push(report);
         }
-        reports.sort_by_key(|r| r.user);
-        Ok(reports)
+        (reports, stats)
     }
 
     /// Batched posterior filtering: stacks `p · M` across the shard's
@@ -538,5 +658,168 @@ impl<P: TransitionProvider + Clone> SessionManager<P> {
 
     fn shard_of(&self, id: UserId) -> usize {
         (id.0 % self.shards.len() as u64) as usize
+    }
+}
+
+/// The parallel batched paths — available when the shared model is
+/// thread-safe (the pipeline's `Arc`-backed provider is). Work fans out
+/// over the service's own shards with `std::thread::scope`: shards hold
+/// disjoint sessions, so there is nothing to lock, and the enforcing path
+/// draws from one prewarmed, read-only mechanism ladder.
+impl<P: TransitionProvider + Clone + Send + Sync> SessionManager<P> {
+    /// [`SessionManager::ingest_batch`] with the per-shard work fanned out
+    /// over up to `threads` workers (`0` = one per available core).
+    /// Reports, stats and session state are identical to the sequential
+    /// path for any thread count.
+    ///
+    /// # Errors
+    /// See [`SessionManager::ingest_batch`] — validation runs up front, so
+    /// a failed batch leaves the service unchanged.
+    pub fn ingest_batch_parallel(
+        &mut self,
+        batch: &[(UserId, Vector)],
+        threads: usize,
+    ) -> Result<Vec<UserReport>> {
+        let by_shard = self.validate_batch(batch)?;
+        let provider = &self.provider;
+        let templates = &self.templates;
+        let config = &self.config;
+
+        let jobs: Vec<_> = self
+            .shards
+            .iter_mut()
+            .zip(&by_shard)
+            .filter(|(_, wanted)| !wanted.is_empty())
+            .collect();
+        let (mut reports, merged, failure) =
+            fan_out_shards(jobs, threads, |(shard, wanted), out, delta| {
+                let (mut shard_reports, shard_delta) =
+                    Self::process_shard(provider, templates, shard, wanted, config);
+                out.append(&mut shard_reports);
+                delta.absorb(&shard_delta);
+                Ok(())
+            });
+        self.stats.absorb(&merged);
+        debug_assert!(failure.is_none(), "audit ingest workers are infallible");
+        reports.sort_by_key(|r| r.user);
+        Ok(reports)
+    }
+
+    /// One same-timestep **enforcing-mode** batch: calibrates and commits
+    /// at most one release per user — [`SessionManager::release`] at fleet
+    /// scale. The guard + commit work fans out over up to `threads` workers
+    /// (`0` = one per available core) on shard-disjoint state, drawing
+    /// candidates from one deterministic RNG stream per shard split from
+    /// `seed`, so results are bit-identical for any thread count.
+    ///
+    /// Returns one [`EnforcedRelease`] per request, sorted by user id.
+    ///
+    /// # Errors
+    /// [`OnlineError::NotEnforcing`] without enforcement enabled;
+    /// [`OnlineError::UnknownUser`]/[`OnlineError::InvalidLocation`]/
+    /// [`OnlineError::DuplicateObservation`] — all detected before any
+    /// state is mutated. A quantification failure mid-batch (not reachable
+    /// from validated inputs) may leave earlier shards committed; the
+    /// stats always reflect exactly what committed.
+    pub fn release_batch(
+        &mut self,
+        batch: &[(UserId, CellId)],
+        seed: u64,
+        threads: usize,
+    ) -> Result<Vec<EnforcedRelease>> {
+        let mut enforcer = self.enforcer.take().ok_or(OnlineError::NotEnforcing)?;
+        let result = self.release_batch_with(&mut enforcer, batch, seed, threads);
+        self.enforcer = Some(enforcer);
+        result
+    }
+
+    fn release_batch_with(
+        &mut self,
+        enforcer: &mut Enforcer,
+        batch: &[(UserId, CellId)],
+        seed: u64,
+        threads: usize,
+    ) -> Result<Vec<EnforcedRelease>> {
+        // The ladder is deterministic from the guard config: build it once
+        // so the workers can share the cache read-only.
+        enforcer.cache.prewarm(&enforcer.guard)?;
+
+        // ---- Validation pass (no mutation). -----------------------------
+        let m = self.provider.num_states();
+        let mut by_shard: Vec<BTreeMap<u64, CellId>> = vec![BTreeMap::new(); self.shards.len()];
+        for (id, loc) in batch {
+            if loc.index() >= m {
+                return Err(OnlineError::InvalidLocation {
+                    cell: loc.index(),
+                    num_cells: m,
+                });
+            }
+            let shard = self.shard_of(*id);
+            if !self.shards[shard].contains_key(&id.0) {
+                return Err(OnlineError::UnknownUser { user: id.0 });
+            }
+            if by_shard[shard].insert(id.0, *loc).is_some() {
+                return Err(OnlineError::DuplicateObservation { user: id.0 });
+            }
+        }
+
+        let provider = &self.provider;
+        let templates = &self.templates;
+        let config = &self.config;
+        let guard = &enforcer.guard;
+        let cache = &enforcer.cache;
+
+        let jobs: Vec<_> = self
+            .shards
+            .iter_mut()
+            .enumerate()
+            .zip(&by_shard)
+            .filter(|((_, _), wanted)| !wanted.is_empty())
+            .map(|((idx, shard), wanted)| (idx, shard, wanted))
+            .collect();
+        let (mut releases, merged, failure) =
+            fan_out_shards(jobs, threads, |(shard_idx, shard, wanted), out, delta| {
+                let mut rng = shard_rng(seed, shard_idx);
+                // Guard every user against their own windows (peek-only;
+                // commits follow below).
+                let mut outcomes: Vec<(u64, GuardOutcome)> = Vec::with_capacity(wanted.len());
+                for (&uid, &loc) in wanted {
+                    let session = shard.get(&uid).expect("validated above");
+                    let outcome = run_guard_prewarmed(cache, guard, loc, &mut rng, |column| {
+                        peek_worst_loss(session.windows.iter().map(|w| &w.state), column)
+                    })?;
+                    outcomes.push((uid, outcome));
+                }
+                // Commit the chosen columns through the normal batched
+                // audit path (posterior filtering, ledger, eviction). Both
+                // sides iterate in user-id order, so they zip 1:1.
+                let columns: BTreeMap<u64, &Vector> = outcomes
+                    .iter()
+                    .map(|(uid, outcome)| (*uid, &outcome.column))
+                    .collect();
+                let (reports, shard_delta) =
+                    Self::process_shard(provider, templates, shard, &columns, config);
+                delta.absorb(&shard_delta);
+                for ((_, outcome), report) in outcomes.into_iter().zip(reports) {
+                    if outcome.decision == Decision::Suppressed {
+                        delta.suppressed += 1;
+                    }
+                    out.push(EnforcedRelease {
+                        decision: outcome.decision,
+                        attempts: outcome.attempts.len(),
+                        report,
+                    });
+                }
+                Ok(())
+            });
+        // Absorb the deltas from shards that committed even when another
+        // shard failed — the stats must stay consistent with the mutated
+        // session state.
+        self.stats.absorb(&merged);
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        releases.sort_by_key(|r| r.report.user);
+        Ok(releases)
     }
 }

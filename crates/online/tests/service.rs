@@ -12,14 +12,14 @@ use priste_online::{OnlineConfig, OnlineError, SessionManager, UserId, Verdict};
 use priste_quantify::{IncrementalTwoWorld, QuantifyError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn region(num_cells: usize, ids: &[usize]) -> Region {
     Region::from_cells(num_cells, ids.iter().map(|&i| CellId(i))).unwrap()
 }
 
-fn paper_chain() -> Rc<Homogeneous> {
-    Rc::new(Homogeneous::new(MarkovModel::paper_example()))
+fn paper_chain() -> Arc<Homogeneous> {
+    Arc::new(Homogeneous::new(MarkovModel::paper_example()))
 }
 
 fn presence_template() -> StEvent {
@@ -48,7 +48,7 @@ fn batched_service_equals_hand_driven_incremental_state() {
         linger: 50, // keep windows alive for the whole test
         budget: 1e6,
     };
-    let mut svc = SessionManager::new(Rc::clone(&chain), config).unwrap();
+    let mut svc = SessionManager::new(Arc::clone(&chain), config).unwrap();
     let tpl_presence = svc.register_template(presence_template()).unwrap();
     let tpl_pattern = svc.register_template(pattern_template()).unwrap();
 
@@ -62,12 +62,12 @@ fn batched_service_equals_hand_driven_incremental_state() {
     }
 
     // Hand-driven references: one IncrementalTwoWorld per (user, window).
-    let mut refs: Vec<(u64, Vec<IncrementalTwoWorld<Rc<Homogeneous>>>)> = users
+    let mut refs: Vec<(u64, Vec<IncrementalTwoWorld<Arc<Homogeneous>>>)> = users
         .iter()
         .map(|&u| {
             let mut v = vec![IncrementalTwoWorld::new(
                 presence_template(),
-                Rc::clone(&chain),
+                Arc::clone(&chain),
                 Vector::uniform(3),
             )
             .unwrap()];
@@ -75,7 +75,7 @@ fn batched_service_equals_hand_driven_incremental_state() {
                 v.push(
                     IncrementalTwoWorld::new(
                         pattern_template(),
-                        Rc::clone(&chain),
+                        Arc::clone(&chain),
                         Vector::uniform(3),
                     )
                     .unwrap(),
@@ -120,7 +120,7 @@ fn shard_count_does_not_change_results() {
             linger: 10,
             budget: 1e6,
         };
-        let mut svc = SessionManager::new(Rc::clone(&chain), config).unwrap();
+        let mut svc = SessionManager::new(Arc::clone(&chain), config).unwrap();
         let tpl = svc.register_template(presence_template()).unwrap();
         for u in 0..9 {
             svc.add_user(UserId(u), Vector::uniform(3)).unwrap();
@@ -148,7 +148,7 @@ fn windows_expire_and_are_evicted() {
         linger: 1,
         budget: 1e6,
     };
-    let mut svc = SessionManager::new(Rc::clone(&chain), config).unwrap();
+    let mut svc = SessionManager::new(Arc::clone(&chain), config).unwrap();
     // Event ends at t=3; with linger 1 the window dies after observation 4.
     let tpl = svc.register_template(presence_template()).unwrap();
     svc.add_user(UserId(7), Vector::uniform(3)).unwrap();
@@ -175,7 +175,7 @@ fn windows_expire_and_are_evicted() {
 fn zero_likelihood_observation_drops_the_window_not_the_user() {
     let chain = paper_chain();
     let mut svc = SessionManager::new(
-        Rc::clone(&chain),
+        Arc::clone(&chain),
         OnlineConfig {
             epsilon: 1.0,
             num_shards: 1,
@@ -214,7 +214,7 @@ fn zero_likelihood_observation_drops_the_window_not_the_user() {
 fn budget_ledger_accumulates_and_flags_exhaustion() {
     let chain = paper_chain();
     let mut svc = SessionManager::new(
-        Rc::clone(&chain),
+        Arc::clone(&chain),
         OnlineConfig {
             epsilon: 1e-6, // everything informative violates
             num_shards: 1,
@@ -248,7 +248,7 @@ fn budget_ledger_accumulates_and_flags_exhaustion() {
 #[test]
 fn service_rejects_bad_inputs_without_mutating_state() {
     let chain = paper_chain();
-    let mut svc = SessionManager::new(Rc::clone(&chain), OnlineConfig::default()).unwrap();
+    let mut svc = SessionManager::new(Arc::clone(&chain), OnlineConfig::default()).unwrap();
     let tpl = svc.register_template(presence_template()).unwrap();
     svc.add_user(UserId(1), Vector::uniform(3)).unwrap();
     svc.attach_event(UserId(1), tpl).unwrap();
@@ -256,7 +256,7 @@ fn service_rejects_bad_inputs_without_mutating_state() {
     // Config validation.
     assert!(matches!(
         SessionManager::new(
-            Rc::clone(&chain),
+            Arc::clone(&chain),
             OnlineConfig {
                 epsilon: 0.0,
                 ..OnlineConfig::default()
@@ -308,7 +308,7 @@ fn service_rejects_bad_inputs_without_mutating_state() {
 fn attach_uses_the_current_posterior_and_can_reject_degenerate_events() {
     let chain = paper_chain();
     let mut svc = SessionManager::new(
-        Rc::clone(&chain),
+        Arc::clone(&chain),
         OnlineConfig {
             epsilon: 1.0,
             num_shards: 1,
@@ -341,10 +341,10 @@ fn plm_driven_feed_runs_end_to_end_on_a_grid_world() {
     // Smoke the intended deployment shape: a grid world, a Planar-Laplace
     // mechanism, many users, multi-step feed.
     let grid = priste_geo::GridMap::new(4, 4, 1.0).unwrap();
-    let chain = Rc::new(Homogeneous::new(gaussian_kernel_chain(&grid, 1.0).unwrap()));
+    let chain = Arc::new(Homogeneous::new(gaussian_kernel_chain(&grid, 1.0).unwrap()));
     let plm = PlanarLaplace::new(grid.clone(), 0.8).unwrap();
     let mut svc = SessionManager::new(
-        Rc::clone(&chain),
+        Arc::clone(&chain),
         OnlineConfig {
             epsilon: 2.0,
             num_shards: 4,
@@ -401,16 +401,16 @@ fn plm_driven_feed_runs_end_to_end_on_a_grid_world() {
 fn enforcing_service(
     target: f64,
 ) -> (
-    SessionManager<Rc<Homogeneous>>,
+    SessionManager<Arc<Homogeneous>>,
     priste_geo::GridMap,
     Homogeneous,
 ) {
     let grid = priste_geo::GridMap::new(3, 3, 1.0).unwrap();
     let m = grid.num_cells();
     let chain = gaussian_kernel_chain(&grid, 1.0).unwrap();
-    let provider = Rc::new(Homogeneous::new(chain.clone()));
+    let provider = Arc::new(Homogeneous::new(chain.clone()));
     let mut service = SessionManager::new(
-        Rc::clone(&provider),
+        Arc::clone(&provider),
         OnlineConfig {
             epsilon: target,
             num_shards: 2,
@@ -468,8 +468,8 @@ fn enforcing_release_certifies_every_step() {
 fn enforcing_release_suppresses_when_nothing_feasible() {
     let grid = priste_geo::GridMap::new(3, 3, 1.0).unwrap();
     let m = grid.num_cells();
-    let provider = Rc::new(Homogeneous::new(gaussian_kernel_chain(&grid, 1.0).unwrap()));
-    let mut service = SessionManager::new(Rc::clone(&provider), OnlineConfig::default()).unwrap();
+    let provider = Arc::new(Homogeneous::new(gaussian_kernel_chain(&grid, 1.0).unwrap()));
+    let mut service = SessionManager::new(Arc::clone(&provider), OnlineConfig::default()).unwrap();
     let tpl = service
         .register_template(
             Presence::new(Region::from_one_based_range(m, 1, 3).unwrap(), 1, 3)
@@ -541,4 +541,140 @@ fn enforcing_and_audit_paths_share_the_session_state() {
     assert_eq!(report.t, 2);
     assert_eq!(report.windows[0].window_t, 2);
     let _ = chain;
+}
+
+/// A multi-user enforcing service over an 8-shard 3×3 world.
+fn enforcing_fleet(users: u64, shards: usize, target: f64) -> SessionManager<Arc<Homogeneous>> {
+    let grid = priste_geo::GridMap::new(3, 3, 1.0).unwrap();
+    let m = grid.num_cells();
+    let chain = gaussian_kernel_chain(&grid, 1.0).unwrap();
+    let provider = Arc::new(Homogeneous::new(chain));
+    let mut service = SessionManager::new(
+        Arc::clone(&provider),
+        OnlineConfig {
+            epsilon: target,
+            num_shards: shards,
+            linger: 2,
+            budget: 1e6,
+        },
+    )
+    .unwrap();
+    let tpl = service
+        .register_template(
+            Presence::new(Region::from_one_based_range(m, 1, 3).unwrap(), 2, 4)
+                .unwrap()
+                .into(),
+        )
+        .unwrap();
+    for u in 0..users {
+        service.add_user(UserId(u), Vector::uniform(m)).unwrap();
+        service.attach_event(UserId(u), tpl).unwrap();
+    }
+    let plm: Box<dyn Lppm> = Box::new(PlanarLaplace::new(grid, 3.0).unwrap());
+    service
+        .enable_enforcement(
+            plm,
+            priste_calibrate::GuardConfig {
+                target_epsilon: target,
+                ..priste_calibrate::GuardConfig::default()
+            },
+        )
+        .unwrap();
+    service
+}
+
+#[test]
+fn parallel_ingest_equals_sequential_ingest() {
+    let chain = paper_chain();
+    let config = OnlineConfig {
+        epsilon: 0.8,
+        num_shards: 5,
+        linger: 3,
+        budget: 1e6,
+    };
+    let mut seq = SessionManager::new(Arc::clone(&chain), config.clone()).unwrap();
+    let mut par = SessionManager::new(Arc::clone(&chain), config).unwrap();
+    for svc in [&mut seq, &mut par] {
+        let tpl = svc.register_template(presence_template()).unwrap();
+        for u in 0..23u64 {
+            svc.add_user(UserId(u), Vector::uniform(3)).unwrap();
+            svc.attach_event(UserId(u), tpl).unwrap();
+        }
+    }
+    for t in 1..=6 {
+        let batch: Vec<(UserId, Vector)> =
+            (0..23u64).map(|u| (UserId(u), column_for(u, t))).collect();
+        let sequential = seq.ingest_batch(&batch).unwrap();
+        let parallel = par.ingest_batch_parallel(&batch, 4).unwrap();
+        assert_eq!(sequential, parallel, "t={t}");
+    }
+    assert_eq!(seq.stats(), par.stats());
+    for u in 0..23u64 {
+        assert_eq!(
+            seq.session(UserId(u)).unwrap().posterior().as_slice(),
+            par.session(UserId(u)).unwrap().posterior().as_slice()
+        );
+    }
+}
+
+#[test]
+fn release_batch_is_deterministic_across_thread_counts() {
+    let mut outputs = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let mut service = enforcing_fleet(17, 4, 0.9);
+        let mut all = Vec::new();
+        for t in 0..3u64 {
+            let batch: Vec<(UserId, CellId)> = (0..17u64)
+                .map(|u| (UserId(u), CellId(((u + t) % 9) as usize)))
+                .collect();
+            all.push(service.release_batch(&batch, 1000 + t, threads).unwrap());
+        }
+        outputs.push((all, service.stats()));
+    }
+    assert_eq!(outputs[0], outputs[1], "1 vs 2 threads");
+    assert_eq!(outputs[0], outputs[2], "1 vs 8 threads");
+}
+
+#[test]
+fn release_batch_certifies_and_reports_every_user() {
+    let mut service = enforcing_fleet(12, 3, 0.8);
+    let batch: Vec<(UserId, CellId)> = (0..12u64)
+        .map(|u| (UserId(u), CellId((u % 9) as usize)))
+        .collect();
+    let releases = service.release_batch(&batch, 7, 0).unwrap();
+    assert_eq!(releases.len(), 12);
+    for (i, rel) in releases.iter().enumerate() {
+        assert_eq!(rel.report.user, UserId(i as u64), "sorted by user id");
+        assert_eq!(rel.report.t, 1);
+        assert!(rel.decision.certified());
+        assert!(rel.report.worst_loss <= 0.8 + 1e-9);
+        assert!(rel.attempts >= 1);
+    }
+    assert_eq!(service.stats().observations, 12);
+}
+
+#[test]
+fn release_batch_validates_before_mutating() {
+    let mut service = enforcing_fleet(4, 2, 0.9);
+    let cases: Vec<Vec<(UserId, CellId)>> = vec![
+        vec![(UserId(0), CellId(0)), (UserId(99), CellId(1))],
+        vec![(UserId(0), CellId(40))],
+        vec![(UserId(1), CellId(0)), (UserId(1), CellId(1))],
+    ];
+    for batch in cases {
+        assert!(service.release_batch(&batch, 1, 2).is_err(), "{batch:?}");
+    }
+    for u in 0..4u64 {
+        assert_eq!(
+            service.session(UserId(u)).unwrap().observed(),
+            0,
+            "failed batches must not consume timesteps"
+        );
+    }
+    let mut plain = SessionManager::new(paper_chain(), OnlineConfig::default()).unwrap();
+    plain.add_user(UserId(1), Vector::uniform(3)).unwrap();
+    assert!(matches!(
+        plain.release_batch(&[(UserId(1), CellId(0))], 1, 1),
+        Err(OnlineError::NotEnforcing)
+    ));
 }

@@ -46,19 +46,19 @@ pub struct Inference {
 /// [`BayesianAdversary::fork`] (plain `Clone`) snapshots mid-stream so
 /// several continuations can be explored from one shared prefix.
 #[derive(Debug, Clone)]
-pub struct BayesianAdversary<'e, P> {
-    builder: TheoremBuilder<'e, P>,
+pub struct BayesianAdversary<P> {
+    builder: TheoremBuilder<P>,
     pi: Vector,
     prior: f64,
 }
 
-impl<'e, P: TransitionProvider> BayesianAdversary<'e, P> {
+impl<P: TransitionProvider> BayesianAdversary<P> {
     /// Creates the adversary.
     ///
     /// # Errors
     /// Domain/validation errors; [`QuantifyError::DegeneratePrior`] when the
     /// event has probability 0 or 1 under `π` (no inference to do).
-    pub fn new(event: &'e StEvent, provider: P, pi: Vector) -> Result<Self> {
+    pub fn new(event: &StEvent, provider: P, pi: Vector) -> Result<Self> {
         pi.validate_distribution()
             .map_err(QuantifyError::InvalidInitial)?;
         let builder = TheoremBuilder::new(event, provider)?;

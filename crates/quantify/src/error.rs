@@ -2,6 +2,7 @@ use std::fmt;
 
 /// Errors produced by the quantification engine.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum QuantifyError {
     /// The event's state domain disagrees with the transition provider's.
     DomainMismatch {
@@ -100,7 +101,14 @@ impl fmt::Display for QuantifyError {
     }
 }
 
-impl std::error::Error for QuantifyError {}
+impl std::error::Error for QuantifyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QuantifyError::InvalidInitial(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -15,8 +15,8 @@ use priste_markov::TransitionProvider;
 
 /// Step-by-step privacy-loss quantifier for a fixed initial distribution.
 #[derive(Debug)]
-pub struct FixedPiQuantifier<'e, P> {
-    builder: TheoremBuilder<'e, P>,
+pub struct FixedPiQuantifier<P> {
+    builder: TheoremBuilder<P>,
     pi: Vector,
 }
 
@@ -36,7 +36,7 @@ pub struct StepQuantification {
     pub privacy_loss: f64,
 }
 
-impl<'e, P: TransitionProvider> FixedPiQuantifier<'e, P> {
+impl<P: TransitionProvider> FixedPiQuantifier<P> {
     /// Couples an event, a transition source and a fixed `π`.
     ///
     /// # Errors
@@ -44,7 +44,7 @@ impl<'e, P: TransitionProvider> FixedPiQuantifier<'e, P> {
     /// [`QuantifyError::InvalidInitial`] for a bad `π`;
     /// [`QuantifyError::DegeneratePrior`] when `Pr(EVENT) ∈ {0, 1}` under
     /// `π` (no ratio to bound).
-    pub fn new(event: &'e StEvent, provider: P, pi: Vector) -> Result<Self> {
+    pub fn new(event: &StEvent, provider: P, pi: Vector) -> Result<Self> {
         pi.validate_distribution()
             .map_err(QuantifyError::InvalidInitial)?;
         let builder = TheoremBuilder::new(event, provider)?;

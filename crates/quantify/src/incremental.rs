@@ -28,8 +28,8 @@
 //! Unlike the borrowing [`TwoWorldEngine`], this type **owns** its event and
 //! provider so sessions can live in long-running collections without
 //! self-referential lifetimes; share one model across windows via
-//! `Rc<Homogeneous>` (every `TransitionProvider` is also implemented for
-//! `Rc<T>`).
+//! `Arc<Homogeneous>` (every `TransitionProvider` is also implemented for
+//! `Arc<T>`).
 
 use crate::lifted::lift_emission;
 use crate::{QuantifyError, Result, TwoWorldEngine};

@@ -249,7 +249,7 @@ pub fn min_certifiable_epsilons(
 /// # Errors
 /// Propagates quantification errors from the builder.
 pub fn epsilon_capacity_curve<P: priste_markov::TransitionProvider>(
-    builder: &mut crate::TheoremBuilder<'_, P>,
+    builder: &mut crate::TheoremBuilder<P>,
     emission_columns: &[priste_linalg::Vector],
     eps_max: f64,
     solver: &SolverConfig,
@@ -265,7 +265,7 @@ pub fn epsilon_capacity_curve<P: priste_markov::TransitionProvider>(
 /// # Errors
 /// Propagates quantification errors from the builder.
 pub fn epsilon_capacity_curve_threaded<P: priste_markov::TransitionProvider>(
-    builder: &mut crate::TheoremBuilder<'_, P>,
+    builder: &mut crate::TheoremBuilder<P>,
     emission_columns: &[priste_linalg::Vector],
     eps_max: f64,
     solver: &SolverConfig,

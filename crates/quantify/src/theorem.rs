@@ -97,9 +97,15 @@ impl TheoremInputs {
 /// Cloning snapshots the full release history (streaming sessions fork
 /// adversary state this way); [`TheoremBuilder::reset`] rewinds to `t = 0`
 /// while keeping the per-event precomputation.
+///
+/// Owns its event and provider (like
+/// [`IncrementalTwoWorld`](crate::IncrementalTwoWorld)), so the value is
+/// `'static` when they are and long-lived pipelines need no borrowed event
+/// slices.
 #[derive(Debug, Clone)]
-pub struct TheoremBuilder<'e, P> {
-    engine: TwoWorldEngine<'e, P>,
+pub struct TheoremBuilder<P> {
+    event: priste_event::StEvent,
+    provider: P,
     /// Suffix vectors `u_t`, index `t−1`, for `t = 1..=end` (lifted, `2m`).
     suffix: Vec<Vector>,
     /// Reduced Theorem IV.1 `a` (length `m`).
@@ -112,17 +118,19 @@ pub struct TheoremBuilder<'e, P> {
     t: usize,
 }
 
-impl<'e, P: TransitionProvider> TheoremBuilder<'e, P> {
+impl<P: TransitionProvider> TheoremBuilder<P> {
     /// Builds the per-event state: suffix products and the `a` vector.
     ///
     /// # Errors
     /// Propagates [`TwoWorldEngine::new`] domain checks.
-    pub fn new(event: &'e priste_event::StEvent, provider: P) -> Result<Self> {
-        let engine = TwoWorldEngine::new(event, provider)?;
+    pub fn new(event: &priste_event::StEvent, provider: P) -> Result<Self> {
+        let event = event.clone();
+        let engine = TwoWorldEngine::new(&event, &provider)?;
         let suffix = engine.suffix_true_vectors();
         let a = engine.reduce(&suffix[0]);
         Ok(TheoremBuilder {
-            engine,
+            event,
+            provider,
             suffix,
             a,
             fwd_emissions: Vec::new(),
@@ -131,9 +139,20 @@ impl<'e, P: TransitionProvider> TheoremBuilder<'e, P> {
         })
     }
 
-    /// The underlying engine.
-    pub fn engine(&self) -> &TwoWorldEngine<'e, P> {
-        &self.engine
+    /// The protected event.
+    pub fn event(&self) -> &priste_event::StEvent {
+        &self.event
+    }
+
+    /// The transition source.
+    pub fn provider(&self) -> &P {
+        &self.provider
+    }
+
+    /// A borrowing engine over the owned event/provider (the domain check
+    /// was done at construction; re-running it is O(1)).
+    pub fn engine(&self) -> TwoWorldEngine<'_, &P> {
+        TwoWorldEngine::new(&self.event, &self.provider).expect("validated at construction")
     }
 
     /// Number of committed timesteps.
@@ -166,7 +185,7 @@ impl<'e, P: TransitionProvider> TheoremBuilder<'e, P> {
     /// [`QuantifyError::InvalidEmission`] on a wrong-length or negative
     /// column.
     pub fn candidate(&self, emission_column: &Vector) -> Result<TheoremInputs> {
-        let m = self.engine.num_states();
+        let m = self.provider.num_states();
         if emission_column.len() != m {
             return Err(QuantifyError::InvalidEmission {
                 expected: m,
@@ -184,7 +203,7 @@ impl<'e, P: TransitionProvider> TheoremBuilder<'e, P> {
             });
         }
         let tc = self.t + 1;
-        let end = self.engine.event().end();
+        let end = self.event.end();
 
         let (b_lifted, c_lifted) = if tc <= end {
             // Lemma III.2 / Eq. (18): terminal vectors are the suffix u_tc
@@ -210,11 +229,12 @@ impl<'e, P: TransitionProvider> TheoremBuilder<'e, P> {
         };
 
         let (b_raw, c_raw, shared) = b_lifted.align_with(&c_lifted);
+        let engine = self.engine();
         Ok(TheoremInputs {
             t: tc,
             a: self.a.clone(),
-            b: self.engine.reduce(&b_raw),
-            c: self.engine.reduce(&c_raw),
+            b: engine.reduce(&b_raw),
+            c: engine.reduce(&c_raw),
             bc_log_scale: shared,
         })
     }
@@ -225,7 +245,7 @@ impl<'e, P: TransitionProvider> TheoremBuilder<'e, P> {
     /// # Errors
     /// [`QuantifyError::InvalidEmission`] as in [`TheoremBuilder::candidate`].
     pub fn commit(&mut self, emission_column: Vector) -> Result<()> {
-        let m = self.engine.num_states();
+        let m = self.provider.num_states();
         if emission_column.len() != m {
             return Err(QuantifyError::InvalidEmission {
                 expected: m,
@@ -233,7 +253,7 @@ impl<'e, P: TransitionProvider> TheoremBuilder<'e, P> {
             });
         }
         let tc = self.t + 1;
-        if tc <= self.engine.event().end() {
+        if tc <= self.event.end() {
             self.fwd_emissions.push(emission_column);
         } else {
             self.bwd_emissions.push(emission_column);
@@ -253,6 +273,7 @@ impl<'e, P: TransitionProvider> TheoremBuilder<'e, P> {
         k: usize,
         candidate: Option<&Vector>,
     ) -> (ScaledVector, ScaledVector) {
+        let engine = self.engine();
         let emission_at = |i: usize| -> Vector {
             // Emission for timestep i ∈ 1..=k; the candidate (if any)
             // occupies slot k.
@@ -269,7 +290,7 @@ impl<'e, P: TransitionProvider> TheoremBuilder<'e, P> {
             weigh(&mut b);
             weigh(&mut c);
             if i >= 2 {
-                let step = self.engine.step_at(i - 1);
+                let step = engine.step_at(i - 1);
                 b.vector = step.apply_col(&b.vector);
                 c.vector = step.apply_col(&c.vector);
             }
@@ -284,8 +305,8 @@ impl<'e, P: TransitionProvider> TheoremBuilder<'e, P> {
     /// (all post-event lifted matrices are block-diagonal, so the backward
     /// pass lives in the base `m`-dimensional space).
     fn backward_beta(&self, tc: usize, candidate: &Vector) -> ScaledVector {
-        let end = self.engine.event().end();
-        let mut v = ScaledVector::new(Vector::ones(self.engine.num_states()));
+        let end = self.event.end();
+        let mut v = ScaledVector::new(Vector::ones(self.provider.num_states()));
         for i in (end..tc).rev() {
             // Emission of timestep i+1 ∈ end+1..=tc.
             let e = if i + 1 == tc {
@@ -294,7 +315,7 @@ impl<'e, P: TransitionProvider> TheoremBuilder<'e, P> {
                 &self.bwd_emissions[i - end]
             };
             let weighted = v.vector.hadamard(e).expect("emission length matches");
-            v.vector = self.engine.provider().transition_at(i).matvec(&weighted);
+            v.vector = self.provider.transition_at(i).matvec(&weighted);
             v.renormalize();
         }
         v

@@ -10,21 +10,30 @@
 //! happened, some where it did not), lets the strongest adversary update
 //! exactly, and shows (1) every odds lift within the e^ε band, and (2) the
 //! adversary's MAP guesses barely beating the base rate — while against an
-//! *unprotected* mechanism the same adversary's lifts blow through the band.
+//! *unprotected* mechanism the same adversary's lifts blow through the
+//! band. One [`Pipeline`] is built once; each run derives a fresh auditor
+//! and adversary from it.
 
 use priste::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), PristeError> {
     let grid = GridMap::new(6, 6, 1.0)?;
     let chain = gaussian_kernel_chain(&grid, 1.0)?;
-    let event = parse_event("PRESENCE(S={1:6}, T={3:6})", grid.num_cells())?;
     let epsilon: f64 = 0.5;
     let alpha = 1.0;
     let horizon = 8;
     let runs = 60;
     let pi = Vector::uniform(grid.num_cells());
+
+    let pipeline = Pipeline::on(grid.clone())
+        .mobility(chain.clone())
+        .event_spec("PRESENCE(S={1:6}, T={3:6})")
+        .planar_laplace(alpha)
+        .target_epsilon(epsilon)
+        .build()?;
+    let event = pipeline.events()[0].clone();
     println!(
         "secret: {event}   guarantee: ε = {epsilon}   odds band: [{:.3}, {:.3}]",
         (-epsilon).exp(),
@@ -34,7 +43,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut protected_worst: f64 = 0.0;
     let mut plain_worst: f64 = 0.0;
     let mut happened = 0usize;
-    let events = vec![event.clone()];
 
     for run in 0..runs {
         let mut rng = StdRng::seed_from_u64(run);
@@ -44,18 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
 
         // --- Protected: PriSTE-calibrated releases. ---
-        let source = PlmSource::new(grid.clone(), alpha)?;
-        let mut priste = Priste::new(
-            &events,
-            Homogeneous::new(chain.clone()),
-            source,
-            grid.clone(),
-            PristeConfig::with_epsilon(epsilon),
-        )?;
-        let mut adversary =
-            BayesianAdversary::new(&event, Homogeneous::new(chain.clone()), pi.clone())?;
+        let mut audit = pipeline.audit()?;
+        let mut adversary = pipeline.adversary()?;
         for &loc in &traj {
-            let rec = priste.release(loc, &mut rng)?;
+            let rec = audit.release(loc, &mut rng)?;
             let mech: Box<dyn Lppm> = if rec.final_budget == 0.0 {
                 Box::new(UniformMechanism::new(grid.num_cells()))
             } else {
@@ -66,10 +66,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
 
         // --- Unprotected: the same α-PLM without calibration. ---
-        let plm = PlanarLaplace::new(grid.clone(), alpha)?;
+        let plm = pipeline.mechanism_instance()?;
         let mut rng = StdRng::seed_from_u64(run);
-        let mut adversary =
-            BayesianAdversary::new(&event, Homogeneous::new(chain.clone()), pi.clone())?;
+        let mut adversary = pipeline.adversary()?;
         for &loc in &traj {
             let obs = plm.perturb(loc, &mut rng);
             let inference = adversary.observe(&plm.emission_column(obs))?;

@@ -1,7 +1,9 @@
 //! Calibrated-release quickstart: wrap a planar-Laplace mechanism in the
 //! `priste-calibrate` guard so a commuter's release stream *provably*
 //! satisfies ε-spatiotemporal event privacy — then compare against the
-//! uncalibrated stream and the offline budget plan.
+//! uncalibrated stream and the offline budget plan. Every view — the two
+//! offline planners, the uncalibrated quantifier, and the calibrated guard
+//! — derives from one [`Pipeline`].
 //!
 //! Run with `cargo run --example calibrated_release`.
 
@@ -9,7 +11,7 @@ use priste::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), PristeError> {
     // A 5×5 commuter world from the GeoLife-style simulator.
     let world = geolife_sim::build(&geolife_sim::CommuterConfig {
         rows: 5,
@@ -17,35 +19,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 2019,
         ..Default::default()
     })?;
-    let (grid, chain) = (world.grid, world.chain);
-    let m = grid.num_cells();
+    let m = world.grid.num_cells();
+    let chain = world.chain.clone();
 
     // The secret: presence in the north-west quarter during timestamps 2–3.
-    let event = parse_event(&format!("PRESENCE(S={{1:{}}}, T={{2:3}})", m / 4), m)?;
     let target = 0.8;
     let alpha = 2.0;
-    let provider = Homogeneous::new(chain.clone());
-    let pi = Vector::uniform(m);
+    let pipeline = Pipeline::on_world(&world)
+        .event_spec(&format!("PRESENCE(S={{1:{}}}, T={{2:3}})", m / 4))
+        .planar_laplace(alpha)
+        .target_epsilon(target)
+        .build()?;
 
     // Offline: plan per-timestep budgets that certify ε* for *any* release
     // and any adversarial prior, and compare with the uniform ε*/T split.
-    let planner = PlannerConfig::default();
-    let greedy = plan_greedy(
-        Box::new(PlanarLaplace::new(grid.clone(), alpha)?),
-        &event,
-        provider.clone(),
-        3,
-        target,
-        &planner,
-    )?;
-    let uniform = plan_uniform_split(
-        Box::new(PlanarLaplace::new(grid.clone(), alpha)?),
-        &event,
-        provider.clone(),
-        3,
-        target,
-        &planner,
-    )?;
+    let greedy = pipeline.plan_greedy(3)?;
+    let uniform = pipeline.plan_uniform_split(3)?;
     println!("offline plan (target ε* = {target}):");
     for step in &greedy.steps {
         println!(
@@ -64,10 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Online: one commuter day, uncalibrated vs calibrated.
     let steps = 8usize;
     let mut rng = StdRng::seed_from_u64(42);
-    let trajectory = chain.sample_trajectory_from(&pi, steps, &mut rng)?;
+    let trajectory = chain.sample_trajectory_from(&Vector::uniform(m), steps, &mut rng)?;
 
-    let plm = PlanarLaplace::new(grid.clone(), alpha)?;
-    let mut audit = IncrementalTwoWorld::new(event.clone(), provider.clone(), pi.clone())?;
+    let plm = pipeline.mechanism_instance()?;
+    let mut audit = pipeline.quantifier()?;
     let mut plain_rng = StdRng::seed_from_u64(7);
     let mut uncalibrated_worst = 0.0f64;
     for &loc in &trajectory {
@@ -76,16 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             uncalibrated_worst.max(audit.observe(&plm.emission_column(obs))?.privacy_loss);
     }
 
-    let mut calibrated = CalibratedMechanism::new(
-        Box::new(PlanarLaplace::new(grid, alpha)?),
-        std::slice::from_ref(&event),
-        provider,
-        pi,
-        GuardConfig {
-            target_epsilon: target,
-            ..GuardConfig::default()
-        },
-    )?;
+    let mut calibrated = pipeline.enforce()?;
     let mut cal_rng = StdRng::seed_from_u64(7);
     let mut calibrated_worst = 0.0f64;
     println!("calibrated releases:");

@@ -12,19 +12,20 @@
 //! hotel → home" shape of §II.B, and §II.C's Fig. 3(c) explains why
 //! trajectory-indistinguishability mechanisms don't automatically protect
 //! it. This example also contrasts Algorithm 2 (Geo-indistinguishability)
-//! with Algorithm 3 (δ-location-set) on the same secret.
+//! with Algorithm 3 (δ-location-set) on the same secret — both derived
+//! from [`Pipeline`]s that differ by one `.delta_location(δ)` call.
 
 use priste::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), PristeError> {
     // A 8×8 commuter town, 1 km cells.
     let grid = GridMap::new(8, 8, 1.0)?;
     let m = grid.num_cells();
 
     // Home block (bottom-left), corridor, office block (top-right).
-    let block = |cells: &[(usize, usize)]| -> Result<Region, Box<dyn std::error::Error>> {
+    let block = |cells: &[(usize, usize)]| -> Result<Region, PristeError> {
         let mut r = Region::empty(m);
         for &(row, col) in cells {
             r.insert(grid.from_row_col(row, col)?)?;
@@ -59,18 +60,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     assert_eq!(trajectory.len(), horizon);
 
-    let events = vec![pattern];
-
     // --- Algorithm 2: PriSTE with Geo-indistinguishability. ---
     let mut rng = StdRng::seed_from_u64(8);
-    let source = PlmSource::new(grid.clone(), 1.0)?;
-    let mut alg2 = Priste::new(
-        &events,
-        Homogeneous::new(chain.clone()),
-        source,
-        grid.clone(),
-        PristeConfig::with_epsilon(epsilon),
-    )?;
+    let mut alg2 = Pipeline::on(grid.clone())
+        .mobility(chain.clone())
+        .event(pattern.clone())
+        .planar_laplace(1.0)
+        .target_epsilon(epsilon)
+        .audit()?;
     let mut budgets2 = Vec::new();
     let mut dists2 = Vec::new();
     for &loc in &trajectory {
@@ -81,14 +78,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Algorithm 3: PriSTE with δ-location-set privacy. ---
     let mut rng = StdRng::seed_from_u64(8);
-    let source = DeltaLocSource::new(grid.clone(), 0.2, 1.0, chain.clone(), Vector::uniform(m))?;
-    let mut alg3 = Priste::new(
-        &events,
-        Homogeneous::new(chain.clone()),
-        source,
-        grid.clone(),
-        PristeConfig::with_epsilon(epsilon),
-    )?;
+    let mut alg3 = Pipeline::on(grid.clone())
+        .mobility(chain.clone())
+        .event(pattern)
+        .planar_laplace(1.0)
+        .delta_location(0.2)
+        .target_epsilon(epsilon)
+        .audit()?;
     let mut budgets3 = Vec::new();
     let mut dists3 = Vec::new();
     for &loc in &trajectory {

@@ -1,6 +1,7 @@
 //! End-to-end GeoLife-style pipeline: train a mobility model from (real or
 //! simulated) GPS data, inspect the learned pattern, and protect a
-//! user-specified event on live releases.
+//! user-specified event on live releases — assembled through
+//! [`Pipeline::on_world`].
 //!
 //! ```sh
 //! # With the simulator (default):
@@ -13,7 +14,7 @@ use priste::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), PristeError> {
     // --- 1. Obtain a world: real .plt files if given, simulator otherwise.
     let args: Vec<String> = std::env::args().skip(1).collect();
     let world = if args.is_empty() {
@@ -60,28 +61,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let event: StEvent = Presence::new(sensitive, 3, 8)?.into();
     println!("\nsecret: {event}");
 
-    // --- 4. Release one (held-out) day through PriSTE.
+    // --- 4. Release one (held-out) day through the pipeline's auditor.
+    let epsilon = 1.0;
+    let pipeline = Pipeline::on_world(&world)
+        .event(event)
+        .planar_laplace(0.5)
+        .target_epsilon(epsilon)
+        .build()?;
     let day = world
         .trajectories
         .last()
-        .ok_or("no trajectories in world")?
+        .ok_or_else(|| {
+            PristeError::from(priste::data::DataError::InsufficientData {
+                message: "no trajectories in world".into(),
+            })
+        })?
         .clone();
     let horizon = day.len().min(16);
-    let epsilon = 1.0;
-    let events = vec![event];
-    let source = PlmSource::new(world.grid.clone(), 0.5)?;
-    let mut priste = Priste::new(
-        &events,
-        Homogeneous::new(world.chain.clone()),
-        source,
-        world.grid.clone(),
-        PristeConfig::with_epsilon(epsilon),
-    )?;
+    let mut audit = pipeline.audit()?;
     let mut rng = StdRng::seed_from_u64(1);
     let mut total_budget = 0.0;
     let mut total_dist = 0.0;
     for &loc in day.iter().take(horizon) {
-        let rec = priste.release(loc, &mut rng)?;
+        let rec = audit.release(loc, &mut rng)?;
         total_budget += rec.final_budget;
         total_dist += rec.euclid_km;
     }

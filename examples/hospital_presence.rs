@@ -11,13 +11,14 @@
 //! week?". We quantify the event-privacy loss of a plain Planar-Laplace
 //! release (no PriSTE calibration), watch it blow past the target ε when
 //! the user actually dwells near the hospital, then repeat with PriSTE and
-//! watch the calibrated budgets enforce the bound.
+//! watch the calibrated budgets enforce the bound. One [`Pipeline`]
+//! describes the scenario; both views derive from it.
 
 use priste::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), PristeError> {
     // A 10×10 city, 1 km cells. The hospital district is a 2×2 block.
     let grid = GridMap::new(10, 10, 1.0)?;
     let mut hospital = Region::empty(grid.num_cells());
@@ -32,6 +33,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let event: StEvent = Presence::new(hospital.clone(), 2, 6)?.into();
     println!("secret: {event}\n");
 
+    let epsilon = 0.5;
+    let alpha = 1.0;
+    let pipeline = Pipeline::on(grid.clone())
+        .mobility(chain)
+        .event(event)
+        .planar_laplace(alpha)
+        .target_epsilon(epsilon)
+        .build()?;
+
     // A patient trajectory that dwells in the district mid-week.
     let visit_cell = grid.from_row_col(4, 4)?;
     let mut trajectory = vec![grid.from_row_col(8, 1)?, grid.from_row_col(7, 2)?];
@@ -44,15 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         grid.from_row_col(8, 1)?,
     ]);
 
-    let epsilon = 0.5;
-    let alpha = 1.0;
-    let pi = Vector::uniform(grid.num_cells());
-
     // --- Part 1: plain α-PLM (geo-indistinguishability only). ---
-    let plm = PlanarLaplace::new(grid.clone(), alpha)?;
+    let plm = pipeline.mechanism_instance()?;
     let mut rng = StdRng::seed_from_u64(2019);
-    let mut quantifier =
-        FixedPiQuantifier::new(&event, Homogeneous::new(chain.clone()), pi.clone())?;
+    let mut quantifier = pipeline.quantifier()?;
     let mut worst_plain: f64 = 0.0;
     for &loc in &trajectory {
         let obs = plm.perturb(loc, &mut rng);
@@ -71,22 +76,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- Part 2: the same mechanism inside PriSTE (Algorithm 2). ---
-    let events = vec![event.clone()];
-    let source = PlmSource::new(grid.clone(), alpha)?;
-    let mut priste = Priste::new(
-        &events,
-        Homogeneous::new(chain.clone()),
-        source,
-        grid.clone(),
-        PristeConfig::with_epsilon(epsilon),
-    )?;
+    let mut audit = pipeline.audit()?;
     let mut rng = StdRng::seed_from_u64(2019);
-    let mut quantifier = FixedPiQuantifier::new(&event, Homogeneous::new(chain), pi)?;
+    let mut quantifier = pipeline.quantifier()?;
     let mut worst_priste: f64 = 0.0;
     println!("\nPriSTE-calibrated releases (ε = {epsilon}):");
     println!("  t | budget | loss");
     for &loc in &trajectory {
-        let rec = priste.release(loc, &mut rng)?;
+        let rec = audit.release(loc, &mut rng)?;
         let mech: Box<dyn Lppm> = if rec.final_budget == 0.0 {
             Box::new(UniformMechanism::new(grid.num_cells()))
         } else {

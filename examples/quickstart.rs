@@ -6,13 +6,14 @@
 //!
 //! Walks the full PriSTE pipeline: build a world, specify a secret in the
 //! paper's event notation, release a trajectory through calibrated Planar
-//! Laplace, and verify the realized privacy loss post-hoc.
+//! Laplace, and verify the realized privacy loss post-hoc. The whole stack
+//! is assembled through the one front door, [`Pipeline`].
 
 use priste::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), PristeError> {
     // 1. A 6×6 km grid world with a moderately patterned mobility model.
     let grid = GridMap::new(6, 6, 1.0)?;
     let chain = gaussian_kernel_chain(&grid, 1.0)?;
@@ -21,34 +22,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         grid.num_cells()
     );
 
-    // 2. The secret, straight from the paper's notation: "was the user in
-    //    cells s1..s6 at any time during timestamps 3..5?"
-    let event = parse_event("PRESENCE(S={1:6}, T={3:5})", grid.num_cells())?;
-    println!("secret: {event}");
-    let events = vec![event];
-
-    // 3. PriSTE with Geo-indistinguishability (Algorithm 2): a 0.8-PLM
-    //    calibrated at each timestamp to guarantee ε = 1 spatiotemporal
-    //    event privacy against ANY adversarial initial distribution.
+    // 2. One pipeline: the secret (straight from the paper's notation —
+    //    "was the user in cells s1..s6 at any time during timestamps
+    //    3..5?"), the mechanism, and the target guarantee.
     let epsilon = 1.0;
     let alpha = 0.8;
-    let source = PlmSource::new(grid.clone(), alpha)?;
-    let mut priste = Priste::new(
-        &events,
-        Homogeneous::new(chain.clone()),
-        source,
-        grid.clone(),
-        PristeConfig::with_epsilon(epsilon),
-    )?;
+    let pipeline = Pipeline::on(grid.clone())
+        .mobility(chain.clone())
+        .event_spec("PRESENCE(S={1:6}, T={3:5})")
+        .planar_laplace(alpha)
+        .target_epsilon(epsilon)
+        .build()?;
+    println!("secret: {}", pipeline.events()[0]);
 
-    // 4. Walk a sampled trajectory through the framework.
+    // 3. Derive the offline auditor (Algorithm 2: PriSTE with
+    //    Geo-indistinguishability) and walk a sampled trajectory through.
+    let mut audit = pipeline.audit()?;
     let mut rng = StdRng::seed_from_u64(42);
     let trajectory = chain.sample_trajectory(CellId(21), 10, &mut rng)?;
     println!("\n  t | true | released | budget | attempts | dist (km)");
     println!("  --+------+----------+--------+----------+----------");
     let mut released_columns = Vec::new();
     for &loc in &trajectory {
-        let rec = priste.release(loc, &mut rng)?;
+        let rec = audit.release(loc, &mut rng)?;
         println!(
             "  {:>2} | {:>4} | {:>8} | {:>6.3} | {:>8} | {:>8.2}",
             rec.t,
@@ -67,10 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         released_columns.push(mech.emission_column(rec.observed));
     }
 
-    // 5. Post-hoc verification: under a uniform adversarial prior, the
-    //    realized privacy loss must stay within ε at every timestamp.
-    let pi = Vector::uniform(grid.num_cells());
-    let mut quantifier = FixedPiQuantifier::new(&events[0], Homogeneous::new(chain), pi)?;
+    // 4. Post-hoc verification through the same pipeline: under a uniform
+    //    adversarial prior, the realized privacy loss must stay within ε
+    //    at every timestamp.
+    let mut quantifier = pipeline.quantifier()?;
     println!("\npost-hoc privacy loss (uniform prior), ε = {epsilon}:");
     let mut worst: f64 = 0.0;
     for col in &released_columns {

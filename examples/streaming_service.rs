@@ -2,42 +2,43 @@
 //! α-Planar-Laplace mechanism, ingested by the `priste-online` session
 //! manager, which quantifies every user's event-privacy posture
 //! incrementally (O(m²) per observation) and evicts windows as they expire.
+//! The service — templates pre-registered, model shared via `Arc` — is
+//! derived from one [`Pipeline`], and each timestep's batch is fanned out
+//! over all cores with [`SessionManager::ingest_batch_parallel`].
 //!
 //! Run with `cargo run --example streaming_service`.
 
 use priste::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::rc::Rc;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), PristeError> {
     // One shared world: an 8×8 grid with a Gaussian-kernel mobility model.
     let grid = GridMap::new(8, 8, 1.0)?;
     let m = grid.num_cells();
     let chain = gaussian_kernel_chain(&grid, 1.0)?;
-    let provider = Rc::new(Homogeneous::new(chain.clone()));
 
-    // The service: ε = 1.5 per-step verdicts, 8 shards, windows linger two
-    // steps past their event end, 30 units of conservative budget per user.
-    let mut service = SessionManager::new(
-        Rc::clone(&provider),
-        OnlineConfig {
-            epsilon: 1.5,
+    // The pipeline: ε = 1.5 per-step verdicts, two protected-event
+    // templates (attach-relative timestamps) — presence in the north-west
+    // quarter during steps 2–5, and a two-step commute pattern entering
+    // the first row then the second — plus the service knobs: 8 shards,
+    // windows linger two steps past their event end, 30 units of
+    // conservative budget per user.
+    let pipeline = Pipeline::on(grid)
+        .mobility(chain.clone())
+        .event_spec(&format!("PRESENCE(S={{1:{}}}, T={{2:5}})", m / 4))
+        .event_spec("PATTERN(S=[{1:8},{9:16}], T={2:3})")
+        .planar_laplace(0.6)
+        .target_epsilon(1.5)
+        .service_config(OnlineConfig {
             num_shards: 8,
             linger: 2,
             budget: 30.0,
-        },
-    )?;
-
-    // Two protected-event templates (attach-relative timestamps): presence
-    // in the north-west quarter during steps 2–5, and a two-step commute
-    // pattern entering the first row then the second.
-    let quarter = service.register_template(parse_event(
-        &format!("PRESENCE(S={{1:{}}}, T={{2:5}})", m / 4),
-        m,
-    )?)?;
-    let commute =
-        service.register_template(parse_event("PATTERN(S=[{1:8},{9:16}], T={2:3})", m)?)?;
+            ..OnlineConfig::default()
+        })
+        .build()?;
+    let mut service = pipeline.serve()?;
+    let (quarter, commute) = (0, 1); // template indices, in pipeline-event order
 
     // 100 users with seeded trajectories from the same mobility model.
     let users = 100u64;
@@ -51,8 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // The feed: every timestamp, every user perturbs their true location
-    // through the shared 0.6-PLM and the service ingests the batch.
-    let plm = PlanarLaplace::new(grid, 0.6)?;
+    // through the shared 0.6-PLM and the service ingests the batch in
+    // parallel (0 = one worker per core; output is thread-count
+    // independent).
+    let plm = pipeline.mechanism_instance()?;
     let mut worst = vec![0.0f64; users as usize];
     #[allow(clippy::needless_range_loop)] // column-wise access across per-user rows
     for t in 0..steps {
@@ -62,7 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 (UserId(u), plm.emission_column(observed))
             })
             .collect();
-        for report in service.ingest_batch(&batch)? {
+        for report in service.ingest_batch_parallel(&batch, 0)? {
             let slot = &mut worst[report.user.0 as usize];
             *slot = slot.max(report.worst_loss);
         }

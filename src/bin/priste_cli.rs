@@ -11,7 +11,8 @@
 //! priste-cli stream    [--users N] [--steps N] [--kind synthetic|commuter]
 //!                      [--event SPEC] [--epsilon F] [--alpha F] [--side N]
 //!                      [--sigma F] [--shards N] [--linger N] [--budget F]
-//!                      [--mode audit|enforce] [--floor F] [--backoff F] [--seed N]
+//!                      [--mode audit|enforce] [--floor F] [--backoff F]
+//!                      [--threads N] [--seed N]
 //! priste-cli calibrate [--kind synthetic|commuter] [--event SPEC] [--target F]
 //!                      [--alpha F] [--side N] [--sigma F] [--horizon N]
 //!                      [--steps N] [--floor F] [--backoff F] [--threads N] [--seed N]
@@ -35,6 +36,15 @@
 //!   baseline, then a seeded release demo in which the uncalibrated α-PLM
 //!   fails the target ε* while the calibrated mechanism certifies it.
 //!
+//! Every subcommand constructs its stack through one [`Pipeline`]: the
+//! scenario (world, mobility, event, mechanism, target ε) is described
+//! once and the subcommand derives the mode it needs — `.audit()` for
+//! `protect`, `.quantifier()`/`.checker()` for `quantify`/`check`,
+//! `.serve()`/`.serve_enforcing()` for `stream`, and
+//! `.plan_*()`/`.enforce()` for `calibrate`. `stream --threads N` fans the
+//! batched ingest/release work over N workers (0 = all cores) with
+//! identical output for any N.
+//!
 //! Events use the paper's notation, e.g. `"PRESENCE(S={1:10}, T={4:8})"`.
 //! `stream`/`calibrate` events are *attach-relative*: `T={2:4}` means
 //! timestamps 2–4 of each user's session.
@@ -43,10 +53,7 @@
 //! command or flag, malformed value) — usage errors also print the usage
 //! text below.
 
-use priste::calibrate::{
-    plan_greedy, plan_uniform_split, BudgetPlan, CalibratedMechanism, Decision, GuardConfig,
-    PlannerConfig,
-};
+use priste::calibrate::{BudgetPlan, Decision, GuardConfig, PlannerConfig};
 use priste::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -80,7 +87,8 @@ const USAGE: &str = "usage:
   priste-cli stream    [--users N] [--steps N] [--kind synthetic|commuter] [--event SPEC]
                        [--epsilon F] [--alpha F] [--side N] [--sigma F]
                        [--shards N] [--linger N] [--budget F]
-                       [--mode audit|enforce] [--floor F] [--backoff F] [--seed N]
+                       [--mode audit|enforce] [--floor F] [--backoff F]
+                       [--threads N] [--seed N]
   priste-cli calibrate [--kind synthetic|commuter] [--event SPEC] [--target F]
                        [--alpha F] [--side N] [--sigma F] [--horizon N]
                        [--steps N] [--floor F] [--backoff F] [--threads N] [--seed N]
@@ -114,7 +122,7 @@ const CHECK_FLAGS: &[&str] = &[
 ];
 const STREAM_FLAGS: &[&str] = &[
     "users", "steps", "kind", "event", "epsilon", "alpha", "side", "sigma", "shards", "linger",
-    "budget", "mode", "floor", "backoff", "seed",
+    "budget", "mode", "floor", "backoff", "threads", "seed",
 ];
 const CALIBRATE_FLAGS: &[&str] = &[
     "kind", "event", "target", "alpha", "side", "sigma", "horizon", "steps", "floor", "backoff",
@@ -282,13 +290,18 @@ fn cmd_world(flags: &Flags) -> Result<(), CliError> {
         }
     };
 
+    let pipeline = Pipeline::on(grid).mobility(chain).build().map_err(usage)?;
+    let (grid, chain) = (
+        pipeline.grid(),
+        pipeline.chain().expect("mobility set above"),
+    );
     println!(
         "world: {kind}, {} cells ({} km each)",
         grid.num_cells(),
         grid.cell_size_km()
     );
     println!("trajectories: {}", trajectories.len());
-    let stationary = stationary_distribution(&chain, 1e-9, 200_000).map_err(runtime)?;
+    let stationary = stationary_distribution(chain, 1e-9, 200_000).map_err(runtime)?;
     let mut top: Vec<(usize, f64)> = stationary.as_slice().iter().copied().enumerate().collect();
     top.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
     println!("top stationary cells:");
@@ -316,52 +329,32 @@ fn cmd_protect(flags: &Flags) -> Result<(), CliError> {
     let epsilon = flags.f64_or("epsilon", 1.0)?;
     let alpha = flags.f64_or("alpha", 0.5)?;
     let (traj, mut rng) = trajectory_from_flags(flags, &chain)?;
-    let events = vec![event];
-    let config = PristeConfig::with_epsilon(epsilon);
 
-    println!("t,true_cell,released_cell,budget,attempts,distance_km");
+    let mut builder = Pipeline::on(grid)
+        .mobility(chain)
+        .event(event)
+        .planar_laplace(alpha)
+        .target_epsilon(epsilon);
     if let Some(delta) = flags.0.get("delta") {
         let delta: f64 = delta
             .parse()
             .map_err(|_| CliError::Usage("--delta: not a number".into()))?;
-        let source = DeltaLocSource::new(
-            grid.clone(),
-            delta,
-            alpha,
-            chain.clone(),
-            Vector::uniform(grid.num_cells()),
-        )
-        .map_err(runtime)?;
-        let mut priste =
-            Priste::new(&events, Homogeneous::new(chain), source, grid, config).map_err(runtime)?;
-        for &loc in &traj {
-            let r = priste.release(loc, &mut rng).map_err(runtime)?;
-            println!(
-                "{},{},{},{:.6},{},{:.3}",
-                r.t,
-                loc.one_based(),
-                r.observed.one_based(),
-                r.final_budget,
-                r.attempts,
-                r.euclid_km
-            );
-        }
-    } else {
-        let source = PlmSource::new(grid.clone(), alpha).map_err(runtime)?;
-        let mut priste =
-            Priste::new(&events, Homogeneous::new(chain), source, grid, config).map_err(runtime)?;
-        for &loc in &traj {
-            let r = priste.release(loc, &mut rng).map_err(runtime)?;
-            println!(
-                "{},{},{},{:.6},{},{:.3}",
-                r.t,
-                loc.one_based(),
-                r.observed.one_based(),
-                r.final_budget,
-                r.attempts,
-                r.euclid_km
-            );
-        }
+        builder = builder.delta_location(delta);
+    }
+    let mut priste = builder.audit().map_err(runtime)?;
+
+    println!("t,true_cell,released_cell,budget,attempts,distance_km");
+    for &loc in &traj {
+        let r = priste.release(loc, &mut rng).map_err(runtime)?;
+        println!(
+            "{},{},{},{:.6},{},{:.3}",
+            r.t,
+            loc.one_based(),
+            r.observed.one_based(),
+            r.final_budget,
+            r.attempts,
+            r.euclid_km
+        );
     }
     Ok(())
 }
@@ -371,13 +364,14 @@ fn cmd_quantify(flags: &Flags) -> Result<(), CliError> {
     let event = parse_event(flags.required("event")?, grid.num_cells()).map_err(usage)?;
     let alpha = flags.f64_or("alpha", 0.5)?;
     let (traj, mut rng) = trajectory_from_flags(flags, &chain)?;
-    let plm = PlanarLaplace::new(grid.clone(), alpha).map_err(runtime)?;
-    let mut quantifier = FixedPiQuantifier::new(
-        &event,
-        Homogeneous::new(chain),
-        Vector::uniform(grid.num_cells()),
-    )
-    .map_err(runtime)?;
+    let pipeline = Pipeline::on(grid)
+        .mobility(chain)
+        .event(event)
+        .planar_laplace(alpha)
+        .build()
+        .map_err(usage)?;
+    let plm = pipeline.mechanism_instance().map_err(runtime)?;
+    let mut quantifier = pipeline.quantifier().map_err(runtime)?;
 
     println!("t,true_cell,released_cell,privacy_loss");
     let mut worst: f64 = 0.0;
@@ -407,10 +401,15 @@ fn cmd_check(flags: &Flags) -> Result<(), CliError> {
     let epsilon = flags.f64_or("epsilon", 1.0)?;
     let alpha = flags.f64_or("alpha", 0.5)?;
     let (traj, mut rng) = trajectory_from_flags(flags, &chain)?;
-    let plm = PlanarLaplace::new(grid.clone(), alpha).map_err(runtime)?;
-    let provider = Homogeneous::new(chain);
-    let mut builder = TheoremBuilder::new(&event, provider).map_err(runtime)?;
-    let checker = TheoremChecker::new(epsilon, SolverConfig::default());
+    let pipeline = Pipeline::on(grid)
+        .mobility(chain)
+        .event(event)
+        .planar_laplace(alpha)
+        .target_epsilon(epsilon)
+        .build()
+        .map_err(usage)?;
+    let plm = pipeline.mechanism_instance().map_err(runtime)?;
+    let (mut builder, checker) = pipeline.checker().map_err(runtime)?;
 
     println!("t,true_cell,released_cell,verdict");
     let mut refused = 0usize;
@@ -464,28 +463,44 @@ fn cmd_stream(flags: &Flags) -> Result<(), CliError> {
     let default_event = format!("PRESENCE(S={{1:{}}}, T={{2:4}})", (m / 4).max(1));
     let event = parse_event(flags.str_or("event", &default_event), m).map_err(usage)?;
 
-    let config = OnlineConfig {
-        epsilon: flags.f64_or("epsilon", 1.0)?,
-        num_shards: flags.usize_or("shards", 8)?,
-        linger: flags.usize_or("linger", 2)?,
-        budget: flags.f64_or("budget", 20.0)?,
+    // One pipeline describes the whole scenario; `stream` derives the
+    // service (plain or enforcing) from it.
+    let threads = flags.usize_or("threads", 1)?;
+    let pipeline = Pipeline::on(grid)
+        .mobility(chain.clone())
+        .event(event)
+        .planar_laplace(alpha)
+        .target_epsilon(flags.f64_or("epsilon", 1.0)?)
+        .service_config(OnlineConfig {
+            num_shards: flags.usize_or("shards", 8)?,
+            linger: flags.usize_or("linger", 2)?,
+            budget: flags.f64_or("budget", 20.0)?,
+            ..OnlineConfig::default()
+        })
+        .guard(GuardConfig {
+            backoff: flags.f64_or("backoff", 0.5)?,
+            floor: flags.f64_or("floor", 1e-3)?,
+            ..GuardConfig::default()
+        })
+        .build()
+        .map_err(usage)?;
+    let mut service = if mode == "enforce" {
+        pipeline.serve_enforcing().map_err(usage)?
+    } else {
+        pipeline.serve().map_err(usage)?
     };
-    config.validate().map_err(usage)?;
-    let provider = std::rc::Rc::new(Homogeneous::new(chain.clone()));
-    let mut service =
-        SessionManager::new(std::rc::Rc::clone(&provider), config).map_err(runtime)?;
-    let template = service.register_template(event).map_err(runtime)?;
 
     // Users: seeded trajectories from the world's own mobility model; one
-    // protected event window each, released through a shared α-PLM.
+    // protected event window each (template 0, pre-registered by the
+    // pipeline), released through a shared α-PLM.
     let mut rng = StdRng::seed_from_u64(seed);
-    let plm = PlanarLaplace::new(grid, alpha).map_err(usage)?;
+    let plm = pipeline.mechanism_instance().map_err(usage)?;
     let mut trajectories = Vec::with_capacity(users);
     for u in 0..users as u64 {
         service
             .add_user(UserId(u), Vector::uniform(m))
             .map_err(runtime)?;
-        service.attach_event(UserId(u), template).map_err(runtime)?;
+        service.attach_event(UserId(u), 0).map_err(runtime)?;
         trajectories.push(
             chain
                 .sample_trajectory_from(&Vector::uniform(m), steps, &mut rng)
@@ -494,20 +509,11 @@ fn cmd_stream(flags: &Flags) -> Result<(), CliError> {
     }
 
     if mode == "enforce" {
-        let guard = GuardConfig {
-            target_epsilon: service.config().epsilon,
-            backoff: flags.f64_or("backoff", 0.5)?,
-            floor: flags.f64_or("floor", 1e-3)?,
-            ..GuardConfig::default()
-        };
-        guard.validate().map_err(usage)?;
-        service
-            .enable_enforcement(Box::new(plm), guard)
-            .map_err(usage)?;
-        return run_stream_enforcing(service, &trajectories, users, steps, &mut rng);
+        return run_stream_enforcing(service, &trajectories, users, steps, seed, threads);
     }
 
-    // Feed: one batch per timestamp, every user releasing one observation.
+    // Feed: one batch per timestamp, every user releasing one observation;
+    // the service fans the ingest work over the worker threads.
     let mut worst_loss = vec![0.0f64; users];
     let mut violations = vec![0usize; users];
     let started = std::time::Instant::now();
@@ -519,7 +525,10 @@ fn cmd_stream(flags: &Flags) -> Result<(), CliError> {
                 (UserId(u as u64), plm.emission_column(observed))
             })
             .collect();
-        for report in service.ingest_batch(&batch).map_err(runtime)? {
+        for report in service
+            .ingest_batch_parallel(&batch, threads)
+            .map_err(runtime)?
+        {
             let u = report.user.0 as usize;
             if report.worst_loss.is_finite() {
                 worst_loss[u] = worst_loss[u].max(report.worst_loss);
@@ -570,23 +579,31 @@ fn cmd_stream(flags: &Flags) -> Result<(), CliError> {
 }
 
 /// Enforcing-mode feed: the service holds the mechanism; the guard
-/// certifies or suppresses every release.
+/// certifies (or suppresses) every release. One same-timestep
+/// [`SessionManager::release_batch`] per step, fanned over `threads`
+/// workers with per-shard RNG streams — output is identical for any
+/// thread count.
 fn run_stream_enforcing(
-    mut service: SessionManager<std::rc::Rc<Homogeneous>>,
+    mut service: SessionManager<SharedProvider>,
     trajectories: &[Vec<CellId>],
     users: usize,
     steps: usize,
-    rng: &mut StdRng,
+    seed: u64,
+    threads: usize,
 ) -> Result<(), CliError> {
     let mut worst_loss = vec![0.0f64; users];
     let mut suppressed = vec![0usize; users];
     let started = std::time::Instant::now();
     #[allow(clippy::needless_range_loop)] // column-wise access across per-user rows
     for t in 0..steps {
-        for u in 0..users {
-            let rel = service
-                .release(UserId(u as u64), trajectories[u][t], rng)
-                .map_err(runtime)?;
+        let batch: Vec<(UserId, CellId)> = (0..users)
+            .map(|u| (UserId(u as u64), trajectories[u][t]))
+            .collect();
+        let releases = service
+            .release_batch(&batch, seed.wrapping_add(t as u64), threads)
+            .map_err(runtime)?;
+        for rel in releases {
+            let u = rel.report.user.0 as usize;
             if rel.decision == Decision::Suppressed {
                 suppressed[u] += 1;
             }
@@ -667,26 +684,24 @@ fn cmd_calibrate(flags: &Flags) -> Result<(), CliError> {
         )));
     }
 
+    // ---- One pipeline, every calibration view. ---------------------------
+    let pipeline = Pipeline::on(grid)
+        .mobility(chain.clone())
+        .event(event)
+        .planar_laplace(alpha)
+        .target_epsilon(target)
+        .planner(planner_cfg)
+        .guard(GuardConfig {
+            backoff: flags.f64_or("backoff", 0.5)?,
+            floor: flags.f64_or("floor", 1e-3)?,
+            ..GuardConfig::default()
+        })
+        .build()
+        .map_err(usage)?;
+
     // ---- Offline plans. --------------------------------------------------
-    let provider = Homogeneous::new(chain.clone());
-    let greedy = plan_greedy(
-        Box::new(PlanarLaplace::new(grid.clone(), alpha).map_err(usage)?),
-        &event,
-        provider.clone(),
-        horizon,
-        target,
-        &planner_cfg,
-    )
-    .map_err(runtime)?;
-    let uniform = plan_uniform_split(
-        Box::new(PlanarLaplace::new(grid.clone(), alpha).map_err(usage)?),
-        &event,
-        provider.clone(),
-        horizon,
-        target,
-        &planner_cfg,
-    )
-    .map_err(runtime)?;
+    let greedy = pipeline.plan_greedy(horizon).map_err(runtime)?;
+    let uniform = pipeline.plan_uniform_split(horizon).map_err(runtime)?;
 
     println!("plan: greedy-forward budgets for ε* = {target} over {horizon} steps ({m} cells)");
     println!("t,budget,capacity,slack,verdict");
@@ -717,9 +732,8 @@ fn cmd_calibrate(flags: &Flags) -> Result<(), CliError> {
         .sample_trajectory_from(&Vector::uniform(m), steps, &mut rng)
         .map_err(runtime)?;
 
-    let plm = PlanarLaplace::new(grid.clone(), alpha).map_err(usage)?;
-    let mut plain = IncrementalTwoWorld::new(event.clone(), provider.clone(), Vector::uniform(m))
-        .map_err(runtime)?;
+    let plm = pipeline.mechanism_instance().map_err(usage)?;
+    let mut plain = pipeline.quantifier().map_err(runtime)?;
     let mut plain_rng = StdRng::seed_from_u64(seed.wrapping_add(1));
     let mut uncal_worst = 0.0f64;
     for &loc in &traj {
@@ -736,20 +750,7 @@ fn cmd_calibrate(flags: &Flags) -> Result<(), CliError> {
         }
     );
 
-    let guard = GuardConfig {
-        target_epsilon: target,
-        backoff: flags.f64_or("backoff", 0.5)?,
-        floor: flags.f64_or("floor", 1e-3)?,
-        ..GuardConfig::default()
-    };
-    let mut calibrated = CalibratedMechanism::new(
-        Box::new(PlanarLaplace::new(grid, alpha).map_err(usage)?),
-        std::slice::from_ref(&event),
-        provider,
-        Vector::uniform(m),
-        guard,
-    )
-    .map_err(runtime)?;
+    let mut calibrated = pipeline.enforce().map_err(runtime)?;
     let mut cal_rng = StdRng::seed_from_u64(seed.wrapping_add(1));
     let mut cal_worst = 0.0f64;
     let mut cal_suppressed = 0usize;

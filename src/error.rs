@@ -1,0 +1,167 @@
+//! The workspace-wide error hierarchy.
+//!
+//! Every member crate has its own error enum; applications built on the
+//! `priste` facade should not have to name ten different types to write one
+//! `?`. [`PristeError`] wraps each of them via `From` (so `?` converts
+//! automatically anywhere in a pipeline) and forwards
+//! [`std::error::Error::source`], preserving the full cause chain down to
+//! the layer that actually failed.
+
+use std::fmt;
+
+/// Any error the PriSTE workspace can produce, one layer per variant.
+///
+/// Construction happens through the `From` impls; the [`PristeError::Pipeline`]
+/// variant is the facade's own: a [`crate::PipelineBuilder`] was asked to
+/// derive a mode its configuration cannot support.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PristeError {
+    /// Dense linear algebra (shapes, stochasticity, convergence).
+    Linalg(priste_linalg::LinalgError),
+    /// Grids, cells, regions, geodesy.
+    Geo(priste_geo::GeoError),
+    /// Mobility models (training, sampling, schedules).
+    Markov(priste_markov::MarkovError),
+    /// Event construction and the event DSL.
+    Event(priste_event::EventError),
+    /// Mechanism construction and budget scaling.
+    Lppm(priste_lppm::LppmError),
+    /// The two-possible-world quantification engine.
+    Quantify(priste_quantify::QuantifyError),
+    /// Budget planning and the calibration guard.
+    Calibrate(priste_calibrate::CalibrateError),
+    /// Dataset parsing and world synthesis.
+    Data(priste_data::DataError),
+    /// The offline PriSTE framework (Algorithms 1–3).
+    Core(priste_core::CoreError),
+    /// The streaming multi-user service.
+    Online(priste_online::OnlineError),
+    /// The pipeline builder itself: a mode was requested that the
+    /// accumulated configuration cannot support (missing mobility model,
+    /// missing mechanism, no events, …).
+    Pipeline {
+        /// What is missing or inconsistent.
+        message: String,
+    },
+}
+
+impl PristeError {
+    /// Shorthand for a builder-level failure.
+    pub(crate) fn pipeline(message: impl Into<String>) -> Self {
+        PristeError::Pipeline {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for PristeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PristeError::Linalg(e) => write!(f, "linear-algebra error: {e}"),
+            PristeError::Geo(e) => write!(f, "geometry error: {e}"),
+            PristeError::Markov(e) => write!(f, "mobility-model error: {e}"),
+            PristeError::Event(e) => write!(f, "event error: {e}"),
+            PristeError::Lppm(e) => write!(f, "mechanism error: {e}"),
+            PristeError::Quantify(e) => write!(f, "quantification error: {e}"),
+            PristeError::Calibrate(e) => write!(f, "calibration error: {e}"),
+            PristeError::Data(e) => write!(f, "data error: {e}"),
+            PristeError::Core(e) => write!(f, "framework error: {e}"),
+            PristeError::Online(e) => write!(f, "streaming-service error: {e}"),
+            PristeError::Pipeline { message } => write!(f, "pipeline error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for PristeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PristeError::Linalg(e) => Some(e),
+            PristeError::Geo(e) => Some(e),
+            PristeError::Markov(e) => Some(e),
+            PristeError::Event(e) => Some(e),
+            PristeError::Lppm(e) => Some(e),
+            PristeError::Quantify(e) => Some(e),
+            PristeError::Calibrate(e) => Some(e),
+            PristeError::Data(e) => Some(e),
+            PristeError::Core(e) => Some(e),
+            PristeError::Online(e) => Some(e),
+            PristeError::Pipeline { .. } => None,
+        }
+    }
+}
+
+macro_rules! wrap {
+    ($variant:ident, $inner:ty) => {
+        impl From<$inner> for PristeError {
+            fn from(e: $inner) -> Self {
+                PristeError::$variant(e)
+            }
+        }
+    };
+}
+
+wrap!(Linalg, priste_linalg::LinalgError);
+wrap!(Geo, priste_geo::GeoError);
+wrap!(Markov, priste_markov::MarkovError);
+wrap!(Event, priste_event::EventError);
+wrap!(Lppm, priste_lppm::LppmError);
+wrap!(Quantify, priste_quantify::QuantifyError);
+wrap!(Calibrate, priste_calibrate::CalibrateError);
+wrap!(Data, priste_data::DataError);
+wrap!(Core, priste_core::CoreError);
+wrap!(Online, priste_online::OnlineError);
+
+/// Convenience result alias for facade-level APIs.
+pub type Result<T> = std::result::Result<T, PristeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn every_layer_converts_and_chains() {
+        let cases: Vec<PristeError> = vec![
+            priste_linalg::LinalgError::Empty { op: "sum" }.into(),
+            priste_geo::GeoError::EmptyGrid.into(),
+            priste_markov::MarkovError::NoTrainingData.into(),
+            priste_event::EventError::EmptyRegion.into(),
+            priste_lppm::LppmError::InvalidBudget { value: -1.0 }.into(),
+            priste_quantify::QuantifyError::ZeroLikelihood { t: 3 }.into(),
+            priste_calibrate::CalibrateError::InvalidConfig {
+                message: "x".into(),
+            }
+            .into(),
+            priste_data::DataError::InsufficientData {
+                message: "y".into(),
+            }
+            .into(),
+            priste_core::CoreError::NoEvents.into(),
+            priste_online::OnlineError::NotEnforcing.into(),
+        ];
+        for e in &cases {
+            assert!(!e.to_string().is_empty());
+            assert!(e.source().is_some(), "layer errors must chain: {e}");
+        }
+        let builder = PristeError::pipeline("missing mobility model");
+        assert!(builder.to_string().contains("missing mobility model"));
+        assert!(builder.source().is_none());
+    }
+
+    #[test]
+    fn source_chain_reaches_the_root_cause() {
+        // online → quantify → linalg: three layers deep.
+        let root = priste_linalg::LinalgError::NotDistribution { sum: 0.4 };
+        let mid = priste_quantify::QuantifyError::InvalidInitial(root);
+        let e: PristeError = priste_online::OnlineError::Quantify(mid).into();
+        let mut depth = 0;
+        let mut cur: &dyn Error = &e;
+        while let Some(next) = cur.source() {
+            cur = next;
+            depth += 1;
+        }
+        assert_eq!(depth, 3, "expected online → quantify → linalg chain");
+        assert!(cur.to_string().contains("0.4"));
+    }
+}

@@ -15,6 +15,12 @@
 //!
 //! ## Quick start
 //!
+//! Everything starts at the [`Pipeline`]: describe the scenario once —
+//! world, mobility, secrets, mechanism, target ε — then derive whichever
+//! mode you need. `.audit()` walks one trajectory through the offline
+//! PriSTE framework; `.serve()` yields the streaming multi-user service;
+//! `.enforce()` wraps the mechanism in the calibration guard.
+//!
 //! ```
 //! use priste::prelude::*;
 //! use rand::rngs::StdRng;
@@ -24,32 +30,40 @@
 //! let grid = GridMap::new(5, 5, 1.0)?;
 //! let chain = gaussian_kernel_chain(&grid, 1.0)?;
 //!
-//! // The secret: presence in cells s1..s5 during timestamps 2..4.
-//! let event = parse_event("PRESENCE(S={1:5}, T={2:4})", grid.num_cells())?;
-//! let events = vec![event];
+//! // One pipeline: the secret (paper notation), the mechanism, the target.
+//! let pipeline = Pipeline::on(grid.clone())
+//!     .mobility(chain.clone())
+//!     .event_spec("PRESENCE(S={1:5}, T={2:4})")
+//!     .mechanism(PlanarLaplace::new(grid, 0.5)?)
+//!     .target_epsilon(1.0)
+//!     .build()?;
 //!
-//! // Protect a short trajectory with 0.5-Planar-Laplace under ε = 1.
-//! let source = PlmSource::new(grid.clone(), 0.5)?;
-//! let mut priste = Priste::new(
-//!     &events,
-//!     Homogeneous::new(chain.clone()),
-//!     source,
-//!     grid.clone(),
-//!     PristeConfig::with_epsilon(1.0),
-//! )?;
+//! // Protect a short trajectory with calibrated 0.5-Planar-Laplace.
+//! let mut audit = pipeline.audit()?;
 //! let mut rng = StdRng::seed_from_u64(7);
 //! let trajectory = chain.sample_trajectory(CellId(12), 6, &mut rng)?;
 //! for &loc in &trajectory {
-//!     let release = priste.release(loc, &mut rng)?;
+//!     let release = audit.release(loc, &mut rng)?;
 //!     assert!(release.final_budget <= 0.5);
 //! }
-//! # Ok::<(), Box<dyn std::error::Error>>(())
+//!
+//! // The same pipeline also serves the streaming and enforcing modes.
+//! let mut service = pipeline.serve()?;
+//! service.add_user(UserId(1), Vector::uniform(25))?;
+//! let mut guard = pipeline.enforce()?;
+//! let release = guard.release(CellId(12), &mut rng)?;
+//! assert!(release.loss <= 1.0);
+//! # Ok::<(), PristeError>(())
 //! ```
+//!
+//! Every fallible facade call returns [`PristeError`], which wraps the ten
+//! per-crate error enums with full [`std::error::Error::source`] chains.
 //!
 //! ## Crate map
 //!
 //! | Crate | Contents |
 //! |---|---|
+//! | `priste` (this crate) | the facade: [`Pipeline`]/[`PipelineBuilder`], [`PristeError`], the prelude, the CLI |
 //! | [`linalg`] | dense matrices/vectors, Jacobi eigensolver, HMM scaling |
 //! | [`geo`] | grids, cells, regions, GPS geodesy |
 //! | [`markov`] | mobility models: training, sampling, synthesis |
@@ -61,9 +75,31 @@
 //! | [`core`] | the PriSTE framework (Algorithms 1–3) + experiment runner |
 //! | [`online`] | streaming multi-user service: sessions, sharding, incremental checks, enforcing mode |
 //! | [`data`] | synthetic worlds, GeoLife parsing, commuter simulator |
+//!
+//! ## Migrating from the per-crate entry points
+//!
+//! The hand-wired constructors still work, but new code should go through
+//! the pipeline:
+//!
+//! | Old API | New API |
+//! |---|---|
+//! | `Priste::new(&events, provider, source, grid, config)` | `Pipeline::on(grid).mobility(chain).events(events).mechanism(plm).target_epsilon(ε).audit()` |
+//! | `SessionManager::new(Arc::new(Homogeneous::new(chain)), online_config)` + `register_template` | `…​.serve()` (templates pre-registered from the pipeline events) |
+//! | `SessionManager::enable_enforcement(lppm, guard)` | `…​.serve_enforcing()` |
+//! | `CalibratedMechanism::new(lppm, &events, provider, π, guard)` | `…​.enforce()` |
+//! | `IncrementalTwoWorld::new(event, provider, π)` | `…​.quantifier()` |
+//! | `BayesianAdversary::new(&event, provider, π)` | `…​.adversary()` |
+//! | `TheoremBuilder::new(&event, provider)` + `TheoremChecker::new(ε, solver)` | `…​.checker()` |
+//! | `plan_greedy(lppm, &event, provider, T, ε, &cfg)` | `…​.plan_greedy(T)` |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+mod error;
+mod pipeline;
+
+pub use error::{PristeError, Result};
+pub use pipeline::{Audit, AuditSource, Pipeline, PipelineBuilder, SharedProvider};
 
 pub use priste_calibrate as calibrate;
 pub use priste_core as core;
@@ -79,6 +115,7 @@ pub use priste_quantify as quantify;
 
 /// One-stop imports for applications.
 pub mod prelude {
+    pub use crate::{Audit, AuditSource, Pipeline, PipelineBuilder, PristeError, SharedProvider};
     pub use priste_calibrate::{
         plan_greedy, plan_uniform_split, BudgetPlan, CalibratedMechanism, CalibratedRelease,
         Decision, GuardConfig, MechanismCache, OnExhaustion, PlannedStep, PlannerConfig,

@@ -161,9 +161,9 @@ fn greedy_plan_certifies_the_target_where_uniform_split_wastes_it() {
 fn enforcing_service_matches_the_guard_guarantee() {
     let (grid, chain) = commuter_world();
     let m = grid.num_cells();
-    let provider = std::rc::Rc::new(Homogeneous::new(chain.clone()));
+    let provider = std::sync::Arc::new(Homogeneous::new(chain.clone()));
     let mut service = SessionManager::new(
-        std::rc::Rc::clone(&provider),
+        std::sync::Arc::clone(&provider),
         OnlineConfig {
             epsilon: TARGET,
             ..OnlineConfig::default()

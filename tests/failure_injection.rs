@@ -4,7 +4,7 @@
 use priste::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn world() -> (GridMap, MarkovModel) {
     let grid = GridMap::new(3, 3, 1.0).unwrap();
@@ -21,7 +21,7 @@ struct FailingSource {
 }
 
 impl MechanismSource for FailingSource {
-    fn base_mechanism(&mut self, t: usize) -> priste::core::Result<Rc<Box<dyn Lppm>>> {
+    fn base_mechanism(&mut self, t: usize) -> priste::core::Result<Arc<Box<dyn Lppm>>> {
         self.calls += 1;
         if self.calls > self.fail_after {
             return Err(priste::core::CoreError::InvalidConfig {
