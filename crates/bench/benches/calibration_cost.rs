@@ -3,9 +3,12 @@
 //!
 //! Three questions, three groups:
 //!
-//! * `calibration_planner` — offline planner cost vs horizon (the planner
-//!   is `O(T · rungs · m)` oracle calls along the canonical history; the
-//!   uniform-split baseline pays the evaluation without the search).
+//! * `calibration_planner` — offline planner cost vs horizon, all three
+//!   planners head to head (the greedy search is `O(T · rungs · m)` oracle
+//!   calls along the canonical history; the uniform-split baseline pays
+//!   the evaluation without the search; the knapsack allocator pays both
+//!   probes plus the LP — the LP itself is noise next to the oracle, so
+//!   expect roughly greedy + uniform + a repair walk).
 //! * `capacity_sweep` — the satellite optimizations on the planner's bulk
 //!   workload (all `m` emission-column capacities at one timestep, which
 //!   cluster tightly): warm-chained bisection spends measurably fewer
@@ -18,13 +21,15 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use priste_calibrate::{
-    plan_greedy, plan_uniform_split, CalibratedMechanism, GuardConfig, PlannerConfig,
+    plan_greedy, plan_knapsack, plan_uniform_split, CalibratedMechanism, GuardConfig,
+    PlanarLaplaceError, PlannerConfig,
 };
-use priste_event::{Presence, StEvent};
-use priste_geo::{GridMap, Region};
+use priste_core::test_support::{homogeneous_world, plm, presence};
+use priste_event::StEvent;
+use priste_geo::GridMap;
 use priste_linalg::Vector;
 use priste_lppm::{Lppm, PlanarLaplace};
-use priste_markov::{gaussian_kernel_chain, Homogeneous};
+use priste_markov::Homogeneous;
 use priste_qp::SolverConfig;
 use priste_quantify::sweep::{min_certifiable_epsilon, min_certifiable_epsilons, EpsilonCapacity};
 use priste_quantify::{IncrementalTwoWorld, TheoremBuilder, TheoremInputs};
@@ -33,17 +38,9 @@ use rand::SeedableRng;
 
 /// One world: a 4×4 grid (m = 16) and a presence event over steps 2–4.
 fn setup() -> (GridMap, Homogeneous, StEvent) {
-    let grid = GridMap::new(4, 4, 1.0).expect("grid");
-    let m = grid.num_cells();
-    let chain = gaussian_kernel_chain(&grid, 1.0).expect("chain");
-    let event: StEvent = Presence::new(
-        Region::from_one_based_range(m, 1, m / 4).expect("range"),
-        2,
-        4,
-    )
-    .expect("presence")
-    .into();
-    (grid, Homogeneous::new(chain), event)
+    let (grid, provider) = homogeneous_world(4, 1.0);
+    let event = presence(grid.num_cells(), grid.num_cells() / 4, 2, 4);
+    (grid, provider, event)
 }
 
 fn bench_planner_vs_horizon(c: &mut Criterion) {
@@ -55,16 +52,9 @@ fn bench_planner_vs_horizon(c: &mut Criterion) {
     for horizon in [2usize, 4, 6] {
         group.bench_with_input(BenchmarkId::new("greedy", horizon), &horizon, |b, &h| {
             b.iter(|| {
-                plan_greedy(
-                    Box::new(PlanarLaplace::new(grid.clone(), 1.5).expect("plm")),
-                    &event,
-                    provider.clone(),
-                    h,
-                    0.8,
-                    &cfg,
-                )
-                .expect("plan")
-                .mean_budget()
+                plan_greedy(plm(&grid, 1.5), &event, provider.clone(), h, 0.8, &cfg)
+                    .expect("plan")
+                    .mean_budget()
             })
         });
         group.bench_with_input(
@@ -72,19 +62,27 @@ fn bench_planner_vs_horizon(c: &mut Criterion) {
             &horizon,
             |b, &h| {
                 b.iter(|| {
-                    plan_uniform_split(
-                        Box::new(PlanarLaplace::new(grid.clone(), 1.5).expect("plm")),
-                        &event,
-                        provider.clone(),
-                        h,
-                        0.8,
-                        &cfg,
-                    )
-                    .expect("plan")
-                    .mean_budget()
+                    plan_uniform_split(plm(&grid, 1.5), &event, provider.clone(), h, 0.8, &cfg)
+                        .expect("plan")
+                        .mean_budget()
                 })
             },
         );
+        group.bench_with_input(BenchmarkId::new("knapsack", horizon), &horizon, |b, &h| {
+            b.iter(|| {
+                plan_knapsack(
+                    plm(&grid, 1.5),
+                    &event,
+                    provider.clone(),
+                    h,
+                    0.8,
+                    &cfg,
+                    &PlanarLaplaceError,
+                )
+                .expect("plan")
+                .total_utility(&PlanarLaplaceError)
+            })
+        });
     }
     group.finish();
 }

@@ -599,23 +599,14 @@ pub fn peek_worst_loss<'w, P: TransitionProvider + 'w>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use priste_event::Presence;
-    use priste_geo::{GridMap, Region};
-    use priste_lppm::PlanarLaplace;
+    use priste_core::test_support::{homogeneous_world, plm, presence};
+    use priste_geo::GridMap;
     use priste_markov::{gaussian_kernel_chain, Homogeneous};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     fn world() -> (GridMap, Homogeneous) {
-        let grid = GridMap::new(3, 3, 1.0).unwrap();
-        let chain = gaussian_kernel_chain(&grid, 1.0).unwrap();
-        (grid, Homogeneous::new(chain))
-    }
-
-    fn presence(m: usize, hi: usize, start: usize, end: usize) -> StEvent {
-        Presence::new(Region::from_one_based_range(m, 1, hi).unwrap(), start, end)
-            .unwrap()
-            .into()
+        homogeneous_world(3, 1.0)
     }
 
     fn guarded(
@@ -625,7 +616,7 @@ mod tests {
     ) -> CalibratedMechanism<Homogeneous> {
         let (grid, provider) = world();
         let m = grid.num_cells();
-        let lppm: Box<dyn Lppm> = Box::new(PlanarLaplace::new(grid, alpha).unwrap());
+        let lppm = plm(&grid, alpha);
         CalibratedMechanism::new(
             lppm,
             &[presence(m, 3, 2, 4)],
@@ -667,8 +658,7 @@ mod tests {
     #[test]
     fn cache_reuses_variants_and_keeps_the_base() {
         let (grid, _) = world();
-        let mut cache =
-            MechanismCache::new(Box::new(PlanarLaplace::new(grid, 1.0).unwrap()) as Box<dyn Lppm>);
+        let mut cache = MechanismCache::new(plm(&grid, 1.0));
         assert_eq!(cache.base_budget(), 1.0);
         assert_eq!(cache.at(1.0).unwrap().budget(), 1.0);
         assert_eq!(cache.at(0.5).unwrap().budget(), 0.5);
@@ -718,7 +708,7 @@ mod tests {
     fn release_at_floor_ships_uncertified_candidates() {
         let (grid, provider) = world();
         let m = grid.num_cells();
-        let lppm: Box<dyn Lppm> = Box::new(PlanarLaplace::new(grid, 4.0).unwrap());
+        let lppm = plm(&grid, 4.0);
         let mut mech = CalibratedMechanism::new(
             lppm,
             &[presence(m, 3, 1, 3)],
@@ -750,7 +740,7 @@ mod tests {
     fn suppression_commits_the_flat_column_and_preserves_loss() {
         let (grid, provider) = world();
         let m = grid.num_cells();
-        let lppm: Box<dyn Lppm> = Box::new(PlanarLaplace::new(grid, 4.0).unwrap());
+        let lppm = plm(&grid, 4.0);
         // A floor of 1.0 keeps every rung informative, so a 1e-4 target is
         // unreachable and the policy must fire.
         let mut mech = CalibratedMechanism::new(
@@ -780,7 +770,7 @@ mod tests {
     fn construction_rejects_a_floor_above_the_base_budget() {
         let (grid, provider) = world();
         let m = grid.num_cells();
-        let lppm: Box<dyn Lppm> = Box::new(PlanarLaplace::new(grid, 0.5).unwrap());
+        let lppm = plm(&grid, 0.5);
         assert!(matches!(
             CalibratedMechanism::new(
                 lppm,
@@ -801,7 +791,7 @@ mod tests {
         let (grid, _) = world();
         let other = GridMap::new(2, 2, 1.0).unwrap();
         let provider = Homogeneous::new(gaussian_kernel_chain(&other, 1.0).unwrap());
-        let lppm: Box<dyn Lppm> = Box::new(PlanarLaplace::new(grid, 1.0).unwrap());
+        let lppm = plm(&grid, 1.0);
         assert!(matches!(
             CalibratedMechanism::new(
                 lppm,

@@ -12,7 +12,10 @@
 //!   ε_t against the all-columns, all-priors Theorem IV.1 oracle
 //!   (ε-capacity bisection via
 //!   [`min_certifiable_epsilon`](priste_quantify::sweep::min_certifiable_epsilon)),
-//!   with [`plan_uniform_split`] as the sequential-composition baseline.
+//!   with [`plan_uniform_split`] as the sequential-composition baseline
+//!   and [`plan_knapsack`] as the utility-aware allocator (a
+//!   piecewise-linear knapsack over `priste-qp`'s budgeted LP, objective
+//!   pluggable via [`UtilityModel`]).
 //! * [`guard`] — online: [`CalibratedMechanism`] wraps any
 //!   [`Lppm`](priste_lppm::Lppm), peeks every candidate release through
 //!   per-event incremental quantifiers, and shrinks the location budget
@@ -56,6 +59,7 @@
 mod error;
 pub mod guard;
 pub mod plan;
+pub mod utility;
 
 pub use error::CalibrateError;
 pub use guard::{
@@ -63,7 +67,11 @@ pub use guard::{
     CalibratedMechanism, CalibratedRelease, Decision, GuardConfig, GuardOutcome, MechanismCache,
     OnExhaustion,
 };
-pub use plan::{plan_greedy, plan_uniform_split, BudgetPlan, PlannedStep, PlannerConfig};
+pub use plan::{
+    plan_greedy, plan_knapsack, plan_knapsack_with_probes, plan_uniform_split, BudgetPlan,
+    PlannedStep, PlannerConfig,
+};
+pub use utility::{MeanEpsilon, PlanarLaplaceError, PlmQualityLoss, UtilityModel};
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, CalibrateError>;

@@ -4,7 +4,7 @@
 //! certifies Theorem IV.1 at ε* — for every adversarial initial
 //! distribution, the strongest guarantee the framework defines.
 //!
-//! Two planners share one evaluation oracle:
+//! Three planners share one evaluation oracle:
 //!
 //! * [`plan_greedy`] — greedy-forward: each timestep starts from the
 //!   previous step's budget, descends the geometric ladder until all `m`
@@ -12,9 +12,17 @@
 //!   budget when slack allows (utility recovers after the event window).
 //! * [`plan_uniform_split`] — the sequential-composition baseline from
 //!   the per-timestep budget semantics of arXiv:1410.5919: the target is
-//!   split evenly, `ε_t = ε*/T`. Provably conservative; the planner
-//!   evaluates it with the same oracle so the two plans are directly
-//!   comparable (greedy should certify at a much larger mean budget).
+//!   split evenly, `ε_t = ε*/T` (clamped to the mechanism's `[floor,
+//!   base]` range). Provably conservative; the planner evaluates it with
+//!   the same oracle so the plans are directly comparable.
+//! * [`plan_knapsack`] — utility-aware: maximizes `Σ_t u(ε_t)` for a
+//!   pluggable [`UtilityModel`] by solving a piecewise-linear knapsack
+//!   over `priste-qp`'s budgeted LP ([`priste_qp::max_budgeted`]) on the
+//!   concavified per-step utility curves sampled on the geometric ladder,
+//!   then restoring certified feasibility with the same
+//!   descend-then-climb repair loop `plan_greedy` uses. Falls back to the
+//!   greedy-feasible plan whenever the repaired allocation does not beat
+//!   it (e.g. degenerate all-zero utility slopes).
 //!
 //! ### The canonical history
 //! Theorem IV.1 at timestep `t` conditions on the committed prefix
@@ -29,15 +37,22 @@
 //! at run time.
 
 use crate::guard::MechanismCache;
+use crate::utility::UtilityModel;
 use crate::{CalibrateError, Result};
 use priste_event::StEvent;
 use priste_geo::CellId;
 use priste_linalg::Vector;
 use priste_lppm::Lppm;
 use priste_markov::TransitionProvider;
-use priste_qp::{SolverConfig, TheoremChecker};
+use priste_qp::{knapsack::max_budgeted, SolverConfig, TheoremChecker};
 use priste_quantify::sweep::min_certifiable_epsilons;
 use priste_quantify::{TheoremBuilder, TheoremInputs};
+use std::fmt;
+
+/// Cap on the sampled budget-ladder length of the knapsack allocation
+/// (mirrors the guard's attempt cap): a backoff close to 1 would otherwise
+/// explode the item count. The final rung is always the floor.
+const MAX_LADDER_RUNGS: usize = 64;
 
 /// Tunables of the offline planners.
 #[derive(Debug, Clone)]
@@ -161,13 +176,64 @@ impl BudgetPlan {
             })
     }
 
-    /// Mean per-step location budget — the plan's utility proxy (larger
-    /// budgets mean less noise).
+    /// Mean per-step location budget — the plan's legacy utility proxy
+    /// (larger budgets mean less noise).
     pub fn mean_budget(&self) -> f64 {
         if self.steps.is_empty() {
             return 0.0;
         }
         self.steps.iter().map(|s| s.budget).sum::<f64>() / self.steps.len() as f64
+    }
+
+    /// Total utility `Σ_t u(ε_t)` of the planned budgets under a model —
+    /// the objective [`plan_knapsack`] maximizes and the axis on which the
+    /// three planners are compared.
+    pub fn total_utility(&self, model: &dyn UtilityModel) -> f64 {
+        self.steps.iter().map(|s| model.utility(s.budget)).sum()
+    }
+}
+
+impl fmt::Display for PlannedStep {
+    /// One stable CSV row: `t,budget,capacity,slack,verdict` (off-scale
+    /// capacities print as `off-scale,-inf`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.capacity {
+            Some(c) => write!(
+                f,
+                "{},{:.6},{c:.4},{:.4},{}",
+                self.t,
+                self.budget,
+                self.slack,
+                if self.certified {
+                    "certified"
+                } else {
+                    "INFEASIBLE"
+                }
+            ),
+            None => write!(
+                f,
+                "{},{:.6},off-scale,-inf,{}",
+                self.t,
+                self.budget,
+                if self.certified {
+                    "certified"
+                } else {
+                    "INFEASIBLE"
+                }
+            ),
+        }
+    }
+}
+
+impl fmt::Display for BudgetPlan {
+    /// The stable plan table the CLI prints: a `t,budget,capacity,slack,
+    /// verdict` header followed by one [`PlannedStep`] row per timestep.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t,budget,capacity,slack,verdict")?;
+        for step in &self.steps {
+            write!(f, "\n{step}")?;
+        }
+        Ok(())
     }
 }
 
@@ -198,7 +264,10 @@ pub fn plan_greedy<P: TransitionProvider>(
 /// same oracle (no search). The sequential-composition bound makes the
 /// split provably safe when the per-step budget is read as a location-DP
 /// level; here it is evaluated exactly, so over-conservatism shows up as
-/// large per-step slack.
+/// large per-step slack. The split is clamped into the mechanism's
+/// `[floor, base]` range — a mechanism cannot release above its base
+/// budget, and the planner-conformance contract pins every planned budget
+/// inside those bounds.
 ///
 /// # Errors
 /// See [`plan_greedy`].
@@ -211,11 +280,240 @@ pub fn plan_uniform_split<P: TransitionProvider>(
     config: &PlannerConfig,
 ) -> Result<BudgetPlan> {
     let mut planner = Planner::new(lppm, event, provider, horizon, target, config)?;
-    let split = target / horizon as f64;
+    let base = planner.cache.base_budget();
+    let split = (target / horizon as f64).clamp(config.floor, base);
     for _ in 0..horizon {
         planner.plan_step_fixed(split)?;
     }
     Ok(planner.finish())
+}
+
+/// Utility-aware knapsack planner: maximizes the horizon's total utility
+/// `Σ_t u(ε_t)` under a pluggable [`UtilityModel`], subject to every
+/// prefix re-certifying ε* against the same all-columns, all-priors
+/// Theorem IV.1 oracle the other planners use.
+///
+/// Three phases:
+///
+/// 1. **Probe** — run [`plan_greedy`] and [`plan_uniform_split`]; each
+///    probe's per-step budgets form a feasible baseline, and the largest
+///    *certified* total ε-mass among them is the knapsack capacity `C`
+///    (the greedy mass is kept as the capacity floor even when greedy has
+///    uncertified steps — it is per-step maximal along its own history).
+/// 2. **Allocate** — sample `u` on the geometric budget ladder, take each
+///    step's upper concave envelope, and hand the incremental segments to
+///    [`priste_qp::max_budgeted`]: `max Σ w·x` s.t. `Σ a·x ≤ C − T·floor`,
+///    `0 ≤ x ≤ 1`. Concavity makes the density-greedy LP solution a valid
+///    per-step curve fill; item order prefers *later* steps on density
+///    ties, since early spend is what tightens later prefixes.
+/// 3. **Repair** — walk the proposal forward along the canonical
+///    worst-column history with the descend-then-climb loop `plan_greedy`
+///    uses: descend to certified feasibility, bank any shortfall in a
+///    slack pool, and let later steps climb above their proposal by at
+///    most the banked slack.
+///
+/// The returned plan is the best of {repaired knapsack, greedy, uniform}:
+/// most certified steps first, strictly higher total utility under `model`
+/// second — so by construction `plan_knapsack` never does worse than
+/// either baseline on the model's own objective. Ties return the
+/// greedy-feasible plan unchanged (this covers degenerate utility curves —
+/// all-zero slopes propose the floor everywhere — without erroring).
+///
+/// # Errors
+/// See [`plan_greedy`].
+pub fn plan_knapsack<P: TransitionProvider + Clone>(
+    lppm: Box<dyn Lppm>,
+    event: &StEvent,
+    provider: P,
+    horizon: usize,
+    target: f64,
+    config: &PlannerConfig,
+    model: &dyn UtilityModel,
+) -> Result<BudgetPlan> {
+    // Phase 1: probes — feasible baselines + the certified ε-mass.
+    let greedy = plan_greedy(
+        lppm.with_budget(lppm.budget())?,
+        event,
+        provider.clone(),
+        horizon,
+        target,
+        config,
+    )?;
+    let uniform = plan_uniform_split(
+        lppm.with_budget(lppm.budget())?,
+        event,
+        provider.clone(),
+        horizon,
+        target,
+        config,
+    )?;
+    plan_knapsack_with_probes(
+        lppm, event, provider, horizon, target, config, model, &greedy, &uniform,
+    )
+}
+
+/// [`plan_knapsack`] phases 2–3 against caller-supplied probe plans — for
+/// callers that already paid for the greedy and uniform oracle walks (the
+/// CLI's three-way comparison table, `Pipeline::plan_all` in the facade)
+/// and must not pay them twice. The probes must describe the same scenario:
+/// horizon and target are checked; mechanism, model and config agreement is
+/// the caller's responsibility.
+///
+/// # Errors
+/// [`CalibrateError::InvalidConfig`] on probe/scenario mismatch; otherwise
+/// see [`plan_greedy`].
+#[allow(clippy::too_many_arguments)] // mirrors plan_knapsack plus the two probes
+pub fn plan_knapsack_with_probes<P: TransitionProvider>(
+    lppm: Box<dyn Lppm>,
+    event: &StEvent,
+    provider: P,
+    horizon: usize,
+    target: f64,
+    config: &PlannerConfig,
+    model: &dyn UtilityModel,
+    greedy: &BudgetPlan,
+    uniform: &BudgetPlan,
+) -> Result<BudgetPlan> {
+    for (name, probe) in [("greedy", greedy), ("uniform", uniform)] {
+        if probe.steps.len() != horizon || (probe.target - target).abs() > 1e-12 {
+            return Err(CalibrateError::InvalidConfig {
+                message: format!(
+                    "{name} probe plan describes horizon {} at ε* = {}, not horizon \
+                     {horizon} at ε* = {target}",
+                    probe.steps.len(),
+                    probe.target
+                ),
+            });
+        }
+    }
+    let mass = |plan: &BudgetPlan| plan.steps.iter().map(|s| s.budget).sum::<f64>();
+    let mut capacity = mass(greedy);
+    if uniform.all_certified() {
+        capacity = capacity.max(mass(uniform));
+    }
+
+    // Phase 2: piecewise-linear knapsack over the concavified curves.
+    let mut planner = Planner::new(lppm, event, provider, horizon, target, config)?;
+    let base = planner.cache.base_budget();
+    let rungs = budget_ladder(base, config);
+    let envelope = concave_envelope(&rungs, model);
+    let proposal = allocate(
+        &envelope,
+        horizon,
+        capacity - horizon as f64 * config.floor,
+        config,
+    );
+
+    // Phase 3: certified repair along the canonical history.
+    let mut pool = 0.0f64;
+    for &proposed in &proposal {
+        let proposed = proposed.clamp(config.floor, base);
+        let cap = (proposed + pool).min(base);
+        let realized = planner.plan_step_search(proposed, cap)?;
+        pool = (pool + proposed - realized).max(0.0);
+    }
+    let knapsack = planner.finish();
+
+    // Selection: greedy is the fallback; a candidate replaces the incumbent
+    // only by certifying more steps or strictly beating it on the model.
+    let mut best = greedy;
+    for candidate in [uniform, &knapsack] {
+        let improves = candidate.certified_steps() > best.certified_steps()
+            || (candidate.certified_steps() == best.certified_steps()
+                && candidate.total_utility(model) > best.total_utility(model) + 1e-12);
+        if improves {
+            best = candidate;
+        }
+    }
+    Ok(best.clone())
+}
+
+/// The geometric budget ladder in ascending order: `floor` first, then the
+/// backoff rungs `base·β^k` above it, `base` last (capped in length like
+/// the guard's attempt budget).
+fn budget_ladder(base: f64, config: &PlannerConfig) -> Vec<f64> {
+    let mut rungs = vec![base.max(config.floor)];
+    while *rungs.last().expect("non-empty") > config.floor && rungs.len() < MAX_LADDER_RUNGS {
+        let next = (rungs.last().expect("non-empty") * config.backoff).max(config.floor);
+        rungs.push(next);
+    }
+    if *rungs.last().expect("non-empty") > config.floor {
+        rungs.push(config.floor);
+    }
+    rungs.reverse();
+    rungs.dedup();
+    rungs
+}
+
+/// Samples the utility model on the ladder and keeps the upper concave
+/// envelope: the returned `(ε, u)` points have strictly increasing ε and
+/// non-increasing marginal densities, so filling segments in density order
+/// is a valid curve traversal.
+fn concave_envelope(rungs: &[f64], model: &dyn UtilityModel) -> Vec<(f64, f64)> {
+    let mut hull: Vec<(f64, f64)> = Vec::with_capacity(rungs.len());
+    for &eps in rungs {
+        let u = model.utility(eps);
+        if !u.is_finite() {
+            continue;
+        }
+        while hull.len() >= 2 {
+            let (x1, y1) = hull[hull.len() - 2];
+            let (x2, y2) = hull[hull.len() - 1];
+            // Pop while the middle point sits on or below the chord.
+            if (y2 - y1) * (eps - x2) <= (u - y2) * (x2 - x1) {
+                hull.pop();
+            } else {
+                break;
+            }
+        }
+        hull.push((eps, u));
+    }
+    hull
+}
+
+/// Solves the budgeted LP over the per-step envelope segments and maps the
+/// solution back to per-step budgets (`floor` plus the taken ε-mass).
+/// Items are laid out step-major with identical curves per step; the LP's
+/// documented tie-break (higher index wins at equal density) then prefers
+/// later steps, which costs the least future capacity.
+fn allocate(
+    envelope: &[(f64, f64)],
+    horizon: usize,
+    extra_capacity: f64,
+    config: &PlannerConfig,
+) -> Vec<f64> {
+    let mut weights = Vec::new();
+    let mut masses = Vec::new();
+    let mut owner = Vec::new();
+    for t in 0..horizon {
+        for pair in envelope.windows(2) {
+            let ((lo, u_lo), (hi, u_hi)) = (pair[0], pair[1]);
+            let gain = u_hi - u_lo;
+            if gain <= 0.0 {
+                // Concavity: once a segment stops paying, all later ones do
+                // too — and zero-gain segments must not attract mass.
+                break;
+            }
+            weights.push(gain);
+            masses.push(hi - lo);
+            owner.push(t);
+        }
+    }
+    let mut budgets = vec![config.floor; horizon];
+    if weights.is_empty() || extra_capacity <= 0.0 {
+        return budgets;
+    }
+    let Some(solution) = max_budgeted(
+        &Vector::from(weights),
+        &Vector::from(masses.clone()),
+        extra_capacity,
+    ) else {
+        return budgets;
+    };
+    for (i, &take) in solution.point.as_slice().iter().enumerate() {
+        budgets[owner[i]] += take * masses[i];
+    }
+    budgets
 }
 
 /// Shared planner state: the mechanism ladder cache, the Theorem builder
@@ -312,8 +610,19 @@ impl<P: TransitionProvider> Planner<P> {
     /// next step.
     fn plan_step_greedy(&mut self, start: f64) -> Result<f64> {
         let base = self.cache.base_budget();
+        self.plan_step_search(start, base)
+    }
+
+    /// The shared descend-then-climb search: descend the geometric ladder
+    /// from `start` until every emission column certifies (the floor is
+    /// always the last rung evaluated), then climb back up while slack
+    /// allows — but never above `cap`. `plan_greedy` caps at the base
+    /// budget; the knapsack repair caps at the proposed allocation plus
+    /// whatever slack earlier steps banked.
+    fn plan_step_search(&mut self, start: f64, cap: f64) -> Result<f64> {
+        let cap = cap.clamp(self.config.floor, self.cache.base_budget());
         let cfg = self.config.clone();
-        let mut budget = start.clamp(cfg.floor, base);
+        let mut budget = start.clamp(cfg.floor, cap);
         let mut rungs = 0usize;
 
         // Descend until feasible; the floor is always the last rung
@@ -330,10 +639,10 @@ impl<P: TransitionProvider> Planner<P> {
             budget = (budget * cfg.backoff).max(cfg.floor);
         };
 
-        // Climb back toward the base budget while slack allows.
+        // Climb back toward the cap while slack allows.
         if feasible {
-            while budget < base {
-                let up = (budget / cfg.backoff).min(base);
+            while budget < cap {
+                let up = (budget / cfg.backoff).min(cap);
                 rungs += 1;
                 let (cols, inp) = self.step_inputs(up)?;
                 if self.all_certify(&inp) {
@@ -425,25 +734,16 @@ impl<P: TransitionProvider> Planner<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use priste_event::Presence;
-    use priste_geo::{GridMap, Region};
-    use priste_lppm::PlanarLaplace;
-    use priste_markov::{gaussian_kernel_chain, Homogeneous};
+    use priste_core::test_support::{homogeneous_world, plm};
+    use priste_geo::GridMap;
+    use priste_markov::Homogeneous;
 
     fn world() -> (GridMap, Homogeneous) {
-        let grid = GridMap::new(3, 3, 1.0).unwrap();
-        let chain = gaussian_kernel_chain(&grid, 1.0).unwrap();
-        (grid, Homogeneous::new(chain))
+        homogeneous_world(3, 1.0)
     }
 
     fn presence(m: usize) -> StEvent {
-        Presence::new(Region::from_one_based_range(m, 1, 3).unwrap(), 2, 3)
-            .unwrap()
-            .into()
-    }
-
-    fn plm(grid: &GridMap, alpha: f64) -> Box<dyn Lppm> {
-        Box::new(PlanarLaplace::new(grid.clone(), alpha).unwrap())
+        priste_core::test_support::presence(m, 3, 2, 3)
     }
 
     #[test]
@@ -549,6 +849,248 @@ mod tests {
             ..PlannerConfig::default()
         };
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn knapsack_with_concave_utility_matches_or_beats_greedy() {
+        let (grid, provider) = world();
+        let event = presence(grid.num_cells());
+        let cfg = PlannerConfig::default();
+        let model = crate::utility::PlanarLaplaceError;
+        let greedy = plan_greedy(plm(&grid, 2.0), &event, provider.clone(), 4, 1.0, &cfg).unwrap();
+        let knap = plan_knapsack(plm(&grid, 2.0), &event, provider, 4, 1.0, &cfg, &model).unwrap();
+        assert_eq!(knap.steps.len(), 4);
+        assert!(
+            knap.certified_steps() >= greedy.certified_steps(),
+            "knapsack must not lose certification: {knap:?}"
+        );
+        assert!(
+            knap.total_utility(&model) >= greedy.total_utility(&model) - 1e-12,
+            "knapsack {} below greedy {}",
+            knap.total_utility(&model),
+            greedy.total_utility(&model)
+        );
+        if knap.all_certified() {
+            let certified = knap.certified_epsilon().unwrap();
+            assert!(certified <= 1.0 + cfg.tolerance, "certified ε {certified}");
+        }
+    }
+
+    #[test]
+    fn knapsack_with_degenerate_flat_utility_falls_back_to_greedy() {
+        struct Flat;
+        impl crate::utility::UtilityModel for Flat {
+            fn utility(&self, _epsilon: f64) -> f64 {
+                0.0 // all-zero slopes: nothing to allocate
+            }
+            fn name(&self) -> &str {
+                "flat"
+            }
+        }
+        let (grid, provider) = world();
+        let event = presence(grid.num_cells());
+        let cfg = PlannerConfig::default();
+        let greedy = plan_greedy(plm(&grid, 2.0), &event, provider.clone(), 3, 1.0, &cfg).unwrap();
+        let knap = plan_knapsack(plm(&grid, 2.0), &event, provider, 3, 1.0, &cfg, &Flat).unwrap();
+        assert_eq!(knap, greedy, "flat utility must return the greedy plan");
+    }
+
+    #[test]
+    fn knapsack_with_the_linear_legacy_proxy_falls_back_to_greedy() {
+        let (grid, provider) = world();
+        let event = presence(grid.num_cells());
+        let cfg = PlannerConfig::default();
+        let greedy = plan_greedy(plm(&grid, 2.0), &event, provider.clone(), 3, 0.8, &cfg).unwrap();
+        let knap = plan_knapsack(
+            plm(&grid, 2.0),
+            &event,
+            provider,
+            3,
+            0.8,
+            &cfg,
+            &crate::utility::MeanEpsilon,
+        )
+        .unwrap();
+        // Greedy already maximizes per-step budget; a linear objective
+        // cannot beat it, so the fallback must fire.
+        assert!(
+            knap.total_utility(&crate::utility::MeanEpsilon) <= greedy.mean_budget() * 3.0 + 1e-9
+        );
+        assert!(knap.all_certified() == greedy.all_certified());
+    }
+
+    #[test]
+    fn knapsack_with_probes_rejects_mismatched_probe_plans() {
+        let (grid, provider) = world();
+        let event = presence(grid.num_cells());
+        let cfg = PlannerConfig::default();
+        let model = crate::utility::PlanarLaplaceError;
+        let greedy = plan_greedy(plm(&grid, 2.0), &event, provider.clone(), 2, 1.0, &cfg).unwrap();
+        let uniform =
+            plan_uniform_split(plm(&grid, 2.0), &event, provider.clone(), 2, 1.0, &cfg).unwrap();
+        // Wrong horizon.
+        assert!(matches!(
+            plan_knapsack_with_probes(
+                plm(&grid, 2.0),
+                &event,
+                provider.clone(),
+                3,
+                1.0,
+                &cfg,
+                &model,
+                &greedy,
+                &uniform,
+            ),
+            Err(CalibrateError::InvalidConfig { .. })
+        ));
+        // Wrong target.
+        assert!(matches!(
+            plan_knapsack_with_probes(
+                plm(&grid, 2.0),
+                &event,
+                provider.clone(),
+                2,
+                0.5,
+                &cfg,
+                &model,
+                &greedy,
+                &uniform,
+            ),
+            Err(CalibrateError::InvalidConfig { .. })
+        ));
+        // Matching probes reproduce plan_knapsack exactly.
+        let direct = plan_knapsack(
+            plm(&grid, 2.0),
+            &event,
+            provider.clone(),
+            2,
+            1.0,
+            &cfg,
+            &model,
+        )
+        .unwrap();
+        let reused = plan_knapsack_with_probes(
+            plm(&grid, 2.0),
+            &event,
+            provider,
+            2,
+            1.0,
+            &cfg,
+            &model,
+            &greedy,
+            &uniform,
+        )
+        .unwrap();
+        assert_eq!(direct, reused);
+    }
+
+    #[test]
+    fn uniform_split_budget_is_clamped_into_the_mechanism_range() {
+        let (grid, provider) = world();
+        let event = presence(grid.num_cells());
+        let cfg = PlannerConfig::default();
+        // target/T = 8 would exceed the base budget α = 2: must clamp.
+        let plan = plan_uniform_split(plm(&grid, 2.0), &event, provider, 2, 16.0, &cfg).unwrap();
+        for s in &plan.steps {
+            assert!(s.budget <= 2.0 + 1e-12, "budget {} above base", s.budget);
+            assert!(s.budget >= cfg.floor);
+        }
+    }
+
+    #[test]
+    fn budget_ladder_is_ascending_and_bounded() {
+        let cfg = PlannerConfig::default();
+        let rungs = budget_ladder(2.0, &cfg);
+        assert_eq!(rungs.first().copied(), Some(cfg.floor));
+        assert_eq!(rungs.last().copied(), Some(2.0));
+        assert!(rungs.windows(2).all(|w| w[0] < w[1]), "{rungs:?}");
+        // A backoff of 0.999 must hit the length cap, not spin.
+        let slow = PlannerConfig {
+            backoff: 0.999,
+            ..PlannerConfig::default()
+        };
+        let rungs = budget_ladder(2.0, &slow);
+        assert!(rungs.len() <= MAX_LADDER_RUNGS + 1);
+        assert_eq!(rungs.first().copied(), Some(slow.floor));
+    }
+
+    #[test]
+    fn concave_envelope_bridges_convex_dips() {
+        // A saturated quality-loss curve has a flat plateau then a concave
+        // rise; the envelope must bridge the plateau with one chord so the
+        // marginal densities are non-increasing.
+        let model = crate::utility::PlmQualityLoss::new(4.0);
+        let rungs = budget_ladder(2.0, &PlannerConfig::default());
+        let hull = concave_envelope(&rungs, &model);
+        assert!(hull.len() >= 2);
+        let mut prev_density = f64::INFINITY;
+        for pair in hull.windows(2) {
+            let d = (pair[1].1 - pair[0].1) / (pair[1].0 - pair[0].0);
+            assert!(
+                d <= prev_density + 1e-12,
+                "densities must be non-increasing: {hull:?}"
+            );
+            prev_density = d;
+        }
+    }
+
+    #[test]
+    fn plan_display_is_the_stable_csv_table() {
+        let plan = BudgetPlan {
+            target: 0.8,
+            steps: vec![
+                PlannedStep {
+                    t: 1,
+                    budget: 0.125,
+                    capacity: Some(0.6459),
+                    slack: 0.1541,
+                    certified: true,
+                    rungs: 5,
+                },
+                PlannedStep {
+                    t: 2,
+                    budget: 0.0625,
+                    capacity: None,
+                    slack: f64::NEG_INFINITY,
+                    certified: false,
+                    rungs: 1,
+                },
+            ],
+        };
+        assert_eq!(
+            plan.to_string(),
+            "t,budget,capacity,slack,verdict\n\
+             1,0.125000,0.6459,0.1541,certified\n\
+             2,0.062500,off-scale,-inf,INFEASIBLE"
+        );
+    }
+
+    #[test]
+    fn total_utility_sums_the_model_over_steps() {
+        let plan = BudgetPlan {
+            target: 1.0,
+            steps: vec![
+                PlannedStep {
+                    t: 1,
+                    budget: 0.5,
+                    capacity: None,
+                    slack: f64::NEG_INFINITY,
+                    certified: true,
+                    rungs: 1,
+                },
+                PlannedStep {
+                    t: 2,
+                    budget: 1.0,
+                    capacity: None,
+                    slack: f64::NEG_INFINITY,
+                    certified: true,
+                    rungs: 1,
+                },
+            ],
+        };
+        let u = plan.total_utility(&crate::utility::PlanarLaplaceError);
+        assert!((u - (-4.0 - 2.0)).abs() < 1e-12, "{u}");
+        assert!((plan.total_utility(&crate::utility::MeanEpsilon) - 1.5).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,209 @@
+//! Pluggable per-step utility models for the budget planners.
+//!
+//! `plan_greedy` maximizes per-step budget lexicographically; its only
+//! utility proxy is the mean per-step ε. That ignores *where* budget buys
+//! the most accuracy: the expected error of a planar-Laplace release is
+//! convex in ε, so moving slack from a budget-rich step to a budget-starved
+//! one lowers total error even at the same total ε-mass. A [`UtilityModel`]
+//! makes that objective explicit — [`plan_knapsack`](crate::plan_knapsack)
+//! maximizes `Σ_t u(ε_t)` subject to every prefix still certifying the
+//! Theorem IV.1 oracle.
+//!
+//! The closed forms follow the per-release utility analysis of *Protecting
+//! Locations with Differential Privacy under Temporal Correlations*
+//! (arXiv:1410.5919): the expected Euclidean error of a planar Laplace
+//! mechanism with budget ε is `2/ε`, and a discretized PLM's quality loss
+//! saturates at the world's diameter (released cells cannot be further away
+//! than that).
+
+use priste_geo::GridMap;
+
+/// A per-step utility objective `u(ε)` for the budget planners: larger
+/// location budgets mean less noise, so implementations must be monotone
+/// nondecreasing in ε. Utilities are summed across the horizon; only
+/// differences matter, so negated-loss models are fine.
+///
+/// The knapsack planner samples `u` on the geometric budget ladder and
+/// concavifies the samples (upper concave envelope), so models need not be
+/// concave — but the planner's allocation is only *exactly* optimal for the
+/// envelope, not for any convex dips the envelope bridges.
+///
+/// ```
+/// use priste_calibrate::{MeanEpsilon, PlanarLaplaceError, UtilityModel};
+///
+/// // More budget is never worse, under any bundled model.
+/// let planar = PlanarLaplaceError;
+/// assert!(planar.utility(1.0) > planar.utility(0.5));
+///
+/// // `MeanEpsilon` reproduces the legacy mean-budget proxy: utilities are
+/// // the budgets themselves, so plan totals order exactly like mean ε.
+/// assert_eq!(MeanEpsilon.utility(0.25), 0.25);
+/// ```
+pub trait UtilityModel {
+    /// Utility of releasing one timestep at location budget `epsilon`.
+    fn utility(&self, epsilon: f64) -> f64;
+
+    /// Short stable name for tables and plan summaries.
+    fn name(&self) -> &str;
+}
+
+/// The legacy proxy: `u(ε) = ε`, so total utility is `T ×` the plan's mean
+/// per-step budget. Linear — it never prefers redistribution, which makes
+/// [`plan_knapsack`](crate::plan_knapsack) with this model fall back to the
+/// greedy plan (the greedy search is already per-step budget-maximal).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MeanEpsilon;
+
+impl UtilityModel for MeanEpsilon {
+    fn utility(&self, epsilon: f64) -> f64 {
+        epsilon
+    }
+
+    fn name(&self) -> &str {
+        "mean-epsilon"
+    }
+}
+
+/// Negated expected Euclidean error of the (continuous) planar Laplace
+/// mechanism: `u(ε) = −2/ε` (arXiv:1410.5919, §VII). Strictly concave and
+/// increasing, so equal budgets beat lopsided ones at the same total mass —
+/// the regime where the knapsack planner wins over greedy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanarLaplaceError;
+
+impl UtilityModel for PlanarLaplaceError {
+    fn utility(&self, epsilon: f64) -> f64 {
+        if epsilon <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        -2.0 / epsilon
+    }
+
+    fn name(&self) -> &str {
+        "planar-laplace-error"
+    }
+}
+
+/// Negated quality loss of a *discretized* PLM over a finite world:
+/// `u(ε) = −min(2/ε, D)` where `D` is the saturation distance (a released
+/// cell is never further than the grid diameter, so the loss of an almost
+/// uninformative mechanism flattens out instead of diverging).
+///
+/// Not concave — the saturated plateau followed by the concave rise has an
+/// upward kink — which exercises the planner's concavification: budgets
+/// inside the plateau carry zero marginal utility and attract no mass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlmQualityLoss {
+    saturation: f64,
+}
+
+impl PlmQualityLoss {
+    /// A model saturating at the given maximum loss (must be positive and
+    /// finite; falls back to [`PlmQualityLoss::default`] otherwise).
+    pub fn new(saturation: f64) -> Self {
+        if saturation > 0.0 && saturation.is_finite() {
+            PlmQualityLoss { saturation }
+        } else {
+            PlmQualityLoss::default()
+        }
+    }
+
+    /// Saturation at the grid's diameter — the largest error a release over
+    /// this world can exhibit.
+    pub fn for_grid(grid: &GridMap) -> Self {
+        let w = grid.cols() as f64 * grid.cell_size_km();
+        let h = grid.rows() as f64 * grid.cell_size_km();
+        PlmQualityLoss::new(w.hypot(h))
+    }
+
+    /// The saturation distance `D`.
+    pub fn saturation(&self) -> f64 {
+        self.saturation
+    }
+}
+
+impl Default for PlmQualityLoss {
+    /// Saturates at the diameter of the paper's synthetic world.
+    fn default() -> Self {
+        PlmQualityLoss::for_grid(&GridMap::paper_synthetic())
+    }
+}
+
+impl UtilityModel for PlmQualityLoss {
+    fn utility(&self, epsilon: f64) -> f64 {
+        if epsilon <= 0.0 {
+            return -self.saturation;
+        }
+        -(2.0 / epsilon).min(self.saturation)
+    }
+
+    fn name(&self) -> &str {
+        "plm-quality-loss"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_models_are_monotone_on_the_ladder() {
+        let models: [&dyn UtilityModel; 3] = [
+            &MeanEpsilon,
+            &PlanarLaplaceError,
+            &PlmQualityLoss::default(),
+        ];
+        for model in models {
+            let mut prev = f64::NEG_INFINITY;
+            let mut eps = 1e-3;
+            while eps <= 4.0 {
+                let u = model.utility(eps);
+                assert!(
+                    u >= prev,
+                    "{} not monotone at ε = {eps}: {u} < {prev}",
+                    model.name()
+                );
+                prev = u;
+                eps *= 2.0;
+            }
+        }
+    }
+
+    #[test]
+    fn planar_laplace_error_is_strictly_concave_increasing() {
+        let m = PlanarLaplaceError;
+        let (a, b, c) = (m.utility(0.5), m.utility(1.0), m.utility(1.5));
+        assert!(a < b && b < c);
+        // Midpoint above the chord.
+        assert!(m.utility(1.0) > 0.5 * (a + c));
+    }
+
+    #[test]
+    fn plm_quality_loss_saturates_below_the_knee() {
+        let m = PlmQualityLoss::new(4.0);
+        // 2/ε ≥ 4 for ε ≤ 0.5: flat plateau at −4.
+        assert_eq!(m.utility(0.1), -4.0);
+        assert_eq!(m.utility(0.5), -4.0);
+        assert!(m.utility(1.0) > -4.0);
+        assert_eq!(m.saturation(), 4.0);
+    }
+
+    #[test]
+    fn bad_saturation_falls_back_to_default() {
+        assert_eq!(
+            PlmQualityLoss::new(-1.0).saturation(),
+            PlmQualityLoss::default().saturation()
+        );
+        assert_eq!(
+            PlmQualityLoss::new(f64::INFINITY).saturation(),
+            PlmQualityLoss::default().saturation()
+        );
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(MeanEpsilon.name(), "mean-epsilon");
+        assert_eq!(PlanarLaplaceError.name(), "planar-laplace-error");
+        assert_eq!(PlmQualityLoss::default().name(), "plm-quality-loss");
+    }
+}

@@ -11,11 +11,12 @@
 //!    target under the same offline replay.
 
 use priste_calibrate::{CalibratedMechanism, Decision, GuardConfig, OnExhaustion};
+use priste_core::test_support::homogeneous_world;
 use priste_event::{Presence, StEvent};
 use priste_geo::{CellId, GridMap, Region};
 use priste_linalg::Vector;
 use priste_lppm::{Lppm, PlanarLaplace};
-use priste_markov::{gaussian_kernel_chain, Homogeneous};
+use priste_markov::Homogeneous;
 use priste_quantify::TheoremBuilder;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -25,9 +26,7 @@ const SIDE: usize = 3;
 const M: usize = SIDE * SIDE;
 
 fn world() -> (GridMap, Homogeneous) {
-    let grid = GridMap::new(SIDE, SIDE, 1.0).unwrap();
-    let chain = gaussian_kernel_chain(&grid, 1.0).unwrap();
-    (grid, Homogeneous::new(chain))
+    homogeneous_world(SIDE, 1.0)
 }
 
 /// Strategy: a presence event whose window sits inside a short horizon.

@@ -38,6 +38,8 @@ mod error;
 mod framework;
 pub mod runner;
 mod source;
+#[cfg(feature = "test-support")]
+pub mod test_support;
 
 pub use config::PristeConfig;
 pub use error::CoreError;

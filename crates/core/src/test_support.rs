@@ -1,0 +1,71 @@
+//! Shared test scaffolding for the workspace's suites (feature
+//! `test-support`, off by default).
+//!
+//! Before this module existed, every suite that needed "a small Gaussian
+//! world, a planar-Laplace mechanism, a presence event" carried its own
+//! copy of the same three helpers — `calibrate`'s planner and guard tests,
+//! its property suites, the root integration tests, and the calibration
+//! bench had drifted into near-identical `world()`/`plm()`/`presence()`
+//! functions. This module is the single copy. It is deliberately tiny and
+//! deterministic: no RNG-driven strategies live here (property suites keep
+//! their own generators), only the fixed scaffolding everyone repeats.
+//!
+//! Enable it from a `[dev-dependencies]` entry:
+//!
+//! ```toml
+//! priste_core = { workspace = true, features = ["test-support"] }
+//! ```
+
+use priste_geo::{GridMap, Region};
+use priste_lppm::{Lppm, PlanarLaplace};
+use priste_markov::{gaussian_kernel_chain, Homogeneous, MarkovModel};
+
+/// A `side × side` grid of 1 km cells with a Gaussian-kernel mobility
+/// chain of bandwidth `sigma` — the workspace's canonical synthetic world.
+///
+/// # Panics
+/// Panics on invalid dimensions (test scaffolding: fail loudly).
+pub fn gaussian_world(side: usize, sigma: f64) -> (GridMap, MarkovModel) {
+    let grid = GridMap::new(side, side, 1.0).expect("test grid");
+    let chain = gaussian_kernel_chain(&grid, sigma).expect("test chain");
+    (grid, chain)
+}
+
+/// [`gaussian_world`] with the chain already wrapped as a time-homogeneous
+/// [`TransitionProvider`](priste_markov::TransitionProvider).
+///
+/// # Panics
+/// See [`gaussian_world`].
+pub fn homogeneous_world(side: usize, sigma: f64) -> (GridMap, Homogeneous) {
+    let (grid, chain) = gaussian_world(side, sigma);
+    (grid, Homogeneous::new(chain))
+}
+
+/// The paper's running 3-state example chain as a provider.
+pub fn paper_chain() -> Homogeneous {
+    Homogeneous::new(MarkovModel::paper_example())
+}
+
+/// A boxed `alpha`-planar-Laplace mechanism over `grid` — the prototype
+/// every guard/planner test wraps.
+///
+/// # Panics
+/// Panics on an invalid budget (test scaffolding: fail loudly).
+pub fn plm(grid: &GridMap, alpha: f64) -> Box<dyn Lppm> {
+    Box::new(PlanarLaplace::new(grid.clone(), alpha).expect("test mechanism"))
+}
+
+/// A `PRESENCE` event over the first `hi` cells (one-based range `1..=hi`)
+/// of an `m`-cell world, protected during timestamps `start..=end`.
+///
+/// # Panics
+/// Panics on an empty region or inverted window (test scaffolding).
+pub fn presence(m: usize, hi: usize, start: usize, end: usize) -> priste_event::StEvent {
+    priste_event::Presence::new(
+        Region::from_one_based_range(m, 1, hi.max(1)).expect("test region"),
+        start,
+        end,
+    )
+    .expect("test event")
+    .into()
+}

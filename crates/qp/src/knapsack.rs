@@ -1,12 +1,16 @@
 //! Exact greedy solvers for the knapsack-shaped LPs that arise when the
-//! bilinear objective is sliced along `u = π·a`.
+//! bilinear objective is sliced along `u = π·a` — and, since the
+//! utility-aware budget planner landed, for horizon budget allocation.
 //!
-//! Both solve over the box `0 ≤ π ≤ 1`:
+//! All solve over the box `0 ≤ π ≤ 1`:
 //!
 //! * [`max_with_equality`] — `max π·w  s.t.  π·a = u` (the parametric-LP
 //!   slice used by the lower-bound sweep).
 //! * [`max_with_band`] — `max π·w  s.t.  L ≤ π·a ≤ U` (the slice used by
 //!   the sound upper-bound decomposition).
+//! * [`max_budgeted`] — `max π·w  s.t.  π·a ≤ C` (the budgeted-allocation
+//!   LP `priste-calibrate`'s knapsack planner solves over its concavified
+//!   per-step utility segments).
 //!
 //! With a single linear constraint plus box bounds, an optimal vertex has
 //! at most one fractional coordinate and the exchange argument makes the
@@ -138,6 +142,28 @@ pub fn max_with_band(w: &Vector, a: &Vector, lo: f64, hi: f64) -> Option<SliceSo
         }
     }
     Some(SliceSolution { value, point })
+}
+
+/// `max π·w` s.t. `π·a ≤ capacity`, `0 ≤ π ≤ 1`, with `a ≥ 0` — the
+/// budgeted-allocation LP: spend a shared capacity on the items whose
+/// value-per-mass density `w_i/a_i` is highest.
+///
+/// This is the entry point `priste-calibrate`'s knapsack planner drives:
+/// each item is one concavified utility segment of one timestep, `a_i` its
+/// ε-mass and `w_i` its utility gain, and `capacity` the horizon's total
+/// certified ε-mass. Non-positive weights are never taken (the constraint
+/// is an inequality, so they cannot be forced), and `π = 0` is always
+/// feasible — the LP only returns `None` for a negative capacity.
+///
+/// Tie-breaking is deterministic and part of the contract: among items of
+/// equal density the *higher-index* items are preferred (the shedding pass
+/// reduces lower indices first), which callers exploit by ordering items so
+/// that later-preferred choices carry higher indices.
+pub fn max_budgeted(w: &Vector, a: &Vector, capacity: f64) -> Option<SliceSolution> {
+    if capacity < -1e-12 {
+        return None;
+    }
+    max_with_band(w, a, 0.0, capacity.max(0.0))
 }
 
 #[cfg(test)]
@@ -322,6 +348,163 @@ mod tests {
                         slice.value
                     );
                 }
+            }
+        }
+    }
+
+    /// Exact LP oracle for the budgeted problem by basic-solution
+    /// enumeration: an optimal vertex either leaves the capacity slack
+    /// (every coordinate at a box bound) or binds it with at most one
+    /// fractional coordinate.
+    fn brute_force_budgeted(w: &Vector, a: &Vector, capacity: f64) -> f64 {
+        let n = w.len();
+        assert!(n <= 4);
+        let mut best = f64::NEG_INFINITY;
+        for mask in 0..(1u32 << n) {
+            let mass: f64 = (0..n).filter(|&i| mask >> i & 1 == 1).map(|i| a[i]).sum();
+            let val: f64 = (0..n).filter(|&i| mask >> i & 1 == 1).map(|i| w[i]).sum();
+            if mass <= capacity + 1e-9 {
+                best = best.max(val);
+            }
+            for j in 0..n {
+                if mask >> j & 1 == 1 || a[j] == 0.0 {
+                    continue;
+                }
+                let frac = (capacity - mass) / a[j];
+                if (0.0..=1.0).contains(&frac) {
+                    best = best.max(val + frac * w[j]);
+                }
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn budgeted_takes_densest_items_first() {
+        // Densities 6, 1; capacity for one unit of mass: all of item 0,
+        // none of item 1.
+        let sol = max_budgeted(
+            &Vector::from(vec![3.0, 1.0]),
+            &Vector::from(vec![0.5, 1.0]),
+            0.5,
+        )
+        .unwrap();
+        assert!((sol.value - 3.0).abs() < 1e-12);
+        assert!((sol.point[0] - 1.0).abs() < 1e-12);
+        assert!(sol.point[1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn budgeted_never_takes_negative_weights() {
+        // Plenty of capacity, but the inequality never forces a loss.
+        let sol = max_budgeted(
+            &Vector::from(vec![2.0, -1.0]),
+            &Vector::from(vec![1.0, 1.0]),
+            10.0,
+        )
+        .unwrap();
+        assert!((sol.value - 2.0).abs() < 1e-12);
+        assert!(sol.point[1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn budgeted_zero_capacity_keeps_free_items_only() {
+        let sol = max_budgeted(
+            &Vector::from(vec![5.0, 2.0]),
+            &Vector::from(vec![0.0, 1.0]),
+            0.0,
+        )
+        .unwrap();
+        assert!((sol.value - 5.0).abs() < 1e-12, "a_i = 0 items are free");
+        assert!(sol.point[1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn budgeted_rejects_negative_capacity() {
+        assert!(max_budgeted(&Vector::from(vec![1.0]), &Vector::from(vec![1.0]), -1.0).is_none());
+    }
+
+    #[test]
+    fn budgeted_prefers_higher_indices_on_density_ties() {
+        // Two identical items but capacity for only one: the documented
+        // tie-break keeps the higher index (lower indices shed first).
+        let sol = max_budgeted(
+            &Vector::from(vec![1.0, 1.0]),
+            &Vector::from(vec![1.0, 1.0]),
+            1.0,
+        )
+        .unwrap();
+        assert!((sol.value - 1.0).abs() < 1e-12);
+        assert!(sol.point[0].abs() < 1e-12, "lower index shed: {sol:?}");
+        assert!((sol.point[1] - 1.0).abs() < 1e-12);
+    }
+
+    /// Cross-check against the generic dense solver, same pattern as the
+    /// structured-vs-generic ablation: with a slack capacity the budget
+    /// constraint is inactive and the LP is the box-QP `max π·w` (Q = 0),
+    /// which projected gradient solves exactly.
+    #[test]
+    fn budgeted_matches_generic_dense_solver_when_capacity_is_slack() {
+        use crate::generic::{projected_gradient_max, BoxQp};
+        use crate::SolverConfig;
+        use priste_linalg::Matrix;
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..40 {
+            let n = rng.gen_range(1..=4);
+            let w = Vector::from((0..n).map(|_| rng.gen_range(-2.0..2.0)).collect::<Vec<_>>());
+            let a = Vector::from((0..n).map(|_| rng.gen::<f64>()).collect::<Vec<_>>());
+            let lp = max_budgeted(&w, &a, a.sum() + 1.0).unwrap();
+            let dense = BoxQp::new(Matrix::zeros(n, n), w.clone());
+            let (_, generic) = projected_gradient_max(&dense, &SolverConfig::default());
+            assert!(
+                (lp.value - generic).abs() < 1e-6,
+                "knapsack {} != generic dense {} (w {:?})",
+                lp.value,
+                generic,
+                w.as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn budgeted_matches_brute_force_on_random_cases() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..500 {
+            let n = rng.gen_range(1..=4);
+            let w = Vector::from((0..n).map(|_| rng.gen_range(-2.0..2.0)).collect::<Vec<_>>());
+            let a = Vector::from((0..n).map(|_| rng.gen_range(0.0..1.5)).collect::<Vec<_>>());
+            let capacity = rng.gen::<f64>() * (a.sum() + 0.2);
+            let exact = max_budgeted(&w, &a, capacity).unwrap();
+            let brute = brute_force_budgeted(&w, &a, capacity);
+            assert!(
+                (exact.value - brute).abs() < 1e-9,
+                "greedy {} != exact LP {brute} (w {:?}, a {:?}, C {capacity})",
+                exact.value,
+                w.as_slice(),
+                a.as_slice()
+            );
+            let mass = exact.point.dot(&a).unwrap();
+            assert!(mass <= capacity + 1e-9, "mass {mass} over capacity");
+            for &p in exact.point.as_slice() {
+                assert!((-1e-12..=1.0 + 1e-12).contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn budgeted_is_monotone_in_capacity() {
+        let mut rng = StdRng::seed_from_u64(101);
+        for _ in 0..50 {
+            let n = rng.gen_range(1..=5);
+            let w = Vector::from((0..n).map(|_| rng.gen_range(-1.0..2.0)).collect::<Vec<_>>());
+            let a = Vector::from((0..n).map(|_| rng.gen::<f64>()).collect::<Vec<_>>());
+            let total = a.sum();
+            let mut prev = f64::NEG_INFINITY;
+            for k in 0..=8 {
+                let c = total * k as f64 / 8.0;
+                let v = max_budgeted(&w, &a, c).unwrap().value;
+                assert!(v >= prev - 1e-9, "value dropped as capacity grew");
+                prev = v;
             }
         }
     }

@@ -34,11 +34,12 @@
 
 pub mod bilinear;
 pub mod generic;
-mod knapsack;
+pub mod knapsack;
 pub mod simplex;
 pub mod theorem;
 
 pub use bilinear::{maximize, BilinearProgram};
+pub use knapsack::{max_budgeted, SliceSolution};
 pub use theorem::{TheoremChecker, TheoremVerdict};
 
 use priste_linalg::Vector;

@@ -285,17 +285,17 @@ pub fn epsilon_capacity_curve_threaded<P: priste_markov::TransitionProvider>(
 mod tests {
     use super::*;
     use crate::TheoremBuilder;
-    use priste_event::{Presence, StEvent};
-    use priste_geo::{CellId, Region};
+    use priste_event::StEvent;
     use priste_linalg::Vector;
-    use priste_markov::{Homogeneous, MarkovModel};
+    use priste_markov::Homogeneous;
 
     fn setup() -> (StEvent, Homogeneous) {
-        let ev: StEvent =
-            Presence::new(Region::from_cells(3, [CellId(0), CellId(1)]).unwrap(), 2, 3)
-                .unwrap()
-                .into();
-        (ev, Homogeneous::new(MarkovModel::paper_example()))
+        // Shared scaffolding: presence over the first two cells of the
+        // paper's 3-state example, protected during timestamps 2–3.
+        (
+            priste_core::test_support::presence(3, 2, 2, 3),
+            priste_core::test_support::paper_chain(),
+        )
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //!                      [--threads N] [--seed N]
 //! priste-cli calibrate [--kind synthetic|commuter] [--event SPEC] [--target F]
 //!                      [--alpha F] [--side N] [--sigma F] [--horizon N]
+//!                      [--planner uniform|greedy|knapsack]
 //!                      [--steps N] [--floor F] [--backoff F] [--threads N] [--seed N]
 //! ```
 //!
@@ -32,9 +33,12 @@
 //!   `enforce` mode the service holds the mechanism and the calibration
 //!   guard certifies (or suppresses) each release *before* it ships.
 //! * `calibrate` — the `priste-calibrate` planners and guard: print the
-//!   greedy-forward per-timestep budget plan against the uniform-split
-//!   baseline, then a seeded release demo in which the uncalibrated α-PLM
-//!   fails the target ε* while the calibrated mechanism certifies it.
+//!   chosen planner's per-timestep budget plan (`--planner`: the
+//!   uniform-split baseline, the greedy-forward search, or the
+//!   utility-aware knapsack allocator), a three-way comparison table with
+//!   total utility under the planar-Laplace error model, then a seeded
+//!   release demo in which the uncalibrated α-PLM fails the target ε*
+//!   while the calibrated mechanism certifies it.
 //!
 //! Every subcommand constructs its stack through one [`Pipeline`]: the
 //! scenario (world, mobility, event, mechanism, target ε) is described
@@ -53,7 +57,7 @@
 //! command or flag, malformed value) — usage errors also print the usage
 //! text below.
 
-use priste::calibrate::{BudgetPlan, Decision, GuardConfig, PlannerConfig};
+use priste::calibrate::{Decision, GuardConfig, PlanarLaplaceError, PlannerConfig, UtilityModel};
 use priste::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -91,6 +95,7 @@ const USAGE: &str = "usage:
                        [--threads N] [--seed N]
   priste-cli calibrate [--kind synthetic|commuter] [--event SPEC] [--target F]
                        [--alpha F] [--side N] [--sigma F] [--horizon N]
+                       [--planner uniform|greedy|knapsack]
                        [--steps N] [--floor F] [--backoff F] [--threads N] [--seed N]
   priste-cli help      print this text";
 
@@ -126,7 +131,7 @@ const STREAM_FLAGS: &[&str] = &[
 ];
 const CALIBRATE_FLAGS: &[&str] = &[
     "kind", "event", "target", "alpha", "side", "sigma", "horizon", "steps", "floor", "backoff",
-    "threads", "seed",
+    "threads", "seed", "planner",
 ];
 
 /// Parsed `--key value` flags, validated against a subcommand's allowlist.
@@ -699,32 +704,44 @@ fn cmd_calibrate(flags: &Flags) -> Result<(), CliError> {
         .build()
         .map_err(usage)?;
 
-    // ---- Offline plans. --------------------------------------------------
-    let greedy = pipeline.plan_greedy(horizon).map_err(runtime)?;
-    let uniform = pipeline.plan_uniform_split(horizon).map_err(runtime)?;
+    // ---- Offline plans: the chosen planner's table plus the three-way
+    // comparison (utility under the planar-Laplace error model). ----------
+    let planner = flags.str_or("planner", "greedy");
+    if !matches!(planner, "uniform" | "greedy" | "knapsack") {
+        return Err(CliError::Usage(format!(
+            "--planner must be uniform, greedy or knapsack, got {planner:?}"
+        )));
+    }
+    let model = PlanarLaplaceError;
+    let (uniform, greedy, knapsack) = pipeline.plan_all(horizon, &model).map_err(runtime)?;
+    let chosen = match planner {
+        "uniform" => &uniform,
+        "knapsack" => &knapsack,
+        _ => &greedy,
+    };
 
-    println!("plan: greedy-forward budgets for ε* = {target} over {horizon} steps ({m} cells)");
-    println!("t,budget,capacity,slack,verdict");
-    for step in &greedy.steps {
-        let (capacity, slack) = match step.capacity {
-            Some(c) => (format!("{c:.4}"), format!("{:.4}", step.slack)),
-            None => ("off-scale".into(), "-inf".into()),
+    println!("plan: {planner} budgets for ε* = {target} over {horizon} steps ({m} cells)");
+    println!("{chosen}");
+    println!(
+        "planner,certified,epsilon,mean_budget,utility({})",
+        model.name()
+    );
+    for (name, plan) in [
+        ("uniform-split", &uniform),
+        ("greedy", &greedy),
+        ("knapsack", &knapsack),
+    ] {
+        let epsilon = match plan.certified_epsilon() {
+            Some(eps) => format!("{eps:.4}"),
+            None => "-".into(),
         };
         println!(
-            "{},{:.6},{},{},{}",
-            step.t,
-            step.budget,
-            capacity,
-            slack,
-            if step.certified {
-                "certified"
-            } else {
-                "INFEASIBLE"
-            }
+            "{name},{}/{horizon},{epsilon},{:.4},{:.4}",
+            plan.certified_steps(),
+            plan.mean_budget(),
+            plan.total_utility(&model)
         );
     }
-    println!("{}", plan_summary("greedy", &greedy, horizon));
-    println!("{}", plan_summary("uniform-split", &uniform, horizon));
 
     // ---- Release demo: uncalibrated vs calibrated on one trajectory. ----
     let mut rng = StdRng::seed_from_u64(seed);
@@ -774,19 +791,6 @@ fn cmd_calibrate(flags: &Flags) -> Result<(), CliError> {
         }
     );
     Ok(())
-}
-
-/// One deterministic summary line per plan.
-fn plan_summary(name: &str, plan: &BudgetPlan, horizon: usize) -> String {
-    let certified = match plan.certified_epsilon() {
-        Some(eps) => format!("certified ε* = {eps:.4}"),
-        None => "not certified".into(),
-    };
-    format!(
-        "{name}: {}/{horizon} steps certified, {certified}, mean budget {:.4}",
-        plan.certified_steps(),
-        plan.mean_budget()
-    )
 }
 
 #[cfg(test)]
@@ -965,6 +969,11 @@ mod tests {
         assert!(matches!(cmd_calibrate(&f), Err(CliError::Usage(_))));
         let f = flags("calibrate", &["--backoff", "2", "--side", "3"]).unwrap();
         assert!(matches!(cmd_calibrate(&f), Err(CliError::Usage(_))));
+        let f = flags("calibrate", &["--planner", "martian", "--side", "3"]).unwrap();
+        match cmd_calibrate(&f) {
+            Err(CliError::Usage(msg)) => assert!(msg.contains("martian"), "{msg}"),
+            other => panic!("unknown planner must be a usage error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -117,8 +117,9 @@ pub use priste_quantify as quantify;
 pub mod prelude {
     pub use crate::{Audit, AuditSource, Pipeline, PipelineBuilder, PristeError, SharedProvider};
     pub use priste_calibrate::{
-        plan_greedy, plan_uniform_split, BudgetPlan, CalibratedMechanism, CalibratedRelease,
-        Decision, GuardConfig, MechanismCache, OnExhaustion, PlannedStep, PlannerConfig,
+        plan_greedy, plan_knapsack, plan_uniform_split, BudgetPlan, CalibratedMechanism,
+        CalibratedRelease, Decision, GuardConfig, MeanEpsilon, MechanismCache, OnExhaustion,
+        PlanarLaplaceError, PlannedStep, PlannerConfig, PlmQualityLoss, UtilityModel,
     };
     pub use priste_core::{
         runner, DeltaLocSource, MechanismSource, PlmSource, Priste, PristeConfig, ReleaseRecord,

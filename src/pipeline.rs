@@ -42,7 +42,8 @@
 
 use crate::error::{PristeError, Result};
 use priste_calibrate::{
-    plan_greedy, plan_uniform_split, BudgetPlan, CalibratedMechanism, GuardConfig, PlannerConfig,
+    plan_greedy, plan_knapsack, plan_knapsack_with_probes, plan_uniform_split, BudgetPlan,
+    CalibratedMechanism, GuardConfig, PlanarLaplaceError, PlannerConfig, UtilityModel,
 };
 use priste_core::{DeltaLocSource, MechanismSource, PlmSource, Priste, PristeConfig};
 use priste_data::World;
@@ -673,6 +674,68 @@ impl Pipeline {
             self.epsilon,
             &self.planner_config,
         )?)
+    }
+
+    /// The utility-aware knapsack plan for the first pipeline event under
+    /// the default [`PlanarLaplaceError`] objective (negated expected
+    /// planar-Laplace error, the natural accuracy measure for a PLM
+    /// deployment). Use [`Pipeline::plan_knapsack_with`] to plug any other
+    /// [`UtilityModel`].
+    ///
+    /// # Errors
+    /// See [`Pipeline::plan_greedy`].
+    pub fn plan_knapsack(&self, horizon: usize) -> Result<BudgetPlan> {
+        self.plan_knapsack_with(horizon, &PlanarLaplaceError)
+    }
+
+    /// [`Pipeline::plan_knapsack`] under a caller-chosen utility model.
+    ///
+    /// # Errors
+    /// See [`Pipeline::plan_greedy`].
+    pub fn plan_knapsack_with(
+        &self,
+        horizon: usize,
+        model: &dyn UtilityModel,
+    ) -> Result<BudgetPlan> {
+        let event = self.first_event()?;
+        Ok(plan_knapsack(
+            self.mechanism_instance()?,
+            event,
+            self.provider(),
+            horizon,
+            self.epsilon,
+            &self.planner_config,
+            model,
+        )?)
+    }
+
+    /// All three plans over one horizon — `(uniform, greedy, knapsack)` —
+    /// with the probe work shared: the knapsack allocation reuses the
+    /// uniform and greedy plans as its phase-1 probes instead of
+    /// recomputing them, so a three-way comparison costs three oracle
+    /// walks, not five.
+    ///
+    /// # Errors
+    /// See [`Pipeline::plan_greedy`].
+    pub fn plan_all(
+        &self,
+        horizon: usize,
+        model: &dyn UtilityModel,
+    ) -> Result<(BudgetPlan, BudgetPlan, BudgetPlan)> {
+        let uniform = self.plan_uniform_split(horizon)?;
+        let greedy = self.plan_greedy(horizon)?;
+        let knapsack = plan_knapsack_with_probes(
+            self.mechanism_instance()?,
+            self.first_event()?,
+            self.provider(),
+            horizon,
+            self.epsilon,
+            &self.planner_config,
+            model,
+            &greedy,
+            &uniform,
+        )?;
+        Ok((uniform, greedy, knapsack))
     }
 
     // ---- Internals -------------------------------------------------------

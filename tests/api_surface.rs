@@ -18,8 +18,9 @@ use priste::prelude::{
     // facade
     Audit, AuditSource, Pipeline, PipelineBuilder, PristeError, SharedProvider,
     // calibrate
-    plan_greedy, plan_uniform_split, BudgetPlan, CalibratedMechanism, CalibratedRelease,
-    Decision, GuardConfig, MechanismCache, OnExhaustion, PlannedStep, PlannerConfig,
+    plan_greedy, plan_knapsack, plan_uniform_split, BudgetPlan, CalibratedMechanism,
+    CalibratedRelease, Decision, GuardConfig, MeanEpsilon, MechanismCache, OnExhaustion,
+    PlanarLaplaceError, PlannedStep, PlannerConfig, PlmQualityLoss, UtilityModel,
     // core
     runner, DeltaLocSource, MechanismSource, PlmSource, Priste, PristeConfig, ReleaseRecord,
     // data
@@ -125,6 +126,14 @@ fn pipeline_method_set_is_pinned() {
         Pipeline::checker;
     let _: fn(&Pipeline, usize) -> Result<BudgetPlan, PristeError> = Pipeline::plan_greedy;
     let _: fn(&Pipeline, usize) -> Result<BudgetPlan, PristeError> = Pipeline::plan_uniform_split;
+    let _: fn(&Pipeline, usize) -> Result<BudgetPlan, PristeError> = Pipeline::plan_knapsack;
+    let _: fn(&Pipeline, usize, &dyn UtilityModel) -> Result<BudgetPlan, PristeError> =
+        Pipeline::plan_knapsack_with;
+    let _: fn(
+        &Pipeline,
+        usize,
+        &dyn UtilityModel,
+    ) -> Result<(BudgetPlan, BudgetPlan, BudgetPlan), PristeError> = Pipeline::plan_all;
     let _: fn(&Pipeline) -> Result<Box<dyn Lppm>, PristeError> = Pipeline::mechanism_instance;
 
     // Pipeline accessors.

@@ -157,6 +157,77 @@ fn greedy_plan_certifies_the_target_where_uniform_split_wastes_it() {
     );
 }
 
+/// The knapsack acceptance demo: on the commuter scenario the
+/// utility-aware planner certifies at ε* and achieves *strictly* higher
+/// total utility (negated expected planar-Laplace error) than both the
+/// greedy-forward plan and the uniform split — the redistribution the
+/// ROADMAP's knapsack item asked for.
+#[test]
+fn knapsack_plan_beats_greedy_and_uniform_on_utility() {
+    let (grid, chain) = commuter_world();
+    let m = grid.num_cells();
+    let event = protected_event(m);
+    let cfg = PlannerConfig::default();
+    let horizon = 3usize;
+    let model = PlanarLaplaceError;
+
+    let greedy = plan_greedy(
+        Box::new(PlanarLaplace::new(grid.clone(), ALPHA).unwrap()),
+        &event,
+        Homogeneous::new(chain.clone()),
+        horizon,
+        TARGET,
+        &cfg,
+    )
+    .unwrap();
+    let uniform = plan_uniform_split(
+        Box::new(PlanarLaplace::new(grid.clone(), ALPHA).unwrap()),
+        &event,
+        Homogeneous::new(chain.clone()),
+        horizon,
+        TARGET,
+        &cfg,
+    )
+    .unwrap();
+    let knapsack = plan_knapsack(
+        Box::new(PlanarLaplace::new(grid, ALPHA).unwrap()),
+        &event,
+        Homogeneous::new(chain),
+        horizon,
+        TARGET,
+        &cfg,
+        &model,
+    )
+    .unwrap();
+
+    assert!(knapsack.all_certified(), "knapsack plan: {knapsack:?}");
+    let certified = knapsack.certified_epsilon().unwrap();
+    assert!(
+        certified <= TARGET + cfg.tolerance,
+        "knapsack certifies ε = {certified} > target {TARGET}"
+    );
+
+    // Utility of a plan that fails to certify is −∞: an uncertified
+    // allocation "achieves" nothing at ε*.
+    let certified_utility = |plan: &BudgetPlan| {
+        if plan.all_certified() {
+            plan.total_utility(&model)
+        } else {
+            f64::NEG_INFINITY
+        }
+    };
+    let (ku, gu, uu) = (
+        certified_utility(&knapsack),
+        certified_utility(&greedy),
+        certified_utility(&uniform),
+    );
+    assert!(
+        ku > gu && ku > uu,
+        "knapsack utility {ku} must strictly beat greedy {gu} and uniform {uu}\n\
+         knapsack: {knapsack:?}\ngreedy: {greedy:?}"
+    );
+}
+
 #[test]
 fn enforcing_service_matches_the_guard_guarantee() {
     let (grid, chain) = commuter_world();

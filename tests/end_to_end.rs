@@ -7,9 +7,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn world() -> (GridMap, MarkovModel) {
-    let grid = GridMap::new(4, 4, 1.0).unwrap();
-    let chain = gaussian_kernel_chain(&grid, 1.0).unwrap();
-    (grid, chain)
+    priste::core::test_support::gaussian_world(4, 1.0)
 }
 
 /// Re-derives the emission column a release was produced under.

@@ -228,12 +228,89 @@ fn cli_calibrate_demo_uncalibrated_fails_and_calibrated_certifies() {
         "plan table missing: {stdout}"
     );
     assert!(
-        stdout.contains("uniform-split:"),
+        stdout.contains("planner,certified,epsilon,mean_budget,utility"),
+        "comparison table missing: {stdout}"
+    );
+    assert!(
+        stdout.contains("uniform-split,"),
         "baseline missing: {stdout}"
     );
     let (ok2, stdout2, _) = run_cli(&args);
     assert!(ok2);
     assert_eq!(stdout, stdout2, "calibrate must be seed-deterministic");
+}
+
+/// Golden regression for the `calibrate` plan tables: the full stdout of
+/// the commuter demo under each `--planner` value is pinned byte-for-byte
+/// against `tests/fixtures/` (the run is seeded and every float prints
+/// with fixed precision, so any drift — planner behavior, table format,
+/// summary lines — fails here instead of rotting silently).
+#[test]
+fn cli_calibrate_planner_tables_match_the_golden_fixtures() {
+    for (planner, golden) in [
+        (
+            "uniform",
+            include_str!("fixtures/calibrate_plan_uniform.stdout"),
+        ),
+        (
+            "greedy",
+            include_str!("fixtures/calibrate_plan_greedy.stdout"),
+        ),
+        (
+            "knapsack",
+            include_str!("fixtures/calibrate_plan_knapsack.stdout"),
+        ),
+    ] {
+        let (ok, stdout, stderr) = run_cli(&[
+            "calibrate",
+            "--kind",
+            "commuter",
+            "--side",
+            "5",
+            "--horizon",
+            "3",
+            "--steps",
+            "6",
+            "--target",
+            "0.8",
+            "--alpha",
+            "2",
+            "--seed",
+            "3",
+            "--planner",
+            planner,
+        ]);
+        assert!(ok, "calibrate --planner {planner} failed: {stderr}");
+        assert_eq!(
+            stdout, golden,
+            "--planner {planner} output drifted from the golden fixture \
+             (tests/fixtures/calibrate_plan_{planner}.stdout)"
+        );
+    }
+}
+
+/// The knapsack acceptance numbers, pinned at the CLI level too: the
+/// comparison table must show the knapsack plan strictly ahead of greedy
+/// on utility while both certify all steps and the uniform split fails.
+#[test]
+fn cli_calibrate_comparison_table_shows_the_utility_gap() {
+    let golden = include_str!("fixtures/calibrate_plan_greedy.stdout");
+    assert!(golden.contains("uniform-split,0/3,-,"));
+    assert!(golden.contains("greedy,3/3,0.7279,0.0729,-112.0000"));
+    assert!(golden.contains("knapsack,3/3,0.7547,0.0729,-85.3333"));
+}
+
+/// An unknown `--planner` value is a usage error: exit 2, message naming
+/// the value, usage text appended.
+#[test]
+fn cli_calibrate_unknown_planner_exits_2() {
+    let (code, _stdout, stderr) = run_cli_code(&["calibrate", "--side", "3", "--planner", "qp"]);
+    assert_eq!(code, Some(2), "unknown planner must exit 2: {stderr}");
+    assert!(
+        stderr.contains("--planner must be uniform, greedy or knapsack"),
+        "stderr must name the constraint: {stderr}"
+    );
+    assert!(stderr.contains("usage:"), "no usage in: {stderr}");
 }
 
 /// `examples/quickstart.rs` (seeded with `StdRng::seed_from_u64(42)`) must

@@ -7,9 +7,7 @@ use rand::SeedableRng;
 use std::sync::Arc;
 
 fn world() -> (GridMap, MarkovModel) {
-    let grid = GridMap::new(3, 3, 1.0).unwrap();
-    let chain = gaussian_kernel_chain(&grid, 1.0).unwrap();
-    (grid, chain)
+    priste::core::test_support::gaussian_world(3, 1.0)
 }
 
 /// A mechanism source that fails after a configurable number of steps —

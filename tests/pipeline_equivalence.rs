@@ -14,17 +14,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 
-fn world(side: usize, sigma: f64) -> (GridMap, MarkovModel) {
-    let grid = GridMap::new(side, side, 1.0).unwrap();
-    let chain = gaussian_kernel_chain(&grid, sigma).unwrap();
-    (grid, chain)
-}
-
-fn presence(m: usize, hi: usize, start: usize, end: usize) -> StEvent {
-    Presence::new(Region::from_one_based_range(m, 1, hi).unwrap(), start, end)
-        .unwrap()
-        .into()
-}
+use priste::core::test_support::{gaussian_world as world, presence};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
