@@ -1,0 +1,318 @@
+//! Machine-readable online-service benchmark exporter.
+//!
+//! Measures the session-service hot paths (audit ingest, enforced release),
+//! the durability tax (journaled ingest vs in-memory), and the restart
+//! costs (cold start, WAL-replay recovery, snapshot recovery), then writes
+//! the medians as JSON — by default to `BENCH_online.json` at the current
+//! directory — so CI and the repo root keep a queryable performance record
+//! without parsing Criterion's console output.
+//!
+//! Usage: `bench_export [--out PATH] [--users N] [--steps N] [--reps N]`
+//!
+//! The defaults (500 users, 8 steps, 5 reps) finish in a few seconds; CI
+//! runs `--users 50 --steps 4 --reps 2` as a smoke test of the exporter
+//! itself, not of the numbers.
+
+use priste_calibrate::GuardConfig;
+use priste_event::{Presence, StEvent};
+use priste_geo::{CellId, GridMap, Region};
+use priste_linalg::Vector;
+use priste_lppm::{Lppm, PlanarLaplace};
+use priste_markov::{gaussian_kernel_chain, Homogeneous, TransitionProvider};
+use priste_online::{DurableOptions, OnlineConfig, SessionManager, UserId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+const SHARDS: usize = 8;
+
+struct Opts {
+    out: PathBuf,
+    users: usize,
+    steps: usize,
+    reps: usize,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        out: PathBuf::from("BENCH_online.json"),
+        users: 500,
+        steps: 8,
+        reps: 5,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--out" => opts.out = PathBuf::from(value("--out")),
+            "--users" => opts.users = value("--users").parse().expect("--users N"),
+            "--steps" => opts.steps = value("--steps").parse().expect("--steps N"),
+            "--reps" => opts.reps = value("--reps").parse().expect("--reps N"),
+            other => panic!("unknown flag {other}; see the module docs for usage"),
+        }
+    }
+    opts
+}
+
+fn world() -> (GridMap, Arc<Homogeneous>, StEvent) {
+    let grid = GridMap::new(6, 6, 1.0).expect("grid");
+    let m = grid.num_cells();
+    let chain = gaussian_kernel_chain(&grid, 1.0).expect("chain");
+    let event: StEvent = Presence::new(
+        Region::from_one_based_range(m, 1, m / 4).expect("range"),
+        2,
+        5,
+    )
+    .expect("presence")
+    .into();
+    (grid, Arc::new(Homogeneous::new(chain)), event)
+}
+
+fn config() -> OnlineConfig {
+    OnlineConfig {
+        epsilon: 1.0,
+        num_shards: SHARDS,
+        linger: 2,
+        budget: 1e9,
+    }
+}
+
+fn service(
+    provider: &Arc<Homogeneous>,
+    event: &StEvent,
+    users: usize,
+) -> SessionManager<Arc<Homogeneous>> {
+    let m = provider.num_states();
+    let mut svc = SessionManager::new(Arc::clone(provider), config()).expect("service");
+    let tpl = svc.register_template(event.clone()).expect("template");
+    for u in 0..users as u64 {
+        svc.add_user(UserId(u), Vector::uniform(m)).expect("user");
+        svc.attach_event(UserId(u), tpl).expect("attach");
+    }
+    svc
+}
+
+fn batch(grid: &GridMap, users: usize, seed: u64) -> Vec<(UserId, Vector)> {
+    let m = grid.num_cells();
+    let plm = PlanarLaplace::new(grid.clone(), 0.8).expect("plm");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..users as u64)
+        .map(|u| {
+            let cell = CellId((u as usize * 7 + seed as usize) % m);
+            (UserId(u), plm.emission_column(plm.perturb(cell, &mut rng)))
+        })
+        .collect()
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("priste-bench-export-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Median wall-clock milliseconds of `reps` runs of `f`.
+fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+struct Metric {
+    name: &'static str,
+    value: f64,
+    unit: &'static str,
+    note: &'static str,
+}
+
+fn main() {
+    let opts = parse_opts();
+    let (grid, provider, event) = world();
+    let feed: Vec<_> = (0..opts.steps)
+        .map(|t| batch(&grid, opts.users, t as u64))
+        .collect();
+    let observations = (opts.users * opts.steps) as f64;
+    let mut metrics = Vec::new();
+
+    // Cold start: build, register, and populate a fresh in-memory service.
+    let cold_ms = median_ms(opts.reps, || {
+        let svc = service(&provider, &event, opts.users);
+        assert_eq!(svc.num_users(), opts.users);
+    });
+    metrics.push(Metric {
+        name: "cold_start",
+        value: cold_ms,
+        unit: "ms",
+        note: "build + register + add/attach all users, in-memory",
+    });
+
+    // Audit ingest throughput, in-memory.
+    let ingest_ms = median_ms(opts.reps, || {
+        let mut svc = service(&provider, &event, opts.users);
+        for step in &feed {
+            svc.ingest_batch(step).expect("ingest");
+        }
+    });
+    metrics.push(Metric {
+        name: "audit_ingest",
+        value: observations / ((ingest_ms - cold_ms).max(1e-6) / 1e3),
+        unit: "obs/s",
+        note: "sequential ingest_batch, cold-start cost subtracted",
+    });
+
+    // The durability tax: the same stream journaled to a per-shard WAL
+    // (fsync off — codec + buffered-write cost only).
+    let durable_ms = median_ms(opts.reps, || {
+        let dir = tempdir("tax");
+        let mut svc = service(&provider, &event, opts.users);
+        svc.make_durable(
+            &dir,
+            DurableOptions {
+                fsync: false,
+                snapshot_every: 0,
+            },
+        )
+        .expect("make_durable");
+        for step in &feed {
+            svc.ingest_batch(step).expect("ingest");
+        }
+        drop(svc);
+        std::fs::remove_dir_all(&dir).ok();
+    });
+    metrics.push(Metric {
+        name: "durable_ingest",
+        value: observations / ((durable_ms - cold_ms).max(1e-6) / 1e3),
+        unit: "obs/s",
+        note: "journaled ingest (fsync off), cold-start cost subtracted",
+    });
+    metrics.push(Metric {
+        name: "journaling_overhead",
+        value: (durable_ms - cold_ms).max(1e-6) / (ingest_ms - cold_ms).max(1e-6),
+        unit: "x",
+        note: "durable vs in-memory wall-clock ratio for the same stream",
+    });
+
+    // Enforced release throughput behind the calibration guard.
+    let locations: Vec<(UserId, CellId)> = (0..opts.users as u64)
+        .map(|u| (UserId(u), CellId((u as usize * 5) % grid.num_cells())))
+        .collect();
+    let release_ms = median_ms(opts.reps, || {
+        let mut svc = service(&provider, &event, opts.users);
+        svc.enable_enforcement(
+            Box::new(PlanarLaplace::new(grid.clone(), 2.0).expect("plm")),
+            GuardConfig {
+                target_epsilon: 1.0,
+                ..GuardConfig::default()
+            },
+        )
+        .expect("enforcement");
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..opts.steps {
+            for &(u, loc) in &locations {
+                svc.release(u, loc, &mut rng).expect("release");
+            }
+        }
+    });
+    metrics.push(Metric {
+        name: "enforced_release",
+        value: observations / ((release_ms - cold_ms).max(1e-6) / 1e3),
+        unit: "releases/s",
+        note: "guarded release incl. mechanism sampling, cold-start subtracted",
+    });
+
+    // Recovery from a WAL-only directory (crash mid-stream, no snapshot
+    // beyond the opening checkpoint) vs from a compacted snapshot.
+    for (name, checkpoint, note) in [
+        (
+            "recover_wal_replay",
+            false,
+            "recover(): opening snapshot + full deterministic WAL replay",
+        ),
+        (
+            "recover_snapshot",
+            true,
+            "recover(): single CRC-checked snapshot, empty WAL tail",
+        ),
+    ] {
+        let dir = tempdir(name);
+        let mut svc = service(&provider, &event, opts.users);
+        svc.make_durable(
+            &dir,
+            DurableOptions {
+                fsync: false,
+                snapshot_every: 0,
+            },
+        )
+        .expect("make_durable");
+        for step in &feed {
+            svc.ingest_batch(step).expect("ingest");
+        }
+        if checkpoint {
+            svc.checkpoint().expect("checkpoint");
+        }
+        let digest = svc.state_digest();
+        drop(svc); // crash
+
+        let ms = median_ms(opts.reps, || {
+            let recovered =
+                SessionManager::recover(Arc::clone(&provider), config(), vec![event.clone()], &dir)
+                    .expect("recover");
+            assert_eq!(recovered.state_digest(), digest, "recovery must be exact");
+        });
+        metrics.push(Metric {
+            name,
+            value: ms,
+            unit: "ms",
+            note,
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    write_json(&opts, &metrics).expect("write BENCH json");
+    for m in &metrics {
+        println!("{:>22}: {:>12.2} {}", m.name, m.value, m.unit);
+    }
+    println!("wrote {}", opts.out.display());
+}
+
+/// Hand-rolled JSON writer — the workspace has no serde; the schema is
+/// flat enough that string assembly with escaped-free ASCII fields is safe.
+fn write_json(opts: &Opts, metrics: &[Metric]) -> std::io::Result<()> {
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"priste-bench-online/1\",\n");
+    json.push_str("  \"scenario\": {\n");
+    json.push_str("    \"grid\": \"6x6\",\n");
+    json.push_str(&format!("    \"users\": {},\n", opts.users));
+    json.push_str(&format!("    \"steps\": {},\n", opts.steps));
+    json.push_str(&format!("    \"shards\": {SHARDS},\n"));
+    json.push_str(&format!("    \"reps\": {},\n", opts.reps));
+    json.push_str("    \"event\": \"PRESENCE over the first quarter of cells, steps 2-5\",\n");
+    json.push_str("    \"fsync\": false\n");
+    json.push_str("  },\n");
+    json.push_str("  \"metrics\": [\n");
+    for (i, m) in metrics.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"value\": {:.3}, \"unit\": \"{}\", \"note\": \"{}\"}}{}\n",
+            m.name,
+            m.value,
+            m.unit,
+            m.note,
+            if i + 1 < metrics.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+    std::fs::write(&opts.out, json)
+}

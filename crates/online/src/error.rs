@@ -1,3 +1,4 @@
+use crate::durable::DurableError;
 use priste_calibrate::CalibrateError;
 use priste_quantify::QuantifyError;
 use std::fmt;
@@ -49,6 +50,17 @@ pub enum OnlineError {
         /// The offending user id.
         user: u64,
     },
+    /// A shard worker thread panicked during a fanned-out batch. The
+    /// surviving shards' results and stats deltas are still absorbed, so
+    /// [`ServiceStats`](crate::ServiceStats) stays consistent with the
+    /// session state that actually mutated.
+    ShardPanicked {
+        /// Index of the shard whose worker died.
+        shard: usize,
+    },
+    /// The durable persistence layer failed (journaling, checkpointing, or
+    /// recovery).
+    Durable(DurableError),
 }
 
 impl fmt::Display for OnlineError {
@@ -76,6 +88,10 @@ impl fmt::Display for OnlineError {
             OnlineError::DuplicateObservation { user } => {
                 write!(f, "user {user} appears twice in one ingest batch")
             }
+            OnlineError::ShardPanicked { shard } => {
+                write!(f, "shard {shard} worker panicked during a batched pass")
+            }
+            OnlineError::Durable(e) => write!(f, "durable persistence error: {e}"),
         }
     }
 }
@@ -85,8 +101,15 @@ impl std::error::Error for OnlineError {
         match self {
             OnlineError::Quantify(e) => Some(e),
             OnlineError::Calibrate(e) => Some(e),
+            OnlineError::Durable(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<DurableError> for OnlineError {
+    fn from(e: DurableError) -> Self {
+        OnlineError::Durable(e)
     }
 }
 
@@ -125,9 +148,23 @@ mod tests {
                 cell: 9,
                 num_cells: 4,
             },
+            OnlineError::ShardPanicked { shard: 2 },
+            OnlineError::Durable(DurableError::NoSnapshot {
+                dir: std::path::PathBuf::from("/tmp/d"),
+            }),
         ] {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn durable_errors_convert_and_chain() {
+        let e: OnlineError = DurableError::NoSnapshot {
+            dir: std::path::PathBuf::from("/tmp/d"),
+        }
+        .into();
+        assert!(matches!(e, OnlineError::Durable(_)));
+        assert!(std::error::Error::source(&e).is_some());
     }
 
     #[test]

@@ -28,6 +28,14 @@
 //! exhaustion) *before* the observation leaves the mechanism — the windows
 //! consult the `priste-calibrate` guard instead of merely auditing.
 //!
+//! Sessions can be made **durable**: [`SessionManager::make_durable`] (or
+//! the `Pipeline::durable` builder knob in the facade) journals every
+//! committed mutation to a per-shard CRC-framed write-ahead log *before*
+//! its result returns, compacts periodically into atomic snapshots, and
+//! [`SessionManager::recover`] restores the exact committed state after a
+//! crash — rounding torn-tail ledger spend *up*, never down. See the
+//! [`durable`] module docs for the file format and recovery guarantees.
+//!
 //! Share the mobility model across the fleet with `Arc`:
 //!
 //! ```
@@ -56,10 +64,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod durable;
 mod error;
 mod manager;
 pub mod session;
 
+pub use durable::{DurableError, DurableOptions};
 pub use error::OnlineError;
 pub use manager::{EnforcedRelease, OnlineConfig, ServiceStats, SessionManager};
 pub use session::{BudgetLedger, Session, UserId, UserReport, Verdict, WindowReport};

@@ -1,7 +1,13 @@
 //! The multi-user service front: sharded sessions, template catalog, and
 //! the batched same-timestep ingest path.
 
-use crate::session::{report_from_step, EventWindow, Session, UserId, UserReport, Verdict};
+use crate::durable::{
+    self, DurableError, DurableOptions, DurableStore, SessionSnap, SnapshotState, WalRecord,
+    WalTail, WindowSnap,
+};
+use crate::session::{
+    report_from_step, BudgetLedger, EventWindow, Session, UserId, UserReport, Verdict,
+};
 use crate::{OnlineError, Result};
 use priste_calibrate::{
     peek_worst_loss, run_guard, run_guard_prewarmed, Decision, GuardConfig, GuardOutcome,
@@ -12,10 +18,11 @@ use priste_geo::CellId;
 use priste_linalg::{Matrix, Vector};
 use priste_lppm::Lppm;
 use priste_markov::TransitionProvider;
-use priste_quantify::{QuantifyError, TwoWorldEngine};
+use priste_quantify::{IncrementalTwoWorld, QuantifyError, TwoWorldEngine};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use std::collections::BTreeMap;
+use std::path::Path;
 
 /// Resolves a caller-facing thread knob: `0` means "one worker per
 /// available core".
@@ -37,14 +44,21 @@ fn shard_rng(seed: u64, shard: usize) -> StdRng {
 }
 
 /// Shared fan-out scaffolding for the parallel batched paths: round-robins
-/// the per-shard jobs over up to `threads` scoped workers, joins, and
-/// merges results. Shards hold disjoint sessions, so workers need no
-/// locks. Returns the collected items, the merged stats delta — including
-/// deltas from shards that committed before another shard failed, so the
-/// caller can keep [`ServiceStats`] consistent with mutated session state
-/// — and the first error, if any.
+/// the per-shard jobs (tagged with their shard index) over up to `threads`
+/// scoped workers, joins, and merges results. Shards hold disjoint
+/// sessions, so workers need no locks. Returns the collected items, the
+/// merged stats delta — including deltas from shards that committed before
+/// another shard failed, so the caller can keep [`ServiceStats`]
+/// consistent with mutated session state — and the first error, if any.
+///
+/// A panicking job is contained (`catch_unwind`) and surfaces as
+/// [`OnlineError::ShardPanicked`] carrying its shard index instead of
+/// taking down the process: the surviving shards' items and deltas are
+/// still absorbed. The panicked shard's own partial delta is kept too —
+/// its sessions may have mutated up to the panic point, and stats that
+/// track the mutation are the lesser inconsistency.
 fn fan_out_shards<J, T>(
-    jobs: Vec<J>,
+    jobs: Vec<(usize, J)>,
     threads: usize,
     work: impl Fn(J, &mut Vec<T>, &mut ServiceStats) -> Result<()> + Sync,
 ) -> (Vec<T>, ServiceStats, Option<OnlineError>)
@@ -53,7 +67,7 @@ where
     T: Send,
 {
     let threads = resolve_threads(threads);
-    let mut buckets: Vec<Vec<J>> = (0..threads).map(|_| Vec::new()).collect();
+    let mut buckets: Vec<Vec<(usize, J)>> = (0..threads).map(|_| Vec::new()).collect();
     for (k, job) in jobs.into_iter().enumerate() {
         buckets[k % threads].push(job);
     }
@@ -66,22 +80,45 @@ where
             .into_iter()
             .filter(|bucket| !bucket.is_empty())
             .map(|bucket| {
-                scope.spawn(move || {
+                let fallback_shard = bucket[0].0;
+                let handle = scope.spawn(move || {
                     let mut out = Vec::new();
                     let mut delta = ServiceStats::default();
                     let mut err = None;
-                    for job in bucket {
-                        if let Err(e) = work(job, &mut out, &mut delta) {
-                            err = Some(e);
-                            break;
+                    for (shard_idx, job) in bucket {
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            work(job, &mut out, &mut delta)
+                        }));
+                        match result {
+                            Ok(Ok(())) => {}
+                            Ok(Err(e)) => {
+                                err = Some(e);
+                                break;
+                            }
+                            Err(_) => {
+                                err = Some(OnlineError::ShardPanicked { shard: shard_idx });
+                                break;
+                            }
                         }
                     }
                     (out, delta, err)
-                })
+                });
+                (fallback_shard, handle)
             })
             .collect();
-        for handle in handles {
-            let (mut out, delta, err) = handle.join().expect("shard worker panicked");
+        for (fallback_shard, handle) in handles {
+            // Panics inside jobs are caught above; a join error can only
+            // come from a panic outside the guarded region, attributed to
+            // the bucket's first shard.
+            let (mut out, delta, err) = handle.join().unwrap_or_else(|_| {
+                (
+                    Vec::new(),
+                    ServiceStats::default(),
+                    Some(OnlineError::ShardPanicked {
+                        shard: fallback_shard,
+                    }),
+                )
+            });
             items.append(&mut out);
             merged.absorb(&delta);
             if failure.is_none() {
@@ -175,6 +212,30 @@ impl ServiceStats {
         self.mismatched += other.mismatched;
         self.suppressed += other.suppressed;
     }
+
+    /// Counters in declaration order, for the snapshot codec.
+    pub(crate) fn to_array(self) -> [u64; 6] {
+        [
+            self.observations as u64,
+            self.evicted_windows as u64,
+            self.certified as u64,
+            self.violated as u64,
+            self.mismatched as u64,
+            self.suppressed as u64,
+        ]
+    }
+
+    /// Inverse of [`ServiceStats::to_array`].
+    pub(crate) fn from_array(a: [u64; 6]) -> Self {
+        ServiceStats {
+            observations: a[0] as usize,
+            evicted_windows: a[1] as usize,
+            certified: a[2] as usize,
+            violated: a[3] as usize,
+            mismatched: a[4] as usize,
+            suppressed: a[5] as usize,
+        }
+    }
 }
 
 /// The enforcing-mode machinery: one shared mechanism ladder plus the
@@ -228,6 +289,7 @@ pub struct SessionManager<P> {
     config: OnlineConfig,
     stats: ServiceStats,
     enforcer: Option<Enforcer>,
+    store: Option<DurableStore>,
 }
 
 impl<P: TransitionProvider + Clone> SessionManager<P> {
@@ -245,6 +307,7 @@ impl<P: TransitionProvider + Clone> SessionManager<P> {
             config,
             stats: ServiceStats::default(),
             enforcer: None,
+            store: None,
         })
     }
 
@@ -328,17 +391,47 @@ impl<P: TransitionProvider + Clone> SessionManager<P> {
             self.enforcer = Some(enforcer);
             result?
         };
-        let report = self.ingest(id, outcome.column)?;
+        let shard = self.shard_of(id);
+        let suppressed = outcome.decision == Decision::Suppressed;
+        // Journal the committed column (with its suppression flag, so
+        // replay reconstructs the stats) before it leaves the mechanism.
+        Self::journal(
+            &mut self.store,
+            shard,
+            &WalRecord::Observe {
+                user: id.0,
+                suppressed,
+                column: outcome.column.as_slice().to_vec(),
+            },
+        )?;
+        let report = self.commit_one(shard, id.0, &outcome.column);
         // Count the suppression only once the flat column actually
-        // committed — a failed ingest must not skew the stats.
-        if outcome.decision == Decision::Suppressed {
+        // committed — a failed release must not skew the stats.
+        if suppressed {
             self.stats.suppressed += 1;
         }
+        self.maybe_checkpoint()?;
         Ok(EnforcedRelease {
             decision: outcome.decision,
             attempts: outcome.attempts.len(),
             report,
         })
+    }
+
+    /// Commits one already-validated, already-journaled column through the
+    /// audit machinery (posterior filtering, windows, ledger, eviction).
+    fn commit_one(&mut self, shard: usize, uid: u64, column: &Vector) -> UserReport {
+        let mut wanted = BTreeMap::new();
+        wanted.insert(uid, column);
+        let (mut reports, delta) = Self::process_shard(
+            &self.provider,
+            &self.templates,
+            &mut self.shards[shard],
+            &wanted,
+            &self.config,
+        );
+        self.stats.absorb(&delta);
+        reports.pop().expect("one observation in, one report out")
     }
 
     /// The service configuration.
@@ -354,6 +447,17 @@ impl<P: TransitionProvider + Clone> SessionManager<P> {
     /// Registered users.
     pub fn num_users(&self) -> usize {
         self.shards.iter().map(BTreeMap::len).sum()
+    }
+
+    /// All registered user ids, in ascending id order.
+    pub fn users(&self) -> Vec<UserId> {
+        let mut ids: Vec<UserId> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.keys().copied().map(UserId))
+            .collect();
+        ids.sort_unstable_by_key(|id| id.0);
+        ids
     }
 
     /// Active event windows across all users.
@@ -377,6 +481,14 @@ impl<P: TransitionProvider + Clone> SessionManager<P> {
                 event: event.num_cells(),
                 provider: self.provider.num_states(),
             }));
+        }
+        if self.store.is_some() {
+            // The template catalog is part of the scenario fingerprint that
+            // binds durable files to the service; growing it under an
+            // attached store would orphan everything journaled so far.
+            return Err(OnlineError::InvalidConfig {
+                message: "register all templates before attaching a durable store".into(),
+            });
         }
         self.templates.push(event);
         Ok(self.templates.len() - 1)
@@ -407,8 +519,19 @@ impl<P: TransitionProvider + Clone> SessionManager<P> {
         if self.shards[shard].contains_key(&id.0) {
             return Err(OnlineError::DuplicateUser { user: id.0 });
         }
+        // Journal before applying: the insert below cannot fail, and a
+        // crash between the two merely replays a registration whose ack
+        // never left the building (at-least-once, harmless).
+        Self::journal(
+            &mut self.store,
+            shard,
+            &WalRecord::AddUser {
+                user: id.0,
+                pi: pi.as_slice().to_vec(),
+            },
+        )?;
         self.shards[shard].insert(id.0, Session::new(id, pi, self.config.budget));
-        Ok(())
+        self.maybe_checkpoint()
     }
 
     /// Read access to one session.
@@ -435,13 +558,44 @@ impl<P: TransitionProvider + Clone> SessionManager<P> {
             .get_mut(&id.0)
             .ok_or(OnlineError::UnknownUser { user: id.0 })?;
         session.attach(template, event, provider)?;
-        Ok(())
+        if let Err(e) = Self::journal(
+            &mut self.store,
+            shard,
+            &WalRecord::AttachEvent {
+                user: id.0,
+                template: template as u32,
+            },
+        ) {
+            // Roll the attach back so the in-memory state never runs ahead
+            // of the journal on an I/O failure.
+            self.shards[shard]
+                .get_mut(&id.0)
+                .expect("attached above")
+                .windows
+                .pop();
+            return Err(e);
+        }
+        self.maybe_checkpoint()
     }
 
     /// Removes a user, returning whether it existed.
-    pub fn remove_user(&mut self, id: UserId) -> bool {
+    ///
+    /// # Errors
+    /// [`OnlineError::Durable`] when journaling the removal fails (the
+    /// user is kept in that case).
+    pub fn remove_user(&mut self, id: UserId) -> Result<bool> {
         let shard = self.shard_of(id);
-        self.shards[shard].remove(&id.0).is_some()
+        if !self.shards[shard].contains_key(&id.0) {
+            return Ok(false);
+        }
+        Self::journal(
+            &mut self.store,
+            shard,
+            &WalRecord::RemoveUser { user: id.0 },
+        )?;
+        self.shards[shard].remove(&id.0);
+        self.maybe_checkpoint()?;
+        Ok(true)
     }
 
     /// Ingests one observation for one user. Equivalent to a singleton
@@ -464,6 +618,11 @@ impl<P: TransitionProvider + Clone> SessionManager<P> {
     /// mutated, so a failed batch leaves the service unchanged.
     pub fn ingest_batch(&mut self, batch: &[(UserId, Vector)]) -> Result<Vec<UserReport>> {
         let by_shard = self.validate_batch(batch)?;
+        // Journal the committed columns before any state mutates: a crash
+        // after the append replays an observation whose report was never
+        // returned (at-least-once spend — conservative), and an append
+        // failure leaves both memory and disk untouched.
+        self.journal_observations(&by_shard)?;
         let mut reports = Vec::with_capacity(batch.len());
         for (shard_idx, wanted) in by_shard.iter().enumerate() {
             if wanted.is_empty() {
@@ -480,7 +639,48 @@ impl<P: TransitionProvider + Clone> SessionManager<P> {
             reports.append(&mut shard_reports);
         }
         reports.sort_by_key(|r| r.user);
+        self.maybe_checkpoint()?;
         Ok(reports)
+    }
+
+    /// Appends one [`WalRecord::Observe`] per batch entry (audit path:
+    /// nothing is suppressed).
+    fn journal_observations(&mut self, by_shard: &[BTreeMap<u64, &Vector>]) -> Result<()> {
+        if self.store.is_none() {
+            return Ok(());
+        }
+        for (shard_idx, wanted) in by_shard.iter().enumerate() {
+            for (&uid, col) in wanted {
+                Self::journal(
+                    &mut self.store,
+                    shard_idx,
+                    &WalRecord::Observe {
+                        user: uid,
+                        suppressed: false,
+                        column: col.as_slice().to_vec(),
+                    },
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends a record to the attached store's shard WAL; a no-op for
+    /// in-memory services.
+    fn journal(store: &mut Option<DurableStore>, shard: usize, record: &WalRecord) -> Result<()> {
+        if let Some(store) = store {
+            store.append(shard, record)?;
+        }
+        Ok(())
+    }
+
+    /// Compacts the WAL into a fresh snapshot when the auto-checkpoint
+    /// threshold has been crossed.
+    fn maybe_checkpoint(&mut self) -> Result<()> {
+        if self.store.as_ref().is_some_and(DurableStore::due) {
+            self.checkpoint()?;
+        }
+        Ok(())
     }
 
     /// Validation pass for one same-timestep batch (no mutation): emission
@@ -659,6 +859,367 @@ impl<P: TransitionProvider + Clone> SessionManager<P> {
     fn shard_of(&self, id: UserId) -> usize {
         (id.0 % self.shards.len() as u64) as usize
     }
+
+    // ---- Durability -----------------------------------------------------
+
+    /// Fingerprint binding durable files to this service's scenario: the
+    /// state-domain size, the accounting-relevant configuration, and the
+    /// registered template catalog. The WAL journals *committed emission
+    /// columns*, so the mechanism/guard configuration is deliberately not
+    /// part of the binding — replay never re-runs the guard.
+    fn fingerprint(&self) -> u64 {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "m={};eps={:016x};shards={};linger={};budget={:016x};",
+            self.provider.num_states(),
+            self.config.epsilon.to_bits(),
+            self.config.num_shards,
+            self.config.linger,
+            self.config.budget.to_bits(),
+        );
+        for t in &self.templates {
+            let _ = write!(s, "tpl={t:?};");
+        }
+        durable::fnv1a64(s.as_bytes())
+    }
+
+    /// Serializes the full service state (shard-major, user-id order
+    /// within a shard — deterministic for a given state).
+    fn snapshot_state(&self) -> SnapshotState {
+        let sessions = self
+            .shards
+            .iter()
+            .flat_map(|shard| shard.values())
+            .map(|session| SessionSnap {
+                user: session.id().0,
+                t: session.observed() as u64,
+                budget: session.ledger().budget(),
+                spent: session.ledger().spent(),
+                observations: session.ledger().observations() as u64,
+                violations: session.ledger().violations() as u64,
+                posterior: session.posterior().as_slice().to_vec(),
+                windows: session
+                    .windows
+                    .iter()
+                    .map(|w| WindowSnap {
+                        template: w.template as u32,
+                        t: w.state.observed() as u64,
+                        log_scale: w.state.log_scale(),
+                        pi: w.state.pi().as_slice().to_vec(),
+                        mantissa: w.state.lifted_state().as_slice().to_vec(),
+                    })
+                    .collect(),
+            })
+            .collect();
+        SnapshotState {
+            fingerprint: self.fingerprint(),
+            stats: self.stats.to_array(),
+            sessions,
+        }
+    }
+
+    /// Deterministic digest of the full service state (FNV-1a over the
+    /// canonical snapshot encoding): equal digests mean bit-identical
+    /// posteriors, windows, ledgers, and counters. The equality witness
+    /// used by the crash-recovery tests.
+    pub fn state_digest(&self) -> u64 {
+        durable::fnv1a64(&durable::encode_payload(&self.snapshot_state()))
+    }
+
+    /// Attaches a durable store to this service: writes a full checkpoint
+    /// of the current state into `dir` (created if missing) and from then
+    /// on journals every committed mutation to a per-shard WAL *before*
+    /// its result is returned. See the [`crate::durable`] module docs for
+    /// the file layout and recovery guarantees.
+    ///
+    /// # Errors
+    /// [`OnlineError::Durable`] on I/O failure.
+    pub fn make_durable(&mut self, dir: &Path, opts: DurableOptions) -> Result<()> {
+        let start = if dir.exists() {
+            durable::list_generations(dir)?.first().map_or(0, |&s| s) + 1
+        } else {
+            1
+        };
+        let state = self.snapshot_state();
+        let store = DurableStore::open(
+            dir,
+            opts,
+            state.fingerprint,
+            self.config.num_shards,
+            start,
+            &state,
+        )?;
+        self.store = Some(store);
+        Ok(())
+    }
+
+    /// The attached durable directory, if any.
+    pub fn durable_dir(&self) -> Option<&Path> {
+        self.store.as_ref().map(DurableStore::dir)
+    }
+
+    /// Compacts the WAL into a fresh snapshot generation. Called
+    /// automatically every [`DurableOptions::snapshot_every`] records;
+    /// callers may also checkpoint explicitly (e.g. before shutdown).
+    ///
+    /// # Errors
+    /// [`OnlineError::InvalidConfig`] when no store is attached;
+    /// [`OnlineError::Durable`] on I/O failure.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        let state = self.snapshot_state();
+        let store = self
+            .store
+            .as_mut()
+            .ok_or_else(|| OnlineError::InvalidConfig {
+                message: "no durable store attached; call make_durable or open_durable first"
+                    .into(),
+            })?;
+        store.checkpoint(&state)?;
+        Ok(())
+    }
+
+    /// Read-only crash recovery: rebuilds a service from the newest valid
+    /// snapshot in `dir` plus a deterministic replay of its WAL tail. The
+    /// scenario (provider domain, config, templates) must match the one
+    /// the directory was written under — a fingerprint mismatch is
+    /// rejected rather than silently mixing state.
+    ///
+    /// The returned service has **no store attached**: recovering twice
+    /// from the same directory is side-effect-free and byte-deterministic
+    /// (equal [`SessionManager::state_digest`]s). Use
+    /// [`SessionManager::open_durable`] to recover *and* resume
+    /// journaling.
+    ///
+    /// Conservative rounding — the recovered ledgers never under-count:
+    /// a torn final WAL record exhausts the attributed user's ledger (or
+    /// the whole shard when unattributable), and falling back past an
+    /// unreadable newer snapshot exhausts every ledger.
+    ///
+    /// # Errors
+    /// [`OnlineError::Durable`] for unreadable/corrupt/mismatched durable
+    /// state; quantify/session validation errors when persisted state
+    /// fails its invariants.
+    pub fn recover(
+        provider: P,
+        config: OnlineConfig,
+        templates: Vec<StEvent>,
+        dir: &Path,
+    ) -> Result<Self> {
+        let mut svc = Self::new(provider, config)?;
+        for t in templates {
+            svc.register_template(t)?;
+        }
+        let rec = durable::recover_dir(dir, svc.fingerprint(), svc.config.num_shards)?;
+        svc.restore_snapshot(&rec.state)?;
+        for scan in &rec.wal {
+            for record in &scan.records {
+                svc.replay(record)?;
+            }
+        }
+        for (shard_idx, scan) in rec.wal.iter().enumerate() {
+            if let WalTail::Torn { user } = scan.tail {
+                let mut exhausted_one = false;
+                if let Some(uid) = user {
+                    let shard = svc.shard_of(UserId(uid));
+                    if let Some(session) = svc.shards[shard].get_mut(&uid) {
+                        session.ledger_mut().force_exhaust();
+                        exhausted_one = true;
+                    }
+                }
+                // Unattributable tear — or an attribution pointing at a
+                // user that does not exist, which means the prefix bytes
+                // themselves are suspect: exhaust the whole shard.
+                if !exhausted_one {
+                    svc.exhaust_shard(shard_idx);
+                }
+            }
+        }
+        if rec.skipped_newer {
+            for shard in 0..svc.shards.len() {
+                svc.exhaust_shard(shard);
+            }
+        }
+        Ok(svc)
+    }
+
+    /// Recover-or-create: rebuilds from `dir` exactly like
+    /// [`SessionManager::recover`] when it holds durable state, starts
+    /// empty when it does not, then attaches the store (writing a fresh
+    /// checkpoint generation) so the service continues journaling where
+    /// the dead process stopped.
+    ///
+    /// # Errors
+    /// As [`SessionManager::recover`] and
+    /// [`SessionManager::make_durable`].
+    pub fn open_durable(
+        provider: P,
+        config: OnlineConfig,
+        templates: Vec<StEvent>,
+        dir: &Path,
+        opts: DurableOptions,
+    ) -> Result<Self> {
+        let recovered = Self::recover(provider.clone(), config.clone(), templates.clone(), dir);
+        let mut svc = match recovered {
+            Ok(svc) => svc,
+            Err(OnlineError::Durable(
+                DurableError::NoSnapshot { .. }
+                | DurableError::Io {
+                    kind: std::io::ErrorKind::NotFound,
+                    ..
+                },
+            )) => {
+                let mut svc = Self::new(provider, config)?;
+                for t in templates {
+                    svc.register_template(t)?;
+                }
+                svc
+            }
+            Err(e) => return Err(e),
+        };
+        svc.make_durable(dir, opts)?;
+        Ok(svc)
+    }
+
+    /// Rebuilds every session from a decoded snapshot.
+    fn restore_snapshot(&mut self, state: &SnapshotState) -> Result<()> {
+        for snap in &state.sessions {
+            let id = UserId(snap.user);
+            let posterior = Vector::from(snap.posterior.clone());
+            if posterior.len() != self.provider.num_states() {
+                return Err(OnlineError::InvalidConfig {
+                    message: format!(
+                        "persisted posterior for user {} has length {}, expected {}",
+                        snap.user,
+                        posterior.len(),
+                        self.provider.num_states()
+                    ),
+                });
+            }
+            let mut windows = Vec::with_capacity(snap.windows.len());
+            for w in &snap.windows {
+                let template = w.template as usize;
+                let event = self
+                    .templates
+                    .get(template)
+                    .ok_or(OnlineError::UnknownTemplate { template })?
+                    .clone();
+                let state = IncrementalTwoWorld::resume(
+                    event,
+                    self.provider.clone(),
+                    Vector::from(w.pi.clone()),
+                    Vector::from(w.mantissa.clone()),
+                    w.log_scale,
+                    w.t as usize,
+                )?;
+                windows.push(EventWindow { template, state });
+            }
+            let ledger = BudgetLedger::from_parts(
+                snap.budget,
+                snap.spent,
+                snap.observations as usize,
+                snap.violations as usize,
+            )?;
+            let shard = self.shard_of(id);
+            if self.shards[shard]
+                .insert(
+                    snap.user,
+                    Session::from_parts(id, posterior, windows, ledger, snap.t as usize),
+                )
+                .is_some()
+            {
+                return Err(OnlineError::DuplicateUser { user: snap.user });
+            }
+        }
+        self.stats = ServiceStats::from_array(state.stats);
+        Ok(())
+    }
+
+    /// Applies one journaled record without re-journaling it. Replaying an
+    /// `Observe` record runs the exact same per-row arithmetic as the
+    /// original (possibly batched) execution — posterior propagation and
+    /// lifted window steps are row-independent — so the recovered state is
+    /// bit-identical to what the live service held after committing it.
+    fn replay(&mut self, record: &WalRecord) -> Result<()> {
+        match record {
+            WalRecord::AddUser { user, pi } => {
+                let id = UserId(*user);
+                let pi = Vector::from(pi.clone());
+                if pi.len() != self.provider.num_states() {
+                    return Err(OnlineError::Quantify(QuantifyError::InvalidInitial(
+                        priste_linalg::LinalgError::DimensionMismatch {
+                            op: "journaled initial distribution",
+                            expected: self.provider.num_states(),
+                            actual: pi.len(),
+                        },
+                    )));
+                }
+                pi.validate_distribution()
+                    .map_err(|e| OnlineError::Quantify(QuantifyError::InvalidInitial(e)))?;
+                let shard = self.shard_of(id);
+                if self.shards[shard].contains_key(user) {
+                    return Err(OnlineError::DuplicateUser { user: *user });
+                }
+                self.shards[shard].insert(*user, Session::new(id, pi, self.config.budget));
+                Ok(())
+            }
+            WalRecord::RemoveUser { user } => {
+                let shard = self.shard_of(UserId(*user));
+                self.shards[shard].remove(user);
+                Ok(())
+            }
+            WalRecord::AttachEvent { user, template } => {
+                let template = *template as usize;
+                let event = self
+                    .templates
+                    .get(template)
+                    .ok_or(OnlineError::UnknownTemplate { template })?
+                    .clone();
+                let provider = self.provider.clone();
+                let shard = self.shard_of(UserId(*user));
+                let session = self.shards[shard]
+                    .get_mut(user)
+                    .ok_or(OnlineError::UnknownUser { user: *user })?;
+                session.attach(template, event, provider)?;
+                Ok(())
+            }
+            WalRecord::Observe {
+                user,
+                suppressed,
+                column,
+            } => self.replay_observe(*user, column, *suppressed),
+        }
+    }
+
+    /// Replays one committed observation as a singleton commit.
+    fn replay_observe(&mut self, user: u64, column: &[f64], suppressed: bool) -> Result<()> {
+        let m = self.provider.num_states();
+        if column.len() != m || column.iter().any(|&x| x < 0.0 || !x.is_finite()) {
+            return Err(OnlineError::Quantify(QuantifyError::InvalidEmission {
+                expected: m,
+                actual: column.len(),
+            }));
+        }
+        let id = UserId(user);
+        let shard = self.shard_of(id);
+        if !self.shards[shard].contains_key(&user) {
+            return Err(OnlineError::UnknownUser { user });
+        }
+        let column = Vector::from(column.to_vec());
+        let _ = self.commit_one(shard, user, &column);
+        if suppressed {
+            self.stats.suppressed += 1;
+        }
+        Ok(())
+    }
+
+    /// Conservative rounding: exhausts every ledger on one shard.
+    fn exhaust_shard(&mut self, shard: usize) {
+        for session in self.shards[shard].values_mut() {
+            session.ledger_mut().force_exhaust();
+        }
+    }
 }
 
 /// The parallel batched paths — available when the shared model is
@@ -681,6 +1242,7 @@ impl<P: TransitionProvider + Clone + Send + Sync> SessionManager<P> {
         threads: usize,
     ) -> Result<Vec<UserReport>> {
         let by_shard = self.validate_batch(batch)?;
+        self.journal_observations(&by_shard)?;
         let provider = &self.provider;
         let templates = &self.templates;
         let config = &self.config;
@@ -688,8 +1250,10 @@ impl<P: TransitionProvider + Clone + Send + Sync> SessionManager<P> {
         let jobs: Vec<_> = self
             .shards
             .iter_mut()
+            .enumerate()
             .zip(&by_shard)
-            .filter(|(_, wanted)| !wanted.is_empty())
+            .filter(|((_, _), wanted)| !wanted.is_empty())
+            .map(|((idx, shard), wanted)| (idx, (shard, wanted)))
             .collect();
         let (mut reports, merged, failure) =
             fan_out_shards(jobs, threads, |(shard, wanted), out, delta| {
@@ -700,8 +1264,11 @@ impl<P: TransitionProvider + Clone + Send + Sync> SessionManager<P> {
                 Ok(())
             });
         self.stats.absorb(&merged);
-        debug_assert!(failure.is_none(), "audit ingest workers are infallible");
+        if let Some(e) = failure {
+            return Err(e);
+        }
         reports.sort_by_key(|r| r.user);
+        self.maybe_checkpoint()?;
         Ok(reports)
     }
 
@@ -768,6 +1335,7 @@ impl<P: TransitionProvider + Clone + Send + Sync> SessionManager<P> {
         let config = &self.config;
         let guard = &enforcer.guard;
         let cache = &enforcer.cache;
+        let journaling = self.store.is_some();
 
         let jobs: Vec<_> = self
             .shards
@@ -775,9 +1343,9 @@ impl<P: TransitionProvider + Clone + Send + Sync> SessionManager<P> {
             .enumerate()
             .zip(&by_shard)
             .filter(|((_, _), wanted)| !wanted.is_empty())
-            .map(|((idx, shard), wanted)| (idx, shard, wanted))
+            .map(|((idx, shard), wanted)| (idx, (idx, shard, wanted)))
             .collect();
-        let (mut releases, merged, failure) =
+        let (mut items, merged, failure) =
             fan_out_shards(jobs, threads, |(shard_idx, shard, wanted), out, delta| {
                 let mut rng = shard_rng(seed, shard_idx);
                 // Guard every user against their own windows (peek-only;
@@ -801,14 +1369,24 @@ impl<P: TransitionProvider + Clone + Send + Sync> SessionManager<P> {
                     Self::process_shard(provider, templates, shard, &columns, config);
                 delta.absorb(&shard_delta);
                 for ((_, outcome), report) in outcomes.into_iter().zip(reports) {
-                    if outcome.decision == Decision::Suppressed {
+                    let suppressed = outcome.decision == Decision::Suppressed;
+                    if suppressed {
                         delta.suppressed += 1;
                     }
-                    out.push(EnforcedRelease {
-                        decision: outcome.decision,
-                        attempts: outcome.attempts.len(),
-                        report,
-                    });
+                    let column = if journaling {
+                        outcome.column.as_slice().to_vec()
+                    } else {
+                        Vec::new()
+                    };
+                    out.push((
+                        EnforcedRelease {
+                            decision: outcome.decision,
+                            attempts: outcome.attempts.len(),
+                            report,
+                        },
+                        suppressed,
+                        column,
+                    ));
                 }
                 Ok(())
             });
@@ -816,10 +1394,76 @@ impl<P: TransitionProvider + Clone + Send + Sync> SessionManager<P> {
         // shard failed — the stats must stay consistent with the mutated
         // session state.
         self.stats.absorb(&merged);
+        // Journal everything that committed, shard failure or not: a
+        // release that mutated a ledger must reach the WAL. (The parallel
+        // path applies before journaling; a crash in between loses only
+        // never-acknowledged releases, which is sound.)
+        items.sort_by_key(|(r, _, _)| r.report.user);
+        let mut journal_err = None;
+        if journaling {
+            for (release, suppressed, column) in &items {
+                let uid = release.report.user;
+                let shard = self.shard_of(uid);
+                if let Err(e) = Self::journal(
+                    &mut self.store,
+                    shard,
+                    &WalRecord::Observe {
+                        user: uid.0,
+                        suppressed: *suppressed,
+                        column: column.clone(),
+                    },
+                ) {
+                    journal_err = Some(e);
+                    break;
+                }
+            }
+        }
         if let Some(e) = failure {
             return Err(e);
         }
-        releases.sort_by_key(|r| r.report.user);
+        if let Some(e) = journal_err {
+            return Err(e);
+        }
+        let releases = items.into_iter().map(|(r, _, _)| r).collect();
+        self.maybe_checkpoint()?;
         Ok(releases)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fan_out_contains_worker_panics_and_keeps_surviving_deltas() {
+        let jobs: Vec<(usize, u32)> = vec![(0, 0), (1, 1), (2, 2)];
+        let (mut items, stats, failure) = fan_out_shards(jobs, 3, |job, out, delta| {
+            if job == 1 {
+                panic!("shard worker blew up");
+            }
+            out.push(job);
+            delta.observations += 1;
+            Ok(())
+        });
+        items.sort_unstable();
+        assert_eq!(items, vec![0, 2]);
+        assert_eq!(stats.observations, 2, "surviving shards' deltas absorbed");
+        assert_eq!(failure, Some(OnlineError::ShardPanicked { shard: 1 }));
+    }
+
+    #[test]
+    fn fan_out_reports_the_first_error_without_dropping_completed_work() {
+        let jobs: Vec<(usize, u32)> = (0..4).map(|i| (i, i as u32)).collect();
+        let (items, stats, failure) = fan_out_shards(jobs, 1, |job, out, delta| {
+            if job == 2 {
+                return Err(OnlineError::UnknownUser { user: 2 });
+            }
+            out.push(job);
+            delta.observations += 1;
+            Ok(())
+        });
+        assert_eq!(items, vec![0, 1]);
+        assert_eq!(stats.observations, 2);
+        assert_eq!(failure, Some(OnlineError::UnknownUser { user: 2 }));
     }
 }

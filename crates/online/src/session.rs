@@ -21,7 +21,7 @@ impl fmt::Display for UserId {
 /// additive across timestamps in general, so the ledger charges the
 /// *sequential-composition upper bound*: each observation's worst realized
 /// loss across the user's windows is added to `spent`. Once `spent`
-/// exceeds `budget` the session is flagged exhausted (the service keeps
+/// reaches `budget` the session is flagged exhausted (the service keeps
 /// quantifying — the flag is advice for the release mechanism upstream).
 #[derive(Debug, Clone, PartialEq)]
 pub struct BudgetLedger {
@@ -33,13 +33,53 @@ pub struct BudgetLedger {
 
 impl BudgetLedger {
     /// Fresh ledger with the given total budget.
-    pub fn new(budget: f64) -> Self {
-        BudgetLedger {
+    ///
+    /// # Errors
+    /// [`OnlineError::InvalidConfig`](crate::OnlineError::InvalidConfig)
+    /// unless `budget` is positive and finite — a NaN budget would make
+    /// [`BudgetLedger::exhausted`] permanently `false`, silently disabling
+    /// accounting, so it is rejected at construction.
+    pub fn new(budget: f64) -> crate::Result<Self> {
+        if !(budget > 0.0 && budget.is_finite()) {
+            return Err(crate::OnlineError::InvalidConfig {
+                message: format!("ledger budget must be positive and finite, got {budget}"),
+            });
+        }
+        Ok(BudgetLedger {
             budget,
             spent: 0.0,
             observations: 0,
             violations: 0,
+        })
+    }
+
+    /// Rebuilds a ledger from persisted state (the durable snapshot/WAL
+    /// path). `spent` may be `+∞` — a ledger conservatively exhausted by a
+    /// torn write stays exhausted across restarts — but NaN and negative
+    /// values are rejected like at [`BudgetLedger::new`].
+    pub(crate) fn from_parts(
+        budget: f64,
+        spent: f64,
+        observations: usize,
+        violations: usize,
+    ) -> crate::Result<Self> {
+        let mut ledger = BudgetLedger::new(budget)?;
+        if spent.is_nan() || spent < 0.0 {
+            return Err(crate::OnlineError::InvalidConfig {
+                message: format!("persisted ledger spend must be non-negative, got {spent}"),
+            });
         }
+        ledger.spent = spent;
+        ledger.observations = observations;
+        ledger.violations = violations;
+        Ok(ledger)
+    }
+
+    /// Conservative rounding for unrecoverable accounting: after a torn
+    /// final WAL record the true spend of the affected user is unknowable,
+    /// and the only value that can never under-count is `+∞`.
+    pub(crate) fn force_exhaust(&mut self) {
+        self.spent = f64::INFINITY;
     }
 
     /// Total budget configured for the user.
@@ -67,9 +107,11 @@ impl BudgetLedger {
         self.violations
     }
 
-    /// Whether the budget is used up.
+    /// Whether the budget is used up: exhaustion triggers as soon as
+    /// [`BudgetLedger::remaining`] hits zero (`spent >= budget`), so a
+    /// session with exactly nothing left cannot attempt another release.
     pub fn exhausted(&self) -> bool {
-        self.spent > self.budget
+        self.spent >= self.budget
     }
 
     /// Records one observation's worst loss; `violation` marks a per-step
@@ -176,9 +218,31 @@ impl<P: TransitionProvider> Session<P> {
             id,
             posterior: pi,
             windows: Vec::new(),
-            ledger: BudgetLedger::new(budget),
+            ledger: BudgetLedger::new(budget).expect("budget validated by OnlineConfig"),
             t: 0,
         }
+    }
+
+    /// Rebuilds a session from persisted state (durable recovery).
+    pub(crate) fn from_parts(
+        id: UserId,
+        posterior: Vector,
+        windows: Vec<EventWindow<P>>,
+        ledger: BudgetLedger,
+        t: usize,
+    ) -> Self {
+        Session {
+            id,
+            posterior,
+            windows,
+            ledger,
+            t,
+        }
+    }
+
+    /// Mutable ledger access for the recovery path's conservative rounding.
+    pub(crate) fn ledger_mut(&mut self) -> &mut BudgetLedger {
+        &mut self.ledger
     }
 
     /// The user id.
@@ -306,7 +370,7 @@ mod tests {
 
     #[test]
     fn ledger_accumulates_and_exhausts() {
-        let mut l = BudgetLedger::new(1.0);
+        let mut l = BudgetLedger::new(1.0).unwrap();
         assert!(!l.exhausted());
         l.charge(0.4, false);
         l.charge(0.4, true);
@@ -317,6 +381,61 @@ mod tests {
         assert!(!l.exhausted());
         l.charge(f64::INFINITY, true);
         assert!(l.exhausted());
+        assert_eq!(l.remaining(), 0.0);
+    }
+
+    #[test]
+    fn ledger_exhausts_exactly_at_zero_remaining() {
+        // The boundary: spent == budget means remaining() == 0, and a
+        // session with nothing left must not be treated as live.
+        let mut l = BudgetLedger::new(1.0).unwrap();
+        l.charge(0.5, false);
+        assert!(!l.exhausted());
+        l.charge(0.5, false);
+        assert_eq!(l.remaining(), 0.0);
+        assert!(
+            l.exhausted(),
+            "zero remaining budget must read as exhausted"
+        );
+        // And just past it stays exhausted.
+        l.charge(1e-9, false);
+        assert!(l.exhausted());
+    }
+
+    #[test]
+    fn ledger_rejects_degenerate_budgets() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -1.0] {
+            let err = BudgetLedger::new(bad).unwrap_err();
+            assert!(
+                matches!(err, crate::OnlineError::InvalidConfig { .. }),
+                "budget {bad} must be rejected, got {err}"
+            );
+        }
+        assert!(BudgetLedger::new(0.5).is_ok());
+    }
+
+    #[test]
+    fn persisted_ledger_roundtrips_and_validates() {
+        let l = BudgetLedger::from_parts(2.0, 1.5, 7, 2).unwrap();
+        assert_eq!(l.budget(), 2.0);
+        assert_eq!(l.spent(), 1.5);
+        assert_eq!(l.observations(), 7);
+        assert_eq!(l.violations(), 2);
+        // +∞ spend (conservative torn-write rounding) survives a roundtrip.
+        let l = BudgetLedger::from_parts(2.0, f64::INFINITY, 7, 2).unwrap();
+        assert!(l.exhausted());
+        assert!(BudgetLedger::from_parts(2.0, f64::NAN, 0, 0).is_err());
+        assert!(BudgetLedger::from_parts(2.0, -0.5, 0, 0).is_err());
+        assert!(BudgetLedger::from_parts(f64::NAN, 0.0, 0, 0).is_err());
+    }
+
+    #[test]
+    fn force_exhaust_never_undercounts() {
+        let mut l = BudgetLedger::new(10.0).unwrap();
+        l.charge(0.25, false);
+        l.force_exhaust();
+        assert!(l.exhausted());
+        assert_eq!(l.spent(), f64::INFINITY);
         assert_eq!(l.remaining(), 0.0);
     }
 

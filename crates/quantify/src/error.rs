@@ -35,6 +35,12 @@ pub enum QuantifyError {
         /// 1-based timestep of the observation that killed the likelihood.
         t: usize,
     },
+    /// A persisted quantifier state failed validation on resume (wrong
+    /// mantissa length, non-finite entries, an inconsistent cursor).
+    InvalidResume {
+        /// What was wrong with the persisted state.
+        detail: String,
+    },
     /// Observations were supplied out of order or beyond the engine state.
     TimestepOutOfOrder {
         /// Timestep expected next.
@@ -78,6 +84,9 @@ impl fmt::Display for QuantifyError {
                     f,
                     "observation stream has zero likelihood under the model at timestep {t}"
                 )
+            }
+            QuantifyError::InvalidResume { detail } => {
+                write!(f, "persisted quantifier state failed validation: {detail}")
             }
             QuantifyError::TimestepOutOfOrder {
                 expected,

@@ -156,6 +156,73 @@ impl<P: TransitionProvider> IncrementalTwoWorld<P> {
         &self.alpha.vector
     }
 
+    /// The natural-log scale factor of the carried forward vector: the
+    /// represented `α_t` is [`IncrementalTwoWorld::lifted_state`] times
+    /// `e^{log_scale}`. Together with the mantissa and the cursor
+    /// [`IncrementalTwoWorld::observed`], this is the complete dynamic
+    /// state — a persistence layer can checkpoint the triple and hand it
+    /// back to [`IncrementalTwoWorld::resume`].
+    pub fn log_scale(&self) -> f64 {
+        self.alpha.log_scale
+    }
+
+    /// Rebuilds a quantifier from persisted dynamic state: the event and
+    /// provider (static configuration), the attach-time `π` (the replay
+    /// seed), and the checkpointed forward vector `(mantissa, log_scale)`
+    /// at cursor `t`. The static precomputation (suffix vectors, prior) is
+    /// re-derived from scratch, so a resumed quantifier is bit-identical to
+    /// one that observed the same stream live.
+    ///
+    /// # Errors
+    /// Construction errors from [`IncrementalTwoWorld::new`];
+    /// [`QuantifyError::InvalidResume`] when the mantissa has the wrong
+    /// length, carries negative or non-finite entries, is identically zero
+    /// past the first observation, or the scale is non-finite.
+    pub fn resume(
+        event: StEvent,
+        provider: P,
+        pi: Vector,
+        mantissa: Vector,
+        log_scale: f64,
+        t: usize,
+    ) -> Result<Self> {
+        let mut state = Self::new(event, provider, pi)?;
+        if mantissa.len() != 2 * state.num_states() {
+            return Err(QuantifyError::InvalidResume {
+                detail: format!(
+                    "lifted mantissa has length {}, expected {}",
+                    mantissa.len(),
+                    2 * state.num_states()
+                ),
+            });
+        }
+        if mantissa
+            .as_slice()
+            .iter()
+            .any(|&x| x < 0.0 || !x.is_finite())
+        {
+            return Err(QuantifyError::InvalidResume {
+                detail: "lifted mantissa carries negative or non-finite entries".into(),
+            });
+        }
+        if t > 0 && mantissa.sum() <= 0.0 {
+            return Err(QuantifyError::InvalidResume {
+                detail: format!("lifted mantissa vanished at cursor {t}"),
+            });
+        }
+        if !log_scale.is_finite() {
+            return Err(QuantifyError::InvalidResume {
+                detail: format!("non-finite log scale {log_scale}"),
+            });
+        }
+        state.alpha = ScaledVector {
+            vector: mantissa,
+            log_scale,
+        };
+        state.t = t;
+        Ok(state)
+    }
+
     /// Index of the lifted step that must be applied before the *next*
     /// observation (`step_at(t)` of the engine schedule), or `None` for the
     /// very first observation, which is emission-weighting only.
@@ -488,6 +555,80 @@ mod tests {
             inc.peek(&Vector::from(vec![0.5, -0.1, 0.6])),
             Err(QuantifyError::InvalidEmission { .. })
         ));
+    }
+
+    #[test]
+    fn resume_restores_bit_identical_state() {
+        let pi = Vector::from(vec![0.5, 0.3, 0.2]);
+        let mut live = IncrementalTwoWorld::new(presence_event(), chain(), pi.clone()).unwrap();
+        let cols = [
+            Vector::from(vec![0.7, 0.2, 0.1]),
+            Vector::from(vec![0.1, 0.8, 0.1]),
+            Vector::from(vec![0.3, 0.3, 0.4]),
+        ];
+        for col in &cols {
+            live.observe(col).unwrap();
+        }
+        let mut resumed = IncrementalTwoWorld::resume(
+            presence_event(),
+            chain(),
+            pi,
+            live.lifted_state().clone(),
+            live.log_scale(),
+            live.observed(),
+        )
+        .unwrap();
+        assert_eq!(resumed.observed(), 3);
+        assert_eq!(resumed.lifted_state(), live.lifted_state());
+        assert_eq!(resumed.log_scale(), live.log_scale());
+        // Continuing the stream from the resumed state matches the live one
+        // exactly (same bits, not just same values).
+        let next = Vector::from(vec![0.25, 0.5, 0.25]);
+        assert_eq!(
+            live.observe(&next).unwrap(),
+            resumed.observe(&next).unwrap()
+        );
+    }
+
+    #[test]
+    fn resume_rejects_malformed_state() {
+        let pi = Vector::uniform(3);
+        let bad_len = IncrementalTwoWorld::resume(
+            presence_event(),
+            chain(),
+            pi.clone(),
+            Vector::uniform(3),
+            0.0,
+            1,
+        );
+        assert!(matches!(bad_len, Err(QuantifyError::InvalidResume { .. })));
+        let bad_entries = IncrementalTwoWorld::resume(
+            presence_event(),
+            chain(),
+            pi.clone(),
+            Vector::from(vec![0.1, f64::NAN, 0.1, 0.1, 0.1, 0.1]),
+            0.0,
+            1,
+        );
+        assert!(matches!(
+            bad_entries,
+            Err(QuantifyError::InvalidResume { .. })
+        ));
+        let bad_scale = IncrementalTwoWorld::resume(
+            presence_event(),
+            chain(),
+            pi.clone(),
+            Vector::uniform(6),
+            f64::INFINITY,
+            1,
+        );
+        assert!(matches!(
+            bad_scale,
+            Err(QuantifyError::InvalidResume { .. })
+        ));
+        let vanished =
+            IncrementalTwoWorld::resume(presence_event(), chain(), pi, Vector::zeros(6), 0.0, 2);
+        assert!(matches!(vanished, Err(QuantifyError::InvalidResume { .. })));
     }
 
     #[test]

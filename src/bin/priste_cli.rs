@@ -12,7 +12,10 @@
 //!                      [--event SPEC] [--epsilon F] [--alpha F] [--side N]
 //!                      [--sigma F] [--shards N] [--linger N] [--budget F]
 //!                      [--mode audit|enforce] [--floor F] [--backoff F]
-//!                      [--threads N] [--seed N]
+//!                      [--threads N] [--durable-dir PATH] [--seed N]
+//! priste-cli recover   --durable-dir PATH [--kind synthetic|commuter]
+//!                      [--event SPEC] [--epsilon F] [--alpha F] [--side N]
+//!                      [--sigma F] [--shards N] [--linger N] [--budget F] [--seed N]
 //! priste-cli calibrate [--kind synthetic|commuter] [--event SPEC] [--target F]
 //!                      [--alpha F] [--side N] [--sigma F] [--horizon N]
 //!                      [--planner uniform|greedy|knapsack]
@@ -32,6 +35,14 @@
 //!   (default) every plain α-PLM release is ingested and verdicted; in
 //!   `enforce` mode the service holds the mechanism and the calibration
 //!   guard certifies (or suppresses) each release *before* it ships.
+//!   `--durable-dir` makes the service durable: session state (ledgers
+//!   included) is journaled to the directory, and re-running the command
+//!   over the same directory *continues* the recovered sessions instead of
+//!   resetting their spend.
+//! * `recover` — read-only inspection of a durable directory: rebuild the
+//!   state from snapshot + WAL replay (rebuilding the scenario from the
+//!   same flags `stream` was given) and print every user's ledger without
+//!   journaling anything.
 //! * `calibrate` — the `priste-calibrate` planners and guard: print the
 //!   chosen planner's per-timestep budget plan (`--planner`: the
 //!   uniform-split baseline, the greedy-forward search, or the
@@ -92,7 +103,10 @@ const USAGE: &str = "usage:
                        [--epsilon F] [--alpha F] [--side N] [--sigma F]
                        [--shards N] [--linger N] [--budget F]
                        [--mode audit|enforce] [--floor F] [--backoff F]
-                       [--threads N] [--seed N]
+                       [--threads N] [--durable-dir PATH] [--seed N]
+  priste-cli recover   --durable-dir PATH [--kind synthetic|commuter] [--event SPEC]
+                       [--epsilon F] [--alpha F] [--side N] [--sigma F]
+                       [--shards N] [--linger N] [--budget F] [--seed N]
   priste-cli calibrate [--kind synthetic|commuter] [--event SPEC] [--target F]
                        [--alpha F] [--side N] [--sigma F] [--horizon N]
                        [--planner uniform|greedy|knapsack]
@@ -126,8 +140,38 @@ const CHECK_FLAGS: &[&str] = &[
     "event", "epsilon", "alpha", "side", "sigma", "steps", "seed",
 ];
 const STREAM_FLAGS: &[&str] = &[
-    "users", "steps", "kind", "event", "epsilon", "alpha", "side", "sigma", "shards", "linger",
-    "budget", "mode", "floor", "backoff", "threads", "seed",
+    "users",
+    "steps",
+    "kind",
+    "event",
+    "epsilon",
+    "alpha",
+    "side",
+    "sigma",
+    "shards",
+    "linger",
+    "budget",
+    "mode",
+    "floor",
+    "backoff",
+    "threads",
+    "durable-dir",
+    "seed",
+];
+const RECOVER_FLAGS: &[&str] = &[
+    "durable-dir",
+    "kind",
+    "event",
+    "epsilon",
+    "alpha",
+    "side",
+    "sigma",
+    "shards",
+    "linger",
+    "budget",
+    "floor",
+    "backoff",
+    "seed",
 ];
 const CALIBRATE_FLAGS: &[&str] = &[
     "kind", "event", "target", "alpha", "side", "sigma", "horizon", "steps", "floor", "backoff",
@@ -212,6 +256,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "quantify" => cmd_quantify(&Flags::parse(rest, QUANTIFY_FLAGS, "quantify")?),
         "check" => cmd_check(&Flags::parse(rest, CHECK_FLAGS, "check")?),
         "stream" => cmd_stream(&Flags::parse(rest, STREAM_FLAGS, "stream")?),
+        "recover" => cmd_recover(&Flags::parse(rest, RECOVER_FLAGS, "recover")?),
         "calibrate" => cmd_calibrate(&Flags::parse(rest, CALIBRATE_FLAGS, "calibrate")?),
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
@@ -444,37 +489,19 @@ fn cmd_check(flags: &Flags) -> Result<(), CliError> {
     Ok(())
 }
 
-/// The `priste-online` streaming service over a simulated N-user feed.
-fn cmd_stream(flags: &Flags) -> Result<(), CliError> {
-    let users = flags.usize_or("users", 100)?;
-    let steps = flags.usize_or("steps", 24)?;
-    if users == 0 || steps == 0 {
-        return Err(CliError::Usage(
-            "--users and --steps must be at least 1".into(),
-        ));
-    }
-    let seed = flags.u64_or("seed", 1)?;
-    let alpha = flags.f64_or("alpha", 0.5)?;
-    let mode = flags.str_or("mode", "audit");
-    if !matches!(mode, "audit" | "enforce") {
-        return Err(CliError::Usage(format!(
-            "--mode must be audit or enforce, got {mode:?}"
-        )));
-    }
-
-    // World: a synthetic Gaussian-kernel grid or the commuter simulator.
+/// The shared `stream`/`recover` scenario pipeline: both subcommands must
+/// describe the *same* world, event, and service configuration — the
+/// durable store fingerprints the scenario and refuses to recover state
+/// journaled under a different one.
+fn stream_pipeline(flags: &Flags) -> Result<Pipeline, CliError> {
     let (grid, chain) = kind_world(flags, 10)?;
     let m = grid.num_cells();
     let default_event = format!("PRESENCE(S={{1:{}}}, T={{2:4}})", (m / 4).max(1));
     let event = parse_event(flags.str_or("event", &default_event), m).map_err(usage)?;
-
-    // One pipeline describes the whole scenario; `stream` derives the
-    // service (plain or enforcing) from it.
-    let threads = flags.usize_or("threads", 1)?;
-    let pipeline = Pipeline::on(grid)
-        .mobility(chain.clone())
+    let mut builder = Pipeline::on(grid)
+        .mobility(chain)
         .event(event)
-        .planar_laplace(alpha)
+        .planar_laplace(flags.f64_or("alpha", 0.5)?)
         .target_epsilon(flags.f64_or("epsilon", 1.0)?)
         .service_config(OnlineConfig {
             num_shards: flags.usize_or("shards", 8)?,
@@ -486,26 +513,64 @@ fn cmd_stream(flags: &Flags) -> Result<(), CliError> {
             backoff: flags.f64_or("backoff", 0.5)?,
             floor: flags.f64_or("floor", 1e-3)?,
             ..GuardConfig::default()
-        })
-        .build()
-        .map_err(usage)?;
+        });
+    if let Some(dir) = flags.0.get("durable-dir") {
+        builder = builder.durable(dir);
+    }
+    builder.build().map_err(usage)
+}
+
+/// The `priste-online` streaming service over a simulated N-user feed.
+fn cmd_stream(flags: &Flags) -> Result<(), CliError> {
+    let users = flags.usize_or("users", 100)?;
+    let steps = flags.usize_or("steps", 24)?;
+    if users == 0 || steps == 0 {
+        return Err(CliError::Usage(
+            "--users and --steps must be at least 1".into(),
+        ));
+    }
+    let seed = flags.u64_or("seed", 1)?;
+    let mode = flags.str_or("mode", "audit");
+    if !matches!(mode, "audit" | "enforce") {
+        return Err(CliError::Usage(format!(
+            "--mode must be audit or enforce, got {mode:?}"
+        )));
+    }
+
+    // One pipeline describes the whole scenario; `stream` derives the
+    // service (plain or enforcing) from it.
+    let threads = flags.usize_or("threads", 1)?;
+    let pipeline = stream_pipeline(flags)?;
+    let m = pipeline.num_cells();
+    let chain = pipeline.chain().expect("mobility set above").clone();
     let mut service = if mode == "enforce" {
         pipeline.serve_enforcing().map_err(usage)?
     } else {
         pipeline.serve().map_err(usage)?
     };
+    if let Some(dir) = service.durable_dir() {
+        eprintln!(
+            "durable: journaling to {} ({} recovered users)",
+            dir.display(),
+            service.num_users()
+        );
+    }
 
     // Users: seeded trajectories from the world's own mobility model; one
     // protected event window each (template 0, pre-registered by the
-    // pipeline), released through a shared α-PLM.
+    // pipeline), released through a shared α-PLM. Users recovered from a
+    // durable directory keep their sessions (ledger spend included) —
+    // only genuinely new ids are registered.
     let mut rng = StdRng::seed_from_u64(seed);
     let plm = pipeline.mechanism_instance().map_err(usage)?;
     let mut trajectories = Vec::with_capacity(users);
     for u in 0..users as u64 {
-        service
-            .add_user(UserId(u), Vector::uniform(m))
-            .map_err(runtime)?;
-        service.attach_event(UserId(u), 0).map_err(runtime)?;
+        if service.session(UserId(u)).is_none() {
+            service
+                .add_user(UserId(u), Vector::uniform(m))
+                .map_err(runtime)?;
+            service.attach_event(UserId(u), 0).map_err(runtime)?;
+        }
         trajectories.push(
             chain
                 .sample_trajectory_from(&Vector::uniform(m), steps, &mut rng)
@@ -548,6 +613,11 @@ fn cmd_stream(flags: &Flags) -> Result<(), CliError> {
         }
     }
     let elapsed = started.elapsed();
+    if service.durable_dir().is_some() {
+        // Clean shutdown: compact the WAL into a snapshot generation so
+        // the next open recovers without replay.
+        service.checkpoint().map_err(runtime)?;
+    }
 
     println!("user,observations,worst_loss,violations,budget_remaining,exhausted");
     for u in 0..users as u64 {
@@ -620,6 +690,9 @@ fn run_stream_enforcing(
         }
     }
     let elapsed = started.elapsed();
+    if service.durable_dir().is_some() {
+        service.checkpoint().map_err(runtime)?;
+    }
 
     println!("user,observations,worst_loss,suppressed,budget_remaining,exhausted");
     for u in 0..users as u64 {
@@ -650,6 +723,44 @@ fn run_stream_enforcing(
         elapsed.as_secs_f64(),
         stats.observations as f64 / elapsed.as_secs_f64().max(1e-9),
     );
+    Ok(())
+}
+
+/// Read-only inspection of a durable service directory: recover the state
+/// (latest valid snapshot + WAL-tail replay) without attaching a store,
+/// and print every user's ledger. Running it twice over the same directory
+/// prints the same digest — recovery is byte-deterministic.
+fn cmd_recover(flags: &Flags) -> Result<(), CliError> {
+    flags.required("durable-dir")?;
+    let pipeline = stream_pipeline(flags)?;
+    let service = pipeline.recover_service().map_err(runtime)?;
+
+    println!("user,observations,spent,budget_remaining,exhausted,violations,active_windows");
+    for id in service.users() {
+        let session = service.session(id).expect("listed above");
+        let ledger = session.ledger();
+        println!(
+            "{},{},{:.6},{:.4},{},{},{}",
+            id.0,
+            session.observed(),
+            ledger.spent(),
+            ledger.remaining(),
+            ledger.exhausted(),
+            ledger.violations(),
+            session.active_windows()
+        );
+    }
+    let stats = service.stats();
+    println!(
+        "total,{} users,{} observations,{} certified,{} violated,{} suppressed,{} evicted",
+        service.num_users(),
+        stats.observations,
+        stats.certified,
+        stats.violated,
+        stats.suppressed,
+        stats.evicted_windows
+    );
+    println!("state digest: {:016x}", service.state_digest());
     Ok(())
 }
 
@@ -808,6 +919,7 @@ mod tests {
             "quantify" => QUANTIFY_FLAGS,
             "check" => CHECK_FLAGS,
             "stream" => STREAM_FLAGS,
+            "recover" => RECOVER_FLAGS,
             "calibrate" => CALIBRATE_FLAGS,
             other => panic!("unknown command {other}"),
         };
@@ -925,6 +1037,43 @@ mod tests {
         )
         .unwrap();
         cmd_stream(&f).unwrap();
+    }
+
+    #[test]
+    fn stream_durable_then_recover_roundtrip() {
+        let dir = std::env::temp_dir().join(format!(
+            "priste-cli-durable-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_str().unwrap();
+        let base = [
+            "--users",
+            "3",
+            "--steps",
+            "4",
+            "--side",
+            "4",
+            "--seed",
+            "9",
+            "--durable-dir",
+            dir_s,
+        ];
+        let f = flags("stream", &base).unwrap();
+        cmd_stream(&f).unwrap();
+        // A second run over the same directory recovers the sessions and
+        // continues them instead of re-registering.
+        cmd_stream(&f).unwrap();
+        let f = flags("recover", &["--side", "4", "--durable-dir", dir_s]).unwrap();
+        cmd_recover(&f).unwrap();
+        // A different scenario (grid side) fingerprints differently.
+        let f = flags("recover", &["--side", "5", "--durable-dir", dir_s]).unwrap();
+        assert!(matches!(cmd_recover(&f), Err(CliError::Runtime(_))));
+        // The directory flag is mandatory.
+        let f = flags("recover", &["--side", "4"]).unwrap();
+        assert!(matches!(cmd_recover(&f), Err(CliError::Usage(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

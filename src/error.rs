@@ -37,6 +37,11 @@ pub enum PristeError {
     Core(priste_core::CoreError),
     /// The streaming multi-user service.
     Online(priste_online::OnlineError),
+    /// The durable session store (journaling, checkpointing, recovery).
+    /// Durable errors raised *inside* a service call arrive wrapped as
+    /// [`PristeError::Online`]; this variant is for facade APIs that talk
+    /// to the store directly.
+    Durable(priste_online::DurableError),
     /// The pipeline builder itself: a mode was requested that the
     /// accumulated configuration cannot support (missing mobility model,
     /// missing mechanism, no events, …).
@@ -68,6 +73,7 @@ impl fmt::Display for PristeError {
             PristeError::Data(e) => write!(f, "data error: {e}"),
             PristeError::Core(e) => write!(f, "framework error: {e}"),
             PristeError::Online(e) => write!(f, "streaming-service error: {e}"),
+            PristeError::Durable(e) => write!(f, "durable-store error: {e}"),
             PristeError::Pipeline { message } => write!(f, "pipeline error: {message}"),
         }
     }
@@ -86,6 +92,7 @@ impl std::error::Error for PristeError {
             PristeError::Data(e) => Some(e),
             PristeError::Core(e) => Some(e),
             PristeError::Online(e) => Some(e),
+            PristeError::Durable(e) => Some(e),
             PristeError::Pipeline { .. } => None,
         }
     }
@@ -111,6 +118,7 @@ wrap!(Calibrate, priste_calibrate::CalibrateError);
 wrap!(Data, priste_data::DataError);
 wrap!(Core, priste_core::CoreError);
 wrap!(Online, priste_online::OnlineError);
+wrap!(Durable, priste_online::DurableError);
 
 /// Convenience result alias for facade-level APIs.
 pub type Result<T> = std::result::Result<T, PristeError>;
@@ -139,6 +147,10 @@ mod tests {
             .into(),
             priste_core::CoreError::NoEvents.into(),
             priste_online::OnlineError::NotEnforcing.into(),
+            priste_online::DurableError::NoSnapshot {
+                dir: std::path::PathBuf::from("/tmp/d"),
+            }
+            .into(),
         ];
         for e in &cases {
             assert!(!e.to_string().is_empty());

@@ -137,8 +137,8 @@ pub mod prelude {
         TimeVarying, TransitionProvider,
     };
     pub use priste_online::{
-        EnforcedRelease, OnlineConfig, OnlineError, ServiceStats, SessionManager, UserId,
-        UserReport, Verdict, WindowReport,
+        DurableError, DurableOptions, EnforcedRelease, OnlineConfig, OnlineError, ServiceStats,
+        SessionManager, UserId, UserReport, Verdict, WindowReport,
     };
     pub use priste_qp::{ConstraintSet, SolverConfig, TheoremChecker, TheoremVerdict};
     pub use priste_quantify::{

@@ -52,9 +52,10 @@ use priste_geo::GridMap;
 use priste_linalg::Vector;
 use priste_lppm::{Lppm, PlanarLaplace};
 use priste_markov::{Homogeneous, MarkovModel, TimeVarying, TransitionProvider};
-use priste_online::{OnlineConfig, SessionManager};
+use priste_online::{DurableOptions, OnlineConfig, SessionManager};
 use priste_qp::TheoremChecker;
 use priste_quantify::{attack::BayesianAdversary, IncrementalTwoWorld, TheoremBuilder};
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// The pipeline's canonical mobility handle: one model, shared by every
@@ -128,6 +129,8 @@ pub struct PipelineBuilder {
     service_config: Option<OnlineConfig>,
     guard_config: Option<GuardConfig>,
     planner_config: Option<PlannerConfig>,
+    durable_dir: Option<PathBuf>,
+    durable_options: DurableOptions,
     deferred: Option<PristeError>,
 }
 
@@ -245,6 +248,24 @@ impl PipelineBuilder {
         self
     }
 
+    /// Makes every service derived by [`Pipeline::serve`] /
+    /// [`Pipeline::serve_enforcing`] **durable**: session state is
+    /// journaled to `dir` (snapshot + per-shard WAL) and a service opened
+    /// over a directory that already holds state recovers it instead of
+    /// starting from zero spend. See the `priste_online::durable` module
+    /// docs for the file layout and recovery guarantees.
+    pub fn durable(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.durable_dir = Some(dir.into());
+        self
+    }
+
+    /// Advanced durability knobs (fsync policy, snapshot compaction
+    /// cadence) for [`PipelineBuilder::durable`].
+    pub fn durable_options(mut self, opts: DurableOptions) -> Self {
+        self.durable_options = opts;
+        self
+    }
+
     /// Validates the accumulated configuration into an immutable,
     /// shareable [`Pipeline`].
     ///
@@ -336,6 +357,8 @@ impl PipelineBuilder {
             service_config,
             guard_config,
             planner_config,
+            durable_dir: self.durable_dir,
+            durable_options: self.durable_options,
         })
     }
 
@@ -390,6 +413,8 @@ pub struct Pipeline {
     service_config: OnlineConfig,
     guard_config: GuardConfig,
     planner_config: PlannerConfig,
+    durable_dir: Option<PathBuf>,
+    durable_options: DurableOptions,
 }
 
 impl std::fmt::Debug for PipelineBuilder {
@@ -433,6 +458,8 @@ impl Pipeline {
             service_config: None,
             guard_config: None,
             planner_config: None,
+            durable_dir: None,
+            durable_options: DurableOptions::default(),
             deferred: None,
         }
     }
@@ -541,14 +568,54 @@ impl Pipeline {
     /// pipeline's mobility model, with every pipeline event pre-registered
     /// as an attachable template (in [`Pipeline::events`] order).
     ///
+    /// With [`PipelineBuilder::durable`] configured, the service opens over
+    /// the durable directory: existing state (spent budget included) is
+    /// recovered, a fresh directory starts empty, and every committed
+    /// mutation is journaled from then on.
+    ///
     /// # Errors
-    /// Service-configuration and template-registration failures.
+    /// Service-configuration and template-registration failures; durable
+    /// recovery or I/O failures when a durable directory is configured.
     pub fn serve(&self) -> Result<SessionManager<SharedProvider>> {
+        if let Some(dir) = &self.durable_dir {
+            return Ok(SessionManager::open_durable(
+                self.provider(),
+                self.service_config.clone(),
+                self.events.clone(),
+                dir,
+                self.durable_options,
+            )?);
+        }
         let mut service = SessionManager::new(self.provider(), self.service_config.clone())?;
         for event in &self.events {
             service.register_template(event.clone())?;
         }
         Ok(service)
+    }
+
+    /// Read-only recovery of the durable service state: rebuilds a
+    /// [`SessionManager`] from the snapshot + WAL in the pipeline's durable
+    /// directory *without* attaching a store, so inspecting state (e.g. the
+    /// `priste recover` subcommand) neither journals nor checkpoints.
+    /// Recovering twice from the same directory yields byte-identical
+    /// state ([`SessionManager::state_digest`]).
+    ///
+    /// # Errors
+    /// [`PristeError::Pipeline`] when no durable directory was configured;
+    /// [`PristeError::Online`] wrapping the durable failure otherwise
+    /// (missing snapshot, fingerprint mismatch, corruption).
+    pub fn recover_service(&self) -> Result<SessionManager<SharedProvider>> {
+        let dir = self.durable_dir.as_ref().ok_or_else(|| {
+            PristeError::pipeline(
+                "recovery needs a durable directory: call .durable(dir) on the builder",
+            )
+        })?;
+        Ok(SessionManager::recover(
+            self.provider(),
+            self.service_config.clone(),
+            self.events.clone(),
+            dir,
+        )?)
     }
 
     /// Derives the **enforcing streaming service**: [`Pipeline::serve`]
@@ -872,6 +939,55 @@ mod tests {
             .unwrap();
         let err = pipeline.audit().unwrap_err();
         assert!(err.to_string().contains("chain"), "{err}");
+    }
+
+    #[test]
+    fn durable_pipeline_recovers_spent_budget() {
+        let dir = std::env::temp_dir().join(format!(
+            "priste-pipeline-durable-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (grid, chain) = small();
+        let build = || {
+            Pipeline::on(grid.clone())
+                .mobility(chain.clone())
+                .event_spec("PRESENCE(S={1:3}, T={2:3})")
+                .planar_laplace(0.8)
+                .durable(&dir)
+                .build()
+                .unwrap()
+        };
+        let pipeline = build();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut svc = pipeline.serve_enforcing().unwrap();
+        let user = priste_online::UserId(1);
+        svc.add_user(user, Vector::uniform(9)).unwrap();
+        svc.attach_event(user, 0).unwrap();
+        for _ in 0..3 {
+            svc.release(user, CellId(4), &mut rng).unwrap();
+        }
+        let spent = svc.session(user).unwrap().ledger().spent();
+        assert!(spent > 0.0);
+        let digest = svc.state_digest();
+        drop(svc); // crash: no shutdown checkpoint, only the WAL survives
+
+        // A fresh serve over the same directory recovers the spend...
+        let reopened = build().serve_enforcing().unwrap();
+        assert_eq!(reopened.session(user).unwrap().ledger().spent(), spent);
+        assert_eq!(reopened.state_digest(), digest);
+        // ...and a read-only recover sees the same bytes.
+        let recovered = pipeline.recover_service().unwrap();
+        assert_eq!(recovered.state_digest(), digest);
+        assert!(recovered.durable_dir().is_none(), "recovery is read-only");
+
+        let err = match built(1.0).recover_service() {
+            Ok(_) => panic!("recover without .durable(dir) must fail"),
+            Err(e) => e,
+        };
+        assert!(err.to_string().contains("durable"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

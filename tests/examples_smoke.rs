@@ -313,6 +313,64 @@ fn cli_calibrate_unknown_planner_exits_2() {
     assert!(stderr.contains("usage:"), "no usage in: {stderr}");
 }
 
+/// `stream --durable-dir` journals to the directory; a separate `recover`
+/// invocation — a different process, i.e. a real restart — reads the same
+/// state back and prints a deterministic digest.
+#[test]
+fn cli_stream_durable_recover_is_deterministic_across_processes() {
+    let dir = std::env::temp_dir().join(format!("priste-smoke-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_str().unwrap();
+    let (ok, _stdout, stderr) = run_cli(&[
+        "stream",
+        "--users",
+        "4",
+        "--steps",
+        "4",
+        "--side",
+        "4",
+        "--seed",
+        "9",
+        "--durable-dir",
+        dir_s,
+    ]);
+    assert!(ok, "durable stream failed: {stderr}");
+    assert!(stderr.contains("durable: journaling"), "{stderr}");
+
+    let recover = |args: &[&str]| run_cli(args);
+    let (ok, first, stderr) = recover(&["recover", "--side", "4", "--durable-dir", dir_s]);
+    assert!(ok, "recover failed: {stderr}");
+    assert!(first.contains("state digest:"), "{first}");
+    let (ok, second, _) = recover(&["recover", "--side", "4", "--durable-dir", dir_s]);
+    assert!(ok);
+    assert_eq!(first, second, "recovery must be byte-deterministic");
+
+    // A mismatched scenario is refused (exit 1, fingerprint named).
+    let (code, _stdout, stderr) = run_cli_code(&["recover", "--side", "5", "--durable-dir", dir_s]);
+    assert_eq!(code, Some(1), "fingerprint mismatch must exit 1: {stderr}");
+    assert!(stderr.contains("fingerprint"), "{stderr}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// `examples/durable_service.rs` — the crash-and-recover walkthrough —
+/// must run to completion and report an identical post-recovery digest.
+#[test]
+fn durable_service_example_runs_to_completion() {
+    let out = Command::new(env!("CARGO"))
+        .args(["run", "--quiet", "--example", "durable_service"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("spawn cargo run --example durable_service");
+    assert!(
+        out.status.success(),
+        "durable_service failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("identical"), "{stdout}");
+    assert!(stdout.contains("forgot nothing"), "{stdout}");
+}
+
 /// `examples/quickstart.rs` (seeded with `StdRng::seed_from_u64(42)`) must
 /// run to completion. Spawned through the same cargo that is running the
 /// tests; the dev-profile example artifact is already built, so this is a
