@@ -30,6 +30,7 @@ use priste_geo::CellId;
 use priste_linalg::Vector;
 use priste_lppm::Lppm;
 use priste_markov::TransitionProvider;
+use priste_obs::{Counter, Histogram, Registry};
 use priste_quantify::{IncrementalTwoWorld, QuantifyError};
 use rand::RngCore;
 use std::collections::BTreeMap;
@@ -336,6 +337,86 @@ pub struct GuardOutcome {
     pub column: Vector,
 }
 
+/// Observability handles for one guard instance — the privacy-vs-utility
+/// signals an operator watches: releases vs suppressions vs floor
+/// releases, the per-release location budget actually spent, and how deep
+/// the backoff ladder had to walk.
+///
+/// All handles are cheap clonable atomics (`priste-obs`), so recording is
+/// safe from the parallel batched release path. The
+/// [`GuardInstruments::disabled`] default costs a few atomic loads per
+/// release and never allocates.
+#[derive(Debug, Clone)]
+pub struct GuardInstruments {
+    /// Certified releases (`guard_releases_total`).
+    pub releases: Counter,
+    /// Withheld releases — flat column committed
+    /// (`guard_suppressions_total`).
+    pub suppressions: Counter,
+    /// Uncertified floor-budget releases under
+    /// [`OnExhaustion::ReleaseAtFloor`] (`guard_floor_releases_total`).
+    pub floor_releases: Counter,
+    /// Location budget of each released candidate — the per-release ε
+    /// spend (`guard_epsilon_spent`).
+    pub epsilon_spent: Histogram,
+    /// Backoff attempts evaluated per release (`guard_backoff_depth`).
+    pub backoff_depth: Histogram,
+}
+
+impl GuardInstruments {
+    /// Inert handles: recording is a few atomic loads, no allocation.
+    pub fn disabled() -> Self {
+        GuardInstruments {
+            releases: Counter::disabled(),
+            suppressions: Counter::disabled(),
+            floor_releases: Counter::disabled(),
+            epsilon_spent: Histogram::disabled(),
+            backoff_depth: Histogram::disabled(),
+        }
+    }
+
+    /// Handles registered in `registry` under the `guard_*` names above.
+    pub fn from_registry(registry: &Registry) -> Self {
+        GuardInstruments {
+            releases: registry.counter("guard_releases_total"),
+            suppressions: registry.counter("guard_suppressions_total"),
+            floor_releases: registry.counter("guard_floor_releases_total"),
+            epsilon_spent: registry.histogram("guard_epsilon_spent"),
+            backoff_depth: registry.histogram("guard_backoff_depth"),
+        }
+    }
+
+    /// Records one guard verdict.
+    pub fn record(&self, outcome: &GuardOutcome) {
+        match &outcome.decision {
+            Decision::Released {
+                budget,
+                certified: true,
+                ..
+            } => {
+                self.releases.inc();
+                self.epsilon_spent.observe(*budget);
+            }
+            Decision::Released {
+                budget,
+                certified: false,
+                ..
+            } => {
+                self.floor_releases.inc();
+                self.epsilon_spent.observe(*budget);
+            }
+            Decision::Suppressed => self.suppressions.inc(),
+        }
+        self.backoff_depth.observe(outcome.attempts.len() as f64);
+    }
+}
+
+impl Default for GuardInstruments {
+    fn default() -> Self {
+        GuardInstruments::disabled()
+    }
+}
+
 /// Runs one release through the backoff loop. `worst_loss` evaluates a
 /// candidate emission column against the caller's protected events and
 /// returns the worst *cumulative* realized loss were it committed
@@ -480,7 +561,12 @@ pub struct CalibratedMechanism<P> {
     config: GuardConfig,
     worlds: Vec<IncrementalTwoWorld<P>>,
     t: usize,
-    suppressed: usize,
+    /// Always-on suppression counter — the single source of truth behind
+    /// [`CalibratedMechanism::suppressed`] and, once
+    /// [`CalibratedMechanism::observe_into`] has run, the registry's
+    /// `guard_suppressions_total`.
+    suppressed: Counter,
+    instruments: GuardInstruments,
 }
 
 impl<P: TransitionProvider + Clone> CalibratedMechanism<P> {
@@ -505,13 +591,31 @@ impl<P: TransitionProvider + Clone> CalibratedMechanism<P> {
             .iter()
             .map(|ev| IncrementalTwoWorld::new(ev.clone(), provider.clone(), pi.clone()))
             .collect::<std::result::Result<Vec<_>, _>>()?;
+        // Suppression is a service-semantics count (the `suppressed()`
+        // accessor), not optional telemetry: it always counts, even while
+        // the rest of the instruments are inert.
+        let suppressed = Counter::new();
+        let mut instruments = GuardInstruments::disabled();
+        instruments.suppressions = suppressed.clone();
         Ok(CalibratedMechanism {
             cache: MechanismCache::new(lppm),
             config,
             worlds,
             t: 0,
-            suppressed: 0,
+            suppressed,
+            instruments,
         })
+    }
+
+    /// Attaches observability: registers the `guard_*` instruments in
+    /// `registry` (see [`GuardInstruments::from_registry`]) and adopts the
+    /// always-on suppression counter — its pre-attach count is preserved
+    /// in the exported snapshot.
+    pub fn observe_into(&mut self, registry: &Registry) {
+        let mut instruments = GuardInstruments::from_registry(registry);
+        registry.adopt_counter("guard_suppressions_total", &self.suppressed);
+        instruments.suppressions = self.suppressed.clone();
+        self.instruments = instruments;
     }
 
     /// The guard configuration.
@@ -530,8 +634,13 @@ impl<P: TransitionProvider + Clone> CalibratedMechanism<P> {
     }
 
     /// Releases suppressed so far.
+    ///
+    /// Thin shim kept for compatibility: the count now lives in a metrics
+    /// counter (`guard_suppressions_total` after
+    /// [`CalibratedMechanism::observe_into`]). Prefer reading it from the
+    /// registry snapshot in new code.
     pub fn suppressed(&self) -> usize {
-        self.suppressed
+        self.suppressed.get() as usize
     }
 
     /// The per-event incremental quantifiers (attach order).
@@ -559,9 +668,10 @@ impl<P: TransitionProvider + Clone> CalibratedMechanism<P> {
             loss = loss.max(world.observe(&outcome.column)?.privacy_loss);
         }
         self.t += 1;
-        if outcome.decision == Decision::Suppressed {
-            self.suppressed += 1;
-        }
+        // One record call covers releases/suppressions/floor releases,
+        // ε spend, and ladder depth; the suppression counter inside is
+        // always-on, the rest follow the attached registry.
+        self.instruments.record(&outcome);
         Ok(CalibratedRelease {
             t: self.t,
             decision: outcome.decision,

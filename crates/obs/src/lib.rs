@@ -1,0 +1,62 @@
+//! `priste-obs` — dependency-free observability for the PriSTE stack.
+//!
+//! The workspace's north star is a long-running privacy service, and a
+//! long-running service needs operational signals: throughput, suppression
+//! rate, per-release ε spend, WAL fsync latency, recovery time. This crate
+//! provides the substrate without pulling a single external dependency:
+//!
+//! * [`Registry`] — a sharded, lock-light metric registry handing out
+//!   cheap clonable handles: [`Counter`] (atomic `u64`), [`Gauge`]
+//!   (atomic `f64` bits), and [`Histogram`] (64 log₂-bucketed atomic
+//!   buckets with exact count/sum and p50/p90/p99 estimation).
+//! * [`Timer`] and [`Span`] — scoped timers that record wall time into a
+//!   histogram on drop; spans additionally emit a structured event to an
+//!   optional [`EventSink`] ([`MemorySink`] for test assertions,
+//!   [`StderrSink`] for `--trace` CLI output).
+//! * Exporters — [`Registry::render_prometheus`] (text exposition format,
+//!   ready for a future `priste-serve` `/metrics` endpoint) and
+//!   [`Registry::render_json`] (machine-readable snapshot for
+//!   `stream --metrics-json` and the bench regression gate).
+//! * [`json`] — a minimal recursive-descent JSON value parser so tests and
+//!   `bench_export --compare` can read the artifacts back without serde.
+//!
+//! # Cost model
+//!
+//! Handles are designed so a *disabled* instrument costs a few atomic
+//! loads and performs **no allocation** on the record path: `inc`,
+//! `observe`, and `Timer::start` check a shared [`AtomicBool`] first and
+//! return immediately. `Instant::now()` is never called while disabled.
+//! Handle *creation* (name lookup) may allocate — create handles once and
+//! keep them, as every instrumented PriSTE layer does.
+//!
+//! ```
+//! use priste_obs::{Registry, Timer};
+//!
+//! let registry = Registry::new();
+//! let releases = registry.counter("guard_releases_total");
+//! let latency = registry.histogram("online_ingest_batch_seconds");
+//!
+//! releases.inc();
+//! let timer = Timer::start(&latency);
+//! // ... do the work being measured ...
+//! timer.stop();
+//!
+//! assert_eq!(releases.get(), 1);
+//! assert_eq!(latency.count(), 1);
+//! let text = registry.render_prometheus();
+//! assert!(text.contains("guard_releases_total 1"));
+//! ```
+//!
+//! [`AtomicBool`]: std::sync::atomic::AtomicBool
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod export;
+pub mod json;
+mod metrics;
+mod span;
+
+pub use export::JSON_SCHEMA;
+pub use metrics::{Counter, Gauge, Histogram, Registry, HISTOGRAM_BUCKETS};
+pub use span::{EventSink, MemorySink, Span, StderrSink, Timer, TraceEvent};

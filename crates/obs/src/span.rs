@@ -1,0 +1,295 @@
+//! Scoped timers, spans, and structured event sinks.
+
+use crate::{Histogram, Registry};
+use std::fmt;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A scoped wall-clock timer recording into a [`Histogram`] when stopped
+/// or dropped.
+///
+/// When the histogram is disabled, [`Timer::start`] never calls
+/// [`Instant::now`] and the whole start/stop cycle is a couple of atomic
+/// loads with no allocation.
+#[derive(Debug)]
+pub struct Timer {
+    hist: Histogram,
+    start: Option<Instant>,
+}
+
+impl Timer {
+    /// Starts timing into `hist`.
+    pub fn start(hist: &Histogram) -> Timer {
+        Timer {
+            hist: hist.clone(),
+            start: hist.is_enabled().then(Instant::now),
+        }
+    }
+
+    /// Stops the timer, records the elapsed seconds, and returns them
+    /// (`0.0` when the histogram was disabled at start).
+    pub fn stop(mut self) -> f64 {
+        self.finish()
+    }
+
+    /// Abandons the timer without recording anything.
+    pub fn discard(mut self) {
+        self.start = None;
+    }
+
+    fn finish(&mut self) -> f64 {
+        match self.start.take() {
+            Some(t0) => {
+                let dt = t0.elapsed().as_secs_f64();
+                self.hist.observe(dt);
+                dt
+            }
+            None => 0.0,
+        }
+    }
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// One structured trace event: a name plus `(key, value)` fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event (span) name.
+    pub name: String,
+    /// Ordered fields; spans append `duration_seconds` last.
+    pub fields: Vec<(String, f64)>,
+}
+
+impl TraceEvent {
+    /// The value of the first field named `key`, if any.
+    pub fn field(&self, key: &str) -> Option<f64> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+    }
+}
+
+/// Receiver for completed spans and ad-hoc events.
+pub trait EventSink: Send + Sync {
+    /// Called once per event; `fields` are `(key, value)` pairs.
+    fn event(&self, name: &str, fields: &[(String, f64)]);
+}
+
+/// An in-memory sink for test assertions.
+#[derive(Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// A copy of every event captured so far.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("sink lock poisoned").clone()
+    }
+
+    /// Drains and returns the captured events.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock().expect("sink lock poisoned"))
+    }
+}
+
+impl EventSink for MemorySink {
+    fn event(&self, name: &str, fields: &[(String, f64)]) {
+        self.events
+            .lock()
+            .expect("sink lock poisoned")
+            .push(TraceEvent {
+                name: name.to_owned(),
+                fields: fields.to_vec(),
+            });
+    }
+}
+
+impl fmt::Debug for MemorySink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemorySink")
+            .field("events", &self.events().len())
+            .finish()
+    }
+}
+
+/// A sink printing one `trace:` line per event to stderr — the `--trace`
+/// CLI output. Stdout is never touched, preserving golden fixtures.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StderrSink;
+
+impl EventSink for StderrSink {
+    fn event(&self, name: &str, fields: &[(String, f64)]) {
+        let mut line = format!("trace: {name}");
+        for (k, v) in fields {
+            line.push_str(&format!(" {k}={v}"));
+        }
+        line.push('\n');
+        // A broken stderr pipe is not worth panicking over.
+        let _ = std::io::stderr().write_all(line.as_bytes());
+    }
+}
+
+/// A scoped span: times a region into the histogram
+/// `span_<name>_seconds` and, on drop, emits a [`TraceEvent`] (fields +
+/// `duration_seconds`) to the registry's sink if one is installed.
+///
+/// Spans are for coarse regions (a CLI timestep, a planner run); unlike
+/// [`Timer`] they allocate for the name/fields, so keep them off
+/// per-observation paths.
+#[derive(Debug)]
+pub struct Span {
+    name: String,
+    hist: Option<Histogram>,
+    sink: Option<Arc<dyn EventSink>>,
+    fields: Vec<(String, f64)>,
+    start: Option<Instant>,
+}
+
+impl fmt::Debug for dyn EventSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("dyn EventSink")
+    }
+}
+
+impl Span {
+    /// An inert span that records nothing.
+    fn noop() -> Span {
+        Span {
+            name: String::new(),
+            hist: None,
+            sink: None,
+            fields: Vec::new(),
+            start: None,
+        }
+    }
+
+    /// Attaches a `(key, value)` field, forwarded to the sink on drop.
+    pub fn annotate(&mut self, key: &str, value: f64) {
+        if self.start.is_some() {
+            self.fields.push((key.to_owned(), value));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(t0) = self.start.take() else {
+            return;
+        };
+        let dt = t0.elapsed().as_secs_f64();
+        if let Some(hist) = &self.hist {
+            hist.observe(dt);
+        }
+        if let Some(sink) = &self.sink {
+            self.fields.push(("duration_seconds".to_owned(), dt));
+            sink.event(&self.name, &self.fields);
+        }
+    }
+}
+
+impl Registry {
+    /// Opens a span named `name`. Disabled registries return an inert
+    /// span without touching the clock.
+    pub fn span(&self, name: &str) -> Span {
+        if !self.is_enabled() {
+            return Span::noop();
+        }
+        Span {
+            hist: Some(self.histogram(&format!("span_{name}_seconds"))),
+            sink: self.sink(),
+            name: name.to_owned(),
+            fields: Vec::new(),
+            start: Some(Instant::now()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_records_monotone_nonnegative_durations() {
+        let h = Histogram::new();
+        let t1 = Timer::start(&h);
+        let d1 = t1.stop();
+        let t2 = Timer::start(&h);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let d2 = t2.stop();
+        assert!(d1 >= 0.0);
+        assert!(d2 >= 0.002, "slept 2ms but recorded {d2}");
+        assert_eq!(h.count(), 2);
+        assert!((h.sum() - (d1 + d2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timer_on_disabled_histogram_is_inert_and_returns_zero() {
+        let h = Histogram::disabled();
+        let t = Timer::start(&h);
+        assert_eq!(t.stop(), 0.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn timer_drop_records_and_discard_does_not() {
+        let h = Histogram::new();
+        {
+            let _t = Timer::start(&h);
+        }
+        assert_eq!(h.count(), 1);
+        Timer::start(&h).discard();
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn span_emits_event_with_duration_and_annotations() {
+        let registry = Registry::new();
+        let sink = Arc::new(MemorySink::new());
+        registry.set_sink(sink.clone());
+        {
+            let mut span = registry.span("stream_step");
+            span.annotate("users", 10.0);
+        }
+        let events = sink.take();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "stream_step");
+        assert_eq!(events[0].field("users"), Some(10.0));
+        assert!(events[0].field("duration_seconds").unwrap() >= 0.0);
+        assert_eq!(registry.histogram("span_stream_step_seconds").count(), 1);
+    }
+
+    #[test]
+    fn span_on_disabled_registry_is_inert() {
+        let registry = Registry::disabled();
+        let sink = Arc::new(MemorySink::new());
+        registry.set_sink(sink.clone());
+        {
+            let mut span = registry.span("quiet");
+            span.annotate("k", 1.0);
+        }
+        assert!(sink.events().is_empty());
+        assert!(registry.is_empty(), "no span histogram should be created");
+    }
+
+    #[test]
+    fn registry_emit_respects_enabled_flag() {
+        let registry = Registry::new();
+        let sink = Arc::new(MemorySink::new());
+        registry.set_sink(sink.clone());
+        registry.emit("tick", &[("t".to_owned(), 3.0)]);
+        registry.set_enabled(false);
+        registry.emit("tick", &[("t".to_owned(), 4.0)]);
+        let events = sink.take();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].field("t"), Some(3.0));
+    }
+}

@@ -1,0 +1,68 @@
+//! Golden pin of the Prometheus text rendering.
+//!
+//! The registry is populated with fixed, dyadic values (so bucket bounds
+//! and sums are float-exact) using the same metric names the instrumented
+//! stack emits; the rendering must stay byte-identical to the committed
+//! fixture. Any change to the exposition format is a deliberate,
+//! review-visible fixture update.
+
+use priste_obs::Registry;
+
+/// A deterministic registry resembling a small durable enforcing run.
+fn deterministic_run() -> Registry {
+    let r = Registry::new();
+    r.counter("online_observations_total").add(4000);
+    r.counter("online_suppressed_total").add(1);
+    r.counter("online_shard_panics_total").add(2);
+    r.counter("online_shard_panics_total{shard=\"3\"}").add(2);
+    r.gauge("online_sessions").set(500.0);
+    r.gauge("online_shard_imbalance").set(1.125);
+    r.gauge("online_recovery_duration_seconds").set(0.0625);
+    r.counter("online_recovery_torn_records_total").add(1);
+    r.counter("guard_releases_total").add(3);
+    r.counter("guard_suppressions_total").add(1);
+    let eps = r.histogram("guard_epsilon_spent");
+    eps.observe(0.25); // le 0.5
+    eps.observe(0.75); // le 1
+    eps.observe(1.0); // le 2
+    let depth = r.histogram("guard_backoff_depth");
+    depth.observe(1.0); // le 2
+    depth.observe(1.0);
+    depth.observe(3.0); // le 4
+    let wal = r.histogram("durable_wal_append_seconds");
+    wal.observe(0.0001220703125); // 2^-13 -> le 2^-12
+    wal.observe(0.0001220703125);
+    wal.observe(0.0001220703125);
+    wal.observe(0.0009765625); // 2^-10 -> le 2^-9
+    r.counter("durable_wal_bytes_total").add(4096);
+    r
+}
+
+#[test]
+fn prometheus_rendering_matches_the_committed_golden_fixture() {
+    let rendered = deterministic_run().render_prometheus();
+    let golden = include_str!("fixtures/metrics_golden.prom");
+    assert_eq!(
+        rendered, golden,
+        "Prometheus text rendering drifted from tests/fixtures/metrics_golden.prom"
+    );
+}
+
+#[test]
+fn json_rendering_of_the_same_run_parses_and_agrees() {
+    let r = deterministic_run();
+    let doc = priste_obs::json::parse(&r.render_json()).expect("snapshot must parse");
+    let counters = doc.get("counters").expect("counters");
+    assert_eq!(
+        counters
+            .get("online_observations_total")
+            .and_then(|j| j.as_u64()),
+        Some(4000)
+    );
+    let eps = doc
+        .get("histograms")
+        .and_then(|h| h.get("guard_epsilon_spent"))
+        .expect("guard_epsilon_spent");
+    assert_eq!(eps.get("count").and_then(|j| j.as_u64()), Some(3));
+    assert_eq!(eps.get("sum").and_then(|j| j.as_f64()), Some(2.0));
+}

@@ -1,0 +1,113 @@
+//! Concurrency and property tests for the metrics registry: concurrent
+//! increments/observes lose nothing, and a histogram's exact count always
+//! equals the sum of its bucket counts.
+
+use priste_obs::{Histogram, Registry, HISTOGRAM_BUCKETS};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+#[test]
+fn concurrent_counter_increments_lose_nothing() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    let registry = Registry::new();
+    let counter = registry.counter("stress_total");
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let handle = counter.clone();
+            scope.spawn(move || {
+                for _ in 0..PER_THREAD {
+                    handle.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(counter.get(), THREADS as u64 * PER_THREAD);
+}
+
+#[test]
+fn concurrent_histogram_observes_keep_count_sum_and_buckets_consistent() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 5_000;
+    let registry = Registry::new();
+    let hist = registry.histogram("stress_seconds");
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let handle = hist.clone();
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Deterministic spread across several buckets.
+                    let v = ((t * PER_THREAD + i) % 1_000) as f64 * 1e-4;
+                    handle.observe(v);
+                }
+            });
+        }
+    });
+    let expected = (THREADS * PER_THREAD) as u64;
+    assert_eq!(hist.count(), expected);
+    assert_eq!(hist.bucket_counts().iter().sum::<u64>(), expected);
+    // The sum is a CAS-loop f64 accumulation: no observation may be lost,
+    // so it must equal the sequential sum of the same multiset (same
+    // values, addition reordering only).
+    let sequential: f64 = (0..THREADS)
+        .flat_map(|t| (0..PER_THREAD).map(move |i| ((t * PER_THREAD + i) % 1_000) as f64 * 1e-4))
+        .sum();
+    assert!(
+        (hist.sum() - sequential).abs() < 1e-6 * sequential.max(1.0),
+        "sum {} vs sequential {}",
+        hist.sum(),
+        sequential
+    );
+}
+
+#[test]
+fn concurrent_get_or_create_yields_one_cell_per_name() {
+    let registry = Registry::new();
+    let registry = Arc::new(registry);
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let r = Arc::clone(&registry);
+            scope.spawn(move || {
+                for i in 0..64 {
+                    r.counter(&format!("racy_{i}_total")).inc();
+                }
+            });
+        }
+    });
+    assert_eq!(registry.len(), 64);
+    for i in 0..64 {
+        assert_eq!(registry.counter(&format!("racy_{i}_total")).get(), 8);
+    }
+}
+
+proptest! {
+    #[test]
+    fn histogram_count_equals_bucket_sum(values in proptest::collection::vec(-1e6f64..1e6, 0..200)) {
+        let hist = Histogram::new();
+        for v in &values {
+            hist.observe(*v);
+        }
+        let buckets = hist.bucket_counts();
+        prop_assert_eq!(hist.count(), values.len() as u64);
+        prop_assert_eq!(buckets.iter().sum::<u64>(), values.len() as u64);
+        // Every value landed in the bucket its bound bracket says.
+        for v in &values {
+            let i = Histogram::bucket_index(*v);
+            prop_assert!(i < HISTOGRAM_BUCKETS);
+            prop_assert!(buckets[i] > 0);
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q(values in proptest::collection::vec(1e-9f64..1e6, 1..200)) {
+        let hist = Histogram::new();
+        for v in &values {
+            hist.observe(*v);
+        }
+        let (p50, p90, p99) = (hist.quantile(0.5), hist.quantile(0.9), hist.quantile(0.99));
+        prop_assert!(p50 <= p90 && p90 <= p99, "p50={} p90={} p99={}", p50, p90, p99);
+        // Quantile bounds are real bucket upper bounds: at least one
+        // observation is <= the p50 bound.
+        prop_assert!(values.iter().any(|v| *v <= p50));
+    }
+}

@@ -1,0 +1,86 @@
+//! Disabled instruments must not allocate on the record path — the
+//! tentpole's "near-zero-cost handle" contract. A counting global
+//! allocator wraps the system one; the assertion is exact, so any
+//! accidental `format!`/`Vec` on a disabled path fails loudly.
+//!
+//! This lives in its own integration-test binary: the allocator is
+//! process-global, and the crate-level `forbid(unsafe_code)` applies to
+//! the library, not to this test crate (a `GlobalAlloc` impl is
+//! necessarily `unsafe`).
+
+use priste_obs::{Counter, Registry, Timer};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+#[test]
+fn disabled_handles_do_not_allocate_on_the_record_path() {
+    // Handle creation may allocate — do it all up front.
+    let registry = Registry::disabled();
+    let counter = registry.counter("c_total");
+    let standalone = Counter::disabled();
+    let gauge = registry.gauge("g");
+    let hist = registry.histogram("h_seconds");
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..1_000 {
+        counter.inc();
+        counter.add(3);
+        standalone.inc();
+        gauge.set(1.5);
+        gauge.add(-0.5);
+        hist.observe(0.01);
+        let timer = Timer::start(&hist);
+        drop(timer);
+        let span = registry.span("quiet");
+        drop(span);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled record path allocated {} times",
+        after - before
+    );
+
+    // Sanity: nothing was recorded either.
+    assert_eq!(counter.get(), 0);
+    assert_eq!(hist.count(), 0);
+
+    // Phase two (same test: the counter is process-global, so concurrent
+    // tests would alias it): the *enabled* counter/histogram record path
+    // is allocation-free too.
+    let registry = Registry::new();
+    let counter = registry.counter("hot_total");
+    let hist = registry.histogram("hot_seconds");
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..1_000 {
+        counter.inc();
+        hist.observe(0.001);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(after - before, 0, "enabled hot path allocated");
+    assert_eq!(counter.get(), 1_000);
+}

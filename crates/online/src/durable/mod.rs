@@ -45,6 +45,8 @@
 //! Exhaustion dominates any spend the lost records could have added, so
 //! availability never comes at the price of an under-counted ledger.
 
+use crate::obs::StoreInstruments;
+use priste_obs::Timer;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -279,6 +281,7 @@ pub(crate) struct DurableStore {
     seq: u64,
     wals: Vec<wal::WalWriter>,
     records_since_checkpoint: usize,
+    obs: StoreInstruments,
 }
 
 impl DurableStore {
@@ -302,6 +305,7 @@ impl DurableStore {
             seq,
             wals: Vec::new(),
             records_since_checkpoint: 0,
+            obs: StoreInstruments::disabled(),
         };
         store.checkpoint_at(seq, state)?;
         Ok(store)
@@ -312,6 +316,12 @@ impl DurableStore {
         &self.dir
     }
 
+    /// Swaps in live (or inert) instrument handles; the default from
+    /// [`DurableStore::open`] is fully disabled.
+    pub(crate) fn set_instruments(&mut self, obs: StoreInstruments) {
+        self.obs = obs;
+    }
+
     /// Appends one committed record to its shard's WAL. Returns whether the
     /// auto-compaction threshold has been crossed (the caller should
     /// checkpoint at its next safe point).
@@ -320,7 +330,13 @@ impl DurableStore {
         shard: usize,
         record: &WalRecord,
     ) -> Result<bool, DurableError> {
-        self.wals[shard].append(record)?;
+        let append_timer = Timer::start(&self.obs.append_seconds);
+        let bytes = self.wals[shard].append_unsynced(record)?;
+        let fsync_timer = Timer::start(&self.obs.fsync_seconds);
+        self.wals[shard].sync()?;
+        drop(fsync_timer);
+        drop(append_timer);
+        self.obs.bytes.add(bytes as u64);
         self.records_since_checkpoint += 1;
         Ok(self.opts.snapshot_every > 0
             && self.records_since_checkpoint >= self.opts.snapshot_every)
@@ -344,7 +360,16 @@ impl DurableStore {
     /// the two recovers from the new snapshot with empty tails); (3) the
     /// old generation is pruned last.
     fn checkpoint_at(&mut self, seq: u64, state: &SnapshotState) -> Result<(), DurableError> {
-        snapshot::write_snapshot(&snap_path(&self.dir, seq), seq, state, self.opts.fsync)?;
+        let snap = snap_path(&self.dir, seq);
+        let snapshot_timer = Timer::start(&self.obs.snapshot_seconds);
+        snapshot::write_snapshot(&snap, seq, state, self.opts.fsync)?;
+        drop(snapshot_timer);
+        if self.obs.snapshot_bytes.is_enabled() {
+            if let Ok(meta) = std::fs::metadata(&snap) {
+                self.obs.snapshot_bytes.set(meta.len() as f64);
+            }
+        }
+        self.obs.checkpoints.inc();
         let mut wals = Vec::with_capacity(self.num_shards);
         for shard in 0..self.num_shards {
             wals.push(wal::WalWriter::create(

@@ -204,17 +204,19 @@ impl WalWriter {
         Ok(writer)
     }
 
-    /// Append one record frame; with `fsync` on, the record is on disk when
-    /// this returns.
-    pub(crate) fn append(&mut self, record: &WalRecord) -> Result<(), DurableError> {
+    /// Write the frame without syncing, returning the byte count; the
+    /// caller pairs this with [`WalWriter::sync`] (split so the store can
+    /// time the fsync separately from the write — with `fsync` on, a
+    /// record is on disk once its `sync` returns).
+    pub(crate) fn append_unsynced(&mut self, record: &WalRecord) -> Result<usize, DurableError> {
         let frame = record.encode_frame();
         self.file
             .write_all(&frame)
             .map_err(|e| io_err("append WAL record", &self.path, &e))?;
-        self.sync()
+        Ok(frame.len())
     }
 
-    fn sync(&mut self) -> Result<(), DurableError> {
+    pub(crate) fn sync(&mut self) -> Result<(), DurableError> {
         if self.fsync {
             self.file
                 .sync_data()
@@ -403,7 +405,8 @@ mod tests {
     fn write_segment(path: &Path, records: &[WalRecord]) {
         let mut w = WalWriter::create(path, 3, 2, 0xFEED, false).unwrap();
         for r in records {
-            w.append(r).unwrap();
+            w.append_unsynced(r).unwrap();
+            w.sync().unwrap();
         }
     }
 

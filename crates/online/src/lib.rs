@@ -67,11 +67,13 @@
 pub mod durable;
 mod error;
 mod manager;
+mod obs;
 pub mod session;
 
 pub use durable::{DurableError, DurableOptions};
 pub use error::OnlineError;
 pub use manager::{EnforcedRelease, OnlineConfig, ServiceStats, SessionManager};
+pub use obs::RecoveryInfo;
 pub use session::{BudgetLedger, Session, UserId, UserReport, Verdict, WindowReport};
 
 /// Convenience result alias.

@@ -5,6 +5,7 @@ use crate::durable::{
     self, DurableError, DurableOptions, DurableStore, SessionSnap, SnapshotState, WalRecord,
     WalTail, WindowSnap,
 };
+use crate::obs::{RecoveryInfo, ServiceInstruments, StoreInstruments};
 use crate::session::{
     report_from_step, BudgetLedger, EventWindow, Session, UserId, UserReport, Verdict,
 };
@@ -18,11 +19,13 @@ use priste_geo::CellId;
 use priste_linalg::{Matrix, Vector};
 use priste_lppm::Lppm;
 use priste_markov::TransitionProvider;
+use priste_obs::Registry;
 use priste_quantify::{IncrementalTwoWorld, QuantifyError, TwoWorldEngine};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use std::collections::BTreeMap;
 use std::path::Path;
+use std::time::Instant;
 
 /// Resolves a caller-facing thread knob: `0` means "one worker per
 /// available core".
@@ -287,7 +290,8 @@ pub struct SessionManager<P> {
     templates: Vec<StEvent>,
     shards: Vec<BTreeMap<u64, Session<P>>>,
     config: OnlineConfig,
-    stats: ServiceStats,
+    instruments: ServiceInstruments,
+    recovery: Option<RecoveryInfo>,
     enforcer: Option<Enforcer>,
     store: Option<DurableStore>,
 }
@@ -305,7 +309,8 @@ impl<P: TransitionProvider + Clone> SessionManager<P> {
             templates: Vec::new(),
             shards,
             config,
-            stats: ServiceStats::default(),
+            instruments: ServiceInstruments::new(),
+            recovery: None,
             enforcer: None,
             store: None,
         })
@@ -366,6 +371,11 @@ impl<P: TransitionProvider + Clone> SessionManager<P> {
         true_loc: CellId,
         rng: &mut dyn RngCore,
     ) -> Result<EnforcedRelease> {
+        let start = self
+            .instruments
+            .release_seconds
+            .is_enabled()
+            .then(Instant::now);
         let mut enforcer = self.enforcer.take().ok_or(OnlineError::NotEnforcing)?;
         let outcome = {
             let m = self.provider.num_states();
@@ -408,9 +418,15 @@ impl<P: TransitionProvider + Clone> SessionManager<P> {
         // Count the suppression only once the flat column actually
         // committed — a failed release must not skew the stats.
         if suppressed {
-            self.stats.suppressed += 1;
+            self.instruments.suppressed.inc();
         }
+        self.instruments.guard.record(&outcome);
         self.maybe_checkpoint()?;
+        if let Some(t0) = start {
+            self.instruments
+                .release_seconds
+                .observe(t0.elapsed().as_secs_f64());
+        }
         Ok(EnforcedRelease {
             decision: outcome.decision,
             attempts: outcome.attempts.len(),
@@ -430,7 +446,7 @@ impl<P: TransitionProvider + Clone> SessionManager<P> {
             &wanted,
             &self.config,
         );
-        self.stats.absorb(&delta);
+        self.instruments.absorb(&delta);
         reports.pop().expect("one observation in, one report out")
     }
 
@@ -440,8 +456,43 @@ impl<P: TransitionProvider + Clone> SessionManager<P> {
     }
 
     /// Aggregate counters.
+    ///
+    /// Since the observability refactor this is a thin shim over the
+    /// always-on metrics counters (`online_*_total` in an attached
+    /// [`Registry`]) — the registry is the single source of truth; prefer
+    /// reading it directly when one is attached via
+    /// [`SessionManager::observe`].
     pub fn stats(&self) -> ServiceStats {
-        self.stats
+        self.instruments.stats()
+    }
+
+    /// Attaches a metrics registry: the always-on [`ServiceStats`]
+    /// counters are *adopted* (exported with their current values), the
+    /// latency/size/occupancy telemetry switches from inert handles to
+    /// live ones, the durable substrate starts timing WAL appends/fsyncs
+    /// and checkpoints, and — when this service was built by
+    /// [`SessionManager::recover`]/[`SessionManager::open_durable`] — the
+    /// recovery telemetry is published.
+    ///
+    /// Hot per-observation loops are untouched: instruments are recorded
+    /// once per batch/release/append, so an attached (or absent) registry
+    /// never changes results and barely changes throughput.
+    pub fn observe(&mut self, registry: &Registry) {
+        self.instruments.attach(registry);
+        if let Some(store) = &mut self.store {
+            store.set_instruments(StoreInstruments::from_registry(registry));
+        }
+        if let Some(info) = self.recovery {
+            self.instruments.publish_recovery(&info);
+        }
+        self.instruments
+            .update_occupancy(self.shards.iter().map(BTreeMap::len));
+    }
+
+    /// Telemetry from crash recovery, when this service was built by
+    /// [`SessionManager::recover`] or [`SessionManager::open_durable`].
+    pub fn recovery_info(&self) -> Option<RecoveryInfo> {
+        self.recovery
     }
 
     /// Registered users.
@@ -617,6 +668,11 @@ impl<P: TransitionProvider + Clone> SessionManager<P> {
     /// and emission validation errors — all detected *before* any state is
     /// mutated, so a failed batch leaves the service unchanged.
     pub fn ingest_batch(&mut self, batch: &[(UserId, Vector)]) -> Result<Vec<UserReport>> {
+        let start = self
+            .instruments
+            .ingest_seconds
+            .is_enabled()
+            .then(Instant::now);
         let by_shard = self.validate_batch(batch)?;
         // Journal the committed columns before any state mutates: a crash
         // after the append replays an observation whose report was never
@@ -635,11 +691,21 @@ impl<P: TransitionProvider + Clone> SessionManager<P> {
                 wanted,
                 &self.config,
             );
-            self.stats.absorb(&delta);
+            self.instruments.absorb(&delta);
             reports.append(&mut shard_reports);
         }
         reports.sort_by_key(|r| r.user);
         self.maybe_checkpoint()?;
+        if let Some(t0) = start {
+            self.instruments
+                .ingest_seconds
+                .observe(t0.elapsed().as_secs_f64());
+            self.instruments
+                .ingest_batch_size
+                .observe(batch.len() as f64);
+            self.instruments
+                .update_occupancy(self.shards.iter().map(BTreeMap::len));
+        }
         Ok(reports)
     }
 
@@ -915,7 +981,7 @@ impl<P: TransitionProvider + Clone> SessionManager<P> {
             .collect();
         SnapshotState {
             fingerprint: self.fingerprint(),
-            stats: self.stats.to_array(),
+            stats: self.stats().to_array(),
             sessions,
         }
     }
@@ -943,7 +1009,7 @@ impl<P: TransitionProvider + Clone> SessionManager<P> {
             1
         };
         let state = self.snapshot_state();
-        let store = DurableStore::open(
+        let mut store = DurableStore::open(
             dir,
             opts,
             state.fingerprint,
@@ -951,6 +1017,9 @@ impl<P: TransitionProvider + Clone> SessionManager<P> {
             start,
             &state,
         )?;
+        if let Some(registry) = &self.instruments.registry {
+            store.set_instruments(StoreInstruments::from_registry(registry));
+        }
         self.store = Some(store);
         Ok(())
     }
@@ -1007,19 +1076,24 @@ impl<P: TransitionProvider + Clone> SessionManager<P> {
         templates: Vec<StEvent>,
         dir: &Path,
     ) -> Result<Self> {
+        let t0 = Instant::now();
         let mut svc = Self::new(provider, config)?;
         for t in templates {
             svc.register_template(t)?;
         }
         let rec = durable::recover_dir(dir, svc.fingerprint(), svc.config.num_shards)?;
         svc.restore_snapshot(&rec.state)?;
+        let mut replayed_records = 0u64;
         for scan in &rec.wal {
             for record in &scan.records {
                 svc.replay(record)?;
+                replayed_records += 1;
             }
         }
+        let mut torn_records = 0u64;
         for (shard_idx, scan) in rec.wal.iter().enumerate() {
             if let WalTail::Torn { user } = scan.tail {
+                torn_records += 1;
                 let mut exhausted_one = false;
                 if let Some(uid) = user {
                     let shard = svc.shard_of(UserId(uid));
@@ -1041,6 +1115,12 @@ impl<P: TransitionProvider + Clone> SessionManager<P> {
                 svc.exhaust_shard(shard);
             }
         }
+        svc.recovery = Some(RecoveryInfo {
+            duration_seconds: t0.elapsed().as_secs_f64(),
+            replayed_records,
+            torn_records,
+            skipped_newer: rec.skipped_newer,
+        });
         Ok(svc)
     }
 
@@ -1132,7 +1212,8 @@ impl<P: TransitionProvider + Clone> SessionManager<P> {
                 return Err(OnlineError::DuplicateUser { user: snap.user });
             }
         }
-        self.stats = ServiceStats::from_array(state.stats);
+        self.instruments
+            .store_stats(ServiceStats::from_array(state.stats));
         Ok(())
     }
 
@@ -1209,7 +1290,7 @@ impl<P: TransitionProvider + Clone> SessionManager<P> {
         let column = Vector::from(column.to_vec());
         let _ = self.commit_one(shard, user, &column);
         if suppressed {
-            self.stats.suppressed += 1;
+            self.instruments.suppressed.inc();
         }
         Ok(())
     }
@@ -1241,6 +1322,11 @@ impl<P: TransitionProvider + Clone + Send + Sync> SessionManager<P> {
         batch: &[(UserId, Vector)],
         threads: usize,
     ) -> Result<Vec<UserReport>> {
+        let start = self
+            .instruments
+            .ingest_seconds
+            .is_enabled()
+            .then(Instant::now);
         let by_shard = self.validate_batch(batch)?;
         self.journal_observations(&by_shard)?;
         let provider = &self.provider;
@@ -1263,12 +1349,25 @@ impl<P: TransitionProvider + Clone + Send + Sync> SessionManager<P> {
                 delta.absorb(&shard_delta);
                 Ok(())
             });
-        self.stats.absorb(&merged);
+        self.instruments.absorb(&merged);
         if let Some(e) = failure {
+            if let OnlineError::ShardPanicked { shard } = &e {
+                self.instruments.record_shard_panic(*shard);
+            }
             return Err(e);
         }
         reports.sort_by_key(|r| r.user);
         self.maybe_checkpoint()?;
+        if let Some(t0) = start {
+            self.instruments
+                .ingest_seconds
+                .observe(t0.elapsed().as_secs_f64());
+            self.instruments
+                .ingest_batch_size
+                .observe(batch.len() as f64);
+            self.instruments
+                .update_occupancy(self.shards.iter().map(BTreeMap::len));
+        }
         Ok(reports)
     }
 
@@ -1307,6 +1406,11 @@ impl<P: TransitionProvider + Clone + Send + Sync> SessionManager<P> {
         seed: u64,
         threads: usize,
     ) -> Result<Vec<EnforcedRelease>> {
+        let start = self
+            .instruments
+            .release_batch_seconds
+            .is_enabled()
+            .then(Instant::now);
         // The ladder is deterministic from the guard config: build it once
         // so the workers can share the cache read-only.
         enforcer.cache.prewarm(&enforcer.guard)?;
@@ -1335,6 +1439,8 @@ impl<P: TransitionProvider + Clone + Send + Sync> SessionManager<P> {
         let config = &self.config;
         let guard = &enforcer.guard;
         let cache = &enforcer.cache;
+        let guard_obs = self.instruments.guard.clone();
+        let guard_obs = &guard_obs;
         let journaling = self.store.is_some();
 
         let jobs: Vec<_> = self
@@ -1356,6 +1462,7 @@ impl<P: TransitionProvider + Clone + Send + Sync> SessionManager<P> {
                     let outcome = run_guard_prewarmed(cache, guard, loc, &mut rng, |column| {
                         peek_worst_loss(session.windows.iter().map(|w| &w.state), column)
                     })?;
+                    guard_obs.record(&outcome);
                     outcomes.push((uid, outcome));
                 }
                 // Commit the chosen columns through the normal batched
@@ -1393,7 +1500,7 @@ impl<P: TransitionProvider + Clone + Send + Sync> SessionManager<P> {
         // Absorb the deltas from shards that committed even when another
         // shard failed — the stats must stay consistent with the mutated
         // session state.
-        self.stats.absorb(&merged);
+        self.instruments.absorb(&merged);
         // Journal everything that committed, shard failure or not: a
         // release that mutated a ledger must reach the WAL. (The parallel
         // path applies before journaling; a crash in between loses only
@@ -1419,13 +1526,26 @@ impl<P: TransitionProvider + Clone + Send + Sync> SessionManager<P> {
             }
         }
         if let Some(e) = failure {
+            if let OnlineError::ShardPanicked { shard } = &e {
+                self.instruments.record_shard_panic(*shard);
+            }
             return Err(e);
         }
         if let Some(e) = journal_err {
             return Err(e);
         }
-        let releases = items.into_iter().map(|(r, _, _)| r).collect();
+        let releases: Vec<EnforcedRelease> = items.into_iter().map(|(r, _, _)| r).collect();
         self.maybe_checkpoint()?;
+        if let Some(t0) = start {
+            self.instruments
+                .release_batch_seconds
+                .observe(t0.elapsed().as_secs_f64());
+            self.instruments
+                .release_batch_size
+                .observe(releases.len() as f64);
+            self.instruments
+                .update_occupancy(self.shards.iter().map(BTreeMap::len));
+        }
         Ok(releases)
     }
 }

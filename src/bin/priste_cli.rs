@@ -12,10 +12,13 @@
 //!                      [--event SPEC] [--epsilon F] [--alpha F] [--side N]
 //!                      [--sigma F] [--shards N] [--linger N] [--budget F]
 //!                      [--mode audit|enforce] [--floor F] [--backoff F]
-//!                      [--threads N] [--durable-dir PATH] [--seed N]
+//!                      [--threads N] [--durable-dir PATH]
+//!                      [--metrics-json PATH] [--trace] [--seed N]
 //! priste-cli recover   --durable-dir PATH [--kind synthetic|commuter]
 //!                      [--event SPEC] [--epsilon F] [--alpha F] [--side N]
-//!                      [--sigma F] [--shards N] [--linger N] [--budget F] [--seed N]
+//!                      [--sigma F] [--shards N] [--linger N] [--budget F]
+//!                      [--metrics-json PATH] [--seed N]
+//! priste-cli metrics   print the exported metric schema
 //! priste-cli calibrate [--kind synthetic|commuter] [--event SPEC] [--target F]
 //!                      [--alpha F] [--side N] [--sigma F] [--horizon N]
 //!                      [--planner uniform|greedy|knapsack]
@@ -38,11 +41,20 @@
 //!   `--durable-dir` makes the service durable: session state (ledgers
 //!   included) is journaled to the directory, and re-running the command
 //!   over the same directory *continues* the recovered sessions instead of
-//!   resetting their spend.
+//!   resetting their spend. `--metrics-json PATH` attaches a `priste_obs`
+//!   registry and dumps its final snapshot as JSON to PATH; `--trace`
+//!   prints structured span events to stderr. Both compose with
+//!   `--durable-dir` (WAL/snapshot/recovery metrics included), and neither
+//!   changes a byte of stdout — per-step gauge lines go to stderr.
 //! * `recover` — read-only inspection of a durable directory: rebuild the
 //!   state from snapshot + WAL replay (rebuilding the scenario from the
 //!   same flags `stream` was given) and print every user's ledger without
-//!   journaling anything.
+//!   journaling anything. With `--metrics-json PATH` the recovery
+//!   telemetry (replay duration, replayed/torn record counts) is dumped
+//!   alongside the service counters.
+//! * `metrics` — print the schema of every exported metric: name, kind,
+//!   and meaning, as rendered by `--metrics-json` and
+//!   `Registry::render_prometheus`.
 //! * `calibrate` — the `priste-calibrate` planners and guard: print the
 //!   chosen planner's per-timestep budget plan (`--planner`: the
 //!   uniform-split baseline, the greedy-forward search, or the
@@ -69,11 +81,13 @@
 //! text below.
 
 use priste::calibrate::{Decision, GuardConfig, PlanarLaplaceError, PlannerConfig, UtilityModel};
+use priste::obs::StderrSink;
 use priste::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -103,10 +117,13 @@ const USAGE: &str = "usage:
                        [--epsilon F] [--alpha F] [--side N] [--sigma F]
                        [--shards N] [--linger N] [--budget F]
                        [--mode audit|enforce] [--floor F] [--backoff F]
-                       [--threads N] [--durable-dir PATH] [--seed N]
+                       [--threads N] [--durable-dir PATH]
+                       [--metrics-json PATH] [--trace] [--seed N]
   priste-cli recover   --durable-dir PATH [--kind synthetic|commuter] [--event SPEC]
                        [--epsilon F] [--alpha F] [--side N] [--sigma F]
-                       [--shards N] [--linger N] [--budget F] [--seed N]
+                       [--shards N] [--linger N] [--budget F]
+                       [--metrics-json PATH] [--seed N]
+  priste-cli metrics   print the exported metric schema (names, kinds, meanings)
   priste-cli calibrate [--kind synthetic|commuter] [--event SPEC] [--target F]
                        [--alpha F] [--side N] [--sigma F] [--horizon N]
                        [--planner uniform|greedy|knapsack]
@@ -156,6 +173,8 @@ const STREAM_FLAGS: &[&str] = &[
     "backoff",
     "threads",
     "durable-dir",
+    "metrics-json",
+    "trace",
     "seed",
 ];
 const RECOVER_FLAGS: &[&str] = &[
@@ -171,12 +190,16 @@ const RECOVER_FLAGS: &[&str] = &[
     "budget",
     "floor",
     "backoff",
+    "metrics-json",
     "seed",
 ];
 const CALIBRATE_FLAGS: &[&str] = &[
     "kind", "event", "target", "alpha", "side", "sigma", "horizon", "steps", "floor", "backoff",
     "threads", "seed", "planner",
 ];
+
+/// Flags that take no value: present means "on".
+const BOOLEAN_FLAGS: &[&str] = &["trace"];
 
 /// Parsed `--key value` flags, validated against a subcommand's allowlist.
 struct Flags(BTreeMap<String, String>);
@@ -193,6 +216,11 @@ impl Flags {
                 return Err(CliError::Usage(format!(
                     "unknown flag --{key} for `{command}`"
                 )));
+            }
+            if BOOLEAN_FLAGS.contains(&key) {
+                map.insert(key.to_string(), "true".to_string());
+                i += 1;
+                continue;
             }
             let value = args
                 .get(i + 1)
@@ -258,6 +286,12 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "stream" => cmd_stream(&Flags::parse(rest, STREAM_FLAGS, "stream")?),
         "recover" => cmd_recover(&Flags::parse(rest, RECOVER_FLAGS, "recover")?),
         "calibrate" => cmd_calibrate(&Flags::parse(rest, CALIBRATE_FLAGS, "calibrate")?),
+        "metrics" => {
+            if !rest.is_empty() {
+                return Err(CliError::Usage("`metrics` takes no flags".into()));
+            }
+            cmd_metrics()
+        }
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
 }
@@ -493,7 +527,7 @@ fn cmd_check(flags: &Flags) -> Result<(), CliError> {
 /// describe the *same* world, event, and service configuration — the
 /// durable store fingerprints the scenario and refuses to recover state
 /// journaled under a different one.
-fn stream_pipeline(flags: &Flags) -> Result<Pipeline, CliError> {
+fn stream_pipeline(flags: &Flags, registry: Option<&Registry>) -> Result<Pipeline, CliError> {
     let (grid, chain) = kind_world(flags, 10)?;
     let m = grid.num_cells();
     let default_event = format!("PRESENCE(S={{1:{}}}, T={{2:4}})", (m / 4).max(1));
@@ -517,7 +551,51 @@ fn stream_pipeline(flags: &Flags) -> Result<Pipeline, CliError> {
     if let Some(dir) = flags.0.get("durable-dir") {
         builder = builder.durable(dir);
     }
+    if let Some(registry) = registry {
+        builder = builder.observe(registry);
+    }
     builder.build().map_err(usage)
+}
+
+/// Builds the optional metrics registry for `stream`/`recover`:
+/// `--metrics-json` (and `--trace` for `stream`) turn it on.
+fn registry_from_flags(flags: &Flags) -> Option<Registry> {
+    let wanted = flags.0.contains_key("metrics-json") || flags.0.contains_key("trace");
+    wanted.then(|| {
+        let registry = Registry::new();
+        if flags.0.contains_key("trace") {
+            registry.set_sink(Arc::new(StderrSink));
+        }
+        registry
+    })
+}
+
+/// Dumps the registry snapshot to `--metrics-json PATH` (schema
+/// `priste-metrics/1`). Stdout is never touched — the confirmation note
+/// goes to stderr.
+fn write_metrics_json(flags: &Flags, registry: Option<&Registry>) -> Result<(), CliError> {
+    let (Some(path), Some(registry)) = (flags.0.get("metrics-json"), registry) else {
+        return Ok(());
+    };
+    std::fs::write(path, registry.render_json())
+        .map_err(|e| CliError::Runtime(format!("write --metrics-json {path}: {e}")))?;
+    eprintln!("metrics: registry snapshot written to {path}");
+    Ok(())
+}
+
+/// Per-step stderr gauge line (stdout stays byte-identical with metrics on).
+fn eprint_step_gauges(registry: Option<&Registry>, step: usize, stats: &ServiceStats) {
+    if let Some(registry) = registry {
+        eprintln!(
+            "metrics: step={} observations={} certified={} violated={} suppressed={} sessions={:.0}",
+            step,
+            stats.observations,
+            stats.certified,
+            stats.violated,
+            stats.suppressed,
+            registry.gauge("online_sessions").get(),
+        );
+    }
 }
 
 /// The `priste-online` streaming service over a simulated N-user feed.
@@ -540,7 +618,8 @@ fn cmd_stream(flags: &Flags) -> Result<(), CliError> {
     // One pipeline describes the whole scenario; `stream` derives the
     // service (plain or enforcing) from it.
     let threads = flags.usize_or("threads", 1)?;
-    let pipeline = stream_pipeline(flags)?;
+    let registry = registry_from_flags(flags);
+    let pipeline = stream_pipeline(flags, registry.as_ref())?;
     let m = pipeline.num_cells();
     let chain = pipeline.chain().expect("mobility set above").clone();
     let mut service = if mode == "enforce" {
@@ -579,7 +658,14 @@ fn cmd_stream(flags: &Flags) -> Result<(), CliError> {
     }
 
     if mode == "enforce" {
-        return run_stream_enforcing(service, &trajectories, users, steps, seed, threads);
+        return run_stream_enforcing(
+            service,
+            &trajectories,
+            users,
+            steps,
+            flags,
+            registry.as_ref(),
+        );
     }
 
     // Feed: one batch per timestamp, every user releasing one observation;
@@ -589,6 +675,11 @@ fn cmd_stream(flags: &Flags) -> Result<(), CliError> {
     let started = std::time::Instant::now();
     #[allow(clippy::needless_range_loop)] // column-wise access across per-user rows
     for t in 0..steps {
+        let _step_span = registry.as_ref().map(|r| {
+            let mut span = r.span("stream_step");
+            span.annotate("t", (t + 1) as f64);
+            span
+        });
         let batch: Vec<(UserId, Vector)> = (0..users)
             .map(|u| {
                 let observed = plm.perturb(trajectories[u][t], &mut rng);
@@ -611,6 +702,7 @@ fn cmd_stream(flags: &Flags) -> Result<(), CliError> {
                 .filter(|w| w.verdict == Verdict::Violated)
                 .count();
         }
+        eprint_step_gauges(registry.as_ref(), t + 1, &service.stats());
     }
     let elapsed = started.elapsed();
     if service.durable_dir().is_some() {
@@ -650,7 +742,7 @@ fn cmd_stream(flags: &Flags) -> Result<(), CliError> {
         stats.observations as f64 / elapsed.as_secs_f64().max(1e-9),
         service.config().num_shards
     );
-    Ok(())
+    write_metrics_json(flags, registry.as_ref())
 }
 
 /// Enforcing-mode feed: the service holds the mechanism; the guard
@@ -663,14 +755,21 @@ fn run_stream_enforcing(
     trajectories: &[Vec<CellId>],
     users: usize,
     steps: usize,
-    seed: u64,
-    threads: usize,
+    flags: &Flags,
+    registry: Option<&Registry>,
 ) -> Result<(), CliError> {
+    let seed = flags.u64_or("seed", 1)?;
+    let threads = flags.usize_or("threads", 1)?;
     let mut worst_loss = vec![0.0f64; users];
     let mut suppressed = vec![0usize; users];
     let started = std::time::Instant::now();
     #[allow(clippy::needless_range_loop)] // column-wise access across per-user rows
     for t in 0..steps {
+        let _step_span = registry.map(|r| {
+            let mut span = r.span("stream_step");
+            span.annotate("t", (t + 1) as f64);
+            span
+        });
         let batch: Vec<(UserId, CellId)> = (0..users)
             .map(|u| (UserId(u as u64), trajectories[u][t]))
             .collect();
@@ -688,6 +787,7 @@ fn run_stream_enforcing(
                 worst_loss[u] = f64::INFINITY;
             }
         }
+        eprint_step_gauges(registry, t + 1, &service.stats());
     }
     let elapsed = started.elapsed();
     if service.durable_dir().is_some() {
@@ -723,7 +823,7 @@ fn run_stream_enforcing(
         elapsed.as_secs_f64(),
         stats.observations as f64 / elapsed.as_secs_f64().max(1e-9),
     );
-    Ok(())
+    write_metrics_json(flags, registry)
 }
 
 /// Read-only inspection of a durable service directory: recover the state
@@ -732,7 +832,8 @@ fn run_stream_enforcing(
 /// prints the same digest — recovery is byte-deterministic.
 fn cmd_recover(flags: &Flags) -> Result<(), CliError> {
     flags.required("durable-dir")?;
-    let pipeline = stream_pipeline(flags)?;
+    let registry = registry_from_flags(flags);
+    let pipeline = stream_pipeline(flags, registry.as_ref())?;
     let service = pipeline.recover_service().map_err(runtime)?;
 
     println!("user,observations,spent,budget_remaining,exhausted,violations,active_windows");
@@ -761,7 +862,15 @@ fn cmd_recover(flags: &Flags) -> Result<(), CliError> {
         stats.evicted_windows
     );
     println!("state digest: {:016x}", service.state_digest());
-    Ok(())
+    if registry.is_some() {
+        if let Some(info) = service.recovery_info() {
+            eprintln!(
+                "recovery: {:.3}s, {} records replayed, {} torn",
+                info.duration_seconds, info.replayed_records, info.torn_records
+            );
+        }
+    }
+    write_metrics_json(flags, registry.as_ref())
 }
 
 /// The `priste-calibrate` planners and release demo.
@@ -904,9 +1013,192 @@ fn cmd_calibrate(flags: &Flags) -> Result<(), CliError> {
     Ok(())
 }
 
+/// The metric schema reference: every instrument the service, guard, and
+/// durable substrate export, as rendered by `stream --metrics-json` and
+/// `Registry::render_prometheus`. Kept in sync with
+/// `priste_online`/`priste_calibrate` instrumentation by the
+/// `metrics_command_lists_exported_names` test.
+const METRIC_SCHEMA: &[(&str, &str, &str)] = &[
+    (
+        "online_observations_total",
+        "counter",
+        "observations ingested across all sessions",
+    ),
+    (
+        "online_windows_evicted_total",
+        "counter",
+        "event windows evicted after their linger expired",
+    ),
+    (
+        "online_verdicts_certified_total",
+        "counter",
+        "window verdicts that certified the target epsilon",
+    ),
+    (
+        "online_verdicts_violated_total",
+        "counter",
+        "window verdicts that exceeded the target epsilon",
+    ),
+    (
+        "online_verdicts_mismatched_total",
+        "counter",
+        "windows whose incremental and reference checks disagreed",
+    ),
+    (
+        "online_suppressed_total",
+        "counter",
+        "enforced releases the guard suppressed",
+    ),
+    (
+        "online_shard_panics_total",
+        "counter",
+        "worker panics absorbed by the parallel fan-out (also per shard as {shard=\"N\"})",
+    ),
+    (
+        "online_sessions",
+        "gauge",
+        "live sessions currently held by the service",
+    ),
+    (
+        "online_shard_imbalance",
+        "gauge",
+        "max-shard occupancy over the uniform share (1.0 = balanced)",
+    ),
+    (
+        "online_ingest_batch_seconds",
+        "histogram",
+        "wall time of one ingest batch",
+    ),
+    (
+        "online_ingest_batch_size",
+        "histogram",
+        "observations per ingest batch",
+    ),
+    (
+        "online_release_seconds",
+        "histogram",
+        "wall time of one enforced singleton release",
+    ),
+    (
+        "online_release_batch_seconds",
+        "histogram",
+        "wall time of one enforced release batch",
+    ),
+    (
+        "online_release_batch_size",
+        "histogram",
+        "releases per enforced batch",
+    ),
+    (
+        "online_recovery_duration_seconds",
+        "gauge",
+        "snapshot-load + WAL-replay time of the last recovery",
+    ),
+    (
+        "online_recovery_replayed_records",
+        "gauge",
+        "WAL records replayed by the last recovery",
+    ),
+    (
+        "online_recovery_skipped_newer",
+        "gauge",
+        "1 if recovery skipped a newer-but-invalid snapshot generation",
+    ),
+    (
+        "online_recovery_torn_records_total",
+        "counter",
+        "torn WAL tail records discarded during recovery",
+    ),
+    (
+        "guard_releases_total",
+        "counter",
+        "guard releases certified at the calibrated budget",
+    ),
+    (
+        "guard_suppressions_total",
+        "counter",
+        "guard decisions to suppress instead of release",
+    ),
+    (
+        "guard_floor_releases_total",
+        "counter",
+        "guard releases forced out at the floor budget (uncertified)",
+    ),
+    (
+        "guard_epsilon_spent",
+        "histogram",
+        "realized privacy loss per guarded release",
+    ),
+    (
+        "guard_backoff_depth",
+        "histogram",
+        "calibration ladder attempts per guarded release",
+    ),
+    (
+        "durable_wal_append_seconds",
+        "histogram",
+        "WAL record append wall time (write, excluding fsync)",
+    ),
+    (
+        "durable_wal_fsync_seconds",
+        "histogram",
+        "WAL fsync wall time per appended record",
+    ),
+    (
+        "durable_wal_bytes_total",
+        "counter",
+        "bytes journaled to the WAL",
+    ),
+    (
+        "durable_snapshot_seconds",
+        "histogram",
+        "snapshot write wall time per checkpoint",
+    ),
+    (
+        "durable_snapshot_bytes",
+        "gauge",
+        "size of the last written snapshot",
+    ),
+    (
+        "durable_checkpoints_total",
+        "counter",
+        "checkpoints taken (snapshot + WAL truncation)",
+    ),
+    (
+        "calibrate_plan_seconds",
+        "histogram",
+        "budget-planner wall time (per {planner=\"...\"} label)",
+    ),
+    (
+        "calibrate_plan_oracle_walks_total",
+        "counter",
+        "calibration-ladder rungs walked by the planners (per {planner=\"...\"} label)",
+    ),
+    (
+        "span_stream_step_seconds",
+        "histogram",
+        "CLI stream step span (one batch end-to-end)",
+    ),
+];
+
+/// Prints the metric schema table: what `--metrics-json` / the Prometheus
+/// renderer export, one line per instrument.
+fn cmd_metrics() -> Result<(), CliError> {
+    println!(
+        "exported metric schema (JSON schema id: {:?})",
+        priste::obs::JSON_SCHEMA
+    );
+    println!("name,kind,meaning");
+    for (name, kind, meaning) in METRIC_SCHEMA {
+        println!("{name},{kind},{meaning}");
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use priste::obs::json::Json;
 
     fn args(v: &[&str]) -> Vec<String> {
         v.iter().map(|s| s.to_string()).collect()
@@ -1074,6 +1366,183 @@ mod tests {
         let f = flags("recover", &["--side", "4"]).unwrap();
         assert!(matches!(cmd_recover(&f), Err(CliError::Usage(_))));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn temp_path(tag: &str, ext: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "priste-cli-{tag}-{}-{:?}.{ext}",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[test]
+    fn trace_is_a_boolean_flag() {
+        let f = flags("stream", &["--trace", "--users", "2"]).unwrap();
+        assert_eq!(f.str_or("trace", ""), "true");
+        assert_eq!(f.usize_or("users", 0).unwrap(), 2);
+        // `recover` does not accept it.
+        assert!(matches!(
+            flags("recover", &["--trace"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn stream_metrics_json_dump_parses_and_agrees() {
+        let path = temp_path("metrics", "json");
+        let path_s = path.to_str().unwrap().to_string();
+        let f = flags(
+            "stream",
+            &[
+                "--users",
+                "4",
+                "--steps",
+                "5",
+                "--side",
+                "4",
+                "--seed",
+                "9",
+                "--metrics-json",
+                &path_s,
+            ],
+        )
+        .unwrap();
+        cmd_stream(&f).unwrap();
+        let doc = priste::obs::json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(|j| j.as_str()),
+            Some(priste::obs::JSON_SCHEMA)
+        );
+        // 4 users × 5 steps of observations, in 5 ingest batches of 4.
+        let counters = doc.get("counters").unwrap();
+        assert_eq!(
+            counters
+                .get("online_observations_total")
+                .and_then(Json::as_u64),
+            Some(20)
+        );
+        let hists = doc.get("histograms").unwrap();
+        let batch = hists.get("online_ingest_batch_seconds").unwrap();
+        assert_eq!(batch.get("count").and_then(Json::as_u64), Some(5));
+        let sizes = hists.get("online_ingest_batch_size").unwrap();
+        assert_eq!(sizes.get("count").and_then(Json::as_u64), Some(5));
+        assert_eq!(sizes.get("sum").and_then(Json::as_f64), Some(20.0));
+        assert_eq!(
+            doc.get("gauges")
+                .unwrap()
+                .get("online_sessions")
+                .and_then(Json::as_f64),
+            Some(4.0)
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn metrics_schema_covers_every_exported_name() {
+        // A durable enforcing run touches every subsystem: service, guard,
+        // WAL/snapshot, spans. Every name it exports must be documented in
+        // `priste-cli metrics`.
+        let dir = temp_path("metrics-schema", "d");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = temp_path("metrics-schema", "json");
+        let f = flags(
+            "stream",
+            &[
+                "--users",
+                "3",
+                "--steps",
+                "4",
+                "--side",
+                "4",
+                "--mode",
+                "enforce",
+                "--seed",
+                "9",
+                "--durable-dir",
+                dir.to_str().unwrap(),
+                "--metrics-json",
+                path.to_str().unwrap(),
+            ],
+        )
+        .unwrap();
+        cmd_stream(&f).unwrap();
+        let doc = priste::obs::json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let documented: Vec<&str> = METRIC_SCHEMA.iter().map(|(n, _, _)| *n).collect();
+        for section in ["counters", "gauges", "histograms"] {
+            for name in doc.get(section).unwrap().as_object().unwrap().keys() {
+                let base = name.split('{').next().unwrap();
+                assert!(
+                    documented.contains(&base),
+                    "{name} exported but missing from METRIC_SCHEMA"
+                );
+            }
+        }
+        assert!(run(&args(&["metrics"])).is_ok());
+        assert!(matches!(
+            run(&args(&["metrics", "--side", "4"])),
+            Err(CliError::Usage(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn recover_metrics_json_reports_recovery_telemetry() {
+        let dir = temp_path("recover-metrics", "d");
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_str().unwrap().to_string();
+        let f = flags(
+            "stream",
+            &[
+                "--users",
+                "3",
+                "--steps",
+                "4",
+                "--side",
+                "4",
+                "--seed",
+                "9",
+                "--durable-dir",
+                &dir_s,
+            ],
+        )
+        .unwrap();
+        cmd_stream(&f).unwrap();
+        let path = temp_path("recover-metrics", "json");
+        let f = flags(
+            "recover",
+            &[
+                "--side",
+                "4",
+                "--durable-dir",
+                &dir_s,
+                "--metrics-json",
+                path.to_str().unwrap(),
+            ],
+        )
+        .unwrap();
+        cmd_recover(&f).unwrap();
+        let doc = priste::obs::json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let gauges = doc.get("gauges").unwrap();
+        assert!(
+            gauges
+                .get("online_recovery_duration_seconds")
+                .and_then(Json::as_f64)
+                .is_some_and(|v| v >= 0.0),
+            "recovery duration gauge missing"
+        );
+        // The clean-shutdown checkpoint leaves nothing to replay, but the
+        // counters must round-trip through the snapshot.
+        assert_eq!(
+            doc.get("counters")
+                .unwrap()
+                .get("online_observations_total")
+                .and_then(Json::as_u64),
+            Some(12)
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -74,6 +74,7 @@
 //! | [`calibrate`] | budget planners + the calibration guard (ε-event-privacy enforcement) |
 //! | [`core`] | the PriSTE framework (Algorithms 1–3) + experiment runner |
 //! | [`online`] | streaming multi-user service: sessions, sharding, incremental checks, enforcing mode |
+//! | [`obs`] | zero-dependency observability: metrics registry, spans, Prometheus/JSON export |
 //! | [`data`] | synthetic worlds, GeoLife parsing, commuter simulator |
 //!
 //! ## Migrating from the per-crate entry points
@@ -109,6 +110,7 @@ pub use priste_geo as geo;
 pub use priste_linalg as linalg;
 pub use priste_lppm as lppm;
 pub use priste_markov as markov;
+pub use priste_obs as obs;
 pub use priste_online as online;
 pub use priste_qp as qp;
 pub use priste_quantify as quantify;
@@ -136,9 +138,10 @@ pub mod prelude {
         gaussian_kernel_chain, stationary_distribution, train_mle, Homogeneous, MarkovModel,
         TimeVarying, TransitionProvider,
     };
+    pub use priste_obs::{Counter, EventSink, Gauge, Histogram, Registry, Span, Timer};
     pub use priste_online::{
-        DurableError, DurableOptions, EnforcedRelease, OnlineConfig, OnlineError, ServiceStats,
-        SessionManager, UserId, UserReport, Verdict, WindowReport,
+        DurableError, DurableOptions, EnforcedRelease, OnlineConfig, OnlineError, RecoveryInfo,
+        ServiceStats, SessionManager, UserId, UserReport, Verdict, WindowReport,
     };
     pub use priste_qp::{ConstraintSet, SolverConfig, TheoremChecker, TheoremVerdict};
     pub use priste_quantify::{

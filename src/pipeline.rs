@@ -52,11 +52,13 @@ use priste_geo::GridMap;
 use priste_linalg::Vector;
 use priste_lppm::{Lppm, PlanarLaplace};
 use priste_markov::{Homogeneous, MarkovModel, TimeVarying, TransitionProvider};
+use priste_obs::Registry;
 use priste_online::{DurableOptions, OnlineConfig, SessionManager};
 use priste_qp::TheoremChecker;
 use priste_quantify::{attack::BayesianAdversary, IncrementalTwoWorld, TheoremBuilder};
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// The pipeline's canonical mobility handle: one model, shared by every
 /// session, window and worker thread.
@@ -131,6 +133,7 @@ pub struct PipelineBuilder {
     planner_config: Option<PlannerConfig>,
     durable_dir: Option<PathBuf>,
     durable_options: DurableOptions,
+    registry: Option<Registry>,
     deferred: Option<PristeError>,
 }
 
@@ -266,6 +269,19 @@ impl PipelineBuilder {
         self
     }
 
+    /// Attaches a metrics [`Registry`] (from `priste_obs`): every derived
+    /// mode exports its counters/histograms into it — the service's
+    /// `online_*` stats and batch latencies, the guard's `guard_*` release
+    /// accounting, the durable substrate's `durable_*` WAL/snapshot
+    /// timings, and `calibrate_plan_*` planner metrics. Registries are
+    /// cheap `Arc`-backed handles; the same one can be shared with other
+    /// pipelines or rendered at any time (`render_prometheus` /
+    /// `render_json`).
+    pub fn observe(mut self, registry: &Registry) -> Self {
+        self.registry = Some(registry.clone());
+        self
+    }
+
     /// Validates the accumulated configuration into an immutable,
     /// shareable [`Pipeline`].
     ///
@@ -359,6 +375,7 @@ impl PipelineBuilder {
             planner_config,
             durable_dir: self.durable_dir,
             durable_options: self.durable_options,
+            registry: self.registry,
         })
     }
 
@@ -415,6 +432,7 @@ pub struct Pipeline {
     planner_config: PlannerConfig,
     durable_dir: Option<PathBuf>,
     durable_options: DurableOptions,
+    registry: Option<Registry>,
 }
 
 impl std::fmt::Debug for PipelineBuilder {
@@ -460,6 +478,7 @@ impl Pipeline {
             planner_config: None,
             durable_dir: None,
             durable_options: DurableOptions::default(),
+            registry: None,
             deferred: None,
         }
     }
@@ -506,6 +525,13 @@ impl Pipeline {
     /// The adversary's initial distribution `π`.
     pub fn initial(&self) -> &Vector {
         &self.pi
+    }
+
+    /// The attached metrics registry, when one was supplied via
+    /// [`PipelineBuilder::observe`]. Render it at any time with
+    /// [`Registry::render_prometheus`] or [`Registry::render_json`].
+    pub fn metrics_registry(&self) -> Option<&Registry> {
+        self.registry.as_ref()
     }
 
     /// A fresh instance of the pipeline's mechanism (e.g. to drive a
@@ -577,18 +603,23 @@ impl Pipeline {
     /// Service-configuration and template-registration failures; durable
     /// recovery or I/O failures when a durable directory is configured.
     pub fn serve(&self) -> Result<SessionManager<SharedProvider>> {
-        if let Some(dir) = &self.durable_dir {
-            return Ok(SessionManager::open_durable(
+        let mut service = if let Some(dir) = &self.durable_dir {
+            SessionManager::open_durable(
                 self.provider(),
                 self.service_config.clone(),
                 self.events.clone(),
                 dir,
                 self.durable_options,
-            )?);
-        }
-        let mut service = SessionManager::new(self.provider(), self.service_config.clone())?;
-        for event in &self.events {
-            service.register_template(event.clone())?;
+            )?
+        } else {
+            let mut service = SessionManager::new(self.provider(), self.service_config.clone())?;
+            for event in &self.events {
+                service.register_template(event.clone())?;
+            }
+            service
+        };
+        if let Some(registry) = &self.registry {
+            service.observe(registry);
         }
         Ok(service)
     }
@@ -610,12 +641,16 @@ impl Pipeline {
                 "recovery needs a durable directory: call .durable(dir) on the builder",
             )
         })?;
-        Ok(SessionManager::recover(
+        let mut service = SessionManager::recover(
             self.provider(),
             self.service_config.clone(),
             self.events.clone(),
             dir,
-        )?)
+        )?;
+        if let Some(registry) = &self.registry {
+            service.observe(registry);
+        }
+        Ok(service)
     }
 
     /// Derives the **enforcing streaming service**: [`Pipeline::serve`]
@@ -640,13 +675,17 @@ impl Pipeline {
     /// guard-construction failures.
     pub fn enforce(&self) -> Result<CalibratedMechanism<SharedProvider>> {
         self.require_events()?;
-        Ok(CalibratedMechanism::new(
+        let mut mech = CalibratedMechanism::new(
             self.mechanism_instance()?,
             &self.events,
             self.provider(),
             self.pi.clone(),
             self.guard_config.clone(),
-        )?)
+        )?;
+        if let Some(registry) = &self.registry {
+            mech.observe_into(registry);
+        }
+        Ok(mech)
     }
 
     // ---- Supporting derivations -----------------------------------------
@@ -717,14 +756,17 @@ impl Pipeline {
     /// planner failures.
     pub fn plan_greedy(&self, horizon: usize) -> Result<BudgetPlan> {
         let event = self.first_event()?;
-        Ok(plan_greedy(
+        let t0 = Instant::now();
+        let plan = plan_greedy(
             self.mechanism_instance()?,
             event,
             self.provider(),
             horizon,
             self.epsilon,
             &self.planner_config,
-        )?)
+        )?;
+        self.record_plan("greedy", t0, &plan);
+        Ok(plan)
     }
 
     /// The uniform ε*/T baseline plan for the first pipeline event.
@@ -733,14 +775,17 @@ impl Pipeline {
     /// See [`Pipeline::plan_greedy`].
     pub fn plan_uniform_split(&self, horizon: usize) -> Result<BudgetPlan> {
         let event = self.first_event()?;
-        Ok(plan_uniform_split(
+        let t0 = Instant::now();
+        let plan = plan_uniform_split(
             self.mechanism_instance()?,
             event,
             self.provider(),
             horizon,
             self.epsilon,
             &self.planner_config,
-        )?)
+        )?;
+        self.record_plan("uniform", t0, &plan);
+        Ok(plan)
     }
 
     /// The utility-aware knapsack plan for the first pipeline event under
@@ -765,7 +810,8 @@ impl Pipeline {
         model: &dyn UtilityModel,
     ) -> Result<BudgetPlan> {
         let event = self.first_event()?;
-        Ok(plan_knapsack(
+        let t0 = Instant::now();
+        let plan = plan_knapsack(
             self.mechanism_instance()?,
             event,
             self.provider(),
@@ -773,7 +819,9 @@ impl Pipeline {
             self.epsilon,
             &self.planner_config,
             model,
-        )?)
+        )?;
+        self.record_plan("knapsack", t0, &plan);
+        Ok(plan)
     }
 
     /// All three plans over one horizon — `(uniform, greedy, knapsack)` —
@@ -791,6 +839,7 @@ impl Pipeline {
     ) -> Result<(BudgetPlan, BudgetPlan, BudgetPlan)> {
         let uniform = self.plan_uniform_split(horizon)?;
         let greedy = self.plan_greedy(horizon)?;
+        let t0 = Instant::now();
         let knapsack = plan_knapsack_with_probes(
             self.mechanism_instance()?,
             self.first_event()?,
@@ -802,10 +851,30 @@ impl Pipeline {
             &greedy,
             &uniform,
         )?;
+        self.record_plan("knapsack", t0, &knapsack);
         Ok((uniform, greedy, knapsack))
     }
 
     // ---- Internals -------------------------------------------------------
+
+    /// Publishes one planner run into the attached registry: wall time
+    /// into `calibrate_plan_seconds{planner=…}` and the total ladder rungs
+    /// the oracle walked into
+    /// `calibrate_plan_oracle_walks_total{planner=…}`.
+    fn record_plan(&self, planner: &str, started: Instant, plan: &BudgetPlan) {
+        let Some(registry) = &self.registry else {
+            return;
+        };
+        registry
+            .histogram(&format!("calibrate_plan_seconds{{planner=\"{planner}\"}}"))
+            .observe(started.elapsed().as_secs_f64());
+        let rungs: u64 = plan.steps.iter().map(|s| s.rungs as u64).sum();
+        registry
+            .counter(&format!(
+                "calibrate_plan_oracle_walks_total{{planner=\"{planner}\"}}"
+            ))
+            .add(rungs);
+    }
 
     fn require_events(&self) -> Result<()> {
         if self.events.is_empty() {

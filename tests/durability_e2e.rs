@@ -7,6 +7,7 @@
 //! snapshot lives in the WAL — dropping the service mid-stream is a crash,
 //! and recovery exercises the full deterministic-replay path.
 
+use priste::obs::json::Json;
 use priste::prelude::*;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -31,6 +32,11 @@ fn unique_dir(tag: &str) -> PathBuf {
 /// persistence (`snapshot_every: 0`): checkpoints happen only when a test
 /// asks for one.
 fn commuter_pipeline(dir: &Path) -> Pipeline {
+    observed_commuter_pipeline(dir, None)
+}
+
+/// Same scenario, optionally with a metrics registry attached.
+fn observed_commuter_pipeline(dir: &Path, registry: Option<&Registry>) -> Pipeline {
     let world = geolife_sim::build(&geolife_sim::CommuterConfig {
         rows: 4,
         cols: 4,
@@ -38,7 +44,7 @@ fn commuter_pipeline(dir: &Path) -> Pipeline {
         ..Default::default()
     })
     .unwrap();
-    Pipeline::on_world(&world)
+    let mut builder = Pipeline::on_world(&world)
         .event_spec("PRESENCE(S={1:4}, T={2:4})")
         .planar_laplace(2.0)
         .target_epsilon(TARGET)
@@ -51,9 +57,11 @@ fn commuter_pipeline(dir: &Path) -> Pipeline {
         .durable_options(DurableOptions {
             fsync: false,
             snapshot_every: 0,
-        })
-        .build()
-        .unwrap()
+        });
+    if let Some(registry) = registry {
+        builder = builder.observe(registry);
+    }
+    builder.build().unwrap()
 }
 
 /// Streams `steps` enforced releases for each of `users` users (registering
@@ -191,6 +199,104 @@ fn torn_final_wal_record_rounds_spend_up() {
     assert_eq!(
         pipeline.recover_service().unwrap().state_digest(),
         recovered.state_digest()
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn exported_metrics_agree_with_service_stats_and_recovery_telemetry() {
+    let dir = unique_dir("metrics");
+    let registry = Registry::new();
+    let pipeline = observed_commuter_pipeline(&dir, Some(&registry));
+    let mut svc = pipeline.serve_enforcing().unwrap();
+    drive(&mut svc, &pipeline, 4, 6, 31);
+
+    // The exported counters and the `ServiceStats` shim read the same
+    // cells — one source of truth.
+    let stats = svc.stats();
+    let doc = priste::obs::json::parse(&registry.render_json()).unwrap();
+    let counters = doc.get("counters").unwrap();
+    let counter = |name: &str| counters.get(name).and_then(Json::as_u64).unwrap_or(0);
+    assert_eq!(
+        counter("online_observations_total"),
+        stats.observations as u64
+    );
+    assert_eq!(
+        counter("online_verdicts_certified_total"),
+        stats.certified as u64
+    );
+    assert_eq!(
+        counter("online_verdicts_violated_total"),
+        stats.violated as u64
+    );
+    assert_eq!(counter("online_suppressed_total"), stats.suppressed as u64);
+    assert_eq!(
+        counter("online_windows_evicted_total"),
+        stats.evicted_windows as u64
+    );
+    // The durable substrate journaled real bytes and timed each append.
+    assert!(counter("durable_wal_bytes_total") > 0);
+    let appends = doc
+        .get("histograms")
+        .unwrap()
+        .get("durable_wal_append_seconds")
+        .and_then(|h| h.get("count"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert!(appends > 0, "WAL appends must be timed");
+    drop(svc); // crash
+
+    // Tear the largest WAL segment's tail, then recover under a fresh
+    // registry: the recovery telemetry must land in the export.
+    let mut wals: Vec<(u64, PathBuf)> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("wal-"))
+        })
+        .map(|p| (std::fs::metadata(&p).unwrap().len(), p))
+        .collect();
+    wals.sort();
+    let (_, torn) = wals.pop().unwrap();
+    let bytes = std::fs::read(&torn).unwrap();
+    std::fs::write(&torn, &bytes[..bytes.len() - 5]).unwrap();
+
+    let rec_registry = Registry::new();
+    let pipeline = observed_commuter_pipeline(&dir, Some(&rec_registry));
+    let recovered = pipeline.recover_service().unwrap();
+    let info = recovered.recovery_info().expect("recovery telemetry");
+    assert!(info.torn_records >= 1, "the torn tail must be counted");
+    assert!(info.replayed_records > 0);
+    let doc = priste::obs::json::parse(&rec_registry.render_json()).unwrap();
+    let gauges = doc.get("gauges").unwrap();
+    assert!(
+        gauges
+            .get("online_recovery_duration_seconds")
+            .and_then(Json::as_f64)
+            .unwrap()
+            >= 0.0
+    );
+    assert_eq!(
+        gauges
+            .get("online_recovery_replayed_records")
+            .and_then(Json::as_f64),
+        Some(info.replayed_records as f64)
+    );
+    let counters = doc.get("counters").unwrap();
+    assert_eq!(
+        counters
+            .get("online_recovery_torn_records_total")
+            .and_then(Json::as_u64),
+        Some(info.torn_records)
+    );
+    // The restored service counters are visible through the new registry.
+    assert_eq!(
+        counters
+            .get("online_observations_total")
+            .and_then(Json::as_u64),
+        Some(recovered.stats().observations as u64)
     );
     std::fs::remove_dir_all(&dir).unwrap();
 }

@@ -151,6 +151,58 @@ fn cli_stream_is_deterministic_under_a_fixed_seed() {
 }
 
 #[test]
+fn cli_stream_stdout_is_byte_identical_with_metrics_on() {
+    let path =
+        std::env::temp_dir().join(format!("priste-smoke-metrics-{}.json", std::process::id()));
+    let path_s = path.to_str().unwrap();
+    let base = [
+        "stream", "--users", "8", "--steps", "5", "--side", "4", "--seed", "11",
+    ];
+    let (ok1, plain, err1) = run_cli(&base);
+    assert!(ok1, "plain stream failed: {err1}");
+    let mut with_metrics = base.to_vec();
+    with_metrics.extend(["--metrics-json", path_s, "--trace"]);
+    let (ok2, observed, err2) = run_cli(&with_metrics);
+    assert!(ok2, "observed stream failed: {err2}");
+    assert_eq!(
+        plain, observed,
+        "metrics/tracing must never change a byte of stdout"
+    );
+    // The gauge lines and the dump confirmation go to stderr instead.
+    assert!(err2.contains("metrics: step=1 "), "no gauge lines: {err2}");
+    assert!(err2.contains("trace: "), "no span events: {err2}");
+    assert!(
+        err2.contains("metrics: registry snapshot written to"),
+        "no dump note: {err2}"
+    );
+    // The dump is valid `priste-metrics/1` JSON agreeing with stdout.
+    let doc = priste::obs::json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(
+        doc.get("schema").and_then(|j| j.as_str()),
+        Some(priste::obs::JSON_SCHEMA)
+    );
+    assert_eq!(
+        doc.get("counters")
+            .unwrap()
+            .get("online_observations_total")
+            .and_then(|j| j.as_u64()),
+        Some(40),
+        "8 users x 5 steps"
+    );
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn cli_metrics_schema_command_prints_the_table() {
+    let (ok, stdout, stderr) = run_cli(&["metrics"]);
+    assert!(ok, "metrics failed: {stderr}");
+    assert!(stdout.contains("priste-metrics/1"), "{stdout}");
+    assert!(stdout.contains("online_observations_total,counter,"));
+    assert!(stdout.contains("durable_wal_fsync_seconds,histogram,"));
+    assert!(stdout.contains("guard_epsilon_spent,histogram,"));
+}
+
+#[test]
 fn cli_stream_exits_2_on_bad_input() {
     for bad in [
         vec!["stream", "--users", "0"],
