@@ -11,16 +11,22 @@
 //!   engine: quantifier construction and per-step observe throughput.
 //! * `calibrate` (`BENCH_calibrate.json`) — the three budget planners and
 //!   guarded-release throughput behind the calibration ladder.
+//! * `serve` (`BENCH_serve.json`) — the HTTP daemon end-to-end: an
+//!   in-process `priste_serve::Server` on an ephemeral port driven by the
+//!   closed-loop load generator; client-observed p50/p90/p99 latency and
+//!   sustained throughput over the full request count.
 //!
-//! Usage: `bench_export [--out PATH] [--suite online|quantify|calibrate|all]
-//! [--users N] [--steps N] [--reps N] [--compare DIR] [--noise F]`
+//! Usage: `bench_export [--out PATH] [--suite online|quantify|calibrate|serve|all]
+//! [--users N] [--steps N] [--reps N] [--compare DIR] [--noise F] [--markdown]`
 //!
 //! `--compare DIR` re-reads the committed `BENCH_<suite>.json` artifacts
 //! from DIR and diffs the fresh run against them, direction-aware (rates
 //! regress downward, latencies and ratios regress upward). Any metric
 //! drifting beyond the `--noise` band (default 0.05 = ±5%) fails the run
 //! with exit code 1; metrics absent from the committed file are skipped,
-//! so new instrumentation can land before its baseline.
+//! so new instrumentation can land before its baseline. `--markdown`
+//! additionally renders the comparison as a GitHub-flavored before/after
+//! delta table on stdout — paste it straight into a PR description.
 //!
 //! The defaults (500 users, 8 steps, 5 reps) finish in a few seconds; CI
 //! runs `--users 50 --steps 4 --reps 2` as a smoke test of the exporter
@@ -39,6 +45,7 @@ use priste_obs::json::{parse, Json};
 use priste_obs::Registry;
 use priste_online::{DurableOptions, OnlineConfig, SessionManager, UserId};
 use priste_quantify::IncrementalTwoWorld;
+use priste_serve::{LoadMode, LoadgenOptions, Server, ServerConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::{Path, PathBuf};
@@ -55,6 +62,7 @@ struct Opts {
     reps: usize,
     compare: Option<PathBuf>,
     noise: f64,
+    markdown: bool,
 }
 
 fn parse_opts() -> Opts {
@@ -66,6 +74,7 @@ fn parse_opts() -> Opts {
         reps: 5,
         compare: None,
         noise: 0.05,
+        markdown: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -81,19 +90,24 @@ fn parse_opts() -> Opts {
             "--reps" => opts.reps = value("--reps").parse().expect("--reps N"),
             "--compare" => opts.compare = Some(PathBuf::from(value("--compare"))),
             "--noise" => opts.noise = value("--noise").parse().expect("--noise F"),
+            "--markdown" => opts.markdown = true,
             other => panic!("unknown flag {other}; see the module docs for usage"),
         }
     }
     assert!(
         matches!(
             opts.suite.as_str(),
-            "online" | "quantify" | "calibrate" | "all"
+            "online" | "quantify" | "calibrate" | "serve" | "all"
         ),
-        "--suite must be online, quantify, calibrate or all"
+        "--suite must be online, quantify, calibrate, serve or all"
     );
     assert!(
         opts.noise >= 0.0 && opts.noise.is_finite(),
         "--noise must be a non-negative fraction"
+    );
+    assert!(
+        !opts.markdown || opts.compare.is_some(),
+        "--markdown renders the comparison table and so requires --compare DIR"
     );
     opts
 }
@@ -501,6 +515,91 @@ fn suite_calibrate(
     metrics
 }
 
+/// End-to-end daemon benchmark: a real `priste_serve::Server` on an
+/// ephemeral loopback port, hammered by the closed-loop load generator in
+/// mixed ingest/release mode. Unlike the other suites this is a single
+/// sustained run rather than best-of-reps — the load generator already
+/// aggregates over `users × steps × 25` requests (10⁵ at the defaults),
+/// and tail quantiles only mean something over a long closed loop.
+fn suite_serve(
+    opts: &Opts,
+    grid: &GridMap,
+    provider: &Arc<Homogeneous>,
+    event: &StEvent,
+) -> Vec<Metric> {
+    let requests = ((opts.users * opts.steps * 25) as u64).max(1_000);
+    let mut svc = service(provider, event, opts.users);
+    let mechanism = PlanarLaplace::new(grid.clone(), 2.0).expect("plm");
+    svc.enable_enforcement(
+        Box::new(mechanism.clone()),
+        GuardConfig {
+            target_epsilon: 1.0,
+            ..GuardConfig::default()
+        },
+    )
+    .expect("enforcement");
+    let registry = Registry::new();
+    svc.observe(&registry);
+    let server = Server::start(
+        svc,
+        Some(Box::new(mechanism)),
+        registry,
+        ServerConfig {
+            poll_interval: std::time::Duration::from_millis(5),
+            ..ServerConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind ephemeral loopback port");
+
+    let report = priste_serve::loadgen::run(&LoadgenOptions {
+        addr: server.local_addr().to_string(),
+        requests,
+        connections: 4,
+        users: opts.users as u64,
+        mode: LoadMode::Mixed,
+        seed: 42,
+    })
+    .expect("load generator");
+    server.drain_handle().drain();
+    let summary = server.wait().expect("drain");
+    assert_eq!(
+        report.errors, 0,
+        "the bench scenario must not produce protocol errors"
+    );
+    assert_eq!(
+        summary.errors, 0,
+        "the server must not count errors under benchmark load"
+    );
+
+    vec![
+        Metric {
+            name: "serve_p50_ms",
+            value: report.quantile_ms(0.50),
+            unit: "ms",
+            note: "client-observed median request latency, mixed ingest/release",
+        },
+        Metric {
+            name: "serve_p90_ms",
+            value: report.quantile_ms(0.90),
+            unit: "ms",
+            note: "client-observed p90 request latency",
+        },
+        Metric {
+            name: "serve_p99_ms",
+            value: report.quantile_ms(0.99),
+            unit: "ms",
+            note: "client-observed p99 request latency",
+        },
+        Metric {
+            name: "serve_throughput",
+            value: report.throughput(),
+            unit: "req/s",
+            note: "sustained closed-loop throughput, 4 connections",
+        },
+    ]
+}
+
 fn main() {
     let opts = parse_opts();
     let (grid, provider, event) = world();
@@ -511,14 +610,15 @@ fn main() {
         .unwrap_or(Path::new("."))
         .to_path_buf();
 
-    let suites: Vec<(&str, Vec<Metric>, PathBuf)> = ["online", "quantify", "calibrate"]
+    let suites: Vec<(&str, Vec<Metric>, PathBuf)> = ["online", "quantify", "calibrate", "serve"]
         .into_iter()
         .filter(|s| opts.suite == "all" || opts.suite == *s)
         .map(|name| {
             let metrics = match name {
                 "online" => suite_online(&opts, &grid, &provider, &event),
                 "quantify" => suite_quantify(&opts, &grid, &provider, &event),
-                _ => suite_calibrate(&opts, &grid, &provider, &event),
+                "calibrate" => suite_calibrate(&opts, &grid, &provider, &event),
+                _ => suite_serve(&opts, &grid, &provider, &event),
             };
             let path = if name == "online" {
                 opts.out.clone()
@@ -530,6 +630,7 @@ fn main() {
         .collect();
 
     let mut regressions = 0usize;
+    let mut rows: Vec<CompareRow> = Vec::new();
     for (name, metrics, path) in &suites {
         write_json(path, name, &opts, metrics).expect("write BENCH json");
         println!("[{name}]");
@@ -543,8 +644,13 @@ fn main() {
                 metrics,
                 &dir.join(format!("BENCH_{name}.json")),
                 opts.noise,
+                &mut rows,
             );
         }
+    }
+
+    if opts.markdown {
+        print_markdown_table(&rows, opts.noise);
     }
 
     if regressions > 0 {
@@ -556,10 +662,61 @@ fn main() {
     }
 }
 
+/// One metric's before/after comparison, kept for the `--markdown` table.
+struct CompareRow {
+    suite: String,
+    name: &'static str,
+    fresh: f64,
+    baseline: Option<f64>,
+    unit: &'static str,
+    drift: f64,
+    regressed: bool,
+}
+
+/// Renders the collected comparison as a GitHub-flavored delta table —
+/// the per-PR performance record ROADMAP asks for, ready to paste into a
+/// PR description.
+fn print_markdown_table(rows: &[CompareRow], noise: f64) {
+    println!();
+    println!(
+        "### Benchmark deltas (±{:.0}% noise band, fresh vs committed)",
+        noise * 100.0
+    );
+    println!();
+    println!("| Suite | Metric | Before | After | Delta | Verdict |");
+    println!("|---|---|---:|---:|---:|---|");
+    for r in rows {
+        let (before, delta, verdict) = match r.baseline {
+            Some(b) => (
+                format!("{b:.2} {}", r.unit),
+                format!("{:+.1}%", r.drift * 100.0),
+                if r.regressed {
+                    "**regressed**"
+                } else {
+                    "within noise"
+                }
+                .to_owned(),
+            ),
+            None => ("—".to_owned(), "—".to_owned(), "new metric".to_owned()),
+        };
+        println!(
+            "| {} | `{}` | {} | {:.2} {} | {} | {} |",
+            r.suite, r.name, before, r.fresh, r.unit, delta, verdict
+        );
+    }
+    println!();
+}
+
 /// Diffs one fresh suite against its committed artifact. Returns the number
 /// of metrics outside the noise band; a missing or unparsable committed
 /// file skips the suite (so new suites can land before their baseline).
-fn compare_suite(suite: &str, fresh: &[Metric], committed: &Path, noise: f64) -> usize {
+fn compare_suite(
+    suite: &str,
+    fresh: &[Metric],
+    committed: &Path,
+    noise: f64,
+    rows: &mut Vec<CompareRow>,
+) -> usize {
     let Ok(text) = std::fs::read_to_string(committed) else {
         println!(
             "compare[{suite}]: no committed artifact at {} — skipped",
@@ -597,6 +754,15 @@ fn compare_suite(suite: &str, fresh: &[Metric], committed: &Path, noise: f64) ->
                 "compare[{suite}] {:>24}: no committed baseline — skipped",
                 m.name
             );
+            rows.push(CompareRow {
+                suite: suite.to_owned(),
+                name: m.name,
+                fresh: m.value,
+                baseline: None,
+                unit: m.unit,
+                drift: 0.0,
+                regressed: false,
+            });
             continue;
         };
         let (regressed, drift) = if higher_is_better(m.unit) {
@@ -618,6 +784,15 @@ fn compare_suite(suite: &str, fresh: &[Metric], committed: &Path, noise: f64) ->
             m.unit,
             drift * 100.0
         );
+        rows.push(CompareRow {
+            suite: suite.to_owned(),
+            name: m.name,
+            fresh: m.value,
+            baseline: Some(baseline),
+            unit: m.unit,
+            drift,
+            regressed,
+        });
     }
     regressions
 }

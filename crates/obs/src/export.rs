@@ -142,14 +142,16 @@ impl Registry {
     ///   "counters": {"name": 3},
     ///   "gauges": {"name": 1.5},
     ///   "histograms": {
-    ///     "name": {"count": 2, "sum": 0.5, "p50": 0.25, "p90": 0.25,
-    ///              "p99": 0.25, "buckets": [[0.25, 2]]}
+    ///     "name": {"count": 2, "sum": 0.5, "p50": 0.375, "p90": 0.5,
+    ///              "p99": 0.5, "buckets": [[0.5, 2]]}
     ///   }
     /// }
     /// ```
     ///
     /// `buckets` lists `[upper_bound, count]` pairs for non-empty buckets
-    /// (non-cumulative). Non-finite numbers render as `null`.
+    /// (non-cumulative); the `p*` fields are the interpolated
+    /// [`Histogram::quantile`] estimates. Non-finite numbers render as
+    /// `null`.
     pub fn render_json(&self) -> String {
         let mut counters = Vec::new();
         let mut gauges = Vec::new();
@@ -271,7 +273,10 @@ online_shard_panics_total{shard=\"3\"} 2
             .and_then(|h| h.get("durable_wal_append_seconds"))
             .expect("histogram entry");
         assert_eq!(hist.get("count").and_then(|j| j.as_u64()), Some(3));
+        // Interpolated estimates: rank 2 of 2 exhausts [0.25, 0.5) → 0.5;
+        // rank 3 is the sole observation in [4, 8) → its le, 8.
         assert_eq!(hist.get("p50").and_then(|j| j.as_f64()), Some(0.5));
+        assert_eq!(hist.get("p99").and_then(|j| j.as_f64()), Some(8.0));
     }
 
     #[test]

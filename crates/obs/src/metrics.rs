@@ -213,9 +213,11 @@ impl HistogramCell {
 
 /// A log₂-bucketed value/latency histogram with exact count and sum.
 ///
-/// Quantiles are estimated as the upper bound of the bucket containing
-/// the requested rank — accurate to within one power of two, which is
-/// plenty for latency triage (p99 = "somewhere under 8 ms").
+/// Quantiles are estimated by locating the bucket containing the
+/// requested rank and interpolating linearly inside it (the same model
+/// Prometheus' `histogram_quantile` uses), so the error is bounded by
+/// the bucket width around the true value rather than always rounding
+/// up to the next power of two.
 #[derive(Clone)]
 pub struct Histogram {
     cell: Arc<HistogramCell>,
@@ -306,10 +308,13 @@ impl Histogram {
         std::array::from_fn(|i| self.cell.buckets[i].load(Ordering::Relaxed))
     }
 
-    /// Estimated `q`-quantile (`q` in `[0, 1]`): the upper bound of the
-    /// bucket holding the rank-`⌈q·count⌉` observation. Returns `0.0` for
-    /// an empty histogram and `+∞` when the rank lands in the unbounded
-    /// top bucket.
+    /// Estimated `q`-quantile (`q` in `[0, 1]`): the bucket holding the
+    /// rank-`⌈q·count⌉` observation is located, then the estimate
+    /// interpolates linearly between the bucket's bounds according to
+    /// where the rank falls among that bucket's observations. Returns
+    /// `0.0` for an empty histogram; a rank landing in the unbounded top
+    /// bucket reports that bucket's lower bound (there is no finite upper
+    /// bound to interpolate towards — Prometheus does the same).
     pub fn quantile(&self, q: f64) -> f64 {
         let buckets = self.bucket_counts();
         let total: u64 = buckets.iter().sum();
@@ -319,9 +324,19 @@ impl Histogram {
         let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
         let mut cum = 0u64;
         for (i, n) in buckets.iter().enumerate() {
+            if *n == 0 {
+                continue;
+            }
+            let below = cum;
             cum += n;
             if cum >= rank {
-                return Self::bucket_le(i);
+                let lower = if i == 0 { 0.0 } else { Self::bucket_le(i - 1) };
+                let upper = Self::bucket_le(i);
+                if upper.is_infinite() {
+                    return lower;
+                }
+                let frac = (rank - below) as f64 / *n as f64;
+                return lower + (upper - lower) * frac;
             }
         }
         f64::INFINITY
@@ -640,18 +655,56 @@ mod tests {
     }
 
     #[test]
-    fn histogram_quantiles_are_bucket_upper_bounds() {
+    fn histogram_quantiles_interpolate_within_the_bucket() {
         let h = Histogram::new();
         for _ in 0..90 {
-            h.observe(0.003); // -> bucket with le 2^-8 = 0.00390625
+            h.observe(0.003); // -> bucket [2^-9, 2^-8) = [0.001953125, 0.00390625)
         }
         for _ in 0..10 {
-            h.observe(3.0); // -> bucket with le 4
+            h.observe(3.0); // -> bucket [2, 4)
         }
-        assert_eq!(h.quantile(0.5), 0.00390625);
+        // rank 50 of 90 in [0.001953125, 0.00390625): lower + width·(50/90).
+        let p50 = 0.001953125 + 0.001953125 * (50.0 / 90.0);
+        assert!((h.quantile(0.5) - p50).abs() < 1e-15, "{}", h.quantile(0.5));
+        // rank 90 exhausts the first bucket exactly: estimate is its le.
         assert_eq!(h.quantile(0.9), 0.00390625);
-        assert_eq!(h.quantile(0.99), 4.0);
+        // rank 99 is the 9th of 10 observations in [2, 4): 2 + 2·0.9.
+        assert!(
+            (h.quantile(0.99) - 3.8).abs() < 1e-12,
+            "{}",
+            h.quantile(0.99)
+        );
         assert_eq!(Histogram::new().quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn histogram_quantile_handles_edge_buckets_and_stays_monotone() {
+        // Bucket 0 interpolates down towards zero.
+        let tiny = Histogram::new();
+        tiny.observe(1e-12);
+        let q = tiny.quantile(0.5);
+        assert!(q > 0.0 && q <= Histogram::bucket_le(0), "q={q}");
+        // The unbounded top bucket reports its (finite) lower bound.
+        let huge = Histogram::new();
+        huge.observe(1e300);
+        assert_eq!(
+            huge.quantile(0.99),
+            Histogram::bucket_le(HISTOGRAM_BUCKETS - 2)
+        );
+        // Quantile estimates are monotone in q.
+        let h = Histogram::new();
+        for i in 1..=1000u32 {
+            h.observe(f64::from(i) * 0.001);
+        }
+        let mut prev = 0.0;
+        for q in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let est = h.quantile(q);
+            assert!(est >= prev, "quantile({q})={est} < {prev}");
+            prev = est;
+        }
+        // ... and the p50 estimate lands within the true value's bucket.
+        let p50 = h.quantile(0.5);
+        assert!((0.25..=1.0).contains(&p50), "p50={p50}");
     }
 
     #[test]

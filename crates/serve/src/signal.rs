@@ -1,0 +1,75 @@
+//! SIGINT/SIGTERM → drain flag, without a `libc` crate dependency.
+//!
+//! `std` already links the platform C library, so on Unix we can declare
+//! `signal(2)` ourselves and point it at a handler that does the only
+//! async-signal-safe thing a drain needs: store a relaxed atomic flag.
+//! The accept loop polls [`triggered`] and starts a graceful drain when
+//! it flips. On non-Unix targets installation is a no-op and the flag
+//! simply never fires.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+/// Whether a termination signal has been observed since [`install`].
+pub fn triggered() -> bool {
+    TRIGGERED.load(Ordering::Relaxed)
+}
+
+/// Test hook: raise or clear the flag in-process.
+pub fn set_triggered(v: bool) {
+    TRIGGERED.store(v, Ordering::Relaxed);
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::TRIGGERED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        /// `signal(2)` from the C library `std` already links.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe work here: one relaxed atomic store.
+        TRIGGERED.store(true, Ordering::Relaxed);
+    }
+
+    pub fn install() {
+        // SAFETY: `signal` is the libc prototype; the handler performs a
+        // single atomic store, which is async-signal-safe.
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs the SIGINT/SIGTERM handlers (no-op off Unix). Idempotent.
+pub fn install() {
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_starts_clear_and_is_settable() {
+        install();
+        set_triggered(false);
+        assert!(!triggered());
+        set_triggered(true);
+        assert!(triggered());
+        set_triggered(false);
+    }
+}

@@ -23,6 +23,14 @@
 //!                      [--alpha F] [--side N] [--sigma F] [--horizon N]
 //!                      [--planner uniform|greedy|knapsack]
 //!                      [--steps N] [--floor F] [--backoff F] [--threads N] [--seed N]
+//! priste-cli serve     [--addr HOST:PORT] [--workers N] [--kind synthetic|commuter]
+//!                      [--event SPEC] [--epsilon F] [--alpha F] [--side N]
+//!                      [--sigma F] [--shards N] [--linger N] [--budget F]
+//!                      [--mode audit|enforce] [--floor F] [--backoff F]
+//!                      [--durable-dir PATH] [--metrics-json PATH] [--trace] [--seed N]
+//! priste-cli loadgen   --addr HOST:PORT [--requests N] [--connections N]
+//!                      [--users N] [--mode auto|ingest|release|mixed]
+//!                      [--out PATH] [--seed N]
 //! ```
 //!
 //! * `world` — build a mobility world and print its summary statistics.
@@ -62,6 +70,23 @@
 //!   total utility under the planar-Laplace error model, then a seeded
 //!   release demo in which the uncalibrated α-PLM fails the target ε*
 //!   while the calibrated mechanism certifies it.
+//! * `serve` — run the scenario as an HTTP daemon (`priste-serve`): the
+//!   JSON ingest/release/spend protocol plus the observability plane
+//!   (`GET /metrics` Prometheus text, `/healthz`, `/readyz`). Takes the
+//!   same scenario flags as `stream` (so a `--durable-dir` journaled by
+//!   `stream` recovers under `serve` and vice versa); `--addr 0` picks an
+//!   ephemeral port. The bound address is printed to stderr as
+//!   `serve: listening on ADDR` for scripts to scrape. SIGTERM/SIGINT
+//!   triggers a graceful drain: stop accepting, flush in-flight requests,
+//!   checkpoint the durable store, snapshot the registry to
+//!   `--metrics-json`, exit 0.
+//! * `loadgen` — closed-loop load generator against a running `serve`
+//!   daemon: `--connections` worker connections race through `--requests`
+//!   total requests (ingest, release, or an alternating mix; `auto` picks
+//!   by asking `/v1/config` whether enforcement is on) and report
+//!   client-observed p50/p90/p99 latency plus sustained throughput.
+//!   `--out PATH` writes the run as a `BENCH_serve.json`-compatible
+//!   artifact for `bench_export --compare`.
 //!
 //! Every subcommand constructs its stack through one [`Pipeline`]: the
 //! scenario (world, mobility, event, mechanism, target ε) is described
@@ -128,6 +153,13 @@ const USAGE: &str = "usage:
                        [--alpha F] [--side N] [--sigma F] [--horizon N]
                        [--planner uniform|greedy|knapsack]
                        [--steps N] [--floor F] [--backoff F] [--threads N] [--seed N]
+  priste-cli serve     [--addr HOST:PORT] [--workers N] [--kind synthetic|commuter]
+                       [--event SPEC] [--epsilon F] [--alpha F] [--side N] [--sigma F]
+                       [--shards N] [--linger N] [--budget F]
+                       [--mode audit|enforce] [--floor F] [--backoff F]
+                       [--durable-dir PATH] [--metrics-json PATH] [--trace] [--seed N]
+  priste-cli loadgen   --addr HOST:PORT [--requests N] [--connections N] [--users N]
+                       [--mode auto|ingest|release|mixed] [--out PATH] [--seed N]
   priste-cli help      print this text";
 
 /// CLI error with the exit-code split: usage errors (exit 2, usage text
@@ -196,6 +228,35 @@ const RECOVER_FLAGS: &[&str] = &[
 const CALIBRATE_FLAGS: &[&str] = &[
     "kind", "event", "target", "alpha", "side", "sigma", "horizon", "steps", "floor", "backoff",
     "threads", "seed", "planner",
+];
+const SERVE_FLAGS: &[&str] = &[
+    "addr",
+    "workers",
+    "kind",
+    "event",
+    "epsilon",
+    "alpha",
+    "side",
+    "sigma",
+    "shards",
+    "linger",
+    "budget",
+    "mode",
+    "floor",
+    "backoff",
+    "durable-dir",
+    "metrics-json",
+    "trace",
+    "seed",
+];
+const LOADGEN_FLAGS: &[&str] = &[
+    "addr",
+    "requests",
+    "connections",
+    "users",
+    "mode",
+    "out",
+    "seed",
 ];
 
 /// Flags that take no value: present means "on".
@@ -286,6 +347,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "stream" => cmd_stream(&Flags::parse(rest, STREAM_FLAGS, "stream")?),
         "recover" => cmd_recover(&Flags::parse(rest, RECOVER_FLAGS, "recover")?),
         "calibrate" => cmd_calibrate(&Flags::parse(rest, CALIBRATE_FLAGS, "calibrate")?),
+        "serve" => cmd_serve(&Flags::parse(rest, SERVE_FLAGS, "serve")?),
+        "loadgen" => cmd_loadgen(&Flags::parse(rest, LOADGEN_FLAGS, "loadgen")?),
         "metrics" => {
             if !rest.is_empty() {
                 return Err(CliError::Usage("`metrics` takes no flags".into()));
@@ -1013,6 +1076,138 @@ fn cmd_calibrate(flags: &Flags) -> Result<(), CliError> {
     Ok(())
 }
 
+/// The scenario served as an HTTP daemon: the `stream` pipeline behind
+/// `priste-serve`, with the metrics plane always on (that is the point of
+/// the daemon) and signal-driven graceful drain.
+fn cmd_serve(flags: &Flags) -> Result<(), CliError> {
+    let mode = flags.str_or("mode", "audit");
+    if !matches!(mode, "audit" | "enforce") {
+        return Err(CliError::Usage(format!(
+            "--mode must be audit or enforce, got {mode:?}"
+        )));
+    }
+    let workers = flags.usize_or("workers", 8)?;
+    if workers == 0 {
+        return Err(CliError::Usage("--workers must be at least 1".into()));
+    }
+    let addr = flags.str_or("addr", "127.0.0.1:8750");
+
+    // Unlike `stream`, the registry is unconditional — the live `/metrics`
+    // endpoint is the daemon's reason to exist. `--trace` adds span events
+    // on stderr; `--metrics-json` becomes the drain-time snapshot path.
+    let registry = Registry::new();
+    if flags.0.contains_key("trace") {
+        registry.set_sink(Arc::new(StderrSink));
+    }
+    let pipeline = stream_pipeline(flags, Some(&registry))?;
+    let config = ServerConfig {
+        workers,
+        metrics_snapshot: flags.0.get("metrics-json").map(std::path::PathBuf::from),
+        handle_signals: true,
+        seed: flags.u64_or("seed", 1)?,
+        ..ServerConfig::default()
+    };
+    let server = if mode == "enforce" {
+        pipeline.serve_http_enforcing(addr, config)
+    } else {
+        pipeline.serve_http(addr, config)
+    }
+    .map_err(runtime)?;
+
+    // Scripts (and the e2e tests) scrape this line to learn the bound
+    // port when `--addr` asked for an ephemeral one.
+    eprintln!("serve: listening on {} (mode={mode})", server.local_addr());
+    let summary = server.wait().map_err(runtime)?;
+    eprintln!(
+        "serve: drained — {} connections, {} requests ({} errors), checkpoint={}",
+        summary.connections,
+        summary.requests,
+        summary.errors,
+        if summary.checkpointed {
+            "written"
+        } else {
+            "none"
+        }
+    );
+    Ok(())
+}
+
+/// Closed-loop load generator against a running `serve` daemon.
+fn cmd_loadgen(flags: &Flags) -> Result<(), CliError> {
+    let mode_s = flags.str_or("mode", "auto");
+    let mode = LoadMode::parse(mode_s).ok_or_else(|| {
+        CliError::Usage(format!(
+            "--mode must be auto, ingest, release or mixed, got {mode_s:?}"
+        ))
+    })?;
+    let opts = LoadgenOptions {
+        addr: flags.required("addr")?.to_string(),
+        requests: flags.u64_or("requests", 1000)?,
+        connections: flags.usize_or("connections", 4)?,
+        users: flags.u64_or("users", 50)?,
+        mode,
+        seed: flags.u64_or("seed", 42)?,
+    };
+    if opts.requests == 0 || opts.connections == 0 || opts.users == 0 {
+        return Err(CliError::Usage(
+            "--requests, --connections and --users must be at least 1".into(),
+        ));
+    }
+    let report = priste::serve::loadgen::run(&opts).map_err(runtime)?;
+    println!(
+        "loadgen: {} requests in {:.2}s ({} errors)",
+        report.requests, report.elapsed_seconds, report.errors
+    );
+    println!(
+        "throughput: {:.0} req/s over {} connections",
+        report.throughput(),
+        opts.connections
+    );
+    println!(
+        "latency: p50 {:.3} ms  p90 {:.3} ms  p99 {:.3} ms",
+        report.quantile_ms(0.50),
+        report.quantile_ms(0.90),
+        report.quantile_ms(0.99)
+    );
+    if let Some(out) = flags.0.get("out") {
+        write_loadgen_artifact(out, &opts, &report)?;
+        eprintln!("loadgen: benchmark artifact written to {out}");
+    }
+    Ok(())
+}
+
+/// Writes a loadgen run as a `BENCH_serve.json`-shaped artifact (schema
+/// `priste-bench-serve/1`) so `bench_export --compare` can gate on a run
+/// produced from the CLI instead of the in-process bench suite.
+fn write_loadgen_artifact(
+    path: &str,
+    opts: &LoadgenOptions,
+    report: &LoadgenReport,
+) -> Result<(), CliError> {
+    let rows = [
+        ("serve_p50_ms", report.quantile_ms(0.50), "ms"),
+        ("serve_p90_ms", report.quantile_ms(0.90), "ms"),
+        ("serve_p99_ms", report.quantile_ms(0.99), "ms"),
+        ("serve_throughput", report.throughput(), "req/s"),
+    ];
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"priste-bench-serve/1\",\n");
+    json.push_str(&format!(
+        "  \"scenario\": {{\"requests\": {}, \"connections\": {}, \"users\": {}, \"errors\": {}}},\n",
+        report.requests, opts.connections, opts.users, report.errors
+    ));
+    json.push_str("  \"metrics\": [\n");
+    for (i, (name, value, unit)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"value\": {value:.3}, \"unit\": \"{unit}\", \
+             \"note\": \"priste-cli loadgen\"}}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(path, json).map_err(|e| CliError::Runtime(format!("write --out {path}: {e}")))
+}
+
 /// The metric schema reference: every instrument the service, guard, and
 /// durable substrate export, as rendered by `stream --metrics-json` and
 /// `Registry::render_prometheus`. Kept in sync with
@@ -1179,6 +1374,41 @@ const METRIC_SCHEMA: &[(&str, &str, &str)] = &[
         "histogram",
         "CLI stream step span (one batch end-to-end)",
     ),
+    (
+        "serve_request_seconds",
+        "histogram",
+        "HTTP request wall time (per {route=\"...\",status=\"...\"} label pair)",
+    ),
+    (
+        "serve_requests_in_flight",
+        "gauge",
+        "HTTP requests currently being handled",
+    ),
+    (
+        "serve_connections_total",
+        "counter",
+        "TCP connections accepted by the daemon",
+    ),
+    (
+        "serve_errors_total",
+        "counter",
+        "4xx/5xx responses and malformed requests (per {route=\"...\"} label)",
+    ),
+    (
+        "priste_build_info",
+        "gauge",
+        "always 1; the daemon's version rides in the {version=\"...\"} label",
+    ),
+    (
+        "process_uptime_seconds",
+        "gauge",
+        "seconds since the daemon started, refreshed on every /metrics scrape",
+    ),
+    (
+        "span_http_request_seconds",
+        "histogram",
+        "server-side HTTP request span (routing + dispatch end-to-end)",
+    ),
 ];
 
 /// Prints the metric schema table: what `--metrics-json` / the Prometheus
@@ -1213,6 +1443,8 @@ mod tests {
             "stream" => STREAM_FLAGS,
             "recover" => RECOVER_FLAGS,
             "calibrate" => CALIBRATE_FLAGS,
+            "serve" => SERVE_FLAGS,
+            "loadgen" => LOADGEN_FLAGS,
             other => panic!("unknown command {other}"),
         };
         Flags::parse(&args(v), allowed, command)
@@ -1374,6 +1606,26 @@ mod tests {
             std::process::id(),
             std::thread::current().id()
         ))
+    }
+
+    #[test]
+    fn serve_and_loadgen_validate_their_flags() {
+        // `serve` takes the full scenario surface plus the daemon knobs…
+        let f = flags("serve", &["--addr", "127.0.0.1:0", "--trace"]).unwrap();
+        assert_eq!(f.str_or("addr", ""), "127.0.0.1:0");
+        assert_eq!(f.str_or("trace", ""), "true");
+        // …and rejects modes and worker counts the daemon cannot run.
+        let f = flags("serve", &["--mode", "observe"]).unwrap();
+        assert!(matches!(cmd_serve(&f), Err(CliError::Usage(_))));
+        let f = flags("serve", &["--workers", "0"]).unwrap();
+        assert!(matches!(cmd_serve(&f), Err(CliError::Usage(_))));
+        // `loadgen` insists on a target and a recognizable mode.
+        let f = flags("loadgen", &[]).unwrap();
+        assert!(matches!(cmd_loadgen(&f), Err(CliError::Usage(_))));
+        let f = flags("loadgen", &["--addr", "127.0.0.1:1", "--mode", "chaos"]).unwrap();
+        assert!(matches!(cmd_loadgen(&f), Err(CliError::Usage(_))));
+        let f = flags("loadgen", &["--addr", "127.0.0.1:1", "--requests", "0"]).unwrap();
+        assert!(matches!(cmd_loadgen(&f), Err(CliError::Usage(_))));
     }
 
     #[test]

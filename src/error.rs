@@ -1,8 +1,8 @@
 //! The workspace-wide error hierarchy.
 //!
 //! Every member crate has its own error enum; applications built on the
-//! `priste` facade should not have to name ten different types to write one
-//! `?`. [`PristeError`] wraps each of them via `From` (so `?` converts
+//! `priste` facade should not have to name a dozen different types to write
+//! one `?`. [`PristeError`] wraps each of them via `From` (so `?` converts
 //! automatically anywhere in a pipeline) and forwards
 //! [`std::error::Error::source`], preserving the full cause chain down to
 //! the layer that actually failed.
@@ -42,6 +42,8 @@ pub enum PristeError {
     /// [`PristeError::Online`]; this variant is for facade APIs that talk
     /// to the store directly.
     Durable(priste_online::DurableError),
+    /// The HTTP serving layer (bind/accept failures, drain finalization).
+    Serve(priste_serve::ServeError),
     /// The pipeline builder itself: a mode was requested that the
     /// accumulated configuration cannot support (missing mobility model,
     /// missing mechanism, no events, …).
@@ -74,6 +76,7 @@ impl fmt::Display for PristeError {
             PristeError::Core(e) => write!(f, "framework error: {e}"),
             PristeError::Online(e) => write!(f, "streaming-service error: {e}"),
             PristeError::Durable(e) => write!(f, "durable-store error: {e}"),
+            PristeError::Serve(e) => write!(f, "serving error: {e}"),
             PristeError::Pipeline { message } => write!(f, "pipeline error: {message}"),
         }
     }
@@ -93,6 +96,7 @@ impl std::error::Error for PristeError {
             PristeError::Core(e) => Some(e),
             PristeError::Online(e) => Some(e),
             PristeError::Durable(e) => Some(e),
+            PristeError::Serve(e) => Some(e),
             PristeError::Pipeline { .. } => None,
         }
     }
@@ -119,6 +123,7 @@ wrap!(Data, priste_data::DataError);
 wrap!(Core, priste_core::CoreError);
 wrap!(Online, priste_online::OnlineError);
 wrap!(Durable, priste_online::DurableError);
+wrap!(Serve, priste_serve::ServeError);
 
 /// Convenience result alias for facade-level APIs.
 pub type Result<T> = std::result::Result<T, PristeError>;
@@ -151,6 +156,7 @@ mod tests {
                 dir: std::path::PathBuf::from("/tmp/d"),
             }
             .into(),
+            priste_serve::ServeError::Online(priste_online::OnlineError::NotEnforcing).into(),
         ];
         for e in &cases {
             assert!(!e.to_string().is_empty());

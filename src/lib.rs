@@ -56,8 +56,8 @@
 //! # Ok::<(), PristeError>(())
 //! ```
 //!
-//! Every fallible facade call returns [`PristeError`], which wraps the ten
-//! per-crate error enums with full [`std::error::Error::source`] chains.
+//! Every fallible facade call returns [`PristeError`], which wraps every
+//! per-crate error enum with full [`std::error::Error::source`] chains.
 //!
 //! ## Crate map
 //!
@@ -75,6 +75,7 @@
 //! | [`core`] | the PriSTE framework (Algorithms 1–3) + experiment runner |
 //! | [`online`] | streaming multi-user service: sessions, sharding, incremental checks, enforcing mode |
 //! | [`obs`] | zero-dependency observability: metrics registry, spans, Prometheus/JSON export |
+//! | [`serve`] | HTTP daemon over the streaming service: JSON protocol, live `/metrics`, graceful drain, closed-loop load generator |
 //! | [`data`] | synthetic worlds, GeoLife parsing, commuter simulator |
 //!
 //! ## Migrating from the per-crate entry points
@@ -114,6 +115,7 @@ pub use priste_obs as obs;
 pub use priste_online as online;
 pub use priste_qp as qp;
 pub use priste_quantify as quantify;
+pub use priste_serve as serve;
 
 /// One-stop imports for applications.
 pub mod prelude {
@@ -147,5 +149,9 @@ pub mod prelude {
     pub use priste_quantify::{
         attack::BayesianAdversary, fixed_pi::FixedPiQuantifier, forward_backward, naive,
         IncrementalTwoWorld, StreamStep, TheoremBuilder, TwoWorldEngine,
+    };
+    pub use priste_serve::{
+        DrainHandle, DrainSummary, LoadMode, LoadgenOptions, LoadgenReport, ServeError, Server,
+        ServerConfig,
     };
 }

@@ -56,6 +56,7 @@ use priste_obs::Registry;
 use priste_online::{DurableOptions, OnlineConfig, SessionManager};
 use priste_qp::TheoremChecker;
 use priste_quantify::{attack::BayesianAdversary, IncrementalTwoWorld, TheoremBuilder};
+use priste_serve::{Server, ServerConfig};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
@@ -664,6 +665,67 @@ impl Pipeline {
         let mut service = self.serve()?;
         service.enable_enforcement(self.mechanism_instance()?, self.guard_config.clone())?;
         Ok(service)
+    }
+
+    /// Derives the audit-mode streaming service and mounts it as an HTTP
+    /// daemon on `addr` (port `0` picks an ephemeral port — read it back
+    /// from [`Server::local_addr`]).
+    ///
+    /// The daemon serves the JSON protocol (`/v1/ingest`, `/v1/release`,
+    /// `/v1/users/:id/spend`, `/v1/config`) plus the observability plane
+    /// (`/metrics`, `/healthz`, `/readyz`) on the pipeline's metrics
+    /// registry — or a fresh one when [`PipelineBuilder::observe`] was
+    /// never called, so `/metrics` always works. The pipeline's mechanism
+    /// (when configured) turns `"observed"` cells into emission columns
+    /// server-side.
+    ///
+    /// # Errors
+    /// See [`Pipeline::serve`]; [`PristeError::Serve`] when the bind
+    /// fails.
+    pub fn serve_http(&self, addr: &str, config: ServerConfig) -> Result<Server<SharedProvider>> {
+        let service = self.serve()?;
+        self.start_server(service, addr, config)
+    }
+
+    /// [`Pipeline::serve_http`] with the enforcing service behind it, so
+    /// `POST /v1/release` performs guarded, certified releases.
+    ///
+    /// # Errors
+    /// See [`Pipeline::serve_enforcing`]; [`PristeError::Serve`] when the
+    /// bind fails.
+    pub fn serve_http_enforcing(
+        &self,
+        addr: &str,
+        config: ServerConfig,
+    ) -> Result<Server<SharedProvider>> {
+        let service = self.serve_enforcing()?;
+        self.start_server(service, addr, config)
+    }
+
+    fn start_server(
+        &self,
+        mut service: SessionManager<SharedProvider>,
+        addr: &str,
+        config: ServerConfig,
+    ) -> Result<Server<SharedProvider>> {
+        let registry = match &self.registry {
+            Some(registry) => registry.clone(),
+            None => {
+                // No observe() on the builder: give the daemon its own
+                // registry anyway, so the /metrics plane is never empty.
+                let registry = Registry::new();
+                service.observe(&registry);
+                registry
+            }
+        };
+        let column_source = self.mechanism_instance().ok();
+        Ok(Server::start(
+            service,
+            column_source,
+            registry,
+            config,
+            addr,
+        )?)
     }
 
     /// Derives the **calibrated guard**: the pipeline's mechanism wrapped

@@ -1,0 +1,229 @@
+//! End-to-end test of the shipped binary: `priste-cli serve` as a real
+//! OS process on an ephemeral port, driven over raw TCP and by the
+//! `loadgen` subcommand, then drained with a real SIGTERM.
+//!
+//! The crate-level tests in `crates/serve/tests/http_e2e.rs` cover the
+//! server library in-process; this test covers everything only the binary
+//! path exercises — flag plumbing, the stderr port-discovery line, signal
+//! handling, the drain summary, the exit code, and the `--out` benchmark
+//! artifact.
+
+use priste::obs::json::{parse, Json};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("priste-serve-e2e-{tag}-{}", std::process::id()))
+}
+
+/// One request over a fresh connection, `connection: close`, body read to
+/// EOF. Returns `(status, body)`.
+fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nhost: e2e\r\nconnection: close\r\n\
+         content-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read");
+    let status = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {raw:?}"));
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn serve_binary_serves_loadgen_and_drains_on_sigterm() {
+    let durable = temp_path("durable");
+    let snapshot = temp_path("metrics.json");
+    let artifact = temp_path("bench.json");
+    let _ = std::fs::remove_dir_all(&durable);
+    let _ = std::fs::remove_file(&snapshot);
+    let _ = std::fs::remove_file(&artifact);
+
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_priste_cli"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--side",
+            "4",
+            "--mode",
+            "enforce",
+            "--epsilon",
+            "0.8",
+            "--alpha",
+            "2",
+            "--seed",
+            "9",
+            "--durable-dir",
+            durable.to_str().unwrap(),
+            "--metrics-json",
+            snapshot.to_str().unwrap(),
+        ])
+        .stderr(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn priste-cli serve");
+
+    // The daemon announces its bound (ephemeral) port on stderr.
+    let mut stderr = BufReader::new(daemon.stderr.take().expect("stderr piped"));
+    let mut line = String::new();
+    let addr = loop {
+        line.clear();
+        assert!(
+            stderr.read_line(&mut line).expect("read stderr") > 0,
+            "daemon exited before announcing its address"
+        );
+        if let Some(rest) = line.trim().strip_prefix("serve: listening on ") {
+            break rest
+                .split_whitespace()
+                .next()
+                .expect("address token")
+                .to_string();
+        }
+    };
+
+    // The observability plane is up before any application traffic.
+    let (status, body) = http(&addr, "GET", "/healthz", "");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+    let (status, _) = http(&addr, "GET", "/readyz", "");
+    assert_eq!(status, 200);
+
+    // Application traffic through the JSON protocol; user 3 is
+    // auto-registered on first contact.
+    let (status, body) = http(&addr, "POST", "/v1/ingest", r#"{"user": 3, "observed": 5}"#);
+    assert_eq!(status, 200, "{body}");
+    let (status, body) = http(
+        &addr,
+        "POST",
+        "/v1/release",
+        r#"{"user": 3, "true_location": 7}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let (status, body) = http(&addr, "GET", "/v1/users/3/spend", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"spent\""), "{body}");
+
+    // The loadgen subcommand drives the daemon closed-loop and writes the
+    // BENCH-compatible artifact.
+    let loadgen = Command::new(env!("CARGO_BIN_EXE_priste_cli"))
+        .args([
+            "loadgen",
+            "--addr",
+            &addr,
+            "--requests",
+            "80",
+            "--connections",
+            "2",
+            "--users",
+            "5",
+            "--out",
+            artifact.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run loadgen");
+    let stdout = String::from_utf8_lossy(&loadgen.stdout);
+    assert!(
+        loadgen.status.success(),
+        "loadgen failed: {stdout}{}",
+        String::from_utf8_lossy(&loadgen.stderr)
+    );
+    assert!(stdout.contains("loadgen: 80 requests"), "{stdout}");
+    assert!(stdout.contains("latency: p50"), "{stdout}");
+    let doc = parse(&std::fs::read_to_string(&artifact).expect("artifact")).expect("valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("priste-bench-serve/1")
+    );
+    let metrics = doc
+        .get("metrics")
+        .and_then(Json::as_array)
+        .expect("metrics");
+    let names: Vec<&str> = metrics
+        .iter()
+        .filter_map(|m| m.get("name").and_then(Json::as_str))
+        .collect();
+    assert_eq!(
+        names,
+        [
+            "serve_p50_ms",
+            "serve_p90_ms",
+            "serve_p99_ms",
+            "serve_throughput"
+        ]
+    );
+
+    // The live Prometheus plane saw all of it.
+    let (status, metrics_text) = http(&addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(
+        metrics_text.contains("serve_request_seconds"),
+        "{metrics_text}"
+    );
+    assert!(
+        metrics_text.contains("priste_build_info{version="),
+        "{metrics_text}"
+    );
+
+    // A real SIGTERM must drain gracefully: checkpoint, snapshot, exit 0.
+    let kill = Command::new("kill")
+        .args(["-TERM", &daemon.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(kill.success());
+    let started = Instant::now();
+    let status = loop {
+        if let Some(status) = daemon.try_wait().expect("try_wait") {
+            break status;
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "daemon did not drain within 30s of SIGTERM"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    assert!(status.success(), "drain must exit 0, got {status}");
+    let mut rest = String::new();
+    stderr.read_to_string(&mut rest).expect("drain summary");
+    assert!(rest.contains("serve: drained"), "{rest}");
+
+    // Drain side effects: durable checkpoint on disk, metrics snapshot
+    // parseable and carrying the serve-plane series.
+    assert!(
+        std::fs::read_dir(&durable).expect("durable dir").count() > 0,
+        "durable directory must hold the drain checkpoint"
+    );
+    let doc = parse(&std::fs::read_to_string(&snapshot).expect("snapshot")).expect("valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("priste-metrics/1")
+    );
+    let hists = doc.get("histograms").expect("histograms");
+    assert!(
+        hists
+            .as_object()
+            .expect("object")
+            .keys()
+            .any(|k| k.starts_with("serve_request_seconds")),
+        "snapshot must include the request-latency histogram"
+    );
+
+    std::fs::remove_dir_all(&durable).ok();
+    std::fs::remove_file(&snapshot).ok();
+    std::fs::remove_file(&artifact).ok();
+}
