@@ -15,8 +15,13 @@
 //!   in-process `priste_serve::Server` on an ephemeral port driven by the
 //!   closed-loop load generator; client-observed p50/p90/p99 latency and
 //!   sustained throughput over the full request count.
+//! * `cluster` (`BENCH_cluster.json`) — the router tier: router-added
+//!   median latency versus hitting a worker directly (stall-free), and
+//!   ingest throughput scaling across 1/2/4 workers whose per-request
+//!   commit is artificially stalled so sharding — not the single bench
+//!   CPU — is what's being measured.
 //!
-//! Usage: `bench_export [--out PATH] [--suite online|quantify|calibrate|serve|all]
+//! Usage: `bench_export [--out PATH] [--suite online|quantify|calibrate|serve|cluster|all]
 //! [--users N] [--steps N] [--reps N] [--compare DIR] [--noise F] [--markdown]`
 //!
 //! `--compare DIR` re-reads the committed `BENCH_<suite>.json` artifacts
@@ -36,6 +41,7 @@ use priste_calibrate::{
     plan_greedy, plan_knapsack, plan_uniform_split, CalibratedMechanism, GuardConfig,
     PlanarLaplaceError, PlannerConfig,
 };
+use priste_cluster::{Router, RouterConfig, ShardMap};
 use priste_event::{Presence, StEvent};
 use priste_geo::{CellId, GridMap, Region};
 use priste_linalg::Vector;
@@ -50,7 +56,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const SHARDS: usize = 8;
 
@@ -97,9 +103,9 @@ fn parse_opts() -> Opts {
     assert!(
         matches!(
             opts.suite.as_str(),
-            "online" | "quantify" | "calibrate" | "serve" | "all"
+            "online" | "quantify" | "calibrate" | "serve" | "cluster" | "all"
         ),
-        "--suite must be online, quantify, calibrate, serve or all"
+        "--suite must be online, quantify, calibrate, serve, cluster or all"
     );
     assert!(
         opts.noise >= 0.0 && opts.noise.is_finite(),
@@ -559,6 +565,7 @@ fn suite_serve(
         users: opts.users as u64,
         mode: LoadMode::Mixed,
         seed: 42,
+        rate: None,
     })
     .expect("load generator");
     server.drain_handle().drain();
@@ -600,6 +607,196 @@ fn suite_serve(
     ]
 }
 
+/// One in-process worker for the cluster suite: the same enforcing
+/// commuter service as `suite_serve`, with an optional synthetic
+/// serialized-commit stall.
+fn start_cluster_worker(
+    opts: &Opts,
+    grid: &GridMap,
+    provider: &Arc<Homogeneous>,
+    event: &StEvent,
+    stall: std::time::Duration,
+) -> Server<Arc<Homogeneous>> {
+    let mut svc = service(provider, event, opts.users);
+    let mechanism = PlanarLaplace::new(grid.clone(), 2.0).expect("plm");
+    svc.enable_enforcement(
+        Box::new(mechanism.clone()),
+        GuardConfig {
+            target_epsilon: 1.0,
+            ..GuardConfig::default()
+        },
+    )
+    .expect("enforcement");
+    Server::start(
+        svc,
+        Some(Box::new(mechanism)),
+        Registry::new(),
+        ServerConfig {
+            poll_interval: std::time::Duration::from_millis(5),
+            request_stall: stall,
+            ..ServerConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind ephemeral worker port")
+}
+
+/// Fronts `workers` in-process serve daemons with a router and drives the
+/// load generator through it; returns the loadgen report after asserting a
+/// clean drain on every process.
+fn routed_run(
+    workers: Vec<Server<Arc<Homogeneous>>>,
+    loadgen: &LoadgenOptions,
+) -> priste_serve::LoadgenReport {
+    let map = ShardMap::from_workers(workers.iter().map(|w| w.local_addr().to_string()))
+        .expect("shard map");
+    let router = Router::start(
+        map,
+        Registry::new(),
+        RouterConfig {
+            poll_interval: std::time::Duration::from_millis(5),
+            ..RouterConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind ephemeral router port");
+    let report = priste_serve::loadgen::run(&LoadgenOptions {
+        addr: router.local_addr().to_string(),
+        ..loadgen.clone()
+    })
+    .expect("load generator through the router");
+    router.drain_handle().drain();
+    let summary = router.wait().expect("router drain");
+    assert_eq!(report.errors, 0, "routed bench traffic must be clean");
+    assert_eq!(summary.errors, 0, "the router must not count errors");
+    for worker in workers {
+        worker.drain_handle().drain();
+        let s = worker.wait().expect("worker drain");
+        assert_eq!(s.errors, 0, "workers must not count errors");
+    }
+    report
+}
+
+/// The router tier end-to-end. Two questions, answered separately because
+/// they need opposite worker regimes:
+///
+/// * **Router overhead** — stall-free workers, so the routed-minus-direct
+///   median isolates the router's added hop (parse, hash, pooled upstream
+///   exchange). This is real wall-clock on loopback.
+/// * **Throughput scaling** — workers with a synthetic serialized-commit
+///   stall (`ServerConfig::request_stall`), modelling capacity bounded by
+///   a per-worker serialized commit rather than CPU. On the single-core
+///   bench machine N stall-free worker processes cannot beat one (they
+///   share the core), so the stall is what makes "does the router
+///   aggregate N workers' capacity?" measurable at all: each ingest holds
+///   its worker's state lock ~400µs, capping one worker near 2.5k req/s,
+///   and scaling beyond that is attributable to sharding alone.
+fn suite_cluster(
+    opts: &Opts,
+    grid: &GridMap,
+    provider: &Arc<Homogeneous>,
+    event: &StEvent,
+) -> Vec<Metric> {
+    let mut metrics = Vec::new();
+
+    // --- Router-added latency, stall-free ---------------------------------
+    let overhead_requests = ((opts.users * opts.steps * 10) as u64).max(1_000);
+    let loadgen = LoadgenOptions {
+        addr: String::new(),
+        requests: overhead_requests,
+        connections: 4,
+        users: opts.users as u64,
+        mode: LoadMode::Mixed,
+        seed: 42,
+        rate: None,
+    };
+
+    let direct_worker = start_cluster_worker(opts, grid, provider, event, Duration::ZERO);
+    let direct = priste_serve::loadgen::run(&LoadgenOptions {
+        addr: direct_worker.local_addr().to_string(),
+        ..loadgen.clone()
+    })
+    .expect("load generator against the bare worker");
+    direct_worker.drain_handle().drain();
+    let direct_summary = direct_worker.wait().expect("worker drain");
+    assert_eq!(direct.errors, 0, "direct bench traffic must be clean");
+    assert_eq!(direct_summary.errors, 0, "the worker must not count errors");
+
+    let routed = routed_run(
+        vec![start_cluster_worker(
+            opts,
+            grid,
+            provider,
+            event,
+            Duration::ZERO,
+        )],
+        &loadgen,
+    );
+
+    let direct_p50 = direct.quantile_ms(0.50);
+    let routed_p50 = routed.quantile_ms(0.50);
+    metrics.push(Metric {
+        name: "cluster_direct_p50_ms",
+        value: direct_p50,
+        unit: "ms",
+        note: "median latency straight to one stall-free worker, mixed mode",
+    });
+    metrics.push(Metric {
+        name: "cluster_routed_p50_ms",
+        value: routed_p50,
+        unit: "ms",
+        note: "median latency through the router to the same worker build",
+    });
+    metrics.push(Metric {
+        name: "cluster_router_overhead_p50_ms",
+        value: (routed_p50 - direct_p50).max(0.0),
+        unit: "ms",
+        note: "router-added median latency (routed minus direct, clamped at zero)",
+    });
+
+    // --- Throughput scaling at 1/2/4 workers, stall-bound -----------------
+    let stall = std::time::Duration::from_micros(400);
+    let scale_requests = ((opts.users * opts.steps * 4) as u64).max(2_000);
+    for workers in [1usize, 2, 4] {
+        let report = routed_run(
+            (0..workers)
+                .map(|_| start_cluster_worker(opts, grid, provider, event, stall))
+                .collect(),
+            &LoadgenOptions {
+                addr: String::new(),
+                requests: scale_requests,
+                connections: 8,
+                users: opts.users as u64,
+                mode: LoadMode::Ingest,
+                seed: 42,
+                rate: None,
+            },
+        );
+        let (name, note): (&'static str, &'static str) = match workers {
+            1 => (
+                "cluster_throughput_1w",
+                "ingest through the router, 1 worker with a 400us serialized-commit stall",
+            ),
+            2 => (
+                "cluster_throughput_2w",
+                "ingest through the router, 2 stalled workers - sharding should near-double 1w",
+            ),
+            _ => (
+                "cluster_throughput_4w",
+                "ingest through the router, 4 stalled workers - scaling until the core saturates",
+            ),
+        };
+        metrics.push(Metric {
+            name,
+            value: report.throughput(),
+            unit: "req/s",
+            note,
+        });
+    }
+
+    metrics
+}
+
 fn main() {
     let opts = parse_opts();
     let (grid, provider, event) = world();
@@ -610,24 +807,26 @@ fn main() {
         .unwrap_or(Path::new("."))
         .to_path_buf();
 
-    let suites: Vec<(&str, Vec<Metric>, PathBuf)> = ["online", "quantify", "calibrate", "serve"]
-        .into_iter()
-        .filter(|s| opts.suite == "all" || opts.suite == *s)
-        .map(|name| {
-            let metrics = match name {
-                "online" => suite_online(&opts, &grid, &provider, &event),
-                "quantify" => suite_quantify(&opts, &grid, &provider, &event),
-                "calibrate" => suite_calibrate(&opts, &grid, &provider, &event),
-                _ => suite_serve(&opts, &grid, &provider, &event),
-            };
-            let path = if name == "online" {
-                opts.out.clone()
-            } else {
-                out_dir.join(format!("BENCH_{name}.json"))
-            };
-            (name, metrics, path)
-        })
-        .collect();
+    let suites: Vec<(&str, Vec<Metric>, PathBuf)> =
+        ["online", "quantify", "calibrate", "serve", "cluster"]
+            .into_iter()
+            .filter(|s| opts.suite == "all" || opts.suite == *s)
+            .map(|name| {
+                let metrics = match name {
+                    "online" => suite_online(&opts, &grid, &provider, &event),
+                    "quantify" => suite_quantify(&opts, &grid, &provider, &event),
+                    "calibrate" => suite_calibrate(&opts, &grid, &provider, &event),
+                    "cluster" => suite_cluster(&opts, &grid, &provider, &event),
+                    _ => suite_serve(&opts, &grid, &provider, &event),
+                };
+                let path = if name == "online" {
+                    opts.out.clone()
+                } else {
+                    out_dir.join(format!("BENCH_{name}.json"))
+                };
+                (name, metrics, path)
+            })
+            .collect();
 
     let mut regressions = 0usize;
     let mut rows: Vec<CompareRow> = Vec::new();

@@ -1,0 +1,43 @@
+//! The cluster crate's error enum, shaped like `priste_serve::ServeError`.
+
+use std::fmt;
+use std::io;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ClusterError>;
+
+/// Everything that can go wrong starting or running the router.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// Socket-level failure (bind, accept, connect).
+    Io(io::Error),
+    /// A malformed shard map, remap request, or upstream address.
+    Config(String),
+    /// An upstream worker broke the HTTP/JSON protocol.
+    Upstream(String),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Io(e) => write!(f, "i/o error: {e}"),
+            ClusterError::Config(msg) => write!(f, "cluster configuration error: {msg}"),
+            ClusterError::Upstream(msg) => write!(f, "upstream protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClusterError {
+    fn from(e: io::Error) -> Self {
+        ClusterError::Io(e)
+    }
+}

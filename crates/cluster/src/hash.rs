@@ -1,0 +1,229 @@
+//! User-to-shard assignment: jump consistent hashing over a slot table.
+//!
+//! The router's unit of placement is the **slot**: [`jump_hash`] maps a
+//! user id onto one of `n` slots, and the [`ShardMap`] maps each slot
+//! onto a worker address. Handoff therefore never moves users between
+//! slots — it rebinds one slot to a different address — so the
+//! user-partition is invariant across rebalances and a user's budget
+//! ledger always lives in exactly one worker's durable directory.
+//!
+//! Jump hash (Lamping & Veach, "A Fast, Minimal Memory, Consistent Hash
+//! Algorithm") was chosen over a hash ring because it needs no stored
+//! ring state, is exactly uniform, and moves the minimal 1/n of keys
+//! when a slot is *added* — and we never remove slots, only rebind them.
+
+use crate::error::{ClusterError, Result};
+use std::fmt::Write as _;
+
+/// Maps `key` onto a bucket in `0..buckets` (Lamping-Veach jump
+/// consistent hash). `buckets` must be at least 1; passing 0 returns 0.
+pub fn jump_hash(key: u64, buckets: u32) -> u32 {
+    if buckets <= 1 {
+        return 0;
+    }
+    let mut state = key;
+    let mut bucket: i64 = -1;
+    let mut next: i64 = 0;
+    while next < i64::from(buckets) {
+        bucket = next;
+        // The sequence from the paper: an LCG step, then a jump whose
+        // expected length keeps every bucket equally likely.
+        state = state
+            .wrapping_mul(2_862_933_555_777_941_757)
+            .wrapping_add(1);
+        let r = ((state >> 33).wrapping_add(1)) as f64;
+        next = (((bucket + 1) as f64) * ((1u64 << 31) as f64 / r)) as i64;
+    }
+    bucket as u32
+}
+
+/// The routing table: one worker address per slot.
+///
+/// Slots are stable; addresses are not. A remap (shard handoff) swaps a
+/// slot's address in place and leaves every user→slot assignment alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    slots: Vec<String>,
+}
+
+impl ShardMap {
+    /// One slot per worker address, in the order given.
+    ///
+    /// # Errors
+    /// [`ClusterError::Config`] when the list is empty or an address is
+    /// blank.
+    pub fn from_workers<I, S>(addrs: I) -> Result<ShardMap>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let slots: Vec<String> = addrs
+            .into_iter()
+            .map(Into::into)
+            .map(|a| a.trim().to_owned())
+            .collect();
+        if slots.is_empty() {
+            return Err(ClusterError::Config(
+                "the shard map needs at least one worker".into(),
+            ));
+        }
+        if let Some(blank) = slots.iter().position(String::is_empty) {
+            return Err(ClusterError::Config(format!(
+                "slot {blank} has an empty address"
+            )));
+        }
+        Ok(ShardMap { slots })
+    }
+
+    /// Parses the static shard-map file format: one `HOST:PORT` per
+    /// line, slot index = line order; blank lines and `#` comments are
+    /// skipped.
+    ///
+    /// # Errors
+    /// [`ClusterError::Config`] when no addresses remain after
+    /// filtering.
+    pub fn from_file_text(text: &str) -> Result<ShardMap> {
+        ShardMap::from_workers(
+            text.lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#')),
+        )
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the map is empty (never true for a constructed map).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The slot a user id routes to.
+    pub fn slot_of(&self, user: u64) -> usize {
+        jump_hash(user, self.slots.len() as u32) as usize
+    }
+
+    /// The address currently bound to `slot`.
+    pub fn addr(&self, slot: usize) -> &str {
+        &self.slots[slot]
+    }
+
+    /// All addresses, slot order.
+    pub fn addrs(&self) -> &[String] {
+        &self.slots
+    }
+
+    /// Rebinds `slot` to `addr` (shard handoff) and returns the old
+    /// address.
+    ///
+    /// # Errors
+    /// [`ClusterError::Config`] when the slot is out of range or the
+    /// address is blank.
+    pub fn remap(&mut self, slot: usize, addr: &str) -> Result<String> {
+        if slot >= self.slots.len() {
+            return Err(ClusterError::Config(format!(
+                "slot {slot} out of range (map has {} slots)",
+                self.slots.len()
+            )));
+        }
+        let addr = addr.trim();
+        if addr.is_empty() {
+            return Err(ClusterError::Config("remap address is empty".into()));
+        }
+        Ok(std::mem::replace(&mut self.slots[slot], addr.to_owned()))
+    }
+
+    /// The shard-map file rendering of this map ([`ShardMap::from_file_text`]
+    /// round-trips it).
+    pub fn to_file_text(&self) -> String {
+        let mut out = String::new();
+        for addr in &self.slots {
+            let _ = writeln!(out, "{addr}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jump_hash_is_deterministic_and_in_range() {
+        for user in 0..1000u64 {
+            let slot = jump_hash(user, 4);
+            assert!(slot < 4);
+            assert_eq!(slot, jump_hash(user, 4));
+        }
+        assert_eq!(jump_hash(123, 1), 0);
+        assert_eq!(jump_hash(123, 0), 0);
+    }
+
+    #[test]
+    fn jump_hash_is_roughly_uniform() {
+        let buckets = 8u32;
+        let mut counts = vec![0u32; buckets as usize];
+        let n = 8000u64;
+        for user in 0..n {
+            counts[jump_hash(user, buckets) as usize] += 1;
+        }
+        let expect = n as u32 / buckets;
+        for (slot, &c) in counts.iter().enumerate() {
+            assert!(
+                c > expect / 2 && c < expect * 2,
+                "slot {slot} holds {c} of {n} keys (expected ~{expect})"
+            );
+        }
+    }
+
+    #[test]
+    fn jump_hash_moves_few_keys_when_growing() {
+        // The consistency property: going from n to n+1 buckets moves
+        // roughly 1/(n+1) of the keys, never keys between old buckets.
+        let n = 4000u64;
+        let mut moved = 0u64;
+        for user in 0..n {
+            let before = jump_hash(user, 4);
+            let after = jump_hash(user, 5);
+            if before != after {
+                assert_eq!(after, 4, "user {user} moved between old buckets");
+                moved += 1;
+            }
+        }
+        assert!(
+            moved > n / 10 && moved < n / 3,
+            "moved {moved} of {n} keys going 4→5 buckets"
+        );
+    }
+
+    #[test]
+    fn shard_map_routes_remaps_and_round_trips() {
+        let mut map = ShardMap::from_workers(["127.0.0.1:1", "127.0.0.1:2"]).unwrap();
+        assert_eq!(map.len(), 2);
+        let slot = map.slot_of(42);
+        assert!(slot < 2);
+        let old = map.remap(slot, "127.0.0.1:9").unwrap();
+        assert_eq!(old, format!("127.0.0.1:{}", slot + 1));
+        assert_eq!(map.addr(slot), "127.0.0.1:9");
+        // Routing is untouched by the remap.
+        assert_eq!(map.slot_of(42), slot);
+
+        let parsed = ShardMap::from_file_text(&map.to_file_text()).unwrap();
+        assert_eq!(parsed, map);
+        let parsed =
+            ShardMap::from_file_text("# workers\n127.0.0.1:1\n\n  127.0.0.1:2  \n").unwrap();
+        assert_eq!(parsed.addrs(), ["127.0.0.1:1", "127.0.0.1:2"]);
+    }
+
+    #[test]
+    fn invalid_maps_are_rejected() {
+        assert!(ShardMap::from_workers(Vec::<String>::new()).is_err());
+        assert!(ShardMap::from_workers(["127.0.0.1:1", "  "]).is_err());
+        assert!(ShardMap::from_file_text("# only comments\n").is_err());
+        let mut map = ShardMap::from_workers(["a:1"]).unwrap();
+        assert!(map.remap(1, "b:2").is_err());
+        assert!(map.remap(0, "").is_err());
+    }
+}

@@ -1,0 +1,685 @@
+//! The router daemon: accepts client connections, maps each request's
+//! user id onto a slot, and relays the exchange to that slot's worker.
+//!
+//! # Architecture
+//!
+//! The threading mirrors `priste_serve`: one non-blocking acceptor
+//! feeds a fixed pool of serving threads over a channel, each owning
+//! one keep-alive client connection at a time. A dedicated prober
+//! thread walks every upstream's `/readyz` on a fixed interval so a
+//! dead worker is noticed (and its slots fail fast with 503 +
+//! `Retry-After`) without any client paying the discovery timeout.
+//!
+//! # Request identity across processes
+//!
+//! The router assigns (or echoes) `x-request-id` and forwards it to the
+//! worker, which echoes it back on its own response; one id therefore
+//! traces a request through both processes' logs and spans.
+//!
+//! # Admin plane
+//!
+//! `GET /cluster/workers` reports the live shard map with health;
+//! `POST /cluster/remap {"slot": N, "addr": "H:P"}` rebinds a slot to a
+//! new worker — the last step of a shard handoff — and counts into
+//! `cluster_remaps_total`.
+
+use crate::error::{ClusterError, Result};
+use crate::hash::ShardMap;
+use crate::pool::{validate_addr, ForwardError, PoolConfig, Upstream};
+use priste_obs::json::{self, Json};
+use priste_obs::{Counter, Gauge, Registry};
+use priste_serve::http::{write_response, ReadError, Request, RequestReader, Response};
+use priste_serve::proto::encode_error;
+use priste_serve::signal;
+use std::fmt::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`Router::start`].
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Serving threads — also the effective client-request concurrency.
+    pub workers: usize,
+    /// Largest accepted request body (413 beyond it).
+    pub max_body_bytes: usize,
+    /// Client-socket read timeout; bounds drain latency.
+    pub poll_interval: Duration,
+    /// How often the prober re-checks every worker's `/readyz`.
+    pub probe_interval: Duration,
+    /// Upstream transport tuning (retries, backoff, timeouts, pool).
+    pub pool: PoolConfig,
+    /// `Retry-After` seconds advertised on fail-fast 503s.
+    pub retry_after_seconds: u64,
+    /// Where [`Router::wait`] writes the final metrics snapshot.
+    pub metrics_snapshot: Option<PathBuf>,
+    /// Install SIGINT/SIGTERM handlers and treat them as a drain.
+    pub handle_signals: bool,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            workers: 8,
+            max_body_bytes: 64 * 1024,
+            poll_interval: Duration::from_millis(25),
+            probe_interval: Duration::from_millis(250),
+            pool: PoolConfig::default(),
+            retry_after_seconds: 1,
+            metrics_snapshot: None,
+            handle_signals: false,
+        }
+    }
+}
+
+/// What the drained router did, returned by [`Router::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterSummary {
+    /// Client connections accepted over the router's lifetime.
+    pub connections: u64,
+    /// Client requests answered (any status).
+    pub requests: u64,
+    /// Client requests answered with a 4xx/5xx status.
+    pub errors: u64,
+}
+
+/// Clonable switch that starts a graceful router drain.
+#[derive(Debug, Clone)]
+pub struct RouterDrainHandle {
+    flag: Arc<AtomicBool>,
+}
+
+impl RouterDrainHandle {
+    /// Flips the router into draining mode (idempotent).
+    pub fn drain(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a drain has been requested.
+    pub fn is_draining(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// One row of [`Router::workers_snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerStatus {
+    /// Slot index.
+    pub slot: usize,
+    /// Address currently bound to the slot.
+    pub addr: String,
+    /// Last probe/exchange verdict.
+    pub healthy: bool,
+}
+
+struct Shared {
+    upstreams: Vec<Upstream>,
+    registry: Registry,
+    config: RouterConfig,
+    draining: Arc<AtomicBool>,
+    started: Instant,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    next_request_id: AtomicU64,
+    in_flight: Gauge,
+    connections_total: Counter,
+    remaps_total: Counter,
+    uptime: Gauge,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    fn bump_error(&self, route: &str) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.registry
+            .counter(&format!("cluster_errors_total{{route=\"{route}\"}}"))
+            .inc();
+    }
+
+    fn slot_of(&self, user: u64) -> usize {
+        crate::hash::jump_hash(user, self.upstreams.len() as u32) as usize
+    }
+
+    fn first_healthy(&self) -> Option<&Upstream> {
+        self.upstreams.iter().find(|u| u.is_healthy())
+    }
+}
+
+/// A running router; dropping it without [`Router::wait`] detaches the
+/// threads.
+pub struct Router {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+    prober: JoinHandle<()>,
+}
+
+impl Router {
+    /// Binds `addr` (port 0 for ephemeral) and starts routing onto the
+    /// workers in `map`. Every worker address is resolved eagerly and
+    /// probed once synchronously, so the health picture is accurate
+    /// before the first client request arrives.
+    ///
+    /// # Errors
+    /// [`ClusterError::Io`] when the bind fails, or
+    /// [`ClusterError::Config`] for an unresolvable worker address.
+    pub fn start(
+        map: ShardMap,
+        registry: Registry,
+        config: RouterConfig,
+        addr: &str,
+    ) -> Result<Router> {
+        for addr in map.addrs() {
+            validate_addr(addr)?;
+        }
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        registry
+            .gauge(&format!(
+                "priste_build_info{{version=\"{}\"}}",
+                env!("CARGO_PKG_VERSION")
+            ))
+            .set(1.0);
+        registry.gauge("cluster_slots").set(map.len() as f64);
+        let uptime = registry.gauge("process_uptime_seconds");
+        let in_flight = registry.gauge("cluster_requests_in_flight");
+        let connections_total = registry.counter("cluster_connections_total");
+        let remaps_total = registry.counter("cluster_remaps_total");
+        if config.handle_signals {
+            signal::install();
+        }
+
+        let upstreams: Vec<Upstream> = map
+            .addrs()
+            .iter()
+            .enumerate()
+            .map(|(slot, addr)| Upstream::new(slot, addr.clone(), config.pool.clone(), &registry))
+            .collect();
+        for upstream in &upstreams {
+            upstream.probe();
+        }
+
+        let draining = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(Shared {
+            upstreams,
+            registry,
+            config,
+            draining,
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            next_request_id: AtomicU64::new(0),
+            in_flight,
+            connections_total,
+            remaps_total,
+            uptime,
+        });
+
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..shared.config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                thread::spawn(move || worker_loop(&shared, &rx))
+            })
+            .collect();
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || accept_loop(&shared, &listener, &tx))
+        };
+        let prober = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || probe_loop(&shared))
+        };
+        Ok(Router {
+            shared,
+            local_addr,
+            acceptor,
+            workers,
+            prober,
+        })
+    }
+
+    /// The bound address (the resolved port when started on port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A clonable handle that can start a drain from any thread.
+    pub fn drain_handle(&self) -> RouterDrainHandle {
+        RouterDrainHandle {
+            flag: Arc::clone(&self.shared.draining),
+        }
+    }
+
+    /// The live shard map with per-worker health.
+    pub fn workers_snapshot(&self) -> Vec<WorkerStatus> {
+        self.shared
+            .upstreams
+            .iter()
+            .map(|u| WorkerStatus {
+                slot: u.slot(),
+                addr: u.addr(),
+                healthy: u.is_healthy(),
+            })
+            .collect()
+    }
+
+    /// Rebinds `slot` to `addr` in-process — the programmatic face of
+    /// `POST /cluster/remap`, used by handoff orchestration.
+    ///
+    /// # Errors
+    /// [`ClusterError::Config`] for an out-of-range slot or an
+    /// unresolvable address.
+    pub fn rebind_slot(&self, slot: usize, addr: &str) -> Result<()> {
+        rebind(&self.shared, slot, addr)
+    }
+
+    /// Blocks until a drain is requested and every in-flight client
+    /// request has been answered, then writes the final metrics
+    /// snapshot (when configured) and returns the [`RouterSummary`].
+    ///
+    /// # Errors
+    /// Snapshot-write failures; the drain itself cannot fail.
+    pub fn wait(self) -> Result<RouterSummary> {
+        let _ = self.acceptor.join();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+        let _ = self.prober.join();
+        let shared = self.shared;
+        shared.uptime.set(shared.started.elapsed().as_secs_f64());
+        if let Some(path) = &shared.config.metrics_snapshot {
+            std::fs::write(path, shared.registry.render_json())?;
+        }
+        Ok(RouterSummary {
+            connections: shared.connections_total.get(),
+            requests: shared.requests.load(Ordering::Relaxed),
+            errors: shared.errors.load(Ordering::Relaxed),
+        })
+    }
+}
+
+fn rebind(shared: &Shared, slot: usize, addr: &str) -> Result<()> {
+    let Some(upstream) = shared.upstreams.get(slot) else {
+        return Err(ClusterError::Config(format!(
+            "slot {slot} out of range (map has {} slots)",
+            shared.upstreams.len()
+        )));
+    };
+    validate_addr(addr)?;
+    upstream.rebind(addr);
+    shared.remaps_total.inc();
+    Ok(())
+}
+
+fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &mpsc::Sender<TcpStream>) {
+    loop {
+        if shared.config.handle_signals && signal::triggered() {
+            shared.draining.store(true, Ordering::SeqCst);
+        }
+        if shared.draining() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.connections_total.inc();
+                if tx.send(stream).is_err() {
+                    return;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn probe_loop(shared: &Shared) {
+    while !shared.draining() {
+        for upstream in &shared.upstreams {
+            upstream.probe();
+        }
+        // Sleep in poll-sized slices so a drain is noticed promptly.
+        let mut remaining = shared.config.probe_interval;
+        while !remaining.is_zero() && !shared.draining() {
+            let step = remaining.min(Duration::from_millis(25));
+            thread::sleep(step);
+            remaining = remaining.saturating_sub(step);
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
+    loop {
+        let stream = {
+            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+            guard.recv()
+        };
+        match stream {
+            Ok(stream) => handle_connection(shared, stream),
+            Err(_) => return,
+        }
+    }
+}
+
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_nodelay(true);
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = RequestReader::new(stream, shared.config.max_body_bytes);
+    loop {
+        match reader.read_request() {
+            Ok(req) => {
+                shared.in_flight.add(1.0);
+                let mut resp = handle_request(shared, &req);
+                shared.in_flight.add(-1.0);
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                if shared.draining() || req.wants_close() {
+                    resp.close = true;
+                }
+                if write_response(&mut writer, &resp).is_err() || resp.close {
+                    return;
+                }
+            }
+            Err(ReadError::Idle) => {
+                if shared.draining() {
+                    return;
+                }
+            }
+            Err(ReadError::Closed) | Err(ReadError::Io(_)) => return,
+            Err(ReadError::Malformed(msg)) => {
+                shared.bump_error("malformed");
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                let mut resp = Response::json(400, encode_error(&msg));
+                resp.close = true;
+                let _ = write_response(&mut writer, &resp);
+                return;
+            }
+            Err(ReadError::TooLarge) => {
+                shared.bump_error("malformed");
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                let mut resp = Response::json(413, encode_error("request too large"));
+                resp.close = true;
+                let _ = write_response(&mut writer, &resp);
+                return;
+            }
+        }
+    }
+}
+
+/// Stable route label for metrics (path parameters collapsed).
+fn route_label(path: &str) -> &'static str {
+    match path {
+        "/v1/ingest" => "/v1/ingest",
+        "/v1/release" => "/v1/release",
+        "/v1/config" => "/v1/config",
+        "/metrics" => "/metrics",
+        "/healthz" => "/healthz",
+        "/readyz" => "/readyz",
+        "/cluster/workers" => "/cluster/workers",
+        "/cluster/remap" => "/cluster/remap",
+        _ if spend_user(path).is_some() => "/v1/users/:id/spend",
+        _ => "unknown",
+    }
+}
+
+/// Parses `/v1/users/<id>/spend`.
+fn spend_user(path: &str) -> Option<u64> {
+    path.strip_prefix("/v1/users/")?
+        .strip_suffix("/spend")?
+        .parse()
+        .ok()
+}
+
+fn handle_request(shared: &Shared, req: &Request) -> Response {
+    let route = route_label(&req.path);
+    let start = Instant::now();
+    let request_id = match req.header("x-request-id") {
+        Some(id) => id.to_owned(),
+        None => format!(
+            "cluster-{}",
+            shared.next_request_id.fetch_add(1, Ordering::Relaxed) + 1
+        ),
+    };
+    let mut span = shared.registry.span("cluster_request");
+    let mut resp = dispatch(shared, route, req, &request_id);
+    let status = resp.status;
+    span.annotate("status", f64::from(status));
+    drop(span);
+    shared
+        .registry
+        .histogram(&format!(
+            "cluster_request_seconds{{route=\"{route}\",status=\"{status}\"}}"
+        ))
+        .observe(start.elapsed().as_secs_f64());
+    if status >= 400 {
+        shared.bump_error(route);
+    }
+    resp.request_id = Some(request_id);
+    resp
+}
+
+fn dispatch(shared: &Shared, route: &'static str, req: &Request, request_id: &str) -> Response {
+    match (req.method.as_str(), route) {
+        ("POST", "/v1/ingest") | ("POST", "/v1/release") => {
+            route_by_body(shared, route, req, request_id)
+        }
+        ("GET", "/v1/users/:id/spend") => {
+            let user = spend_user(&req.path).expect("route_label matched");
+            let slot = shared.slot_of(user);
+            forward_to(shared, slot, route, req, request_id)
+        }
+        ("GET", "/v1/config") => match shared.first_healthy() {
+            Some(upstream) => forward_to(shared, upstream.slot(), route, req, request_id),
+            None => all_down(shared),
+        },
+        ("GET", "/metrics") => {
+            shared.uptime.set(shared.started.elapsed().as_secs_f64());
+            Response {
+                status: 200,
+                content_type: "text/plain; version=0.0.4; charset=utf-8",
+                body: shared.registry.render_prometheus().into_bytes(),
+                request_id: None,
+                retry_after: None,
+                close: false,
+            }
+        }
+        ("GET", "/healthz") => Response::text(200, "ok\n"),
+        ("GET", "/readyz") => {
+            if shared.draining() {
+                Response::json(503, encode_error("draining"))
+            } else if shared.first_healthy().is_none() {
+                let mut resp = Response::json(503, encode_error("no healthy workers"));
+                resp.retry_after = Some(shared.config.retry_after_seconds);
+                resp
+            } else {
+                Response::text(200, "ready\n")
+            }
+        }
+        ("GET", "/cluster/workers") => workers_response(shared),
+        ("POST", "/cluster/remap") => remap_response(shared, &req.body),
+        (_, "unknown") => Response::json(404, encode_error("no such route")),
+        _ => Response::json(405, encode_error("method not allowed on this route")),
+    }
+}
+
+/// Routes an ingest/release by the `"user"` field of its JSON body.
+fn route_by_body(
+    shared: &Shared,
+    route: &'static str,
+    req: &Request,
+    request_id: &str,
+) -> Response {
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return Response::json(400, encode_error("body is not valid UTF-8"));
+    };
+    let Ok(doc) = json::parse(text) else {
+        return Response::json(400, encode_error("body is not valid JSON"));
+    };
+    let Some(user) = doc.get("user").and_then(Json::as_u64) else {
+        return Response::json(400, encode_error("missing or non-integer field \"user\""));
+    };
+    let slot = shared.slot_of(user);
+    forward_to(shared, slot, route, req, request_id)
+}
+
+/// Serializes `req` for the upstream (minimal rebuilt head, request id
+/// propagated) and relays the worker's answer.
+fn forward_to(
+    shared: &Shared,
+    slot: usize,
+    route: &str,
+    req: &Request,
+    request_id: &str,
+) -> Response {
+    let upstream = &shared.upstreams[slot];
+    let mut wire = format!(
+        "{} {} HTTP/1.1\r\nhost: cluster\r\nx-request-id: {request_id}\r\n",
+        req.method, req.path
+    );
+    if !req.body.is_empty() {
+        let _ = write!(
+            wire,
+            "content-type: application/json\r\ncontent-length: {}\r\n",
+            req.body.len()
+        );
+    } else {
+        wire.push_str("content-length: 0\r\n");
+    }
+    wire.push_str("\r\n");
+    let mut wire = wire.into_bytes();
+    wire.extend_from_slice(&req.body);
+
+    match upstream.forward(&wire, route) {
+        Ok(up) => {
+            let mut resp = Response::json(up.status, String::new());
+            resp.body = up.body;
+            resp.content_type = content_type_static(&up.content_type);
+            resp
+        }
+        Err(ForwardError::Down) => {
+            let mut resp = Response::json(
+                503,
+                encode_error(&format!("worker {slot} ({}) is down", upstream.addr())),
+            );
+            resp.retry_after = Some(shared.config.retry_after_seconds);
+            resp
+        }
+        Err(ForwardError::Io(e)) => Response::json(
+            502,
+            encode_error(&format!("worker {slot} failed mid-exchange: {e}")),
+        ),
+        Err(ForwardError::Malformed(msg)) => Response::json(
+            502,
+            encode_error(&format!("worker {slot} sent a malformed response: {msg}")),
+        ),
+    }
+}
+
+/// [`Response::content_type`] is a `&'static str`; map the handful of
+/// types a worker actually sends back onto their static spellings.
+fn content_type_static(ct: &str) -> &'static str {
+    match ct {
+        "application/json" => "application/json",
+        "text/plain; charset=utf-8" => "text/plain; charset=utf-8",
+        "text/plain; version=0.0.4; charset=utf-8" => "text/plain; version=0.0.4; charset=utf-8",
+        _ => "application/octet-stream",
+    }
+}
+
+fn all_down(shared: &Shared) -> Response {
+    let mut resp = Response::json(503, encode_error("no healthy workers"));
+    resp.retry_after = Some(shared.config.retry_after_seconds);
+    resp
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn workers_response(shared: &Shared) -> Response {
+    let rows: Vec<String> = shared
+        .upstreams
+        .iter()
+        .map(|u| {
+            format!(
+                "{{\"slot\": {}, \"addr\": {}, \"healthy\": {}}}",
+                u.slot(),
+                json_string(&u.addr()),
+                u.is_healthy()
+            )
+        })
+        .collect();
+    Response::json(
+        200,
+        format!(
+            "{{\"slots\": {}, \"draining\": {}, \"workers\": [{}]}}",
+            shared.upstreams.len(),
+            shared.draining(),
+            rows.join(", ")
+        ),
+    )
+}
+
+fn remap_response(shared: &Shared, body: &[u8]) -> Response {
+    let Ok(text) = std::str::from_utf8(body) else {
+        return Response::json(400, encode_error("body is not valid UTF-8"));
+    };
+    let Ok(doc) = json::parse(text) else {
+        return Response::json(400, encode_error("body is not valid JSON"));
+    };
+    let Some(slot) = doc.get("slot").and_then(Json::as_u64) else {
+        return Response::json(400, encode_error("missing or non-integer field \"slot\""));
+    };
+    let Some(addr) = doc.get("addr").and_then(Json::as_str) else {
+        return Response::json(400, encode_error("missing or non-string field \"addr\""));
+    };
+    match rebind(shared, slot as usize, addr) {
+        Ok(()) => {
+            let upstream = &shared.upstreams[slot as usize];
+            Response::json(
+                200,
+                format!(
+                    "{{\"slot\": {slot}, \"addr\": {}, \"healthy\": {}}}",
+                    json_string(&upstream.addr()),
+                    upstream.is_healthy()
+                ),
+            )
+        }
+        Err(e) => Response::json(400, encode_error(&e.to_string())),
+    }
+}

@@ -10,6 +10,7 @@
 //! timeout (poll the drain flag and keep waiting), and a malformed
 //! request (answer 400 and hang up).
 
+use std::fmt::Write as _;
 use std::io::{self, Read, Write};
 use std::time::{Duration, Instant};
 
@@ -251,6 +252,9 @@ pub struct Response {
     pub body: Vec<u8>,
     /// Echoed `x-request-id`, when the handler assigned one.
     pub request_id: Option<String>,
+    /// Emitted as a `retry-after` header (seconds) — set on 503s where
+    /// the client should back off rather than hammer a down worker.
+    pub retry_after: Option<u64>,
     /// Whether to advertise (and then perform) `connection: close`.
     pub close: bool,
 }
@@ -263,6 +267,7 @@ impl Response {
             content_type: "application/json",
             body: body.into_bytes(),
             request_id: None,
+            retry_after: None,
             close: false,
         }
     }
@@ -274,6 +279,7 @@ impl Response {
             content_type: "text/plain; charset=utf-8",
             body: body.as_bytes().to_vec(),
             request_id: None,
+            retry_after: None,
             close: false,
         }
     }
@@ -289,7 +295,9 @@ pub fn status_text(code: u16) -> &'static str {
         409 => "Conflict",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
+        502 => "Bad Gateway",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
@@ -307,6 +315,9 @@ pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
         head.push_str("x-request-id: ");
         head.push_str(id);
         head.push_str("\r\n");
+    }
+    if let Some(seconds) = resp.retry_after {
+        let _ = write!(head, "retry-after: {seconds}\r\n");
     }
     head.push_str(if resp.close {
         "connection: close\r\n\r\n"
@@ -389,6 +400,20 @@ mod tests {
         assert!(matches!(reader.read_request(), Err(ReadError::Idle)));
         // Still usable afterwards.
         assert!(matches!(reader.read_request(), Err(ReadError::Idle)));
+    }
+
+    #[test]
+    fn retry_after_is_emitted_when_set() {
+        let mut out = Vec::new();
+        let mut resp = Response::json(503, "{\"error\":\"down\"}".to_owned());
+        resp.retry_after = Some(2);
+        write_response(&mut out, &resp).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("retry-after: 2\r\n"), "{text}");
     }
 
     #[test]

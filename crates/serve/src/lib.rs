@@ -23,9 +23,13 @@
 //! answer in-flight requests, write a final durable checkpoint and
 //! metrics snapshot.
 //!
-//! [`loadgen`] is the matching closed-loop client: it drives synthetic
-//! commuter traffic over keep-alive connections and reports p50/p90/p99
-//! and throughput from client-side histograms.
+//! [`loadgen`] is the matching load-generation client: closed-loop by
+//! default (each connection waits for its response, so latency is a
+//! service-time measurement), or open-loop at a target `--rate` with an
+//! absolute schedule (so latency-under-load includes queueing delay and
+//! the report carries offered vs achieved rate). Either way it drives
+//! synthetic commuter traffic over keep-alive connections and reports
+//! p50/p90/p99 and throughput from client-side histograms.
 //!
 //! ```no_run
 //! use priste_markov::{Homogeneous, MarkovModel};

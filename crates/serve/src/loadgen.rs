@@ -1,11 +1,20 @@
-//! Closed-loop load generator for the daemon.
+//! Closed- and open-loop load generator for the daemon.
 //!
-//! Closed-loop means each connection issues its next request only after
-//! the previous response arrives, so the offered load self-limits to
-//! what the server sustains and the recorded latency distribution is a
-//! service-time measurement, not a queueing artifact. Latencies land in
-//! a shared thread-safe [`Histogram`] and are reported through the same
-//! interpolated [`Histogram::quantile`] estimator `/metrics` uses.
+//! Closed-loop (the default) means each connection issues its next
+//! request only after the previous response arrives, so the offered
+//! load self-limits to what the server sustains and the recorded
+//! latency distribution is a service-time measurement, not a queueing
+//! artifact. Latencies land in a shared thread-safe [`Histogram`] and
+//! are reported through the same interpolated [`Histogram::quantile`]
+//! estimator `/metrics` uses.
+//!
+//! Open-loop ([`LoadgenOptions::rate`]) instead schedules request *k*
+//! at `start + k/rate` on an absolute timeline: a connection that falls
+//! behind does not sleep, so transient stalls are corrected by catching
+//! up rather than silently shifting every later request (coordinated
+//! omission). The report then carries the offered rate alongside the
+//! achieved one, and the latency quantiles are genuine
+//! latency-under-load measurements that include queueing delay.
 
 use crate::error::{Result, ServeError};
 use priste_obs::json::{self, Json};
@@ -62,6 +71,9 @@ pub struct LoadgenOptions {
     pub mode: LoadMode,
     /// Seed for the per-connection cell streams.
     pub seed: u64,
+    /// Open-loop target rate in requests/second across all connections;
+    /// `None` keeps the closed-loop behaviour.
+    pub rate: Option<f64>,
 }
 
 impl Default for LoadgenOptions {
@@ -73,6 +85,7 @@ impl Default for LoadgenOptions {
             users: 50,
             mode: LoadMode::Auto,
             seed: 42,
+            rate: None,
         }
     }
 }
@@ -86,6 +99,10 @@ pub struct LoadgenReport {
     pub errors: u64,
     /// Wall-clock duration of the measured window.
     pub elapsed_seconds: f64,
+    /// The open-loop target rate the run was scheduled at, when one was
+    /// set; compare with [`LoadgenReport::throughput`] (the achieved
+    /// rate) to see whether the server kept up.
+    pub offered_rate: Option<f64>,
     /// Client-observed request latencies in seconds.
     pub latency: Histogram,
 }
@@ -224,7 +241,9 @@ pub fn run(opts: &LoadgenOptions) -> Result<LoadgenReport> {
             let issued = Arc::clone(&issued);
             let errors = Arc::clone(&errors);
             std::thread::spawn(move || {
-                connection_loop(&opts, w as u64, num_cells, mode, &latency, &issued, &errors)
+                connection_loop(
+                    &opts, w as u64, num_cells, mode, started, &latency, &issued, &errors,
+                )
             })
         })
         .collect();
@@ -245,15 +264,18 @@ pub fn run(opts: &LoadgenOptions) -> Result<LoadgenReport> {
         requests: latency.count(),
         errors: errors.load(Ordering::Relaxed),
         elapsed_seconds,
+        offered_rate: opts.rate,
         latency,
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn connection_loop(
     opts: &LoadgenOptions,
     worker: u64,
     num_cells: usize,
     mode: LoadMode,
+    started: Instant,
     latency: &Histogram,
     issued: &AtomicU64,
     errors: &AtomicU64,
@@ -265,6 +287,17 @@ fn connection_loop(
         let i = issued.fetch_add(1, Ordering::Relaxed);
         if i >= opts.requests {
             return Ok(());
+        }
+        // Open loop: request `i` is due at `started + i/rate` on the
+        // absolute schedule. Sleeping only when ahead means a connection
+        // that fell behind catches up instead of dragging the offered
+        // rate down for the rest of the run.
+        if let Some(rate) = opts.rate.filter(|r| *r > 0.0) {
+            let due = Duration::from_secs_f64(i as f64 / rate);
+            let elapsed = started.elapsed();
+            if due > elapsed {
+                std::thread::sleep(due - elapsed);
+            }
         }
         let user = i % opts.users.max(1);
         let cell = rng.gen_range(0..num_cells);

@@ -58,6 +58,13 @@ pub struct ServerConfig {
     pub handle_signals: bool,
     /// Seed for the server-side release RNG.
     pub seed: u64,
+    /// Synthetic serialized-commit stall: hold the state lock this much
+    /// longer on every ingest/release. Zero (the default) disables it.
+    /// This exists for capacity benchmarks and drain/failover drills —
+    /// it models a worker whose throughput is bounded by a serialized
+    /// downstream commit (e.g. a slow WAL device) rather than by CPU,
+    /// which is the regime where horizontal sharding pays off.
+    pub request_stall: Duration,
 }
 
 impl Default for ServerConfig {
@@ -69,6 +76,7 @@ impl Default for ServerConfig {
             metrics_snapshot: None,
             handle_signals: false,
             seed: 7,
+            request_stall: Duration::ZERO,
         }
     }
 }
@@ -140,6 +148,14 @@ struct Shared<P> {
 impl<P: TransitionProvider + Clone> Shared<P> {
     fn lock_state(&self) -> MutexGuard<'_, ServiceState<P>> {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Applies [`ServerConfig::request_stall`] while the caller holds
+    /// the state lock, so the stall serializes like a real commit would.
+    fn stall(&self) {
+        if !self.config.request_stall.is_zero() {
+            thread::sleep(self.config.request_stall);
+        }
     }
 
     fn draining(&self) -> bool {
@@ -450,6 +466,7 @@ fn dispatch<P: TransitionProvider + Clone>(
                 content_type: "text/plain; version=0.0.4; charset=utf-8",
                 body: shared.registry.render_prometheus().into_bytes(),
                 request_id: None,
+                retry_after: None,
                 close: false,
             }
         }
@@ -549,6 +566,7 @@ fn ingest<P: TransitionProvider + Clone>(shared: &Shared<P>, body: &[u8]) -> Res
         }
         (None, None) => unreachable!("decode_ingest enforces one-of"),
     };
+    shared.stall();
     match st.service.ingest(UserId(parsed.user), column) {
         Ok(report) => Response::json(200, proto::encode_report(&report)),
         Err(e) => online_error(&e),
@@ -579,6 +597,7 @@ fn release<P: TransitionProvider + Clone>(shared: &Shared<P>, body: &[u8]) -> Re
     if let Err(resp) = ensure_user(&mut st, parsed.user, m) {
         return resp;
     }
+    shared.stall();
     let st = &mut *st;
     match st.service.release(
         UserId(parsed.user),

@@ -32,6 +32,8 @@ mod imp {
     extern "C" {
         /// `signal(2)` from the C library `std` already links.
         fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        /// `kill(2)`, likewise already linked via `std`.
+        fn kill(pid: i32, sig: i32) -> i32;
     }
 
     extern "C" fn on_signal(_signum: i32) {
@@ -47,16 +49,34 @@ mod imp {
             signal(SIGTERM, on_signal);
         }
     }
+
+    pub fn terminate(pid: u32) -> bool {
+        // SAFETY: `kill` is the libc prototype; sending SIGTERM to a
+        // child pid is exactly the graceful-drain contract the daemons
+        // implement.
+        unsafe { kill(pid as i32, SIGTERM) == 0 }
+    }
 }
 
 #[cfg(not(unix))]
 mod imp {
     pub fn install() {}
+
+    pub fn terminate(_pid: u32) -> bool {
+        false
+    }
 }
 
 /// Installs the SIGINT/SIGTERM handlers (no-op off Unix). Idempotent.
 pub fn install() {
     imp::install();
+}
+
+/// Sends SIGTERM to `pid` — the graceful-drain request a supervisor
+/// (e.g. the CLI `cluster` spawn mode) delivers to its worker children.
+/// Returns whether the signal was delivered; always `false` off Unix.
+pub fn terminate(pid: u32) -> bool {
+    imp::terminate(pid)
 }
 
 #[cfg(test)]

@@ -395,6 +395,7 @@ fn loadgen_drives_the_server_and_reports_quantiles() {
         users: 10,
         mode: LoadMode::Mixed,
         seed: 9,
+        rate: None,
     })
     .unwrap();
     assert_eq!(report.requests, 300);

@@ -17,7 +17,7 @@
 //! priste-cli recover   --durable-dir PATH [--kind synthetic|commuter]
 //!                      [--event SPEC] [--epsilon F] [--alpha F] [--side N]
 //!                      [--sigma F] [--shards N] [--linger N] [--budget F]
-//!                      [--metrics-json PATH] [--seed N]
+//!                      [--cluster-workers N] [--metrics-json PATH] [--seed N]
 //! priste-cli metrics   print the exported metric schema
 //! priste-cli calibrate [--kind synthetic|commuter] [--event SPEC] [--target F]
 //!                      [--alpha F] [--side N] [--sigma F] [--horizon N]
@@ -27,10 +27,15 @@
 //!                      [--event SPEC] [--epsilon F] [--alpha F] [--side N]
 //!                      [--sigma F] [--shards N] [--linger N] [--budget F]
 //!                      [--mode audit|enforce] [--floor F] [--backoff F]
-//!                      [--durable-dir PATH] [--metrics-json PATH] [--trace] [--seed N]
+//!                      [--durable-dir PATH] [--stall-us N]
+//!                      [--metrics-json PATH] [--trace] [--seed N]
+//! priste-cli cluster   (--spawn N | --worker-addrs H:P,H:P,... | --shard-map FILE)
+//!                      [--addr HOST:PORT] [--workers N] [--retry-after SECS]
+//!                      [--durable-root PATH] [--metrics-json PATH] [--trace]
+//!                      [+ the serve scenario flags, forwarded to spawned workers]
 //! priste-cli loadgen   --addr HOST:PORT [--requests N] [--connections N]
 //!                      [--users N] [--mode auto|ingest|release|mixed]
-//!                      [--out PATH] [--seed N]
+//!                      [--rate R] [--out PATH] [--seed N]
 //! ```
 //!
 //! * `world` — build a mobility world and print its summary statistics.
@@ -59,7 +64,10 @@
 //!   same flags `stream` was given) and print every user's ledger without
 //!   journaling anything. With `--metrics-json PATH` the recovery
 //!   telemetry (replay duration, replayed/torn record counts) is dumped
-//!   alongside the service counters.
+//!   alongside the service counters. `--cluster-workers N` adds a shard
+//!   audit: which slot of an N-worker cluster each recovered user id
+//!   jump-hashes to, and whether the directory is a clean single-slot
+//!   shard — the check to run before and after a shard handoff.
 //! * `metrics` — print the schema of every exported metric: name, kind,
 //!   and meaning, as rendered by `--metrics-json` and
 //!   `Registry::render_prometheus`.
@@ -80,11 +88,23 @@
 //!   triggers a graceful drain: stop accepting, flush in-flight requests,
 //!   checkpoint the durable store, snapshot the registry to
 //!   `--metrics-json`, exit 0.
-//! * `loadgen` — closed-loop load generator against a running `serve`
+//! * `cluster` — the `priste-cluster` router daemon: consistent-hashes
+//!   user ids onto N `serve` workers and relays the same JSON protocol.
+//!   `--spawn N` forks N workers as child processes (the serve scenario
+//!   flags are forwarded; with `--durable-root` each worker journals to
+//!   its own `worker-i/` subdirectory) and SIGTERMs them after its own
+//!   drain; `--worker-addrs`/`--shard-map` front workers started by hand.
+//!   The bound address is printed to stderr as `cluster: routing on ADDR`
+//!   for scripts to scrape; `GET /cluster/workers` reports the live shard
+//!   map and `POST /cluster/remap` rebinds a slot (shard handoff).
+//! * `loadgen` — load generator against a running `serve` or `cluster`
 //!   daemon: `--connections` worker connections race through `--requests`
 //!   total requests (ingest, release, or an alternating mix; `auto` picks
 //!   by asking `/v1/config` whether enforcement is on) and report
 //!   client-observed p50/p90/p99 latency plus sustained throughput.
+//!   Closed-loop by default; `--rate R` switches to an open loop that
+//!   schedules requests on an absolute timeline at R req/s (no
+//!   coordinated omission) and reports offered vs achieved rate.
 //!   `--out PATH` writes the run as a `BENCH_serve.json`-compatible
 //!   artifact for `bench_export --compare`.
 //!
@@ -147,7 +167,7 @@ const USAGE: &str = "usage:
   priste-cli recover   --durable-dir PATH [--kind synthetic|commuter] [--event SPEC]
                        [--epsilon F] [--alpha F] [--side N] [--sigma F]
                        [--shards N] [--linger N] [--budget F]
-                       [--metrics-json PATH] [--seed N]
+                       [--cluster-workers N] [--metrics-json PATH] [--seed N]
   priste-cli metrics   print the exported metric schema (names, kinds, meanings)
   priste-cli calibrate [--kind synthetic|commuter] [--event SPEC] [--target F]
                        [--alpha F] [--side N] [--sigma F] [--horizon N]
@@ -157,9 +177,14 @@ const USAGE: &str = "usage:
                        [--event SPEC] [--epsilon F] [--alpha F] [--side N] [--sigma F]
                        [--shards N] [--linger N] [--budget F]
                        [--mode audit|enforce] [--floor F] [--backoff F]
-                       [--durable-dir PATH] [--metrics-json PATH] [--trace] [--seed N]
+                       [--durable-dir PATH] [--stall-us N]
+                       [--metrics-json PATH] [--trace] [--seed N]
+  priste-cli cluster   (--spawn N | --worker-addrs H:P,H:P,... | --shard-map FILE)
+                       [--addr HOST:PORT] [--workers N] [--retry-after SECS]
+                       [--durable-root PATH] [--metrics-json PATH] [--trace]
+                       [+ the serve scenario flags, forwarded to spawned workers]
   priste-cli loadgen   --addr HOST:PORT [--requests N] [--connections N] [--users N]
-                       [--mode auto|ingest|release|mixed] [--out PATH] [--seed N]
+                       [--mode auto|ingest|release|mixed] [--rate R] [--out PATH] [--seed N]
   priste-cli help      print this text";
 
 /// CLI error with the exit-code split: usage errors (exit 2, usage text
@@ -222,6 +247,7 @@ const RECOVER_FLAGS: &[&str] = &[
     "budget",
     "floor",
     "backoff",
+    "cluster-workers",
     "metrics-json",
     "seed",
 ];
@@ -245,8 +271,35 @@ const SERVE_FLAGS: &[&str] = &[
     "floor",
     "backoff",
     "durable-dir",
+    "stall-us",
     "metrics-json",
     "trace",
+    "seed",
+];
+const CLUSTER_FLAGS: &[&str] = &[
+    "addr",
+    "workers",
+    "spawn",
+    "worker-addrs",
+    "shard-map",
+    "durable-root",
+    "retry-after",
+    "metrics-json",
+    "trace",
+    // The serve scenario surface, forwarded verbatim to spawned workers.
+    "kind",
+    "event",
+    "epsilon",
+    "alpha",
+    "side",
+    "sigma",
+    "shards",
+    "linger",
+    "budget",
+    "mode",
+    "floor",
+    "backoff",
+    "stall-us",
     "seed",
 ];
 const LOADGEN_FLAGS: &[&str] = &[
@@ -255,6 +308,7 @@ const LOADGEN_FLAGS: &[&str] = &[
     "connections",
     "users",
     "mode",
+    "rate",
     "out",
     "seed",
 ];
@@ -348,6 +402,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "recover" => cmd_recover(&Flags::parse(rest, RECOVER_FLAGS, "recover")?),
         "calibrate" => cmd_calibrate(&Flags::parse(rest, CALIBRATE_FLAGS, "calibrate")?),
         "serve" => cmd_serve(&Flags::parse(rest, SERVE_FLAGS, "serve")?),
+        "cluster" => cmd_cluster(&Flags::parse(rest, CLUSTER_FLAGS, "cluster")?),
         "loadgen" => cmd_loadgen(&Flags::parse(rest, LOADGEN_FLAGS, "loadgen")?),
         "metrics" => {
             if !rest.is_empty() {
@@ -925,6 +980,40 @@ fn cmd_recover(flags: &Flags) -> Result<(), CliError> {
         stats.evicted_windows
     );
     println!("state digest: {:016x}", service.state_digest());
+    if let Some(raw) = flags.0.get("cluster-workers") {
+        let n: u32 = raw.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+            CliError::Usage(format!(
+                "--cluster-workers must be a positive worker count, got {raw:?}"
+            ))
+        })?;
+        // Shard audit: a worker's durable directory is a clean shard when
+        // every recovered user jump-hashes onto the same slot of an
+        // n-worker cluster. Run this before and after a handoff.
+        let mut per_slot: BTreeMap<u32, (u64, u64, u64)> = BTreeMap::new();
+        for id in service.users() {
+            let slot = priste::cluster::jump_hash(id.0, n);
+            let entry = per_slot.entry(slot).or_insert((0, u64::MAX, 0));
+            entry.0 += 1;
+            entry.1 = entry.1.min(id.0);
+            entry.2 = entry.2.max(id.0);
+        }
+        println!("cluster: slot audit against a {n}-worker map");
+        println!("slot,users,min_user,max_user");
+        for (slot, (count, lo, hi)) in &per_slot {
+            println!("{slot},{count},{lo},{hi}");
+        }
+        match per_slot.len() {
+            0 => println!("cluster: directory holds no users"),
+            1 => println!(
+                "cluster: clean shard — every user belongs to slot {}",
+                per_slot.keys().next().expect("one entry")
+            ),
+            k => println!(
+                "cluster: WARNING — users from {k} different slots; \
+                 this directory is not a clean shard of a {n}-worker map"
+            ),
+        }
+    }
     if registry.is_some() {
         if let Some(info) = service.recovery_info() {
             eprintln!(
@@ -1105,6 +1194,9 @@ fn cmd_serve(flags: &Flags) -> Result<(), CliError> {
         metrics_snapshot: flags.0.get("metrics-json").map(std::path::PathBuf::from),
         handle_signals: true,
         seed: flags.u64_or("seed", 1)?,
+        // Capacity-drill knob: a synthetic serialized-commit stall, held
+        // inside the state lock. Zero (the default) serves at full speed.
+        request_stall: std::time::Duration::from_micros(flags.u64_or("stall-us", 0)?),
         ..ServerConfig::default()
     };
     let server = if mode == "enforce" {
@@ -1132,6 +1224,171 @@ fn cmd_serve(flags: &Flags) -> Result<(), CliError> {
     Ok(())
 }
 
+/// The `priste-cluster` router daemon: fronts N workers, either spawned
+/// here as child `serve` processes or already running elsewhere.
+fn cmd_cluster(flags: &Flags) -> Result<(), CliError> {
+    let workers = flags.usize_or("workers", 8)?;
+    if workers == 0 {
+        return Err(CliError::Usage("--workers must be at least 1".into()));
+    }
+    let addr = flags.str_or("addr", "127.0.0.1:8760");
+    let sources = ["spawn", "worker-addrs", "shard-map"]
+        .iter()
+        .filter(|k| flags.0.contains_key(**k))
+        .count();
+    if sources != 1 {
+        return Err(CliError::Usage(
+            "exactly one of --spawn N, --worker-addrs LIST or --shard-map FILE is required".into(),
+        ));
+    }
+
+    let mut children = Vec::new();
+    let map = if flags.0.contains_key("spawn") {
+        let n = flags.usize_or("spawn", 0)?;
+        if n == 0 {
+            return Err(CliError::Usage("--spawn must be at least 1".into()));
+        }
+        spawn_workers(flags, n, &mut children)?
+    } else if let Some(list) = flags.0.get("worker-addrs") {
+        ShardMap::from_workers(list.split(',')).map_err(usage)?
+    } else {
+        let path = flags.required("shard-map")?;
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Runtime(format!("read --shard-map {path}: {e}")))?;
+        ShardMap::from_file_text(&text).map_err(usage)?
+    };
+
+    let registry = Registry::new();
+    if flags.0.contains_key("trace") {
+        registry.set_sink(Arc::new(StderrSink));
+    }
+    let config = RouterConfig {
+        workers,
+        retry_after_seconds: flags.u64_or("retry-after", 1)?,
+        metrics_snapshot: flags.0.get("metrics-json").map(std::path::PathBuf::from),
+        handle_signals: true,
+        ..RouterConfig::default()
+    };
+    let router = Router::start(map.clone(), registry, config, addr).map_err(runtime)?;
+
+    // Scripts (and the e2e tests) scrape this line, like serve's.
+    eprintln!(
+        "cluster: routing on {} across {} workers",
+        router.local_addr(),
+        map.len()
+    );
+    for status in router.workers_snapshot() {
+        eprintln!(
+            "cluster: slot {} -> {} ({})",
+            status.slot,
+            status.addr,
+            if status.healthy { "up" } else { "down" }
+        );
+    }
+    let summary = router.wait().map_err(runtime)?;
+    eprintln!(
+        "cluster: drained — {} connections, {} requests ({} errors)",
+        summary.connections, summary.requests, summary.errors
+    );
+
+    // Our drain is done; pass it on to the spawned workers and reap them
+    // so their checkpoints are on disk before we exit.
+    for child in &children {
+        priste::serve::signal::terminate(child.id());
+    }
+    let mut failed = 0usize;
+    for (i, mut child) in children.into_iter().enumerate() {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("cluster: worker {i} exited with {status}");
+                failed += 1;
+            }
+            Err(e) => {
+                eprintln!("cluster: worker {i} could not be reaped: {e}");
+                failed += 1;
+            }
+        }
+    }
+    if failed > 0 {
+        return Err(CliError::Runtime(format!(
+            "{failed} spawned workers did not drain cleanly"
+        )));
+    }
+    Ok(())
+}
+
+/// Spawns `n` child `serve` daemons on ephemeral ports, forwarding the
+/// scenario flags (each worker gets `--seed base+i`, and with
+/// `--durable-root` its own `worker-i/` durable directory), and scrapes
+/// each child's `serve: listening on` stderr line into a [`ShardMap`].
+fn spawn_workers(
+    flags: &Flags,
+    n: usize,
+    children: &mut Vec<std::process::Child>,
+) -> Result<ShardMap, CliError> {
+    use std::io::BufRead as _;
+
+    let exe = std::env::current_exe().map_err(runtime)?;
+    let base_seed = flags.u64_or("seed", 1)?;
+    let mut addrs = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("serve").args(["--addr", "127.0.0.1:0"]);
+        for key in [
+            "kind", "event", "epsilon", "alpha", "side", "sigma", "shards", "linger", "budget",
+            "mode", "floor", "backoff", "stall-us",
+        ] {
+            if let Some(value) = flags.0.get(key) {
+                cmd.arg(format!("--{key}")).arg(value);
+            }
+        }
+        cmd.args(["--seed", &(base_seed + i as u64).to_string()]);
+        if let Some(root) = flags.0.get("durable-root") {
+            cmd.arg("--durable-dir")
+                .arg(std::path::Path::new(root).join(format!("worker-{i}")));
+        }
+        cmd.stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::piped());
+        let mut child = cmd
+            .spawn()
+            .map_err(|e| CliError::Runtime(format!("spawn worker {i}: {e}")))?;
+        let stderr = child.stderr.take().expect("stderr was piped");
+        let mut lines = std::io::BufReader::new(stderr).lines();
+        let mut addr = None;
+        for line in &mut lines {
+            let line = line.map_err(runtime)?;
+            if let Some(rest) = line.strip_prefix("serve: listening on ") {
+                addr = Some(rest.split_whitespace().next().unwrap_or(rest).to_string());
+                break;
+            }
+            eprintln!("worker-{i}: {line}");
+        }
+        let Some(addr) = addr else {
+            let _ = child.kill();
+            let _ = child.wait();
+            for spawned in children.iter_mut() {
+                let _ = spawned.kill();
+                let _ = spawned.wait();
+            }
+            return Err(CliError::Runtime(format!(
+                "worker {i} exited before announcing its address"
+            )));
+        };
+        eprintln!("cluster: spawned worker {i} on {addr}");
+        // Keep forwarding the child's stderr so it never blocks on a
+        // full pipe (the drain summary, trace lines, and panics).
+        std::thread::spawn(move || {
+            for line in lines.map_while(std::result::Result::ok) {
+                eprintln!("worker-{i}: {line}");
+            }
+        });
+        children.push(child);
+        addrs.push(addr);
+    }
+    ShardMap::from_workers(addrs).map_err(runtime)
+}
+
 /// Closed-loop load generator against a running `serve` daemon.
 fn cmd_loadgen(flags: &Flags) -> Result<(), CliError> {
     let mode_s = flags.str_or("mode", "auto");
@@ -1147,10 +1404,21 @@ fn cmd_loadgen(flags: &Flags) -> Result<(), CliError> {
         users: flags.u64_or("users", 50)?,
         mode,
         seed: flags.u64_or("seed", 42)?,
+        rate: match flags.0.get("rate") {
+            None => None,
+            Some(raw) => Some(raw.parse::<f64>().map_err(|_| {
+                CliError::Usage(format!("--rate must be a positive number, got {raw:?}"))
+            })?),
+        },
     };
     if opts.requests == 0 || opts.connections == 0 || opts.users == 0 {
         return Err(CliError::Usage(
             "--requests, --connections and --users must be at least 1".into(),
+        ));
+    }
+    if opts.rate.is_some_and(|r| !r.is_finite() || r <= 0.0) {
+        return Err(CliError::Usage(
+            "--rate must be a positive number of requests/second".into(),
         ));
     }
     let report = priste::serve::loadgen::run(&opts).map_err(runtime)?;
@@ -1163,6 +1431,17 @@ fn cmd_loadgen(flags: &Flags) -> Result<(), CliError> {
         report.throughput(),
         opts.connections
     );
+    if let Some(offered) = report.offered_rate {
+        println!(
+            "open loop: offered {offered:.0} req/s, achieved {:.0} req/s ({})",
+            report.throughput(),
+            if report.throughput() >= 0.95 * offered {
+                "kept up"
+            } else {
+                "fell behind"
+            }
+        );
+    }
     println!(
         "latency: p50 {:.3} ms  p90 {:.3} ms  p99 {:.3} ms",
         report.quantile_ms(0.50),
@@ -1184,12 +1463,15 @@ fn write_loadgen_artifact(
     opts: &LoadgenOptions,
     report: &LoadgenReport,
 ) -> Result<(), CliError> {
-    let rows = [
+    let mut rows = vec![
         ("serve_p50_ms", report.quantile_ms(0.50), "ms"),
         ("serve_p90_ms", report.quantile_ms(0.90), "ms"),
         ("serve_p99_ms", report.quantile_ms(0.99), "ms"),
         ("serve_throughput", report.throughput(), "req/s"),
     ];
+    if let Some(offered) = report.offered_rate {
+        rows.push(("serve_offered_rate", offered, "req/s"));
+    }
     let mut json = String::new();
     json.push_str("{\n  \"schema\": \"priste-bench-serve/1\",\n");
     json.push_str(&format!(
@@ -1419,7 +1701,9 @@ fn cmd_metrics() -> Result<(), CliError> {
         priste::obs::JSON_SCHEMA
     );
     println!("name,kind,meaning");
-    for (name, kind, meaning) in METRIC_SCHEMA {
+    // The router's rows live next to the code that exports them; splice
+    // them in so one table documents every daemon in the repo.
+    for (name, kind, meaning) in METRIC_SCHEMA.iter().chain(priste::cluster::METRIC_SCHEMA) {
         println!("{name},{kind},{meaning}");
     }
     Ok(())
@@ -1444,6 +1728,7 @@ mod tests {
             "recover" => RECOVER_FLAGS,
             "calibrate" => CALIBRATE_FLAGS,
             "serve" => SERVE_FLAGS,
+            "cluster" => CLUSTER_FLAGS,
             "loadgen" => LOADGEN_FLAGS,
             other => panic!("unknown command {other}"),
         };
@@ -1626,6 +1911,118 @@ mod tests {
         assert!(matches!(cmd_loadgen(&f), Err(CliError::Usage(_))));
         let f = flags("loadgen", &["--addr", "127.0.0.1:1", "--requests", "0"]).unwrap();
         assert!(matches!(cmd_loadgen(&f), Err(CliError::Usage(_))));
+        // The open-loop rate must be a positive number.
+        for bad in ["0", "-5", "nan", "abc"] {
+            let f = flags("loadgen", &["--addr", "127.0.0.1:1", "--rate", bad]).unwrap();
+            assert!(
+                matches!(cmd_loadgen(&f), Err(CliError::Usage(_))),
+                "--rate {bad} must be a usage error"
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_validates_its_flags() {
+        // Exactly one worker source.
+        let f = flags("cluster", &[]).unwrap();
+        assert!(matches!(cmd_cluster(&f), Err(CliError::Usage(_))));
+        let f = flags(
+            "cluster",
+            &["--spawn", "2", "--worker-addrs", "127.0.0.1:1"],
+        )
+        .unwrap();
+        assert!(matches!(cmd_cluster(&f), Err(CliError::Usage(_))));
+        // Counts must be positive.
+        let f = flags("cluster", &["--spawn", "0"]).unwrap();
+        assert!(matches!(cmd_cluster(&f), Err(CliError::Usage(_))));
+        let f = flags(
+            "cluster",
+            &["--workers", "0", "--worker-addrs", "127.0.0.1:1"],
+        )
+        .unwrap();
+        assert!(matches!(cmd_cluster(&f), Err(CliError::Usage(_))));
+        // A blank address in the list is rejected before any bind.
+        let f = flags("cluster", &["--worker-addrs", "127.0.0.1:1,,127.0.0.1:2"]).unwrap();
+        assert!(matches!(cmd_cluster(&f), Err(CliError::Usage(_))));
+        // A missing shard-map file is a runtime failure, not usage.
+        let f = flags("cluster", &["--shard-map", "/no/such/shard.map"]).unwrap();
+        assert!(matches!(cmd_cluster(&f), Err(CliError::Runtime(_))));
+        // The loadgen-only and serve-only knobs stay rejected.
+        assert!(matches!(
+            flags("cluster", &["--requests", "5"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            flags("cluster", &["--durable-dir", "/tmp/x"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn recover_cluster_workers_audits_shard_cleanliness() {
+        let dir = temp_path("recover-cluster", "d");
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_str().unwrap().to_string();
+        let f = flags(
+            "stream",
+            &[
+                "--users",
+                "6",
+                "--steps",
+                "3",
+                "--side",
+                "4",
+                "--seed",
+                "9",
+                "--durable-dir",
+                &dir_s,
+            ],
+        )
+        .unwrap();
+        cmd_stream(&f).unwrap();
+        // Six users of one unsharded stream span multiple slots of a
+        // 2-worker map: the audit must run and report them all.
+        let f = flags(
+            "recover",
+            &[
+                "--side",
+                "4",
+                "--durable-dir",
+                &dir_s,
+                "--cluster-workers",
+                "2",
+            ],
+        )
+        .unwrap();
+        cmd_recover(&f).unwrap();
+        // Every user of a 1-worker map is slot 0: a clean shard.
+        let f = flags(
+            "recover",
+            &[
+                "--side",
+                "4",
+                "--durable-dir",
+                &dir_s,
+                "--cluster-workers",
+                "1",
+            ],
+        )
+        .unwrap();
+        cmd_recover(&f).unwrap();
+        let f = flags(
+            "recover",
+            &[
+                "--side",
+                "4",
+                "--durable-dir",
+                &dir_s,
+                "--cluster-workers",
+                "0",
+            ],
+        )
+        .unwrap();
+        assert!(matches!(cmd_recover(&f), Err(CliError::Usage(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

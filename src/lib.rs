@@ -75,7 +75,8 @@
 //! | [`core`] | the PriSTE framework (Algorithms 1–3) + experiment runner |
 //! | [`online`] | streaming multi-user service: sessions, sharding, incremental checks, enforcing mode |
 //! | [`obs`] | zero-dependency observability: metrics registry, spans, Prometheus/JSON export |
-//! | [`serve`] | HTTP daemon over the streaming service: JSON protocol, live `/metrics`, graceful drain, closed-loop load generator |
+//! | [`serve`] | HTTP daemon over the streaming service: JSON protocol, live `/metrics`, graceful drain, closed- and open-loop load generator |
+//! | [`cluster`] | multi-process sharded serving: router daemon, jump-consistent-hash shard map, shard handoff over the durable substrate |
 //! | [`data`] | synthetic worlds, GeoLife parsing, commuter simulator |
 //!
 //! ## Migrating from the per-crate entry points
@@ -104,6 +105,7 @@ pub use error::{PristeError, Result};
 pub use pipeline::{Audit, AuditSource, Pipeline, PipelineBuilder, SharedProvider};
 
 pub use priste_calibrate as calibrate;
+pub use priste_cluster as cluster;
 pub use priste_core as core;
 pub use priste_data as data;
 pub use priste_event as event;
@@ -124,6 +126,10 @@ pub mod prelude {
         plan_greedy, plan_knapsack, plan_uniform_split, BudgetPlan, CalibratedMechanism,
         CalibratedRelease, Decision, GuardConfig, MeanEpsilon, MechanismCache, OnExhaustion,
         PlanarLaplaceError, PlannedStep, PlannerConfig, PlmQualityLoss, UtilityModel,
+    };
+    pub use priste_cluster::{
+        jump_hash, ClusterError, PoolConfig, Router, RouterConfig, RouterDrainHandle,
+        RouterSummary, ShardMap, WorkerStatus,
     };
     pub use priste_core::{
         runner, DeltaLocSource, MechanismSource, PlmSource, Priste, PristeConfig, ReleaseRecord,

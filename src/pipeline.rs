@@ -39,6 +39,16 @@
 //! The pipeline shares one mobility model across every derived mode (an
 //! [`Arc`]-backed [`SharedProvider`]), so a `Pipeline` — and everything it
 //! derives — is `Send + Sync` and can be handed to worker threads.
+//!
+//! Past one process, the same scenario scales horizontally: per-user
+//! accounting is independent across users, so N [`serve_http`]-style
+//! daemons (each over its own durable directory) behind a
+//! [`crate::cluster`] router — which jump-consistent-hashes user ids
+//! onto workers — serve the same protocol with the same guarantees. See
+//! the `cluster` crate docs for the topology and the shard-handoff
+//! runbook.
+//!
+//! [`serve_http`]: Pipeline::serve_http
 
 use crate::error::{PristeError, Result};
 use priste_calibrate::{

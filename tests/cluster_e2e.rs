@@ -1,0 +1,332 @@
+//! End-to-end test of the shipped binary's cluster mode: `priste-cli
+//! cluster` as a real OS process fronting real `serve` worker processes,
+//! driven over raw TCP and by the `loadgen` subcommand, killed and
+//! recovered with real signals.
+//!
+//! The crate-level tests in `crates/cluster/tests/cluster_e2e.rs` cover
+//! the router library in-process; this test covers everything only the
+//! binary path exercises — `--spawn` child management, the stderr
+//! port-discovery lines, `--worker-addrs` fronting, SIGKILL of a worker
+//! under live traffic, durable restart + `/cluster/remap` recovery with
+//! no double-spend, and the drain exit codes.
+
+use priste::cluster::jump_hash;
+use priste::obs::json::{parse, Json};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("priste-cluster-e2e-{tag}-{}", std::process::id()))
+}
+
+/// One request over a fresh connection, `connection: close`. Returns
+/// `(status, head, body)` — head includes the status line and headers,
+/// lower-cased for header asserts.
+fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nhost: e2e\r\nconnection: close\r\n\
+         content-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read");
+    let status = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {raw:?}"));
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .map(|(h, b)| (h.to_ascii_lowercase(), b.to_string()))
+        .unwrap_or_default();
+    (status, head, body)
+}
+
+/// Reads stderr lines until one starts with `prefix`; returns the first
+/// whitespace token after it (the announced socket address).
+fn scrape_addr(stderr: &mut BufReader<std::process::ChildStderr>, prefix: &str) -> String {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        assert!(
+            stderr.read_line(&mut line).expect("read stderr") > 0,
+            "process exited before announcing {prefix:?}"
+        );
+        if let Some(rest) = line.trim().strip_prefix(prefix) {
+            return rest
+                .split_whitespace()
+                .next()
+                .expect("address token")
+                .to_string();
+        }
+    }
+}
+
+fn signal_and_wait(daemon: &mut Child, sig: &str) -> std::process::ExitStatus {
+    let kill = Command::new("kill")
+        .args([sig, &daemon.id().to_string()])
+        .status()
+        .expect("send signal");
+    assert!(kill.success());
+    let started = Instant::now();
+    loop {
+        if let Some(status) = daemon.try_wait().expect("try_wait") {
+            return status;
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "process did not exit within 30s of {sig}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn spend_observed(router: &str, user: u64) -> u64 {
+    let (status, _, body) = http(router, "GET", &format!("/v1/users/{user}/spend"), "");
+    assert_eq!(status, 200, "{body}");
+    parse(&body)
+        .expect("spend body is JSON")
+        .get("observed")
+        .and_then(Json::as_u64)
+        .expect("spend body has observed")
+}
+
+/// `cluster --spawn 2`: the binary owns its worker processes — ephemeral
+/// ports scraped from their stderr, per-worker durable dirs under
+/// `--durable-root`, loadgen driven through the router, and one SIGTERM
+/// drains the whole tree with exit 0 and durable checkpoints on disk.
+#[test]
+fn cluster_binary_spawns_workers_serves_loadgen_and_drains_on_sigterm() {
+    let root = temp_path("spawn-root");
+    let snapshot = temp_path("spawn-metrics.json");
+    let _ = std::fs::remove_dir_all(&root);
+    let _ = std::fs::remove_file(&snapshot);
+
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_priste_cli"))
+        .args([
+            "cluster",
+            "--spawn",
+            "2",
+            "--addr",
+            "127.0.0.1:0",
+            "--side",
+            "4",
+            "--seed",
+            "9",
+            "--durable-root",
+            root.to_str().unwrap(),
+            "--metrics-json",
+            snapshot.to_str().unwrap(),
+        ])
+        .stderr(Stdio::piped())
+        .stdout(Stdio::null())
+        .spawn()
+        .expect("spawn priste-cli cluster");
+    let mut stderr = BufReader::new(daemon.stderr.take().expect("stderr piped"));
+    let router = scrape_addr(&mut stderr, "cluster: routing on ");
+
+    let (status, _, body) = http(&router, "GET", "/healthz", "");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+    let (status, _, _) = http(&router, "GET", "/readyz", "");
+    assert_eq!(status, 200, "both spawned workers must probe healthy");
+    let (status, _, body) = http(&router, "GET", "/cluster/workers", "");
+    assert_eq!(status, 200);
+    assert_eq!(body.matches("\"healthy\": true").count(), 2, "{body}");
+
+    // 500 requests through the router via the shipped load generator.
+    let loadgen = Command::new(env!("CARGO_BIN_EXE_priste_cli"))
+        .args([
+            "loadgen",
+            "--addr",
+            &router,
+            "--requests",
+            "500",
+            "--connections",
+            "4",
+            "--users",
+            "10",
+        ])
+        .output()
+        .expect("run loadgen");
+    let stdout = String::from_utf8_lossy(&loadgen.stdout);
+    assert!(
+        loadgen.status.success(),
+        "loadgen failed: {stdout}{}",
+        String::from_utf8_lossy(&loadgen.stderr)
+    );
+    assert!(stdout.contains("loadgen: 500 requests"), "{stdout}");
+    assert!(stdout.contains("(0 errors)"), "{stdout}");
+
+    // The router's live metrics saw the traffic on both sides of the hop.
+    let (status, _, text) = http(&router, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(text.contains("cluster_request_seconds"), "{text}");
+    assert!(text.contains("cluster_upstream_request_seconds"), "{text}");
+    assert!(text.contains("cluster_worker_up"), "{text}");
+
+    // One SIGTERM drains the router and both spawned workers, exit 0.
+    let status = signal_and_wait(&mut daemon, "-TERM");
+    assert!(status.success(), "drain must exit 0, got {status}");
+    let mut rest = String::new();
+    stderr.read_to_string(&mut rest).expect("drain summary");
+    assert!(rest.contains("cluster: drained"), "{rest}");
+
+    // Drain side effects: a durable checkpoint per worker, and a metrics
+    // snapshot carrying the cluster-plane series.
+    for worker in ["worker-0", "worker-1"] {
+        assert!(
+            std::fs::read_dir(root.join(worker))
+                .unwrap_or_else(|e| panic!("durable dir for {worker}: {e}"))
+                .count()
+                > 0,
+            "{worker} must hold a drain checkpoint"
+        );
+    }
+    let doc = parse(&std::fs::read_to_string(&snapshot).expect("snapshot")).expect("valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("priste-metrics/1")
+    );
+    assert!(
+        doc.get("histograms")
+            .and_then(|h| h.as_object())
+            .is_some_and(|h| h.keys().any(|k| k.starts_with("cluster_request_seconds"))),
+        "snapshot must include the router latency histogram"
+    );
+
+    std::fs::remove_dir_all(&root).ok();
+    std::fs::remove_file(&snapshot).ok();
+}
+
+/// `cluster --worker-addrs`: the router fronts externally owned workers,
+/// so the test can SIGKILL one mid-stream. Its users get fail-fast 503 +
+/// `Retry-After` while the other shard keeps serving; restarting the
+/// worker over the same durable dir and remapping the slot recovers the
+/// exact committed spend — the failed request during the outage is never
+/// double-applied.
+#[test]
+fn router_survives_worker_kill_durable_restart_and_remap_without_double_spend() {
+    let dirs = [temp_path("front-a"), temp_path("front-b")];
+    let worker_args = |dir: &PathBuf| {
+        vec![
+            "serve".to_owned(),
+            "--addr".to_owned(),
+            "127.0.0.1:0".to_owned(),
+            "--side".to_owned(),
+            "4".to_owned(),
+            "--seed".to_owned(),
+            "5".to_owned(),
+            "--durable-dir".to_owned(),
+            dir.to_str().unwrap().to_owned(),
+        ]
+    };
+    let spawn_worker = |dir: &PathBuf| -> (Child, String) {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_priste_cli"))
+            .args(worker_args(dir))
+            .stderr(Stdio::piped())
+            .stdout(Stdio::null())
+            .spawn()
+            .expect("spawn worker");
+        let mut stderr = BufReader::new(child.stderr.take().expect("stderr piped"));
+        let addr = scrape_addr(&mut stderr, "serve: listening on ");
+        // Keep draining the worker's stderr so it never blocks on a full pipe.
+        std::thread::spawn(move || {
+            let mut sink = String::new();
+            let _ = stderr.read_to_string(&mut sink);
+        });
+        (child, addr)
+    };
+    for dir in &dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    let (mut worker_a, addr_a) = spawn_worker(&dirs[0]);
+    let (mut worker_b, addr_b) = spawn_worker(&dirs[1]);
+
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_priste_cli"))
+        .args([
+            "cluster",
+            "--worker-addrs",
+            &format!("{addr_a},{addr_b}"),
+            "--addr",
+            "127.0.0.1:0",
+            "--retry-after",
+            "2",
+        ])
+        .stderr(Stdio::piped())
+        .stdout(Stdio::null())
+        .spawn()
+        .expect("spawn priste-cli cluster");
+    let mut stderr = BufReader::new(daemon.stderr.take().expect("stderr piped"));
+    let router = scrape_addr(&mut stderr, "cluster: routing on ");
+
+    // A user that jump-hashes onto slot 1 — the worker we will kill.
+    let victim = (0..64)
+        .find(|u| jump_hash(*u, 2) == 1)
+        .expect("slot-1 user");
+    let ingest = format!("{{\"user\": {victim}, \"observed\": 5}}");
+    for _ in 0..5 {
+        let (status, _, body) = http(&router, "POST", "/v1/ingest", &ingest);
+        assert_eq!(status, 200, "{body}");
+    }
+    assert_eq!(spend_observed(&router, victim), 5);
+
+    // Hard-kill the victim's worker: no drain, no final checkpoint — the
+    // WAL is all that survives.
+    let status = signal_and_wait(&mut worker_b, "-KILL");
+    assert!(!status.success(), "SIGKILL must not look like a drain");
+
+    // The victim's shard fails fast with Retry-After; the other shard and
+    // the router plane keep serving.
+    let (status, head, _) = http(&router, "POST", "/v1/ingest", &ingest);
+    assert_eq!(status, 503, "dead shard must fail fast");
+    assert!(head.contains("retry-after: 2"), "{head}");
+    let other = (0..64)
+        .find(|u| jump_hash(*u, 2) == 0)
+        .expect("slot-0 user");
+    let (status, _, body) = http(
+        &router,
+        "POST",
+        "/v1/ingest",
+        &format!("{{\"user\": {other}, \"observed\": 3}}"),
+    );
+    assert_eq!(status, 200, "{body}");
+    let (status, _, _) = http(&router, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+
+    // Restart the worker over the same durable dir (WAL replay), then
+    // rebind slot 1 to its new ephemeral address.
+    let (mut worker_b2, addr_b2) = spawn_worker(&dirs[1]);
+    let (status, _, body) = http(
+        &router,
+        "POST",
+        "/cluster/remap",
+        &format!("{{\"slot\": 1, \"addr\": \"{addr_b2}\"}}"),
+    );
+    assert_eq!(status, 200, "{body}");
+
+    // Exactly the committed spend came back: the five acknowledged ingests
+    // once each, the 503'd one not at all. Traffic then continues.
+    assert_eq!(spend_observed(&router, victim), 5, "no double-spend");
+    let (status, _, body) = http(&router, "POST", "/v1/ingest", &ingest);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(spend_observed(&router, victim), 6);
+
+    // Clean drains everywhere: router first, then both live workers.
+    let status = signal_and_wait(&mut daemon, "-TERM");
+    assert!(status.success(), "router drain must exit 0, got {status}");
+    for worker in [&mut worker_a, &mut worker_b2] {
+        let status = signal_and_wait(worker, "-TERM");
+        assert!(status.success(), "worker drain must exit 0, got {status}");
+    }
+    for dir in &dirs {
+        std::fs::remove_dir_all(dir).ok();
+    }
+}
