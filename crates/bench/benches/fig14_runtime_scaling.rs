@@ -1,19 +1,26 @@
 //! Criterion bench for Fig. 14: the quantification runtime comparison —
 //! Algorithm 4's exponential enumeration vs the linear two-possible-world
-//! method, on identical PATTERN joints.
+//! method, on identical PATTERN joints — plus the grid-size axis: dense vs
+//! CSR transition backends from `m = 225` up to `m = 10⁴` cells.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use priste_event::{Pattern, StEvent};
+use priste_event::{Pattern, Presence, StEvent};
 use priste_geo::{CellId, GridMap, Region};
 use priste_linalg::Vector;
 use priste_lppm::{Lppm, PlanarLaplace};
-use priste_markov::{gaussian_kernel_chain, Homogeneous};
-use priste_quantify::{naive, TheoremBuilder};
+use priste_markov::{
+    gaussian_kernel_chain, gaussian_kernel_chain_sparse, Homogeneous, MarkovModel,
+};
+use priste_quantify::{naive, IncrementalTwoWorld, TheoremBuilder};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-fn setup(length: usize, width: usize) -> (StEvent, Pattern, Homogeneous, Vec<Vector>, Vector) {
-    let grid = GridMap::new(15, 15, 1.0).expect("grid");
+fn setup(
+    side: usize,
+    length: usize,
+    width: usize,
+) -> (StEvent, Pattern, Homogeneous, Vec<Vector>, Vector) {
+    let grid = GridMap::new(side, side, 1.0).expect("grid");
     let m = grid.num_cells();
     let chain = gaussian_kernel_chain(&grid, 1.0).expect("chain");
     let plm = PlanarLaplace::new(grid, 1.0).expect("plm");
@@ -33,9 +40,10 @@ fn bench_fig14(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig14_runtime_scaling");
     group.sample_size(10);
 
-    // Event-length axis at width 4 (baseline cost = 4^length).
+    // Event-length axis at width 4 on the paper's 15×15 map (baseline cost
+    // = 4^length).
     for length in [5usize, 7, 9] {
-        let (event, pattern, provider, cols, pi) = setup(length, 4);
+        let (event, pattern, provider, cols, pi) = setup(15, length, 4);
         group.bench_with_input(
             BenchmarkId::new("priste_two_world", length),
             &length,
@@ -67,5 +75,72 @@ fn bench_fig14(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fig14);
+/// Grid-size axis: per-observation cost of the incremental two-world engine
+/// on the §V.A banded Gaussian world (σ = 0.5 km, 1 km cells), dense vs CSR
+/// transition backend. Dense is `O(m²)` per observation and stops at
+/// `m = 2500`; the CSR backend is `O(nnz)` (≤ 81 entries per row here) and
+/// extends to `m = 10⁴`.
+fn bench_grid_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_grid_scaling");
+    group.sample_size(10);
+
+    for side in [15usize, 50, 100] {
+        let grid = GridMap::new(side, side, 1.0).expect("grid");
+        let m = grid.num_cells();
+        let sparse = gaussian_kernel_chain_sparse(&grid, 0.5).expect("sparse chain");
+        let event: StEvent = Presence::new(
+            Region::from_one_based_range(m, 1, m / 4).expect("range"),
+            2,
+            5,
+        )
+        .expect("presence")
+        .into();
+        let mut rng = StdRng::seed_from_u64(5);
+        let cols: Vec<Vector> = (0..8)
+            .map(|_| {
+                Vector::from(
+                    (0..m)
+                        .map(|_| rng.gen::<f64>() * 0.9 + 0.1)
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        let pi = Vector::uniform(m);
+
+        if m <= 2500 {
+            let dense =
+                MarkovModel::new(sparse.transition_matrix().to_dense_matrix()).expect("dense twin");
+            let provider = Homogeneous::new(dense);
+            let mut q = IncrementalTwoWorld::new(event.clone(), &provider, pi.clone())
+                .expect("incremental");
+            group.bench_with_input(BenchmarkId::new("incremental_dense", m), &m, |b, _| {
+                b.iter(|| {
+                    q.reset();
+                    let mut last = 0.0;
+                    for col in &cols {
+                        last = q.observe(col).expect("observe").posterior;
+                    }
+                    last
+                })
+            });
+        }
+
+        let provider = Homogeneous::new(sparse);
+        let mut q =
+            IncrementalTwoWorld::new(event.clone(), &provider, pi.clone()).expect("incremental");
+        group.bench_with_input(BenchmarkId::new("incremental_sparse", m), &m, |b, _| {
+            b.iter(|| {
+                q.reset();
+                let mut last = 0.0;
+                for col in &cols {
+                    last = q.observe(col).expect("observe").posterior;
+                }
+                last
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig14, bench_grid_scaling);
 criterion_main!(benches);

@@ -11,15 +11,41 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use priste_event::{Presence, StEvent};
-use priste_geo::{GridMap, Region};
-use priste_linalg::Vector;
+use priste_geo::{CellId, GridMap, Region};
+use priste_linalg::{SparseMatrix, Vector};
 use priste_lppm::{Lppm, PlanarLaplace};
-use priste_markov::{gaussian_kernel_chain, Homogeneous};
+use priste_markov::{gaussian_kernel_chain, Homogeneous, TransitionMatrix};
 use priste_online::{OnlineConfig, SessionManager, UserId};
+use priste_quantify::lifted::LiftedStep;
 use priste_quantify::{fixed_pi::FixedPiQuantifier, IncrementalTwoWorld};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Allocation-counting shim around the system allocator. The workspace
+/// libraries forbid `unsafe`; this bench-only target uses it solely to
+/// *prove* the steady-state allocation contract of the lifted kernels —
+/// [`LiftedStep::apply_rows`] must not allocate per-application region
+/// masks or half-split copies once the region's mask cache is warm.
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 /// One world: an 8×8 grid (m = 64), a presence event over timestamps 3–6,
 /// and a seeded stream of `horizon` PLM emission columns.
@@ -130,5 +156,67 @@ fn bench_users_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_incremental_vs_replay, bench_users_scaling);
+/// The shared-step batched path the session manager runs every timestep:
+/// one [`LiftedStep`] applied to every active window. Asserts the
+/// steady-state allocation budget before timing — per batch of `k` lifted
+/// vectors the kernels may allocate the `k` output vectors, two scratch
+/// halves and the collection itself, but no per-vector indicator masks or
+/// half-split round-trips (the pre-fix behaviour, ≥ `4k`).
+fn bench_lifted_apply(c: &mut Criterion) {
+    let grid = GridMap::new(20, 20, 1.0).expect("grid");
+    let m = grid.num_cells();
+    let dense_chain = gaussian_kernel_chain(&grid, 1.0).expect("chain");
+    let dense = TransitionMatrix::Dense(dense_chain.transition().clone());
+    let sparse =
+        TransitionMatrix::Sparse(SparseMatrix::from_dense(dense_chain.transition(), 1e-12));
+    let region = Region::from_cells(m, (0..m / 4).map(CellId)).expect("region");
+    let mut rng = StdRng::seed_from_u64(9);
+    let xs: Vec<Vector> = (0..64)
+        .map(|_| {
+            let mut v = Vector::from(
+                (0..2 * m)
+                    .map(|_| rand::Rng::gen::<f64>(&mut rng))
+                    .collect::<Vec<_>>(),
+            );
+            v.normalize_mut().expect("positive mass");
+            v
+        })
+        .collect();
+
+    let step = LiftedStep::Capture {
+        m: &dense,
+        region: &region,
+    };
+    let _warm = step.apply_rows(&xs); // fills the region's mask cache
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let out = step.apply_rows(&xs);
+    let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(out.len(), xs.len());
+    assert!(
+        allocs <= 2 * xs.len() + 8,
+        "steady-state apply_rows allocated {allocs} times for {} vectors \
+         (per-application mask or buffer churn crept back in)",
+        xs.len()
+    );
+
+    let mut group = c.benchmark_group("online_lifted_apply");
+    group.sample_size(10);
+    for (name, matrix) in [("dense", &dense), ("sparse", &sparse)] {
+        let step = LiftedStep::Capture {
+            m: matrix,
+            region: &region,
+        };
+        group.bench_with_input(BenchmarkId::new("apply_rows_64", name), &name, |b, _| {
+            b.iter(|| step.apply_rows(&xs))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_incremental_vs_replay,
+    bench_users_scaling,
+    bench_lifted_apply
+);
 criterion_main!(benches);

@@ -22,7 +22,15 @@
 //!   CPU — is what's being measured.
 //!
 //! Usage: `bench_export [--out PATH] [--suite online|quantify|calibrate|serve|cluster|all]
-//! [--users N] [--steps N] [--reps N] [--compare DIR] [--noise F] [--markdown]`
+//! [--users N] [--steps N] [--reps N] [--dense-max-cells M] [--compare DIR]
+//! [--noise F] [--markdown]`
+//!
+//! The `online` and `quantify` suites carry a grid-size axis up to
+//! `m = 10⁴` cells on the banded §V.A Gaussian world, comparing the dense
+//! `O(m²)` and CSR `O(nnz)` transition backends per observation.
+//! `--dense-max-cells M` caps the *dense* comparator (the CSR side always
+//! runs the full axis — it is cheap by construction); CI smoke passes
+//! `--dense-max-cells 2500` to skip the one genuinely slow dense point.
 //!
 //! `--compare DIR` re-reads the committed `BENCH_<suite>.json` artifacts
 //! from DIR and diffs the fresh run against them, direction-aware (rates
@@ -46,7 +54,10 @@ use priste_event::{Presence, StEvent};
 use priste_geo::{CellId, GridMap, Region};
 use priste_linalg::Vector;
 use priste_lppm::{Lppm, PlanarLaplace};
-use priste_markov::{gaussian_kernel_chain, Homogeneous, TransitionProvider};
+use priste_markov::{
+    gaussian_kernel_chain, gaussian_kernel_chain_sparse, Homogeneous, MarkovModel,
+    TransitionProvider,
+};
 use priste_obs::json::{parse, Json};
 use priste_obs::Registry;
 use priste_online::{DurableOptions, OnlineConfig, SessionManager, UserId};
@@ -66,6 +77,7 @@ struct Opts {
     users: usize,
     steps: usize,
     reps: usize,
+    dense_max_cells: usize,
     compare: Option<PathBuf>,
     noise: f64,
     markdown: bool,
@@ -78,6 +90,7 @@ fn parse_opts() -> Opts {
         users: 500,
         steps: 8,
         reps: 5,
+        dense_max_cells: 10_000,
         compare: None,
         noise: 0.05,
         markdown: false,
@@ -94,6 +107,11 @@ fn parse_opts() -> Opts {
             "--users" => opts.users = value("--users").parse().expect("--users N"),
             "--steps" => opts.steps = value("--steps").parse().expect("--steps N"),
             "--reps" => opts.reps = value("--reps").parse().expect("--reps N"),
+            "--dense-max-cells" => {
+                opts.dense_max_cells = value("--dense-max-cells")
+                    .parse()
+                    .expect("--dense-max-cells M")
+            }
             "--compare" => opts.compare = Some(PathBuf::from(value("--compare"))),
             "--noise" => opts.noise = value("--noise").parse().expect("--noise F"),
             "--markdown" => opts.markdown = true,
@@ -373,6 +391,83 @@ fn suite_online(
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    // --- Grid-size axis: CSR-backed service ingest ------------------------
+    //
+    // The session manager on 50×50 and 100×100 banded worlds (σ = 0.5 km ⇒
+    // ≤ 81 entries per row), proving the streaming tier inherits the
+    // O(nnz)-per-observation cost. Synthetic emission columns and a small
+    // fixed cohort: a PLM discretization and 500 users at m = 10⁴ would
+    // measure setup, not ingest. No dense twin here — the quantify suite
+    // already carries the dense/sparse comparison.
+    let mut scale_rng = StdRng::seed_from_u64(29);
+    for (side, name, note) in [
+        (
+            50usize,
+            "ingest_sparse_m2500",
+            "ingest_batch on a CSR-backed 50x50 world, 32 users, synthetic columns",
+        ),
+        (
+            100,
+            "ingest_sparse_m10000",
+            "ingest_batch on a CSR-backed 100x100 world, 32 users, synthetic columns",
+        ),
+    ] {
+        let grid_s = GridMap::new(side, side, 1.0).expect("grid");
+        let ms = grid_s.num_cells();
+        let chain = gaussian_kernel_chain_sparse(&grid_s, 0.5).expect("sparse chain");
+        let provider_s = Arc::new(Homogeneous::new(chain));
+        let event_s: StEvent = Presence::new(
+            Region::from_one_based_range(ms, 1, ms / 4).expect("range"),
+            2,
+            5,
+        )
+        .expect("presence")
+        .into();
+        let users = opts.users.min(32);
+        let steps = opts.steps.min(4);
+        let feed: Vec<Vec<(UserId, Vector)>> = (0..steps)
+            .map(|_| {
+                (0..users as u64)
+                    .map(|u| {
+                        (
+                            UserId(u),
+                            Vector::from(
+                                (0..ms)
+                                    .map(|_| rand::Rng::gen::<f64>(&mut scale_rng) * 0.9 + 0.1)
+                                    .collect::<Vec<_>>(),
+                            ),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let build = || {
+            let mut svc = SessionManager::new(Arc::clone(&provider_s), config()).expect("service");
+            let tpl = svc.register_template(event_s.clone()).expect("template");
+            for u in 0..users as u64 {
+                svc.add_user(UserId(u), Vector::uniform(ms)).expect("user");
+                svc.attach_event(UserId(u), tpl).expect("attach");
+            }
+            svc
+        };
+        let cold_ms = best_ms(opts.reps, || {
+            let svc = build();
+            assert_eq!(svc.num_users(), users);
+        });
+        let ingest_ms = best_ms(opts.reps, || {
+            let mut svc = build();
+            for step in &feed {
+                svc.ingest_batch(step).expect("ingest");
+            }
+        });
+        metrics.push(Metric {
+            name,
+            value: (users * steps) as f64 / ((ingest_ms - cold_ms).max(1e-6) / 1e3),
+            unit: "obs/s",
+            note,
+        });
+    }
+
     metrics
 }
 
@@ -419,6 +514,85 @@ fn suite_quantify(
         unit: "steps/s",
         note: "per-step two-world update + privacy-loss bound, construction subtracted",
     });
+
+    // --- Grid-size axis: dense vs CSR transition backends -----------------
+    //
+    // The banded §V.A world (σ = 0.5 km on 1 km cells ⇒ ≤ 81 entries per
+    // row) at m ∈ {225, 2500, 10⁴}. The dense comparator is the CSR
+    // chain's densified twin — identical numerics, O(m²) per observation —
+    // and is capped by `--dense-max-cells`. Emission columns are synthetic
+    // (a PLM discretization at m = 10⁴ would cost more than the thing being
+    // measured). Rates are `steps/s` so the regression gate treats higher
+    // as better; the sparse/dense ratio at m = 10⁴ is the artifact's
+    // scaling claim.
+    let mut scale_rng = StdRng::seed_from_u64(23);
+    for (side, dense_name, sparse_name) in [
+        (15usize, "observe_dense_m225", "observe_sparse_m225"),
+        (50, "observe_dense_m2500", "observe_sparse_m2500"),
+        (100, "observe_dense_m10000", "observe_sparse_m10000"),
+    ] {
+        let grid_s = GridMap::new(side, side, 1.0).expect("grid");
+        let ms = grid_s.num_cells();
+        let sparse_chain = gaussian_kernel_chain_sparse(&grid_s, 0.5).expect("sparse chain");
+        let event_s: StEvent = Presence::new(
+            Region::from_one_based_range(ms, 1, ms / 4).expect("range"),
+            2,
+            5,
+        )
+        .expect("presence")
+        .into();
+        let cols: Vec<Vector> = (0..8)
+            .map(|_| {
+                Vector::from(
+                    (0..ms)
+                        .map(|_| rand::Rng::gen::<f64>(&mut scale_rng) * 0.9 + 0.1)
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        let pi = Vector::uniform(ms);
+
+        if ms <= opts.dense_max_cells {
+            let dense_chain = MarkovModel::new(sparse_chain.transition_matrix().to_dense_matrix())
+                .expect("dense twin");
+            let provider = Homogeneous::new(dense_chain);
+            let mut q = IncrementalTwoWorld::new(event_s.clone(), &provider, pi.clone())
+                .expect("quantifier");
+            // Fixed flop budget per rep: ~4·10⁸ multiply-adds, so the
+            // m = 10⁴ point stays at a couple of observations per run.
+            let steps = (400_000_000 / (2 * ms * ms)).clamp(2, 256);
+            let dense_ms = best_ms(opts.reps.min(3), || {
+                q.reset();
+                for i in 0..steps {
+                    q.observe(&cols[i % cols.len()]).expect("observe");
+                }
+            });
+            metrics.push(Metric {
+                name: dense_name,
+                value: steps as f64 / (dense_ms.max(1e-6) / 1e3),
+                unit: "steps/s",
+                note: "incremental observe, dense O(m^2) backend, banded sigma=0.5 world",
+            });
+        } else {
+            println!("quantify: dense comparator at m={ms} skipped (--dense-max-cells)");
+        }
+
+        let provider = Homogeneous::new(sparse_chain);
+        let mut q = IncrementalTwoWorld::new(event_s, &provider, pi).expect("quantifier");
+        let steps = 256;
+        let sparse_ms = best_ms(opts.reps, || {
+            q.reset();
+            for i in 0..steps {
+                q.observe(&cols[i % cols.len()]).expect("observe");
+            }
+        });
+        metrics.push(Metric {
+            name: sparse_name,
+            value: steps as f64 / (sparse_ms.max(1e-6) / 1e3),
+            unit: "steps/s",
+            note: "incremental observe, CSR O(nnz) backend, banded sigma=0.5 world",
+        });
+    }
 
     metrics
 }

@@ -137,7 +137,10 @@ impl DeltaLocSource {
     /// (the paper's experiments use the uniform distribution, §IV.D).
     ///
     /// # Errors
-    /// δ validation and posterior-tracker construction failures.
+    /// δ validation and posterior-tracker construction failures;
+    /// [`CoreError::InvalidConfig`](crate::CoreError::InvalidConfig) for a
+    /// sparse-backed chain (the Markov construction step of Algorithm 3
+    /// reads the dense transition matrix).
     pub fn new(
         grid: GridMap,
         delta: f64,
@@ -145,6 +148,11 @@ impl DeltaLocSource {
         chain: MarkovModel,
         initial: Vector,
     ) -> Result<Self> {
+        if chain.is_sparse() {
+            return Err(crate::CoreError::InvalidConfig {
+                message: "delta-location sources need a dense-backed mobility chain".into(),
+            });
+        }
         let dls = DeltaLocationSet::new(grid, delta)?;
         let tracker = PosteriorTracker::new(initial)?;
         Ok(DeltaLocSource {

@@ -1,16 +1,43 @@
 use crate::{CellId, GeoError, Result};
 use priste_linalg::Vector;
+use std::sync::OnceLock;
 
 /// A set of cells over a state domain of `m` cells — the paper's region
 /// `s ∈ {0,1}^{m×1}` (Definition II.2).
 ///
 /// Backed by a `u64` bitset so membership tests in the hot quantification
-/// loops are branch-free word operations.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// loops are branch-free word operations. The `{0,1}^m` indicator vectors
+/// consumed by the lifted kernels are materialized once on first use and
+/// cached ([`Region::masks`]), so steady-state quantification borrows them
+/// instead of allocating two fresh `O(m)` vectors per observation.
+#[derive(Clone)]
 pub struct Region {
     num_cells: usize,
     words: Vec<u64>,
+    /// Lazily-built `(indicator, complement_indicator)` pair. Invalidated by
+    /// the mutating set operations; equality/cloning semantics ignore it.
+    masks: OnceLock<(Vector, Vector)>,
 }
+
+/// Matches the previously-derived format while omitting the mask cache:
+/// the cache is a performance detail, and downstream scenario fingerprints
+/// hash this representation — it must not change as masks materialize.
+impl std::fmt::Debug for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Region")
+            .field("num_cells", &self.num_cells)
+            .field("words", &self.words)
+            .finish()
+    }
+}
+
+impl PartialEq for Region {
+    fn eq(&self, other: &Self) -> bool {
+        self.num_cells == other.num_cells && self.words == other.words
+    }
+}
+
+impl Eq for Region {}
 
 impl Region {
     /// Creates an empty region over a domain of `num_cells` states.
@@ -18,6 +45,7 @@ impl Region {
         Region {
             num_cells,
             words: vec![0; num_cells.div_ceil(64)],
+            masks: OnceLock::new(),
         }
     }
 
@@ -79,6 +107,7 @@ impl Region {
             });
         }
         self.words[cell.0 / 64] |= 1u64 << (cell.0 % 64);
+        self.masks.take();
         Ok(())
     }
 
@@ -94,6 +123,7 @@ impl Region {
             });
         }
         self.words[cell.0 / 64] &= !(1u64 << (cell.0 % 64));
+        self.masks.take();
         Ok(())
     }
 
@@ -123,18 +153,31 @@ impl Region {
     }
 
     /// The paper's indicator vector `s ∈ {0,1}^m`: entry `i` is 1 iff cell
-    /// `i` belongs to the region.
+    /// `i` belongs to the region. Returns a copy; hot paths should borrow
+    /// the cached pair via [`Region::masks`] instead.
     pub fn indicator(&self) -> Vector {
-        (0..self.num_cells)
-            .map(|i| if self.contains(CellId(i)) { 1.0 } else { 0.0 })
-            .collect()
+        self.masks().0.clone()
     }
 
-    /// The complementary indicator `1 − s`.
+    /// The complementary indicator `1 − s`. Returns a copy; hot paths should
+    /// borrow the cached pair via [`Region::masks`] instead.
     pub fn complement_indicator(&self) -> Vector {
-        (0..self.num_cells)
-            .map(|i| if self.contains(CellId(i)) { 0.0 } else { 1.0 })
-            .collect()
+        self.masks().1.clone()
+    }
+
+    /// Borrowed `(indicator, complement_indicator)` pair, materialized on
+    /// first use and cached for the life of the region (or until the next
+    /// mutation). The lifted kernels apply one of these masks per
+    /// observation per user; borrowing keeps that steady-state path free of
+    /// `O(m)` allocations.
+    pub fn masks(&self) -> &(Vector, Vector) {
+        self.masks.get_or_init(|| {
+            let ind: Vector = (0..self.num_cells)
+                .map(|i| if self.contains(CellId(i)) { 1.0 } else { 0.0 })
+                .collect();
+            let comp: Vector = ind.as_slice().iter().map(|&v| 1.0 - v).collect();
+            (ind, comp)
+        })
     }
 
     /// Set union.
@@ -151,6 +194,7 @@ impl Region {
                 .zip(&other.words)
                 .map(|(a, b)| a | b)
                 .collect(),
+            masks: OnceLock::new(),
         })
     }
 
@@ -168,6 +212,7 @@ impl Region {
                 .zip(&other.words)
                 .map(|(a, b)| a & b)
                 .collect(),
+            masks: OnceLock::new(),
         })
     }
 
@@ -176,6 +221,7 @@ impl Region {
         let mut out = Region {
             num_cells: self.num_cells,
             words: self.words.iter().map(|w| !w).collect(),
+            masks: OnceLock::new(),
         };
         // Clear phantom bits above num_cells.
         let excess = out.words.len() * 64 - self.num_cells;
@@ -271,6 +317,22 @@ mod tests {
             r.complement_indicator().as_slice(),
             &[1.0, 0.0, 1.0, 0.0, 1.0]
         );
+    }
+
+    #[test]
+    fn cached_masks_track_mutation() {
+        let mut r = Region::from_cells(4, [CellId(0)]).unwrap();
+        assert_eq!(r.masks().0.as_slice(), &[1.0, 0.0, 0.0, 0.0]);
+        // Borrowing twice yields the same cached allocation.
+        let first = r.masks() as *const _;
+        assert_eq!(first, r.masks() as *const _);
+        r.insert(CellId(2)).unwrap();
+        assert_eq!(r.masks().0.as_slice(), &[1.0, 0.0, 1.0, 0.0]);
+        r.remove(CellId(0)).unwrap();
+        assert_eq!(r.masks().1.as_slice(), &[1.0, 1.0, 0.0, 1.0]);
+        // Equality ignores the cache state.
+        let fresh = Region::from_cells(4, [CellId(2)]).unwrap();
+        assert_eq!(r, fresh);
     }
 
     #[test]

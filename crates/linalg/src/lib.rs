@@ -16,6 +16,10 @@
 //!   both orientations (`x·M` drives forward recurrences, `M·x` drives
 //!   backward/suffix products), matrix products, block composition and
 //!   stochasticity checks.
+//! * [`SparseMatrix`] — compressed sparse row (CSR) storage for banded
+//!   mobility kernels, with `O(nnz)` products in both orientations and a
+//!   `from_dense(threshold)` compressor; see the density cutover in
+//!   `priste_markov`.
 //! * [`eigen`] — a Jacobi eigensolver for symmetric matrices, used by the QP
 //!   substrate for concavity certificates and spectral upper bounds.
 //! * [`scaling`] — HMM-style rescaled vectors that keep long products of
@@ -31,10 +35,12 @@ pub mod eigen;
 mod error;
 mod matrix;
 pub mod scaling;
+mod sparse;
 mod vector;
 
 pub use error::LinalgError;
 pub use matrix::Matrix;
+pub use sparse::SparseMatrix;
 pub use vector::Vector;
 
 /// Convenience result alias for fallible linear algebra operations.

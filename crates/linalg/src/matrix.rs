@@ -195,6 +195,25 @@ impl Matrix {
         Ok(Vector::from(out))
     }
 
+    /// Allocation-free `x · M`: accumulates into `out` (overwritten).
+    ///
+    /// # Panics
+    /// Panics if `x.len() != rows` or `out.len() != cols`.
+    pub fn vecmat_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.rows, "vecmat_into input length");
+        assert_eq!(out.len(), self.cols, "vecmat_into output length");
+        out.fill(0.0);
+        for (r, &xr) in x.iter().enumerate() {
+            if xr == 0.0 {
+                continue;
+            }
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (o, &m) in out.iter_mut().zip(row) {
+                *o += xr * m;
+            }
+        }
+    }
+
     /// Matrix × column-vector product `M · x` (suffix/backward orientation).
     ///
     /// # Panics
@@ -224,6 +243,19 @@ impl Matrix {
             })
             .collect();
         Ok(Vector::from(out))
+    }
+
+    /// Allocation-free `M · x`: writes each row's dot product into `out`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != cols` or `out.len() != rows`.
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec_into input length");
+        assert_eq!(out.len(), self.rows, "matvec_into output length");
+        for (r, o) in out.iter_mut().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            *o = row.iter().zip(x).map(|(m, v)| m * v).sum();
+        }
     }
 
     /// Matrix product `self · other`.

@@ -16,8 +16,11 @@
 //! * [`train_mle`] / [`TransitionCounts`] — maximum-likelihood estimation
 //!   from observed state sequences with additive smoothing (replaces the R
 //!   `markovchain` dependency).
-//! * [`gaussian_kernel_chain`] — the §V.A synthetic world generator.
+//! * [`gaussian_kernel_chain`] / [`gaussian_kernel_chain_sparse`] — the
+//!   §V.A synthetic world generator, dense and truncated-banded CSR.
 //! * [`stationary_distribution`] — power-iteration stationary analysis.
+//! * [`TransitionMatrix`] — dense/CSR backend enum with the
+//!   [`SPARSE_DENSITY_CUTOVER`] auto-selection rule.
 //! * [`TransitionProvider`], [`Homogeneous`], [`TimeVarying`] — the chain
 //!   abstraction used by `priste-quantify`.
 
@@ -29,12 +32,16 @@ mod provider;
 mod stationary;
 mod synthetic;
 mod train;
+mod transition;
 
 pub use model::{MarkovError, MarkovModel};
 pub use provider::{Homogeneous, TimeVarying, TransitionProvider};
 pub use stationary::{stationary_distribution, total_variation};
-pub use synthetic::gaussian_kernel_chain;
+pub use synthetic::{
+    gaussian_kernel_chain, gaussian_kernel_chain_sparse, SPARSE_KERNEL_TRUNCATION,
+};
 pub use train::{train_mle, TransitionCounts};
+pub use transition::{TransitionMatrix, SPARSE_DENSITY_CUTOVER};
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, MarkovError>;

@@ -1,5 +1,6 @@
+use crate::TransitionMatrix;
 use priste_geo::CellId;
-use priste_linalg::{LinalgError, Matrix, Vector};
+use priste_linalg::{LinalgError, Matrix, SparseMatrix, Vector};
 use rand::Rng;
 use std::fmt;
 
@@ -52,18 +53,40 @@ impl std::error::Error for MarkovError {
 /// Row `i` of the transition matrix is the distribution of the next state
 /// given the current state `s_{i+1}`, matching the paper's convention
 /// `p_{t+1} = p_t · M`.
+///
+/// The matrix lives behind a [`TransitionMatrix`]: dense for small or full
+/// chains, CSR for the banded mobility kernels of large grids. All
+/// propagation/sampling helpers dispatch to the active backend.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MarkovModel {
-    transition: Matrix,
+    transition: TransitionMatrix,
 }
 
 impl MarkovModel {
-    /// Wraps a validated row-stochastic transition matrix.
+    /// Wraps a validated row-stochastic transition matrix (dense backend).
     ///
     /// # Errors
     /// [`MarkovError::InvalidTransition`] if the matrix is not square and
     /// row-stochastic.
     pub fn new(transition: Matrix) -> crate::Result<Self> {
+        MarkovModel::from_transition_matrix(TransitionMatrix::Dense(transition))
+    }
+
+    /// Wraps a validated row-stochastic CSR matrix (sparse backend).
+    ///
+    /// # Errors
+    /// [`MarkovError::InvalidTransition`] if the matrix is not square and
+    /// row-stochastic.
+    pub fn new_sparse(transition: SparseMatrix) -> crate::Result<Self> {
+        MarkovModel::from_transition_matrix(TransitionMatrix::Sparse(transition))
+    }
+
+    /// Wraps an already backend-tagged transition matrix.
+    ///
+    /// # Errors
+    /// [`MarkovError::InvalidTransition`] if the matrix is not square and
+    /// row-stochastic.
+    pub fn from_transition_matrix(transition: TransitionMatrix) -> crate::Result<Self> {
         if !transition.is_square() {
             return Err(MarkovError::InvalidTransition(
                 LinalgError::DimensionMismatch {
@@ -77,6 +100,28 @@ impl MarkovModel {
             .validate_stochastic()
             .map_err(MarkovError::InvalidTransition)?;
         Ok(MarkovModel { transition })
+    }
+
+    /// Re-picks the backend by the density cutover
+    /// ([`crate::SPARSE_DENSITY_CUTOVER`]): a banded chain converts to CSR,
+    /// a dense one stays (or reverts to) blocked dense. The conversion is
+    /// exact — only structural zeros are dropped — so every product is
+    /// bit-identical across the switch.
+    pub fn with_auto_backend(self) -> Self {
+        let transition = match self.transition {
+            // Already sparse and below the cutover: keep it, avoiding an
+            // O(m²) densify round-trip on big grids.
+            TransitionMatrix::Sparse(s) if s.density() <= crate::SPARSE_DENSITY_CUTOVER => {
+                TransitionMatrix::Sparse(s)
+            }
+            other => TransitionMatrix::auto(other.to_dense_matrix()),
+        };
+        MarkovModel { transition }
+    }
+
+    /// Whether the CSR backend is active.
+    pub fn is_sparse(&self) -> bool {
+        self.transition.is_sparse()
     }
 
     /// The transition matrix from the paper's Example III.1 (Eq. (2)).
@@ -96,8 +141,23 @@ impl MarkovModel {
         self.transition.rows()
     }
 
-    /// The transition matrix `M`.
+    /// The transition matrix `M` as a dense matrix.
+    ///
+    /// Kept for the many dense-only consumers (trainers, delta-location
+    /// tracking, fixtures); sparse-aware code should use
+    /// [`MarkovModel::transition_matrix`] instead.
+    ///
+    /// # Panics
+    /// Panics if the model is sparse-backed — a CSR chain has no dense
+    /// matrix to borrow.
     pub fn transition(&self) -> &Matrix {
+        self.transition.as_dense().expect(
+            "dense transition requested from a sparse-backed model; use transition_matrix()",
+        )
+    }
+
+    /// The backend-tagged transition matrix `M`.
+    pub fn transition_matrix(&self) -> &TransitionMatrix {
         &self.transition
     }
 
@@ -157,8 +217,7 @@ impl MarkovModel {
                 num_states: m,
             });
         }
-        let row = self.transition.row(current.index());
-        Ok(CellId(sample_categorical(row, rng)))
+        Ok(CellId(self.transition.sample_row(current.index(), rng)))
     }
 
     /// Samples a `len`-step trajectory starting from `start` (inclusive).
@@ -221,7 +280,7 @@ impl MarkovModel {
 }
 
 /// Samples an index from an (unnormalized-tolerant) categorical distribution.
-fn sample_categorical<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> usize {
+pub(crate) fn sample_categorical<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> usize {
     let total: f64 = weights.iter().sum();
     debug_assert!(total > 0.0, "categorical weights sum to zero");
     let mut u = rng.gen::<f64>() * total;

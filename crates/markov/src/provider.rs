@@ -7,19 +7,20 @@
 //! generality a first-class seam: the engine asks for "the transition used
 //! at step `t → t+1`" and never assumes homogeneity.
 
-use crate::{MarkovError, MarkovModel, Result};
-use priste_linalg::Matrix;
+use crate::{MarkovError, MarkovModel, Result, TransitionMatrix};
 
 /// Source of (possibly time-varying) transition matrices.
 ///
 /// `transition_at(t)` returns the matrix governing the step from timestamp
-/// `t` to `t + 1`, with timestamps 1-based as in the paper.
+/// `t` to `t + 1`, with timestamps 1-based as in the paper. The matrix is
+/// backend-tagged ([`TransitionMatrix`]): consumers dispatch products to a
+/// dense or CSR kernel without knowing which backend the chain carries.
 pub trait TransitionProvider {
     /// Number of states `m`.
     fn num_states(&self) -> usize;
 
     /// Transition matrix in force for the step `t → t+1` (`t ≥ 1`).
-    fn transition_at(&self, t: usize) -> &Matrix;
+    fn transition_at(&self, t: usize) -> &TransitionMatrix;
 }
 
 /// Time-homogeneous chain: the same matrix at every step (the paper's
@@ -46,8 +47,8 @@ impl TransitionProvider for Homogeneous {
         self.model.num_states()
     }
 
-    fn transition_at(&self, _t: usize) -> &Matrix {
-        self.model.transition()
+    fn transition_at(&self, _t: usize) -> &TransitionMatrix {
+        self.model.transition_matrix()
     }
 }
 
@@ -98,9 +99,9 @@ impl TransitionProvider for TimeVarying {
         self.num_states
     }
 
-    fn transition_at(&self, t: usize) -> &Matrix {
+    fn transition_at(&self, t: usize) -> &TransitionMatrix {
         let idx = t.saturating_sub(1).min(self.schedule.len() - 1);
-        self.schedule[idx].transition()
+        self.schedule[idx].transition_matrix()
     }
 }
 
@@ -109,7 +110,7 @@ impl<T: TransitionProvider + ?Sized> TransitionProvider for &T {
         (**self).num_states()
     }
 
-    fn transition_at(&self, t: usize) -> &Matrix {
+    fn transition_at(&self, t: usize) -> &TransitionMatrix {
         (**self).transition_at(t)
     }
 }
@@ -124,7 +125,7 @@ impl<T: TransitionProvider + ?Sized> TransitionProvider for std::sync::Arc<T> {
         (**self).num_states()
     }
 
-    fn transition_at(&self, t: usize) -> &Matrix {
+    fn transition_at(&self, t: usize) -> &TransitionMatrix {
         (**self).transition_at(t)
     }
 }

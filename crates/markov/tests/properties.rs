@@ -112,6 +112,6 @@ proptest! {
         let len = models.len();
         let tv = TimeVarying::new(models.clone()).unwrap();
         let expect = &models[(t - 1).min(len - 1)];
-        prop_assert!(tv.transition_at(t).max_abs_diff(expect.transition()) < 1e-15);
+        prop_assert!(tv.transition_at(t).to_dense_matrix().max_abs_diff(expect.transition()) < 1e-15);
     }
 }

@@ -16,7 +16,7 @@ use priste_calibrate::{
 };
 use priste_event::StEvent;
 use priste_geo::CellId;
-use priste_linalg::{Matrix, Vector};
+use priste_linalg::Vector;
 use priste_lppm::Lppm;
 use priste_markov::TransitionProvider;
 use priste_obs::Registry;
@@ -815,15 +815,17 @@ impl<P: TransitionProvider + Clone> SessionManager<P> {
         (reports, stats)
     }
 
-    /// Batched posterior filtering: stacks `p · M` across the shard's
-    /// selected sessions (grouped by user age, so time-varying providers
-    /// fetch the right matrix) into one matmul per group, then applies each
-    /// session's emission weighting.
+    /// Batched posterior filtering: streams each selected session's `p · M`
+    /// through the provider's backend (grouped by user age, so time-varying
+    /// providers fetch the right matrix; one shared scratch buffer per
+    /// group), then applies each session's emission weighting. With a CSR
+    /// chain each propagation costs `O(nnz)` instead of `O(m²)`.
     fn propagate_posteriors(provider: &P, selected: &mut [(&mut Session<P>, &Vector)]) {
         let mut by_age: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
         for (i, (session, _)) in selected.iter().enumerate() {
             by_age.entry(session.observed()).or_default().push(i);
         }
+        let mut moved = vec![0.0; provider.num_states()];
         for (age, idxs) in by_age {
             if age == 0 {
                 // First observation: no propagation, just weigh the prior.
@@ -835,17 +837,10 @@ impl<P: TransitionProvider + Clone> SessionManager<P> {
                 continue;
             }
             let matrix = provider.transition_at(age);
-            let stacked = Matrix::from_rows(
-                &idxs
-                    .iter()
-                    .map(|&i| selected[i].0.posterior().as_slice().to_vec())
-                    .collect::<Vec<_>>(),
-            )
-            .expect("posteriors share the state domain");
-            let moved = stacked.matmul(matrix).expect("k×m by m×m");
-            for (row, &i) in idxs.iter().enumerate() {
+            for &i in &idxs {
                 let (session, col) = &mut selected[i];
-                session.weigh_posterior(Vector::from(moved.row(row).to_vec()), col);
+                matrix.vecmat_into(session.posterior().as_slice(), &mut moved);
+                session.weigh_posterior(Vector::from(moved.clone()), col);
             }
         }
     }

@@ -61,7 +61,9 @@ pub fn posterior_states<P: TransitionProvider>(
     alpha.renormalize();
     alphas.push(alpha.clone());
     for t in 2..=big_t {
-        alpha.forward_step(provider.transition_at(t - 1), &emissions[t - 1]);
+        provider
+            .transition_at(t - 1)
+            .forward_step(&mut alpha, &emissions[t - 1]);
         if alpha.vector.sum() <= 0.0 {
             return Err(QuantifyError::ZeroLikelihood { t });
         }
@@ -72,7 +74,9 @@ pub fn posterior_states<P: TransitionProvider>(
     let mut betas: Vec<ScaledVector> = vec![ScaledVector::new(Vector::ones(m)); big_t];
     for t in (1..big_t).rev() {
         let mut b = betas[t].clone();
-        b.backward_step(provider.transition_at(t), &emissions[t]);
+        provider
+            .transition_at(t)
+            .backward_step(&mut b, &emissions[t]);
         betas[t - 1] = b;
     }
 
@@ -115,7 +119,9 @@ pub fn log_likelihood<P: TransitionProvider>(
     let mut alpha = ScaledVector::new(pi.hadamard(&emissions[0]).expect("validated length"));
     alpha.renormalize();
     for t in 2..=emissions.len() {
-        alpha.forward_step(provider.transition_at(t - 1), &emissions[t - 1]);
+        provider
+            .transition_at(t - 1)
+            .forward_step(&mut alpha, &emissions[t - 1]);
     }
     Ok(alpha.log_sum())
 }

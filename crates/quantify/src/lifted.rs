@@ -9,9 +9,18 @@
 //! [`LiftedStep::apply_col`] exploit that instead of materializing dense
 //! `2m×2m` matrices. [`LiftedStep::to_dense`] materializes them anyway for
 //! oracle tests.
+//!
+//! The base matrix is a backend-tagged [`TransitionMatrix`]: with a CSR
+//! chain every application costs `O(nnz)` instead of `O(m²)`, which is what
+//! lets the incremental quantifier and the streaming service run on
+//! 10⁴-cell grids. The kernels write into preallocated buffers (no
+//! `split_halves`/`concat` round-trips) and borrow the region's cached
+//! indicator masks ([`Region::masks`]), so the steady-state per-observation
+//! path performs no `O(m)` allocations beyond its output vector.
 
 use priste_geo::Region;
 use priste_linalg::{Matrix, Vector};
+use priste_markov::TransitionMatrix;
 
 /// One lifted transition step `M_t`, by shape.
 #[derive(Debug, Clone)]
@@ -20,14 +29,14 @@ pub enum LiftedStep<'a> {
     /// worlds evolve independently.
     BlockDiagonal {
         /// The base transition matrix.
-        m: &'a Matrix,
+        m: &'a TransitionMatrix,
     },
     /// Eq. (4)/(6): `[[M − M·s^D, M·s^D], [0, M]]` — transitions entering
     /// the region are re-directed from the false world into the true world
     /// (PRESENCE capture, and PATTERN's first step).
     Capture {
         /// The base transition matrix.
-        m: &'a Matrix,
+        m: &'a TransitionMatrix,
         /// The region whose entry flips the event true.
         region: &'a Region,
     },
@@ -36,7 +45,7 @@ pub enum LiftedStep<'a> {
     /// world; all others fall back to the false world.
     Hold {
         /// The base transition matrix.
-        m: &'a Matrix,
+        m: &'a TransitionMatrix,
         /// The region required at the destination timestamp.
         region: &'a Region,
     },
@@ -53,7 +62,7 @@ impl LiftedStep<'_> {
     }
 
     /// The base transition matrix `M`.
-    fn base(&self) -> &Matrix {
+    fn base(&self) -> &TransitionMatrix {
         match self {
             LiftedStep::BlockDiagonal { m }
             | LiftedStep::Capture { m, .. }
@@ -68,30 +77,43 @@ impl LiftedStep<'_> {
     /// * BlockDiagonal: `y = [u_f, u_t]`,
     /// * Capture: `y_f = u_f ∘ (1−s)`, `y_t = u_f ∘ s + u_t`,
     /// * Hold: `y_f = u_f + u_t ∘ (1−s)`, `y_t = u_t ∘ s`.
-    fn combine_moved(&self, uf: Vector, ut: Vector) -> Vector {
+    ///
+    /// Region masks are borrowed from the region's cache; `out` must not
+    /// alias the inputs.
+    fn combine_moved_into(&self, uf: &[f64], ut: &[f64], out: &mut [f64]) {
+        let n = uf.len();
+        let (out_f, out_t) = out.split_at_mut(n);
         match self {
-            LiftedStep::BlockDiagonal { .. } => uf.concat(&ut),
+            LiftedStep::BlockDiagonal { .. } => {
+                out_f.copy_from_slice(uf);
+                out_t.copy_from_slice(ut);
+            }
             LiftedStep::Capture { region, .. } => {
-                let s = region.indicator();
-                let not_s = region.complement_indicator();
-                let yf = uf.hadamard(&not_s).expect("lengths match");
-                let yt = uf
-                    .hadamard(&s)
-                    .expect("lengths match")
-                    .add(&ut)
-                    .expect("lengths match");
-                yf.concat(&yt)
+                let (s, not_s) = region.masks();
+                for i in 0..n {
+                    out_f[i] = uf[i] * not_s[i];
+                    out_t[i] = uf[i] * s[i] + ut[i];
+                }
             }
             LiftedStep::Hold { region, .. } => {
-                let s = region.indicator();
-                let not_s = region.complement_indicator();
-                let yf = uf
-                    .add(&ut.hadamard(&not_s).expect("lengths match"))
-                    .expect("lengths match");
-                let yt = ut.hadamard(&s).expect("lengths match");
-                yf.concat(&yt)
+                let (s, not_s) = region.masks();
+                for i in 0..n {
+                    out_f[i] = uf[i] + ut[i] * not_s[i];
+                    out_t[i] = ut[i] * s[i];
+                }
             }
         }
+    }
+
+    /// One row application written into caller-provided storage: moves both
+    /// halves of `x` through `M` (into the `buf_*` scratch slices, each of
+    /// length `m`) and recombines into `out` (length `2m`).
+    fn apply_row_into(&self, x: &[f64], buf_f: &mut [f64], buf_t: &mut [f64], out: &mut [f64]) {
+        let n = self.base_states();
+        let m = self.base();
+        m.vecmat_into(&x[..n], buf_f);
+        m.vecmat_into(&x[n..], buf_t);
+        self.combine_moved_into(buf_f, buf_t, out);
     }
 
     /// Row-vector application `x · M_t` for a lifted row vector
@@ -105,17 +127,20 @@ impl LiftedStep<'_> {
     pub fn apply_row(&self, x: &Vector) -> Vector {
         let n = self.base_states();
         assert_eq!(x.len(), 2 * n, "lifted row vector length mismatch");
-        let (xf, xt) = x.split_halves();
-        let m = self.base();
-        self.combine_moved(m.vecmat(&xf), m.vecmat(&xt))
+        let mut buf_f = vec![0.0; n];
+        let mut buf_t = vec![0.0; n];
+        let mut out = vec![0.0; 2 * n];
+        self.apply_row_into(x.as_slice(), &mut buf_f, &mut buf_t, &mut out);
+        Vector::from(out)
     }
 
     /// Batched row application: `xs[i] · M_t` for many lifted row vectors at
     /// once — the streaming service's "one shared step per timestep" path.
-    /// The false/true halves of every vector are stacked into `k×m`
-    /// matrices and pushed through `M` with two `matmul`s (instead of `2k`
-    /// separate `vecmat`s), then the per-shape region masks are applied
-    /// row-wise. Equivalent to mapping [`LiftedStep::apply_row`].
+    /// Each vector's halves are pushed through `M` into two reused scratch
+    /// buffers and recombined directly into that vector's output storage:
+    /// per batch the only allocations are the `k` output vectors themselves
+    /// (no half-splitting copies, no stacked intermediate matrices).
+    /// Equivalent to mapping [`LiftedStep::apply_row`].
     ///
     /// # Panics
     /// Panics if any input has length `!= 2m`.
@@ -124,30 +149,14 @@ impl LiftedStep<'_> {
         if xs.is_empty() {
             return Vec::new();
         }
-        let k = xs.len();
-        let mut xf_rows = Vec::with_capacity(k);
-        let mut xt_rows = Vec::with_capacity(k);
-        for x in xs {
-            assert_eq!(x.len(), 2 * n, "lifted row vector length mismatch");
-            let (f, t) = x.split_halves();
-            xf_rows.push(f.into_vec());
-            xt_rows.push(t.into_vec());
-        }
-        let base = self.base();
-        let uf = Matrix::from_rows(&xf_rows)
-            .expect("rectangular stack")
-            .matmul(base)
-            .expect("k×m by m×m");
-        let ut = Matrix::from_rows(&xt_rows)
-            .expect("rectangular stack")
-            .matmul(base)
-            .expect("k×m by m×m");
-        (0..k)
-            .map(|i| {
-                self.combine_moved(
-                    Vector::from(uf.row(i).to_vec()),
-                    Vector::from(ut.row(i).to_vec()),
-                )
+        let mut buf_f = vec![0.0; n];
+        let mut buf_t = vec![0.0; n];
+        xs.iter()
+            .map(|x| {
+                assert_eq!(x.len(), 2 * n, "lifted row vector length mismatch");
+                let mut out = vec![0.0; 2 * n];
+                self.apply_row_into(x.as_slice(), &mut buf_f, &mut buf_t, &mut out);
+                Vector::from(out)
             })
             .collect()
     }
@@ -161,59 +170,58 @@ impl LiftedStep<'_> {
     pub fn apply_col(&self, v: &Vector) -> Vector {
         let n = self.base_states();
         assert_eq!(v.len(), 2 * n, "lifted column vector length mismatch");
-        let (vf, vt) = v.split_halves();
+        let (vf, vt) = v.as_slice().split_at(n);
+        let mut out = vec![0.0; 2 * n];
+        let (out_f, out_t) = out.split_at_mut(n);
         match self {
-            LiftedStep::BlockDiagonal { m } => m.matvec(&vf).concat(&m.matvec(&vt)),
+            LiftedStep::BlockDiagonal { m } => {
+                m.matvec_into(vf, out_f);
+                m.matvec_into(vt, out_t);
+            }
             LiftedStep::Capture { m, region } => {
                 // row_f = (M − Ms^D)v_f + Ms^D v_t = M·(v_f∘(1−s) + v_t∘s)
                 // row_t = M·v_t
-                let s = region.indicator();
-                let not_s = region.complement_indicator();
-                let mixed = vf
-                    .hadamard(&not_s)
-                    .expect("lengths match")
-                    .add(&vt.hadamard(&s).expect("lengths match"))
-                    .expect("lengths match");
-                m.matvec(&mixed).concat(&m.matvec(&vt))
+                let (s, not_s) = region.masks();
+                let mixed: Vec<f64> = (0..n).map(|i| vf[i] * not_s[i] + vt[i] * s[i]).collect();
+                m.matvec_into(&mixed, out_f);
+                m.matvec_into(vt, out_t);
             }
             LiftedStep::Hold { m, region } => {
                 // row_f = M·v_f
                 // row_t = (M − Ms^D)v_f + Ms^D v_t = M·(v_f∘(1−s) + v_t∘s)
-                let s = region.indicator();
-                let not_s = region.complement_indicator();
-                let mixed = vf
-                    .hadamard(&not_s)
-                    .expect("lengths match")
-                    .add(&vt.hadamard(&s).expect("lengths match"))
-                    .expect("lengths match");
-                m.matvec(&vf).concat(&m.matvec(&mixed))
+                let (s, not_s) = region.masks();
+                let mixed: Vec<f64> = (0..n).map(|i| vf[i] * not_s[i] + vt[i] * s[i]).collect();
+                m.matvec_into(vf, out_f);
+                m.matvec_into(&mixed, out_t);
             }
         }
+        Vector::from(out)
     }
 
     /// Materializes the dense `2m×2m` matrix (paper Eqs. (4)–(8) verbatim).
     /// Test/diagnostic path — production code uses the structured
-    /// applications.
+    /// applications. Sparse-backed steps densify their base first.
     pub fn to_dense(&self) -> Matrix {
         let n = self.base_states();
         let zero = Matrix::zeros(n, n);
+        let base = self.base().to_dense_matrix();
         match self {
-            LiftedStep::BlockDiagonal { m } => {
-                Matrix::from_blocks(m, &zero, &zero, m).expect("blocks are square")
+            LiftedStep::BlockDiagonal { .. } => {
+                Matrix::from_blocks(&base, &zero, &zero, &base).expect("blocks are square")
             }
-            LiftedStep::Capture { m, region } => {
-                let msd = m
+            LiftedStep::Capture { region, .. } => {
+                let msd = base
                     .scale_cols(&region.indicator())
                     .expect("diag length matches");
-                let tl = m.sub(&msd).expect("shapes match");
-                Matrix::from_blocks(&tl, &msd, &zero, m).expect("blocks are square")
+                let tl = base.sub(&msd).expect("shapes match");
+                Matrix::from_blocks(&tl, &msd, &zero, &base).expect("blocks are square")
             }
-            LiftedStep::Hold { m, region } => {
-                let msd = m
+            LiftedStep::Hold { region, .. } => {
+                let msd = base
                     .scale_cols(&region.indicator())
                     .expect("diag length matches");
-                let bl = m.sub(&msd).expect("shapes match");
-                Matrix::from_blocks(m, &zero, &bl, &msd).expect("blocks are square")
+                let bl = base.sub(&msd).expect("shapes match");
+                Matrix::from_blocks(&base, &zero, &bl, &msd).expect("blocks are square")
             }
         }
     }
@@ -230,15 +238,25 @@ pub fn lift_emission(e: &Vector) -> Vector {
 mod tests {
     use super::*;
     use priste_geo::CellId;
+    use priste_linalg::SparseMatrix;
 
-    fn m3() -> Matrix {
+    fn m3() -> TransitionMatrix {
         // Paper Example III.1 Eq. (2).
-        Matrix::from_rows(&[
-            vec![0.1, 0.2, 0.7],
-            vec![0.4, 0.1, 0.5],
-            vec![0.0, 0.1, 0.9],
-        ])
-        .unwrap()
+        TransitionMatrix::Dense(
+            Matrix::from_rows(&[
+                vec![0.1, 0.2, 0.7],
+                vec![0.4, 0.1, 0.5],
+                vec![0.0, 0.1, 0.9],
+            ])
+            .unwrap(),
+        )
+    }
+
+    fn m3_sparse() -> TransitionMatrix {
+        TransitionMatrix::Sparse(SparseMatrix::from_dense(
+            m3().as_dense().expect("dense fixture"),
+            0.0,
+        ))
     }
 
     fn region12() -> Region {
@@ -290,57 +308,93 @@ mod tests {
 
     #[test]
     fn structured_row_application_matches_dense() {
-        let m = m3();
         let r = region12();
         let x = Vector::from(vec![0.1, 0.2, 0.3, 0.05, 0.15, 0.2]);
-        for step in [
-            LiftedStep::BlockDiagonal { m: &m },
-            LiftedStep::Capture { m: &m, region: &r },
-            LiftedStep::Hold { m: &m, region: &r },
-        ] {
-            let fast = step.apply_row(&x);
-            let dense = step.to_dense().vecmat(&x);
-            assert!(fast.max_abs_diff(&dense) < 1e-14, "shape {step:?}");
+        for m in [m3(), m3_sparse()] {
+            for step in [
+                LiftedStep::BlockDiagonal { m: &m },
+                LiftedStep::Capture { m: &m, region: &r },
+                LiftedStep::Hold { m: &m, region: &r },
+            ] {
+                let fast = step.apply_row(&x);
+                let dense = step.to_dense().vecmat(&x);
+                assert!(fast.max_abs_diff(&dense) < 1e-14, "shape {step:?}");
+            }
         }
     }
 
     #[test]
     fn batched_row_application_matches_singles() {
-        let m = m3();
         let r = region12();
         let xs = vec![
             Vector::from(vec![0.1, 0.2, 0.3, 0.05, 0.15, 0.2]),
             Vector::from(vec![0.0, 0.0, 1.0, 0.0, 0.0, 0.0]),
             Vector::from(vec![0.3, 0.1, 0.0, 0.2, 0.2, 0.2]),
         ];
-        for step in [
-            LiftedStep::BlockDiagonal { m: &m },
-            LiftedStep::Capture { m: &m, region: &r },
-            LiftedStep::Hold { m: &m, region: &r },
-        ] {
-            let batched = step.apply_rows(&xs);
-            assert_eq!(batched.len(), xs.len());
-            for (x, y) in xs.iter().zip(&batched) {
-                let single = step.apply_row(x);
-                assert!(y.max_abs_diff(&single) < 1e-14, "shape {step:?}");
+        for m in [m3(), m3_sparse()] {
+            for step in [
+                LiftedStep::BlockDiagonal { m: &m },
+                LiftedStep::Capture { m: &m, region: &r },
+                LiftedStep::Hold { m: &m, region: &r },
+            ] {
+                let batched = step.apply_rows(&xs);
+                assert_eq!(batched.len(), xs.len());
+                for (x, y) in xs.iter().zip(&batched) {
+                    let single = step.apply_row(x);
+                    assert!(y.max_abs_diff(&single) < 1e-14, "shape {step:?}");
+                }
+                assert!(step.apply_rows(&[]).is_empty());
             }
-            assert!(step.apply_rows(&[]).is_empty());
         }
     }
 
     #[test]
     fn structured_col_application_matches_dense() {
-        let m = m3();
         let r = region12();
         let v = Vector::from(vec![0.3, 0.1, 0.9, 1.0, 0.0, 0.5]);
-        for step in [
-            LiftedStep::BlockDiagonal { m: &m },
-            LiftedStep::Capture { m: &m, region: &r },
-            LiftedStep::Hold { m: &m, region: &r },
+        for m in [m3(), m3_sparse()] {
+            for step in [
+                LiftedStep::BlockDiagonal { m: &m },
+                LiftedStep::Capture { m: &m, region: &r },
+                LiftedStep::Hold { m: &m, region: &r },
+            ] {
+                let fast = step.apply_col(&v);
+                let dense = step.to_dense().matvec(&v);
+                assert!(fast.max_abs_diff(&dense) < 1e-14, "shape {step:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_and_dense_backends_agree_bitwise() {
+        let dense = m3();
+        let sparse = m3_sparse();
+        let r = region12();
+        let x = Vector::from(vec![0.1, 0.2, 0.3, 0.05, 0.15, 0.2]);
+        for (d, s) in [
+            (
+                LiftedStep::Capture {
+                    m: &dense,
+                    region: &r,
+                },
+                LiftedStep::Capture {
+                    m: &sparse,
+                    region: &r,
+                },
+            ),
+            (
+                LiftedStep::Hold {
+                    m: &dense,
+                    region: &r,
+                },
+                LiftedStep::Hold {
+                    m: &sparse,
+                    region: &r,
+                },
+            ),
         ] {
-            let fast = step.apply_col(&v);
-            let dense = step.to_dense().matvec(&v);
-            assert!(fast.max_abs_diff(&dense) < 1e-14, "shape {step:?}");
+            assert_eq!(d.apply_row(&x).as_slice(), s.apply_row(&x).as_slice());
+            assert_eq!(d.apply_col(&x).as_slice(), s.apply_col(&x).as_slice());
         }
     }
 

@@ -117,6 +117,14 @@
 //! batched ingest/release work over N workers (0 = all cores) with
 //! identical output for any N.
 //!
+//! Grid scale: `--side N` builds an `N×N` world (`m = N²` cells) with a
+//! dense mobility chain, which is the right backend at the CLI's default
+//! small sides. Past `--side 50` or so a banded world (small `--sigma`)
+//! is better served by the library's CSR path — build the chain with
+//! `priste::markov::gaussian_kernel_chain_sparse` or flip
+//! `Pipeline::sparse_mobility()` on a dense one; see the README's
+//! "Scaling to large grids" section.
+//!
 //! Events use the paper's notation, e.g. `"PRESENCE(S={1:10}, T={4:8})"`.
 //! `stream`/`calibrate` events are *attach-relative*: `T={2:4}` means
 //! timestamps 2–4 of each user's session.

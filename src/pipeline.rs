@@ -132,6 +132,7 @@ pub struct PipelineBuilder {
     grid: GridMap,
     chain: Option<MarkovModel>,
     schedule: Option<Vec<MarkovModel>>,
+    sparse: bool,
     provider: Option<SharedProvider>,
     events: Vec<StEvent>,
     mechanism: Option<MechanismSpec>,
@@ -161,6 +162,22 @@ impl PipelineBuilder {
     /// `schedule[min(t−1, len−1)]`.
     pub fn mobility_schedule(mut self, schedule: Vec<MarkovModel>) -> Self {
         self.schedule = Some(schedule);
+        self
+    }
+
+    /// Converts the mobility model(s) to their density-optimal backend at
+    /// build time ([`MarkovModel::with_auto_backend`]): chains whose
+    /// transition matrix is at or below the
+    /// [`SPARSE_DENSITY_CUTOVER`](priste_markov::SPARSE_DENSITY_CUTOVER)
+    /// density run on the CSR backend, so every derived mode — audit,
+    /// serve, enforce, the cluster — pays `O(nnz)` per observation instead
+    /// of `O(m²)`. Dense-enough chains are left dense; chains built sparse
+    /// (e.g. by [`priste_markov::gaussian_kernel_chain_sparse`]) are
+    /// already sparse-backed and need no knob. Applies to
+    /// [`Self::mobility`] and every model of [`Self::mobility_schedule`];
+    /// pre-built [`Self::mobility_provider`]s are used as supplied.
+    pub fn sparse_mobility(mut self) -> Self {
+        self.sparse = true;
         self
     }
 
@@ -310,10 +327,20 @@ impl PipelineBuilder {
                 self.epsilon
             )));
         }
-        let chain = self.chain;
+        let chain = if self.sparse {
+            self.chain.map(MarkovModel::with_auto_backend)
+        } else {
+            self.chain
+        };
+        let schedule = if self.sparse {
+            self.schedule
+                .map(|s| s.into_iter().map(MarkovModel::with_auto_backend).collect())
+        } else {
+            self.schedule
+        };
         let provider: SharedProvider = if let Some(provider) = self.provider {
             provider
-        } else if let Some(schedule) = self.schedule {
+        } else if let Some(schedule) = schedule {
             Arc::new(TimeVarying::new(schedule)?)
         } else if let Some(chain) = chain.clone() {
             Arc::new(Homogeneous::new(chain))
@@ -477,6 +504,7 @@ impl Pipeline {
             grid,
             chain: None,
             schedule: None,
+            sparse: false,
             provider: None,
             events: Vec::new(),
             mechanism: None,
@@ -571,7 +599,8 @@ impl Pipeline {
     ///
     /// # Errors
     /// [`PristeError::Pipeline`] when events or the mechanism are missing,
-    /// or when a δ-location audit lacks a concrete chain; layer errors.
+    /// or when a δ-location audit lacks a concrete chain or was given a
+    /// sparse-backed one; layer errors.
     pub fn audit(&self) -> Result<Audit> {
         let mechanism = self.require_mechanism()?;
         let source: AuditSource = if let Some(delta) = self.delta {
@@ -580,6 +609,12 @@ impl Pipeline {
                     "a delta-location audit needs a concrete chain: call .mobility(chain)",
                 )
             })?;
+            if chain.is_sparse() {
+                return Err(PristeError::pipeline(
+                    "delta-location audits rebuild mechanisms from the dense transition \
+                     matrix; supply a dense chain or drop .sparse_mobility()",
+                ));
+            }
             Box::new(DeltaLocSource::new(
                 self.grid.clone(),
                 delta,
@@ -1066,6 +1101,63 @@ mod tests {
         let chain4 = gaussian_kernel_chain(&other, 1.0).unwrap();
         let err = Pipeline::on(grid).mobility(chain4).build().unwrap_err();
         assert!(err.to_string().contains("states"), "{err}");
+    }
+
+    #[test]
+    fn sparse_mobility_converts_banded_chains_and_serves() {
+        // σ = 0.5 km on a 20×20 grid of 1 km cells: ≤ 81-cell kernel patches
+        // on 400 cells sit below the cutover density, so CSR is kept.
+        let grid = GridMap::new(20, 20, 1.0).unwrap();
+        let chain = priste_markov::gaussian_kernel_chain_sparse(&grid, 0.5).unwrap();
+        let pipeline = Pipeline::on(grid)
+            .mobility(chain)
+            .sparse_mobility()
+            .event_spec("PRESENCE(S={1:3}, T={2:3})")
+            .planar_laplace(0.8)
+            .build()
+            .unwrap();
+        assert!(pipeline.chain().unwrap().is_sparse());
+        let mut service = pipeline.serve().unwrap();
+        let user = priste_online::UserId(1);
+        service
+            .add_user(user, Vector::uniform(pipeline.num_cells()))
+            .unwrap();
+        service.attach_event(user, 0).unwrap();
+        let mechanism = pipeline.mechanism_instance().unwrap();
+        let report = service
+            .ingest(user, mechanism.emission_column(CellId(7)))
+            .unwrap();
+        assert_eq!(report.user, user);
+    }
+
+    #[test]
+    fn sparse_mobility_leaves_dense_chains_dense() {
+        // σ = 1000 approaches uniform: density 1.0, far above the cutover,
+        // so auto-backend keeps the dense representation.
+        let (grid, _) = small();
+        let chain = gaussian_kernel_chain(&grid, 1000.0).unwrap();
+        let pipeline = Pipeline::on(grid)
+            .mobility(chain)
+            .sparse_mobility()
+            .build()
+            .unwrap();
+        assert!(!pipeline.chain().unwrap().is_sparse());
+    }
+
+    #[test]
+    fn delta_location_audit_rejects_sparse_chains() {
+        let grid = GridMap::new(20, 20, 1.0).unwrap();
+        let chain = priste_markov::gaussian_kernel_chain_sparse(&grid, 0.5).unwrap();
+        let err = Pipeline::on(grid)
+            .mobility(chain)
+            .event_spec("PRESENCE(S={1:3}, T={2:3})")
+            .planar_laplace(1.0)
+            .delta_location(0.2)
+            .build()
+            .unwrap()
+            .audit()
+            .unwrap_err();
+        assert!(err.to_string().contains("dense"), "{err}");
     }
 
     #[test]
